@@ -1,0 +1,172 @@
+// Command spacecli is a command-line client for a running
+// spaceserver, playing the role of the paper's board-side C++ client
+// over TCP.
+//
+//	spacecli -addr localhost:7010 write  job op=fft n:int=1024
+//	spacecli -addr localhost:7010 take   job 'op=?' 'n:int=?'
+//	spacecli -addr localhost:7010 read   job 'op=?' 'n:int=?'
+//	spacecli -addr localhost:7010 count  job 'op=?' 'n:int=?'
+//
+// Field syntax: name=value (string), name:int=V, name:float=V,
+// name:bool=V, name:bytes=hex. A value of "?" makes the field a
+// wildcard (templates only).
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/transport"
+	"tpspace/internal/tuple"
+	"tpspace/internal/wrapper"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7010", "spaceserver address")
+	lease := flag.Duration("lease", 0, "entry lease for writes (0 = forever)")
+	timeout := flag.Duration("timeout", 5*time.Second, "blocking-op timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: spacecli [flags] write|take|read|count|takeIfExists|readIfExists <type> [field...]")
+		os.Exit(2)
+	}
+	op, typeName := args[0], args[1]
+	tp, err := parseTuple(typeName, args[2:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spacecli: %v\n", err)
+		os.Exit(2)
+	}
+
+	conn, err := transport.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spacecli: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	cli := wrapper.NewClient(conn)
+
+	switch op {
+	case "write":
+		if err := cli.WriteWait(tp, sim.DurationOf(*lease)); err != nil {
+			fmt.Fprintf(os.Stderr, "spacecli: write: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("ok")
+	case "take", "read":
+		var got tuple.Tuple
+		var ok bool
+		if op == "take" {
+			got, ok = cli.TakeWait(tp, sim.DurationOf(*timeout))
+		} else {
+			got, ok = cli.ReadWait(tp, sim.DurationOf(*timeout))
+		}
+		if !ok {
+			fmt.Println("no match")
+			os.Exit(1)
+		}
+		fmt.Println(got)
+	case "count":
+		n, ok := cli.CountWait(tp)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "spacecli: count failed")
+			os.Exit(1)
+		}
+		fmt.Println(n)
+	case "takeIfExists", "readIfExists":
+		done := make(chan bool, 1)
+		var got tuple.Tuple
+		cb := func(t tuple.Tuple, ok bool) { got = t; done <- ok }
+		if op == "takeIfExists" {
+			cli.TakeIfExists(tp, cb)
+		} else {
+			cli.ReadIfExists(tp, cb)
+		}
+		if !<-done {
+			fmt.Println("no match")
+			os.Exit(1)
+		}
+		fmt.Println(got)
+	default:
+		fmt.Fprintf(os.Stderr, "spacecli: unknown operation %q\n", op)
+		os.Exit(2)
+	}
+	_ = space.NoLease
+}
+
+// parseTuple builds a tuple from "name[:kind]=value" arguments.
+func parseTuple(typeName string, fields []string) (tuple.Tuple, error) {
+	tp := tuple.Tuple{Type: typeName}
+	for _, f := range fields {
+		eq := strings.IndexByte(f, '=')
+		if eq < 0 {
+			return tp, fmt.Errorf("field %q: missing '='", f)
+		}
+		name, val := f[:eq], f[eq+1:]
+		kind := "string"
+		if colon := strings.IndexByte(name, ':'); colon >= 0 {
+			name, kind = name[:colon], name[colon+1:]
+		}
+		wild := val == "?"
+		var fld tuple.Field
+		switch kind {
+		case "string":
+			if wild {
+				fld = tuple.AnyString(name)
+			} else {
+				fld = tuple.String(name, val)
+			}
+		case "int":
+			if wild {
+				fld = tuple.AnyInt(name)
+			} else {
+				v, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return tp, fmt.Errorf("field %q: %v", f, err)
+				}
+				fld = tuple.Int(name, v)
+			}
+		case "float":
+			if wild {
+				fld = tuple.AnyFloat(name)
+			} else {
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return tp, fmt.Errorf("field %q: %v", f, err)
+				}
+				fld = tuple.Float(name, v)
+			}
+		case "bool":
+			if wild {
+				fld = tuple.AnyBool(name)
+			} else {
+				v, err := strconv.ParseBool(val)
+				if err != nil {
+					return tp, fmt.Errorf("field %q: %v", f, err)
+				}
+				fld = tuple.Bool(name, v)
+			}
+		case "bytes":
+			if wild {
+				fld = tuple.AnyBytes(name)
+			} else {
+				v, err := hex.DecodeString(val)
+				if err != nil {
+					return tp, fmt.Errorf("field %q: %v", f, err)
+				}
+				fld = tuple.Bytes(name, v)
+			}
+		default:
+			return tp, fmt.Errorf("field %q: unknown kind %q", f, kind)
+		}
+		tp.Fields = append(tp.Fields, fld)
+	}
+	return tp, nil
+}

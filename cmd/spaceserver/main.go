@@ -1,0 +1,72 @@
+// Command spaceserver runs the tuplespace as a TCP daemon speaking
+// the XML entry protocol — the Java SpaceServer prototype of Section
+// 4.1, with the Java/socket wrapper of Figure 4 in front of every
+// connection.
+//
+//	spaceserver -addr :7010
+//
+// Clients frame each XML request with a 4-byte big-endian length
+// prefix (see internal/transport.TCPConn); cmd/spacecli and the
+// examples show the client side.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"tpspace/internal/space"
+	"tpspace/internal/transport"
+	"tpspace/internal/wrapper"
+)
+
+func main() {
+	addr := flag.String("addr", ":7010", "listen address")
+	journalPath := flag.String("journal", "", "journal file for the persistent message store (restored on start)")
+	flag.Parse()
+
+	sp := space.New(space.NewRealRuntime())
+	if *journalPath != "" {
+		n, err := sp.ReplayFile(*journalPath)
+		if err != nil {
+			log.Fatalf("spaceserver: replay %s: %v", *journalPath, err)
+		}
+		j, err := space.OpenJournal(*journalPath)
+		if err != nil {
+			log.Fatalf("spaceserver: journal %s: %v", *journalPath, err)
+		}
+		sp.SetJournal(j)
+		log.Printf("spaceserver: restored %d entries from %s", n, *journalPath)
+		go func() {
+			for range time.Tick(time.Second) {
+				if err := j.Flush(); err != nil {
+					log.Printf("spaceserver: journal flush: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("spaceserver: %v", err)
+	}
+	log.Printf("spaceserver: tuplespace listening on %s", ln.Addr())
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			log.Printf("spaceserver: accept: %v", err)
+			continue
+		}
+		conn := transport.NewTCPConn(nc)
+		conn.OnError = func(err error) {
+			log.Printf("spaceserver: %s: %v", nc.RemoteAddr(), err)
+		}
+		stack := wrapper.NewServerStack(conn, sp)
+		stack.Gateway.OnError = func(err error) {
+			log.Printf("spaceserver: %s: gateway: %v", nc.RemoteAddr(), err)
+		}
+		log.Printf("spaceserver: client %s connected (space size %d)", nc.RemoteAddr(), sp.Size())
+	}
+}

@@ -1,0 +1,162 @@
+// Command tpbench regenerates every table and figure of the paper's
+// evaluation (Section 5) from the simulation substrate:
+//
+//	tpbench                  # everything
+//	tpbench -table 3         # Table 3 (NS2-TpWIRE validation)
+//	tpbench -table 4         # Table 4 (tuplespace impact, full sweep)
+//	tpbench -table frames    # Tables 1-2 (frame formats)
+//	tpbench -fig 6           # Figure 6 scenario summary
+//	tpbench -fig 7           # Figure 7 single case-study run
+//
+// The Table 4 sweep runs six co-simulations of several simulated
+// minutes each; expect a few seconds of wall time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tpspace/internal/core"
+	"tpspace/internal/frame"
+	"tpspace/internal/sim"
+	"tpspace/internal/tpwire"
+)
+
+func main() {
+	table := flag.String("table", "", "regenerate one table: 3, 4 or frames")
+	fig := flag.Int("fig", 0, "regenerate one figure scenario: 6 or 7")
+	realtime := flag.Bool("realtime", false, "pace validation against the wall clock (Table 3)")
+	speedup := flag.Float64("speedup", 100, "real-time speedup factor")
+	cross := flag.Bool("crossvalidate", false, "cross-validate the packet-level and frame-accurate bus models")
+	sweep := flag.Bool("sweep", false, "sweep CBR load and print the completion-time curve (CSV)")
+	compare := flag.Bool("compare", false, "compare Ethernet/TCP and TpWIRE substrates (Section 4.3)")
+	plan := flag.Bool("plan", false, "search the design space for the cheapest bus meeting the Table 4 requirements")
+	flag.Parse()
+
+	if *plan {
+		fmt.Print(core.PlanBus(core.DefaultRequirements()).Format())
+		return
+	}
+
+	if *cross {
+		printCrossValidation()
+		return
+	}
+	if *sweep {
+		printSweep()
+		return
+	}
+	if *compare {
+		fmt.Print(core.FormatComparison(core.CompareSubstrates(core.DefaultCompareConfig())))
+		return
+	}
+	all := *table == "" && *fig == 0
+	switch {
+	case all:
+		printFrames()
+		fmt.Println()
+		printTable3(*realtime, *speedup)
+		fmt.Println()
+		printTable4()
+		fmt.Println()
+		printCrossValidation()
+	case *table == "frames":
+		printFrames()
+	case *table == "3":
+		printTable3(*realtime, *speedup)
+	case *table == "4":
+		printTable4()
+	case *fig == 6:
+		printFig6()
+	case *fig == 7:
+		printFig7()
+	default:
+		fmt.Fprintf(os.Stderr, "tpbench: unknown selection (-table %q -fig %d)\n", *table, *fig)
+		os.Exit(2)
+	}
+}
+
+func printFrames() {
+	fmt.Println("Table 1: TX frame format")
+	fmt.Println("| 0 | CMD[2:0] | DATA[7:0] | CRC[3:0] |")
+	tx := frame.TX{Cmd: frame.CmdWrite, Data: 0xA5}
+	fmt.Printf("example: %v  wire image %016b\n", tx, tx.Pack())
+	fmt.Println()
+	fmt.Println("Table 2: RX frame format")
+	fmt.Println("| 0 | INT | TYPE[1:0] | DATA[7:0] | CRC[3:0] |")
+	rx := frame.RX{Int: true, Type: frame.TypeData, Data: 0x3C}
+	fmt.Printf("example: %v  wire image %016b\n", rx, rx.Pack())
+}
+
+func printTable3(realtime bool, speedup float64) {
+	cfg := core.DefaultValidationConfig()
+	cfg.Realtime = realtime
+	cfg.Speedup = speedup
+	res := core.RunValidation(cfg)
+	fmt.Print(core.FormatTable3(res))
+	if realtime {
+		for _, r := range res.Rows {
+			fmt.Printf("  frames=%d wall=%v maxlag=%v\n", r.Frames, r.Realtime.Wall, r.Realtime.MaxLag)
+		}
+	}
+}
+
+func printTable4() {
+	t4 := core.RunTable4(core.DefaultTable4Config())
+	fmt.Print(t4.Format())
+}
+
+func printFig6() {
+	fmt.Println("Figure 6: NS-2 scheme for TpWIRE model validation")
+	fmt.Println("  Master -- Slave1 [CBR] -- Slave2 [Receiver]")
+	cfg := core.DefaultValidationConfig()
+	cfg.FrameCounts = []int{10_000}
+	res := core.RunValidation(cfg)
+	fmt.Printf("  10k frames in %v simulated, throughput %.1f B/s, scaling %.3f\n",
+		res.Rows[0].Simulated, res.ThroughputBps, res.Rows[0].Scaling)
+}
+
+// printSweep extends Table 4 into a curve: exchange completion time
+// against background CBR load for both bus widths, CSV to stdout.
+// "Out of Time" cells print as empty values.
+func printSweep() {
+	rates := []float64{0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.85, 1.0}
+	fmt.Println("cbr_Bps,onewire_s,twowire_s")
+	for _, rate := range rates {
+		fmt.Printf("%g", rate)
+		for _, w := range []int{1, 2} {
+			cfg := core.DefaultImpactConfig()
+			cfg.CBRRate = rate
+			cfg.Wires = w
+			res := core.RunImpact(cfg)
+			if res.OutOfTime() {
+				fmt.Print(",")
+			} else {
+				fmt.Printf(",%.1f", res.Total.Seconds())
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func printCrossValidation() {
+	fmt.Println("Model cross-validation (packet-level NS-2 agent vs frame-accurate chain)")
+	for _, wires := range []int{1, 2} {
+		pkt, frm := core.CrossValidate(tpwire.Config{BitRate: 1_000_000, Wires: wires}, 1, 1000)
+		fmt.Printf("  %d-wire, 1000 transactions: packet-level %v, frame-accurate %v (agreement %.6f)\n",
+			wires, pkt, frm, float64(pkt)/float64(frm))
+	}
+}
+
+func printFig7() {
+	fmt.Println("Figure 7: TpWIRE case-study configuration")
+	fmt.Println("  Master -- Slave1 [C++ client] -- Slave2 [CBR] -- Slave3 [JavaSpace server] -- Slave4 [Receiver]")
+	cfg := core.DefaultImpactConfig()
+	cfg.CBRRate = 0.3
+	res := core.RunImpact(cfg)
+	fmt.Printf("  CBR 0.3 B/s, 1-wire: write ack %.1fs, take issued %.1fs, completion %s\n",
+		res.WriteDone.Seconds(), res.TakeIssued.Seconds(), core.ImpactCell(res))
+	fmt.Printf("  bus: %d frames, busy %v; background packets delivered: %d\n",
+		res.BusFrames, sim.Duration(res.BusBusy), res.CBRDelivered)
+}

@@ -1,0 +1,102 @@
+// Command tpsim runs a standalone TpWIRE bus simulation and reports
+// wire-level statistics — the "separately validate the model" use the
+// paper gets from NS-2 before putting the tuplespace on top.
+//
+//	tpsim -slaves 4 -bitrate 1e6 -cbr 100 -duration 10s
+//	tpsim -dump-topology -slaves 3
+//	tpsim -trace -duration 50ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tpwire"
+)
+
+func main() {
+	slaves := flag.Int("slaves", 2, "number of slaves on the chain (>= 2)")
+	bitrate := flag.Float64("bitrate", 1_000_000, "bus speed in bits/second")
+	wires := flag.Int("wires", 1, "number of wires (mode-A n-wire scaling)")
+	cbr := flag.Float64("cbr", 10, "CBR load in bytes/second from slave 1 to the last slave")
+	pktSize := flag.Int("pkt", 1, "CBR packet size in bytes")
+	duration := flag.Duration("duration", 10*time.Second, "simulated duration")
+	errRate := flag.Float64("err", 0, "frame error rate [0,1)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	dump := flag.Bool("dump-topology", false, "print the Figure 2 daisy chain and exit")
+	trace := flag.Bool("trace", false, "print every frame movement")
+	scenario := flag.String("scenario", "", "run a JSON scenario file instead of the flag-driven setup")
+	flag.Parse()
+
+	if *scenario != "" {
+		if err := runScenario(*scenario, *trace); err != nil {
+			fmt.Fprintf(os.Stderr, "tpsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *slaves < 2 {
+		fmt.Fprintln(os.Stderr, "tpsim: need at least 2 slaves")
+		os.Exit(2)
+	}
+
+	k := sim.NewKernel(*seed)
+	cfg := tpwire.Config{BitRate: *bitrate, Wires: *wires, FrameErrorRate: *errRate}
+	chain := tpwire.NewChain(k, cfg)
+	var ids []uint8
+	boxes := map[uint8]*tpwire.MailboxDevice{}
+	for i := 1; i <= *slaves; i++ {
+		id := uint8(i)
+		mb := tpwire.NewMailboxDevice(nil)
+		chain.AddSlave(id).SetDevice(mb)
+		boxes[id] = mb
+		ids = append(ids, id)
+	}
+	if *dump {
+		fmt.Println(chain.Topology())
+		return
+	}
+	if *trace {
+		chain.SetTracer(func(ev tpwire.TraceEvent) {
+			fmt.Printf("%-14v %-8s node=%-3d %s\n", ev.At, ev.Kind, ev.Node, ev.Info)
+		})
+	}
+
+	sink := tpwire.NewSink(k)
+	sink.Attach(boxes[uint8(*slaves)])
+	poller := tpwire.NewPoller(chain, ids, 0)
+	poller.Start()
+	gen := tpwire.NewCBR(k, boxes[1], uint8(*slaves), *cbr, *pktSize)
+	gen.Start()
+
+	k.RunUntil(sim.Time(sim.DurationOf(*duration)))
+	gen.Stop()
+	poller.Stop()
+
+	st := chain.Stats()
+	mst := chain.Master().Stats()
+	pst := poller.Stats()
+	fmt.Printf("simulated %v on a %d-slave %d-wire chain at %.0f bit/s\n",
+		sim.DurationOf(*duration), *slaves, *wires, *bitrate)
+	fmt.Printf("wire:   %d TX frames, %d RX frames, busy %v (utilisation %.1f%%)\n",
+		st.TXFrames, st.RXFrames, st.BusyTime,
+		100*float64(st.BusyTime)/float64(sim.DurationOf(*duration)))
+	fmt.Printf("master: %d transactions, %d retries, %d timeouts, %d failures\n",
+		mst.Transactions, mst.Retries, mst.Timeouts, mst.Failures)
+	fmt.Printf("poller: %d sweeps, %d pings, %d messages (%d bytes) moved, %d errors\n",
+		pst.Sweeps, pst.Pings, pst.Serviced, pst.Bytes, pst.Errors)
+	fmt.Printf("sink:   %d packets, %d bytes delivered", sink.Messages, sink.Bytes)
+	if gen.Packets() > 0 {
+		fmt.Printf(" (%.1f%% of generated)", 100*float64(sink.Messages)/float64(gen.Packets()))
+	}
+	fmt.Println()
+	if st.CorruptedTX+st.CorruptedRX > 0 {
+		fmt.Printf("errors: %d TX and %d RX frames corrupted in flight\n", st.CorruptedTX, st.CorruptedRX)
+	}
+	a := tpwire.NewAnalytic(chain.Config())
+	fmt.Printf("analytic: single transaction to the far slave %v, modelled throughput %.1f B/s\n",
+		a.TransactionTime(*slaves-1), a.ThroughputBps(*slaves-1))
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tpwire"
+)
+
+// Scenario is the JSON description of a bus simulation, so repeated
+// experiments live in files instead of flag soup:
+//
+//	{
+//	  "bitrate": 1000000,
+//	  "wires": 1,
+//	  "errorRate": 0.01,
+//	  "seed": 7,
+//	  "duration": "10s",
+//	  "slaves": [
+//	    {"id": 1},
+//	    {"id": 2, "meters": 50}
+//	  ],
+//	  "generators": [
+//	    {"kind": "cbr", "from": 1, "to": 2, "rate": 100, "size": 4}
+//	  ],
+//	  "poller": {"periodBits": 1024, "dma": true, "intDriven": true}
+//	}
+type Scenario struct {
+	Bitrate   float64         `json:"bitrate"`
+	Wires     int             `json:"wires"`
+	ErrorRate float64         `json:"errorRate"`
+	Seed      int64           `json:"seed"`
+	Duration  string          `json:"duration"`
+	Slaves    []ScenarioSlave `json:"slaves"`
+	Gens      []ScenarioGen   `json:"generators"`
+	Poller    ScenarioPoller  `json:"poller"`
+}
+
+// ScenarioSlave places one slave on the chain.
+type ScenarioSlave struct {
+	ID uint8 `json:"id"`
+	// Meters is the upstream segment length (long segments switch to
+	// the differential signal).
+	Meters float64 `json:"meters"`
+}
+
+// ScenarioGen attaches a traffic generator.
+type ScenarioGen struct {
+	Kind string  `json:"kind"` // "cbr"
+	From uint8   `json:"from"`
+	To   uint8   `json:"to"`
+	Rate float64 `json:"rate"` // bytes/second
+	Size int     `json:"size"` // packet bytes
+}
+
+// ScenarioPoller configures the master's service loop.
+type ScenarioPoller struct {
+	PeriodBits int  `json:"periodBits"`
+	DMA        bool `json:"dma"`
+	IntDriven  bool `json:"intDriven"`
+	PerSweep   int  `json:"perSweep"`
+}
+
+// runScenario loads, validates and executes a scenario file, printing
+// the same report as the flag-driven path.
+func runScenario(path string, trace bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var sc Scenario
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(sc.Slaves) == 0 {
+		return fmt.Errorf("%s: no slaves", path)
+	}
+	dur := 10 * time.Second
+	if sc.Duration != "" {
+		dur, err = time.ParseDuration(sc.Duration)
+		if err != nil {
+			return fmt.Errorf("%s: duration: %v", path, err)
+		}
+	}
+	seed := sc.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	k := sim.NewKernel(seed)
+	cfg := tpwire.Config{
+		BitRate:        sc.Bitrate,
+		Wires:          sc.Wires,
+		FrameErrorRate: sc.ErrorRate,
+		PollPeriodBits: sc.Poller.PeriodBits,
+	}
+	chain := tpwire.NewChain(k, cfg)
+	if trace {
+		chain.SetTracer(func(ev tpwire.TraceEvent) {
+			fmt.Printf("%-14v %-8s node=%-3d %s\n", ev.At, ev.Kind, ev.Node, ev.Info)
+		})
+	}
+	boxes := map[uint8]*tpwire.MailboxDevice{}
+	var ids []uint8
+	for _, s := range sc.Slaves {
+		mb := tpwire.NewMailboxDevice(nil)
+		chain.AddSlaveAt(s.ID, s.Meters).SetDevice(mb)
+		boxes[s.ID] = mb
+		ids = append(ids, s.ID)
+	}
+
+	poller := tpwire.NewPoller(chain, ids, 0)
+	poller.UseDMA = sc.Poller.DMA
+	poller.IntDriven = sc.Poller.IntDriven
+	if sc.Poller.PerSweep > 0 {
+		poller.MaxPerSweep = sc.Poller.PerSweep
+	}
+	poller.Start()
+
+	sinks := map[uint8]*tpwire.Sink{}
+	var gens []*tpwire.CBR
+	for i, g := range sc.Gens {
+		if g.Kind != "" && g.Kind != "cbr" {
+			return fmt.Errorf("%s: generator %d: unknown kind %q", path, i, g.Kind)
+		}
+		src, ok := boxes[g.From]
+		if !ok {
+			return fmt.Errorf("%s: generator %d: unknown source slave %d", path, i, g.From)
+		}
+		if _, ok := boxes[g.To]; !ok {
+			return fmt.Errorf("%s: generator %d: unknown destination slave %d", path, i, g.To)
+		}
+		if sinks[g.To] == nil {
+			sinks[g.To] = tpwire.NewSink(k)
+			sinks[g.To].Attach(boxes[g.To])
+		}
+		cbr := tpwire.NewCBR(k, src, g.To, g.Rate, g.Size)
+		cbr.Start()
+		gens = append(gens, cbr)
+	}
+
+	k.RunUntil(sim.Time(sim.DurationOf(dur)))
+	for _, g := range gens {
+		g.Stop()
+	}
+	poller.Stop()
+
+	st := chain.Stats()
+	fmt.Printf("scenario %s: %d slaves, %v simulated\n", path, len(ids), sim.DurationOf(dur))
+	fmt.Printf("wire:   %d TX / %d RX frames, busy %v (utilisation %.1f%%)\n",
+		st.TXFrames, st.RXFrames, st.BusyTime,
+		100*float64(st.BusyTime)/float64(sim.DurationOf(dur)))
+	mst := chain.Master().Stats()
+	fmt.Printf("master: %d transactions, %d retries, %d timeouts, %d failures\n",
+		mst.Transactions, mst.Retries, mst.Timeouts, mst.Failures)
+	pst := poller.Stats()
+	fmt.Printf("poller: %d sweeps, %d messages (%d bytes) moved, %d errors\n",
+		pst.Sweeps, pst.Serviced, pst.Bytes, pst.Errors)
+	for id, s := range sinks {
+		fmt.Printf("sink %d: %d packets, %d bytes\n", id, s.Messages, s.Bytes)
+	}
+	return nil
+}

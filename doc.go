@@ -1,0 +1,19 @@
+// Package tpspace reproduces "Estimation of Bus Performance for a
+// Tuplespace in an Embedded Architecture" (Drago, Fummi, Monguzzi,
+// Perbellini, Poncino — DATE 2003): a JavaSpaces-like tuplespace
+// middleware for factory automation, a frame-accurate model of the
+// TpWIRE 1-wire/n-wire embedded bus, the co-simulation glue that
+// couples them, and the estimation methodology that predicts bus
+// performance under tuplespace traffic.
+//
+// The code lives under internal/; the runnable surface is:
+//
+//	cmd/tpbench      regenerate every table and figure of the paper
+//	cmd/tpsim        standalone bus simulations
+//	cmd/spaceserver  the tuplespace as a TCP daemon
+//	cmd/spacecli     command-line space client
+//	examples/...     quickstart, failover, fftfarm, busestimate
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package tpspace

@@ -1,0 +1,103 @@
+// Extension: dynamic addition and removal of devices (Section 2.1,
+// "Support to system extensions").
+//
+// Devices exporting a service register themselves in the discovery
+// subsystem; devices needing the service locate providers there. The
+// example starts a farm with one FFT consumer, hot-adds two more
+// mid-run (watch the throughput rise), then stops their lease
+// renewals — and the registry forgets them on its own, with no
+// centralized control or reconfiguration anywhere.
+//
+//	go run ./examples/extension
+package main
+
+import (
+	"fmt"
+
+	"tpspace/internal/agents"
+	"tpspace/internal/registry"
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+)
+
+const (
+	tick      = 100 * sim.Millisecond
+	leaseTime = 2 * sim.Second // providers renew at half this
+)
+
+func main() {
+	k := sim.NewKernel(3)
+	sp := space.New(space.SimRuntime{K: k})
+	api := agents.LocalSpace{S: sp}
+	reg := registry.New(sp)
+
+	// Watch the discovery subsystem like a dashboard would.
+	reg.Watch("fft", func(s registry.Service) {
+		fmt.Printf("[%v] discovery: %s registered (by %s)\n", k.Now(), s.Name, s.Provider)
+	})
+
+	// addConsumer brings a device online: it registers with a leased
+	// entry and renews on a heartbeat; cancelling the returned stop
+	// function simulates unplugging the device.
+	addConsumer := func(name string) (stopRenewal func()) {
+		c := agents.NewFFTConsumer(k, api, name, 150*sim.Millisecond)
+		c.Start()
+		r, err := reg.Register(registry.Service{Name: "fft", Provider: name, Address: name}, leaseTime)
+		if err != nil {
+			panic(err)
+		}
+		stopHeartbeat := k.Ticker("renew."+name, leaseTime/2, func() {
+			if err := r.Renew(leaseTime); err != nil {
+				panic(err)
+			}
+		})
+		return func() {
+			stopHeartbeat()
+			c.Stop()
+		}
+	}
+
+	// A producer that offloads continuously and reports throughput.
+	producer := agents.NewFFTProducer(k, api, "weak-node")
+	samples := make([]float64, 32)
+	samples[0] = 1
+	var submit func()
+	submit = func() {
+		producer.Submit(samples, func([]complex128) {
+			k.ScheduleName("next-job", tick/4, submit)
+		})
+	}
+	submit()
+	submit() // keep two jobs in flight so extra consumers matter
+
+	var lastCount uint64
+	report := func(label string) {
+		completed := producer.Completed
+		fmt.Printf("[%v] %-28s providers=%d, jobs completed in window: %d\n",
+			k.Now(), label, len(reg.LookupAll("fft")), completed-lastCount)
+		lastCount = completed
+	}
+
+	addConsumer("fpu-0")
+	k.Schedule(5*sim.Second, func() { report("1 consumer baseline") })
+
+	// Hot-add two consumers at t=5s: no master reconfiguration, they
+	// just start taking request tuples.
+	var stop1, stop2 func()
+	k.Schedule(5*sim.Second, func() {
+		stop1 = addConsumer("fpu-1")
+		stop2 = addConsumer("fpu-2")
+	})
+	k.Schedule(10*sim.Second, func() { report("after hot-adding 2") })
+
+	// Unplug them at t=10s: their registrations silently lapse when
+	// the renewals stop.
+	k.Schedule(10*sim.Second, func() { stop1(); stop2() })
+	k.Schedule(15*sim.Second, func() {
+		report("after unplugging them")
+		fmt.Printf("[%v] discovery now lists %d provider(s) — the lapsed leases cleaned themselves up\n",
+			k.Now(), len(reg.LookupAll("fft")))
+	})
+
+	k.RunUntil(sim.Time(15*sim.Second + 1))
+}

@@ -1,0 +1,94 @@
+// Quickstart: the tuplespace in five minutes.
+//
+// This example exercises the whole public surface of the middleware
+// in-process: write/read/take with associative matching, blocking
+// takes, leases, and notify — the primitives Section 2 of the paper
+// describes — using the same client/server stack (XML protocol,
+// gateway, RMI) a distributed deployment would use.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/transport"
+	"tpspace/internal/tuple"
+	"tpspace/internal/wrapper"
+)
+
+func main() {
+	// A simulated world: one kernel, one space server, one client
+	// connected through the XML/socket wrapper over an in-memory pipe
+	// with 1 ms latency.
+	k := sim.NewKernel(42)
+	sp := space.New(space.SimRuntime{K: k})
+	cliEnd, gwEnd := transport.NewSimPipe(k, sim.Millisecond)
+	wrapper.NewSimServerStack(k, gwEnd, sp, 0)
+	client := wrapper.NewClient(cliEnd)
+
+	// 1. Write an entry: an ordered set of typed values with a type
+	//    name, exactly a JavaSpaces Entry.
+	reading := tuple.New("reading",
+		tuple.String("sensor", "temp-3"),
+		tuple.Float("celsius", 21.5),
+		tuple.Int("tick", 1),
+	)
+	client.Write(reading, space.NoLease, func(ok bool, errMsg string) {
+		fmt.Printf("write acknowledged at %v (ok=%v)\n", k.Now(), ok)
+	})
+
+	// 2. Associative read: match by type and any subset of values;
+	//    wildcards are formals.
+	anyReading := tuple.New("reading",
+		tuple.String("sensor", "temp-3"),
+		tuple.AnyFloat("celsius"),
+		tuple.AnyInt("tick"),
+	)
+	client.Read(anyReading, sim.Forever, func(t tuple.Tuple, ok bool) {
+		fmt.Printf("read %v at %v\n", t, k.Now())
+	})
+
+	// 3. Blocking take: parked server-side until a producer writes.
+	jobs := tuple.New("job", tuple.AnyString("op"), tuple.AnyInt("n"))
+	client.Take(jobs, sim.Forever, func(t tuple.Tuple, ok bool) {
+		fmt.Printf("worker got %v at %v\n", t, k.Now())
+	})
+	k.Schedule(3*sim.Second, func() {
+		client.Write(tuple.New("job", tuple.String("op", "fft"), tuple.Int("n", 1024)),
+			space.NoLease, func(bool, string) {})
+	})
+
+	// 4. Leases: entries disappear when their lifetime lapses — the
+	//    mechanism behind Table 4's "Out of Time".
+	client.Write(tuple.New("ephemeral", tuple.String("note", "short-lived")),
+		5*sim.Second, func(bool, string) {})
+	k.Schedule(8*sim.Second, func() {
+		tmpl := tuple.New("ephemeral", tuple.AnyString("note"))
+		client.TakeIfExists(tmpl, func(_ tuple.Tuple, ok bool) {
+			fmt.Printf("take of expired entry at %v: ok=%v (lease was 5s)\n", k.Now(), ok)
+		})
+	})
+
+	// 5. Notify: subscribe to future writes.
+	alarms := tuple.New("alarm", tuple.AnyString("what"))
+	client.Notify(alarms, func(t tuple.Tuple) {
+		fmt.Printf("notified: %v at %v\n", t, k.Now())
+	}, func(ok bool) {
+		if !ok {
+			log.Fatal("subscription failed")
+		}
+	})
+	k.Schedule(10*sim.Second, func() {
+		client.Write(tuple.New("alarm", tuple.String("what", "overtemp")),
+			space.NoLease, func(bool, string) {})
+	})
+
+	k.RunUntil(sim.Time(20 * sim.Second))
+	st := sp.Stats()
+	fmt.Printf("\nspace stats: %d writes, %d reads, %d takes, %d expired, %d notifies\n",
+		st.Writes, st.Reads, st.Takes, st.Expired, st.Notifies)
+}

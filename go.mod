@@ -1,0 +1,3 @@
+module tpspace
+
+go 1.22

@@ -1,0 +1,347 @@
+package agents
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/transport"
+	"tpspace/internal/tuple"
+	"tpspace/internal/wrapper"
+)
+
+func localAPI() (*sim.Kernel, SpaceAPI, *space.Space) {
+	k := sim.NewKernel(1)
+	sp := space.New(space.SimRuntime{K: k})
+	return k, LocalSpace{S: sp}, sp
+}
+
+//
+// FFT math.
+//
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSinusoid(t *testing.T) {
+	// A pure tone concentrates in exactly one positive-frequency bin.
+	const n = 64
+	const bin = 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*bin*float64(i)/n), 0)
+	}
+	FFT(x)
+	for i, v := range x {
+		mag := cmplx.Abs(v)
+		if i == bin || i == n-bin {
+			if math.Abs(mag-n/2) > 1e-9 {
+				t.Fatalf("bin %d magnitude %.3f, want %d", i, mag, n/2)
+			}
+		} else if mag > 1e-9 {
+			t.Fatalf("leakage in bin %d: %.3g", i, mag)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Energy conservation: sum |x|^2 = (1/n) sum |X|^2.
+	const n = 128
+	x := make([]complex128, n)
+	tEnergy := 0.0
+	for i := range x {
+		v := math.Sin(float64(i)*0.37) + 0.2*math.Cos(float64(i)*1.7)
+		x[i] = complex(v, 0)
+		tEnergy += v * v
+	}
+	FFT(x)
+	fEnergy := 0.0
+	for _, v := range x {
+		fEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	fEnergy /= n
+	if math.Abs(tEnergy-fEnergy) > 1e-9*tEnergy {
+		t.Fatalf("Parseval violated: %.9f vs %.9f", tEnergy, fEnergy)
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	const n = 32
+	orig := make([]complex128, n)
+	for i := range orig {
+		orig[i] = complex(math.Sin(float64(i)), math.Cos(float64(2*i)))
+	}
+	x := append([]complex128(nil), orig...)
+	FFT(x)
+	IFFT(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for length 12")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestSampleCodecs(t *testing.T) {
+	v := []float64{0, 1.5, -2.25, math.Pi}
+	got := decodeSamples(encodeSamples(v))
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("samples round trip: %v vs %v", got, v)
+		}
+	}
+	c := []complex128{complex(1, -2), complex(0.5, math.E)}
+	gc := decodeComplex(encodeComplex(c))
+	for i := range c {
+		if gc[i] != c[i] {
+			t.Fatalf("complex round trip: %v vs %v", gc, c)
+		}
+	}
+}
+
+//
+// FFT farm.
+//
+
+func TestFFTFarmOffload(t *testing.T) {
+	k, api, _ := localAPI()
+	consumer := NewFFTConsumer(k, api, "fpu1", 10*sim.Millisecond)
+	consumer.Start()
+	producer := NewFFTProducer(k, api, "weak1")
+	samples := make([]float64, 16)
+	samples[0] = 1 // impulse
+	var result []complex128
+	producer.Submit(samples, func(res []complex128) { result = res })
+	k.RunUntil(sim.Time(sim.Second))
+	consumer.Stop()
+	if producer.Completed != 1 {
+		t.Fatal("offload not completed")
+	}
+	for i, v := range result {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("offloaded FFT wrong at %d: %v", i, v)
+		}
+	}
+	if producer.MeanLatency() < 10*sim.Millisecond {
+		t.Fatalf("latency %v below think time", producer.MeanLatency())
+	}
+}
+
+func TestFFTFarmScalesWithConsumers(t *testing.T) {
+	// The paper's scalability claim: completion time for a batch is
+	// roughly inversely proportional to the number of consumers.
+	run := func(consumers int) sim.Duration {
+		k, api, _ := localAPI()
+		for i := 0; i < consumers; i++ {
+			NewFFTConsumer(k, api, "fpu", 100*sim.Millisecond).Start()
+		}
+		producer := NewFFTProducer(k, api, "weak")
+		const jobs = 20
+		var doneAt sim.Time
+		samples := make([]float64, 8)
+		for j := 0; j < jobs; j++ {
+			producer.Submit(samples, func([]complex128) { doneAt = k.Now() })
+		}
+		k.RunUntil(sim.Time(sim.Hour))
+		if producer.Completed != jobs {
+			t.Fatalf("completed %d/%d with %d consumers", producer.Completed, jobs, consumers)
+		}
+		return sim.Duration(doneAt)
+	}
+	t1 := run(1)
+	t4 := run(4)
+	speedup := float64(t1) / float64(t4)
+	if speedup < 3.0 {
+		t.Fatalf("4 consumers only %.2fx faster than 1", speedup)
+	}
+}
+
+func TestFFTFarmOverWrapper(t *testing.T) {
+	// Same farm, but agents reach the space across the XML protocol —
+	// the infrastructure-abstraction property.
+	k := sim.NewKernel(1)
+	sp := space.New(space.SimRuntime{K: k})
+	mkAPI := func() SpaceAPI {
+		cliEnd, gwEnd := transport.NewSimPipe(k, sim.Millisecond)
+		wrapper.NewSimServerStack(k, gwEnd, sp, 0)
+		return RemoteSpace{C: wrapper.NewClient(cliEnd)}
+	}
+	NewFFTConsumer(k, mkAPI(), "fpu", 5*sim.Millisecond).Start()
+	producer := NewFFTProducer(k, mkAPI(), "weak")
+	samples := make([]float64, 8)
+	samples[0] = 1
+	var done bool
+	producer.Submit(samples, func([]complex128) { done = true })
+	k.RunUntil(sim.Time(sim.Second))
+	if !done {
+		t.Fatal("remote offload did not complete")
+	}
+}
+
+//
+// Fail-over protocol.
+//
+
+func TestFailoverScenario(t *testing.T) {
+	// Figure 1 end to end: controller requests an actuator, primary
+	// operates, primary fails, backup takes over.
+	k, api, _ := localAPI()
+	tick := 100 * sim.Millisecond
+
+	ctrl := NewController(k, api, "valve", tick)
+	a1 := NewActuator(k, api, "act1", "valve", tick)
+	a2 := NewActuator(k, api, "act2", "valve", tick)
+
+	ctrl.Start()
+	// Actuators start shortly after, a1 first so the winner is
+	// deterministic.
+	k.Schedule(10*sim.Millisecond, a1.Start)
+	k.Schedule(20*sim.Millisecond, a2.Start)
+
+	k.RunUntil(sim.Time(2 * sim.Second))
+	if a1.State() != StateOperating {
+		t.Fatalf("a1 state = %v, want operating", a1.State())
+	}
+	if a2.State() != StateBackup {
+		t.Fatalf("a2 state = %v, want backup", a2.State())
+	}
+	if ctrl.Started == 0 {
+		t.Fatal("controller never started its loop")
+	}
+	if a1.Ticks == 0 {
+		t.Fatal("operating actuator never ticked")
+	}
+
+	// Inject the failure.
+	var takeoverAt sim.Time
+	a2.OnTakeover = func(at sim.Time) { takeoverAt = at }
+	failAt := k.Now()
+	a1.Fail()
+	k.RunUntil(sim.Time(10 * sim.Second))
+
+	if a2.State() != StateOperating {
+		t.Fatalf("backup state = %v after failure", a2.State())
+	}
+	if a2.Takeovers != 1 {
+		t.Fatalf("takeovers = %d", a2.Takeovers)
+	}
+	if takeoverAt == 0 {
+		t.Fatal("takeover not observed")
+	}
+	// Recovery latency is bounded by (threshold+1) ticks plus lease
+	// slack of the stale heartbeats.
+	recovery := takeoverAt.Sub(failAt)
+	if recovery > 6*tick {
+		t.Fatalf("recovery took %v (> 6 ticks)", recovery)
+	}
+	if a2.Ticks == 0 {
+		t.Fatal("new operating actuator never ticked")
+	}
+}
+
+func TestFailoverNoFalseTakeover(t *testing.T) {
+	// With a healthy primary, the backup must never take over, even
+	// over a long horizon.
+	k, api, _ := localAPI()
+	tick := 100 * sim.Millisecond
+	ctrl := NewController(k, api, "motor", tick)
+	a1 := NewActuator(k, api, "p", "motor", tick)
+	a2 := NewActuator(k, api, "b", "motor", tick)
+	ctrl.Start()
+	k.Schedule(10*sim.Millisecond, a1.Start)
+	k.Schedule(20*sim.Millisecond, a2.Start)
+	k.RunUntil(sim.Time(60 * sim.Second))
+	if a2.Takeovers != 0 {
+		t.Fatalf("false takeover (%d) with healthy primary", a2.Takeovers)
+	}
+	if a1.State() != StateOperating || a2.State() != StateBackup {
+		t.Fatalf("states: %v / %v", a1.State(), a2.State())
+	}
+}
+
+func TestControllerWaitsForPickup(t *testing.T) {
+	k, api, _ := localAPI()
+	tick := 50 * sim.Millisecond
+	ctrl := NewController(k, api, "pump", tick)
+	ctrl.Start()
+	k.RunUntil(sim.Time(sim.Second))
+	if ctrl.Started != 0 {
+		t.Fatal("controller started with no actuator")
+	}
+	a := NewActuator(k, api, "a", "pump", tick)
+	a.Start()
+	k.RunUntil(sim.Time(3 * sim.Second))
+	if ctrl.Started == 0 {
+		t.Fatal("controller never started after pickup")
+	}
+	if ctrl.LoopTicks == 0 {
+		t.Fatal("control loop never ran")
+	}
+}
+
+func TestHeartbeatsDoNotAccumulate(t *testing.T) {
+	// Leased heartbeats must not pile up in the space when the backup
+	// is slow or absent.
+	k, api, sp := localAPI()
+	tick := 100 * sim.Millisecond
+	ctrl := NewController(k, api, "x", tick)
+	a := NewActuator(k, api, "solo", "x", tick)
+	ctrl.Start()
+	a.Start()
+	k.RunUntil(sim.Time(30 * sim.Second))
+	// With a 2-tick lease, at most ~2 heartbeats can be alive.
+	if n := sp.Count(stateTemplate("x")); n > 3 {
+		t.Fatalf("%d heartbeats accumulated", n)
+	}
+}
+
+func TestActuatorStateString(t *testing.T) {
+	if StateOperating.String() != "operating" || StateBackup.String() != "backup" ||
+		StateIdle.String() != "idle" || StateFailed.String() != "failed" {
+		t.Fatal("state names wrong")
+	}
+	if ActuatorState(9).String() != "unknown" {
+		t.Fatal("overflow state name wrong")
+	}
+}
+
+func TestRemoteSpaceAdapters(t *testing.T) {
+	// Exercise every adapter method through the wrapper.
+	k := sim.NewKernel(1)
+	sp := space.New(space.SimRuntime{K: k})
+	cliEnd, gwEnd := transport.NewSimPipe(k, 0)
+	wrapper.NewSimServerStack(k, gwEnd, sp, 0)
+	api := RemoteSpace{C: wrapper.NewClient(cliEnd)}
+
+	tp := tuple.New("t", tuple.Int("v", 1))
+	tmpl := tuple.New("t", tuple.AnyInt("v"))
+	var wrote, read, readIf, taken, takenIf bool
+	api.Write(tp, space.NoLease, func(ok bool) { wrote = ok })
+	api.Read(tmpl, sim.Forever, func(_ tuple.Tuple, ok bool) { read = ok })
+	api.ReadIfExists(tmpl, func(_ tuple.Tuple, ok bool) { readIf = ok })
+	api.Take(tmpl, sim.Forever, func(_ tuple.Tuple, ok bool) { taken = ok })
+	api.TakeIfExists(tmpl, func(_ tuple.Tuple, ok bool) { takenIf = !ok }) // now empty
+	k.Run()
+	if !wrote || !read || !readIf || !taken || !takenIf {
+		t.Fatalf("adapter ops: %v %v %v %v %v", wrote, read, readIf, taken, takenIf)
+	}
+}

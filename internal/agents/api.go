@@ -1,0 +1,99 @@
+// Package agents implements the factory-automation applications of
+// Section 2.1 of the paper on top of the tuplespace middleware: the
+// redundant-actuator fail-over protocol of Figure 1 and the
+// producer/consumer FFT service farm, plus the heartbeat plumbing
+// they share.
+//
+// Agents speak to the space through the narrow SpaceAPI interface, so
+// the same agent code runs against a local space (one process), a
+// space behind the XML/socket wrapper, or a space across the
+// co-simulated TpWIRE bus — the abstraction-of-infrastructure benefit
+// the paper attributes to tuplespaces.
+package agents
+
+import (
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/tuple"
+	"tpspace/internal/wrapper"
+)
+
+// SpaceAPI is the slice of tuplespace functionality agents need.
+// All operations are asynchronous; callbacks run in event context.
+type SpaceAPI interface {
+	// Write stores a tuple with a lease.
+	Write(t tuple.Tuple, lease sim.Duration, cb func(ok bool))
+	// Take removes a matching tuple, blocking up to timeout.
+	Take(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool))
+	// TakeIfExists removes a matching tuple without blocking.
+	TakeIfExists(tmpl tuple.Tuple, cb func(tuple.Tuple, bool))
+	// Read copies a matching tuple, blocking up to timeout.
+	Read(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool))
+	// ReadIfExists copies a matching tuple without blocking.
+	ReadIfExists(tmpl tuple.Tuple, cb func(tuple.Tuple, bool))
+}
+
+// LocalSpace adapts a *space.Space to SpaceAPI (agents co-located
+// with the server).
+type LocalSpace struct {
+	S *space.Space
+}
+
+// Write implements SpaceAPI.
+func (l LocalSpace) Write(t tuple.Tuple, lease sim.Duration, cb func(bool)) {
+	_, err := l.S.Write(t, lease)
+	cb(err == nil)
+}
+
+// Take implements SpaceAPI.
+func (l LocalSpace) Take(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
+	l.S.Take(tmpl, timeout, cb)
+}
+
+// TakeIfExists implements SpaceAPI.
+func (l LocalSpace) TakeIfExists(tmpl tuple.Tuple, cb func(tuple.Tuple, bool)) {
+	t, ok := l.S.TakeIfExists(tmpl)
+	cb(t, ok)
+}
+
+// Read implements SpaceAPI.
+func (l LocalSpace) Read(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
+	l.S.Read(tmpl, timeout, cb)
+}
+
+// ReadIfExists implements SpaceAPI.
+func (l LocalSpace) ReadIfExists(tmpl tuple.Tuple, cb func(tuple.Tuple, bool)) {
+	t, ok := l.S.ReadIfExists(tmpl)
+	cb(t, ok)
+}
+
+// RemoteSpace adapts a wrapper.Client to SpaceAPI (agents on boards,
+// reaching the server across a transport).
+type RemoteSpace struct {
+	C *wrapper.Client
+}
+
+// Write implements SpaceAPI.
+func (r RemoteSpace) Write(t tuple.Tuple, lease sim.Duration, cb func(bool)) {
+	r.C.Write(t, lease, func(ok bool, _ string) { cb(ok) })
+}
+
+// Take implements SpaceAPI.
+func (r RemoteSpace) Take(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
+	r.C.Take(tmpl, timeout, cb)
+}
+
+// TakeIfExists implements SpaceAPI.
+func (r RemoteSpace) TakeIfExists(tmpl tuple.Tuple, cb func(tuple.Tuple, bool)) {
+	r.C.TakeIfExists(tmpl, cb)
+}
+
+// Read implements SpaceAPI.
+func (r RemoteSpace) Read(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
+	r.C.Read(tmpl, timeout, cb)
+}
+
+// ReadIfExists implements SpaceAPI.
+func (r RemoteSpace) ReadIfExists(tmpl tuple.Tuple, cb func(tuple.Tuple, bool)) {
+	r.C.ReadIfExists(tmpl, cb)
+}

@@ -1,0 +1,244 @@
+package agents
+
+import (
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/tuple"
+)
+
+// Tuple types used by the fail-over protocol of Section 2.1.
+const (
+	// startTupleType marks the "an actuator should start" request the
+	// control agent writes at system startup (step 1).
+	startTupleType = "actuator-start"
+	// stateTupleType is the per-tick heartbeat the operating actuator
+	// writes ("something like: operating OK", step 3).
+	stateTupleType = "actuator-state"
+)
+
+// ActuatorState is an actuator agent's role.
+type ActuatorState int
+
+// Actuator roles.
+const (
+	// StateIdle means the agent has not yet competed for the start
+	// tuple.
+	StateIdle ActuatorState = iota
+	// StateOperating means the agent executes the actuator program
+	// and emits heartbeats.
+	StateOperating
+	// StateBackup means the agent monitors the operating actuator's
+	// heartbeats, ready to take over.
+	StateBackup
+	// StateFailed means the agent was killed (by failure injection).
+	StateFailed
+)
+
+var stateNames = [...]string{"idle", "operating", "backup", "failed"}
+
+// String returns the state's name.
+func (s ActuatorState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "unknown"
+}
+
+// startTuple is the request the controller writes; any actuator can
+// remove it (exactly one will).
+func startTuple(device string) tuple.Tuple {
+	return tuple.New(startTupleType, tuple.String("device", device))
+}
+
+// stateTuple is one heartbeat from the operating actuator.
+func stateTuple(device, actuator string) tuple.Tuple {
+	return tuple.New(stateTupleType,
+		tuple.String("device", device),
+		tuple.String("actuator", actuator),
+		tuple.String("status", "operating OK"),
+	)
+}
+
+// stateTemplate matches any heartbeat for the device.
+func stateTemplate(device string) tuple.Tuple {
+	return tuple.New(stateTupleType,
+		tuple.String("device", device),
+		tuple.AnyString("actuator"),
+		tuple.AnyString("status"),
+	)
+}
+
+// Actuator is one redundant actuator agent. Several actuators for the
+// same device compete for the start tuple: the winner operates, the
+// others stand by as backups and take over when heartbeats stop
+// (steps 2-4 of the paper's algorithm).
+type Actuator struct {
+	Name   string
+	Device string
+
+	kernel *sim.Kernel
+	api    SpaceAPI
+	tick   sim.Duration
+
+	state  ActuatorState
+	stopFn func()
+	// Ticks counts executed actuator program iterations.
+	Ticks uint64
+	// Takeovers counts backup->operating transitions.
+	Takeovers uint64
+	// MissedBeats counts consecutive heartbeat misses while backup.
+	MissedBeats int
+	// MissThreshold is how many consecutive missing heartbeats
+	// trigger the recovery procedure (default 2: one scheduling skew
+	// plus one real miss).
+	MissThreshold int
+	// OnTakeover, if set, observes recoveries.
+	OnTakeover func(at sim.Time)
+}
+
+// NewActuator creates an actuator agent for the named device.
+func NewActuator(k *sim.Kernel, api SpaceAPI, name, device string, tick sim.Duration) *Actuator {
+	return &Actuator{
+		Name: name, Device: device,
+		kernel: k, api: api, tick: tick,
+		MissThreshold: 2,
+	}
+}
+
+// State reports the agent's current role.
+func (a *Actuator) State() ActuatorState { return a.state }
+
+// Start enters the protocol: the agent tries to remove the start
+// tuple (step 2); success makes it operating, failure backup.
+func (a *Actuator) Start() {
+	a.api.TakeIfExists(startTuple(a.Device), func(_ tuple.Tuple, won bool) {
+		if a.state == StateFailed {
+			return
+		}
+		if won {
+			a.becomeOperating()
+		} else {
+			a.becomeBackup()
+		}
+	})
+}
+
+func (a *Actuator) becomeOperating() {
+	a.state = StateOperating
+	a.stopLoop()
+	a.stopFn = a.kernel.Ticker("actuator.operate."+a.Name, a.tick, a.operateTick)
+}
+
+// operateTick is step 3: execute the actuator program semantics and
+// write a heartbeat. The heartbeat carries a lease of one tick so a
+// stale beat cannot satisfy the backup twice.
+func (a *Actuator) operateTick() {
+	if a.state != StateOperating {
+		return
+	}
+	a.Ticks++
+	a.api.Write(stateTuple(a.Device, a.Name), a.tick*2, func(bool) {})
+}
+
+func (a *Actuator) becomeBackup() {
+	a.state = StateBackup
+	a.MissedBeats = 0
+	a.stopLoop()
+	a.stopFn = a.kernel.Ticker("actuator.backup."+a.Name, a.tick, a.backupTick)
+}
+
+// backupTick is step 4: try to remove the heartbeat written by the
+// dual; repeated failure starts the recovery procedure.
+func (a *Actuator) backupTick() {
+	if a.state != StateBackup {
+		return
+	}
+	a.api.TakeIfExists(stateTemplate(a.Device), func(_ tuple.Tuple, ok bool) {
+		if a.state != StateBackup {
+			return
+		}
+		if ok {
+			a.MissedBeats = 0
+			return
+		}
+		a.MissedBeats++
+		if a.MissedBeats >= a.MissThreshold {
+			a.Takeovers++
+			if a.OnTakeover != nil {
+				a.OnTakeover(a.kernel.Now())
+			}
+			a.becomeOperating()
+		}
+	})
+}
+
+// Fail kills the agent (failure injection): it stops all activity,
+// never to return. The paper's scenario then expects the backup to
+// take over.
+func (a *Actuator) Fail() {
+	a.state = StateFailed
+	a.stopLoop()
+}
+
+// Stop halts the agent's loops without marking it failed.
+func (a *Actuator) Stop() { a.stopLoop() }
+
+func (a *Actuator) stopLoop() {
+	if a.stopFn != nil {
+		a.stopFn()
+		a.stopFn = nil
+	}
+}
+
+// Controller is the control agent of Figure 1: it requests an
+// actuator to start (step 1) and waits until the request tuple is
+// removed before entering its control loop.
+type Controller struct {
+	Device string
+
+	kernel *sim.Kernel
+	api    SpaceAPI
+	tick   sim.Duration
+
+	// Started reports when the control loop began (zero until then).
+	Started sim.Time
+	// LoopTicks counts control loop iterations.
+	LoopTicks uint64
+	stopFn    func()
+}
+
+// NewController creates the control agent for the named device.
+func NewController(k *sim.Kernel, api SpaceAPI, device string, tick sim.Duration) *Controller {
+	return &Controller{Device: device, kernel: k, api: api, tick: tick}
+}
+
+// Start writes the start tuple and polls for its removal; once an
+// actuator has taken it, the control loop begins.
+func (c *Controller) Start() {
+	c.api.Write(startTuple(c.Device), space.NoLease, func(ok bool) {
+		if !ok {
+			return
+		}
+		c.awaitPickup()
+	})
+}
+
+func (c *Controller) awaitPickup() {
+	c.api.ReadIfExists(startTuple(c.Device), func(_ tuple.Tuple, present bool) {
+		if present {
+			// Still unclaimed: poll again next tick.
+			c.kernel.ScheduleName("controller.poll", c.tick, c.awaitPickup)
+			return
+		}
+		c.Started = c.kernel.Now()
+		c.stopFn = c.kernel.Ticker("controller.loop", c.tick, func() { c.LoopTicks++ })
+	})
+}
+
+// Stop halts the control loop.
+func (c *Controller) Stop() {
+	if c.stopFn != nil {
+		c.stopFn()
+		c.stopFn = nil
+	}
+}

@@ -1,0 +1,234 @@
+package agents
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/tuple"
+)
+
+// This file implements the producer/consumer FFT offload farm the
+// paper uses to motivate tuplespace scalability (Section 2.1): low
+// performance nodes with no FPU put vectors into the space and
+// request their Fast Fourier Transform; high performance nodes with
+// FPU support take the requests, compute, and put results back. "The
+// overall system performance are clearly proportional to the number
+// of consumers."
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x, whose length must be a power of two.
+func FFT(x []complex128) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("agents: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// IFFT computes the inverse transform (normalised by 1/n).
+func IFFT(x []complex128) {
+	n := len(x)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	FFT(x)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) / complex(float64(n), 0)
+	}
+}
+
+// Tuple types of the FFT protocol.
+const (
+	fftReqType = "fft-req"
+	fftResType = "fft-res"
+)
+
+// encodeSamples packs real samples into bytes (big-endian float64).
+func encodeSamples(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.BigEndian.PutUint64(b[8*i:], math.Float64bits(f))
+	}
+	return b
+}
+
+// decodeSamples unpacks bytes into real samples.
+func decodeSamples(b []byte) []float64 {
+	v := make([]float64, len(b)/8)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+	}
+	return v
+}
+
+// encodeComplex packs a complex vector as interleaved re/im float64.
+func encodeComplex(v []complex128) []byte {
+	b := make([]byte, 16*len(v))
+	for i, c := range v {
+		binary.BigEndian.PutUint64(b[16*i:], math.Float64bits(real(c)))
+		binary.BigEndian.PutUint64(b[16*i+8:], math.Float64bits(imag(c)))
+	}
+	return b
+}
+
+// decodeComplex unpacks interleaved re/im float64 pairs.
+func decodeComplex(b []byte) []complex128 {
+	v := make([]complex128, len(b)/16)
+	for i := range v {
+		re := math.Float64frombits(binary.BigEndian.Uint64(b[16*i:]))
+		im := math.Float64frombits(binary.BigEndian.Uint64(b[16*i+8:]))
+		v[i] = complex(re, im)
+	}
+	return v
+}
+
+// reqTuple builds an FFT request.
+func reqTuple(id int64, samples []float64) tuple.Tuple {
+	return tuple.New(fftReqType,
+		tuple.Int("id", id),
+		tuple.Bytes("data", encodeSamples(samples)),
+	)
+}
+
+// anyReq matches any FFT request.
+func anyReq() tuple.Tuple {
+	return tuple.New(fftReqType, tuple.AnyInt("id"), tuple.AnyBytes("data"))
+}
+
+// resTemplate matches the result of a specific request.
+func resTemplate(id int64) tuple.Tuple {
+	return tuple.New(fftResType, tuple.Int("id", id), tuple.AnyBytes("data"))
+}
+
+// FFTConsumer is a high-performance node taking requests from the
+// space, transforming them, and writing results back.
+type FFTConsumer struct {
+	Name string
+	// Think is the simulated computation time per request (the node's
+	// "FPU speed").
+	Think sim.Duration
+
+	kernel *sim.Kernel
+	api    SpaceAPI
+
+	// Served counts completed requests.
+	Served  uint64
+	stopped bool
+}
+
+// NewFFTConsumer creates a consumer agent.
+func NewFFTConsumer(k *sim.Kernel, api SpaceAPI, name string, think sim.Duration) *FFTConsumer {
+	return &FFTConsumer{Name: name, Think: think, kernel: k, api: api}
+}
+
+// Start enters the take-compute-write loop.
+func (c *FFTConsumer) Start() { c.next() }
+
+// Stop ends the loop after the current request.
+func (c *FFTConsumer) Stop() { c.stopped = true }
+
+func (c *FFTConsumer) next() {
+	if c.stopped {
+		return
+	}
+	c.api.Take(anyReq(), sim.Forever, func(req tuple.Tuple, ok bool) {
+		if !ok || c.stopped {
+			return
+		}
+		id := req.Fields[0].Int
+		samples := decodeSamples(req.Fields[1].Bytes)
+		x := make([]complex128, len(samples))
+		for i, s := range samples {
+			x[i] = complex(s, 0)
+		}
+		FFT(x)
+		res := tuple.New(fftResType,
+			tuple.Int("id", id),
+			tuple.Bytes("data", encodeComplex(x)),
+		)
+		// The transform costs Think of simulated node time.
+		c.kernel.ScheduleName("fft.compute."+c.Name, c.Think, func() {
+			c.api.Write(res, space.NoLease, func(bool) {})
+			c.Served++
+			c.next()
+		})
+	})
+}
+
+// FFTProducer is a low-performance node offloading transforms to the
+// space and collecting the results.
+type FFTProducer struct {
+	Name string
+
+	kernel *sim.Kernel
+	api    SpaceAPI
+
+	nextID int64
+	// Completed counts collected results; Latencies accumulates
+	// request-to-result times.
+	Completed  uint64
+	TotalLat   sim.Duration
+	LastResult []complex128
+}
+
+// NewFFTProducer creates a producer agent.
+func NewFFTProducer(k *sim.Kernel, api SpaceAPI, name string) *FFTProducer {
+	return &FFTProducer{Name: name, kernel: k, api: api}
+}
+
+// Submit offloads one vector; cb (optional) receives the transform.
+func (p *FFTProducer) Submit(samples []float64, cb func([]complex128)) {
+	p.nextID++
+	id := p.nextID
+	start := p.kernel.Now()
+	p.api.Write(reqTuple(id, samples), space.NoLease, func(ok bool) {
+		if !ok {
+			return
+		}
+		p.api.Take(resTemplate(id), sim.Forever, func(res tuple.Tuple, ok bool) {
+			if !ok {
+				return
+			}
+			p.Completed++
+			p.TotalLat += p.kernel.Now().Sub(start)
+			p.LastResult = decodeComplex(res.Fields[1].Bytes)
+			if cb != nil {
+				cb(p.LastResult)
+			}
+		})
+	})
+}
+
+// MeanLatency reports the average offload round-trip time.
+func (p *FFTProducer) MeanLatency() sim.Duration {
+	if p.Completed == 0 {
+		return 0
+	}
+	return p.TotalLat / sim.Duration(p.Completed)
+}

@@ -1,0 +1,98 @@
+package agents
+
+import (
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/tuple"
+)
+
+// Monitor watches a device's heartbeats through the subscribe/notify
+// paradigm instead of polling takes: it subscribes to the operating
+// actuator's state tuples and raises an alarm tuple when they stop
+// arriving. The paper presents notify as the tuplespace's
+// event-driven alternative to polling (Section 2); this agent is that
+// alternative applied to the Figure 1 health-monitoring problem —
+// cheaper on the bus (no per-tick take traffic) at the price of
+// requiring a local timer.
+//
+// Monitor needs direct access to the space's Notify, so it runs
+// co-located with the server (monitors typically do); the alarm
+// tuples it writes are visible to any remote agent.
+type Monitor struct {
+	Device string
+	// Timeout is how long heartbeats may be absent before the alarm.
+	Timeout sim.Duration
+
+	kernel *sim.Kernel
+	sp     *space.Space
+
+	cancelSub func()
+	timer     *sim.Event
+	// Alarms counts raised alarms; OnAlarm observes them.
+	Alarms  uint64
+	OnAlarm func(at sim.Time)
+	// Beats counts observed heartbeats.
+	Beats uint64
+}
+
+// alarmTuple is the alarm record the monitor writes.
+func alarmTuple(device string) tuple.Tuple {
+	return tuple.New("actuator-alarm",
+		tuple.String("device", device),
+		tuple.String("reason", "heartbeats stopped"),
+	)
+}
+
+// AlarmTemplate matches alarms for the device (any device when empty).
+func AlarmTemplate(device string) tuple.Tuple {
+	devField := tuple.AnyString("device")
+	if device != "" {
+		devField = tuple.String("device", device)
+	}
+	return tuple.New("actuator-alarm", devField, tuple.AnyString("reason"))
+}
+
+// NewMonitor creates (but does not start) a heartbeat monitor.
+func NewMonitor(k *sim.Kernel, sp *space.Space, device string, timeout sim.Duration) *Monitor {
+	return &Monitor{Device: device, Timeout: timeout, kernel: k, sp: sp}
+}
+
+// Start subscribes to the device's heartbeats and arms the silence
+// timer.
+func (m *Monitor) Start() {
+	m.cancelSub = m.sp.Notify(stateTemplate(m.Device), func(tuple.Tuple) {
+		m.Beats++
+		m.rearm()
+	})
+	m.rearm()
+}
+
+func (m *Monitor) rearm() {
+	if m.timer != nil {
+		m.kernel.Cancel(m.timer)
+	}
+	m.timer = m.kernel.ScheduleName("monitor."+m.Device, m.Timeout, m.alarm)
+}
+
+func (m *Monitor) alarm() {
+	m.Alarms++
+	if m.OnAlarm != nil {
+		m.OnAlarm(m.kernel.Now())
+	}
+	// The alarm is itself a tuple: any agent (a pager, a PLC, the
+	// backup actuator) can take it associatively.
+	m.sp.Write(alarmTuple(m.Device), space.NoLease)
+	// Keep watching: a recovered device rearms on its next beat.
+}
+
+// Stop unsubscribes and disarms.
+func (m *Monitor) Stop() {
+	if m.cancelSub != nil {
+		m.cancelSub()
+		m.cancelSub = nil
+	}
+	if m.timer != nil {
+		m.kernel.Cancel(m.timer)
+		m.timer = nil
+	}
+}

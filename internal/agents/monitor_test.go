@@ -1,0 +1,124 @@
+package agents
+
+import (
+	"testing"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tuple"
+)
+
+func TestMonitorQuietWhileHealthy(t *testing.T) {
+	k, api, sp := localAPI()
+	tick := 100 * sim.Millisecond
+	ctrl := NewController(k, api, "fan", tick)
+	act := NewActuator(k, api, "a", "fan", tick)
+	mon := NewMonitor(k, sp, "fan", 5*tick)
+	ctrl.Start()
+	act.Start()
+	mon.Start()
+	k.RunUntil(sim.Time(30 * sim.Second))
+	if mon.Alarms != 0 {
+		t.Fatalf("alarms = %d with a healthy actuator", mon.Alarms)
+	}
+	if mon.Beats == 0 {
+		t.Fatal("monitor saw no heartbeats")
+	}
+	if sp.Count(AlarmTemplate("fan")) != 0 {
+		t.Fatal("alarm tuples present")
+	}
+}
+
+func TestMonitorAlarmsOnSilence(t *testing.T) {
+	k, api, sp := localAPI()
+	tick := 100 * sim.Millisecond
+	ctrl := NewController(k, api, "fan", tick)
+	act := NewActuator(k, api, "a", "fan", tick)
+	mon := NewMonitor(k, sp, "fan", 5*tick)
+	ctrl.Start()
+	act.Start()
+	mon.Start()
+	k.RunUntil(sim.Time(5 * sim.Second))
+
+	var alarmAt sim.Time
+	mon.OnAlarm = func(at sim.Time) { alarmAt = at }
+	failAt := k.Now()
+	act.Fail()
+	k.RunUntil(sim.Time(30 * sim.Second))
+	if mon.Alarms == 0 {
+		t.Fatal("no alarm after failure")
+	}
+	latency := alarmAt.Sub(failAt)
+	if latency > 7*tick {
+		t.Fatalf("alarm latency %v (> 7 ticks)", latency)
+	}
+	// The alarm is a takeable tuple.
+	if _, ok := sp.TakeIfExists(AlarmTemplate("fan")); !ok {
+		t.Fatal("alarm tuple not in the space")
+	}
+}
+
+func TestMonitorRecoversWithDevice(t *testing.T) {
+	// After an alarm, a new actuator coming up silences the monitor
+	// again (the subscription stays live and the timer rearms).
+	k, api, sp := localAPI()
+	tick := 100 * sim.Millisecond
+	ctrl := NewController(k, api, "fan", tick)
+	a1 := NewActuator(k, api, "a1", "fan", tick)
+	mon := NewMonitor(k, sp, "fan", 5*tick)
+	ctrl.Start()
+	a1.Start()
+	mon.Start()
+	k.RunUntil(sim.Time(3 * sim.Second))
+	a1.Fail()
+	k.RunUntil(sim.Time(6 * sim.Second))
+	if mon.Alarms == 0 {
+		t.Fatal("no alarm")
+	}
+	alarmsAtRecovery := mon.Alarms
+	// Replacement device: force it operating directly (it lost the
+	// original start-tuple race long ago).
+	a2 := NewActuator(k, api, "a2", "fan", tick)
+	a2.Start() // becomes backup (no start tuple), then takes over on misses
+	k.RunUntil(sim.Time(10 * sim.Second))
+	if a2.State() != StateOperating {
+		t.Fatalf("replacement state %v", a2.State())
+	}
+	beats := mon.Beats
+	k.RunUntil(sim.Time(20 * sim.Second))
+	if mon.Beats == beats {
+		t.Fatal("monitor not seeing the replacement's heartbeats")
+	}
+	if mon.Alarms != alarmsAtRecovery {
+		t.Fatalf("alarms kept firing after recovery: %d -> %d", alarmsAtRecovery, mon.Alarms)
+	}
+}
+
+func TestMonitorStop(t *testing.T) {
+	k, api, sp := localAPI()
+	tick := 100 * sim.Millisecond
+	NewController(k, api, "fan", tick).Start()
+	act := NewActuator(k, api, "a", "fan", tick)
+	act.Start()
+	mon := NewMonitor(k, sp, "fan", 5*tick)
+	mon.Start()
+	k.RunUntil(sim.Time(2 * sim.Second))
+	mon.Stop()
+	act.Fail()
+	k.RunUntil(sim.Time(10 * sim.Second))
+	if mon.Alarms != 0 {
+		t.Fatalf("stopped monitor alarmed %d times", mon.Alarms)
+	}
+}
+
+func TestAlarmTemplateWildcard(t *testing.T) {
+	tmpl := AlarmTemplate("")
+	data := alarmTuple("anything")
+	if !tmpl.Matches(data) {
+		t.Fatal("wildcard alarm template does not match")
+	}
+	specific := AlarmTemplate("fan")
+	if specific.Matches(data) {
+		t.Fatal("specific template matched wrong device")
+	}
+	_ = tuple.Tuple{}
+}

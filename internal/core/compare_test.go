@@ -1,0 +1,62 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+func TestCompareSubstratesOrdering(t *testing.T) {
+	rows := CompareSubstrates(DefaultCompareConfig())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]SubstrateResult{}
+	for _, r := range rows {
+		if r.Exchange <= 0 {
+			t.Fatalf("%s did not complete", r.Name)
+		}
+		byName[r.Name] = r
+	}
+	var eth, fast, slow SubstrateResult
+	for name, r := range byName {
+		switch {
+		case strings.Contains(name, "Ethernet"):
+			eth = r
+		case strings.Contains(name, "max speed"):
+			fast = r
+		case strings.Contains(name, "1200"):
+			slow = r
+		}
+	}
+	// Section 4.3's trade-off: Ethernet is fastest, TpWIRE at max
+	// speed is within the same order of usability, and the calibrated
+	// low-speed TpWIRE is orders of magnitude slower but still works.
+	if !(eth.Exchange < fast.Exchange && fast.Exchange < slow.Exchange) {
+		t.Fatalf("ordering violated: eth=%v fast=%v slow=%v",
+			eth.Exchange, fast.Exchange, slow.Exchange)
+	}
+	if slow.Exchange < 10*sim.Second {
+		t.Fatalf("calibrated TpWIRE implausibly fast: %v", slow.Exchange)
+	}
+	if eth.Exchange > 100*sim.Millisecond {
+		t.Fatalf("Ethernet implausibly slow: %v", eth.Exchange)
+	}
+	out := FormatComparison(rows)
+	for _, want := range []string{"Substrate comparison", "Ethernet", "TpWIRE", "switch"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareDeterministic(t *testing.T) {
+	a := CompareSubstrates(DefaultCompareConfig())
+	b := CompareSubstrates(DefaultCompareConfig())
+	for i := range a {
+		if a[i].Exchange != b[i].Exchange {
+			t.Fatalf("row %d: %v vs %v", i, a[i].Exchange, b[i].Exchange)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"tpspace/internal/netsim"
+	"tpspace/internal/sim"
+	"tpspace/internal/tpwire"
+)
+
+// NS2Model is the packet-level TpWIRE transaction model, built the
+// way the paper built its own inside NS-2: "it has been implemented
+// by defining a new agent object TpWIRE Agent; nodes on the bus are
+// connected through a link, using the TpWIRE bandwidth and the
+// relative real-time specifications. Agents build TX and RX packets
+// and put them on the link."
+//
+// Having two independent models of the same bus — this packet-level
+// one and the frame-accurate chain in package tpwire — lets the
+// methodology cross-validate them against each other, exactly as the
+// paper validates its NS-2 model against the hardware.
+type NS2Model struct {
+	Cfg tpwire.Config
+	// SlavePos is the chain position of the responding slave.
+	SlavePos int
+
+	kernel *sim.Kernel
+	net    *netsim.Network
+	master *netsim.Node
+	slave  *netsim.Node
+	up     *netsim.Link
+	down   *netsim.Link
+
+	completed int
+	target    int
+	doneAt    sim.Time
+}
+
+// NewNS2Model builds the two-node topology (master agent, slave
+// agent) over one link pair with the TpWIRE bandwidth and timing.
+func NewNS2Model(k *sim.Kernel, cfg tpwire.Config, slavePos int) *NS2Model {
+	if err := cfg.Normalize(); err != nil {
+		panic(err)
+	}
+	m := &NS2Model{Cfg: cfg, SlavePos: slavePos, kernel: k}
+	m.net = netsim.New(k)
+	m.master = m.net.NewNode("master")
+	m.slave = m.net.NewNode("slave")
+	// Packet sizes are expressed in bits, so the link bandwidth is
+	// the raw bit rate and serialization time comes out exact.
+	prop := cfg.Bits(cfg.HopBits * (slavePos + 1))
+	m.down = m.net.Connect(m.master, m.slave, cfg.BitRate, prop, 0)
+	m.up = m.net.Connect(m.slave, m.master, cfg.BitRate, prop, 0)
+
+	m.slave.Attach(netsim.AgentFunc(func(p *netsim.Packet) {
+		// The slave agent executes after its processing delay plus
+		// turnaround, then builds the RX packet.
+		m.kernel.ScheduleName("ns2model.exec",
+			cfg.Bits(cfg.ProcBits+cfg.TurnaroundBits), func() {
+				m.net.Send(&netsim.Packet{Src: m.slave, Dst: m.master, Size: cfg.FrameBits()})
+			})
+	}))
+	m.master.Attach(netsim.AgentFunc(func(p *netsim.Packet) {
+		m.completed++
+		if m.completed >= m.target {
+			m.doneAt = k.Now()
+			return
+		}
+		m.sendTX()
+	}))
+	return m
+}
+
+// sendTX launches one TX packet after the interframe gap.
+func (m *NS2Model) sendTX() {
+	m.kernel.ScheduleName("ns2model.gap", m.Cfg.Bits(m.Cfg.GapBits), func() {
+		m.net.Send(&netsim.Packet{Src: m.master, Dst: m.slave, Size: m.Cfg.FrameBits()})
+	})
+}
+
+// RunTransactions completes n back-to-back TX/RX exchanges and
+// returns the elapsed simulated time.
+func (m *NS2Model) RunTransactions(n int) sim.Duration {
+	m.target = n
+	m.completed = 0
+	start := m.kernel.Now()
+	m.sendTX()
+	m.kernel.Run()
+	return m.doneAt.Sub(start)
+}
+
+// CrossValidate runs n ping transactions on both models — the
+// packet-level NS2Model and the frame-accurate tpwire chain — and
+// returns both times. Agreement between them is the reproduction of
+// the paper's model-validation step with the simulator standing on
+// both sides.
+func CrossValidate(cfg tpwire.Config, slavePos, n int) (packetLevel, frameAccurate sim.Duration) {
+	if err := cfg.Normalize(); err != nil {
+		panic(err)
+	}
+	// Packet-level model.
+	k1 := sim.NewKernel(1)
+	packetLevel = NewNS2Model(k1, cfg, slavePos).RunTransactions(n)
+
+	// Frame-accurate model: back-to-back pings to the slave at the
+	// requested position.
+	k2 := sim.NewKernel(1)
+	chain := tpwire.NewChain(k2, cfg)
+	for i := 0; i <= slavePos; i++ {
+		chain.AddSlave(uint8(i + 1))
+	}
+	target := uint8(slavePos + 1)
+	// Prime addressing outside the measured window.
+	chain.Master().Ping(target, func(uint8, bool, bool, error) {})
+	k2.RunUntil(k2.Now().Add(cfg.Bits(1024)))
+	start := k2.Now()
+	var doneAt sim.Time
+	for i := 0; i < n; i++ {
+		chain.Master().Ping(target, func(uint8, bool, bool, error) { doneAt = k2.Now() })
+	}
+	k2.RunUntil(start.Add(sim.Duration(n+16) * cfg.Bits(64)))
+	frameAccurate = doneAt.Sub(start)
+	return packetLevel, frameAccurate
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tpwire"
+)
+
+func TestCrossValidateModelsAgreeExactly(t *testing.T) {
+	// The packet-level (NS-2-style) and frame-accurate models of the
+	// same bus must time identical transaction schedules identically.
+	for _, wires := range []int{1, 2} {
+		for _, pos := range []int{0, 2} {
+			cfg := tpwire.Config{BitRate: 100_000, Wires: wires}
+			pkt, frm := CrossValidate(cfg, pos, 50)
+			if pkt != frm {
+				t.Fatalf("wires=%d pos=%d: packet-level %v != frame-accurate %v",
+					wires, pos, pkt, frm)
+			}
+			if pkt <= 0 {
+				t.Fatalf("wires=%d pos=%d: no time elapsed", wires, pos)
+			}
+		}
+	}
+}
+
+func TestNS2ModelLinearInTransactions(t *testing.T) {
+	cfg := tpwire.Config{BitRate: 1_000_000}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	run := func(n int) float64 {
+		k := newKernelForTest()
+		return float64(NewNS2Model(k, cfg, 1).RunTransactions(n))
+	}
+	t10, t100 := run(10), run(100)
+	if ratio := t100 / t10; ratio < 9.9 || ratio > 10.1 {
+		t.Fatalf("100 txns took %.3fx of 10 txns", ratio)
+	}
+}
+
+func TestNS2ModelFasterOnTwoWires(t *testing.T) {
+	one := tpwire.Config{BitRate: 100_000, Wires: 1}
+	two := tpwire.Config{BitRate: 100_000, Wires: 2}
+	p1, _ := CrossValidate(one, 1, 20)
+	p2, _ := CrossValidate(two, 1, 20)
+	if p2 >= p1 {
+		t.Fatalf("2-wire (%v) not faster than 1-wire (%v)", p2, p1)
+	}
+}
+
+// newKernelForTest isolates kernel construction for the linearity
+// test.
+func newKernelForTest() *sim.Kernel { return sim.NewKernel(1) }

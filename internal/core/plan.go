@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"tpspace/internal/sim"
+)
+
+// The paper's closing claim is that the methodology "gave enough
+// information to plan the complete development of the bus and the
+// tuplespace". This file turns that sentence into an API: given the
+// application's requirements (entry size, background traffic, lease
+// budget), search the design space (bit rate, wire count) for the
+// cheapest bus that carries the tuplespace reliably.
+
+// Requirements describes what the application asks of the bus.
+type Requirements struct {
+	// PayloadBytes is the entry payload the clients exchange.
+	PayloadBytes int
+	// CBRRate is the background traffic the bus must absorb (B/s of
+	// 1-byte packets, as in Table 4).
+	CBRRate float64
+	// Lease is the entry lifetime the take must beat.
+	Lease sim.Duration
+	// TakeDelay is how long after the write the take is issued.
+	TakeDelay sim.Duration
+	// Margin demands the exchange complete this long before the lease
+	// lapses (headroom against jitter the simulation cannot see).
+	Margin sim.Duration
+}
+
+// DefaultRequirements mirrors the Table 4 case study at its most
+// demanding row (CBR 1 B/s).
+func DefaultRequirements() Requirements {
+	return Requirements{
+		PayloadBytes: 24,
+		CBRRate:      1,
+		Lease:        160 * sim.Second,
+		TakeDelay:    85 * sim.Second,
+		Margin:       10 * sim.Second,
+	}
+}
+
+// PlanOption is one evaluated design point.
+type PlanOption struct {
+	BitRate float64
+	Wires   int
+	// Feasible reports whether the exchange met the lease with the
+	// demanded margin.
+	Feasible bool
+	// Completion is the measured exchange time (0 if out of time).
+	Completion sim.Duration
+}
+
+// Plan is the planner's answer: the cheapest feasible design point
+// and the full exploration trace.
+type Plan struct {
+	Requirements Requirements
+	// Recommended is the cheapest feasible option (lowest wire count,
+	// then lowest bit rate), if any.
+	Recommended *PlanOption
+	// Explored lists every evaluated point, in evaluation order.
+	Explored []PlanOption
+}
+
+// candidateRates is the programmable-speed ladder of the TpWIRE
+// transceiver, up to the specified 1 Mbyte/s maximum.
+var candidateRates = []float64{1200, 2400, 4800, 9600, 19_200, 57_600,
+	115_200, 500_000, 1_000_000, 8_000_000}
+
+// PlanBus explores wire counts and the bit-rate ladder, re-running
+// the Figure 7 co-simulation at each point, and returns the cheapest
+// feasible configuration. Cost order: fewer wires always beats a
+// slower clock (extra wires are extra copper and transceivers on
+// every segment), and within a wire count slower clocks are cheaper
+// (relaxed drivers, longer cables).
+func PlanBus(req Requirements) Plan {
+	def := DefaultRequirements()
+	if req.PayloadBytes == 0 {
+		req.PayloadBytes = def.PayloadBytes
+	}
+	if req.Lease == 0 {
+		req.Lease = def.Lease
+	}
+	if req.TakeDelay == 0 {
+		req.TakeDelay = def.TakeDelay
+	}
+	plan := Plan{Requirements: req}
+	deadline := req.TakeDelay + req.Lease - req.Margin
+
+	for _, wires := range []int{1, 2, 4} {
+		for _, rate := range candidateRates {
+			opt := evaluate(req, rate, wires, deadline)
+			plan.Explored = append(plan.Explored, opt)
+			if opt.Feasible {
+				o := opt
+				plan.Recommended = &o
+				return plan
+			}
+		}
+	}
+	return plan
+}
+
+func evaluate(req Requirements, rate float64, wires int, deadline sim.Duration) PlanOption {
+	cfg := DefaultImpactConfig()
+	cfg.Bus.BitRate = rate
+	cfg.Wires = wires
+	cfg.CBRRate = req.CBRRate
+	cfg.PayloadBytes = req.PayloadBytes
+	cfg.Lease = req.Lease
+	cfg.TakeDelay = req.TakeDelay
+	cfg.Horizon = sim.Duration(float64(req.TakeDelay+req.Lease) * 3)
+	res := RunImpact(cfg)
+	opt := PlanOption{BitRate: rate, Wires: wires}
+	if res.TakeOK {
+		opt.Completion = res.Total
+		opt.Feasible = res.Total <= deadline
+	}
+	return opt
+}
+
+// Format renders the plan for cmd/tpbench -plan.
+func (p Plan) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bus plan for payload %dB, CBR %g B/s, lease %v (margin %v)\n",
+		p.Requirements.PayloadBytes, p.Requirements.CBRRate,
+		p.Requirements.Lease, p.Requirements.Margin)
+	for _, o := range p.Explored {
+		cell := "out of time"
+		if o.Completion > 0 {
+			cell = o.Completion.String()
+			if !o.Feasible {
+				cell += " (misses margin)"
+			}
+		}
+		fmt.Fprintf(&b, "  %d-wire @ %8.0f bit/s: %s\n", o.Wires, o.BitRate, cell)
+	}
+	if p.Recommended != nil {
+		fmt.Fprintf(&b, "recommended: %d-wire @ %.0f bit/s (completes in %v)\n",
+			p.Recommended.Wires, p.Recommended.BitRate, p.Recommended.Completion)
+	} else {
+		fmt.Fprintln(&b, "no feasible configuration in the explored space")
+	}
+	return b.String()
+}

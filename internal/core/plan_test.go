@@ -1,0 +1,69 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+func TestPlanBusFindsFeasiblePoint(t *testing.T) {
+	plan := PlanBus(DefaultRequirements())
+	if plan.Recommended == nil {
+		t.Fatalf("no feasible plan found; explored %d points", len(plan.Explored))
+	}
+	r := plan.Recommended
+	if !r.Feasible || r.Completion == 0 {
+		t.Fatalf("recommended point inconsistent: %+v", r)
+	}
+	// The calibrated Table 4 point (1-wire @ 1200, CBR 1 B/s) is out
+	// of time, so the recommendation must be strictly better.
+	if r.Wires == 1 && r.BitRate <= 1200 {
+		t.Fatalf("planner recommended the known-infeasible point: %+v", r)
+	}
+	// The first explored point is the cheapest (1-wire @ 1200) and
+	// must be infeasible under CBR 1 B/s.
+	if plan.Explored[0].Feasible {
+		t.Fatal("cheapest point unexpectedly feasible")
+	}
+}
+
+func TestPlanPrefersFewerWires(t *testing.T) {
+	// A light requirement is satisfiable on one wire; the planner
+	// must not reach for more copper.
+	req := DefaultRequirements()
+	req.CBRRate = 0
+	plan := PlanBus(req)
+	if plan.Recommended == nil || plan.Recommended.Wires != 1 {
+		t.Fatalf("plan %+v", plan.Recommended)
+	}
+}
+
+func TestPlanRespectsMargin(t *testing.T) {
+	// Tightening the margin can only push the recommendation up the
+	// ladder (or keep it).
+	loose := DefaultRequirements()
+	loose.Margin = 0
+	tight := DefaultRequirements()
+	tight.Margin = 60 * sim.Second
+	pl := PlanBus(loose)
+	pt := PlanBus(tight)
+	if pl.Recommended == nil || pt.Recommended == nil {
+		t.Fatal("plans infeasible")
+	}
+	cost := func(o *PlanOption) float64 { return float64(o.Wires)*1e9 + o.BitRate }
+	if cost(pt.Recommended) < cost(pl.Recommended) {
+		t.Fatalf("tighter margin yielded cheaper plan: %+v vs %+v",
+			pt.Recommended, pl.Recommended)
+	}
+}
+
+func TestPlanFormat(t *testing.T) {
+	plan := PlanBus(DefaultRequirements())
+	out := plan.Format()
+	for _, want := range []string{"Bus plan", "recommended:", "-wire @"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"net"
+	"testing"
+
+	"tpspace/internal/agents"
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/tpwire"
+	"tpspace/internal/transport"
+	"tpspace/internal/tuple"
+	"tpspace/internal/wrapper"
+)
+
+// TestFailoverOverTpWIREBus runs the Figure 1 fail-over protocol with
+// every agent on its own TpWIRE slave, the space server behind a
+// fourth slave, and all tuples crossing the simulated bus — the full
+// stack under the paper's motivating application.
+func TestFailoverOverTpWIREBus(t *testing.T) {
+	k := sim.NewKernel(1)
+	chain := tpwire.NewChain(k, tpwire.Config{BitRate: 1_000_000})
+	for _, id := range []uint8{1, 2, 3, 4} {
+		chain.AddSlave(id)
+	}
+	poller := tpwire.NewPoller(chain, []uint8{1, 2, 3, 4}, 0)
+	poller.Start()
+
+	sp := space.New(space.SimRuntime{K: k})
+	srvMB := tpwire.NewMailboxDevice(nil)
+	chain.Slave(4).SetDevice(srvMB)
+
+	// The three agents each live on their own slave and address the
+	// shared server mailbox on slave 4; the mailbox mux demultiplexes
+	// by source node, one gateway stack per peer.
+	mux := transport.NewMailboxMux(srvMB)
+	for _, peer := range []uint8{1, 2, 3} {
+		wrapper.NewSimServerStack(k, mux.Conn(peer), sp, 0)
+	}
+
+	mkMuxAPI := func(clientID uint8) agents.SpaceAPI {
+		cliMB := tpwire.NewMailboxDevice(nil)
+		chain.Slave(clientID).SetDevice(cliMB)
+		cliConn := transport.NewMailboxConn(cliMB, 4)
+		return agents.RemoteSpace{C: wrapper.NewClient(cliConn)}
+	}
+
+	tick := 200 * sim.Millisecond
+	ctrl := agents.NewController(k, mkMuxAPI(1), "press", tick)
+	primary := agents.NewActuator(k, mkMuxAPI(2), "A", "press", tick)
+	backup := agents.NewActuator(k, mkMuxAPI(3), "B", "press", tick)
+	// Bus latencies skew agent timing; allow a deeper miss threshold.
+	backup.MissThreshold = 3
+
+	ctrl.Start()
+	k.Schedule(50*sim.Millisecond, primary.Start)
+	k.Schedule(100*sim.Millisecond, backup.Start)
+
+	k.RunUntil(sim.Time(5 * sim.Second))
+	if primary.State() != agents.StateOperating || backup.State() != agents.StateBackup {
+		t.Fatalf("roles over the bus: %v / %v", primary.State(), backup.State())
+	}
+	if ctrl.Started == 0 {
+		t.Fatal("controller never started over the bus")
+	}
+
+	primary.Fail()
+	k.RunUntil(sim.Time(30 * sim.Second))
+	if backup.State() != agents.StateOperating {
+		t.Fatalf("backup state = %v after primary failure", backup.State())
+	}
+	if chain.Stats().TXFrames == 0 {
+		t.Fatal("no bus traffic")
+	}
+}
+
+// TestSpaceServerOverRealTCP exercises the wall-clock deployment end
+// to end: a TCP spaceserver stack, two OS-socket clients, blocking
+// operations and notify across the network stack.
+func TestSpaceServerOverRealTCP(t *testing.T) {
+	sp := space.New(space.NewRealRuntime())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wrapper.NewServerStack(transport.NewTCPConn(nc), sp)
+		}
+	}()
+
+	dial := func() *wrapper.Client {
+		conn, err := transport.Dial(ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wrapper.NewClient(conn)
+	}
+	producer := dial()
+	consumer := dial()
+
+	// Blocking take on one connection satisfied by a write on the
+	// other.
+	type res struct {
+		t  tuple.Tuple
+		ok bool
+	}
+	done := make(chan res, 1)
+	go func() {
+		tmpl := tuple.New("job", tuple.AnyString("op"), tuple.AnyInt("n"))
+		got, ok := consumer.TakeWait(tmpl, sim.Duration(10*sim.Second))
+		done <- res{got, ok}
+	}()
+	if err := producer.WriteWait(
+		tuple.New("job", tuple.String("op", "fft"), tuple.Int("n", 512)),
+		space.NoLease); err != nil {
+		t.Fatal(err)
+	}
+	r := <-done
+	if !r.ok || r.t.Fields[1].Int != 512 {
+		t.Fatalf("cross-connection take: %v %v", r.t, r.ok)
+	}
+
+	// Notify across TCP.
+	events := make(chan tuple.Tuple, 1)
+	subOK := make(chan bool, 1)
+	consumer.Notify(tuple.New("alarm", tuple.AnyString("w")),
+		func(tp tuple.Tuple) { events <- tp },
+		func(ok bool) { subOK <- ok })
+	if !<-subOK {
+		t.Fatal("subscription failed")
+	}
+	if err := producer.WriteWait(tuple.New("alarm", tuple.String("w", "hot")), space.NoLease); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-events
+	if ev.Fields[0].Str != "hot" {
+		t.Fatalf("event %v", ev)
+	}
+}

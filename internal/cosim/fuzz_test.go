@@ -1,0 +1,41 @@
+package cosim
+
+import "testing"
+
+// FuzzRSPDecode checks packet framing never panics and round-trips
+// what it accepts.
+func FuzzRSPDecode(f *testing.F) {
+	f.Add([]byte("$m10,4#f8"))
+	f.Add(RSPEncode([]byte("g")))
+	f.Add([]byte("$#00"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		payload, err := RSPDecode(pkt)
+		if err != nil {
+			return
+		}
+		re, err := RSPDecode(RSPEncode(payload))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if string(re) != string(payload) {
+			t.Fatalf("round trip diverged: %q vs %q", re, payload)
+		}
+	})
+}
+
+// FuzzRSPStubHandle checks the command interpreter never panics on
+// arbitrary command payloads and never writes outside target memory.
+func FuzzRSPStubHandle(f *testing.F) {
+	f.Add([]byte("m0,10"))
+	f.Add([]byte("M0,2:beef"))
+	f.Add([]byte("Gzz"))
+	f.Add([]byte("m10,ffffffff"))
+	f.Add([]byte("?"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, cmd []byte) {
+		stub := NewRSPStub(NewRSPTarget(64))
+		_ = stub.Handle(cmd) // must not panic
+	})
+}

@@ -1,0 +1,104 @@
+package cosim
+
+import "fmt"
+
+// Ring is a single-producer single-consumer byte ring buffer, the
+// software shape of the UNIX shared-memory segments that connect the
+// SystemC SC1/SC2 processes with the NS-2 bus model in Figure 5. It
+// carries length-framed messages so whole packets cross the domain
+// boundary atomically.
+type Ring struct {
+	buf        []byte
+	head, tail int // head = read position, tail = write position
+	size       int // bytes currently stored
+	onData     func()
+}
+
+// NewRing allocates a ring of the given capacity in bytes.
+func NewRing(capacity int) *Ring {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Ring{buf: make([]byte, capacity)}
+}
+
+// Cap returns the ring capacity in bytes.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the bytes currently buffered.
+func (r *Ring) Len() int { return r.size }
+
+// Free returns the bytes available for writing.
+func (r *Ring) Free() int { return len(r.buf) - r.size }
+
+// SetOnData installs a callback fired after every successful Push —
+// the "doorbell" the consuming domain polls or wires to an event.
+func (r *Ring) SetOnData(fn func()) { r.onData = fn }
+
+// push appends raw bytes; caller checked capacity.
+func (r *Ring) push(p []byte) {
+	for _, b := range p {
+		r.buf[r.tail] = b
+		r.tail = (r.tail + 1) % len(r.buf)
+	}
+	r.size += len(p)
+}
+
+// pop removes n raw bytes; caller checked availability.
+func (r *Ring) pop(n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[r.head]
+		r.head = (r.head + 1) % len(r.buf)
+	}
+	r.size -= n
+	return out
+}
+
+// Push writes one length-framed message; it reports false (without
+// side effects) when the ring lacks space for the frame.
+func (r *Ring) Push(msg []byte) bool {
+	need := 4 + len(msg)
+	if r.Free() < need {
+		return false
+	}
+	var hdr [4]byte
+	hdr[0] = byte(len(msg) >> 24)
+	hdr[1] = byte(len(msg) >> 16)
+	hdr[2] = byte(len(msg) >> 8)
+	hdr[3] = byte(len(msg))
+	r.push(hdr[:])
+	r.push(msg)
+	if r.onData != nil {
+		r.onData()
+	}
+	return true
+}
+
+// Pop removes and returns the next framed message, or ok=false when
+// no complete frame is buffered.
+func (r *Ring) Pop() ([]byte, bool) {
+	if r.size < 4 {
+		return nil, false
+	}
+	// Peek the header without consuming.
+	h := r.head
+	n := 0
+	for i := 0; i < 4; i++ {
+		n = n<<8 | int(r.buf[h])
+		h = (h + 1) % len(r.buf)
+	}
+	if n < 0 || r.size < 4+n {
+		return nil, false
+	}
+	r.pop(4)
+	return r.pop(n), true
+}
+
+// MustPush panics when the ring overflows; used where scenario sizing
+// guarantees capacity and silent loss would corrupt a co-simulation.
+func (r *Ring) MustPush(msg []byte) {
+	if !r.Push(msg) {
+		panic(fmt.Sprintf("cosim: ring overflow (%d free, %d needed)", r.Free(), 4+len(msg)))
+	}
+}

@@ -1,0 +1,211 @@
+package cosim
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements a minimal GDB Remote Serial Protocol, the
+// interface the paper uses between the SystemC SC1 process and the
+// C++ client executing on the Theseus board ("the communication is
+// realized through an interface based on the remote debugging
+// features of gdb"). Packets are '$' <data> '#' <2-hex checksum>,
+// acknowledged with '+' or '-'.
+
+// RSPChecksum computes the modulo-256 sum of the payload bytes.
+func RSPChecksum(data []byte) byte {
+	var sum byte
+	for _, b := range data {
+		sum += b
+	}
+	return sum
+}
+
+// RSPEncode frames a payload into a $...#xx packet.
+func RSPEncode(data []byte) []byte {
+	out := make([]byte, 0, len(data)+4)
+	out = append(out, '$')
+	out = append(out, data...)
+	out = append(out, '#')
+	return append(out, []byte(fmt.Sprintf("%02x", RSPChecksum(data)))...)
+}
+
+// RSPDecode validates a framed packet and returns its payload.
+func RSPDecode(pkt []byte) ([]byte, error) {
+	if len(pkt) < 4 || pkt[0] != '$' || pkt[len(pkt)-3] != '#' {
+		return nil, fmt.Errorf("cosim: malformed RSP packet %q", pkt)
+	}
+	payload := pkt[1 : len(pkt)-3]
+	want, err := strconv.ParseUint(string(pkt[len(pkt)-2:]), 16, 8)
+	if err != nil {
+		return nil, fmt.Errorf("cosim: bad RSP checksum field %q", pkt[len(pkt)-2:])
+	}
+	if byte(want) != RSPChecksum(payload) {
+		return nil, fmt.Errorf("cosim: RSP checksum mismatch (want %02x, got %02x)",
+			want, RSPChecksum(payload))
+	}
+	return payload, nil
+}
+
+// RSPTarget is the debug view of the board the stub controls: a flat
+// memory and a small register file, plus run control.
+type RSPTarget struct {
+	Mem     []byte
+	Regs    [16]uint32
+	Running bool
+	// Steps counts single-step commands, Continues resume commands.
+	Steps, Continues uint64
+}
+
+// NewRSPTarget allocates a target with the given memory size.
+func NewRSPTarget(memSize int) *RSPTarget {
+	return &RSPTarget{Mem: make([]byte, memSize)}
+}
+
+// RSPStub services RSP commands against a target, as the SC1 process
+// does for the board client.
+type RSPStub struct {
+	T *RSPTarget
+	// Handled counts serviced packets.
+	Handled uint64
+}
+
+// NewRSPStub wraps a target.
+func NewRSPStub(t *RSPTarget) *RSPStub { return &RSPStub{T: t} }
+
+// Handle services one decoded command payload and returns the reply
+// payload (to be framed by RSPEncode). Unknown commands return the
+// empty reply, as the protocol specifies.
+func (s *RSPStub) Handle(cmd []byte) []byte {
+	s.Handled++
+	if len(cmd) == 0 {
+		return nil
+	}
+	c := string(cmd)
+	switch {
+	case c == "?":
+		return []byte("S05") // stopped by SIGTRAP
+	case c == "g":
+		var sb strings.Builder
+		for _, r := range s.T.Regs {
+			// Little-endian per-register hex, as gdb expects.
+			sb.WriteString(fmt.Sprintf("%02x%02x%02x%02x",
+				byte(r), byte(r>>8), byte(r>>16), byte(r>>24)))
+		}
+		return []byte(sb.String())
+	case c[0] == 'G':
+		raw, err := hex.DecodeString(c[1:])
+		if err != nil || len(raw) < len(s.T.Regs)*4 {
+			return []byte("E01")
+		}
+		for i := range s.T.Regs {
+			s.T.Regs[i] = uint32(raw[4*i]) | uint32(raw[4*i+1])<<8 |
+				uint32(raw[4*i+2])<<16 | uint32(raw[4*i+3])<<24
+		}
+		return []byte("OK")
+	case c[0] == 'm':
+		addr, n, ok := parseAddrLen(c[1:])
+		if !ok || addr+n > len(s.T.Mem) {
+			return []byte("E01")
+		}
+		return []byte(hex.EncodeToString(s.T.Mem[addr : addr+n]))
+	case c[0] == 'M':
+		colon := strings.IndexByte(c, ':')
+		if colon < 0 {
+			return []byte("E01")
+		}
+		addr, n, ok := parseAddrLen(c[1:colon])
+		if !ok || addr+n > len(s.T.Mem) {
+			return []byte("E01")
+		}
+		raw, err := hex.DecodeString(c[colon+1:])
+		if err != nil || len(raw) != n {
+			return []byte("E01")
+		}
+		copy(s.T.Mem[addr:], raw)
+		return []byte("OK")
+	case c[0] == 'c':
+		s.T.Running = true
+		s.T.Continues++
+		return []byte("OK")
+	case c[0] == 's':
+		s.T.Steps++
+		return []byte("S05")
+	}
+	return nil // unsupported -> empty response
+}
+
+// parseAddrLen parses "addr,len" in hex.
+func parseAddrLen(s string) (addr, n int, ok bool) {
+	comma := strings.IndexByte(s, ',')
+	if comma < 0 {
+		return 0, 0, false
+	}
+	a, err1 := strconv.ParseUint(s[:comma], 16, 32)
+	l, err2 := strconv.ParseUint(s[comma+1:], 16, 32)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return int(a), int(l), true
+}
+
+// RSPClient issues commands against a stub through the packet framing
+// (the debugger side). Transport is a synchronous function so the
+// client composes with rings and bridges.
+type RSPClient struct {
+	// Exchange sends one framed packet and returns the framed reply.
+	Exchange func(pkt []byte) ([]byte, error)
+}
+
+// call frames, exchanges and validates one command.
+func (c *RSPClient) call(cmd string) ([]byte, error) {
+	reply, err := c.Exchange(RSPEncode([]byte(cmd)))
+	if err != nil {
+		return nil, err
+	}
+	return RSPDecode(reply)
+}
+
+// ReadMem reads n bytes at addr from the target.
+func (c *RSPClient) ReadMem(addr, n int) ([]byte, error) {
+	p, err := c.call(fmt.Sprintf("m%x,%x", addr, n))
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(string(p), "E") {
+		return nil, fmt.Errorf("cosim: target error %s", p)
+	}
+	return hex.DecodeString(string(p))
+}
+
+// WriteMem writes p at addr on the target.
+func (c *RSPClient) WriteMem(addr int, p []byte) error {
+	r, err := c.call(fmt.Sprintf("M%x,%x:%s", addr, len(p), hex.EncodeToString(p)))
+	if err != nil {
+		return err
+	}
+	if string(r) != "OK" {
+		return fmt.Errorf("cosim: target error %s", r)
+	}
+	return nil
+}
+
+// Continue resumes the target.
+func (c *RSPClient) Continue() error {
+	_, err := c.call("c")
+	return err
+}
+
+// Step single-steps the target.
+func (c *RSPClient) Step() error {
+	_, err := c.call("s")
+	return err
+}
+
+// Status queries the stop reason.
+func (c *RSPClient) Status() (string, error) {
+	p, err := c.call("?")
+	return string(p), err
+}

@@ -1,0 +1,65 @@
+package cosim
+
+import (
+	"errors"
+	"sync"
+
+	"tpspace/internal/transport"
+)
+
+// RSPServer serves GDB remote-serial-protocol packets arriving on a
+// transport connection against a target — the role the SC1 process
+// plays for the board client in Figure 5. Each received message is
+// one framed packet; the reply is sent back on the same connection
+// (the '+' acknowledgements of the serial protocol are implied by the
+// reliable transport, as gdb's no-ack mode does).
+type RSPServer struct {
+	Stub *RSPStub
+	conn transport.Conn
+	// Errors counts malformed packets (answered with '-').
+	Errors uint64
+}
+
+// NewRSPServer attaches a stub to the connection.
+func NewRSPServer(conn transport.Conn, target *RSPTarget) *RSPServer {
+	s := &RSPServer{Stub: NewRSPStub(target), conn: conn}
+	conn.SetOnReceive(func(pkt []byte) {
+		cmd, err := RSPDecode(pkt)
+		if err != nil {
+			s.Errors++
+			_ = conn.Send([]byte{'-'})
+			return
+		}
+		_ = conn.Send(RSPEncode(s.Stub.Handle(cmd)))
+	})
+	return s
+}
+
+// ErrRSPNak is returned when the remote rejected a packet.
+var ErrRSPNak = errors.New("cosim: RSP packet rejected (-)")
+
+// NewRSPConnClient returns an RSPClient whose Exchange runs over the
+// given connection. Calls are serialized; the client is safe for one
+// logical caller at a time (as a debugger is).
+func NewRSPConnClient(conn transport.Conn) *RSPClient {
+	var mu sync.Mutex
+	replies := make(chan []byte, 1)
+	conn.SetOnReceive(func(p []byte) {
+		select {
+		case replies <- p:
+		default:
+		}
+	})
+	return &RSPClient{Exchange: func(pkt []byte) ([]byte, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err := conn.Send(pkt); err != nil {
+			return nil, err
+		}
+		reply := <-replies
+		if len(reply) == 1 && reply[0] == '-' {
+			return nil, ErrRSPNak
+		}
+		return reply, nil
+	}}
+}

@@ -1,0 +1,82 @@
+package cosim
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"tpspace/internal/transport"
+)
+
+func TestRSPOverLoopback(t *testing.T) {
+	srvEnd, cliEnd := transport.NewLoopback()
+	target := NewRSPTarget(128)
+	srv := NewRSPServer(srvEnd, target)
+	cli := NewRSPConnClient(cliEnd)
+
+	if err := cli.WriteMem(0x20, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.ReadMem(0x20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("mem %v", got)
+	}
+	st, err := cli.Status()
+	if err != nil || st != "S05" {
+		t.Fatalf("status %q %v", st, err)
+	}
+	if srv.Stub.Handled == 0 {
+		t.Fatal("server handled nothing")
+	}
+}
+
+func TestRSPServerRejectsGarbage(t *testing.T) {
+	srvEnd, cliEnd := transport.NewLoopback()
+	srv := NewRSPServer(srvEnd, NewRSPTarget(16))
+	var reply []byte
+	cliEnd.SetOnReceive(func(p []byte) { reply = p })
+	cliEnd.Send([]byte("not-a-packet"))
+	if srv.Errors != 1 {
+		t.Fatalf("errors = %d", srv.Errors)
+	}
+	if len(reply) != 1 || reply[0] != '-' {
+		t.Fatalf("reply %q, want '-'", reply)
+	}
+}
+
+func TestRSPOverRealTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		NewRSPServer(transport.NewTCPConn(nc), NewRSPTarget(64))
+	}()
+	conn, err := transport.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	cli := NewRSPConnClient(conn)
+	if err := cli.WriteMem(0x08, []byte{0xCA, 0xFE}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.ReadMem(0x08, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0xCA, 0xFE}) {
+		t.Fatalf("mem over TCP: %x", got)
+	}
+	if err := cli.Continue(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package cosim
+
+import (
+	"tpspace/internal/crc"
+	"tpspace/internal/frame"
+)
+
+// This file models the receive path of a TpWIRE slave at the register
+// transfer level, as the SystemC nodes of Figure 5 would host it: a
+// serial data signal sampled on the rising edge of a bit clock, a
+// 16-bit shift register, a start-bit qualifier and a bit-serial CRC
+// checker. It exists to demonstrate (and test) that the delta-cycle
+// kernel supports real hardware modeling, and to cross-check the
+// behavioural frame codec against an independent bit-level
+// implementation.
+
+// SerialRXState enumerates the receiver's FSM states.
+type SerialRXState int
+
+// Receiver states.
+const (
+	// RXIdle waits for a start bit (a 0 on the line after quiet).
+	RXIdle SerialRXState = iota
+	// RXShift accumulates the remaining 15 bits of the frame.
+	RXShift
+)
+
+// SerialRX is the RTL receiver module. Wire Clk and Data to signals,
+// then read frames from the Out callback.
+type SerialRX struct {
+	Clk  *Signal[bool]
+	Data *Signal[bool]
+
+	state SerialRXState
+	shift uint16
+	nbits int
+	crc   *crc.Engine
+
+	// OnFrame receives each complete, CRC-clean TX frame.
+	OnFrame func(frame.TX)
+	// OnError receives the raw shift register of frames that failed
+	// the start-bit or CRC check.
+	OnError func(raw uint16)
+
+	// Frames and Errors count outcomes.
+	Frames uint64
+	Errors uint64
+}
+
+// NewSerialRX builds the receiver and makes it sensitive to the
+// rising edge of clk.
+func NewSerialRX(sch *Scheduler, clk, data *Signal[bool]) *SerialRX {
+	rx := &SerialRX{Clk: clk, Data: data, crc: crc.NewTpWIRE()}
+	clk.OnChange(func() {
+		if clk.Read() { // rising edge
+			rx.tick()
+		}
+	})
+	return rx
+}
+
+// tick is the clocked process: sample Data, advance the FSM.
+func (r *SerialRX) tick() {
+	bit := r.Data.Read()
+	switch r.state {
+	case RXIdle:
+		if bit {
+			return // line idle (high): keep waiting
+		}
+		// Start bit seen: begin a frame.
+		r.shift = 0 // start bit is 0; shift left as bits arrive
+		r.nbits = 1
+		r.crc.Reset(0)
+		r.state = RXShift
+	case RXShift:
+		r.shift = r.shift<<1 | b2u(bit)
+		r.nbits++
+		// CRC covers CMD[2:0] and DATA[7:0]: wire bit indices 1..11.
+		if r.nbits >= 2 && r.nbits <= 12 {
+			r.crc.UpdateBit(bit)
+		}
+		if r.nbits == frame.Bits {
+			r.complete()
+			r.state = RXIdle
+		}
+	}
+}
+
+func (r *SerialRX) complete() {
+	// The start bit was 0, so the wire image is just the 15 shifted
+	// bits (bit 15 of the image is the start bit, already 0).
+	raw := r.shift
+	if uint16(r.crc.Sum()) != raw&0xF {
+		r.Errors++
+		if r.OnError != nil {
+			r.OnError(raw)
+		}
+		return
+	}
+	f, err := frame.UnpackTX(raw)
+	if err != nil {
+		r.Errors++
+		if r.OnError != nil {
+			r.OnError(raw)
+		}
+		return
+	}
+	r.Frames++
+	if r.OnFrame != nil {
+		r.OnFrame(f)
+	}
+}
+
+func b2u(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SerialTX is the matching RTL transmitter: given a frame, it drives
+// the data signal one bit per clock cycle, idling high between
+// frames.
+type SerialTX struct {
+	Data *Signal[bool]
+
+	queue []uint16
+	pos   int
+	// Sent counts completed frames.
+	Sent uint64
+}
+
+// NewSerialTX builds the transmitter and makes it advance on the
+// falling edge of clk (so the receiver's rising-edge sample sees a
+// stable bit).
+func NewSerialTX(sch *Scheduler, clk, data *Signal[bool]) *SerialTX {
+	tx := &SerialTX{Data: data}
+	data.Write(true) // idle high
+	clk.OnChange(func() {
+		if !clk.Read() { // falling edge
+			tx.tick()
+		}
+	})
+	return tx
+}
+
+// Push queues a frame for transmission.
+func (t *SerialTX) Push(f frame.TX) { t.queue = append(t.queue, f.Pack()) }
+
+// Busy reports whether a frame is on the wire or queued.
+func (t *SerialTX) Busy() bool { return len(t.queue) > 0 }
+
+func (t *SerialTX) tick() {
+	if len(t.queue) == 0 {
+		t.Data.Write(true) // idle
+		return
+	}
+	w := t.queue[0]
+	bit := w&(1<<uint(15-t.pos)) != 0
+	t.Data.Write(bit)
+	t.pos++
+	if t.pos == frame.Bits {
+		t.pos = 0
+		t.queue = t.queue[1:]
+		t.Sent++
+	}
+}

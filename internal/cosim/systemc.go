@@ -1,0 +1,212 @@
+// Package cosim provides the co-simulation glue of Figure 5 of the
+// paper: a SystemC-like hardware modeling kernel (modules, signals
+// with delta-cycle semantics, FIFO channels), a shared-memory ring
+// buffer in the role of the UNIX shm segments connecting the SystemC
+// nodes (SC1/SC2) with the NS-2 bus model, a minimal GDB remote
+// serial protocol in the role of the board-client debug interface,
+// and a Bridge transport that strings them together with calibrated
+// latency so the co-simulation overhead appears on the timeline.
+package cosim
+
+import (
+	"tpspace/internal/sim"
+)
+
+// Scheduler layers SystemC-style delta cycles on a sim.Kernel. A
+// signal written during an evaluation phase changes value only at the
+// following update phase (same simulated instant, later delta), and
+// processes sensitive to it run in the next evaluation.
+type Scheduler struct {
+	k             *sim.Kernel
+	updates       []func()
+	updateQueued  bool
+	notifications []func()
+}
+
+// NewScheduler creates a delta-cycle scheduler over the kernel.
+func NewScheduler(k *sim.Kernel) *Scheduler { return &Scheduler{k: k} }
+
+// Kernel returns the underlying kernel.
+func (s *Scheduler) Kernel() *sim.Kernel { return s.k }
+
+// queueUpdate registers a signal update for the pending update phase.
+func (s *Scheduler) queueUpdate(fn func()) {
+	s.updates = append(s.updates, fn)
+	if !s.updateQueued {
+		s.updateQueued = true
+		// Updates run after every already-scheduled event at this
+		// instant (monitor priority), i.e. at the delta boundary.
+		s.k.SchedulePrio("cosim.update", 0, sim.PriorityMonitor, s.runUpdates)
+	}
+}
+
+func (s *Scheduler) runUpdates() {
+	ups := s.updates
+	s.updates = nil
+	s.updateQueued = false
+	for _, u := range ups {
+		u()
+	}
+	notes := s.notifications
+	s.notifications = nil
+	for _, n := range notes {
+		// Sensitive processes run in the next evaluation phase.
+		s.k.ScheduleName("cosim.eval", 0, n)
+	}
+}
+
+// Signal is a SystemC sc_signal-like channel holding a value of a
+// comparable type. Reads see the current value; writes take effect at
+// the next delta boundary and wake sensitive callbacks only when the
+// value actually changes.
+type Signal[T comparable] struct {
+	sch  *Scheduler
+	name string
+	cur  T
+	next T
+	dirt bool
+	subs []func()
+}
+
+// NewSignal creates a named signal with an initial value.
+func NewSignal[T comparable](sch *Scheduler, name string, init T) *Signal[T] {
+	return &Signal[T]{sch: sch, name: name, cur: init, next: init}
+}
+
+// Name returns the signal's name.
+func (s *Signal[T]) Name() string { return s.name }
+
+// Read returns the current (pre-delta) value.
+func (s *Signal[T]) Read() T { return s.cur }
+
+// Write schedules v to become the signal's value at the next delta
+// boundary. Multiple writes in one evaluation keep the last value
+// ("last write wins"), as in SystemC.
+func (s *Signal[T]) Write(v T) {
+	s.next = v
+	if s.dirt {
+		return
+	}
+	s.dirt = true
+	s.sch.queueUpdate(func() {
+		s.dirt = false
+		if s.next == s.cur {
+			return
+		}
+		s.cur = s.next
+		for _, fn := range s.subs {
+			s.sch.notifications = append(s.sch.notifications, fn)
+		}
+	})
+}
+
+// OnChange registers a sensitivity callback invoked (in the next
+// evaluation phase) whenever the signal's value changes.
+func (s *Signal[T]) OnChange(fn func()) { s.subs = append(s.subs, fn) }
+
+// Fifo is an sc_fifo-like bounded channel for process-style modules:
+// Put blocks when full, Get blocks when empty.
+type Fifo[T any] struct {
+	sch  *Scheduler
+	name string
+	cap  int
+	buf  []T
+	gets []func() // parked getters, FIFO
+	puts []func() // parked putters, FIFO
+}
+
+// NewFifo creates a bounded FIFO with the given capacity (minimum 1).
+func NewFifo[T any](sch *Scheduler, name string, capacity int) *Fifo[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Fifo[T]{sch: sch, name: name, cap: capacity}
+}
+
+// Len reports the number of buffered items.
+func (f *Fifo[T]) Len() int { return len(f.buf) }
+
+// TryPut inserts without blocking; it reports success.
+func (f *Fifo[T]) TryPut(v T) bool {
+	if len(f.buf) >= f.cap {
+		return false
+	}
+	f.buf = append(f.buf, v)
+	f.wakeGetter()
+	return true
+}
+
+// TryGet removes without blocking.
+func (f *Fifo[T]) TryGet() (T, bool) {
+	var zero T
+	if len(f.buf) == 0 {
+		return zero, false
+	}
+	v := f.buf[0]
+	f.buf = f.buf[1:]
+	f.wakePutter()
+	return v, true
+}
+
+func (f *Fifo[T]) wakeGetter() {
+	if len(f.gets) > 0 {
+		g := f.gets[0]
+		f.gets = f.gets[1:]
+		f.sch.k.ScheduleName("cosim.fifo.get", 0, g)
+	}
+}
+
+func (f *Fifo[T]) wakePutter() {
+	if len(f.puts) > 0 {
+		p := f.puts[0]
+		f.puts = f.puts[1:]
+		f.sch.k.ScheduleName("cosim.fifo.put", 0, p)
+	}
+}
+
+// Put blocks the calling process until space is available.
+func (f *Fifo[T]) Put(p *sim.Process, v T) {
+	for len(f.buf) >= f.cap {
+		wake, wait := p.Block(sim.Forever)
+		f.puts = append(f.puts, wake)
+		wait()
+	}
+	f.buf = append(f.buf, v)
+	f.wakeGetter()
+}
+
+// Get blocks the calling process until an item is available.
+func (f *Fifo[T]) Get(p *sim.Process) T {
+	for len(f.buf) == 0 {
+		wake, wait := p.Block(sim.Forever)
+		f.gets = append(f.gets, wake)
+		wait()
+	}
+	v := f.buf[0]
+	f.buf = f.buf[1:]
+	f.wakePutter()
+	return v
+}
+
+// ClockGen drives a boolean signal with a fixed period (an sc_clock):
+// the signal toggles every half period, starting low.
+type ClockGen struct {
+	Sig    *Signal[bool]
+	stopFn func()
+}
+
+// NewClockGen creates and starts a clock on the scheduler.
+func NewClockGen(sch *Scheduler, name string, period sim.Duration) *ClockGen {
+	c := &ClockGen{Sig: NewSignal(sch, name, false)}
+	half := period / 2
+	if half < 1 {
+		half = 1
+	}
+	c.stopFn = sch.k.Ticker("cosim.clock."+name, half, func() {
+		c.Sig.Write(!c.Sig.Read())
+	})
+	return c
+}
+
+// Stop halts the clock.
+func (c *ClockGen) Stop() { c.stopFn() }

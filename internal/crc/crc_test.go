@@ -1,0 +1,194 @@
+package crc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refMod2 divides the message (appended with width zero bits) by the
+// full generator polynomial using long division over GF(2). It is an
+// independent reference implementation to check the LFSR engine.
+func refMod2(msg uint64, msgBits int, fullPoly uint64, width uint) uint32 {
+	rem := msg << width
+	total := msgBits + int(width)
+	for i := total - 1; i >= int(width); i-- {
+		if rem&(1<<uint(i)) != 0 {
+			rem ^= fullPoly << uint(i-int(width))
+		}
+	}
+	return uint32(rem & ((1 << width) - 1))
+}
+
+func TestEngineMatchesLongDivision(t *testing.T) {
+	// x^4 + x + 1 => full polynomial 0b10011.
+	const full = 0b10011
+	for msg := uint64(0); msg < 1<<11; msg++ {
+		e := NewTpWIRE()
+		e.UpdateBits(uint32(msg), 11)
+		want := refMod2(msg, 11, full, 4)
+		if got := e.Sum(); got != want {
+			t.Fatalf("msg %011b: engine=%x, longdiv=%x", msg, got, want)
+		}
+	}
+}
+
+func TestAppendedCRCDividesToZero(t *testing.T) {
+	// A codeword (message || crc) must leave a zero remainder. This is
+	// the property a receiving TpWIRE slave checks.
+	for msg := uint32(0); msg < 1<<11; msg += 7 {
+		c := Checksum(4, Poly4TpWIRE, 0, msg, 11)
+		e := NewTpWIRE()
+		e.UpdateBits(msg, 11)
+		e.UpdateBits(c, 4)
+		if e.Sum() != 0 {
+			t.Fatalf("codeword for %011b does not divide to zero (crc %x, residue %x)", msg, c, e.Sum())
+		}
+	}
+}
+
+func TestDetectsAllSingleBitErrors(t *testing.T) {
+	// x^4+x+1 has a nonzero constant term, so every single-bit error in
+	// an 15-bit codeword must be detected.
+	msg := uint32(0b101_1011_0110)
+	c := Checksum(4, Poly4TpWIRE, 0, msg, 11)
+	word := msg<<4 | c
+	for bit := 0; bit < 15; bit++ {
+		bad := word ^ (1 << uint(bit))
+		e := NewTpWIRE()
+		e.UpdateBits(bad, 15)
+		if e.Sum() == 0 {
+			t.Fatalf("single-bit error at %d undetected", bit)
+		}
+	}
+}
+
+func TestDetectsBurstsUpToWidth(t *testing.T) {
+	// Any burst error of length <= 4 is detected by a 4-bit CRC.
+	msg := uint32(0b010_1100_1010)
+	c := Checksum(4, Poly4TpWIRE, 0, msg, 11)
+	word := msg<<4 | c
+	for burstLen := 1; burstLen <= 4; burstLen++ {
+		for start := 0; start+burstLen <= 15; start++ {
+			// A burst must flip its first and last bit to have that length.
+			pattern := uint32(1)<<uint(burstLen-1) | 1
+			bad := word ^ (pattern << uint(start))
+			e := NewTpWIRE()
+			e.UpdateBits(bad, 15)
+			if e.Sum() == 0 {
+				t.Fatalf("burst len %d at %d undetected", burstLen, start)
+			}
+		}
+	}
+}
+
+func TestQuickCodewordResidueZero(t *testing.T) {
+	f := func(msg uint16) bool {
+		m := uint32(msg) & 0x7FF
+		c := Checksum(4, Poly4TpWIRE, 0, m, 11)
+		e := NewTpWIRE()
+		e.UpdateBits(m, 11)
+		e.UpdateBits(c, 4)
+		return e.Sum() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLinearity(t *testing.T) {
+	// CRC with zero init is linear over GF(2): crc(a^b) == crc(a)^crc(b).
+	f := func(a, b uint16) bool {
+		am, bm := uint32(a)&0x7FF, uint32(b)&0x7FF
+		ca := Checksum(4, Poly4TpWIRE, 0, am, 11)
+		cb := Checksum(4, Poly4TpWIRE, 0, bm, 11)
+		cx := Checksum(4, Poly4TpWIRE, 0, am^bm, 11)
+		return cx == ca^cb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTXRXHelpers(t *testing.T) {
+	for cmd := uint8(0); cmd < 8; cmd++ {
+		for _, data := range []uint8{0x00, 0x01, 0x55, 0xAA, 0xFF} {
+			e := NewTpWIRE()
+			e.UpdateBits(uint32(cmd), 3)
+			e.UpdateBits(uint32(data), 8)
+			if got := TpWIRETX(cmd, data); got != uint8(e.Sum()) {
+				t.Fatalf("TpWIRETX(%d,%#x) = %x, want %x", cmd, data, got, e.Sum())
+			}
+		}
+	}
+	for typ := uint8(0); typ < 4; typ++ {
+		for _, data := range []uint8{0x00, 0x3C, 0xC3, 0xFF} {
+			e := NewTpWIRE()
+			e.UpdateBits(uint32(typ), 2)
+			e.UpdateBits(uint32(data), 8)
+			if got := TpWIRERX(typ, data); got != uint8(e.Sum()) {
+				t.Fatalf("TpWIRERX(%d,%#x) = %x, want %x", typ, data, got, e.Sum())
+			}
+		}
+	}
+}
+
+func TestUpdateBytesEquivalentToBits(t *testing.T) {
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	a := New(4, Poly4TpWIRE, 0)
+	a.UpdateBytes(payload)
+	b := New(4, Poly4TpWIRE, 0)
+	for _, by := range payload {
+		b.UpdateBits(uint32(by), 8)
+	}
+	if a.Sum() != b.Sum() {
+		t.Fatalf("byte/bit mismatch: %x vs %x", a.Sum(), b.Sum())
+	}
+	if a.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", a.Len())
+	}
+}
+
+func TestResetAndLen(t *testing.T) {
+	e := NewTpWIRE()
+	e.UpdateBits(0x5A5, 11)
+	e.Reset(0)
+	if e.Len() != 0 || e.Sum() != 0 {
+		t.Fatalf("Reset did not clear state: len=%d sum=%x", e.Len(), e.Sum())
+	}
+	if e.Width() != 4 {
+		t.Fatalf("Width = %d", e.Width())
+	}
+}
+
+func TestCRC8CrossCheck(t *testing.T) {
+	// Cross-check the generic engine at width 8 (poly x^8+x^2+x+1 =
+	// 0x07, CRC-8/ATM) against known value: CRC-8 of "123456789" is 0xF4.
+	e := New(8, 0x07, 0)
+	e.UpdateBytes([]byte("123456789"))
+	if e.Sum() != 0xF4 {
+		t.Fatalf("CRC-8 check value = %#x, want 0xF4", e.Sum())
+	}
+}
+
+func TestBadWidthPanics(t *testing.T) {
+	for _, w := range []uint{0, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for width %d", w)
+				}
+			}()
+			New(w, 1, 0)
+		}()
+	}
+}
+
+func TestBadBitCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad bit count")
+		}
+	}()
+	NewTpWIRE().UpdateBits(0, 40)
+}

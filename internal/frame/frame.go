@@ -1,0 +1,264 @@
+// Package frame implements the TpWIRE 16-bit frame formats of Tables 1
+// and 2 of the paper, including their bit-level wire serialization and
+// CRC protection.
+//
+// A TX frame travels from the Master towards the Slaves:
+//
+//	| 0 | CMD[2:0] | DATA[7:0] | CRC[3:0] |     (Table 1)
+//
+// An RX frame is a Slave's reply towards the Master:
+//
+//	| 0 | INT | TYPE[1:0] | DATA[7:0] | CRC[3:0] |   (Table 2)
+//
+// Both frames open with a start bit that is always 0, and close with a
+// 4-bit CRC over x^4+x+1: for TX frames the CRC covers CMD and DATA;
+// for RX frames it covers TYPE and DATA (the INT bit is excluded so
+// that slaves along the daisy chain can OR their pending-interrupt
+// status into a passing frame without recomputing the CRC).
+//
+// Bits are serialized most-significant field bit first, start bit
+// first on the wire. Packed into a uint16, bit 15 is the start bit and
+// bit 0 the last CRC bit.
+package frame
+
+import (
+	"errors"
+	"fmt"
+
+	"tpspace/internal/crc"
+)
+
+// Bits is the number of bits in every TpWIRE frame.
+const Bits = 16
+
+// Command is the 3-bit CMD field of a TX frame. The paper specifies
+// the field width and the read/write/data-register/flags-SPI command
+// classes but not the full opcode table; the assignment below is our
+// reconstruction (documented in DESIGN.md) and is used consistently by
+// the tpwire package.
+type Command uint8
+
+// TpWIRE commands (CMD[2:0]).
+const (
+	// CmdSelect selects the slave whose node address is in DATA. A
+	// node address is nodeID<<1|space, where space 0 is the
+	// memory/memory-mapped-I/O register set and space 1 the system
+	// register set (command, flags, DMA counter, SPI). Node ID 127 is
+	// the broadcast node.
+	CmdSelect Command = 0
+	// CmdSetAddr loads the register pointer of the selected slave.
+	CmdSetAddr Command = 1
+	// CmdWrite writes DATA into the current register of the selected
+	// slave and post-increments the register pointer.
+	CmdWrite Command = 2
+	// CmdRead reads the current register of the selected slave
+	// (post-increment); DATA in the TX frame is ignored. The reply is
+	// a TypeData RX frame carrying the value.
+	CmdRead Command = 3
+	// CmdReadFlags reads the flags/SPI system register; the reply is a
+	// TypeFlags RX frame.
+	CmdReadFlags Command = 4
+	// CmdWriteCmd writes DATA into the command system register.
+	CmdWriteCmd Command = 5
+	// CmdPing polls a slave for liveness and interrupt status. The
+	// reply DATA holds the node ID in bits 7:1 and the slave's pending
+	// interrupt status in bit 0.
+	CmdPing Command = 6
+	// CmdSync resynchronises the selected slave (or, broadcast, the
+	// whole chain), clearing its receiver state machine.
+	CmdSync Command = 7
+)
+
+var commandNames = [8]string{
+	"SELECT", "SETADDR", "WRITE", "READ", "RDFLAGS", "WRCMD", "PING", "SYNC",
+}
+
+// String returns the mnemonic for the command.
+func (c Command) String() string {
+	if c < 8 {
+		return commandNames[c]
+	}
+	return fmt.Sprintf("CMD(%d)", uint8(c))
+}
+
+// IsWrite reports whether DATA in the TX frame carries a valid value
+// for this command ("For write commands DATA[7:0] contains a valid
+// data value, while for read commands it is ignored").
+func (c Command) IsWrite() bool {
+	switch c {
+	case CmdSelect, CmdSetAddr, CmdWrite, CmdWriteCmd, CmdSync:
+		return true
+	}
+	return false
+}
+
+// RXType is the 2-bit TYPE field of an RX frame.
+type RXType uint8
+
+// RX frame types.
+const (
+	// TypeAck acknowledges a command that returns no register value;
+	// DATA holds node ID (bits 7:1) and interrupt status (bit 0).
+	TypeAck RXType = 0
+	// TypeData carries a data-register read response in DATA.
+	TypeData RXType = 1
+	// TypeFlags carries a flags/SPI register read response in DATA.
+	TypeFlags RXType = 2
+	// TypeError reports that the slave rejected the command.
+	TypeError RXType = 3
+)
+
+var rxTypeNames = [4]string{"ACK", "DATA", "FLAGS", "ERROR"}
+
+// String returns the mnemonic for the RX type.
+func (t RXType) String() string {
+	if t < 4 {
+		return rxTypeNames[t]
+	}
+	return fmt.Sprintf("TYPE(%d)", uint8(t))
+}
+
+// Frame decoding errors.
+var (
+	// ErrStartBit indicates the start bit was not 0.
+	ErrStartBit = errors.New("frame: start bit not zero")
+	// ErrCRC indicates the CRC check failed.
+	ErrCRC = errors.New("frame: CRC mismatch")
+)
+
+// TX is a decoded master-to-slave frame.
+type TX struct {
+	Cmd  Command
+	Data uint8
+}
+
+// CRC computes the 4-bit CRC the frame must carry.
+func (f TX) CRC() uint8 { return crc.TpWIRETX(uint8(f.Cmd), f.Data) }
+
+// Pack serializes the frame into its 16-bit wire image, computing the
+// CRC. Bit 15 is the start bit (0).
+func (f TX) Pack() uint16 {
+	return uint16(f.Cmd&0x7)<<12 | uint16(f.Data)<<4 | uint16(f.CRC())
+}
+
+// String renders the frame for traces.
+func (f TX) String() string {
+	return fmt.Sprintf("TX{%s data=%#02x crc=%x}", f.Cmd, f.Data, f.CRC())
+}
+
+// UnpackTX decodes a 16-bit wire image into a TX frame, validating the
+// start bit and CRC.
+func UnpackTX(w uint16) (TX, error) {
+	if w&0x8000 != 0 {
+		return TX{}, ErrStartBit
+	}
+	f := TX{Cmd: Command(w >> 12 & 0x7), Data: uint8(w >> 4)}
+	if uint8(w&0xF) != f.CRC() {
+		return TX{}, ErrCRC
+	}
+	return f, nil
+}
+
+// RX is a decoded slave-to-master frame.
+type RX struct {
+	// Int is set if one or more slaves the frame passed through
+	// (including the originator) have pending interrupts.
+	Int  bool
+	Type RXType
+	Data uint8
+}
+
+// CRC computes the 4-bit CRC the frame must carry (over TYPE and DATA
+// only; INT is excluded).
+func (f RX) CRC() uint8 { return crc.TpWIRERX(uint8(f.Type), f.Data) }
+
+// Pack serializes the frame into its 16-bit wire image. Bit 15 is the
+// start bit (0), bit 14 the INT bit.
+func (f RX) Pack() uint16 {
+	w := uint16(f.Type&0x3)<<12 | uint16(f.Data)<<4 | uint16(f.CRC())
+	if f.Int {
+		w |= 1 << 14
+	}
+	return w
+}
+
+// String renders the frame for traces.
+func (f RX) String() string {
+	i := 0
+	if f.Int {
+		i = 1
+	}
+	return fmt.Sprintf("RX{%s int=%d data=%#02x crc=%x}", f.Type, i, f.Data, f.CRC())
+}
+
+// UnpackRX decodes a 16-bit wire image into an RX frame, validating
+// the start bit and CRC.
+func UnpackRX(w uint16) (RX, error) {
+	if w&0x8000 != 0 {
+		return RX{}, ErrStartBit
+	}
+	f := RX{
+		Int:  w&(1<<14) != 0,
+		Type: RXType(w >> 12 & 0x3),
+		Data: uint8(w >> 4),
+	}
+	if uint8(w&0xF) != f.CRC() {
+		return RX{}, ErrCRC
+	}
+	return f, nil
+}
+
+// AckData packs a node ID and interrupt status into the DATA field of
+// a TypeAck reply ("DATA[7:0] hold node ID and DATA[0] holds interrupt
+// status for response to all other commands").
+func AckData(nodeID uint8, pendingInt bool) uint8 {
+	d := (nodeID & 0x7F) << 1
+	if pendingInt {
+		d |= 1
+	}
+	return d
+}
+
+// SplitAckData is the inverse of AckData.
+func SplitAckData(d uint8) (nodeID uint8, pendingInt bool) {
+	return d >> 1, d&1 == 1
+}
+
+// NodeAddr packs a node ID and register-space selector into the DATA
+// field of a CmdSelect frame ("Each node has two node addresses").
+// Space 0 addresses memory and memory-mapped I/O; space 1 addresses
+// the system register set.
+func NodeAddr(nodeID uint8, system bool) uint8 {
+	a := (nodeID & 0x7F) << 1
+	if system {
+		a |= 1
+	}
+	return a
+}
+
+// SplitNodeAddr is the inverse of NodeAddr.
+func SplitNodeAddr(a uint8) (nodeID uint8, system bool) {
+	return a >> 1, a&1 == 1
+}
+
+// BitsOf expands a 16-bit wire image into individual bits in
+// transmission order (start bit first). It is used by the bit-serial
+// wire model and by error-injection tests.
+func BitsOf(w uint16) [Bits]bool {
+	var b [Bits]bool
+	for i := 0; i < Bits; i++ {
+		b[i] = w&(1<<uint(15-i)) != 0
+	}
+	return b
+}
+
+// FromBits packs bits in transmission order back into a wire image.
+func FromBits(b [Bits]bool) uint16 {
+	var w uint16
+	for i := 0; i < Bits; i++ {
+		if b[i] {
+			w |= 1 << uint(15-i)
+		}
+	}
+	return w
+}

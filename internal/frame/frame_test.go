@@ -1,0 +1,216 @@
+package frame
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTXFrameLayout(t *testing.T) {
+	// Table 1: | 0 | CMD[2:0] | DATA[7:0] | CRC[3:0] |
+	f := TX{Cmd: CmdWrite, Data: 0xA5}
+	w := f.Pack()
+	if w&0x8000 != 0 {
+		t.Fatal("start bit not zero")
+	}
+	if got := Command(w >> 12 & 0x7); got != CmdWrite {
+		t.Fatalf("CMD field = %v", got)
+	}
+	if got := uint8(w >> 4); got != 0xA5 {
+		t.Fatalf("DATA field = %#x", got)
+	}
+	if got := uint8(w & 0xF); got != f.CRC() {
+		t.Fatalf("CRC field = %#x, want %#x", got, f.CRC())
+	}
+}
+
+func TestRXFrameLayout(t *testing.T) {
+	// Table 2: | 0 | INT | TYPE[1:0] | DATA[7:0] | CRC[3:0] |
+	f := RX{Int: true, Type: TypeData, Data: 0x3C}
+	w := f.Pack()
+	if w&0x8000 != 0 {
+		t.Fatal("start bit not zero")
+	}
+	if w&(1<<14) == 0 {
+		t.Fatal("INT bit not set")
+	}
+	if got := RXType(w >> 12 & 0x3); got != TypeData {
+		t.Fatalf("TYPE field = %v", got)
+	}
+	if got := uint8(w >> 4); got != 0x3C {
+		t.Fatalf("DATA field = %#x", got)
+	}
+	if got := uint8(w & 0xF); got != f.CRC() {
+		t.Fatalf("CRC field = %#x, want %#x", got, f.CRC())
+	}
+}
+
+func TestTXRoundTripAll(t *testing.T) {
+	for cmd := Command(0); cmd < 8; cmd++ {
+		for data := 0; data < 256; data++ {
+			f := TX{Cmd: cmd, Data: uint8(data)}
+			g, err := UnpackTX(f.Pack())
+			if err != nil {
+				t.Fatalf("%v: %v", f, err)
+			}
+			if g != f {
+				t.Fatalf("round trip %v -> %v", f, g)
+			}
+		}
+	}
+}
+
+func TestRXRoundTripAll(t *testing.T) {
+	for _, intr := range []bool{false, true} {
+		for typ := RXType(0); typ < 4; typ++ {
+			for data := 0; data < 256; data++ {
+				f := RX{Int: intr, Type: typ, Data: uint8(data)}
+				g, err := UnpackRX(f.Pack())
+				if err != nil {
+					t.Fatalf("%v: %v", f, err)
+				}
+				if g != f {
+					t.Fatalf("round trip %v -> %v", f, g)
+				}
+			}
+		}
+	}
+}
+
+func TestIntBitExcludedFromCRC(t *testing.T) {
+	// A slave in the chain can set INT on a passing RX frame without
+	// invalidating the CRC.
+	f := RX{Int: false, Type: TypeAck, Data: AckData(5, false)}
+	w := f.Pack() | 1<<14 // set INT in flight
+	g, err := UnpackRX(w)
+	if err != nil {
+		t.Fatalf("frame with in-flight INT rejected: %v", err)
+	}
+	if !g.Int {
+		t.Fatal("INT bit lost")
+	}
+}
+
+func TestUnpackRejectsStartBit(t *testing.T) {
+	f := TX{Cmd: CmdRead, Data: 0}
+	if _, err := UnpackTX(f.Pack() | 0x8000); !errors.Is(err, ErrStartBit) {
+		t.Fatalf("err = %v, want ErrStartBit", err)
+	}
+	r := RX{Type: TypeAck}
+	if _, err := UnpackRX(r.Pack() | 0x8000); !errors.Is(err, ErrStartBit) {
+		t.Fatalf("err = %v, want ErrStartBit", err)
+	}
+}
+
+func TestUnpackDetectsEverySingleBitError(t *testing.T) {
+	// Flipping any single non-INT bit of a valid frame must yield an
+	// error (start-bit or CRC): that is what drives the master's
+	// retransmission logic.
+	f := TX{Cmd: CmdWrite, Data: 0x5A}
+	w := f.Pack()
+	for bit := 0; bit < 16; bit++ {
+		bad := w ^ (1 << uint(bit))
+		if g, err := UnpackTX(bad); err == nil {
+			t.Fatalf("bit %d flip undetected: %v -> %v", bit, f, g)
+		}
+	}
+	r := RX{Int: false, Type: TypeData, Data: 0xC3}
+	rw := r.Pack()
+	for bit := 0; bit < 16; bit++ {
+		if bit == 14 {
+			continue // INT is mutable in flight by design
+		}
+		bad := rw ^ (1 << uint(bit))
+		if g, err := UnpackRX(bad); err == nil {
+			t.Fatalf("bit %d flip undetected: %v -> %v", bit, r, g)
+		}
+	}
+}
+
+func TestQuickTXRoundTrip(t *testing.T) {
+	f := func(cmd, data uint8) bool {
+		fr := TX{Cmd: Command(cmd & 7), Data: data}
+		g, err := UnpackTX(fr.Pack())
+		return err == nil && g == fr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBitsRoundTrip(t *testing.T) {
+	f := func(w uint16) bool { return FromBits(BitsOf(w)) == w }
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsTransmissionOrder(t *testing.T) {
+	// Start bit travels first: BitsOf puts wire-image bit 15 at index 0.
+	b := BitsOf(0x8000)
+	if !b[0] {
+		t.Fatal("bit 15 not first on the wire")
+	}
+	b = BitsOf(0x0001)
+	if !b[15] {
+		t.Fatal("bit 0 not last on the wire")
+	}
+}
+
+func TestAckDataRoundTrip(t *testing.T) {
+	for id := uint8(0); id < 127; id++ {
+		for _, p := range []bool{false, true} {
+			gid, gp := SplitAckData(AckData(id, p))
+			if gid != id || gp != p {
+				t.Fatalf("AckData(%d,%v) round trip -> (%d,%v)", id, p, gid, gp)
+			}
+		}
+	}
+}
+
+func TestNodeAddrRoundTrip(t *testing.T) {
+	for id := uint8(0); id < 128; id++ {
+		for _, sys := range []bool{false, true} {
+			gid, gs := SplitNodeAddr(NodeAddr(id, sys))
+			if gid != id&0x7F || gs != sys {
+				t.Fatalf("NodeAddr(%d,%v) round trip -> (%d,%v)", id, sys, gid, gs)
+			}
+		}
+	}
+}
+
+func TestCommandClassification(t *testing.T) {
+	writes := map[Command]bool{
+		CmdSelect: true, CmdSetAddr: true, CmdWrite: true, CmdWriteCmd: true, CmdSync: true,
+		CmdRead: false, CmdReadFlags: false, CmdPing: false,
+	}
+	for cmd, want := range writes {
+		if cmd.IsWrite() != want {
+			t.Errorf("%v.IsWrite() = %v, want %v", cmd, cmd.IsWrite(), want)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if CmdRead.String() != "READ" {
+		t.Errorf("CmdRead.String() = %q", CmdRead.String())
+	}
+	if Command(9).String() != "CMD(9)" {
+		t.Errorf("bad overflow command string %q", Command(9).String())
+	}
+	if TypeFlags.String() != "FLAGS" {
+		t.Errorf("TypeFlags.String() = %q", TypeFlags.String())
+	}
+	if RXType(7).String() != "TYPE(7)" {
+		t.Errorf("bad overflow type string %q", RXType(7).String())
+	}
+	f := TX{Cmd: CmdPing, Data: 1}
+	if f.String() == "" {
+		t.Error("empty TX string")
+	}
+	r := RX{Int: true, Type: TypeAck, Data: 2}
+	if r.String() == "" {
+		t.Error("empty RX string")
+	}
+}

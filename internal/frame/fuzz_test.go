@@ -1,0 +1,36 @@
+package frame
+
+import "testing"
+
+// FuzzUnpackTX checks that no 16-bit wire image can crash the decoder
+// and that everything it accepts re-encodes to the same image.
+func FuzzUnpackTX(f *testing.F) {
+	f.Add(uint16(0))
+	f.Add(TX{Cmd: CmdWrite, Data: 0xA5}.Pack())
+	f.Add(uint16(0xFFFF))
+	f.Fuzz(func(t *testing.T, w uint16) {
+		fr, err := UnpackTX(w)
+		if err != nil {
+			return
+		}
+		if fr.Pack() != w {
+			t.Fatalf("accepted %04x but re-encodes to %04x", w, fr.Pack())
+		}
+	})
+}
+
+// FuzzUnpackRX is the RX-side twin.
+func FuzzUnpackRX(f *testing.F) {
+	f.Add(uint16(0))
+	f.Add(RX{Int: true, Type: TypeData, Data: 0x3C}.Pack())
+	f.Add(uint16(0x7FFF))
+	f.Fuzz(func(t *testing.T, w uint16) {
+		fr, err := UnpackRX(w)
+		if err != nil {
+			return
+		}
+		if fr.Pack() != w {
+			t.Fatalf("accepted %04x but re-encodes to %04x", w, fr.Pack())
+		}
+	})
+}

@@ -1,0 +1,285 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+func twoNodes(bw float64, delay sim.Duration, q int) (*sim.Kernel, *Network, *Node, *Node) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	n.ConnectDuplex(a, b, bw, delay, q)
+	return k, n, a, b
+}
+
+func TestPacketDelivery(t *testing.T) {
+	k, n, a, b := twoNodes(1000, 10*sim.Millisecond, 0)
+	sink := NewSink(k)
+	b.Attach(sink)
+	n.Send(&Packet{Src: a, Dst: b, Size: 100})
+	k.Run()
+	if sink.Packets != 1 || sink.Bytes != 100 {
+		t.Fatalf("sink got %d packets / %d bytes", sink.Packets, sink.Bytes)
+	}
+	// 100 bytes at 1000 B/s = 100 ms serialization + 10 ms propagation.
+	want := 110 * sim.Millisecond
+	if sink.MeanLatency() != want {
+		t.Fatalf("latency = %v, want %v", sink.MeanLatency(), want)
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	a := n.NewNode("a")
+	got := 0
+	a.Attach(AgentFunc(func(p *Packet) { got++ }))
+	n.Send(&Packet{Src: a, Dst: a, Size: 1})
+	k.Run()
+	if got != 1 {
+		t.Fatal("self-addressed packet not delivered")
+	}
+}
+
+func TestSerializationPipelines(t *testing.T) {
+	// Two packets back to back: the second waits for the first's
+	// serialization, not its propagation.
+	k, n, a, b := twoNodes(1000, 50*sim.Millisecond, 0)
+	var arrivals []sim.Time
+	b.Attach(AgentFunc(func(p *Packet) { arrivals = append(arrivals, k.Now()) }))
+	n.Send(&Packet{Src: a, Dst: b, Size: 100})
+	n.Send(&Packet{Src: a, Dst: b, Size: 100})
+	k.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if arrivals[0] != sim.Time(150*sim.Millisecond) {
+		t.Fatalf("first at %v", arrivals[0])
+	}
+	if arrivals[1] != sim.Time(250*sim.Millisecond) {
+		t.Fatalf("second at %v, want 250ms (pipelined)", arrivals[1])
+	}
+}
+
+func TestQueueDropTail(t *testing.T) {
+	k, n, a, b := twoNodes(100, 0, 2)
+	sink := NewSink(k)
+	b.Attach(sink)
+	// Burst of 10 packets into a queue of 2: 1 in flight + 2 queued
+	// survive the burst; the rest drop.
+	for i := 0; i < 10; i++ {
+		n.Send(&Packet{Src: a, Dst: b, Size: 100})
+	}
+	k.Run()
+	l := a.routes[b.ID()]
+	if l.Stats().Dropped != 7 {
+		t.Fatalf("dropped = %d, want 7", l.Stats().Dropped)
+	}
+	if sink.Packets != 3 {
+		t.Fatalf("delivered = %d, want 3", sink.Packets)
+	}
+}
+
+func TestMultiHopRouting(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	a := n.NewNode("a")
+	r := n.NewNode("r")
+	b := n.NewNode("b")
+	ar, _ := n.ConnectDuplex(a, r, 1000, sim.Millisecond, 0)
+	n.ConnectDuplex(r, b, 1000, sim.Millisecond, 0)
+	n.SetRoute(a, b, ar)
+	n.SetRoute(r, b, r.routes[b.ID()])
+	sink := NewSink(k)
+	b.Attach(sink)
+	n.Send(&Packet{Src: a, Dst: b, Size: 10})
+	k.Run()
+	if sink.Packets != 1 {
+		t.Fatal("packet not routed across two hops")
+	}
+	// 2 hops x (10 ms serialization... 10 bytes at 1000 B/s = 10 ms) + 2 x 1 ms.
+	want := 22 * sim.Millisecond
+	if got := sink.MeanLatency(); got != want {
+		t.Fatalf("latency = %v, want %v", got, want)
+	}
+}
+
+func TestRouteMissingPanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for missing route")
+		}
+	}()
+	n.Send(&Packet{Src: a, Dst: b, Size: 1})
+	k.Run()
+}
+
+func TestBadRouteInstallPanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	c := n.NewNode("c")
+	bc := n.Connect(b, c, 1000, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for foreign link route")
+		}
+	}()
+	n.SetRoute(a, c, bc)
+}
+
+func TestCBRRateAccuracy(t *testing.T) {
+	k, n, a, b := twoNodes(1e6, 0, 0)
+	sink := NewSink(k)
+	b.Attach(sink)
+	cbr := &CBRSource{Net: n, Src: a, Dst: b, Rate: 1000, Size: 100}
+	cbr.Start()
+	k.RunUntil(sim.Time(10 * sim.Second))
+	cbr.Stop()
+	k.Run() // drain in-flight deliveries
+	// 1000 B/s in 100-byte packets for 10 s: 100 packets.
+	if cbr.Sent() != 100 {
+		t.Fatalf("CBR sent %d packets, want 100", cbr.Sent())
+	}
+	if sink.Packets != 100 {
+		t.Fatalf("sink received %d", sink.Packets)
+	}
+	tp := sink.ThroughputBps()
+	if math.Abs(tp-1000) > 15 {
+		t.Fatalf("measured throughput %.1f B/s, want ~1000", tp)
+	}
+}
+
+func TestCBRZeroRate(t *testing.T) {
+	_, n, a, b := twoNodes(1e6, 0, 0)
+	cbr := &CBRSource{Net: n, Src: a, Dst: b, Rate: 0, Size: 10}
+	cbr.Start()
+	cbr.Stop()
+	if cbr.Sent() != 0 {
+		t.Fatal("zero-rate CBR sent packets")
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	k, n, a, b := twoNodes(1e9, 0, 0)
+	sink := NewSink(k)
+	b.Attach(sink)
+	ps := &PoissonSource{Net: n, Src: a, Dst: b, Rate: 200, Size: 10}
+	ps.Start()
+	k.RunUntil(sim.Time(50 * sim.Second))
+	ps.Stop()
+	// Mean 200 pkt/s over 50 s: 10000 expected, sd = 100; allow 5 sd.
+	got := float64(ps.Sent())
+	if math.Abs(got-10000) > 500 {
+		t.Fatalf("Poisson sent %.0f packets, want ~10000", got)
+	}
+	if sink.Packets != ps.Sent() {
+		t.Fatalf("sink %d != sent %d", sink.Packets, ps.Sent())
+	}
+}
+
+func TestOnOffDutyCycle(t *testing.T) {
+	k, n, a, b := twoNodes(1e9, 0, 0)
+	sink := NewSink(k)
+	b.Attach(sink)
+	oo := &OnOffSource{
+		Net: n, Src: a, Dst: b, Rate: 1000, Size: 10,
+		MeanOn: sim.Second, MeanOff: sim.Second,
+	}
+	oo.Start()
+	k.RunUntil(sim.Time(100 * sim.Second))
+	oo.Stop()
+	// 50% duty cycle at 100 pkt/s: ~5000 packets; allow wide margin
+	// for the stochastic on/off process.
+	got := float64(oo.Sent())
+	if got < 3000 || got > 7000 {
+		t.Fatalf("on/off sent %.0f packets, want ~5000", got)
+	}
+}
+
+func TestLinkStats(t *testing.T) {
+	k, n, a, b := twoNodes(1000, 0, 0)
+	b.Attach(NewSink(k))
+	for i := 0; i < 5; i++ {
+		n.Send(&Packet{Src: a, Dst: b, Size: 200})
+	}
+	k.Run()
+	st := a.routes[b.ID()].Stats()
+	if st.Sent != 5 || st.Delivered != 5 || st.Bytes != 1000 {
+		t.Fatalf("link stats %+v", st)
+	}
+	if st.BusyTime != sim.Duration(5)*200*sim.Millisecond {
+		t.Fatalf("busy time %v", st.BusyTime)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	run := func() uint64 {
+		k := sim.NewKernel(77)
+		n := New(k)
+		a := n.NewNode("a")
+		b := n.NewNode("b")
+		n.ConnectDuplex(a, b, 1e6, 0, 0)
+		b.Attach(NewSink(k))
+		ps := &PoissonSource{Net: n, Src: a, Dst: b, Rate: 100, Size: 10}
+		ps.Start()
+		k.RunUntil(sim.Time(10 * sim.Second))
+		ps.Stop()
+		return ps.Sent()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic Poisson: %d vs %d", a, b)
+	}
+}
+
+func TestTwoFlowsShareLinkFairly(t *testing.T) {
+	// Two equal CBR flows into one bottleneck link: deliveries must
+	// split roughly evenly (FIFO service, no starvation).
+	k := sim.NewKernel(1)
+	n := New(k)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	n.ConnectDuplex(a, b, 1000, 0, 64)
+	var perFlow [2]uint64
+	b.Attach(AgentFunc(func(p *Packet) { perFlow[p.Flow]++ }))
+	for f := 0; f < 2; f++ {
+		cbr := &CBRSource{Net: n, Src: a, Dst: b, Flow: f, Rate: 400, Size: 20}
+		cbr.Start()
+		defer cbr.Stop()
+	}
+	k.RunUntil(sim.Time(20 * sim.Second))
+	total := perFlow[0] + perFlow[1]
+	if total == 0 {
+		t.Fatal("nothing delivered")
+	}
+	ratio := float64(perFlow[0]) / float64(total)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Fatalf("unfair split: %v", perFlow)
+	}
+}
+
+func TestSinkLatencyStatistics(t *testing.T) {
+	k, n, a, b := twoNodes(1000, 5*sim.Millisecond, 0)
+	sink := NewSink(k)
+	b.Attach(sink)
+	// Two same-size packets back to back: the second queues behind
+	// the first, so MaxLat > MeanLat.
+	n.Send(&Packet{Src: a, Dst: b, Size: 100})
+	n.Send(&Packet{Src: a, Dst: b, Size: 100})
+	k.Run()
+	if sink.MaxLat <= sink.MeanLatency() {
+		t.Fatalf("max %v <= mean %v", sink.MaxLat, sink.MeanLatency())
+	}
+	if sink.MeanLatency() != (105+205)*sim.Millisecond/2 {
+		t.Fatalf("mean latency %v", sink.MeanLatency())
+	}
+}

@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"fmt"
+	"io"
+
+	"tpspace/internal/sim"
+)
+
+// TraceOp is the one-character event code of the NS-2 ASCII trace
+// format.
+type TraceOp byte
+
+// Trace event codes, as in NS-2 trace files.
+const (
+	TraceEnqueue TraceOp = '+'
+	TraceDequeue TraceOp = '-'
+	TraceReceive TraceOp = 'r'
+	TraceDrop    TraceOp = 'd'
+)
+
+// TraceEvent describes one packet event on a link.
+type TraceEvent struct {
+	Op   TraceOp
+	At   sim.Time
+	From *Node
+	To   *Node
+	Pkt  *Packet
+}
+
+// SetTracer installs a hook receiving every link-level packet event.
+func (n *Network) SetTracer(fn func(TraceEvent)) { n.tracer = fn }
+
+func (n *Network) trace(op TraceOp, l *Link, p *Packet) {
+	if n.tracer != nil {
+		n.tracer(TraceEvent{Op: op, At: n.kernel.Now(), From: l.from, To: l.to, Pkt: p})
+	}
+}
+
+// NS2Writer renders trace events in the classic NS-2 ASCII format:
+//
+//	<op> <time> <from> <to> <type> <size> ------- <flow> <src> <dst> <seq> <id>
+//
+// which existing NS-2 post-processing tools (and eyeballs trained on
+// them) can consume directly.
+type NS2Writer struct {
+	W io.Writer
+	// Type labels packets in the trace ("cbr", "tcp", ...); defaults
+	// to "cbr".
+	Type string
+	// Err records the first write failure, if any.
+	Err error
+}
+
+// Hook returns a tracer function for Network.SetTracer.
+func (w *NS2Writer) Hook() func(TraceEvent) {
+	return func(ev TraceEvent) {
+		if w.Err != nil {
+			return
+		}
+		typ := w.Type
+		if typ == "" {
+			typ = "cbr"
+		}
+		_, err := fmt.Fprintf(w.W, "%c %.9f %d %d %s %d ------- %d %d.0 %d.0 %d %d\n",
+			ev.Op, ev.At.Seconds(), ev.From.ID(), ev.To.ID(), typ, ev.Pkt.Size,
+			ev.Pkt.Flow, ev.Pkt.Src.ID(), ev.Pkt.Dst.ID(), 0, ev.Pkt.ID)
+		if err != nil {
+			w.Err = err
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+func TestNS2TraceFormat(t *testing.T) {
+	k, n, a, b := twoNodes(1000, 10*sim.Millisecond, 0)
+	var sb strings.Builder
+	w := &NS2Writer{W: &sb}
+	n.SetTracer(w.Hook())
+	bSink := NewSink(k)
+	b.Attach(bSink)
+	n.Send(&Packet{Src: a, Dst: b, Size: 100, Flow: 3})
+	k.Run()
+	if w.Err != nil {
+		t.Fatal(w.Err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected +,-,r events, got:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "+ 0.000000000 0 1 cbr 100 ------- 3") {
+		t.Fatalf("enqueue line: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "- 0.000000000") {
+		t.Fatalf("dequeue line: %q", lines[1])
+	}
+	// Receive at serialization (100 ms) + delay (10 ms).
+	if !strings.HasPrefix(lines[2], "r 0.110000000 0 1 cbr 100") {
+		t.Fatalf("receive line: %q", lines[2])
+	}
+}
+
+func TestNS2TraceDrops(t *testing.T) {
+	k, n, a, b := twoNodes(100, 0, 1)
+	var sb strings.Builder
+	w := &NS2Writer{W: &sb, Type: "cbr"}
+	n.SetTracer(w.Hook())
+	b.Attach(NewSink(k))
+	for i := 0; i < 5; i++ {
+		n.Send(&Packet{Src: a, Dst: b, Size: 50})
+	}
+	k.Run()
+	drops := strings.Count(sb.String(), "\nd ")
+	if strings.HasPrefix(sb.String(), "d ") {
+		drops++
+	}
+	if drops != 3 { // 1 in flight + 1 queued survive
+		t.Fatalf("drop events = %d, want 3:\n%s", drops, sb.String())
+	}
+}
+
+func TestNS2TraceRecordsWriteError(t *testing.T) {
+	k, n, a, b := twoNodes(1000, 0, 0)
+	w := &NS2Writer{W: failingWriter{}}
+	n.SetTracer(w.Hook())
+	b.Attach(NewSink(k))
+	n.Send(&Packet{Src: a, Dst: b, Size: 10})
+	k.Run()
+	if w.Err == nil {
+		t.Fatal("write error not recorded")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) {
+	return 0, errWrite
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "sink full" }

@@ -1,0 +1,140 @@
+// Package registry implements the service-discovery subsystem the
+// paper's middleware provides (Section 2.1, "Support to system
+// extensions"): devices exporting a service register themselves;
+// devices needing a service query the discovery subsystem to locate
+// it. The registry is itself built on tuplespace entries, so dynamic
+// addition and removal of components needs no centralized control —
+// a service's registration is just a leased tuple.
+package registry
+
+import (
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/tuple"
+)
+
+// EntryType is the tuple type used for service registrations.
+const EntryType = "service"
+
+// Service describes one registered service instance.
+type Service struct {
+	// Name identifies the service ("fft", "actuator", ...).
+	Name string
+	// Provider identifies the node or agent exporting it.
+	Provider string
+	// Address is a provider-specific locator (a TpWIRE node ID, a
+	// TCP address, ...).
+	Address string
+}
+
+// toTuple converts a service record to its tuplespace form.
+func (s Service) toTuple() tuple.Tuple {
+	return tuple.New(EntryType,
+		tuple.String("name", s.Name),
+		tuple.String("provider", s.Provider),
+		tuple.String("address", s.Address),
+	)
+}
+
+// fromTuple parses a registration tuple.
+func fromTuple(t tuple.Tuple) Service {
+	return Service{
+		Name:     t.Fields[0].Str,
+		Provider: t.Fields[1].Str,
+		Address:  t.Fields[2].Str,
+	}
+}
+
+// template matches registrations of the given service name; an empty
+// name matches all services.
+func template(name string) tuple.Tuple {
+	nameField := tuple.AnyString("name")
+	if name != "" {
+		nameField = tuple.String("name", name)
+	}
+	return tuple.New(EntryType,
+		nameField,
+		tuple.AnyString("provider"),
+		tuple.AnyString("address"),
+	)
+}
+
+// Registry is a service-discovery view over a tuplespace.
+type Registry struct {
+	sp *space.Space
+}
+
+// New wraps a space in a registry view.
+func New(sp *space.Space) *Registry { return &Registry{sp: sp} }
+
+// Registration is a live service registration; cancelling it (or
+// letting its lease lapse) withdraws the service.
+type Registration struct {
+	lease *space.Lease
+	reg   *Registry
+	svc   Service
+}
+
+// Cancel withdraws the registration.
+func (r *Registration) Cancel() bool { return r.lease.Cancel() }
+
+// Renew re-registers the service with a fresh lease, implementing the
+// heartbeat pattern: providers renew periodically, so a crashed
+// provider's registration disappears on its own.
+func (r *Registration) Renew(lease sim.Duration) error {
+	r.lease.Cancel()
+	l, err := r.reg.sp.Write(r.svc.toTuple(), lease)
+	if err != nil {
+		return err
+	}
+	r.lease = l
+	return nil
+}
+
+// Register announces a service with the given lease (space.NoLease
+// registers permanently).
+func (r *Registry) Register(svc Service, lease sim.Duration) (*Registration, error) {
+	l, err := r.sp.Write(svc.toTuple(), lease)
+	if err != nil {
+		return nil, err
+	}
+	return &Registration{lease: l, reg: r, svc: svc}, nil
+}
+
+// Lookup finds one provider of the named service.
+func (r *Registry) Lookup(name string) (Service, bool) {
+	t, ok := r.sp.ReadIfExists(template(name))
+	if !ok {
+		return Service{}, false
+	}
+	return fromTuple(t), true
+}
+
+// LookupAll lists every provider of the named service (all services
+// when name is empty). The registrations are read non-destructively
+// via the space's scan primitive.
+func (r *Registry) LookupAll(name string) []Service {
+	var out []Service
+	for _, t := range r.sp.Scan(template(name)) {
+		out = append(out, fromTuple(t))
+	}
+	return out
+}
+
+// Await blocks (in callback style) until a provider of the named
+// service appears, up to the timeout.
+func (r *Registry) Await(name string, timeout sim.Duration, cb func(Service, bool)) {
+	r.sp.Read(template(name), timeout, func(t tuple.Tuple, ok bool) {
+		if !ok {
+			cb(Service{}, false)
+			return
+		}
+		cb(fromTuple(t), true)
+	})
+}
+
+// Watch invokes fn for every future registration of the named
+// service; the returned cancel ends the watch.
+func (r *Registry) Watch(name string, fn func(Service)) (cancel func()) {
+	return r.sp.Notify(template(name), func(t tuple.Tuple) { fn(fromTuple(t)) })
+}

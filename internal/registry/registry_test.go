@@ -1,0 +1,147 @@
+package registry
+
+import (
+	"testing"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/tuple"
+)
+
+func setup() (*sim.Kernel, *Registry, *space.Space) {
+	k := sim.NewKernel(1)
+	sp := space.New(space.SimRuntime{K: k})
+	return k, New(sp), sp
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	_, r, _ := setup()
+	if _, err := r.Register(Service{Name: "fft", Provider: "node5", Address: "tpwire:5"}, space.NoLease); err != nil {
+		t.Fatal(err)
+	}
+	svc, ok := r.Lookup("fft")
+	if !ok {
+		t.Fatal("service not found")
+	}
+	if svc.Provider != "node5" || svc.Address != "tpwire:5" {
+		t.Fatalf("wrong record: %+v", svc)
+	}
+	if _, ok := r.Lookup("dct"); ok {
+		t.Fatal("found unregistered service")
+	}
+}
+
+func TestLookupAllAndWildcard(t *testing.T) {
+	_, r, _ := setup()
+	r.Register(Service{Name: "fft", Provider: "a", Address: "1"}, space.NoLease)
+	r.Register(Service{Name: "fft", Provider: "b", Address: "2"}, space.NoLease)
+	r.Register(Service{Name: "log", Provider: "c", Address: "3"}, space.NoLease)
+	if got := r.LookupAll("fft"); len(got) != 2 {
+		t.Fatalf("fft providers = %d", len(got))
+	}
+	if got := r.LookupAll(""); len(got) != 3 {
+		t.Fatalf("all services = %d", len(got))
+	}
+	// LookupAll must be non-destructive and preserve records.
+	if got := r.LookupAll("fft"); len(got) != 2 {
+		t.Fatal("LookupAll consumed registrations")
+	}
+}
+
+func TestCancelWithdraws(t *testing.T) {
+	_, r, _ := setup()
+	reg, _ := r.Register(Service{Name: "fft", Provider: "a", Address: "1"}, space.NoLease)
+	if !reg.Cancel() {
+		t.Fatal("cancel failed")
+	}
+	if _, ok := r.Lookup("fft"); ok {
+		t.Fatal("service survived cancel")
+	}
+}
+
+func TestLeaseExpiryWithdraws(t *testing.T) {
+	// A provider that stops renewing disappears: the crash-tolerance
+	// property the paper wants from discovery.
+	k, r, _ := setup()
+	r.Register(Service{Name: "fft", Provider: "a", Address: "1"}, 10*sim.Second)
+	k.RunUntil(sim.Time(9 * sim.Second))
+	if _, ok := r.Lookup("fft"); !ok {
+		t.Fatal("service missing before lease expiry")
+	}
+	k.RunUntil(sim.Time(11 * sim.Second))
+	if _, ok := r.Lookup("fft"); ok {
+		t.Fatal("service survived lease expiry")
+	}
+}
+
+func TestRenewExtendsLifetime(t *testing.T) {
+	k, r, _ := setup()
+	reg, _ := r.Register(Service{Name: "fft", Provider: "a", Address: "1"}, 10*sim.Second)
+	// Heartbeat: renew every 5 s.
+	stop := k.Ticker("renew", 5*sim.Second, func() {
+		if err := reg.Renew(10 * sim.Second); err != nil {
+			t.Errorf("renew: %v", err)
+		}
+	})
+	k.RunUntil(sim.Time(60 * sim.Second))
+	if _, ok := r.Lookup("fft"); !ok {
+		t.Fatal("renewed service expired")
+	}
+	stop()
+	k.RunUntil(sim.Time(120 * sim.Second))
+	if _, ok := r.Lookup("fft"); ok {
+		t.Fatal("service survived after renewals stopped")
+	}
+}
+
+func TestAwait(t *testing.T) {
+	k, r, _ := setup()
+	var got Service
+	var ok bool
+	r.Await("fft", sim.Forever, func(s Service, o bool) { got, ok = s, o })
+	k.Schedule(3*sim.Second, func() {
+		r.Register(Service{Name: "fft", Provider: "late", Address: "9"}, space.NoLease)
+	})
+	k.Run()
+	if !ok || got.Provider != "late" {
+		t.Fatalf("await: %+v %v", got, ok)
+	}
+}
+
+func TestAwaitTimeout(t *testing.T) {
+	k, r, _ := setup()
+	var called, ok bool
+	r.Await("fft", 2*sim.Second, func(_ Service, o bool) { called, ok = true, o })
+	k.Run()
+	if !called || ok {
+		t.Fatalf("await timeout: called=%v ok=%v", called, ok)
+	}
+}
+
+func TestWatch(t *testing.T) {
+	_, r, _ := setup()
+	var seen []Service
+	cancel := r.Watch("fft", func(s Service) { seen = append(seen, s) })
+	r.Register(Service{Name: "fft", Provider: "a", Address: "1"}, space.NoLease)
+	r.Register(Service{Name: "log", Provider: "b", Address: "2"}, space.NoLease)
+	r.Register(Service{Name: "fft", Provider: "c", Address: "3"}, space.NoLease)
+	cancel()
+	r.Register(Service{Name: "fft", Provider: "d", Address: "4"}, space.NoLease)
+	if len(seen) != 2 || seen[0].Provider != "a" || seen[1].Provider != "c" {
+		t.Fatalf("watch saw %+v", seen)
+	}
+}
+
+func TestRegistryCoexistsWithOtherEntries(t *testing.T) {
+	// Discovery entries share the space with application tuples
+	// without interference.
+	_, r, sp := setup()
+	r.Register(Service{Name: "fft", Provider: "a", Address: "1"}, space.NoLease)
+	sp.Write(tuple.New("job", tuple.String("op", "fft"), tuple.Int("n", 8)), space.NoLease)
+	if _, ok := r.Lookup("fft"); !ok {
+		t.Fatal("lookup disturbed by foreign entries")
+	}
+	if sp.Size() != 2 {
+		t.Fatalf("size = %d", sp.Size())
+	}
+}

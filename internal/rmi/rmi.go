@@ -1,0 +1,285 @@
+// Package rmi is a remote-method-invocation layer in the role Java
+// RMI plays in the paper (Figure 3): clients invoke named methods on
+// named remote objects, with marshalled arguments, request/response
+// correlation, and asynchronous completion so it can run inside a
+// discrete-event simulation as well as over real sockets.
+//
+// Handlers complete asynchronously (they receive a respond callback),
+// which lets a remote object park an invocation — exactly what a
+// blocking tuplespace take needs.
+package rmi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"tpspace/internal/transport"
+)
+
+// Handler services one remote object: it receives the method name and
+// marshalled argument body and must eventually call respond exactly
+// once.
+type Handler func(method string, body []byte, respond func(result []byte, err error))
+
+// Errors surfaced by the layer.
+var (
+	// ErrNoObject reports an invocation on an unregistered object.
+	ErrNoObject = errors.New("rmi: no such object")
+	// ErrConnClosed reports a call on a closed client.
+	ErrConnClosed = errors.New("rmi: connection closed")
+)
+
+// message kinds on the wire.
+const (
+	kindRequest  = 0
+	kindResponse = 1
+	kindOneway   = 2
+)
+
+// marshalRequest frames an invocation.
+func marshalRequest(id uint64, kind byte, object, method string, body []byte) []byte {
+	b := make([]byte, 0, 16+len(object)+len(method)+len(body))
+	var hdr [9]byte
+	binary.BigEndian.PutUint64(hdr[:8], id)
+	hdr[8] = kind
+	b = append(b, hdr[:]...)
+	b = appendStr(b, object)
+	b = appendStr(b, method)
+	return append(b, body...)
+}
+
+// marshalResponse frames a completion.
+func marshalResponse(id uint64, errMsg string, body []byte) []byte {
+	b := make([]byte, 0, 16+len(errMsg)+len(body))
+	var hdr [9]byte
+	binary.BigEndian.PutUint64(hdr[:8], id)
+	hdr[8] = kindResponse
+	b = append(b, hdr[:]...)
+	b = appendStr(b, errMsg)
+	return append(b, body...)
+}
+
+func appendStr(b []byte, s string) []byte {
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(s)))
+	return append(append(b, l[:]...), s...)
+}
+
+func takeStr(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("rmi: truncated frame")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("rmi: truncated frame")
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// Server exports objects over one transport connection.
+type Server struct {
+	mu      sync.Mutex
+	conn    transport.Conn
+	objects map[string]Handler
+	// OnError observes malformed frames.
+	OnError func(error)
+}
+
+// NewServer creates a server bound to conn; register objects, then
+// traffic flows as it arrives.
+func NewServer(conn transport.Conn) *Server {
+	s := &Server{conn: conn, objects: make(map[string]Handler)}
+	conn.SetOnReceive(s.onMessage)
+	return s
+}
+
+// Register exports an object under a name.
+func (s *Server) Register(name string, h Handler) {
+	s.mu.Lock()
+	s.objects[name] = h
+	s.mu.Unlock()
+}
+
+func (s *Server) onMessage(b []byte) {
+	if len(b) < 9 {
+		s.fail(fmt.Errorf("rmi: short frame (%d bytes)", len(b)))
+		return
+	}
+	id := binary.BigEndian.Uint64(b[:8])
+	kind := b[8]
+	if kind != kindRequest && kind != kindOneway {
+		return // responses are not for the server side
+	}
+	object, rest, err := takeStr(b[9:])
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	method, body, err := takeStr(rest)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	s.mu.Lock()
+	h, ok := s.objects[object]
+	s.mu.Unlock()
+	if !ok {
+		if kind == kindRequest {
+			_ = s.conn.Send(marshalResponse(id, ErrNoObject.Error(), nil))
+		}
+		return
+	}
+	responded := false
+	h(method, body, func(result []byte, err error) {
+		if responded {
+			return
+		}
+		responded = true
+		if kind == kindOneway {
+			return
+		}
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		_ = s.conn.Send(marshalResponse(id, msg, result))
+	})
+}
+
+func (s *Server) fail(err error) {
+	if s.OnError != nil {
+		s.OnError(err)
+	}
+}
+
+// Client invokes remote objects over one transport connection.
+type Client struct {
+	mu      sync.Mutex
+	conn    transport.Conn
+	nextID  uint64
+	pending map[uint64]func([]byte, error)
+	closed  bool
+	// OnEvent receives unsolicited server pushes (oneway frames sent
+	// by the server towards the client), used for notify events.
+	OnEvent func(object, method string, body []byte)
+}
+
+// NewClient creates a client bound to conn.
+func NewClient(conn transport.Conn) *Client {
+	c := &Client{conn: conn, pending: make(map[uint64]func([]byte, error))}
+	conn.SetOnReceive(c.onMessage)
+	return c
+}
+
+func (c *Client) onMessage(b []byte) {
+	if len(b) < 9 {
+		return
+	}
+	id := binary.BigEndian.Uint64(b[:8])
+	kind := b[8]
+	switch kind {
+	case kindResponse:
+		errMsg, body, err := takeStr(b[9:])
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		cb := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if cb == nil {
+			return
+		}
+		if errMsg != "" {
+			cb(nil, errors.New(errMsg))
+			return
+		}
+		cb(body, nil)
+	case kindOneway:
+		object, rest, err := takeStr(b[9:])
+		if err != nil {
+			return
+		}
+		method, body, err := takeStr(rest)
+		if err != nil {
+			return
+		}
+		if c.OnEvent != nil {
+			c.OnEvent(object, method, body)
+		}
+	}
+}
+
+// Call invokes object.method with the marshalled body; cb receives
+// the result or error exactly once.
+func (c *Client) Call(object, method string, body []byte, cb func([]byte, error)) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cb(nil, ErrConnClosed)
+		return
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = cb
+	c.mu.Unlock()
+	if err := c.conn.Send(marshalRequest(id, kindRequest, object, method, body)); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		cb(nil, err)
+	}
+}
+
+// CallWait is the blocking form for wall-clock callers. Do not use
+// inside simulation event context.
+func (c *Client) CallWait(object, method string, body []byte) ([]byte, error) {
+	ch := make(chan struct {
+		b   []byte
+		err error
+	}, 1)
+	c.Call(object, method, body, func(b []byte, err error) {
+		ch <- struct {
+			b   []byte
+			err error
+		}{b, err}
+	})
+	r := <-ch
+	return r.b, r.err
+}
+
+// Oneway sends a fire-and-forget invocation (no response expected).
+func (c *Client) Oneway(object, method string, body []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrConnClosed
+	}
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+	return c.conn.Send(marshalRequest(id, kindOneway, object, method, body))
+}
+
+// Push lets a server send an unsolicited event towards the client
+// side of conn (notify delivery). It uses the oneway kind so the
+// client does not correlate it with a pending call.
+func Push(conn transport.Conn, object, method string, body []byte) error {
+	return conn.Send(marshalRequest(0, kindOneway, object, method, body))
+}
+
+// Close shuts the client down; pending calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	pend := c.pending
+	c.pending = make(map[uint64]func([]byte, error))
+	c.mu.Unlock()
+	for _, cb := range pend {
+		cb(nil, ErrConnClosed)
+	}
+	return c.conn.Close()
+}

@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"tpspace/internal/sim"
+)
+
+// Example shows event scheduling on the virtual timeline.
+func Example() {
+	k := sim.NewKernel(1)
+	k.Schedule(2*sim.Second, func() { fmt.Println("second at", k.Now()) })
+	k.Schedule(1*sim.Second, func() { fmt.Println("first at", k.Now()) })
+	k.Run()
+	// Output:
+	// first at 1.000000s
+	// second at 2.000000s
+}
+
+// ExampleKernel_Spawn shows a sequential process interleaving with
+// plain events.
+func ExampleKernel_Spawn() {
+	k := sim.NewKernel(1)
+	k.Spawn("worker", 0, func(p *sim.Process) {
+		for i := 1; i <= 3; i++ {
+			p.Wait(10 * sim.Millisecond)
+			fmt.Printf("tick %d at %v\n", i, p.Now())
+		}
+	})
+	k.Run()
+	// Output:
+	// tick 1 at 10.000ms
+	// tick 2 at 20.000ms
+	// tick 3 at 30.000ms
+}

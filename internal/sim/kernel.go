@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Priority orders events that fire at the same instant. Lower values
+// run first. Using explicit priorities keeps co-simulated domains
+// deterministic: for example, wire-level sampling runs before
+// higher-level protocol reactions scheduled for the same tick.
+type Priority int
+
+// Standard priorities. Most events use Normal.
+const (
+	PriorityWire    Priority = -10 // physical-layer sampling
+	PriorityNormal  Priority = 0
+	PriorityMonitor Priority = 10 // statistics and tracing hooks
+)
+
+// Event is a scheduled callback. Events are created by the Kernel's
+// Schedule methods and may be cancelled until they fire.
+type Event struct {
+	at       Time
+	priority Priority
+	seq      uint64
+	index    int // heap index, -1 once fired or cancelled
+	fn       func()
+	label    string
+}
+
+// At reports when the event will fire.
+func (e *Event) At() Time { return e.at }
+
+// Label reports the debug label attached at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Pending reports whether the event is still in the calendar.
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event scheduler. It is not safe for
+// concurrent use from multiple goroutines except through Process,
+// which hands control back and forth in a strictly sequential way.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+	rng     *rand.Rand
+	// trace, if set, receives every fired event. Used by tests and by
+	// cmd/tpsim's -trace flag.
+	trace func(t Time, label string)
+}
+
+// NewKernel returns a kernel with its clock at zero and a deterministic
+// random source seeded with seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time. Kernel implements Clock.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand exposes the kernel's deterministic random source. All model
+// randomness (traffic jitter, error injection) must come from here so
+// that a run is reproducible from its seed.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Pending reports the number of events currently in the calendar.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Fired reports how many events have been executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// SetTrace installs a hook invoked for every fired event.
+func (k *Kernel) SetTrace(fn func(t Time, label string)) { k.trace = fn }
+
+// Schedule arranges for fn to run after delay. A negative delay is an
+// error in the model and panics, because silently reordering the past
+// would corrupt causality.
+func (k *Kernel) Schedule(delay Duration, fn func()) *Event {
+	return k.ScheduleName("", delay, fn)
+}
+
+// ScheduleName is Schedule with a debug label.
+func (k *Kernel) ScheduleName(label string, delay Duration, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return k.at(label, k.now.Add(delay), PriorityNormal, fn)
+}
+
+// SchedulePrio schedules fn after delay with an explicit same-instant
+// priority.
+func (k *Kernel) SchedulePrio(label string, delay Duration, p Priority, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return k.at(label, k.now.Add(delay), p, fn)
+}
+
+// At schedules fn at absolute time t, which must not precede the
+// current time.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule in the past: %v < %v", t, k.now))
+	}
+	return k.at("", t, PriorityNormal, fn)
+}
+
+func (k *Kernel) at(label string, t Time, p Priority, fn func()) *Event {
+	e := &Event{at: t, priority: p, seq: k.seq, fn: fn, label: label}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// Cancel removes a pending event from the calendar. Cancelling an
+// already-fired or already-cancelled event is a no-op and reports
+// false.
+func (k *Kernel) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&k.events, e.index)
+	return true
+}
+
+// Step fires the single next event, advancing the clock to it. It
+// reports false when the calendar is empty.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*Event)
+	k.now = e.at
+	k.fired++
+	if k.trace != nil {
+		k.trace(k.now, e.label)
+	}
+	e.fn()
+	return true
+}
+
+// Run executes events until the calendar drains or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps not after horizon, then
+// advances the clock to the horizon. Events scheduled beyond the
+// horizon remain pending.
+func (k *Kernel) RunUntil(horizon Time) {
+	k.stopped = false
+	for !k.stopped && len(k.events) > 0 && k.events[0].at <= horizon {
+		k.Step()
+	}
+	if !k.stopped && k.now < horizon {
+		k.now = horizon
+	}
+}
+
+// RunFor is RunUntil relative to the current time.
+func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now.Add(d)) }
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether the last Run/RunUntil was interrupted by
+// Stop.
+func (k *Kernel) Stopped() bool { return k.stopped }

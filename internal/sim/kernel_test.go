@@ -1,0 +1,407 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.Schedule(30*Millisecond, func() { got = append(got, 3) })
+	k.Schedule(10*Millisecond, func() { got = append(got, 1) })
+	k.Schedule(20*Millisecond, func() { got = append(got, 2) })
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if k.Now() != Time(30*Millisecond) {
+		t.Fatalf("clock = %v, want 30ms", k.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(Second, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSameInstantPriority(t *testing.T) {
+	k := NewKernel(1)
+	var got []string
+	k.SchedulePrio("mon", Second, PriorityMonitor, func() { got = append(got, "mon") })
+	k.SchedulePrio("wire", Second, PriorityWire, func() { got = append(got, "wire") })
+	k.SchedulePrio("norm", Second, PriorityNormal, func() { got = append(got, "norm") })
+	k.Run()
+	want := []string{"wire", "norm", "mon"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("priority order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	e := k.Schedule(Second, func() { fired = true })
+	if !k.Cancel(e) {
+		t.Fatal("first Cancel reported false")
+	}
+	if k.Cancel(e) {
+		t.Fatal("second Cancel reported true")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	var events []*Event
+	for i := 0; i < 50; i++ {
+		i := i
+		events = append(events, k.Schedule(Duration(i+1)*Millisecond, func() { got = append(got, i) }))
+	}
+	// Cancel every third event.
+	want := []int{}
+	for i := 0; i < 50; i++ {
+		if i%3 == 0 {
+			k.Cancel(events[i])
+		} else {
+			want = append(want, i)
+		}
+	}
+	k.Run()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	k.Schedule(Second, func() { fired++ })
+	k.Schedule(3*Second, func() { fired++ })
+	k.RunUntil(Time(2 * Second))
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if k.Now() != Time(2*Second) {
+		t.Fatalf("clock = %v, want 2s", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	k.RunUntil(Time(5 * Second))
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		k.Schedule(Duration(i)*Second, func() {
+			fired++
+			if fired == 4 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if fired != 4 {
+		t.Fatalf("fired = %d, want 4", fired)
+	}
+	if !k.Stopped() {
+		t.Fatal("kernel does not report stopped")
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative delay")
+		}
+	}()
+	NewKernel(1).Schedule(-1, func() {})
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.Schedule(Second, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for At in the past")
+		}
+	}()
+	k.At(Time(Millisecond), func() {})
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			k.Schedule(Millisecond, recurse)
+		}
+	}
+	k.Schedule(0, recurse)
+	k.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if k.Now() != Time(99*Millisecond) {
+		t.Fatalf("clock = %v, want 99ms", k.Now())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		k := NewKernel(42)
+		var trace []int64
+		// Schedule a pseudo-random workload derived from the kernel RNG.
+		var step func()
+		step = func() {
+			trace = append(trace, int64(k.Now()))
+			if len(trace) < 200 {
+				k.Schedule(Duration(k.Rand().Intn(1000)+1)*Microsecond, step)
+			}
+		}
+		k.Schedule(0, step)
+		k.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestQuickHeapOrdersArbitraryDelays(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		k := NewKernel(7)
+		var fired []Duration
+		for _, r := range raw {
+			d := Duration(r % 1_000_000)
+			k.Schedule(d, func() { fired = append(fired, Duration(k.Now())) })
+		}
+		k.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickerStops(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	var stop func()
+	stop = k.Ticker("tick", 10*Millisecond, func() {
+		n++
+		if n == 5 {
+			stop()
+		}
+	})
+	k.RunUntil(Time(Second))
+	if n != 5 {
+		t.Fatalf("ticks = %d, want 5", n)
+	}
+}
+
+func TestRunRealtimePacing(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	for i := 1; i <= 5; i++ {
+		k.Schedule(Duration(i)*10*Millisecond, func() { fired++ })
+	}
+	start := time.Now()
+	stats := k.RunRealtime(Time(Second), 1.0)
+	wall := time.Since(start)
+	if fired != 5 {
+		t.Fatalf("fired = %d, want 5", fired)
+	}
+	if stats.Events != 5 {
+		t.Fatalf("stats.Events = %d, want 5", stats.Events)
+	}
+	// 50 ms of simulated time should take at least ~40 ms of wall time
+	// (generous slack for coarse sleepers).
+	if wall < 30*time.Millisecond {
+		t.Fatalf("real-time run finished too fast: %v", wall)
+	}
+}
+
+func TestRunRealtimeSpeedup(t *testing.T) {
+	k := NewKernel(1)
+	k.Schedule(200*Millisecond, func() {})
+	start := time.Now()
+	k.RunRealtime(Time(Second), 10.0) // 10x faster than real time
+	wall := time.Since(start)
+	if wall > 150*time.Millisecond {
+		t.Fatalf("speedup ignored: wall = %v", wall)
+	}
+}
+
+func TestTimeStringAndConversions(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{1500 * Nanosecond, "1.500us"},
+		{2500 * Microsecond, "2.500ms"},
+		{3 * Second, "3.000000s"},
+		{Forever, "forever"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+	if Seconds(2.5) != 2500*Millisecond {
+		t.Errorf("Seconds(2.5) = %v", Seconds(2.5))
+	}
+	if Time(0).Add(Forever) != Time(1<<63-1) {
+		t.Errorf("Add overflow not clamped")
+	}
+	if Time(5*Second).Sub(Time(2*Second)) != 3*Second {
+		t.Errorf("Sub wrong")
+	}
+	if Time(1500*Millisecond).Seconds() != 1.5 {
+		t.Errorf("Seconds wrong")
+	}
+}
+
+func TestWallClockMonotone(t *testing.T) {
+	w := NewWallClock()
+	a := w.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := w.Now()
+	if b <= a {
+		t.Fatalf("wall clock not monotone: %v then %v", a, b)
+	}
+}
+
+func TestKernelAccessors(t *testing.T) {
+	k := NewKernel(1)
+	e := k.ScheduleName("probe", Second, func() {})
+	if e.At() != Time(Second) || e.Label() != "probe" || !e.Pending() {
+		t.Fatalf("event accessors: at=%v label=%q pending=%v", e.At(), e.Label(), e.Pending())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d", k.Pending())
+	}
+	var traced []string
+	k.SetTrace(func(_ Time, label string) { traced = append(traced, label) })
+	k.Run()
+	if k.Fired() != 1 {
+		t.Fatalf("Fired = %d", k.Fired())
+	}
+	if len(traced) != 1 || traced[0] != "probe" {
+		t.Fatalf("trace = %v", traced)
+	}
+	if e.Pending() {
+		t.Fatal("fired event still pending")
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	k.Schedule(Second, func() { n++ })
+	k.Schedule(3*Second, func() { n++ })
+	k.RunFor(2 * Second)
+	if n != 1 || k.Now() != Time(2*Second) {
+		t.Fatalf("RunFor: n=%d now=%v", n, k.Now())
+	}
+}
+
+func TestProcessAccessors(t *testing.T) {
+	k := NewKernel(1)
+	p := k.Spawn("worker", 0, func(p *Process) {
+		if p.Name() != "worker" || p.Kernel() != k {
+			t.Error("process accessors wrong")
+		}
+		p.Wait(Millisecond)
+	})
+	k.Run()
+	if !p.Done() {
+		t.Fatal("process not done")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Time(Second).Std() != 1e9 {
+		t.Fatal("Time.Std wrong")
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Fatal("Duration.Seconds wrong")
+	}
+	if DurationOf(1500000000) != Duration(1500*Millisecond) {
+		t.Fatal("DurationOf wrong")
+	}
+	if (500 * Millisecond).Std() != 500e6 {
+		t.Fatal("Duration.Std wrong")
+	}
+}
+
+func TestSchedulePrioNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewKernel(1).SchedulePrio("x", -1, PriorityNormal, func() {})
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewKernel(1).Ticker("x", 0, func() {})
+}
+
+func TestWallClockZeroValue(t *testing.T) {
+	var w WallClock
+	a := w.Now() // initialises the epoch lazily
+	if a < 0 {
+		t.Fatal("negative wall time")
+	}
+}

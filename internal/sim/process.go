@@ -1,0 +1,159 @@
+package sim
+
+import "fmt"
+
+// Process is a sequential coroutine running inside the simulation, in
+// the style of an NS-2 application object or a SystemC SC_THREAD. A
+// process runs on its own goroutine but control is handed back and
+// forth with the kernel in strict alternation, so the simulation stays
+// single-threaded in effect and fully deterministic.
+//
+// The body receives the Process and uses Wait / WaitUntil / Block to
+// advance simulated time. When the body returns, the process ends.
+type Process struct {
+	k      *Kernel
+	name   string
+	resume chan struct{} // kernel -> process
+	yield  chan struct{} // process -> kernel
+	done   bool
+	dead   bool
+}
+
+// Spawn creates a process and schedules its first activation after
+// delay. The body runs to completion unless it calls Kill on itself.
+func (k *Kernel) Spawn(name string, delay Duration, body func(p *Process)) *Process {
+	p := &Process{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	go func() {
+		<-p.resume
+		if !p.dead {
+			runKilled(func() { body(p) })
+		}
+		p.done = true
+		p.yield <- struct{}{}
+	}()
+	k.ScheduleName("spawn:"+name, delay, p.activate)
+	return p
+}
+
+// activate transfers control to the process goroutine and blocks until
+// it yields back (by waiting or by finishing).
+func (p *Process) activate() {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// Name reports the process name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Kernel returns the kernel the process runs on.
+func (p *Process) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time; sugar for p.Kernel().Now().
+func (p *Process) Now() Time { return p.k.Now() }
+
+// Done reports whether the process body has returned.
+func (p *Process) Done() bool { return p.done }
+
+// Wait suspends the process for d of simulated time. It must only be
+// called from the process's own body.
+func (p *Process) Wait(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %s waits negative %v", p.name, d))
+	}
+	p.k.ScheduleName("wake:"+p.name, d, p.activate)
+	p.park()
+}
+
+// park yields control to the kernel and blocks until reactivated.
+func (p *Process) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.dead {
+		// Unwind the body via panic; Spawn's goroutine recovers by
+		// letting the goroutine exit (the panic is confined).
+		panic(killSentinel{})
+	}
+}
+
+// killSentinel unwinds a killed process body.
+type killSentinel struct{}
+
+// Kill terminates the process the next time it would resume. It may be
+// called from any event context. Waiting processes never resume their
+// body again.
+func (p *Process) Kill() {
+	if p.done || p.dead {
+		return
+	}
+	p.dead = true
+	// If the process is parked, activate it once so the goroutine can
+	// unwind and exit.
+	p.k.ScheduleName("kill:"+p.name, 0, func() {
+		if p.done {
+			return
+		}
+		p.resume <- struct{}{}
+		<-p.yield
+	})
+	// Swallow the sentinel panic in the spawn wrapper.
+}
+
+// Block suspends the process until another event calls the returned
+// wake function (at most once). A wake scheduled before the process
+// parks is remembered. Optional timeout: if d is not Forever and
+// elapses first, Block returns false.
+func (p *Process) Block(d Duration) (wake func(), wait func() bool) {
+	fired := false
+	timedOut := false
+	var timer *Event
+	wake = func() {
+		if fired || timedOut {
+			return
+		}
+		fired = true
+		if timer != nil {
+			p.k.Cancel(timer)
+		}
+		p.k.ScheduleName("unblock:"+p.name, 0, p.activate)
+	}
+	wait = func() bool {
+		if fired {
+			return true
+		}
+		if d != Forever {
+			timer = p.k.ScheduleName("blocktimeout:"+p.name, d, func() {
+				if fired {
+					return
+				}
+				timedOut = true
+				p.activate()
+			})
+		}
+		p.park()
+		return fired
+	}
+	return wake, wait
+}
+
+// runKilled recovers the kill sentinel; used by Spawn's wrapper.
+func runKilled(body func()) (killed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); ok {
+				killed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	body()
+	return false
+}

@@ -1,0 +1,155 @@
+package sim
+
+import "testing"
+
+func TestProcessSequentialWaits(t *testing.T) {
+	k := NewKernel(1)
+	var marks []Time
+	k.Spawn("p", 0, func(p *Process) {
+		for i := 0; i < 5; i++ {
+			marks = append(marks, p.Now())
+			p.Wait(10 * Millisecond)
+		}
+	})
+	k.Run()
+	for i, m := range marks {
+		if m != Time(Duration(i)*10*Millisecond) {
+			t.Fatalf("mark %d at %v", i, m)
+		}
+	}
+	if len(marks) != 5 {
+		t.Fatalf("marks = %d, want 5", len(marks))
+	}
+}
+
+func TestTwoProcessesInterleaveDeterministically(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.Spawn("a", 0, func(p *Process) {
+		for i := 0; i < 3; i++ {
+			order = append(order, "a")
+			p.Wait(10 * Millisecond)
+		}
+	})
+	k.Spawn("b", 5*Millisecond, func(p *Process) {
+		for i := 0; i < 3; i++ {
+			order = append(order, "b")
+			p.Wait(10 * Millisecond)
+		}
+	})
+	k.Run()
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcessBlockAndWake(t *testing.T) {
+	k := NewKernel(1)
+	var woken bool
+	var wake func()
+	p := k.Spawn("blocker", 0, func(p *Process) {
+		var wait func() bool
+		wake, wait = p.Block(Forever)
+		// Yield so the waker can run; Block parks immediately in wait.
+		woken = wait()
+	})
+	k.Schedule(50*Millisecond, func() { wake() })
+	k.Run()
+	if !woken {
+		t.Fatal("process not woken")
+	}
+	if !p.Done() {
+		t.Fatal("process not done")
+	}
+	if k.Now() != Time(50*Millisecond) {
+		t.Fatalf("woke at %v", k.Now())
+	}
+}
+
+func TestProcessBlockTimeout(t *testing.T) {
+	k := NewKernel(1)
+	var ok bool
+	var at Time
+	k.Spawn("timeout", 0, func(p *Process) {
+		_, wait := p.Block(30 * Millisecond)
+		ok = wait()
+		at = p.Now()
+	})
+	k.Run()
+	if ok {
+		t.Fatal("wait reported success on timeout")
+	}
+	if at != Time(30*Millisecond) {
+		t.Fatalf("timed out at %v, want 30ms", at)
+	}
+}
+
+func TestProcessBlockWakeBeatsTimeout(t *testing.T) {
+	k := NewKernel(1)
+	var ok bool
+	var wake func()
+	k.Spawn("race", 0, func(p *Process) {
+		var wait func() bool
+		wake, wait = p.Block(100 * Millisecond)
+		ok = wait()
+	})
+	k.Schedule(10*Millisecond, func() { wake() })
+	k.Run()
+	if !ok {
+		t.Fatal("wake did not beat timeout")
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("stale timer left pending: %d", k.Pending())
+	}
+}
+
+func TestProcessKillWhileParked(t *testing.T) {
+	k := NewKernel(1)
+	reached := false
+	p := k.Spawn("victim", 0, func(p *Process) {
+		p.Wait(Second)
+		reached = true
+	})
+	k.Schedule(100*Millisecond, func() { p.Kill() })
+	k.Run()
+	if reached {
+		t.Fatal("killed process continued past Wait")
+	}
+	if !p.Done() {
+		t.Fatal("killed process not marked done")
+	}
+}
+
+func TestProcessKillBeforeStart(t *testing.T) {
+	k := NewKernel(1)
+	ran := false
+	p := k.Spawn("never", Second, func(p *Process) { ran = true })
+	p.Kill()
+	k.Run()
+	if ran {
+		t.Fatal("killed-before-start process ran")
+	}
+}
+
+func TestDoubleWakeIsHarmless(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	var wake func()
+	k.Spawn("w", 0, func(p *Process) {
+		var wait func() bool
+		wake, wait = p.Block(Forever)
+		wait()
+		count++
+	})
+	k.Schedule(Millisecond, func() { wake(); wake() })
+	k.Run()
+	if count != 1 {
+		t.Fatalf("process resumed %d times", count)
+	}
+}

@@ -1,0 +1,124 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel plays the role that the NS-2 event scheduler plays in the
+// paper: it maintains a virtual clock, an ordered calendar of pending
+// events, and (optionally) a real-time execution mode that ties event
+// firing to the wall clock, which the paper uses to validate the
+// simulated TpWIRE model against the real hardware.
+//
+// All higher layers (netsim, tpwire, cosim, the tuplespace scenarios)
+// schedule work through a single Kernel so that a whole heterogeneous
+// co-simulation advances on one coherent timeline.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point on the simulated timeline, measured in nanoseconds
+// from the start of the simulation. The range of int64 nanoseconds
+// (about 292 simulated years) comfortably covers every scenario in the
+// paper, whose longest run is a few hundred seconds.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds. It is kept as a
+// distinct type from Time so that "point" and "span" cannot be mixed
+// accidentally.
+type Duration int64
+
+// Convenient duration units, mirroring the time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Forever is a sentinel duration used for blocking operations with no
+// timeout. It is far larger than any realistic simulation horizon.
+const Forever Duration = 1<<63 - 1
+
+// Add returns the time d after t. Additions that would overflow clamp
+// to the maximum representable time, which callers treat as "never".
+func (t Time) Add(d Duration) Time {
+	s := Time(int64(t) + int64(d))
+	if d > 0 && s < t { // overflow
+		return Time(1<<63 - 1)
+	}
+	return s
+}
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(int64(t) - int64(u)) }
+
+// Seconds reports the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Std converts a simulated time to a time.Duration offset, useful when
+// mapping simulated time onto the wall clock in real-time mode.
+func (t Time) Std() time.Duration { return time.Duration(t) }
+
+// String renders the time as seconds with nanosecond precision,
+// trimming to a readable unit.
+func (t Time) String() string { return Duration(t).String() }
+
+// Seconds reports the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Std converts a simulated duration to a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// DurationOf converts a standard library duration into a simulated one.
+func DurationOf(d time.Duration) Duration { return Duration(d) }
+
+// Seconds builds a Duration from floating-point seconds. It is the
+// conversion used when scenario files express rates such as "0.3
+// bytes/second" and lease times such as "160 s".
+func Seconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// String renders the duration in the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d == Forever:
+		return "forever"
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.3fus", float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(d)/float64(Second))
+	}
+}
+
+// Clock abstracts "what time is it" so that components such as the
+// tuplespace lease manager can run either inside a simulation (driven
+// by a Kernel) or in real deployments (driven by the wall clock).
+type Clock interface {
+	// Now returns the current time on this clock's timeline.
+	Now() Time
+}
+
+// WallClock is a Clock backed by the operating system clock. The zero
+// value is ready to use; all times are measured from the first call.
+type WallClock struct {
+	epoch time.Time
+}
+
+// NewWallClock returns a wall clock whose origin is the moment of the
+// call.
+func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} }
+
+// Now implements Clock.
+func (w *WallClock) Now() Time {
+	if w.epoch.IsZero() {
+		w.epoch = time.Now()
+	}
+	return Time(time.Since(w.epoch))
+}

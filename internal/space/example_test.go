@@ -1,0 +1,85 @@
+package space_test
+
+import (
+	"fmt"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/tuple"
+)
+
+// Example shows the basic tuplespace cycle: write an entry, match it
+// associatively, take it out.
+func Example() {
+	k := sim.NewKernel(1)
+	sp := space.New(space.SimRuntime{K: k})
+
+	entry := tuple.New("reading",
+		tuple.String("sensor", "temp-3"),
+		tuple.Float("celsius", 21.5),
+	)
+	if _, err := sp.Write(entry, space.NoLease); err != nil {
+		panic(err)
+	}
+
+	// Wildcards are formals: this template matches any reading from
+	// temp-3.
+	tmpl := tuple.New("reading",
+		tuple.String("sensor", "temp-3"),
+		tuple.AnyFloat("celsius"),
+	)
+	got, ok := sp.TakeIfExists(tmpl)
+	fmt.Println(ok, got)
+	// Output:
+	// true reading(sensor="temp-3", celsius=21.5)
+}
+
+// ExampleSpace_Take shows a blocking take satisfied by a later write,
+// inside a simulation.
+func ExampleSpace_Take() {
+	k := sim.NewKernel(1)
+	sp := space.New(space.SimRuntime{K: k})
+
+	tmpl := tuple.New("job", tuple.AnyString("op"))
+	sp.Take(tmpl, sim.Forever, func(t tuple.Tuple, ok bool) {
+		fmt.Printf("worker got %v at t=%v\n", t, k.Now())
+	})
+
+	k.Schedule(3*sim.Second, func() {
+		sp.Write(tuple.New("job", tuple.String("op", "fft")), space.NoLease)
+	})
+	k.Run()
+	// Output:
+	// worker got job(op="fft") at t=3.000000s
+}
+
+// ExampleSpace_Write_lease shows entries disappearing when their
+// lifetime lapses — the mechanism behind the paper's "Out of Time".
+func ExampleSpace_Write_lease() {
+	k := sim.NewKernel(1)
+	sp := space.New(space.SimRuntime{K: k})
+	sp.Write(tuple.New("e", tuple.Int("v", 1)), 160*sim.Second)
+
+	k.RunUntil(sim.Time(161 * sim.Second))
+	_, ok := sp.TakeIfExists(tuple.New("e", tuple.AnyInt("v")))
+	fmt.Println("take after lease:", ok)
+	// Output:
+	// take after lease: false
+}
+
+// ExampleTxn shows a transaction holding a taken entry and restoring
+// it on abort.
+func ExampleTxn() {
+	k := sim.NewKernel(1)
+	sp := space.New(space.SimRuntime{K: k})
+	sp.Write(tuple.New("t", tuple.Int("v", 7)), space.NoLease)
+
+	tx := sp.NewTxn(0)
+	tx.TakeIfExists(tuple.New("t", tuple.AnyInt("v")))
+	fmt.Println("visible during txn:", sp.Size())
+	tx.Abort()
+	fmt.Println("restored after abort:", sp.Size())
+	// Output:
+	// visible during txn: 0
+	// restored after abort: 1
+}

@@ -1,0 +1,244 @@
+package space
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tuple"
+	"tpspace/internal/xmlcodec"
+)
+
+// The paper describes the tuplespace as "asynchronous (and anonymous)
+// associatively addressed messaging, where the messages are kept in a
+// persistent message store". This file provides that persistence: a
+// write-ahead journal of state-changing operations (writes, takes,
+// expiries, cancellations) that can rebuild the store after a
+// restart.
+//
+// Record format: 1-byte opcode, then for writes a lease in
+// nanoseconds (int64, big-endian), an entry id (uint64), and the
+// tuple in the compact binary encoding, length-prefixed; for removals
+// just the entry id. The journal is an append-only stream, safe to
+// replay prefix-wise after a crash (a torn final record is ignored).
+
+// Journal opcodes.
+const (
+	journalWrite  = 0x01
+	journalRemove = 0x02
+)
+
+// ErrJournalCorrupt reports a malformed (non-torn) journal record.
+var ErrJournalCorrupt = errors.New("space: journal corrupt")
+
+// Journal persists space mutations to a writer.
+type Journal struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	f   *os.File // non-nil when backed by a file (for Sync)
+	err error
+}
+
+// NewJournal wraps a writer (commonly an os.File opened with
+// O_APPEND).
+func NewJournal(w io.Writer) *Journal {
+	j := &Journal{w: bufio.NewWriter(w)}
+	if f, ok := w.(*os.File); ok {
+		j.f = f
+	}
+	return j
+}
+
+// OpenJournal opens (creating if needed) a journal file for append.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return NewJournal(f), nil
+}
+
+// Err returns the first write failure, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Flush drains buffered records (and fsyncs when file-backed).
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = err
+		return err
+	}
+	if j.f != nil {
+		if err := j.f.Sync(); err != nil {
+			j.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file, when file-backed.
+func (j *Journal) Close() error {
+	if err := j.Flush(); err != nil {
+		return err
+	}
+	if j.f != nil {
+		return j.f.Close()
+	}
+	return nil
+}
+
+func (j *Journal) logWrite(id uint64, t tuple.Tuple, lease sim.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	body := xmlcodec.EncodeTupleBinary(t)
+	var hdr [1 + 8 + 8 + 4]byte
+	hdr[0] = journalWrite
+	binary.BigEndian.PutUint64(hdr[1:], uint64(lease))
+	binary.BigEndian.PutUint64(hdr[9:], id)
+	binary.BigEndian.PutUint32(hdr[17:], uint32(len(body)))
+	if _, err := j.w.Write(hdr[:]); err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(body); err != nil {
+		j.err = err
+	}
+}
+
+func (j *Journal) logRemove(id uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	var rec [9]byte
+	rec[0] = journalRemove
+	binary.BigEndian.PutUint64(rec[1:], id)
+	if _, err := j.w.Write(rec[:]); err != nil {
+		j.err = err
+	}
+}
+
+// SetJournal attaches a journal: every subsequent write, take, lease
+// expiry and cancellation is recorded. Attach before the first write;
+// existing entries are not back-filled (replay first, then attach).
+func (s *Space) SetJournal(j *Journal) {
+	s.mu.Lock()
+	s.journal = j
+	s.mu.Unlock()
+}
+
+// Replay rebuilds a space's store from a journal stream: surviving
+// writes are re-inserted in their original total order with their
+// original leases re-armed from now. It returns the number of live
+// entries restored. Replay must run before the space is otherwise
+// used.
+func (s *Space) Replay(r io.Reader) (int, error) {
+	type pending struct {
+		t     tuple.Tuple
+		lease sim.Duration
+	}
+	live := map[uint64]pending{}
+	var order []uint64
+
+	br := bufio.NewReader(r)
+	for {
+		op, err := br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		switch op {
+		case journalWrite:
+			var hdr [20]byte
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				if err == io.ErrUnexpectedEOF || err == io.EOF {
+					goto done // torn tail record: ignore
+				}
+				return 0, err
+			}
+			lease := sim.Duration(binary.BigEndian.Uint64(hdr[0:]))
+			id := binary.BigEndian.Uint64(hdr[8:])
+			n := binary.BigEndian.Uint32(hdr[16:])
+			body := make([]byte, n)
+			if _, err := io.ReadFull(br, body); err != nil {
+				if err == io.ErrUnexpectedEOF || err == io.EOF {
+					goto done
+				}
+				return 0, err
+			}
+			t, err := xmlcodec.DecodeTupleBinary(body)
+			if err != nil {
+				return 0, fmt.Errorf("%w: %v", ErrJournalCorrupt, err)
+			}
+			live[id] = pending{t: t, lease: lease}
+			order = append(order, id)
+		case journalRemove:
+			var rec [8]byte
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				if err == io.ErrUnexpectedEOF || err == io.EOF {
+					goto done
+				}
+				return 0, err
+			}
+			delete(live, binary.BigEndian.Uint64(rec[:]))
+		default:
+			return 0, fmt.Errorf("%w: opcode %#x", ErrJournalCorrupt, op)
+		}
+	}
+done:
+	// An id may recur (a txn abort re-logs the restored entry);
+	// restore each live entry once, at its latest journal position.
+	lastPos := make(map[uint64]int, len(order))
+	for i, id := range order {
+		lastPos[id] = i
+	}
+	restored := 0
+	for i, id := range order {
+		if lastPos[id] != i {
+			continue
+		}
+		p, ok := live[id]
+		if !ok {
+			continue // removed later in the journal
+		}
+		if _, err := s.Write(p.t, p.lease); err != nil {
+			return restored, err
+		}
+		restored++
+	}
+	return restored, nil
+}
+
+// ReplayFile is Replay over a journal file; a missing file restores
+// nothing and is not an error (first boot).
+func (s *Space) ReplayFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	return s.Replay(f)
+}

@@ -1,0 +1,241 @@
+package space
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tuple"
+)
+
+func TestJournalReplayRestoresLiveEntries(t *testing.T) {
+	var buf bytes.Buffer
+	_, s := simSpace()
+	s.SetJournal(NewJournal(&buf))
+	s.Write(job("a", 1), NoLease)
+	s.Write(job("b", 2), NoLease)
+	s.Write(job("c", 3), NoLease)
+	if _, ok := s.TakeIfExists(anyJob()); !ok { // consumes "a"
+		t.Fatal("take failed")
+	}
+	if err := s.journal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh space rebuilt from the journal holds b and c, in order.
+	_, s2 := simSpace()
+	n, err := s2.Replay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || s2.Size() != 2 {
+		t.Fatalf("restored %d entries, size %d", n, s2.Size())
+	}
+	got, ok := s2.TakeIfExists(anyJob())
+	if !ok || got.Fields[0].Str != "b" {
+		t.Fatalf("order lost: %v", got)
+	}
+	got, ok = s2.TakeIfExists(anyJob())
+	if !ok || got.Fields[0].Str != "c" {
+		t.Fatalf("order lost: %v", got)
+	}
+}
+
+func TestJournalRecordsExpiryAndCancel(t *testing.T) {
+	var buf bytes.Buffer
+	k, s := simSpace()
+	s.SetJournal(NewJournal(&buf))
+	s.Write(job("expiring", 1), 5*sim.Second)
+	l, _ := s.Write(job("cancelled", 2), NoLease)
+	s.Write(job("survivor", 3), NoLease)
+	k.RunUntil(sim.Time(10 * sim.Second)) // the lease lapses
+	l.Cancel()
+	s.journal.Flush()
+
+	_, s2 := simSpace()
+	n, err := s2.Replay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d, want 1", n)
+	}
+	got, ok := s2.ReadIfExists(anyJob())
+	if !ok || got.Fields[0].Str != "survivor" {
+		t.Fatalf("wrong survivor: %v", got)
+	}
+}
+
+func TestJournalLeaseRearmedOnReplay(t *testing.T) {
+	var buf bytes.Buffer
+	_, s := simSpace()
+	s.SetJournal(NewJournal(&buf))
+	s.Write(job("leased", 1), 30*sim.Second)
+	s.journal.Flush()
+
+	k2 := sim.NewKernel(2)
+	s2 := New(SimRuntime{K: k2})
+	if _, err := s2.Replay(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Size() != 1 {
+		t.Fatal("entry not restored")
+	}
+	k2.RunUntil(sim.Time(31 * sim.Second))
+	if s2.Size() != 0 {
+		t.Fatal("restored lease did not re-arm")
+	}
+}
+
+func TestJournalTornTailIgnored(t *testing.T) {
+	var buf bytes.Buffer
+	_, s := simSpace()
+	s.SetJournal(NewJournal(&buf))
+	s.Write(job("whole", 1), NoLease)
+	s.Write(job("torn", 2), NoLease)
+	s.journal.Flush()
+
+	// Chop the stream mid-record: the prefix must still replay.
+	data := buf.Bytes()
+	_, s2 := simSpace()
+	n, err := s2.Replay(bytes.NewReader(data[:len(data)-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d from torn journal, want 1", n)
+	}
+}
+
+func TestJournalCorruptOpcode(t *testing.T) {
+	_, s := simSpace()
+	if _, err := s.Replay(bytes.NewReader([]byte{0x7F, 0, 0})); err == nil {
+		t.Fatal("corrupt opcode accepted")
+	}
+}
+
+func TestJournalFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "space.journal")
+
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s := simSpace()
+	s.SetJournal(j)
+	s.Write(job("persisted", 42), NoLease)
+	s.Write(job("taken", 43), NoLease)
+	s.TakeIfExists(tuple.New("job", tuple.String("op", "taken"), tuple.AnyInt("n")))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": rebuild from the file.
+	_, s2 := simSpace()
+	n, err := s2.ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || s2.Size() != 1 {
+		t.Fatalf("restored %d entries", n)
+	}
+	got, _ := s2.ReadIfExists(anyJob())
+	if got.Fields[1].Int != 42 {
+		t.Fatalf("restored %v", got)
+	}
+
+	// Appending after replay continues the history.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.SetJournal(j2)
+	s2.Write(job("later", 44), NoLease)
+	j2.Close()
+	_, s3 := simSpace()
+	if n, _ := s3.ReplayFile(path); n != 2 {
+		t.Fatalf("after append, restored %d, want 2", n)
+	}
+}
+
+func TestReplayFileMissingIsFirstBoot(t *testing.T) {
+	_, s := simSpace()
+	n, err := s.ReplayFile(filepath.Join(t.TempDir(), "nope.journal"))
+	if err != nil || n != 0 {
+		t.Fatalf("missing journal: n=%d err=%v", n, err)
+	}
+}
+
+func TestJournalTxnInteraction(t *testing.T) {
+	var buf bytes.Buffer
+	_, s := simSpace()
+	s.SetJournal(NewJournal(&buf))
+	s.Write(job("kept", 1), NoLease)
+	s.Write(job("gone", 2), NoLease)
+
+	// A committed take-under-txn removes for good; an aborted one
+	// restores.
+	tx := s.NewTxn(0)
+	tx.TakeIfExists(tuple.New("job", tuple.String("op", "gone"), tuple.AnyInt("n")))
+	tx.Commit()
+	tx2 := s.NewTxn(0)
+	tx2.TakeIfExists(tuple.New("job", tuple.String("op", "kept"), tuple.AnyInt("n")))
+	tx2.Abort()
+	s.journal.Flush()
+
+	_, s2 := simSpace()
+	n, err := s2.Replay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d, want 1", n)
+	}
+	got, _ := s2.ReadIfExists(anyJob())
+	if got.Fields[0].Str != "kept" {
+		t.Fatalf("restored %v", got)
+	}
+}
+
+func TestJournalSurvivesBinaryPayload(t *testing.T) {
+	var buf bytes.Buffer
+	_, s := simSpace()
+	s.SetJournal(NewJournal(&buf))
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	s.Write(tuple.New("blob",
+		tuple.Bytes("data", payload),
+		tuple.Bool("flag", true),
+		tuple.Float("f", 3.14),
+	), NoLease)
+	s.journal.Flush()
+	_, s2 := simSpace()
+	if _, err := s2.Replay(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.ReadIfExists(tuple.New("blob",
+		tuple.AnyBytes("data"), tuple.AnyBool("flag"), tuple.AnyFloat("f")))
+	if !ok || len(got.Fields[0].Bytes) != 300 || got.Fields[0].Bytes[299] != byte(299%256) {
+		t.Fatalf("blob mangled: %v %v", got, ok)
+	}
+}
+
+func TestJournalErrRecordsFailure(t *testing.T) {
+	j := NewJournal(failingWriter{})
+	_, s := simSpace()
+	s.SetJournal(j)
+	s.Write(job("x", 1), NoLease)
+	j.Flush()
+	if j.Err() == nil {
+		t.Fatal("write failure not recorded")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, os.ErrClosed }

@@ -1,0 +1,69 @@
+// Package space implements the JavaSpaces-like tuplespace middleware
+// of Section 4.1 of the paper: a shared, associatively addressed
+// store of entries with write / read / take primitives (blocking and
+// non-blocking), entry leases ("the entry lifetime"), and the
+// subscribe/notify paradigm.
+//
+// The same Space runs in two worlds: inside a discrete-event
+// simulation (driven by a sim.Kernel through SimRuntime, as in the
+// paper's NS-2 co-simulation) and as a real server on the wall clock
+// (RealRuntime, as in the paper's Java SpaceServer prototype).
+package space
+
+import (
+	"sync"
+	"time"
+
+	"tpspace/internal/sim"
+)
+
+// Runtime abstracts time and timers so a Space can run in simulated
+// or real time.
+type Runtime interface {
+	// Now returns the current time.
+	Now() sim.Time
+	// After arranges for fn to run after d and returns a cancel
+	// function. Cancel after firing is a no-op.
+	After(d sim.Duration, fn func()) (cancel func())
+}
+
+// SimRuntime drives a Space from a simulation kernel. Not safe for
+// use outside the kernel's event loop.
+type SimRuntime struct {
+	K *sim.Kernel
+}
+
+// Now implements Runtime.
+func (r SimRuntime) Now() sim.Time { return r.K.Now() }
+
+// After implements Runtime.
+func (r SimRuntime) After(d sim.Duration, fn func()) func() {
+	ev := r.K.ScheduleName("space.timer", d, fn)
+	return func() { r.K.Cancel(ev) }
+}
+
+// RealRuntime drives a Space from the operating system clock; it is
+// what cmd/spaceserver uses.
+type RealRuntime struct {
+	clock *sim.WallClock
+	mu    sync.Mutex
+}
+
+// NewRealRuntime returns a wall-clock runtime with its origin at the
+// call.
+func NewRealRuntime() *RealRuntime {
+	return &RealRuntime{clock: sim.NewWallClock()}
+}
+
+// Now implements Runtime.
+func (r *RealRuntime) Now() sim.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clock.Now()
+}
+
+// After implements Runtime.
+func (r *RealRuntime) After(d sim.Duration, fn func()) func() {
+	t := time.AfterFunc(d.Std(), fn)
+	return func() { t.Stop() }
+}

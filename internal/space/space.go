@@ -1,0 +1,632 @@
+package space
+
+import (
+	"errors"
+	"sync"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tuple"
+)
+
+// NoLease requests an entry that never expires.
+const NoLease sim.Duration = 0
+
+// ErrTemplateWrite is returned when a tuple containing wildcards is
+// written: only actual tuples may enter the space.
+var ErrTemplateWrite = errors.New("space: cannot write a template (wildcard fields)")
+
+// Stats counts space activity.
+type Stats struct {
+	Writes    uint64
+	Reads     uint64 // satisfied read operations
+	Takes     uint64 // satisfied take operations
+	Misses    uint64 // IfExists operations that found nothing
+	Timeouts  uint64 // blocking operations that expired
+	Expired   uint64 // entries removed by lease expiry
+	Cancelled uint64 // entries removed by lease cancel
+	Notifies  uint64 // notify callbacks fired
+}
+
+// entry is a stored tuple with its bookkeeping. The sequence number
+// implements the total order the paper relies on ("the timestamp on
+// each tuple determines a total order relation"). Entries are nodes
+// of two intrusive doubly-linked lists — the global write order and
+// their type's bucket — so removal is O(1) and matching with a
+// concrete-type template touches only that type's entries.
+type entry struct {
+	id        uint64
+	t         tuple.Tuple
+	writtenAt sim.Time
+	cancelExp func()
+
+	prev, next   *entry // global order
+	tPrev, tNext *entry // type bucket order
+	linked       bool
+}
+
+// bucket is a per-type doubly-linked list head/tail.
+type bucket struct {
+	head, tail *entry
+}
+
+// Lease controls the lifetime of a written entry, after JavaSpaces
+// leases.
+type Lease struct {
+	sp *Space
+	id uint64
+	// Expiry is the absolute time the entry lapses, or zero for a
+	// permanent entry.
+	Expiry sim.Time
+}
+
+// Cancel removes the entry immediately. It reports whether the entry
+// was still present.
+func (l *Lease) Cancel() bool {
+	if l == nil || l.sp == nil {
+		return false
+	}
+	l.sp.mu.Lock()
+	e := l.sp.removeByID(l.id)
+	if e != nil {
+		l.sp.stats.Cancelled++
+	}
+	l.sp.mu.Unlock()
+	return e != nil
+}
+
+// Renew replaces the entry's remaining lifetime with a fresh lease of
+// d (NoLease makes it permanent). It reports false if the entry is no
+// longer in the space.
+func (l *Lease) Renew(d sim.Duration) bool {
+	if l == nil || l.sp == nil {
+		return false
+	}
+	s := l.sp
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.byID[l.id]
+	if e == nil {
+		return false
+	}
+	if e.cancelExp != nil {
+		e.cancelExp()
+		e.cancelExp = nil
+	}
+	l.Expiry = 0
+	if d > 0 {
+		l.Expiry = s.rt.Now().Add(d)
+		id := e.id
+		e.cancelExp = s.rt.After(d, func() {
+			s.mu.Lock()
+			if s.removeByID(id) != nil {
+				s.stats.Expired++
+			}
+			s.mu.Unlock()
+		})
+	}
+	return true
+}
+
+// waiter is a parked blocking read or take.
+type waiter struct {
+	tmpl        tuple.Tuple
+	take        bool
+	cb          func(tuple.Tuple, bool)
+	cancelTimer func()
+	done        bool
+}
+
+// notifyReg is a subscribe/notify registration.
+type notifyReg struct {
+	tmpl tuple.Tuple
+	fn   func(tuple.Tuple)
+	dead bool
+}
+
+// Space is the tuplespace. All methods are safe for concurrent use;
+// callbacks are always invoked without internal locks held.
+type Space struct {
+	rt Runtime
+
+	mu   sync.Mutex
+	seq  uint64
+	size int
+	// head/tail anchor the global write order (total order).
+	head, tail *entry
+	// byType indexes entries by tuple type, so templates with a
+	// concrete type match against their bucket instead of the whole
+	// store. Buckets preserve write order.
+	byType map[string]*bucket
+	// byID resolves lease operations in O(1).
+	byID     map[uint64]*entry
+	waiters  []*waiter
+	notifies []*notifyReg
+	stats    Stats
+	journal  *Journal
+}
+
+// logW records a stored write in the attached journal, if any. The
+// caller holds the lock.
+func (s *Space) logW(id uint64, t tuple.Tuple, lease sim.Duration) {
+	if s.journal != nil {
+		s.journal.logWrite(id, t, lease)
+	}
+}
+
+// logR records a removal in the attached journal, if any. The caller
+// holds the lock.
+func (s *Space) logR(id uint64) {
+	if s.journal != nil {
+		s.journal.logRemove(id)
+	}
+}
+
+// New creates an empty space on the given runtime.
+func New(rt Runtime) *Space {
+	return &Space{
+		rt:     rt,
+		byType: make(map[string]*bucket),
+		byID:   make(map[uint64]*entry),
+	}
+}
+
+// link appends a stored entry to the tail of the order and its type
+// bucket; the caller holds the lock.
+func (s *Space) link(e *entry) {
+	e.prev = s.tail
+	e.next = nil
+	if s.tail != nil {
+		s.tail.next = e
+	} else {
+		s.head = e
+	}
+	s.tail = e
+
+	b := s.byType[e.t.Type]
+	if b == nil {
+		b = &bucket{}
+		s.byType[e.t.Type] = b
+	}
+	e.tPrev = b.tail
+	e.tNext = nil
+	if b.tail != nil {
+		b.tail.tNext = e
+	} else {
+		b.head = e
+	}
+	b.tail = e
+
+	s.byID[e.id] = e
+	e.linked = true
+	s.size++
+}
+
+// insertSorted links e into its id-ordered position (used by
+// transaction aborts restoring held entries); the caller holds the
+// lock.
+func (s *Space) insertSorted(e *entry) {
+	// Global order: walk back from the tail (restored entries are
+	// usually near it).
+	at := s.tail
+	for at != nil && at.id > e.id {
+		at = at.prev
+	}
+	// Insert after at.
+	if at == nil {
+		e.prev = nil
+		e.next = s.head
+		if s.head != nil {
+			s.head.prev = e
+		} else {
+			s.tail = e
+		}
+		s.head = e
+	} else {
+		e.prev = at
+		e.next = at.next
+		if at.next != nil {
+			at.next.prev = e
+		} else {
+			s.tail = e
+		}
+		at.next = e
+	}
+
+	b := s.byType[e.t.Type]
+	if b == nil {
+		b = &bucket{}
+		s.byType[e.t.Type] = b
+	}
+	tat := b.tail
+	for tat != nil && tat.id > e.id {
+		tat = tat.tPrev
+	}
+	if tat == nil {
+		e.tPrev = nil
+		e.tNext = b.head
+		if b.head != nil {
+			b.head.tPrev = e
+		} else {
+			b.tail = e
+		}
+		b.head = e
+	} else {
+		e.tPrev = tat
+		e.tNext = tat.tNext
+		if tat.tNext != nil {
+			tat.tNext.tPrev = e
+		} else {
+			b.tail = e
+		}
+		tat.tNext = e
+	}
+
+	s.byID[e.id] = e
+	e.linked = true
+	s.size++
+}
+
+// unlink splices an entry out of the order and the type index in
+// O(1), cancelling its expiry timer and journalling the removal; the
+// caller holds the lock. It reports whether the entry was present.
+func (s *Space) unlink(e *entry) bool {
+	if !e.linked {
+		return false
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	b := s.byType[e.t.Type]
+	if e.tPrev != nil {
+		e.tPrev.tNext = e.tNext
+	} else {
+		b.head = e.tNext
+	}
+	if e.tNext != nil {
+		e.tNext.tPrev = e.tPrev
+	} else {
+		b.tail = e.tPrev
+	}
+	e.prev, e.next, e.tPrev, e.tNext = nil, nil, nil, nil
+	e.linked = false
+	delete(s.byID, e.id)
+	s.size--
+	if e.cancelExp != nil {
+		e.cancelExp()
+		e.cancelExp = nil
+	}
+	s.logR(e.id)
+	return true
+}
+
+// Runtime returns the space's runtime.
+func (s *Space) Runtime() Runtime { return s.rt }
+
+// Stats returns a snapshot of the counters.
+func (s *Space) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Size reports the number of stored entries.
+func (s *Space) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Count reports how many stored entries match the template.
+func (s *Space) Count(tmpl tuple.Tuple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	if tmpl.Type != "" {
+		if b := s.byType[tmpl.Type]; b != nil {
+			for e := b.head; e != nil; e = e.tNext {
+				if tmpl.Matches(e.t) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	for e := s.head; e != nil; e = e.next {
+		if tmpl.Matches(e.t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Write stores a tuple with the given lease duration (NoLease for
+// permanent). The tuple is cloned, so later mutation by the caller
+// cannot corrupt the space. Pending blocking operations are satisfied
+// immediately: every matching pending read receives a copy and the
+// oldest matching pending take (if any) consumes the entry, in which
+// case nothing is stored.
+func (s *Space) Write(t tuple.Tuple, lease sim.Duration) (*Lease, error) {
+	if t.HasWildcards() {
+		return nil, ErrTemplateWrite
+	}
+	stored := t.Clone()
+
+	s.mu.Lock()
+	s.seq++
+	e := &entry{id: s.seq, t: stored, writtenAt: s.rt.Now()}
+	s.stats.Writes++
+
+	// Collect callbacks to run after unlocking.
+	var fire []func()
+
+	// Notify subscribers.
+	for _, n := range s.notifies {
+		if !n.dead && n.tmpl.Matches(stored) {
+			n := n
+			cp := stored.Clone()
+			s.stats.Notifies++
+			fire = append(fire, func() { n.fn(cp) })
+		}
+	}
+
+	// Satisfy pending readers (all of them) and the oldest taker.
+	consumed := false
+	kept := s.waiters[:0]
+	for _, w := range s.waiters {
+		if w.done {
+			continue
+		}
+		if !w.tmpl.Matches(stored) {
+			kept = append(kept, w)
+			continue
+		}
+		if w.take {
+			if consumed {
+				kept = append(kept, w)
+				continue
+			}
+			consumed = true
+			s.stats.Takes++
+		} else {
+			s.stats.Reads++
+		}
+		w.done = true
+		if w.cancelTimer != nil {
+			w.cancelTimer()
+		}
+		w := w
+		cp := stored.Clone()
+		fire = append(fire, func() { w.cb(cp, true) })
+	}
+	s.waiters = kept
+
+	var l *Lease
+	if consumed {
+		l = &Lease{} // detached: entry is already gone
+	} else {
+		s.link(e)
+		s.logW(e.id, stored, lease)
+		l = &Lease{sp: s, id: e.id}
+		if lease > 0 {
+			l.Expiry = s.rt.Now().Add(lease)
+			id := e.id
+			e.cancelExp = s.rt.After(lease, func() {
+				s.mu.Lock()
+				if s.removeByID(id) != nil {
+					s.stats.Expired++
+				}
+				s.mu.Unlock()
+			})
+		}
+	}
+	s.mu.Unlock()
+
+	for _, f := range fire {
+		f()
+	}
+	return l, nil
+}
+
+// removeByID unlinks an entry; the caller holds the lock.
+func (s *Space) removeByID(id uint64) *entry {
+	e := s.byID[id]
+	if e == nil {
+		return nil
+	}
+	s.unlink(e)
+	return e
+}
+
+// findOldest returns the oldest matching entry, or nil; the caller
+// holds the lock. Templates with a concrete type search only their
+// index bucket.
+func (s *Space) findOldest(tmpl tuple.Tuple) *entry {
+	if tmpl.Type != "" {
+		b := s.byType[tmpl.Type]
+		if b == nil {
+			return nil
+		}
+		for e := b.head; e != nil; e = e.tNext {
+			if tmpl.Matches(e.t) {
+				return e
+			}
+		}
+		return nil
+	}
+	for e := s.head; e != nil; e = e.next {
+		if tmpl.Matches(e.t) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Scan returns copies of every matching entry in write order without
+// removing them. JavaSpaces lacks a bulk read but TSpaces (also cited
+// by the paper) provides one as "scan"; registries need it.
+func (s *Space) Scan(tmpl tuple.Tuple) []tuple.Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []tuple.Tuple
+	for e := s.head; e != nil; e = e.next {
+		if tmpl.Matches(e.t) {
+			out = append(out, e.t.Clone())
+		}
+	}
+	return out
+}
+
+// ReadIfExists returns a copy of the oldest matching entry without
+// removing it, or ok=false if none is present.
+func (s *Space) ReadIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.findOldest(tmpl); e != nil {
+		s.stats.Reads++
+		return e.t.Clone(), true
+	}
+	s.stats.Misses++
+	return tuple.Tuple{}, false
+}
+
+// TakeIfExists removes and returns the oldest matching entry, or
+// ok=false if none is present.
+func (s *Space) TakeIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.findOldest(tmpl); e != nil {
+		s.unlink(e)
+		s.stats.Takes++
+		return e.t, true
+	}
+	s.stats.Misses++
+	return tuple.Tuple{}, false
+}
+
+// Read delivers a copy of a matching entry to cb. If none is present
+// it parks until one is written or the timeout elapses (sim.Forever
+// blocks indefinitely); on timeout cb receives ok=false. cb runs
+// without space locks held.
+func (s *Space) Read(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
+	s.blockingOp(tmpl, timeout, false, cb)
+}
+
+// Take is Read with removal semantics: the matched entry is consumed.
+func (s *Space) Take(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
+	s.blockingOp(tmpl, timeout, true, cb)
+}
+
+func (s *Space) blockingOp(tmpl tuple.Tuple, timeout sim.Duration, take bool, cb func(tuple.Tuple, bool)) {
+	s.mu.Lock()
+	if e := s.findOldest(tmpl); e != nil {
+		var out tuple.Tuple
+		if take {
+			s.unlink(e)
+			s.stats.Takes++
+			out = e.t
+		} else {
+			s.stats.Reads++
+			out = e.t.Clone()
+		}
+		s.mu.Unlock()
+		cb(out, true)
+		return
+	}
+	if timeout == 0 {
+		s.stats.Misses++
+		s.mu.Unlock()
+		cb(tuple.Tuple{}, false)
+		return
+	}
+	w := &waiter{tmpl: tmpl, take: take, cb: cb}
+	s.waiters = append(s.waiters, w)
+	if timeout != sim.Forever {
+		w.cancelTimer = s.rt.After(timeout, func() {
+			s.mu.Lock()
+			if w.done {
+				s.mu.Unlock()
+				return
+			}
+			w.done = true
+			s.stats.Timeouts++
+			// Drop the waiter from the queue.
+			for i, x := range s.waiters {
+				if x == w {
+					s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+					break
+				}
+			}
+			s.mu.Unlock()
+			cb(tuple.Tuple{}, false)
+		})
+	}
+	s.mu.Unlock()
+}
+
+// Notify registers fn to be called (without locks held) for every
+// tuple subsequently written that matches the template, implementing
+// the subscribe/notify paradigm. The returned cancel function ends
+// the subscription.
+func (s *Space) Notify(tmpl tuple.Tuple, fn func(tuple.Tuple)) (cancel func()) {
+	n := &notifyReg{tmpl: tmpl, fn: fn}
+	s.mu.Lock()
+	s.notifies = append(s.notifies, n)
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		n.dead = true
+		for i, x := range s.notifies {
+			if x == n {
+				s.notifies = append(s.notifies[:i], s.notifies[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// TakeWait and ReadWait are blocking conveniences for wall-clock
+// callers (server goroutines). They must not be used from simulation
+// event context, where blocking the goroutine would deadlock the
+// kernel; simulated clients use the callback forms or sim.Process.
+
+// TakeWait blocks the calling goroutine until a take succeeds or the
+// timeout elapses.
+func (s *Space) TakeWait(tmpl tuple.Tuple, timeout sim.Duration) (tuple.Tuple, bool) {
+	ch := make(chan struct {
+		t  tuple.Tuple
+		ok bool
+	}, 1)
+	s.Take(tmpl, timeout, func(t tuple.Tuple, ok bool) {
+		ch <- struct {
+			t  tuple.Tuple
+			ok bool
+		}{t, ok}
+	})
+	r := <-ch
+	return r.t, r.ok
+}
+
+// ReadWait blocks the calling goroutine until a read succeeds or the
+// timeout elapses.
+func (s *Space) ReadWait(tmpl tuple.Tuple, timeout sim.Duration) (tuple.Tuple, bool) {
+	ch := make(chan struct {
+		t  tuple.Tuple
+		ok bool
+	}, 1)
+	s.Read(tmpl, timeout, func(t tuple.Tuple, ok bool) {
+		ch <- struct {
+			t  tuple.Tuple
+			ok bool
+		}{t, ok}
+	})
+	r := <-ch
+	return r.t, r.ok
+}

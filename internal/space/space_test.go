@@ -1,0 +1,464 @@
+package space
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tuple"
+)
+
+func sleepMs(n int) { time.Sleep(time.Duration(n) * time.Millisecond) }
+
+func simSpace() (*sim.Kernel, *Space) {
+	k := sim.NewKernel(1)
+	return k, New(SimRuntime{K: k})
+}
+
+func job(op string, n int64) tuple.Tuple {
+	return tuple.New("job", tuple.String("op", op), tuple.Int("n", n))
+}
+
+func anyJob() tuple.Tuple {
+	return tuple.New("job", tuple.AnyString("op"), tuple.AnyInt("n"))
+}
+
+func TestWriteReadTake(t *testing.T) {
+	_, s := simSpace()
+	if _, err := s.Write(job("fft", 64), NoLease); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.ReadIfExists(anyJob())
+	if !ok || got.Fields[0].Str != "fft" {
+		t.Fatalf("read: %v %v", got, ok)
+	}
+	if s.Size() != 1 {
+		t.Fatal("read removed the entry")
+	}
+	got, ok = s.TakeIfExists(anyJob())
+	if !ok || got.Fields[1].Int != 64 {
+		t.Fatalf("take: %v %v", got, ok)
+	}
+	if s.Size() != 0 {
+		t.Fatal("take did not remove the entry")
+	}
+	if _, ok := s.TakeIfExists(anyJob()); ok {
+		t.Fatal("take from empty space succeeded")
+	}
+}
+
+func TestWriteRejectsTemplates(t *testing.T) {
+	_, s := simSpace()
+	if _, err := s.Write(anyJob(), NoLease); err != ErrTemplateWrite {
+		t.Fatalf("err = %v, want ErrTemplateWrite", err)
+	}
+}
+
+func TestWriteIsolatesCallerMutation(t *testing.T) {
+	_, s := simSpace()
+	tp := tuple.New("t", tuple.Bytes("b", []byte{1, 2, 3}))
+	if _, err := s.Write(tp, NoLease); err != nil {
+		t.Fatal(err)
+	}
+	tp.Fields[0].Bytes[0] = 99
+	got, _ := s.ReadIfExists(tuple.New("t", tuple.AnyBytes("b")))
+	if got.Fields[0].Bytes[0] != 1 {
+		t.Fatal("space shares storage with writer")
+	}
+}
+
+func TestTotalOrderFIFO(t *testing.T) {
+	// "The timestamp on each tuple determines a total order relation":
+	// takes return matching entries oldest first.
+	_, s := simSpace()
+	for i := int64(0); i < 5; i++ {
+		s.Write(job("fft", i), NoLease)
+	}
+	for i := int64(0); i < 5; i++ {
+		got, ok := s.TakeIfExists(anyJob())
+		if !ok || got.Fields[1].Int != i {
+			t.Fatalf("take %d returned %v", i, got)
+		}
+	}
+}
+
+func TestAssociativeAddressing(t *testing.T) {
+	_, s := simSpace()
+	s.Write(job("fft", 1), NoLease)
+	s.Write(job("dct", 2), NoLease)
+	s.Write(tuple.New("state", tuple.String("v", "ok")), NoLease)
+	got, ok := s.TakeIfExists(tuple.New("job", tuple.String("op", "dct"), tuple.AnyInt("n")))
+	if !ok || got.Fields[1].Int != 2 {
+		t.Fatalf("associative take: %v %v", got, ok)
+	}
+	if s.Count(anyJob()) != 1 {
+		t.Fatalf("count = %d", s.Count(anyJob()))
+	}
+	if s.Size() != 2 {
+		t.Fatalf("size = %d", s.Size())
+	}
+}
+
+func TestBlockingTakeSatisfiedByLaterWrite(t *testing.T) {
+	k, s := simSpace()
+	var got tuple.Tuple
+	var ok bool
+	var at sim.Time
+	s.Take(anyJob(), sim.Forever, func(tp tuple.Tuple, o bool) { got, ok, at = tp, o, k.Now() })
+	k.Schedule(5*sim.Second, func() { s.Write(job("fft", 9), NoLease) })
+	k.Run()
+	if !ok || got.Fields[1].Int != 9 {
+		t.Fatalf("blocked take got %v %v", got, ok)
+	}
+	if at != sim.Time(5*sim.Second) {
+		t.Fatalf("take completed at %v", at)
+	}
+	if s.Size() != 0 {
+		t.Fatal("entry stored despite pending take")
+	}
+}
+
+func TestBlockingTakeTimeout(t *testing.T) {
+	k, s := simSpace()
+	var called bool
+	var ok bool
+	s.Take(anyJob(), 3*sim.Second, func(tp tuple.Tuple, o bool) { called, ok = true, o })
+	k.Run()
+	if !called || ok {
+		t.Fatalf("timeout callback: called=%v ok=%v", called, ok)
+	}
+	if k.Now() != sim.Time(3*sim.Second) {
+		t.Fatalf("timed out at %v", k.Now())
+	}
+	if s.Stats().Timeouts != 1 {
+		t.Fatalf("stats %+v", s.Stats())
+	}
+}
+
+func TestZeroTimeoutIsIfExists(t *testing.T) {
+	_, s := simSpace()
+	called := false
+	s.Take(anyJob(), 0, func(tp tuple.Tuple, ok bool) {
+		called = true
+		if ok {
+			t.Error("zero-timeout take on empty space succeeded")
+		}
+	})
+	if !called {
+		t.Fatal("zero-timeout take did not return synchronously")
+	}
+}
+
+func TestWriteSatisfiesAllReadersOneTaker(t *testing.T) {
+	k, s := simSpace()
+	reads := 0
+	takes := 0
+	for i := 0; i < 3; i++ {
+		s.Read(anyJob(), sim.Forever, func(tp tuple.Tuple, ok bool) {
+			if ok {
+				reads++
+			}
+		})
+	}
+	for i := 0; i < 2; i++ {
+		s.Take(anyJob(), sim.Forever, func(tp tuple.Tuple, ok bool) {
+			if ok {
+				takes++
+			}
+		})
+	}
+	s.Write(job("fft", 5), NoLease)
+	k.Run()
+	if reads != 3 {
+		t.Fatalf("reads = %d, want 3", reads)
+	}
+	if takes != 1 {
+		t.Fatalf("takes = %d, want 1 (single entry)", takes)
+	}
+	if s.Size() != 0 {
+		t.Fatal("entry stored despite consumption")
+	}
+	// The second taker is still parked; a second write satisfies it.
+	s.Write(job("fft", 6), NoLease)
+	k.Run()
+	if takes != 2 {
+		t.Fatalf("second take not satisfied: %d", takes)
+	}
+}
+
+func TestTakersServedFIFO(t *testing.T) {
+	_, s := simSpace()
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Take(anyJob(), sim.Forever, func(tp tuple.Tuple, ok bool) {
+			if ok {
+				order = append(order, i)
+			}
+		})
+	}
+	for i := 0; i < 3; i++ {
+		s.Write(job("x", int64(i)), NoLease)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("takers served out of order: %v", order)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	k, s := simSpace()
+	l, err := s.Write(job("fft", 1), 10*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Expiry != sim.Time(10*sim.Second) {
+		t.Fatalf("lease expiry = %v", l.Expiry)
+	}
+	k.RunUntil(sim.Time(9 * sim.Second))
+	if s.Size() != 1 {
+		t.Fatal("entry gone before lease expiry")
+	}
+	k.RunUntil(sim.Time(11 * sim.Second))
+	if s.Size() != 0 {
+		t.Fatal("entry survived lease expiry")
+	}
+	if s.Stats().Expired != 1 {
+		t.Fatalf("stats %+v", s.Stats())
+	}
+}
+
+func TestExpiredEntryNotTakeable(t *testing.T) {
+	// This is the "Out of Time" mechanism of Table 4: a take issued
+	// after the entry lifetime has lapsed finds nothing.
+	k, s := simSpace()
+	s.Write(job("entry", 1), 160*sim.Second)
+	k.RunUntil(sim.Time(161 * sim.Second))
+	if _, ok := s.TakeIfExists(anyJob()); ok {
+		t.Fatal("take succeeded after lease expiry")
+	}
+}
+
+func TestTakeCancelsExpiryTimer(t *testing.T) {
+	k, s := simSpace()
+	s.Write(job("fft", 1), 10*sim.Second)
+	if _, ok := s.TakeIfExists(anyJob()); !ok {
+		t.Fatal("take failed")
+	}
+	k.Run()
+	if s.Stats().Expired != 0 {
+		t.Fatal("expiry fired for a taken entry")
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("stale timer events: %d", k.Pending())
+	}
+}
+
+func TestLeaseCancel(t *testing.T) {
+	k, s := simSpace()
+	l, _ := s.Write(job("fft", 1), NoLease)
+	if !l.Cancel() {
+		t.Fatal("cancel failed")
+	}
+	if l.Cancel() {
+		t.Fatal("double cancel succeeded")
+	}
+	if s.Size() != 0 {
+		t.Fatal("entry survived cancel")
+	}
+	if s.Stats().Cancelled != 1 {
+		t.Fatalf("stats %+v", s.Stats())
+	}
+	k.Run()
+}
+
+func TestNotify(t *testing.T) {
+	_, s := simSpace()
+	var seen []tuple.Tuple
+	cancel := s.Notify(anyJob(), func(tp tuple.Tuple) { seen = append(seen, tp) })
+	s.Write(job("a", 1), NoLease)
+	s.Write(tuple.New("other", tuple.Int("x", 1)), NoLease)
+	s.Write(job("b", 2), NoLease)
+	cancel()
+	s.Write(job("c", 3), NoLease)
+	if len(seen) != 2 {
+		t.Fatalf("notified %d times, want 2", len(seen))
+	}
+	if seen[0].Fields[0].Str != "a" || seen[1].Fields[0].Str != "b" {
+		t.Fatalf("notifications: %v", seen)
+	}
+	if s.Stats().Notifies != 2 {
+		t.Fatalf("stats %+v", s.Stats())
+	}
+}
+
+func TestNotifyFiresEvenWhenConsumed(t *testing.T) {
+	_, s := simSpace()
+	notified := false
+	s.Notify(anyJob(), func(tuple.Tuple) { notified = true })
+	s.Take(anyJob(), sim.Forever, func(tuple.Tuple, bool) {})
+	s.Write(job("x", 1), NoLease)
+	if !notified {
+		t.Fatal("notify skipped for a consumed write")
+	}
+}
+
+func TestReadWaitTakeWaitRealRuntime(t *testing.T) {
+	s := New(NewRealRuntime())
+	// A parked taker satisfied by a later write from another goroutine.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if got, ok := s.TakeWait(anyJob(), sim.Duration(5*sim.Second)); !ok || got.Fields[1].Int != 7 {
+			t.Errorf("TakeWait: %v %v", got, ok)
+		}
+	}()
+	sleepMs(10)
+	if _, err := s.Write(job("fft", 7), NoLease); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// ReadWait against a stored entry returns without consuming it.
+	s.Write(job("fft", 8), NoLease)
+	if got, ok := s.ReadWait(anyJob(), sim.Duration(5*sim.Second)); !ok || got.Fields[1].Int != 8 {
+		t.Fatalf("ReadWait: %v %v", got, ok)
+	}
+	if s.Size() != 1 {
+		t.Fatal("ReadWait consumed the entry")
+	}
+}
+
+func TestRealRuntimeLeaseExpiry(t *testing.T) {
+	s := New(NewRealRuntime())
+	s.Write(job("fft", 1), 20*sim.Millisecond)
+	if got, ok := s.TakeWait(anyJob(), sim.Duration(sim.Second)); !ok || got.Fields[1].Int != 1 {
+		t.Fatalf("immediate take failed: %v %v", got, ok)
+	}
+	s.Write(job("fft", 2), 20*sim.Millisecond)
+	// Wait out the lease, then look: nothing should remain.
+	deadlineTake := func() bool {
+		_, ok := s.TakeIfExists(anyJob())
+		return ok
+	}
+	// Poll until expiry (bounded).
+	for i := 0; i < 100; i++ {
+		if s.Size() == 0 {
+			break
+		}
+		sleepMs(5)
+	}
+	if deadlineTake() {
+		t.Fatal("entry survived wall-clock lease expiry")
+	}
+}
+
+func TestQuickWriteTakeConservation(t *testing.T) {
+	// Property: after W writes and T takes (T <= W) of the same type,
+	// exactly W-T entries remain, and every take returns ok.
+	f := func(w8, t8 uint8) bool {
+		w := int(w8%20) + 1
+		tk := int(t8) % (w + 1)
+		_, s := simSpace()
+		for i := 0; i < w; i++ {
+			if _, err := s.Write(job("p", int64(i)), NoLease); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < tk; i++ {
+			if _, ok := s.TakeIfExists(anyJob()); !ok {
+				return false
+			}
+		}
+		return s.Size() == w-tk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(14))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReadNeverRemoves(t *testing.T) {
+	f := func(n8 uint8) bool {
+		n := int(n8%10) + 1
+		_, s := simSpace()
+		for i := 0; i < n; i++ {
+			s.Write(job("p", int64(i)), NoLease)
+		}
+		for i := 0; i < 50; i++ {
+			if _, ok := s.ReadIfExists(anyJob()); !ok {
+				return false
+			}
+		}
+		return s.Size() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(15))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccessRealRuntime(t *testing.T) {
+	// Hammer the space from many goroutines under -race.
+	s := New(NewRealRuntime())
+	var wg sync.WaitGroup
+	const n = 20
+	wg.Add(2 * n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.Write(job("c", int64(i*100+j)), NoLease)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.TakeWait(anyJob(), sim.Duration(5*sim.Second))
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Size() != 0 {
+		t.Fatalf("size = %d after balanced writes/takes", s.Size())
+	}
+	st := s.Stats()
+	if st.Writes != n*50 || st.Takes != n*50 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestStressManyEntriesManyTypes(t *testing.T) {
+	// 10k entries across 100 types: typed operations stay exact and
+	// the store drains to empty.
+	_, s := simSpace()
+	const types = 100
+	const perType = 100
+	for i := 0; i < types*perType; i++ {
+		ty := i % types
+		tp := tuple.New(typeName(ty), tuple.Int("seq", int64(i/types)))
+		if _, err := s.Write(tp, NoLease); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Size() != types*perType {
+		t.Fatalf("size = %d", s.Size())
+	}
+	for ty := 0; ty < types; ty++ {
+		tmpl := tuple.New(typeName(ty), tuple.AnyInt("seq"))
+		if got := s.Count(tmpl); got != perType {
+			t.Fatalf("type %d count = %d", ty, got)
+		}
+		for i := 0; i < perType; i++ {
+			got, ok := s.TakeIfExists(tmpl)
+			if !ok || got.Fields[0].Int != int64(i) {
+				t.Fatalf("type %d take %d: %v %v", ty, i, got, ok)
+			}
+		}
+	}
+	if s.Size() != 0 {
+		t.Fatalf("store not drained: %d", s.Size())
+	}
+}
+
+func typeName(i int) string { return "type-" + string(rune('A'+i/26)) + string(rune('a'+i%26)) }

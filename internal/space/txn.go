@@ -1,0 +1,173 @@
+package space
+
+import (
+	"errors"
+	"sort"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tuple"
+)
+
+// ErrTxnDone is returned by operations on a committed or aborted
+// transaction.
+var ErrTxnDone = errors.New("space: transaction already completed")
+
+// Txn is a JavaSpaces-style transaction: writes performed under it
+// stay invisible to other clients until Commit, and entries taken
+// under it are held aside and restored (in their original total-order
+// position) on Abort. A transaction may carry its own lease, after
+// which it aborts automatically — the standard defence against a
+// client crashing mid-transaction.
+type Txn struct {
+	sp   *Space
+	done bool
+
+	// pending writes, applied at commit.
+	writes []txnWrite
+	// held entries removed from the store, restored on abort.
+	held []*entry
+
+	cancelLease func()
+	// Aborted reports whether the transaction ended by abort
+	// (explicit or lease expiry).
+	Aborted bool
+}
+
+type txnWrite struct {
+	t     tuple.Tuple
+	lease sim.Duration
+}
+
+// NewTxn opens a transaction. A positive lease arms auto-abort.
+func (s *Space) NewTxn(lease sim.Duration) *Txn {
+	tx := &Txn{sp: s}
+	if lease > 0 {
+		tx.cancelLease = s.rt.After(lease, func() { tx.Abort() })
+	}
+	return tx
+}
+
+// Write buffers a tuple to be stored when the transaction commits.
+func (tx *Txn) Write(t tuple.Tuple, lease sim.Duration) error {
+	tx.sp.mu.Lock()
+	defer tx.sp.mu.Unlock()
+	if tx.done {
+		return ErrTxnDone
+	}
+	if t.HasWildcards() {
+		return ErrTemplateWrite
+	}
+	tx.writes = append(tx.writes, txnWrite{t: t.Clone(), lease: lease})
+	return nil
+}
+
+// TakeIfExists removes the oldest matching entry from the space and
+// holds it under the transaction: other clients cannot see it, and it
+// returns to its place if the transaction aborts. Entries written
+// under this same (uncommitted) transaction are also visible to it,
+// searched after the store.
+func (tx *Txn) TakeIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
+	tx.sp.mu.Lock()
+	defer tx.sp.mu.Unlock()
+	if tx.done {
+		return tuple.Tuple{}, false, ErrTxnDone
+	}
+	if e := tx.sp.findOldest(tmpl); e != nil {
+		tx.sp.unlink(e)
+		tx.sp.stats.Takes++
+		tx.held = append(tx.held, e)
+		return e.t.Clone(), true, nil
+	}
+	// Our own uncommitted writes are visible to us.
+	for i, w := range tx.writes {
+		if tmpl.Matches(w.t) {
+			tx.writes = append(tx.writes[:i], tx.writes[i+1:]...)
+			return w.t, true, nil
+		}
+	}
+	tx.sp.stats.Misses++
+	return tuple.Tuple{}, false, nil
+}
+
+// ReadIfExists is TakeIfExists without removal.
+func (tx *Txn) ReadIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
+	tx.sp.mu.Lock()
+	defer tx.sp.mu.Unlock()
+	if tx.done {
+		return tuple.Tuple{}, false, ErrTxnDone
+	}
+	if e := tx.sp.findOldest(tmpl); e != nil {
+		tx.sp.stats.Reads++
+		return e.t.Clone(), true, nil
+	}
+	for _, w := range tx.writes {
+		if tmpl.Matches(w.t) {
+			return w.t.Clone(), true, nil
+		}
+	}
+	tx.sp.stats.Misses++
+	return tuple.Tuple{}, false, nil
+}
+
+// Commit applies the buffered writes (waking matching waiters and
+// subscribers) and discards the held entries for good.
+func (tx *Txn) Commit() error {
+	tx.sp.mu.Lock()
+	if tx.done {
+		tx.sp.mu.Unlock()
+		return ErrTxnDone
+	}
+	tx.finishLocked()
+	writes := tx.writes
+	tx.writes = nil
+	tx.held = nil
+	tx.sp.mu.Unlock()
+
+	for _, w := range writes {
+		if _, err := tx.sp.Write(w.t, w.lease); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Abort drops the buffered writes and restores the held entries to
+// their original positions in the total order.
+func (tx *Txn) Abort() error {
+	tx.sp.mu.Lock()
+	if tx.done {
+		tx.sp.mu.Unlock()
+		return ErrTxnDone
+	}
+	tx.finishLocked()
+	tx.Aborted = true
+	tx.writes = nil
+	held := tx.held
+	tx.held = nil
+	// Restore by sequence number so FIFO takes observe the original
+	// order. Expiry timers were cancelled at take; restored entries
+	// are permanent from here on (their remaining lifetime is not
+	// tracked across the hold, matching the coarse JavaSpaces
+	// semantics of lease-vs-transaction interaction).
+	// Restore in ascending id order so each insertSorted walk is
+	// short and the original total order is rebuilt exactly.
+	sort.Slice(held, func(i, j int) bool { return held[i].id < held[j].id })
+	for _, e := range held {
+		tx.sp.insertSorted(e)
+		// Journalled as fresh permanent writes: after a replay the
+		// restored entries appear at their restoration point.
+		tx.sp.logW(e.id, e.t, 0)
+	}
+	tx.sp.mu.Unlock()
+	return nil
+}
+
+// finishLocked marks the transaction complete; the caller holds the
+// space lock.
+func (tx *Txn) finishLocked() {
+	tx.done = true
+	if tx.cancelLease != nil {
+		tx.cancelLease()
+		tx.cancelLease = nil
+	}
+}

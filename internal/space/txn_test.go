@@ -1,0 +1,225 @@
+package space
+
+import (
+	"testing"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tuple"
+)
+
+func TestTxnCommitPublishesWrites(t *testing.T) {
+	_, s := simSpace()
+	tx := s.NewTxn(0)
+	if err := tx.Write(job("a", 1), NoLease); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(job("b", 2), NoLease); err != nil {
+		t.Fatal(err)
+	}
+	// Invisible before commit.
+	if _, ok := s.ReadIfExists(anyJob()); ok {
+		t.Fatal("uncommitted write visible outside the transaction")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 2 {
+		t.Fatalf("size = %d after commit", s.Size())
+	}
+	got, ok := s.TakeIfExists(anyJob())
+	if !ok || got.Fields[0].Str != "a" {
+		t.Fatalf("commit order wrong: %v", got)
+	}
+}
+
+func TestTxnCommitWakesWaiters(t *testing.T) {
+	_, s := simSpace()
+	var got tuple.Tuple
+	var ok bool
+	s.Take(anyJob(), sim.Forever, func(tp tuple.Tuple, o bool) { got, ok = tp, o })
+	tx := s.NewTxn(0)
+	tx.Write(job("x", 9), NoLease)
+	if ok {
+		t.Fatal("waiter woke before commit")
+	}
+	tx.Commit()
+	if !ok || got.Fields[1].Int != 9 {
+		t.Fatalf("waiter after commit: %v %v", got, ok)
+	}
+}
+
+func TestTxnAbortDropsWrites(t *testing.T) {
+	_, s := simSpace()
+	tx := s.NewTxn(0)
+	tx.Write(job("a", 1), NoLease)
+	tx.Abort()
+	if s.Size() != 0 {
+		t.Fatal("aborted write reached the space")
+	}
+	if !tx.Aborted {
+		t.Fatal("Aborted flag not set")
+	}
+}
+
+func TestTxnTakeHoldsEntry(t *testing.T) {
+	_, s := simSpace()
+	s.Write(job("a", 1), NoLease)
+	tx := s.NewTxn(0)
+	got, ok, err := tx.TakeIfExists(anyJob())
+	if err != nil || !ok || got.Fields[0].Str != "a" {
+		t.Fatalf("txn take: %v %v %v", got, ok, err)
+	}
+	// Held: invisible to others.
+	if _, ok := s.ReadIfExists(anyJob()); ok {
+		t.Fatal("held entry visible outside the transaction")
+	}
+	tx.Commit()
+	if s.Size() != 0 {
+		t.Fatal("held entry survived commit")
+	}
+}
+
+func TestTxnAbortRestoresOrder(t *testing.T) {
+	_, s := simSpace()
+	for i := int64(0); i < 4; i++ {
+		s.Write(job("j", i), NoLease)
+	}
+	tx := s.NewTxn(0)
+	// Take the two oldest under the transaction.
+	tx.TakeIfExists(anyJob())
+	tx.TakeIfExists(anyJob())
+	if s.Size() != 2 {
+		t.Fatalf("size = %d while held", s.Size())
+	}
+	tx.Abort()
+	if s.Size() != 4 {
+		t.Fatalf("size = %d after abort", s.Size())
+	}
+	// FIFO order must be the original one.
+	for i := int64(0); i < 4; i++ {
+		got, ok := s.TakeIfExists(anyJob())
+		if !ok || got.Fields[1].Int != i {
+			t.Fatalf("order after abort: got %v at step %d", got, i)
+		}
+	}
+}
+
+func TestTxnSeesOwnWrites(t *testing.T) {
+	_, s := simSpace()
+	tx := s.NewTxn(0)
+	tx.Write(job("mine", 5), NoLease)
+	got, ok, err := tx.ReadIfExists(anyJob())
+	if err != nil || !ok || got.Fields[0].Str != "mine" {
+		t.Fatalf("own write not visible: %v %v %v", got, ok, err)
+	}
+	// And can take it back pre-commit, leaving nothing.
+	if _, ok, _ := tx.TakeIfExists(anyJob()); !ok {
+		t.Fatal("own write not takeable")
+	}
+	tx.Commit()
+	if s.Size() != 0 {
+		t.Fatal("self-taken write leaked to the space")
+	}
+}
+
+func TestTxnLeaseAutoAborts(t *testing.T) {
+	k, s := simSpace()
+	s.Write(job("a", 1), NoLease)
+	tx := s.NewTxn(5 * sim.Second)
+	tx.TakeIfExists(anyJob())
+	tx.Write(job("b", 2), NoLease)
+	k.RunUntil(sim.Time(10 * sim.Second))
+	if !tx.Aborted {
+		t.Fatal("transaction lease did not abort")
+	}
+	// Held entry restored, buffered write dropped.
+	got, ok := s.ReadIfExists(anyJob())
+	if !ok || got.Fields[0].Str != "a" {
+		t.Fatalf("restore after auto-abort: %v %v", got, ok)
+	}
+	if s.Size() != 1 {
+		t.Fatalf("size = %d", s.Size())
+	}
+}
+
+func TestTxnDoneRejectsOps(t *testing.T) {
+	_, s := simSpace()
+	tx := s.NewTxn(0)
+	tx.Commit()
+	if err := tx.Write(job("a", 1), NoLease); err != ErrTxnDone {
+		t.Fatalf("write after commit: %v", err)
+	}
+	if _, _, err := tx.TakeIfExists(anyJob()); err != ErrTxnDone {
+		t.Fatalf("take after commit: %v", err)
+	}
+	if _, _, err := tx.ReadIfExists(anyJob()); err != ErrTxnDone {
+		t.Fatalf("read after commit: %v", err)
+	}
+	if err := tx.Commit(); err != ErrTxnDone {
+		t.Fatalf("double commit: %v", err)
+	}
+	if err := tx.Abort(); err != ErrTxnDone {
+		t.Fatalf("abort after commit: %v", err)
+	}
+}
+
+func TestTxnWriteRejectsTemplates(t *testing.T) {
+	_, s := simSpace()
+	tx := s.NewTxn(0)
+	if err := tx.Write(anyJob(), NoLease); err != ErrTemplateWrite {
+		t.Fatalf("err = %v", err)
+	}
+	tx.Abort()
+}
+
+func TestTxnCommitAppliesLeases(t *testing.T) {
+	k, s := simSpace()
+	tx := s.NewTxn(0)
+	tx.Write(job("short", 1), 5*sim.Second)
+	tx.Commit()
+	if s.Size() != 1 {
+		t.Fatal("entry missing after commit")
+	}
+	k.RunUntil(sim.Time(10 * sim.Second))
+	if s.Size() != 0 {
+		t.Fatal("leased entry survived past expiry")
+	}
+}
+
+func TestLeaseRenew(t *testing.T) {
+	k, s := simSpace()
+	l, _ := s.Write(job("a", 1), 10*sim.Second)
+	k.RunUntil(sim.Time(8 * sim.Second))
+	if !l.Renew(10 * sim.Second) {
+		t.Fatal("renew failed")
+	}
+	if l.Expiry != sim.Time(18*sim.Second) {
+		t.Fatalf("expiry = %v", l.Expiry)
+	}
+	k.RunUntil(sim.Time(15 * sim.Second))
+	if s.Size() != 1 {
+		t.Fatal("renewed entry expired on the old schedule")
+	}
+	k.RunUntil(sim.Time(20 * sim.Second))
+	if s.Size() != 0 {
+		t.Fatal("renewed entry survived its new lease")
+	}
+	if l.Renew(sim.Second) {
+		t.Fatal("renew of an expired entry succeeded")
+	}
+}
+
+func TestLeaseRenewToPermanent(t *testing.T) {
+	k, s := simSpace()
+	l, _ := s.Write(job("a", 1), 5*sim.Second)
+	if !l.Renew(NoLease) {
+		t.Fatal("renew to permanent failed")
+	}
+	k.RunUntil(sim.Time(60 * sim.Second))
+	if s.Size() != 1 {
+		t.Fatal("permanent-renewed entry expired")
+	}
+	if l.Expiry != 0 {
+		t.Fatalf("expiry = %v, want 0", l.Expiry)
+	}
+}

@@ -1,0 +1,180 @@
+// Package tpwire models the TpWIRE (Theseus Programmable Wires) bus of
+// Section 3 of the paper: a daisy-chain network with one Master and up
+// to 127 Slaves over a single-ended serial line, carrying 16-bit TX/RX
+// frames protected by a 4-bit CRC.
+//
+// The model is frame-accurate: every frame occupies the wire for its
+// exact duration in bit periods, propagates hop-by-hop down the chain,
+// and is subject to CRC errors, master retransmission, slave reset
+// watchdogs and the interrupt-bit piggybacking described in the paper.
+// Two n-wire scalings are provided (Section 3.2): lane-parallel data
+// transfer within one bus, and n independent parallel 1-wire buses.
+package tpwire
+
+import (
+	"fmt"
+
+	"tpspace/internal/sim"
+)
+
+// MaxNodes is the number of addressable slave nodes (IDs 0..126).
+const MaxNodes = 127
+
+// BroadcastID is the virtual 128th node used to access all nodes
+// simultaneously. Broadcast commands are executed by every slave and
+// none of them replies.
+const BroadcastID uint8 = 127
+
+// Spec constants fixed by the TpWIRE definition (Section 3.1).
+const (
+	// ResetTimeoutBits is the slave watchdog: a slave resets itself if
+	// no valid TX frame has been received within this many bit periods
+	// of the currently programmed communication speed.
+	ResetTimeoutBits = 2048
+	// ResetActiveBits is how long a watchdog reset stays active.
+	ResetActiveBits = 33
+)
+
+// Config collects the tunable parameters of a TpWIRE bus instance.
+// Zero fields take the defaults set by Normalize.
+type Config struct {
+	// BitRate is the programmed communication speed in bits per
+	// second. TpWIRE supports mid-bandwidth interconnects up to
+	// 1 Mbyte/s (8 Mbit/s); the default is 1 Mbit/s.
+	BitRate float64
+
+	// Wires is the number of physical lines (Section 3.2). With
+	// Wires == 1 the classic serial bus is modelled. With Wires > 1
+	// and ParallelBuses == false, one line carries command traffic and
+	// the remaining lines transfer the DATA field in parallel (mode A).
+	// Mode B (n independent 1-wire buses) is modelled by ParallelBus.
+	Wires int
+
+	// GapBits is the interframe gap, in bit periods.
+	GapBits int
+	// TurnaroundBits is the delay between a slave finishing frame
+	// reception and starting its reply.
+	TurnaroundBits int
+	// ProcBits models the slave's command execution time.
+	ProcBits int
+	// HopBits is the per-hop repeater latency of the daisy chain.
+	HopBits int
+	// ResponseTimeoutBits is how long, from the end of TX frame
+	// transmission, the master waits for a reply before retrying.
+	// Zero derives a safe value from the chain length at build time.
+	ResponseTimeoutBits int
+	// Retries is how many times the master resends a TX frame after a
+	// timeout or a corrupted reply before signalling an error
+	// ("resends the TX frame a predetermined number of times").
+	Retries int
+
+	// FrameErrorRate is the probability that any given frame is
+	// corrupted in flight (detected by CRC). Applied independently to
+	// TX and RX frames using the kernel's deterministic RNG.
+	FrameErrorRate float64
+
+	// PollPeriodBits is the idle polling cadence of the master's
+	// service loop, in bit periods. The master pings slaves round-robin
+	// at this period to harvest interrupts and keep watchdogs fed.
+	PollPeriodBits int
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// experiments unless a scenario overrides it.
+func DefaultConfig() Config {
+	return Config{
+		BitRate:        1_000_000,
+		Wires:          1,
+		GapBits:        2,
+		TurnaroundBits: 4,
+		ProcBits:       8,
+		HopBits:        1,
+		Retries:        3,
+		// The idle poll period must stay under the 2048-bit slave
+		// watchdog so the master's pings keep the chain alive.
+		PollPeriodBits: 1024,
+	}
+}
+
+// Normalize fills zero fields with defaults and validates the result.
+func (c *Config) Normalize() error {
+	d := DefaultConfig()
+	if c.BitRate == 0 {
+		c.BitRate = d.BitRate
+	}
+	if c.Wires == 0 {
+		c.Wires = d.Wires
+	}
+	if c.GapBits == 0 {
+		c.GapBits = d.GapBits
+	}
+	if c.TurnaroundBits == 0 {
+		c.TurnaroundBits = d.TurnaroundBits
+	}
+	if c.ProcBits == 0 {
+		c.ProcBits = d.ProcBits
+	}
+	if c.HopBits == 0 {
+		c.HopBits = d.HopBits
+	}
+	if c.Retries == 0 {
+		c.Retries = d.Retries
+	}
+	if c.PollPeriodBits == 0 {
+		c.PollPeriodBits = d.PollPeriodBits
+	}
+	switch {
+	case c.BitRate <= 0:
+		return fmt.Errorf("tpwire: bit rate %v must be positive", c.BitRate)
+	case c.Wires < 1:
+		return fmt.Errorf("tpwire: wires %d must be >= 1", c.Wires)
+	case c.Retries < 0:
+		return fmt.Errorf("tpwire: retries %d must be >= 0", c.Retries)
+	case c.FrameErrorRate < 0 || c.FrameErrorRate >= 1:
+		return fmt.Errorf("tpwire: frame error rate %v out of [0,1)", c.FrameErrorRate)
+	}
+	return nil
+}
+
+// BitPeriod is the duration of one bit at the programmed speed.
+func (c Config) BitPeriod() sim.Duration {
+	return sim.Duration(float64(sim.Second) / c.BitRate)
+}
+
+// Bits converts a count of bit periods into a duration.
+func (c Config) Bits(n int) sim.Duration {
+	return sim.Duration(n) * c.BitPeriod()
+}
+
+// FrameBits is the on-wire duration of one frame, in bit periods,
+// accounting for the mode-A n-wire scaling: with w wires, one line
+// carries the 8 control bits (start, CMD/INT+TYPE, CRC) while the
+// other w-1 lines move the 8 data bits in parallel, so the frame lasts
+// max(8, ceil(8/(w-1))) bit periods. With one wire the classic 16-bit
+// serial frame is used.
+func (c Config) FrameBits() int {
+	if c.Wires <= 1 {
+		return 16
+	}
+	control := 8
+	data := (8 + c.Wires - 2) / (c.Wires - 1) // ceil(8/(w-1))
+	if data > control {
+		return data
+	}
+	return control
+}
+
+// FrameTime is the on-wire duration of one frame.
+func (c Config) FrameTime() sim.Duration { return c.Bits(c.FrameBits()) }
+
+// responseTimeout derives the master's wait-for-reply budget for a
+// chain with the given number of slaves, unless overridden.
+func (c Config) responseTimeout(slaves int) sim.Duration {
+	if c.ResponseTimeoutBits > 0 {
+		return c.Bits(c.ResponseTimeoutBits)
+	}
+	// Worst case: propagation to the far end and back, slave
+	// turnaround and processing, the reply frame itself, plus margin.
+	bits := 2*c.HopBits*slaves + c.TurnaroundBits + c.ProcBits + c.FrameBits() + 16
+	return c.Bits(bits)
+}

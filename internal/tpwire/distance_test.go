@@ -1,0 +1,83 @@
+package tpwire
+
+import (
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+func TestLongSegmentAddsLatency(t *testing.T) {
+	// Two chains differing only in one 100 m segment: the far slave's
+	// transactions must slow by exactly 2x the segment delay.
+	ping := func(meters float64) sim.Duration {
+		k := sim.NewKernel(1)
+		c := NewChain(k, Config{BitRate: 1_000_000})
+		c.AddSlave(1)
+		c.AddSlaveAt(2, meters)
+		var doneAt sim.Time
+		c.Master().Ping(2, func(uint8, bool, bool, error) { doneAt = k.Now() })
+		k.RunUntil(sim.Time(sim.Second))
+		return sim.Duration(doneAt)
+	}
+	short := ping(0)
+	long := ping(100)
+	// Ping expands to SELECT + PING: two transactions, each crossing
+	// the segment once per direction.
+	wantExtra := 4 * (100*wirePropagation + longDriverLatency)
+	if got := long - short; got != wantExtra {
+		t.Fatalf("long segment added %v, want %v", got, wantExtra)
+	}
+}
+
+func TestShortSegmentBelowThresholdNoDriver(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewChain(k, Config{})
+	s := c.AddSlaveAt(1, 5) // short: single-ended, propagation only
+	if s.segment != 5*wirePropagation {
+		t.Fatalf("segment delay %v, want pure propagation", s.segment)
+	}
+}
+
+func TestLongSegmentTransactionsStillComplete(t *testing.T) {
+	// The widened reply timeout must accommodate a 500 m run.
+	k := sim.NewKernel(1)
+	c := NewChain(k, Config{BitRate: 1_000_000})
+	c.AddSlaveAt(1, 500)
+	var err error
+	done := false
+	c.Master().WriteReg(1, false, 0, 0x5A, func(e error) { err, done = e, true })
+	k.RunUntil(sim.Time(sim.Second))
+	if !done || err != nil {
+		t.Fatalf("transaction over 500 m: done=%v err=%v", done, err)
+	}
+	if c.Master().Stats().Timeouts != 0 {
+		t.Fatal("long segment caused spurious timeouts")
+	}
+}
+
+func TestNegativeDistancePanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewChain(k, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative distance")
+		}
+	}()
+	c.AddSlaveAt(1, -1)
+}
+
+func TestMixedDistanceChainOrdering(t *testing.T) {
+	// Arrival order down the chain is preserved regardless of segment
+	// lengths (the wire is a daisy chain, not a star).
+	k := sim.NewKernel(1)
+	c := NewChain(k, Config{BitRate: 1_000_000})
+	c.AddSlaveAt(1, 50)
+	c.AddSlave(2)
+	c.AddSlaveAt(3, 20)
+	if c.delayTo(c.Slave(1)) >= c.delayTo(c.Slave(2)) {
+		t.Fatal("delay not cumulative")
+	}
+	if c.delayTo(c.Slave(2)) >= c.delayTo(c.Slave(3)) {
+		t.Fatal("delay not monotone down the chain")
+	}
+}

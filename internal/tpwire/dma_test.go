@@ -1,0 +1,207 @@
+package tpwire
+
+import (
+	"bytes"
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+func TestDMAWriteReadRoundTrip(t *testing.T) {
+	k, c := testChain(t, 2, Config{})
+	m := c.Master()
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	// A RAM device maps every write to the same register; use a FIFO
+	// double to observe per-byte semantics instead.
+	fifo := &fifoDevice{}
+	c.Slave(1).SetDevice(fifo)
+	var werr error
+	m.WriteDMA(1, 0x80, payload, func(err error) { werr = err })
+	var got []byte
+	var rerr error
+	m.ReadDMA(1, 0x40, len(payload), func(b []byte, err error) { got, rerr = b, err })
+	k.RunUntil(sim.Time(sim.Second))
+	if werr != nil || rerr != nil {
+		t.Fatalf("errors: %v %v", werr, rerr)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip %d bytes -> %d", len(payload), len(got))
+	}
+}
+
+// fifoDevice exposes a push FIFO at 0x80 and a pop FIFO at 0x40 over
+// the same queue.
+type fifoDevice struct {
+	q []byte
+}
+
+func (f *fifoDevice) WriteReg(addr uint8, v uint8) {
+	if addr == 0x80 {
+		f.q = append(f.q, v)
+	}
+}
+func (f *fifoDevice) ReadReg(addr uint8) uint8 {
+	if addr == 0x40 && len(f.q) > 0 {
+		b := f.q[0]
+		f.q = f.q[1:]
+		return b
+	}
+	return 0
+}
+func (f *fifoDevice) Pending() bool { return len(f.q) > 0 }
+
+func TestDMAFasterThanFIFO(t *testing.T) {
+	move := func(useDMA bool) sim.Duration {
+		k := sim.NewKernel(1)
+		c := NewChain(k, Config{BitRate: 10_000})
+		src := NewMailboxDevice(nil)
+		c.AddSlave(1).SetDevice(src)
+		var doneAt sim.Time
+		dst := NewMailboxDevice(func(Message) { doneAt = k.Now() })
+		c.AddSlave(2).SetDevice(dst)
+		p := NewPoller(c, []uint8{1, 2}, 0)
+		p.UseDMA = useDMA
+		p.Start()
+		src.Send(2, make([]byte, 400))
+		k.RunUntil(sim.Time(200 * sim.Second))
+		if doneAt == 0 {
+			t.Fatalf("message not delivered (dma=%v)", useDMA)
+		}
+		return sim.Duration(doneAt)
+	}
+	fifo := move(false)
+	dma := move(true)
+	if dma >= fifo {
+		t.Fatalf("DMA (%v) not faster than FIFO (%v)", dma, fifo)
+	}
+	// Per byte, FIFO costs ~2 transactions (~2x19 bits at these
+	// settings vs ~10 streamed bits): expect at least 2.5x.
+	if ratio := float64(fifo) / float64(dma); ratio < 2.5 {
+		t.Fatalf("DMA speedup only %.2fx", ratio)
+	}
+}
+
+func TestDMAChunksLargeBursts(t *testing.T) {
+	k, c := testChain(t, 1, Config{})
+	fifo := &fifoDevice{}
+	c.Slave(1).SetDevice(fifo)
+	m := c.Master()
+	payload := make([]byte, 3*MaxDMABurst+17)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var werr error
+	m.WriteDMA(1, 0x80, payload, func(err error) { werr = err })
+	var got []byte
+	m.ReadDMA(1, 0x40, len(payload), func(b []byte, err error) { got = b; werr = err })
+	k.RunUntil(sim.Time(sim.Second))
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("chunked round trip lost data: %d vs %d bytes", len(got), len(payload))
+	}
+}
+
+func TestDMAProgramsDMACounter(t *testing.T) {
+	k, c := testChain(t, 1, Config{})
+	m := c.Master()
+	m.ReadDMA(1, 0x00, 42, func([]byte, error) {})
+	k.RunUntil(sim.Time(100 * sim.Millisecond))
+	if got := c.Slave(1).SysReg(SysDMA); got != 42 {
+		t.Fatalf("DMA counter = %d, want 42", got)
+	}
+}
+
+func TestDMAEmptyAndZero(t *testing.T) {
+	k, c := testChain(t, 1, Config{})
+	m := c.Master()
+	called := false
+	m.ReadDMA(1, 0, 0, func(b []byte, err error) { called = err == nil && b == nil })
+	if !called {
+		t.Fatal("zero-length read not synchronous")
+	}
+	called = false
+	m.WriteDMA(1, 0, nil, func(err error) { called = err == nil })
+	if !called {
+		t.Fatal("empty write not synchronous")
+	}
+	k.Run()
+}
+
+func TestDMASurvivesFrameErrors(t *testing.T) {
+	// A 32-byte burst at 1% frame errors corrupts with p ~ 0.2 per
+	// attempt; 9 attempts make failure vanishingly rare.
+	k, c := testChain(t, 2, Config{FrameErrorRate: 0.01, Retries: 8})
+	fifo := &fifoDevice{}
+	c.Slave(1).SetDevice(fifo)
+	m := c.Master()
+	payload := make([]byte, 32)
+	for i := range payload {
+		payload[i] = byte(i ^ 0x5A)
+	}
+	var got []byte
+	var rerr error
+	m.WriteDMA(1, 0x80, payload, func(err error) {
+		if err != nil {
+			rerr = err
+		}
+	})
+	m.ReadDMA(1, 0x40, len(payload), func(b []byte, err error) { got, rerr = b, err })
+	k.RunUntil(sim.Time(10 * sim.Second))
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted under retried bursts")
+	}
+	if m.Stats().Retries == 0 {
+		t.Log("note: no retries occurred at this seed (error injection not exercised)")
+	}
+}
+
+func TestMailboxOverDMAEndToEnd(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewChain(k, Config{})
+	src := NewMailboxDevice(nil)
+	c.AddSlave(1).SetDevice(src)
+	var got []Message
+	dst := NewMailboxDevice(func(m Message) { got = append(got, m) })
+	c.AddSlave(2).SetDevice(dst)
+	p := NewPoller(c, []uint8{1, 2}, 0)
+	p.UseDMA = true
+	p.Start()
+	for i := 0; i < 3; i++ {
+		msg := make([]byte, 300+i)
+		for j := range msg {
+			msg[j] = byte(i + j)
+		}
+		src.Send(2, msg)
+	}
+	k.RunUntil(sim.Time(sim.Second))
+	if len(got) != 3 {
+		t.Fatalf("delivered %d/3 over DMA", len(got))
+	}
+	for i, m := range got {
+		if len(m.Payload) != 300+i || m.Payload[1] != byte(i+1) {
+			t.Fatalf("message %d corrupted", i)
+		}
+	}
+}
+
+func TestStreamBitsScalesWithWires(t *testing.T) {
+	one := Config{Wires: 1}
+	two := Config{Wires: 4}
+	if streamBitsPerByte(one) != 10 {
+		t.Fatalf("1-wire stream bits = %d", streamBitsPerByte(one))
+	}
+	if got := streamBitsPerByte(two); got != 3 { // ceil(8/4)+1
+		t.Fatalf("4-wire stream bits = %d", got)
+	}
+	if dmaStreamBits(one, 10) != 108 {
+		t.Fatalf("burst bits = %d", dmaStreamBits(one, 10))
+	}
+}

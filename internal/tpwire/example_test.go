@@ -1,0 +1,51 @@
+package tpwire_test
+
+import (
+	"fmt"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tpwire"
+)
+
+// Example shows a minimal bus: one master, two slaves, a register
+// write and read-back across the daisy chain.
+func Example() {
+	k := sim.NewKernel(1)
+	chain := tpwire.NewChain(k, tpwire.Config{BitRate: 1_000_000})
+	chain.AddSlave(1)
+	chain.AddSlave(2)
+
+	m := chain.Master()
+	m.WriteReg(2, false, 0x10, 0xAB, func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	})
+	m.ReadReg(2, false, 0x10, func(v uint8, err error) {
+		fmt.Printf("register 0x10 of slave 2 = %#x\n", v)
+	})
+	k.RunUntil(sim.Time(sim.Millisecond))
+	// Output:
+	// register 0x10 of slave 2 = 0xab
+}
+
+// Example_mailbox shows slave-to-slave messaging: slaves cannot talk
+// to each other directly, so a Poller on the master ferries messages
+// between their mailboxes.
+func Example_mailbox() {
+	k := sim.NewKernel(1)
+	chain := tpwire.NewChain(k, tpwire.Config{})
+
+	src := tpwire.NewMailboxDevice(nil)
+	chain.AddSlave(1).SetDevice(src)
+	dst := tpwire.NewMailboxDevice(func(m tpwire.Message) {
+		fmt.Printf("slave 2 received %q from slave %d\n", m.Payload, m.Src)
+	})
+	chain.AddSlave(2).SetDevice(dst)
+
+	tpwire.NewPoller(chain, []uint8{1, 2}, 0).Start()
+	src.Send(2, []byte("hello"))
+	k.RunUntil(sim.Time(sim.Second))
+	// Output:
+	// slave 2 received "hello" from slave 1
+}

@@ -1,0 +1,328 @@
+package tpwire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tpspace/internal/sim"
+)
+
+// mailboxChain builds a chain with mailbox devices on the given IDs
+// and a running poller over them.
+func mailboxChain(t *testing.T, cfg Config, ids ...uint8) (*sim.Kernel, *Chain, map[uint8]*MailboxDevice, *Poller) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	c := NewChain(k, cfg)
+	boxes := make(map[uint8]*MailboxDevice)
+	for _, id := range ids {
+		s := c.AddSlave(id)
+		mb := NewMailboxDevice(nil)
+		s.SetDevice(mb)
+		boxes[id] = mb
+	}
+	p := NewPoller(c, ids, 0)
+	p.Start()
+	return k, c, boxes, p
+}
+
+func TestMailboxSingleMessage(t *testing.T) {
+	k, _, boxes, poller := mailboxChain(t, Config{}, 1, 2)
+	var got Message
+	boxes[2].SetOnReceive(func(m Message) { got = m })
+	payload := []byte("tuple")
+	boxes[1].Send(2, payload)
+	k.RunUntil(sim.Time(sim.Second))
+	if got.Src != 1 || !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("received %+v", got)
+	}
+	if st := poller.Stats(); st.Serviced != 1 || st.Bytes != uint64(len(payload)) {
+		t.Fatalf("poller stats %+v", st)
+	}
+	if st := boxes[1].Stats(); st.Sent != 1 || st.BytesOut != uint64(len(payload)) {
+		t.Fatalf("source stats %+v", st)
+	}
+	if st := boxes[2].Stats(); st.Received != 1 {
+		t.Fatalf("dest stats %+v", st)
+	}
+}
+
+func TestMailboxLargeMessageChunks(t *testing.T) {
+	// A multi-hundred-byte message (a 16-bit length) must cross the
+	// bus and reassemble intact.
+	k, _, boxes, _ := mailboxChain(t, Config{}, 1, 2)
+	var got Message
+	boxes[2].SetOnReceive(func(m Message) { got = m })
+	payload := make([]byte, 777)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	boxes[1].Send(2, payload)
+	k.RunUntil(sim.Time(sim.Second))
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("payload corrupted: got %d bytes", len(got.Payload))
+	}
+}
+
+func TestMailboxMultipleQueuedMessages(t *testing.T) {
+	k, _, boxes, _ := mailboxChain(t, Config{}, 1, 2)
+	var got []Message
+	boxes[2].SetOnReceive(func(m Message) { got = append(got, m) })
+	for i := 0; i < 5; i++ {
+		boxes[1].Send(2, []byte{byte(i), byte(i + 1)})
+	}
+	k.RunUntil(sim.Time(sim.Second))
+	if len(got) != 5 {
+		t.Fatalf("received %d messages, want 5", len(got))
+	}
+	for i, m := range got {
+		if m.Payload[0] != byte(i) {
+			t.Fatalf("message %d out of order: %v", i, m.Payload)
+		}
+	}
+}
+
+func TestMailboxBidirectionalCrossTraffic(t *testing.T) {
+	k, _, boxes, _ := mailboxChain(t, Config{}, 1, 2, 3)
+	recv := map[uint8][]Message{}
+	for _, id := range []uint8{1, 2, 3} {
+		id := id
+		boxes[id].SetOnReceive(func(m Message) { recv[id] = append(recv[id], m) })
+	}
+	boxes[1].Send(3, []byte("a->c"))
+	boxes[3].Send(1, []byte("c->a"))
+	boxes[2].Send(1, []byte("b->a"))
+	k.RunUntil(sim.Time(sim.Second))
+	if len(recv[3]) != 1 || string(recv[3][0].Payload) != "a->c" {
+		t.Fatalf("slave 3 received %v", recv[3])
+	}
+	if len(recv[1]) != 2 {
+		t.Fatalf("slave 1 received %d messages, want 2", len(recv[1]))
+	}
+}
+
+func TestMailboxQuickRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			raw = []byte{0}
+		}
+		if len(raw) > 300 {
+			raw = raw[:300]
+		}
+		k := sim.NewKernel(2)
+		c := NewChain(k, Config{})
+		s1 := c.AddSlave(1)
+		s2 := c.AddSlave(2)
+		src := NewMailboxDevice(nil)
+		s1.SetDevice(src)
+		var got []byte
+		dst := NewMailboxDevice(func(m Message) { got = m.Payload })
+		s2.SetDevice(dst)
+		NewPoller(c, []uint8{1, 2}, 0).Start()
+		src.Send(2, raw)
+		k.RunUntil(sim.Time(2 * sim.Second))
+		return bytes.Equal(got, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxPayloadValidation(t *testing.T) {
+	mb := NewMailboxDevice(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty payload")
+		}
+	}()
+	mb.Send(1, nil)
+}
+
+func TestCBRGeneratesAtRate(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewChain(k, Config{})
+	s1 := c.AddSlave(1)
+	mb := NewMailboxDevice(nil)
+	s1.SetDevice(mb)
+	s2 := c.AddSlave(2)
+	sink := NewSink(k)
+	rb := NewMailboxDevice(nil)
+	s2.SetDevice(rb)
+	sink.Attach(rb)
+	NewPoller(c, []uint8{1, 2}, 0).Start()
+
+	cbr := NewCBR(k, mb, 2, 10, 1) // 10 B/s, 1-byte packets
+	cbr.Start()
+	k.RunUntil(sim.Time(10 * sim.Second))
+	cbr.Stop()
+	// 10 seconds at 10 packets/s: ~100 packets generated and delivered.
+	if cbr.Packets() < 95 || cbr.Packets() > 100 {
+		t.Fatalf("CBR generated %d packets, want ~100", cbr.Packets())
+	}
+	if sink.Messages < 90 {
+		t.Fatalf("sink received %d messages, want ~100", sink.Messages)
+	}
+	if sink.Bytes != sink.Messages {
+		t.Fatalf("1-byte packets but bytes=%d msgs=%d", sink.Bytes, sink.Messages)
+	}
+}
+
+func TestCBRZeroRateSilent(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewChain(k, Config{})
+	mb := NewMailboxDevice(nil)
+	c.AddSlave(1).SetDevice(mb)
+	cbr := NewCBR(k, mb, 2, 0, 1)
+	cbr.Start()
+	k.RunUntil(sim.Time(5 * sim.Second))
+	if cbr.Packets() != 0 || mb.OutboxLen() != 0 {
+		t.Fatal("zero-rate CBR produced traffic")
+	}
+}
+
+func TestPollerKeepsWatchdogsFed(t *testing.T) {
+	// A running poller's pings must keep every slave alive
+	// indefinitely with the default poll period.
+	cfg := Config{BitRate: 100_000}
+	k, c, _, _ := mailboxChain(t, cfg, 1, 2, 3)
+	k.RunUntil(sim.Time(sim.Second)) // 100k bits >> several watchdog periods
+	for _, s := range c.Slaves() {
+		if s.Stats().Resets != 0 {
+			t.Fatalf("slave %d watchdog fired %d times under polling", s.ID(), s.Stats().Resets)
+		}
+	}
+}
+
+func TestPollerSurvivesFrameErrors(t *testing.T) {
+	cfg := Config{FrameErrorRate: 0.05, Retries: 5}
+	k, _, boxes, poller := mailboxChain(t, cfg, 1, 2)
+	var got []Message
+	boxes[2].SetOnReceive(func(m Message) { got = append(got, m) })
+	for i := 0; i < 10; i++ {
+		boxes[1].Send(2, []byte{byte(i), 0xFF})
+	}
+	k.RunUntil(sim.Time(5 * sim.Second))
+	if len(got) != 10 {
+		t.Fatalf("delivered %d/10 under 5%% frame errors (poller errors: %d)",
+			len(got), poller.Stats().Errors)
+	}
+}
+
+func TestPollerStop(t *testing.T) {
+	k, _, boxes, poller := mailboxChain(t, Config{}, 1, 2)
+	k.RunUntil(sim.Time(100 * sim.Millisecond))
+	poller.Stop()
+	k.RunUntil(sim.Time(200 * sim.Millisecond))
+	boxes[1].Send(2, []byte("late"))
+	n := boxes[2].Stats().Received
+	k.RunUntil(sim.Time(400 * sim.Millisecond))
+	if boxes[2].Stats().Received != n {
+		t.Fatal("stopped poller still moving traffic")
+	}
+}
+
+func TestTwoWireFasterThanOneWire(t *testing.T) {
+	// Moving the same payload on a 2-wire bus must be faster, and by
+	// less than 2x end to end (non-frame overheads are unchanged).
+	elapsed := func(wires int) sim.Duration {
+		k := sim.NewKernel(3)
+		c := NewChain(k, Config{BitRate: 10_000, Wires: wires})
+		src := NewMailboxDevice(nil)
+		c.AddSlave(1).SetDevice(src)
+		var doneAt sim.Time
+		dst := NewMailboxDevice(func(Message) { doneAt = k.Now() })
+		c.AddSlave(2).SetDevice(dst)
+		NewPoller(c, []uint8{1, 2}, 0).Start()
+		src.Send(2, make([]byte, 200))
+		k.RunUntil(sim.Time(200 * sim.Second))
+		if doneAt == 0 {
+			t.Fatalf("message not delivered on %d-wire", wires)
+		}
+		return sim.Duration(doneAt)
+	}
+	one := elapsed(1)
+	two := elapsed(2)
+	if two >= one {
+		t.Fatalf("2-wire (%v) not faster than 1-wire (%v)", two, one)
+	}
+	ratio := float64(one) / float64(two)
+	if ratio > 2.0 {
+		t.Fatalf("2-wire speedup %.2fx exceeds the physical bound of 2x", ratio)
+	}
+	if ratio < 1.2 {
+		t.Fatalf("2-wire speedup %.2fx implausibly small", ratio)
+	}
+}
+
+func TestParallelBusAggregatesThroughput(t *testing.T) {
+	// Mode B: two independent flows on two lines finish in about half
+	// the time of the same two flows sharing one line.
+	run := func(lines int) sim.Duration {
+		k := sim.NewKernel(4)
+		var done [2]sim.Time
+		pb := NewParallelBus(k, lines, Config{BitRate: 10_000}, func(bus int, c *Chain) {
+			src := NewMailboxDevice(nil)
+			c.AddSlave(1).SetDevice(src)
+			dst := NewMailboxDevice(nil)
+			c.AddSlave(2).SetDevice(dst)
+			NewPoller(c, []uint8{1, 2}, 0).Start()
+		})
+		for flow := 0; flow < 2; flow++ {
+			flow := flow
+			chain := pb.Bus(flow)
+			src := chain.Slave(1).Device().(*MailboxDevice)
+			dst := chain.Slave(2).Device().(*MailboxDevice)
+			prev := dst.onRecv
+			dst.SetOnReceive(func(m Message) {
+				if prev != nil {
+					prev(m)
+				}
+				done[flow] = k.Now()
+			})
+			src.Send(2, make([]byte, 150))
+		}
+		k.RunUntil(sim.Time(500 * sim.Second))
+		last := done[0]
+		if done[1] > last {
+			last = done[1]
+		}
+		if last == 0 {
+			t.Fatalf("flows not delivered on %d lines", lines)
+		}
+		return sim.Duration(last)
+	}
+	shared := run(1)
+	parallel := run(2)
+	ratio := float64(shared) / float64(parallel)
+	if ratio < 1.5 {
+		t.Fatalf("2 parallel buses only %.2fx faster for 2 flows", ratio)
+	}
+	if pb := NewParallelBus(sim.NewKernel(1), 3, Config{}, nil); pb.Lines() != 3 {
+		t.Fatal("Lines wrong")
+	}
+}
+
+func TestAnalyticModelProperties(t *testing.T) {
+	cfg := Config{}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalytic(cfg)
+	// Farther slaves cost more.
+	if a.TransactionTime(5) <= a.TransactionTime(0) {
+		t.Fatal("analytic time not increasing with position")
+	}
+	// Transfer time is linear in N.
+	if a.TransferTime(10, 1) != 10*a.TransactionTime(1) {
+		t.Fatal("transfer time not linear")
+	}
+	// Hardware factor inflates.
+	ideal := &Analytic{Cfg: cfg, HardwareFactor: 1}
+	if a.TransactionTime(1) <= ideal.TransactionTime(1) {
+		t.Fatal("hardware factor has no effect")
+	}
+	if a.ThroughputBps(0) <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}

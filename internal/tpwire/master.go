@@ -1,0 +1,550 @@
+package tpwire
+
+import (
+	"errors"
+	"fmt"
+
+	"tpspace/internal/frame"
+	"tpspace/internal/sim"
+)
+
+// ErrTimeout is reported when the master exhausts its retry budget
+// without receiving a valid RX frame.
+var ErrTimeout = errors.New("tpwire: no valid reply (retries exhausted)")
+
+// MasterStats counts master-side protocol activity.
+type MasterStats struct {
+	Transactions uint64 // Submit calls completed
+	Frames       uint64 // TX frames sent, including retransmissions
+	Retries      uint64 // retransmissions
+	Timeouts     uint64 // reply windows that expired
+	Failures     uint64 // transactions that returned ErrTimeout
+	Broadcasts   uint64 // fire-and-forget broadcast frames
+}
+
+// Master initiates all communication on a chain: it serializes
+// transactions, transmits TX frames, collects RX replies, retries on
+// timeout or CRC error, and exposes register-level operations used by
+// drivers (the mailbox byte service, the poller).
+type Master struct {
+	chain *Chain
+
+	queue []*txn
+	cur   *txn
+
+	// onReply routes the single outstanding reply.
+	timeout *sim.Event
+
+	// broadcast mirrors whether the last SELECT addressed the
+	// broadcast node; while set, commands are fire-and-forget.
+	broadcast bool
+
+	// Driver-side mirror of the bus addressing state, used to elide
+	// redundant SELECT/SETADDR frames. Invalidated on any error.
+	selNode   int // -1 unknown
+	selSystem bool
+	regPtr    int // -1 unknown
+
+	// Operation queue: high-level driver operations (WriteReg,
+	// ReadSeq, ...) run one at a time so their SELECT/SETADDR
+	// sequences never interleave on the wire.
+	ops      []func(complete func())
+	opActive bool
+
+	stats MasterStats
+}
+
+type txn struct {
+	f       frame.TX
+	attempt int
+	done    func(frame.RX, error)
+}
+
+func newMaster(c *Chain) *Master {
+	return &Master{chain: c, selNode: -1, regPtr: -1}
+}
+
+// Stats returns a snapshot of the master's counters.
+func (m *Master) Stats() MasterStats { return m.stats }
+
+// Chain returns the chain this master drives.
+func (m *Master) Chain() *Chain { return m.chain }
+
+// Submit queues one TX frame for transmission. done is invoked exactly
+// once with the reply, or with ErrTimeout after the retry budget is
+// exhausted. Broadcast-addressed traffic completes with a zero RX and
+// nil error once the frame has cleared the chain ("none of them
+// replies").
+func (m *Master) Submit(f frame.TX, done func(frame.RX, error)) {
+	t := &txn{f: f, done: done}
+	m.queue = append(m.queue, t)
+	if m.cur == nil {
+		m.next()
+	}
+}
+
+func (m *Master) next() {
+	if len(m.queue) == 0 {
+		m.cur = nil
+		return
+	}
+	m.cur = m.queue[0]
+	m.queue = m.queue[1:]
+	m.launch(m.cur)
+}
+
+// finish completes the current transaction and starts the next one.
+func (m *Master) finish(rx frame.RX, err error) {
+	t := m.cur
+	m.cur = nil
+	m.stats.Transactions++
+	if err != nil {
+		m.stats.Failures++
+		// The addressing mirror may be stale after a failure.
+		m.invalidate()
+	}
+	if t.done != nil {
+		t.done(rx, err)
+	}
+	if m.cur == nil {
+		m.next()
+	}
+}
+
+func (m *Master) invalidate() {
+	m.selNode = -1
+	m.regPtr = -1
+}
+
+// launch transmits the current transaction's TX frame once and arms
+// the reply machinery.
+func (m *Master) launch(t *txn) {
+	c := m.chain
+	cfg := c.cfg
+	k := c.kernel
+	m.stats.Frames++
+
+	// Track broadcast selection from the master's point of view.
+	if t.f.Cmd == frame.CmdSelect {
+		id, _ := frame.SplitNodeAddr(t.f.Data)
+		m.broadcast = id == BroadcastID
+	}
+
+	// The interframe gap leads every frame, so back-to-back
+	// transactions are separated by exactly one gap on the wire.
+	lead := cfg.Bits(cfg.GapBits)
+	frameT := cfg.FrameTime()
+	c.stats.TXFrames++
+	c.stats.BusyTime += frameT + lead
+
+	txOK := !c.corrupt()
+	if txOK {
+		c.trace("tx", BroadcastID, t.f.String())
+		for _, s := range c.slaves {
+			s := s
+			at := lead + frameT + c.delayTo(s)
+			k.SchedulePrio("tpwire.txarrive", at, sim.PriorityWire, func() {
+				m.arrive(t, s)
+			})
+		}
+	} else {
+		c.stats.CorruptedTX++
+		c.trace("drop-tx", BroadcastID, t.f.String())
+	}
+
+	if m.broadcast {
+		// Fire and forget: complete once the frame has cleared the
+		// far end of the chain.
+		m.stats.Broadcasts++
+		clear := lead + frameT + cfg.Bits(cfg.HopBits*(len(c.slaves)+1)) + c.maxExtraDelay()
+		k.ScheduleName("tpwire.bcastdone", clear, func() {
+			m.finish(frame.RX{}, nil)
+		})
+		return
+	}
+
+	// Arm the reply timeout, measured from the end of TX transmission
+	// and widened by the chain's long-segment delays (both ways).
+	deadline := lead + frameT + cfg.responseTimeout(len(c.slaves)) + 2*c.maxExtraDelay()
+	m.timeout = k.ScheduleName("tpwire.timeout", deadline, func() {
+		m.stats.Timeouts++
+		c.trace("timeout", BroadcastID, t.f.String())
+		m.retryOrFail(t)
+	})
+}
+
+// arrive is called when the TX frame of transaction t reaches slave
+// s. The slave feeds its watchdog, evaluates SELECT addressing and, if
+// it is the addressed node, executes the command and generates the
+// reply.
+func (m *Master) arrive(t *txn, s *Slave) {
+	s.observe(t.f)
+	if s.resetting || !s.selected {
+		return
+	}
+	cfg := m.chain.cfg
+	// Execute after the slave's processing delay; reply after the
+	// turnaround, unless the selection is broadcast.
+	m.chain.kernel.ScheduleName(fmt.Sprintf("tpwire.exec[%d]", s.id),
+		cfg.Bits(cfg.ProcBits), func() {
+			rx := s.execute(t.f)
+			if m.chain.broadcastSelected() {
+				return // all execute, none replies
+			}
+			m.chain.sendRX(s, rx, cfg.Bits(cfg.TurnaroundBits), func(rx frame.RX, ok bool) {
+				m.handleReply(t, rx, ok)
+			})
+		})
+}
+
+// handleReply receives the RX frame (or its corruption notice) at the
+// master port. Replies are matched to their transaction: a straggler
+// from a superseded attempt is dropped.
+func (m *Master) handleReply(t *txn, rx frame.RX, ok bool) {
+	if m.cur != t {
+		return // reply raced a timeout that already failed the txn
+	}
+	if m.timeout != nil {
+		m.chain.kernel.Cancel(m.timeout)
+		m.timeout = nil
+	}
+	if !ok {
+		// CRC error on the reply: "an error occurs during the receive
+		// of TX or RX frames" — retransmit without waiting for the
+		// full timeout.
+		m.retryOrFail(t)
+		return
+	}
+	m.finish(rx, nil)
+}
+
+// retryOrFail resends the TX frame if budget remains, else fails the
+// transaction.
+func (m *Master) retryOrFail(t *txn) {
+	if m.timeout != nil {
+		m.chain.kernel.Cancel(m.timeout)
+		m.timeout = nil
+	}
+	if t.attempt >= m.chain.cfg.Retries {
+		m.finish(frame.RX{}, ErrTimeout)
+		return
+	}
+	t.attempt++
+	m.stats.Retries++
+	// The retransmission starts immediately; launch itself inserts
+	// the leading interframe gap.
+	m.chain.kernel.ScheduleName("tpwire.retry", 0, func() { m.launch(t) })
+}
+
+//
+// Register-level driver operations. These expand into SELECT / SETADDR
+// / READ / WRITE frame sequences, eliding frames the addressing mirror
+// proves redundant. Operations are serialized through an internal
+// queue: the frames of one operation never interleave with another's.
+// All are asynchronous; Session provides blocking wrappers for
+// process-style code.
+//
+
+// enqueue admits a driver operation to the serialized queue. run must
+// call complete exactly once when its last frame has finished.
+func (m *Master) enqueue(run func(complete func())) {
+	m.ops = append(m.ops, run)
+	if !m.opActive {
+		m.nextOp()
+	}
+}
+
+func (m *Master) nextOp() {
+	if len(m.ops) == 0 {
+		m.opActive = false
+		return
+	}
+	m.opActive = true
+	run := m.ops[0]
+	m.ops = m.ops[1:]
+	run(func() { m.nextOp() })
+}
+
+// seq runs a list of frames in order, stopping at the first error.
+// Replies other than the final one are discarded.
+func (m *Master) seq(frames []frame.TX, done func(frame.RX, error)) {
+	if len(frames) == 0 {
+		done(frame.RX{}, nil)
+		return
+	}
+	var step func(i int)
+	step = func(i int) {
+		m.Submit(frames[i], func(rx frame.RX, err error) {
+			if err != nil || i == len(frames)-1 {
+				done(rx, err)
+				return
+			}
+			step(i + 1)
+		})
+	}
+	step(0)
+}
+
+// selectFrames returns the frames needed to address (node, system,
+// addr), consulting and updating the mirror.
+func (m *Master) selectFrames(node uint8, system bool, addr uint8) []frame.TX {
+	var fs []frame.TX
+	if m.selNode != int(node) || m.selSystem != system {
+		fs = append(fs, frame.TX{Cmd: frame.CmdSelect, Data: frame.NodeAddr(node, system)})
+		m.selNode, m.selSystem = int(node), system
+		m.regPtr = -1
+	}
+	if m.regPtr != int(addr) {
+		fs = append(fs, frame.TX{Cmd: frame.CmdSetAddr, Data: addr})
+		m.regPtr = int(addr)
+	}
+	return fs
+}
+
+// WriteReg writes v into register addr of the given node and register
+// space.
+func (m *Master) WriteReg(node uint8, system bool, addr, v uint8, done func(error)) {
+	m.enqueue(func(complete func()) {
+		fs := append(m.selectFrames(node, system, addr), frame.TX{Cmd: frame.CmdWrite, Data: v})
+		m.seq(fs, func(_ frame.RX, err error) {
+			done(err)
+			complete()
+		})
+	})
+}
+
+// ReadReg reads register addr of the given node and register space.
+func (m *Master) ReadReg(node uint8, system bool, addr uint8, done func(uint8, error)) {
+	m.enqueue(func(complete func()) {
+		fs := append(m.selectFrames(node, system, addr), frame.TX{Cmd: frame.CmdRead})
+		m.seq(fs, func(rx frame.RX, err error) {
+			done(rx.Data, err)
+			complete()
+		})
+	})
+}
+
+// WriteSeq writes p into consecutive registers starting at addr. The
+// register pointer does not auto-increment, so each byte costs a
+// SETADDR and a WRITE frame; use WriteFIFO for bulk pushes to a
+// single FIFO register.
+func (m *Master) WriteSeq(node uint8, system bool, addr uint8, p []byte, done func(error)) {
+	buf := append([]byte(nil), p...)
+	m.enqueue(func(complete func()) {
+		var fs []frame.TX
+		for i, b := range buf {
+			fs = append(fs, m.selectFrames(node, system, addr+uint8(i))...)
+			fs = append(fs, frame.TX{Cmd: frame.CmdWrite, Data: b})
+		}
+		m.seq(fs, func(_ frame.RX, err error) {
+			done(err)
+			complete()
+		})
+	})
+}
+
+// ReadSeq reads n consecutive registers starting at addr (a SETADDR
+// and a READ frame per register; use ReadFIFO for bulk pops from a
+// single FIFO register).
+func (m *Master) ReadSeq(node uint8, system bool, addr uint8, n int, done func([]byte, error)) {
+	if n <= 0 {
+		done(nil, nil)
+		return
+	}
+	m.enqueue(func(complete func()) {
+		buf := make([]byte, 0, n)
+		var readAt func(i int)
+		readAt = func(i int) {
+			fs := append(m.selectFrames(node, system, addr+uint8(i)), frame.TX{Cmd: frame.CmdRead})
+			m.seq(fs, func(rx frame.RX, err error) {
+				if err != nil {
+					done(nil, err)
+					complete()
+					return
+				}
+				buf = append(buf, rx.Data)
+				if len(buf) == n {
+					done(buf, nil)
+					complete()
+					return
+				}
+				readAt(i + 1)
+			})
+		}
+		readAt(0)
+	})
+}
+
+// WriteFIFO pushes every byte of p into the single register addr (a
+// device-side FIFO): one SETADDR, then one WRITE frame per byte.
+func (m *Master) WriteFIFO(node uint8, system bool, addr uint8, p []byte, done func(error)) {
+	buf := append([]byte(nil), p...)
+	m.enqueue(func(complete func()) {
+		fs := m.selectFrames(node, system, addr)
+		for _, b := range buf {
+			fs = append(fs, frame.TX{Cmd: frame.CmdWrite, Data: b})
+		}
+		m.seq(fs, func(_ frame.RX, err error) {
+			done(err)
+			complete()
+		})
+	})
+}
+
+// ReadFIFO pops n bytes from the single register addr (a device-side
+// FIFO): one SETADDR, then one READ frame per byte.
+func (m *Master) ReadFIFO(node uint8, system bool, addr uint8, n int, done func([]byte, error)) {
+	if n <= 0 {
+		done(nil, nil)
+		return
+	}
+	m.enqueue(func(complete func()) {
+		pre := m.selectFrames(node, system, addr)
+		buf := make([]byte, 0, n)
+		var readOne func()
+		readOne = func() {
+			m.Submit(frame.TX{Cmd: frame.CmdRead}, func(rx frame.RX, err error) {
+				if err != nil {
+					done(nil, err)
+					complete()
+					return
+				}
+				buf = append(buf, rx.Data)
+				if len(buf) == n {
+					done(buf, nil)
+					complete()
+					return
+				}
+				readOne()
+			})
+		}
+		if len(pre) == 0 {
+			readOne()
+			return
+		}
+		m.seq(pre, func(_ frame.RX, err error) {
+			if err != nil {
+				done(nil, err)
+				complete()
+				return
+			}
+			readOne()
+		})
+	})
+}
+
+// Ping polls a node for liveness and interrupt status.
+func (m *Master) Ping(node uint8, done func(nodeID uint8, pending bool, intSeen bool, err error)) {
+	m.enqueue(func(complete func()) {
+		fs := []frame.TX(nil)
+		if m.selNode != int(node) || m.selSystem {
+			fs = append(fs, frame.TX{Cmd: frame.CmdSelect, Data: frame.NodeAddr(node, false)})
+			m.selNode, m.selSystem = int(node), false
+			m.regPtr = -1
+		}
+		fs = append(fs, frame.TX{Cmd: frame.CmdPing})
+		m.seq(fs, func(rx frame.RX, err error) {
+			if err != nil {
+				done(0, false, false, err)
+			} else {
+				id, pending := frame.SplitAckData(rx.Data)
+				done(id, pending, rx.Int, nil)
+			}
+			complete()
+		})
+	})
+}
+
+// BroadcastSync issues a broadcast SYNC, resynchronising every slave,
+// then re-selects nothing (the mirror is invalidated).
+func (m *Master) BroadcastSync(done func()) {
+	m.enqueue(func(complete func()) {
+		m.seq([]frame.TX{
+			{Cmd: frame.CmdSelect, Data: frame.NodeAddr(BroadcastID, false)},
+			{Cmd: frame.CmdSync},
+		}, func(frame.RX, error) {
+			m.invalidate()
+			done()
+			complete()
+		})
+	})
+}
+
+//
+// Session: blocking wrappers for sim.Process bodies.
+//
+
+// Session adapts the master's asynchronous operations to the blocking
+// style used inside sim.Process bodies.
+type Session struct {
+	m *Master
+	p *sim.Process
+}
+
+// NewSession returns a blocking facade over the master for process p.
+func (m *Master) NewSession(p *sim.Process) *Session { return &Session{m: m, p: p} }
+
+// WriteReg blocks until the write completes.
+func (s *Session) WriteReg(node uint8, system bool, addr, v uint8) error {
+	var res error
+	wake, wait := s.p.Block(sim.Forever)
+	s.m.WriteReg(node, system, addr, v, func(err error) { res = err; wake() })
+	wait()
+	return res
+}
+
+// ReadReg blocks until the read completes.
+func (s *Session) ReadReg(node uint8, system bool, addr uint8) (uint8, error) {
+	var v uint8
+	var res error
+	wake, wait := s.p.Block(sim.Forever)
+	s.m.ReadReg(node, system, addr, func(b uint8, err error) { v, res = b, err; wake() })
+	wait()
+	return v, res
+}
+
+// WriteSeq blocks until the consecutive-register write completes.
+func (s *Session) WriteSeq(node uint8, system bool, addr uint8, p []byte) error {
+	var res error
+	wake, wait := s.p.Block(sim.Forever)
+	s.m.WriteSeq(node, system, addr, p, func(err error) { res = err; wake() })
+	wait()
+	return res
+}
+
+// ReadSeq blocks until the consecutive-register read completes.
+func (s *Session) ReadSeq(node uint8, system bool, addr uint8, n int) ([]byte, error) {
+	var buf []byte
+	var res error
+	wake, wait := s.p.Block(sim.Forever)
+	s.m.ReadSeq(node, system, addr, n, func(b []byte, err error) { buf, res = b, err; wake() })
+	wait()
+	return buf, res
+}
+
+// WriteFIFO blocks until the FIFO push burst completes.
+func (s *Session) WriteFIFO(node uint8, system bool, addr uint8, p []byte) error {
+	var res error
+	wake, wait := s.p.Block(sim.Forever)
+	s.m.WriteFIFO(node, system, addr, p, func(err error) { res = err; wake() })
+	wait()
+	return res
+}
+
+// ReadFIFO blocks until the FIFO pop burst completes.
+func (s *Session) ReadFIFO(node uint8, system bool, addr uint8, n int) ([]byte, error) {
+	var buf []byte
+	var res error
+	wake, wait := s.p.Block(sim.Forever)
+	s.m.ReadFIFO(node, system, addr, n, func(b []byte, err error) { buf, res = b, err; wake() })
+	wait()
+	return buf, res
+}
+
+// Ping blocks until the poll completes.
+func (s *Session) Ping(node uint8) (pending bool, intSeen bool, err error) {
+	wake, wait := s.p.Block(sim.Forever)
+	s.m.Ping(node, func(_ uint8, p, i bool, e error) { pending, intSeen, err = p, i, e; wake() })
+	wait()
+	return pending, intSeen, err
+}

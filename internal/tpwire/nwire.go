@@ -1,0 +1,60 @@
+package tpwire
+
+import "tpspace/internal/sim"
+
+// ParallelBus is the second n-wire scaling of Section 3.2: "each line
+// is used to implement one 1-wire bus, thus having n parallel 1-wire
+// transmissions". It aggregates n independent chains, each with its
+// own master, over the same simulation kernel. Flows are assigned to
+// buses statically, which is how a deployment would partition devices
+// across the lines.
+type ParallelBus struct {
+	chains []*Chain
+}
+
+// NewParallelBus builds n chains with identical configuration. The
+// build callback populates each chain (slaves, devices); it receives
+// the bus index so layouts can differ per line if desired.
+func NewParallelBus(k *sim.Kernel, n int, cfg Config, build func(bus int, c *Chain)) *ParallelBus {
+	if n < 1 {
+		panic("tpwire: parallel bus needs at least one line")
+	}
+	p := &ParallelBus{}
+	for i := 0; i < n; i++ {
+		c := NewChain(k, cfg)
+		if build != nil {
+			build(i, c)
+		}
+		p.chains = append(p.chains, c)
+	}
+	return p
+}
+
+// Lines reports the number of parallel 1-wire buses.
+func (p *ParallelBus) Lines() int { return len(p.chains) }
+
+// Bus returns the chain assigned to the given flow index
+// (round-robin).
+func (p *ParallelBus) Bus(flow int) *Chain {
+	if flow < 0 {
+		flow = -flow
+	}
+	return p.chains[flow%len(p.chains)]
+}
+
+// Chains returns every line.
+func (p *ParallelBus) Chains() []*Chain { return append([]*Chain(nil), p.chains...) }
+
+// Stats aggregates the wire counters of all lines.
+func (p *ParallelBus) Stats() ChainStats {
+	var s ChainStats
+	for _, c := range p.chains {
+		cs := c.Stats()
+		s.TXFrames += cs.TXFrames
+		s.RXFrames += cs.RXFrames
+		s.CorruptedTX += cs.CorruptedTX
+		s.CorruptedRX += cs.CorruptedRX
+		s.BusyTime += cs.BusyTime
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package tpwire
+
+import (
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+func TestIntDrivenPollerDelivers(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewChain(k, Config{})
+	boxes := map[uint8]*MailboxDevice{}
+	for _, id := range []uint8{1, 2, 3} {
+		mb := NewMailboxDevice(nil)
+		c.AddSlave(id).SetDevice(mb)
+		boxes[id] = mb
+	}
+	p := NewPoller(c, []uint8{1, 2, 3}, 0)
+	p.IntDriven = true
+	p.Start()
+	var got []Message
+	boxes[3].SetOnReceive(func(m Message) { got = append(got, m) })
+	// Traffic from the slave nearest the master: its pending interrupt
+	// reaches the master only via the INT bit of replies passing by.
+	k.Schedule(100*sim.Millisecond, func() { boxes[1].Send(3, []byte("via-int")) })
+	k.RunUntil(sim.Time(sim.Second))
+	if len(got) != 1 || string(got[0].Payload) != "via-int" {
+		t.Fatalf("int-driven poller delivered %v", got)
+	}
+}
+
+func TestIntDrivenPollerCutsIdleTraffic(t *testing.T) {
+	idleFrames := func(intDriven bool) uint64 {
+		k := sim.NewKernel(1)
+		c := NewChain(k, Config{})
+		for _, id := range []uint8{1, 2, 3, 4, 5, 6} {
+			c.AddSlave(id).SetDevice(NewMailboxDevice(nil))
+		}
+		p := NewPoller(c, []uint8{1, 2, 3, 4, 5, 6}, 0)
+		p.IntDriven = intDriven
+		p.Start()
+		k.RunUntil(sim.Time(sim.Second))
+		p.Stop()
+		return c.Stats().TXFrames
+	}
+	full := idleFrames(false)
+	lean := idleFrames(true)
+	if lean*3 > full {
+		t.Fatalf("int-driven idle traffic %d not well below full-scan %d", lean, full)
+	}
+}
+
+func TestIntDrivenPollerKeepsWatchdogsFed(t *testing.T) {
+	// The sentinel ping crosses the whole chain, so even the leaner
+	// idle pattern feeds every watchdog.
+	k := sim.NewKernel(1)
+	c := NewChain(k, Config{BitRate: 100_000})
+	for _, id := range []uint8{1, 2, 3} {
+		c.AddSlave(id).SetDevice(NewMailboxDevice(nil))
+	}
+	p := NewPoller(c, []uint8{1, 2, 3}, 0)
+	p.IntDriven = true
+	p.Start()
+	k.RunUntil(sim.Time(sim.Second))
+	for _, s := range c.Slaves() {
+		if s.Stats().Resets != 0 {
+			t.Fatalf("slave %d reset %d times under int-driven polling", s.ID(), s.Stats().Resets)
+		}
+	}
+}
+
+func TestIntDrivenBurstThenQuiet(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := NewChain(k, Config{})
+	boxes := map[uint8]*MailboxDevice{}
+	for _, id := range []uint8{1, 2} {
+		mb := NewMailboxDevice(nil)
+		c.AddSlave(id).SetDevice(mb)
+		boxes[id] = mb
+	}
+	p := NewPoller(c, []uint8{1, 2}, 0)
+	p.IntDriven = true
+	p.Start()
+	n := 0
+	boxes[2].SetOnReceive(func(Message) { n++ })
+	for i := 0; i < 5; i++ {
+		boxes[1].Send(2, []byte{byte(i)})
+	}
+	k.RunUntil(sim.Time(sim.Second))
+	if n != 5 {
+		t.Fatalf("delivered %d/5", n)
+	}
+	// Quiet again: poller settles back to sentinel pings only.
+	before := c.Stats().TXFrames
+	k.RunUntil(sim.Time(2 * sim.Second))
+	idle := c.Stats().TXFrames - before
+	// One ping (SELECT elided after first) per poll period: at 1 Mbit/s
+	// and 1024-bit periods, ~977 sweeps/second -> ~1000 frames.
+	if idle > 1500 {
+		t.Fatalf("idle traffic %d frames/s too high for int-driven mode", idle)
+	}
+}

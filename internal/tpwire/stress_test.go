@@ -1,0 +1,119 @@
+package tpwire
+
+import (
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+func TestStressWideChainCrossTraffic(t *testing.T) {
+	// 32 slaves, 16 concurrent flows criss-crossing the chain: every
+	// message must arrive intact and in per-flow order.
+	const slaves = 32
+	k := sim.NewKernel(1)
+	c := NewChain(k, Config{BitRate: 8_000_000})
+	boxes := map[uint8]*MailboxDevice{}
+	var ids []uint8
+	recv := map[uint8][]Message{}
+	for i := 1; i <= slaves; i++ {
+		id := uint8(i)
+		mb := NewMailboxDevice(func(m Message) { recv[id] = append(recv[id], m) })
+		c.AddSlave(id).SetDevice(mb)
+		boxes[id] = mb
+		ids = append(ids, id)
+	}
+	// A long idle poll period keeps the test fast; traffic is preloaded
+	// so the bus stays busy regardless.
+	p := NewPoller(c, ids, c.Config().Bits(1800))
+	p.Start()
+
+	// Flow f: slave f -> slave (33-f), 8 messages each.
+	const msgs = 8
+	for f := 1; f <= 16; f++ {
+		src := uint8(f)
+		dst := uint8(33 - f)
+		for m := 0; m < msgs; m++ {
+			boxes[src].Send(dst, []byte{src, byte(m), 0xAA})
+		}
+	}
+	// All 128 messages move in well under a simulated second at
+	// 8 Mbit/s; the horizon is slack, not load.
+	k.RunUntil(sim.Time(2 * sim.Second))
+
+	for f := 1; f <= 16; f++ {
+		dst := uint8(33 - f)
+		got := recv[dst]
+		if len(got) != msgs {
+			t.Fatalf("flow %d: delivered %d/%d", f, len(got), msgs)
+		}
+		for m, msg := range got {
+			if msg.Src != uint8(f) || msg.Payload[1] != byte(m) {
+				t.Fatalf("flow %d message %d out of order: src=%d seq=%d",
+					f, m, msg.Src, msg.Payload[1])
+			}
+		}
+	}
+	for _, s := range c.Slaves() {
+		if s.Stats().Resets != 0 {
+			t.Fatalf("slave %d watchdog-reset under load", s.ID())
+		}
+	}
+}
+
+func TestStressDeterministicAtScale(t *testing.T) {
+	run := func() (uint64, uint64) {
+		k := sim.NewKernel(42)
+		c := NewChain(k, Config{BitRate: 1_000_000, FrameErrorRate: 0.01, Retries: 8})
+		boxes := map[uint8]*MailboxDevice{}
+		var ids []uint8
+		var delivered uint64
+		for i := 1; i <= 12; i++ {
+			id := uint8(i)
+			mb := NewMailboxDevice(func(Message) { delivered++ })
+			c.AddSlave(id).SetDevice(mb)
+			boxes[id] = mb
+			ids = append(ids, id)
+		}
+		NewPoller(c, ids, 0).Start()
+		for i := 1; i <= 12; i++ {
+			cbr := NewCBR(k, boxes[uint8(i)], uint8(12-i+1), 50, 2)
+			cbr.Start()
+		}
+		k.RunUntil(sim.Time(5 * sim.Second))
+		return delivered, c.Stats().TXFrames
+	}
+	d1, f1 := run()
+	d2, f2 := run()
+	if d1 != d2 || f1 != f2 {
+		t.Fatalf("nondeterministic at scale: (%d,%d) vs (%d,%d)", d1, f1, d2, f2)
+	}
+	if d1 == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestStressMaxChainLength(t *testing.T) {
+	// The full 127-node address space: build it, ping both ends.
+	k := sim.NewKernel(1)
+	c := NewChain(k, Config{BitRate: 8_000_000})
+	for i := 0; i < MaxNodes; i++ {
+		c.AddSlave(uint8(i))
+	}
+	if c.NumSlaves() != MaxNodes {
+		t.Fatalf("chain holds %d slaves", c.NumSlaves())
+	}
+	var first, last bool
+	c.Master().Ping(0, func(_ uint8, _, _ bool, err error) { first = err == nil })
+	c.Master().Ping(126, func(_ uint8, _, _ bool, err error) { last = err == nil })
+	k.RunUntil(sim.Time(sim.Second))
+	if !first || !last {
+		t.Fatalf("pings across the full chain: first=%v last=%v", first, last)
+	}
+	// Broadcast still reaches everyone.
+	done := false
+	c.Master().BroadcastSync(func() { done = true })
+	k.RunUntil(sim.Time(2 * sim.Second))
+	if !done {
+		t.Fatal("broadcast sync incomplete on the full chain")
+	}
+}

@@ -1,0 +1,550 @@
+package tpwire
+
+import (
+	"errors"
+	"testing"
+
+	"tpspace/internal/frame"
+	"tpspace/internal/sim"
+)
+
+// testChain builds a kernel and a chain with n RAM slaves (IDs 1..n).
+func testChain(t *testing.T, n int, cfg Config) (*sim.Kernel, *Chain) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	c := NewChain(k, cfg)
+	for i := 1; i <= n; i++ {
+		c.AddSlave(uint8(i))
+	}
+	return k, c
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	var c Config
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.BitRate != 1_000_000 || c.Wires != 1 || c.Retries != 3 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	bad := Config{BitRate: -1}
+	if err := bad.Normalize(); err == nil {
+		t.Fatal("negative bit rate accepted")
+	}
+	bad = Config{FrameErrorRate: 1.5}
+	if err := bad.Normalize(); err == nil {
+		t.Fatal("error rate 1.5 accepted")
+	}
+}
+
+func TestFrameBitsByWires(t *testing.T) {
+	cases := []struct{ wires, want int }{
+		{1, 16}, {2, 8}, {3, 8}, {9, 8},
+	}
+	for _, c := range cases {
+		cfg := Config{Wires: c.wires}
+		if err := cfg.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		if got := cfg.FrameBits(); got != c.want {
+			t.Errorf("FrameBits(wires=%d) = %d, want %d", c.wires, got, c.want)
+		}
+	}
+}
+
+func TestBitPeriod(t *testing.T) {
+	cfg := Config{BitRate: 1000}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if bp := cfg.BitPeriod(); bp != sim.Millisecond {
+		t.Fatalf("bit period at 1 kbit/s = %v, want 1ms", bp)
+	}
+	if cfg.Bits(16) != 16*sim.Millisecond {
+		t.Fatalf("Bits(16) = %v", cfg.Bits(16))
+	}
+}
+
+func TestWriteReadRegisterRoundTrip(t *testing.T) {
+	k, c := testChain(t, 3, Config{})
+	m := c.Master()
+	var got uint8
+	var rerr, werr error
+	m.WriteReg(2, false, 0x10, 0xAB, func(err error) { werr = err })
+	m.ReadReg(2, false, 0x10, func(v uint8, err error) { got, rerr = v, err })
+	k.Run()
+	if werr != nil || rerr != nil {
+		t.Fatalf("errors: write=%v read=%v", werr, rerr)
+	}
+	if got != 0xAB {
+		t.Fatalf("read back %#x, want 0xAB", got)
+	}
+}
+
+func TestOnlySelectedSlaveExecutes(t *testing.T) {
+	k, c := testChain(t, 3, Config{})
+	m := c.Master()
+	m.WriteReg(2, false, 0x00, 0x55, func(error) {})
+	// Stop before the idle watchdog clears the selection state.
+	k.RunUntil(sim.Time(sim.Millisecond))
+	if got := c.Slave(2).Device().(*RAMDevice).Mem[0]; got != 0x55 {
+		t.Fatalf("slave 2 mem[0] = %#x", got)
+	}
+	for _, id := range []uint8{1, 3} {
+		if got := c.Slave(id).Device().(*RAMDevice).Mem[0]; got != 0 {
+			t.Fatalf("unselected slave %d executed write: mem[0]=%#x", id, got)
+		}
+	}
+	if !c.Slave(2).Selected() || c.Slave(1).Selected() || c.Slave(3).Selected() {
+		t.Fatal("selection state wrong")
+	}
+}
+
+func TestSequentialRegisterBurst(t *testing.T) {
+	k, c := testChain(t, 2, Config{})
+	m := c.Master()
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	var got []byte
+	m.WriteSeq(1, false, 0x20, payload, func(err error) {
+		if err != nil {
+			t.Errorf("WriteSeq: %v", err)
+		}
+	})
+	m.ReadSeq(1, false, 0x20, len(payload), func(b []byte, err error) {
+		if err != nil {
+			t.Errorf("ReadSeq: %v", err)
+		}
+		got = b
+	})
+	k.Run()
+	if string(got) != string(payload) {
+		t.Fatalf("burst round trip %v -> %v", payload, got)
+	}
+}
+
+func TestAddressMirrorElidesFrames(t *testing.T) {
+	// Two reads on the same node need SELECT only once, and a repeated
+	// read of the same register needs neither SELECT nor SETADDR.
+	k, c := testChain(t, 1, Config{})
+	m := c.Master()
+	m.ReadReg(1, false, 0x00, func(uint8, error) {})
+	m.ReadReg(1, false, 0x01, func(uint8, error) {})
+	m.ReadReg(1, false, 0x01, func(uint8, error) {})
+	k.Run()
+	// (SELECT + SETADDR + READ) + (SETADDR + READ) + (READ) = 6 frames.
+	if got := m.Stats().Frames; got != 6 {
+		t.Fatalf("frames = %d, want 6 (mirror not eliding)", got)
+	}
+}
+
+func TestSystemRegisterSpace(t *testing.T) {
+	k, c := testChain(t, 2, Config{})
+	m := c.Master()
+	m.WriteReg(1, true, SysCommand, 0x9A, func(error) {})
+	var flags uint8
+	m.WriteReg(1, true, SysFlags, 0x42, func(error) {})
+	m.ReadReg(1, true, SysFlags, func(v uint8, err error) { flags = v })
+	k.Run()
+	if c.Slave(1).SysReg(SysCommand) != 0x9A {
+		t.Fatalf("system command reg = %#x", c.Slave(1).SysReg(SysCommand))
+	}
+	if flags != 0x42 {
+		t.Fatalf("flags read back %#x", flags)
+	}
+	// Memory space must be untouched.
+	if c.Slave(1).Device().(*RAMDevice).Mem[SysCommand] != 0 {
+		t.Fatal("system write leaked into memory space")
+	}
+}
+
+func TestBroadcastExecutesEverywhereNoReply(t *testing.T) {
+	k, c := testChain(t, 4, Config{})
+	m := c.Master()
+	completed := false
+	m.seq([]frame.TX{
+		{Cmd: frame.CmdSelect, Data: frame.NodeAddr(BroadcastID, false)},
+		{Cmd: frame.CmdSetAddr, Data: 0x05},
+		{Cmd: frame.CmdWrite, Data: 0x77},
+	}, func(_ frame.RX, err error) {
+		if err != nil {
+			t.Errorf("broadcast sequence error: %v", err)
+		}
+		completed = true
+	})
+	k.Run()
+	if !completed {
+		t.Fatal("broadcast sequence did not complete")
+	}
+	for _, s := range c.Slaves() {
+		if got := s.Device().(*RAMDevice).Mem[0x05]; got != 0x77 {
+			t.Fatalf("slave %d missed broadcast write: %#x", s.ID(), got)
+		}
+	}
+	if rx := c.Stats().RXFrames; rx != 0 {
+		t.Fatalf("broadcast produced %d replies, want 0", rx)
+	}
+	if b := m.Stats().Broadcasts; b != 3 {
+		t.Fatalf("broadcast frames = %d, want 3", b)
+	}
+}
+
+func TestTimeoutOnMissingNode(t *testing.T) {
+	k, c := testChain(t, 2, Config{Retries: 2})
+	m := c.Master()
+	var got error
+	m.ReadReg(99, false, 0, func(_ uint8, err error) { got = err })
+	k.Run()
+	if !errors.Is(got, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", got)
+	}
+	st := m.Stats()
+	if st.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", st.Retries)
+	}
+	if st.Timeouts != 3 {
+		t.Fatalf("timeouts = %d, want 3 (initial + 2 retries)", st.Timeouts)
+	}
+	if st.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", st.Failures)
+	}
+}
+
+func TestRetriesRecoverFromFrameErrors(t *testing.T) {
+	// With a 10% frame error rate (a transaction attempt fails with
+	// probability ~0.19, counting TX and RX corruption) and 8
+	// retries, the chance of any of ~150 frames exhausting its budget
+	// is below 1e-4; the exchange must complete, with a visible retry
+	// count.
+	k, c := testChain(t, 2, Config{FrameErrorRate: 0.1, Retries: 8})
+	m := c.Master()
+	failures := 0
+	for i := 0; i < 50; i++ {
+		addr := uint8(i)
+		m.WriteReg(1, false, addr, addr, func(err error) {
+			if err != nil {
+				failures++
+			}
+		})
+	}
+	k.Run()
+	if failures != 0 {
+		t.Fatalf("%d operations failed despite retry budget", failures)
+	}
+	if m.Stats().Retries == 0 {
+		t.Fatal("no retries recorded at 20% error rate")
+	}
+	dev := c.Slave(1).Device().(*RAMDevice)
+	for i := 0; i < 50; i++ {
+		if dev.Mem[i] != uint8(i) {
+			t.Fatalf("mem[%d] = %d after retried writes", i, dev.Mem[i])
+		}
+	}
+}
+
+func TestTransactionTimingMatchesAnalytic(t *testing.T) {
+	// With HardwareFactor 1 and no fixed overhead, the analytic model
+	// and the event-driven model must agree exactly on back-to-back
+	// PING exchanges.
+	cfg := Config{BitRate: 1000} // 1 ms per bit: coarse, easy arithmetic
+	k, c := testChain(t, 3, cfg)
+	m := c.Master()
+	const n = 20
+	pos := c.Slave(2).Position()
+	var doneAt sim.Time
+	// Prime addressing so the measured window contains only PINGs;
+	// stay inside the watchdog window so the selection persists.
+	m.Ping(2, func(uint8, bool, bool, error) {})
+	k.RunUntil(sim.Time(200 * sim.Millisecond))
+	start := k.Now()
+	for i := 0; i < n; i++ {
+		m.Submit(frame.TX{Cmd: frame.CmdPing}, func(rx frame.RX, err error) {
+			if err != nil {
+				t.Errorf("ping: %v", err)
+			}
+			doneAt = k.Now()
+		})
+	}
+	k.RunUntil(start.Add(1800 * sim.Millisecond))
+	a := NewAnalytic(c.Config())
+	a.HardwareFactor = 1
+	a.PerTransaction = 0
+	want := a.TransferTime(n, pos)
+	if got := doneAt.Sub(start); got != want {
+		t.Fatalf("DES time %v != analytic %v for %d pings", got, want, n)
+	}
+}
+
+func TestWatchdogResetsIdleSlave(t *testing.T) {
+	cfg := Config{BitRate: 1000}
+	k, c := testChain(t, 2, cfg)
+	s := c.Slave(1)
+	// Select it so we can observe the reset clearing the selection.
+	c.Master().Ping(1, func(uint8, bool, bool, error) {})
+	k.RunUntil(sim.Time(500 * sim.Millisecond)) // before the 2048-bit watchdog
+	if !s.Selected() {
+		t.Fatal("slave not selected after ping")
+	}
+	// Let the bus sit idle past the watchdog timeout.
+	k.RunUntil(k.Now().Add(c.Config().Bits(ResetTimeoutBits + ResetActiveBits + 10)))
+	if s.Stats().Resets == 0 {
+		t.Fatal("idle slave did not watchdog-reset")
+	}
+	if s.Selected() {
+		t.Fatal("reset did not clear selection")
+	}
+}
+
+func TestTrafficFeedsAllWatchdogs(t *testing.T) {
+	// Frames addressed to one slave pass through the whole chain and
+	// feed every watchdog.
+	cfg := Config{BitRate: 100_000}
+	k, c := testChain(t, 3, cfg)
+	stop := k.Ticker("keepalive", c.Config().Bits(ResetTimeoutBits/2), func() {
+		c.Master().Ping(1, func(uint8, bool, bool, error) {})
+	})
+	defer stop()
+	k.RunUntil(k.Now().Add(c.Config().Bits(ResetTimeoutBits * 10)))
+	for _, s := range c.Slaves() {
+		if s.Stats().Resets != 0 {
+			t.Fatalf("slave %d reset %d times despite keepalive traffic", s.ID(), s.Stats().Resets)
+		}
+	}
+}
+
+type pendingDevice struct {
+	RAMDevice
+	pending bool
+}
+
+func (p *pendingDevice) Pending() bool { return p.pending }
+
+func TestIntBitPiggybacksThroughChain(t *testing.T) {
+	// Slave 1 (nearest the master) has a pending interrupt; a reply
+	// from slave 3 must arrive with INT set because it passes through
+	// slave 1.
+	k, c := testChain(t, 3, Config{})
+	dev := &pendingDevice{pending: true}
+	c.Slave(1).SetDevice(dev)
+	var intSeen bool
+	c.Master().Ping(3, func(_ uint8, _ bool, i bool, err error) {
+		if err != nil {
+			t.Errorf("ping: %v", err)
+		}
+		intSeen = i
+	})
+	k.Run()
+	if !intSeen {
+		t.Fatal("INT bit not piggybacked through intermediate slave")
+	}
+	// And with the interrupt cleared, INT must be clear.
+	dev.pending = false
+	intSeen = true
+	c.Master().Ping(3, func(_ uint8, _ bool, i bool, err error) { intSeen = i })
+	k.Run()
+	if intSeen {
+		t.Fatal("INT bit set with no pending interrupts")
+	}
+}
+
+func TestPingReportsPendingDevice(t *testing.T) {
+	k, c := testChain(t, 2, Config{})
+	dev := &pendingDevice{pending: true}
+	c.Slave(2).SetDevice(dev)
+	var pending bool
+	c.Master().Ping(2, func(_ uint8, p bool, _ bool, err error) { pending = p })
+	k.Run()
+	if !pending {
+		t.Fatal("ping did not report pending interrupt")
+	}
+}
+
+func TestChainTopology(t *testing.T) {
+	_, c := testChain(t, 2, Config{})
+	want := "TpWire Master [Master Port] -- [Higher] Slave 1 [Lower] -- [Higher] Slave 2 [Lower]"
+	if got := c.Topology(); got != want {
+		t.Fatalf("topology = %q", got)
+	}
+	if c.NumSlaves() != 2 {
+		t.Fatalf("NumSlaves = %d", c.NumSlaves())
+	}
+	ids := c.IDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestAddSlaveValidation(t *testing.T) {
+	_, c := testChain(t, 1, Config{})
+	for _, id := range []uint8{127, 200} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for slave id %d", id)
+				}
+			}()
+			c.AddSlave(id)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic for duplicate slave id")
+			}
+		}()
+		c.AddSlave(1)
+	}()
+}
+
+func TestDeterministicUnderErrors(t *testing.T) {
+	run := func() (MasterStats, ChainStats) {
+		k := sim.NewKernel(99)
+		c := NewChain(k, Config{FrameErrorRate: 0.1, Retries: 4})
+		c.AddSlave(1)
+		c.AddSlave(2)
+		m := c.Master()
+		for i := 0; i < 30; i++ {
+			m.WriteReg(uint8(1+i%2), false, uint8(i), uint8(i), func(error) {})
+		}
+		k.Run()
+		return m.Stats(), c.Stats()
+	}
+	m1, c1 := run()
+	m2, c2 := run()
+	if m1 != m2 || c1 != c2 {
+		t.Fatalf("same seed produced different stats:\n%+v vs %+v\n%+v vs %+v", m1, m2, c1, c2)
+	}
+}
+
+func TestSessionBlockingOps(t *testing.T) {
+	k, c := testChain(t, 2, Config{})
+	var readBack []byte
+	k.Spawn("client", 0, func(p *sim.Process) {
+		sess := c.Master().NewSession(p)
+		if err := sess.WriteSeq(1, false, 0, []byte("hello")); err != nil {
+			t.Errorf("WriteSeq: %v", err)
+		}
+		b, err := sess.ReadSeq(1, false, 0, 5)
+		if err != nil {
+			t.Errorf("ReadSeq: %v", err)
+		}
+		readBack = b
+		if err := sess.WriteReg(2, false, 9, 0xEE); err != nil {
+			t.Errorf("WriteReg: %v", err)
+		}
+		v, err := sess.ReadReg(2, false, 9)
+		if err != nil || v != 0xEE {
+			t.Errorf("ReadReg = %#x, %v", v, err)
+		}
+		pending, _, err := sess.Ping(1)
+		if err != nil || pending {
+			t.Errorf("Ping = %v, %v", pending, err)
+		}
+	})
+	k.Run()
+	if string(readBack) != "hello" {
+		t.Fatalf("read back %q", readBack)
+	}
+}
+
+func TestBroadcastSync(t *testing.T) {
+	k, c := testChain(t, 3, Config{})
+	// Scramble the register pointers, then SYNC everyone.
+	m := c.Master()
+	m.WriteReg(1, false, 0x30, 1, func(error) {})
+	m.WriteReg(2, false, 0x40, 2, func(error) {})
+	done := false
+	m.BroadcastSync(func() { done = true })
+	k.RunUntil(sim.Time(10 * sim.Millisecond))
+	if !done {
+		t.Fatal("broadcast sync did not complete")
+	}
+	// SYNC resets every slave's register pointer; a subsequent READ
+	// without SETADDR must hit register 0. Verify via frame-level
+	// access: select node 1, then read (mirror was invalidated, so a
+	// full re-address happens, which is itself the point).
+	var v uint8
+	m.ReadReg(1, false, 0x30, func(b uint8, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		v = b
+	})
+	k.RunUntil(sim.Time(20 * sim.Millisecond))
+	if v != 1 {
+		t.Fatalf("read after sync = %d", v)
+	}
+}
+
+func TestAccessorsAndTrace(t *testing.T) {
+	k, c := testChain(t, 2, Config{})
+	if c.Kernel() != k {
+		t.Fatal("Kernel accessor wrong")
+	}
+	if c.Master().Chain() != c {
+		t.Fatal("Chain accessor wrong")
+	}
+	s := c.Slave(1)
+	if s.ID() != 1 || s.InReset() {
+		t.Fatal("slave accessors wrong")
+	}
+	var events []TraceEvent
+	c.SetTracer(func(ev TraceEvent) { events = append(events, ev) })
+	c.Master().Ping(1, func(uint8, bool, bool, error) {})
+	k.RunUntil(sim.Time(10 * sim.Millisecond))
+	if len(events) < 2 {
+		t.Fatalf("trace events = %d", len(events))
+	}
+	sawTX, sawRX := false, false
+	for _, ev := range events {
+		switch ev.Kind {
+		case "tx":
+			sawTX = true
+		case "rx":
+			sawRX = true
+		}
+	}
+	if !sawTX || !sawRX {
+		t.Fatalf("trace kinds missing: %+v", events)
+	}
+}
+
+func TestParallelBusAccessors(t *testing.T) {
+	k := sim.NewKernel(1)
+	pb := NewParallelBus(k, 2, Config{}, func(bus int, c *Chain) {
+		c.AddSlave(1)
+	})
+	if len(pb.Chains()) != 2 {
+		t.Fatal("Chains accessor wrong")
+	}
+	if pb.Bus(-3) == nil {
+		t.Fatal("negative flow not handled")
+	}
+	pb.Bus(0).Master().Ping(1, func(uint8, bool, bool, error) {})
+	k.RunUntil(sim.Time(sim.Millisecond))
+	st := pb.Stats()
+	if st.TXFrames == 0 {
+		t.Fatal("aggregate stats empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero lines")
+		}
+	}()
+	NewParallelBus(k, 0, Config{}, nil)
+}
+
+func TestSysRegOutOfRange(t *testing.T) {
+	_, c := testChain(t, 1, Config{})
+	if c.Slave(1).SysReg(200) != 0 {
+		t.Fatal("out-of-range sysreg not zero")
+	}
+}
+
+func TestAnalyticRejectsBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid analytic config")
+		}
+	}()
+	NewAnalytic(Config{BitRate: -5})
+}

@@ -1,0 +1,91 @@
+package transport
+
+import "tpspace/internal/tpwire"
+
+// MailboxMux shares one slave mailbox among many point-to-point
+// conversations, one per peer node — the bus-side analogue of a
+// listening socket. A server on one TpWIRE slave uses it to serve
+// several client slaves at once: each peer gets its own Conn, with
+// inbound messages demultiplexed by their source node.
+type MailboxMux struct {
+	mb    *tpwire.MailboxDevice
+	conns map[uint8]*muxEndpoint
+	// OnUnknown, if set, observes messages from peers without a Conn.
+	OnUnknown func(tpwire.Message)
+}
+
+// NewMailboxMux wraps a mailbox device for multiplexing. The mux owns
+// the device's receive callback.
+func NewMailboxMux(mb *tpwire.MailboxDevice) *MailboxMux {
+	m := &MailboxMux{mb: mb, conns: make(map[uint8]*muxEndpoint)}
+	mb.SetOnReceive(func(msg tpwire.Message) {
+		if ep, ok := m.conns[msg.Src]; ok && !ep.closed {
+			if ep.onRecv != nil {
+				ep.stats.MsgsReceived++
+				ep.stats.BytesRecv += uint64(len(msg.Payload))
+				ep.onRecv(msg.Payload)
+			}
+			return
+		}
+		if m.OnUnknown != nil {
+			m.OnUnknown(msg)
+		}
+	})
+	return m
+}
+
+// Conn returns (creating on first use) the connection to the given
+// peer node.
+func (m *MailboxMux) Conn(peer uint8) Conn {
+	if ep, ok := m.conns[peer]; ok {
+		return ep
+	}
+	ep := &muxEndpoint{mux: m, peer: peer}
+	m.conns[peer] = ep
+	return ep
+}
+
+// Peers lists the peers with open connections.
+func (m *MailboxMux) Peers() []uint8 {
+	out := make([]uint8, 0, len(m.conns))
+	for p, ep := range m.conns {
+		if !ep.closed {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// muxEndpoint is one peer's Conn over the shared mailbox.
+type muxEndpoint struct {
+	mux    *MailboxMux
+	peer   uint8
+	onRecv func([]byte)
+	closed bool
+	stats  Stats
+}
+
+// Send implements Conn.
+func (e *muxEndpoint) Send(payload []byte) error {
+	if e.closed {
+		return ErrClosed
+	}
+	e.stats.MsgsSent++
+	e.stats.BytesSent += uint64(len(payload))
+	e.mux.mb.Send(e.peer, payload)
+	return nil
+}
+
+// SetOnReceive implements Conn.
+func (e *muxEndpoint) SetOnReceive(fn func([]byte)) { e.onRecv = fn }
+
+// Close implements Conn; the peer slot can be reopened with
+// MailboxMux.Conn.
+func (e *muxEndpoint) Close() error {
+	e.closed = true
+	delete(e.mux.conns, e.peer)
+	return nil
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (e *muxEndpoint) Stats() Stats { return e.stats }

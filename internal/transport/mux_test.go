@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"testing"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tpwire"
+)
+
+// muxChain builds a chain with a mux-served server slave (id 9) and n
+// client slaves (ids 1..n).
+func muxChain(t *testing.T, n int) (*sim.Kernel, *MailboxMux, map[uint8]*MailboxConn) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	chain := tpwire.NewChain(k, tpwire.Config{})
+	ids := []uint8{9}
+	srvMB := tpwire.NewMailboxDevice(nil)
+	chain.AddSlave(9).SetDevice(srvMB)
+	clients := map[uint8]*MailboxConn{}
+	for i := 1; i <= n; i++ {
+		id := uint8(i)
+		mb := tpwire.NewMailboxDevice(nil)
+		chain.AddSlave(id).SetDevice(mb)
+		clients[id] = NewMailboxConn(mb, 9)
+		ids = append(ids, id)
+	}
+	tpwire.NewPoller(chain, ids, 0).Start()
+	return k, NewMailboxMux(srvMB), clients
+}
+
+func TestMuxDemultiplexesBySource(t *testing.T) {
+	k, mux, clients := muxChain(t, 3)
+	got := map[uint8][]string{}
+	for peer := uint8(1); peer <= 3; peer++ {
+		peer := peer
+		mux.Conn(peer).SetOnReceive(func(p []byte) {
+			got[peer] = append(got[peer], string(p))
+		})
+	}
+	clients[1].Send([]byte("from-1"))
+	clients[2].Send([]byte("from-2"))
+	clients[3].Send([]byte("from-3"))
+	k.RunUntil(sim.Time(sim.Second))
+	for peer := uint8(1); peer <= 3; peer++ {
+		if len(got[peer]) != 1 || got[peer][0] != "from-"+string(rune('0'+peer)) {
+			t.Fatalf("peer %d got %v", peer, got[peer])
+		}
+	}
+}
+
+func TestMuxRepliesReachTheRightPeer(t *testing.T) {
+	k, mux, clients := muxChain(t, 2)
+	// Echo server: each endpoint echoes with its peer id prefixed.
+	for peer := uint8(1); peer <= 2; peer++ {
+		peer := peer
+		conn := mux.Conn(peer)
+		conn.SetOnReceive(func(p []byte) {
+			conn.Send(append([]byte{peer}, p...))
+		})
+	}
+	var r1, r2 []byte
+	clients[1].SetOnReceive(func(p []byte) { r1 = p })
+	clients[2].SetOnReceive(func(p []byte) { r2 = p })
+	clients[1].Send([]byte("a"))
+	clients[2].Send([]byte("b"))
+	k.RunUntil(sim.Time(sim.Second))
+	if len(r1) != 2 || r1[0] != 1 || r1[1] != 'a' {
+		t.Fatalf("client 1 reply %v", r1)
+	}
+	if len(r2) != 2 || r2[0] != 2 || r2[1] != 'b' {
+		t.Fatalf("client 2 reply %v", r2)
+	}
+}
+
+func TestMuxUnknownPeerObserved(t *testing.T) {
+	k, mux, clients := muxChain(t, 2)
+	mux.Conn(1).SetOnReceive(func([]byte) {})
+	var stray []tpwire.Message
+	mux.OnUnknown = func(m tpwire.Message) { stray = append(stray, m) }
+	clients[2].Send([]byte("who dis"))
+	k.RunUntil(sim.Time(sim.Second))
+	if len(stray) != 1 || stray[0].Src != 2 {
+		t.Fatalf("stray = %v", stray)
+	}
+}
+
+func TestMuxCloseAndPeers(t *testing.T) {
+	k, mux, clients := muxChain(t, 2)
+	c1 := mux.Conn(1)
+	mux.Conn(2)
+	if len(mux.Peers()) != 2 {
+		t.Fatalf("peers = %v", mux.Peers())
+	}
+	c1.Close()
+	if err := c1.Send([]byte("x")); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+	if len(mux.Peers()) != 1 {
+		t.Fatalf("peers after close = %v", mux.Peers())
+	}
+	// A closed peer's traffic goes to OnUnknown.
+	var strays int
+	mux.OnUnknown = func(tpwire.Message) { strays++ }
+	clients[1].Send([]byte("late"))
+	k.RunUntil(sim.Time(sim.Second))
+	if strays != 1 {
+		t.Fatalf("strays = %d", strays)
+	}
+}

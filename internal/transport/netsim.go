@@ -1,0 +1,65 @@
+package transport
+
+import "tpspace/internal/netsim"
+
+// NetsimConn adapts a pair of netsim nodes into a message Conn: each
+// Send becomes one packet routed from the local node to the peer.
+// It models the Ethernet/TCP-IP alternative of Section 4.3 of the
+// paper ("the use of the Ethernet as physical medium"), including the
+// per-message protocol overhead a TCP/IP stack adds.
+type NetsimConn struct {
+	net    *netsim.Network
+	local  *netsim.Node
+	peer   *netsim.Node
+	onRecv func([]byte)
+	closed bool
+	stats  Stats
+	// Overhead is added to every packet's size on the wire
+	// (Ethernet + IP + TCP headers; default 58 bytes).
+	Overhead int
+}
+
+// NewNetsimConn builds a connection sending from local to peer.
+// Inbound delivery requires the peer side to be created with the
+// mirrored node pair; the constructor attaches an agent to local for
+// receiving.
+func NewNetsimConn(net *netsim.Network, local, peer *netsim.Node) *NetsimConn {
+	c := &NetsimConn{net: net, local: local, peer: peer, Overhead: 58}
+	local.Attach(netsim.AgentFunc(func(p *netsim.Packet) {
+		if c.closed || c.onRecv == nil || p.Payload == nil {
+			return
+		}
+		c.stats.MsgsReceived++
+		c.stats.BytesRecv += uint64(len(p.Payload))
+		c.onRecv(p.Payload)
+	}))
+	return c
+}
+
+// Send implements Conn.
+func (c *NetsimConn) Send(payload []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.stats.MsgsSent++
+	c.stats.BytesSent += uint64(len(payload))
+	c.net.Send(&netsim.Packet{
+		Src:     c.local,
+		Dst:     c.peer,
+		Size:    len(payload) + c.Overhead,
+		Payload: append([]byte(nil), payload...),
+	})
+	return nil
+}
+
+// SetOnReceive implements Conn.
+func (c *NetsimConn) SetOnReceive(fn func([]byte)) { c.onRecv = fn }
+
+// Close implements Conn.
+func (c *NetsimConn) Close() error {
+	c.closed = true
+	return nil
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (c *NetsimConn) Stats() Stats { return c.stats }

@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPConn adapts a net.Conn into a message-oriented Conn using
+// 4-byte big-endian length prefixes, the classic socket framing of
+// the paper's Java/socket wrapper (Figure 4).
+type TCPConn struct {
+	mu     sync.Mutex
+	nc     net.Conn
+	onRecv func([]byte)
+	closed bool
+	stats  Stats
+	// started guards the reader goroutine launch.
+	started bool
+	// OnError, if set, observes reader-side failures other than a
+	// clean close.
+	OnError func(error)
+}
+
+// maxTCPMessage bounds a single framed message (16 MiB), protecting
+// against corrupt length prefixes.
+const maxTCPMessage = 16 << 20
+
+// NewTCPConn wraps an established net.Conn. Call SetOnReceive before
+// traffic is expected; the reader goroutine starts on the first
+// SetOnReceive.
+func NewTCPConn(nc net.Conn) *TCPConn { return &TCPConn{nc: nc} }
+
+// Dial connects to a TCP space server.
+func Dial(addr string) (*TCPConn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPConn(nc), nil
+}
+
+// Send implements Conn.
+func (t *TCPConn) Send(payload []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := t.nc.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := t.nc.Write(payload); err != nil {
+		return err
+	}
+	t.stats.MsgsSent++
+	t.stats.BytesSent += uint64(len(payload))
+	return nil
+}
+
+// SetOnReceive implements Conn and starts the reader goroutine on
+// first use.
+func (t *TCPConn) SetOnReceive(fn func([]byte)) {
+	t.mu.Lock()
+	t.onRecv = fn
+	start := !t.started && fn != nil
+	t.started = t.started || start
+	t.mu.Unlock()
+	if start {
+		go t.readLoop()
+	}
+}
+
+func (t *TCPConn) readLoop() {
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(t.nc, hdr[:]); err != nil {
+			t.fail(err)
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxTCPMessage {
+			t.fail(fmt.Errorf("transport: oversized message (%d bytes)", n))
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(t.nc, buf); err != nil {
+			t.fail(err)
+			return
+		}
+		t.mu.Lock()
+		fn := t.onRecv
+		closed := t.closed
+		if !closed {
+			t.stats.MsgsReceived++
+			t.stats.BytesRecv += uint64(len(buf))
+		}
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if fn != nil {
+			fn(buf)
+		}
+	}
+}
+
+func (t *TCPConn) fail(err error) {
+	t.mu.Lock()
+	closed := t.closed
+	cb := t.OnError
+	t.mu.Unlock()
+	if !closed && cb != nil && err != io.EOF {
+		cb(err)
+	}
+}
+
+// Close implements Conn.
+func (t *TCPConn) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	return t.nc.Close()
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (t *TCPConn) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}

@@ -1,0 +1,227 @@
+// Package transport abstracts the message channels the tuplespace
+// stack runs over, so the same client/server code works across every
+// link the paper uses: UNIX/TCP sockets (Figure 4), an in-memory
+// loopback (the RMI hop inside the host of Figure 5), and the
+// co-simulated TpWIRE bus (Figure 5's SC1/NS-2/SC2 path, provided by
+// package tpwire's mailboxes).
+//
+// Transports are message-oriented: a Send delivers one whole payload
+// to the peer's receive callback, preserving order.
+package transport
+
+import (
+	"errors"
+	"sync"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tpwire"
+)
+
+// ErrClosed is returned by Send on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is one endpoint of a bidirectional message channel.
+type Conn interface {
+	// Send transmits one message to the peer.
+	Send(payload []byte) error
+	// SetOnReceive installs the delivery callback. It must be set
+	// before traffic arrives; delivery order matches send order.
+	SetOnReceive(fn func(payload []byte))
+	// Close tears the connection down; further Sends fail.
+	Close() error
+}
+
+// Stats counts traffic on an endpoint.
+type Stats struct {
+	MsgsSent     uint64
+	MsgsReceived uint64
+	BytesSent    uint64
+	BytesRecv    uint64
+}
+
+//
+// Simulated pipe: an in-memory duplex channel with configurable
+// latency, delivered through kernel events. It models the
+// intra-host hops of the paper's architecture (RMI between the
+// wrapper and the server, UNIX sockets between SC2 and the wrapper).
+//
+
+// PipeConn is one end of a simulated pipe.
+type PipeConn struct {
+	kernel  *sim.Kernel
+	latency sim.Duration
+	peer    *PipeConn
+	onRecv  func([]byte)
+	closed  bool
+	stats   Stats
+}
+
+// NewSimPipe creates a connected pair of in-memory endpoints on the
+// kernel with the given one-way latency.
+func NewSimPipe(k *sim.Kernel, latency sim.Duration) (*PipeConn, *PipeConn) {
+	a := &PipeConn{kernel: k, latency: latency}
+	b := &PipeConn{kernel: k, latency: latency}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Send implements Conn.
+func (p *PipeConn) Send(payload []byte) error {
+	if p.closed || p.peer.closed {
+		return ErrClosed
+	}
+	cp := append([]byte(nil), payload...)
+	p.stats.MsgsSent++
+	p.stats.BytesSent += uint64(len(cp))
+	peer := p.peer
+	p.kernel.ScheduleName("transport.pipe", p.latency, func() {
+		if peer.closed || peer.onRecv == nil {
+			return
+		}
+		peer.stats.MsgsReceived++
+		peer.stats.BytesRecv += uint64(len(cp))
+		peer.onRecv(cp)
+	})
+	return nil
+}
+
+// SetOnReceive implements Conn.
+func (p *PipeConn) SetOnReceive(fn func([]byte)) { p.onRecv = fn }
+
+// Close implements Conn.
+func (p *PipeConn) Close() error {
+	p.closed = true
+	return nil
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (p *PipeConn) Stats() Stats { return p.stats }
+
+//
+// TpWIRE transport: adapts a slave's mailbox device into a Conn
+// towards a fixed peer node. The heavy lifting (master-mediated
+// transfer, retries, integrity) happens in package tpwire; this
+// adapter only fans messages in and out.
+//
+
+// MailboxConn is a Conn speaking through a TpWIRE slave mailbox to a
+// fixed peer node.
+type MailboxConn struct {
+	mbox   *tpwire.MailboxDevice
+	peer   uint8
+	onRecv func([]byte)
+	closed bool
+	stats  Stats
+}
+
+// NewMailboxConn wraps a mailbox into a connection with the given
+// peer node. Messages from other nodes are dropped (a slave pair in
+// the paper's case study talks point to point).
+func NewMailboxConn(mbox *tpwire.MailboxDevice, peer uint8) *MailboxConn {
+	c := &MailboxConn{mbox: mbox, peer: peer}
+	mbox.SetOnReceive(func(m tpwire.Message) {
+		if c.closed || m.Src != c.peer || c.onRecv == nil {
+			return
+		}
+		c.stats.MsgsReceived++
+		c.stats.BytesRecv += uint64(len(m.Payload))
+		c.onRecv(m.Payload)
+	})
+	return c
+}
+
+// Send implements Conn.
+func (c *MailboxConn) Send(payload []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.stats.MsgsSent++
+	c.stats.BytesSent += uint64(len(payload))
+	c.mbox.Send(c.peer, payload)
+	return nil
+}
+
+// SetOnReceive implements Conn.
+func (c *MailboxConn) SetOnReceive(fn func([]byte)) { c.onRecv = fn }
+
+// Close implements Conn.
+func (c *MailboxConn) Close() error {
+	c.closed = true
+	return nil
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (c *MailboxConn) Stats() Stats { return c.stats }
+
+//
+// Loopback: a zero-latency synchronous pair for wall-clock use
+// (gateway-to-server inside one process, mirroring the paper's RMI
+// hop). Safe for concurrent use.
+//
+
+// LoopbackConn is one end of a synchronous in-process pair.
+type LoopbackConn struct {
+	mu     sync.Mutex
+	peer   *LoopbackConn
+	onRecv func([]byte)
+	closed bool
+	stats  Stats
+}
+
+// NewLoopback creates a connected synchronous pair: a Send calls the
+// peer's receive callback on the calling goroutine.
+func NewLoopback() (*LoopbackConn, *LoopbackConn) {
+	a := &LoopbackConn{}
+	b := &LoopbackConn{}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Send implements Conn.
+func (l *LoopbackConn) Send(payload []byte) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.stats.MsgsSent++
+	l.stats.BytesSent += uint64(len(payload))
+	peer := l.peer
+	l.mu.Unlock()
+
+	peer.mu.Lock()
+	fn := peer.onRecv
+	closed := peer.closed
+	if !closed && fn != nil {
+		peer.stats.MsgsReceived++
+		peer.stats.BytesRecv += uint64(len(payload))
+	}
+	peer.mu.Unlock()
+	if closed || fn == nil {
+		return nil
+	}
+	fn(append([]byte(nil), payload...))
+	return nil
+}
+
+// SetOnReceive implements Conn.
+func (l *LoopbackConn) SetOnReceive(fn func([]byte)) {
+	l.mu.Lock()
+	l.onRecv = fn
+	l.mu.Unlock()
+}
+
+// Close implements Conn.
+func (l *LoopbackConn) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (l *LoopbackConn) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}

@@ -1,0 +1,317 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tpspace/internal/netsim"
+	"tpspace/internal/sim"
+	"tpspace/internal/tpwire"
+)
+
+func TestSimPipeDeliveryAndLatency(t *testing.T) {
+	k := sim.NewKernel(1)
+	a, b := NewSimPipe(k, 5*sim.Millisecond)
+	var got []byte
+	var at sim.Time
+	b.SetOnReceive(func(p []byte) { got, at = p, k.Now() })
+	if err := a.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	if at != sim.Time(5*sim.Millisecond) {
+		t.Fatalf("delivered at %v", at)
+	}
+	if st := a.Stats(); st.MsgsSent != 1 || st.BytesSent != 5 {
+		t.Fatalf("sender stats %+v", st)
+	}
+	if st := b.Stats(); st.MsgsReceived != 1 || st.BytesRecv != 5 {
+		t.Fatalf("receiver stats %+v", st)
+	}
+}
+
+func TestSimPipeOrderPreserved(t *testing.T) {
+	k := sim.NewKernel(1)
+	a, b := NewSimPipe(k, sim.Millisecond)
+	var got []byte
+	b.SetOnReceive(func(p []byte) { got = append(got, p...) })
+	for i := byte(0); i < 10; i++ {
+		a.Send([]byte{i})
+	}
+	k.Run()
+	for i := byte(0); i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestSimPipeCopiesPayload(t *testing.T) {
+	k := sim.NewKernel(1)
+	a, b := NewSimPipe(k, 0)
+	var got []byte
+	b.SetOnReceive(func(p []byte) { got = p })
+	buf := []byte{1, 2, 3}
+	a.Send(buf)
+	buf[0] = 99
+	k.Run()
+	if got[0] != 1 {
+		t.Fatal("payload aliased, not copied")
+	}
+}
+
+func TestSimPipeClose(t *testing.T) {
+	k := sim.NewKernel(1)
+	a, b := NewSimPipe(k, 0)
+	b.Close()
+	if err := a.Send([]byte("x")); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	a2, b2 := NewSimPipe(k, 0)
+	a2.Close()
+	if err := a2.Send([]byte("x")); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	_ = b2
+}
+
+func TestLoopbackSynchronous(t *testing.T) {
+	a, b := NewLoopback()
+	var got []byte
+	b.SetOnReceive(func(p []byte) { got = p })
+	if err := a.Send([]byte("sync")); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "sync" {
+		t.Fatal("loopback did not deliver synchronously")
+	}
+	b.Close()
+	if err := a.Send([]byte("x")); err != nil {
+		t.Fatal("send to closed loopback peer should drop, not error")
+	}
+}
+
+func TestLoopbackConcurrency(t *testing.T) {
+	a, b := NewLoopback()
+	var mu sync.Mutex
+	n := 0
+	b.SetOnReceive(func(p []byte) { mu.Lock(); n++; mu.Unlock() })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				a.Send([]byte{1})
+			}
+		}()
+	}
+	wg.Wait()
+	if n != 800 {
+		t.Fatalf("delivered %d, want 800", n)
+	}
+}
+
+func TestMailboxConnOverBus(t *testing.T) {
+	k := sim.NewKernel(1)
+	chain := tpwire.NewChain(k, tpwire.Config{})
+	mb1 := tpwire.NewMailboxDevice(nil)
+	chain.AddSlave(1).SetDevice(mb1)
+	mb2 := tpwire.NewMailboxDevice(nil)
+	chain.AddSlave(2).SetDevice(mb2)
+	tpwire.NewPoller(chain, []uint8{1, 2}, 0).Start()
+
+	c1 := NewMailboxConn(mb1, 2)
+	c2 := NewMailboxConn(mb2, 1)
+	var got []byte
+	c2.SetOnReceive(func(p []byte) { got = p })
+	var back []byte
+	c1.SetOnReceive(func(p []byte) { back = p })
+
+	c1.Send([]byte("ping over the bus"))
+	k.RunUntil(sim.Time(sim.Second))
+	if string(got) != "ping over the bus" {
+		t.Fatalf("forward payload %q", got)
+	}
+	c2.Send([]byte("pong"))
+	k.RunUntil(sim.Time(2 * sim.Second))
+	if string(back) != "pong" {
+		t.Fatalf("reverse payload %q", back)
+	}
+	if st := c1.Stats(); st.MsgsSent != 1 || st.MsgsReceived != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMailboxConnFiltersForeignSources(t *testing.T) {
+	k := sim.NewKernel(1)
+	chain := tpwire.NewChain(k, tpwire.Config{})
+	boxes := map[uint8]*tpwire.MailboxDevice{}
+	for _, id := range []uint8{1, 2, 3} {
+		mb := tpwire.NewMailboxDevice(nil)
+		chain.AddSlave(id).SetDevice(mb)
+		boxes[id] = mb
+	}
+	tpwire.NewPoller(chain, []uint8{1, 2, 3}, 0).Start()
+	conn := NewMailboxConn(boxes[2], 1) // peer is node 1 only
+	var got [][]byte
+	conn.SetOnReceive(func(p []byte) { got = append(got, p) })
+	boxes[1].Send(2, []byte("from-peer"))
+	boxes[3].Send(2, []byte("from-stranger"))
+	k.RunUntil(sim.Time(sim.Second))
+	if len(got) != 1 || string(got[0]) != "from-peer" {
+		t.Fatalf("received %q", got)
+	}
+}
+
+func TestTCPConnRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		nc, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		srv := NewTCPConn(nc)
+		srv.SetOnReceive(func(p []byte) {
+			// Echo with a prefix.
+			srv.Send(append([]byte("echo:"), p...))
+		})
+		<-done
+	}()
+
+	cli, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := make(chan []byte, 1)
+	cli.SetOnReceive(func(p []byte) { recv <- p })
+	payload := bytes.Repeat([]byte("x"), 10_000)
+	if err := cli.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-recv:
+		if len(got) != len(payload)+5 || string(got[:5]) != "echo:" {
+			t.Fatalf("echo wrong: %d bytes", len(got))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("echo timed out")
+	}
+	if st := cli.Stats(); st.MsgsSent != 1 || st.MsgsReceived != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	cli.Close()
+	if err := cli.Send([]byte("x")); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestTCPConnManyMessages(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		srv := NewTCPConn(nc)
+		srv.SetOnReceive(func(p []byte) { srv.Send(p) })
+	}()
+	cli, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	var mu sync.Mutex
+	var got [][]byte
+	all := make(chan struct{})
+	cli.SetOnReceive(func(p []byte) {
+		mu.Lock()
+		got = append(got, p)
+		if len(got) == 50 {
+			close(all)
+		}
+		mu.Unlock()
+	})
+	for i := 0; i < 50; i++ {
+		if err := cli.Send([]byte{byte(i), byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-all:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("only %d echoes", len(got))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, p := range got {
+		if p[0] != byte(i) {
+			t.Fatalf("order broken at %d: %v", i, p)
+		}
+	}
+}
+
+func TestNetsimConnRoundTrip(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := netsim.New(k)
+	a := net.NewNode("a")
+	b := net.NewNode("b")
+	net.ConnectDuplex(a, b, 1e6, sim.Millisecond, 0)
+	ca := NewNetsimConn(net, a, b)
+	cb := NewNetsimConn(net, b, a)
+	var got []byte
+	cb.SetOnReceive(func(p []byte) { got = p })
+	var back []byte
+	ca.SetOnReceive(func(p []byte) { back = p })
+	ca.Send([]byte("over ethernet"))
+	k.Run()
+	if string(got) != "over ethernet" {
+		t.Fatalf("forward %q", got)
+	}
+	cb.Send([]byte("reply"))
+	k.Run()
+	if string(back) != "reply" {
+		t.Fatalf("reverse %q", back)
+	}
+	if st := ca.Stats(); st.MsgsSent != 1 || st.MsgsReceived != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	ca.Close()
+	if err := ca.Send([]byte("x")); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestNetsimConnOverheadOnWire(t *testing.T) {
+	k := sim.NewKernel(1)
+	net := netsim.New(k)
+	a := net.NewNode("a")
+	b := net.NewNode("b")
+	ab, _ := net.ConnectDuplex(a, b, 1000, 0, 0)
+	ca := NewNetsimConn(net, a, b)
+	NewNetsimConn(net, b, a).SetOnReceive(func([]byte) {})
+	ca.Send(make([]byte, 42))
+	k.Run()
+	// 42 payload + 58 header = 100 bytes on the wire.
+	if got := ab.Stats().Bytes; got != 100 {
+		t.Fatalf("wire bytes = %d, want 100", got)
+	}
+}

@@ -1,0 +1,239 @@
+// Package tuple implements the Linda data model the paper's
+// middleware is built on: tuples are ordered collections of typed
+// fields, addressed associatively by matching against template tuples
+// whose wildcard fields act as formals (Section 2 of the paper;
+// Gelernter's "Generative Communication in Linda").
+//
+// Following JavaSpaces, every tuple also carries a type name (the
+// Entry class in JavaSpaces); a template matches only tuples of the
+// same type, unless the template's type is empty.
+package tuple
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the field value types carried by tuples.
+type Kind int
+
+// Supported field kinds.
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindString
+	KindBool
+	KindBytes
+)
+
+var kindNames = [...]string{"int", "float", "string", "bool", "bytes"}
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Field is one typed slot of a tuple. A Field with Wildcard set is a
+// formal: it matches any value of its kind. Name is optional
+// documentation ("vector", "state", ...) and does not participate in
+// matching, which is positional as in Linda.
+type Field struct {
+	Name     string
+	Kind     Kind
+	Wildcard bool
+
+	// Exactly one of the following holds the value, selected by Kind,
+	// for actual (non-wildcard) fields.
+	Int   int64
+	Float float64
+	Str   string
+	Bool  bool
+	Bytes []byte
+}
+
+// Actual field constructors.
+
+// Int returns an integer field.
+func Int(name string, v int64) Field { return Field{Name: name, Kind: KindInt, Int: v} }
+
+// Float returns a floating-point field.
+func Float(name string, v float64) Field { return Field{Name: name, Kind: KindFloat, Float: v} }
+
+// String returns a string field.
+func String(name, v string) Field { return Field{Name: name, Kind: KindString, Str: v} }
+
+// Bool returns a boolean field.
+func Bool(name string, v bool) Field { return Field{Name: name, Kind: KindBool, Bool: v} }
+
+// Bytes returns a binary field. The slice is copied.
+func Bytes(name string, v []byte) Field {
+	return Field{Name: name, Kind: KindBytes, Bytes: append([]byte(nil), v...)}
+}
+
+// Formal (wildcard) field constructors.
+
+// AnyInt matches any integer.
+func AnyInt(name string) Field { return Field{Name: name, Kind: KindInt, Wildcard: true} }
+
+// AnyFloat matches any float.
+func AnyFloat(name string) Field { return Field{Name: name, Kind: KindFloat, Wildcard: true} }
+
+// AnyString matches any string.
+func AnyString(name string) Field { return Field{Name: name, Kind: KindString, Wildcard: true} }
+
+// AnyBool matches any boolean.
+func AnyBool(name string) Field { return Field{Name: name, Kind: KindBool, Wildcard: true} }
+
+// AnyBytes matches any binary value.
+func AnyBytes(name string) Field { return Field{Name: name, Kind: KindBytes, Wildcard: true} }
+
+// valueEqual reports whether two actual fields of the same kind carry
+// the same value.
+func valueEqual(a, b Field) bool {
+	switch a.Kind {
+	case KindInt:
+		return a.Int == b.Int
+	case KindFloat:
+		return a.Float == b.Float
+	case KindString:
+		return a.Str == b.Str
+	case KindBool:
+		return a.Bool == b.Bool
+	case KindBytes:
+		if len(a.Bytes) != len(b.Bytes) {
+			return false
+		}
+		for i := range a.Bytes {
+			if a.Bytes[i] != b.Bytes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the field for traces.
+func (f Field) String() string {
+	if f.Wildcard {
+		return fmt.Sprintf("?%s:%s", f.Name, f.Kind)
+	}
+	switch f.Kind {
+	case KindInt:
+		return fmt.Sprintf("%s=%d", f.Name, f.Int)
+	case KindFloat:
+		return fmt.Sprintf("%s=%g", f.Name, f.Float)
+	case KindString:
+		return fmt.Sprintf("%s=%q", f.Name, f.Str)
+	case KindBool:
+		return fmt.Sprintf("%s=%t", f.Name, f.Bool)
+	case KindBytes:
+		return fmt.Sprintf("%s=[%d bytes]", f.Name, len(f.Bytes))
+	}
+	return f.Name + "=?"
+}
+
+// Tuple is an ordered set of typed fields with a JavaSpaces-style
+// type name.
+type Tuple struct {
+	Type   string
+	Fields []Field
+}
+
+// New builds a tuple of the given type from fields.
+func New(typeName string, fields ...Field) Tuple {
+	return Tuple{Type: typeName, Fields: fields}
+}
+
+// Arity reports the number of fields.
+func (t Tuple) Arity() int { return len(t.Fields) }
+
+// HasWildcards reports whether any field is a formal, i.e. whether
+// the tuple is usable only as a template.
+func (t Tuple) HasWildcards() bool {
+	for _, f := range t.Fields {
+		if f.Wildcard {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy (byte fields included).
+func (t Tuple) Clone() Tuple {
+	c := Tuple{Type: t.Type, Fields: make([]Field, len(t.Fields))}
+	copy(c.Fields, t.Fields)
+	for i, f := range t.Fields {
+		if f.Kind == KindBytes && f.Bytes != nil {
+			c.Fields[i].Bytes = append([]byte(nil), f.Bytes...)
+		}
+	}
+	return c
+}
+
+// Equal reports structural equality of two tuples (type, arity,
+// kinds, wildcard flags and values).
+func (t Tuple) Equal(u Tuple) bool {
+	if t.Type != u.Type || len(t.Fields) != len(u.Fields) {
+		return false
+	}
+	for i := range t.Fields {
+		a, b := t.Fields[i], u.Fields[i]
+		if a.Kind != b.Kind || a.Wildcard != b.Wildcard {
+			return false
+		}
+		if !a.Wildcard && !valueEqual(a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches reports whether template t matches candidate u under Linda
+// / JavaSpaces semantics:
+//
+//   - if the template's type name is non-empty, the candidate's must
+//     equal it;
+//   - arities must be equal;
+//   - each template field must have the candidate field's kind;
+//   - actual template fields must equal the candidate's value;
+//     wildcard fields match any value of their kind.
+//
+// The candidate must not itself contain wildcards (templates match
+// data, not other templates).
+func (t Tuple) Matches(u Tuple) bool {
+	if u.HasWildcards() {
+		return false
+	}
+	if t.Type != "" && t.Type != u.Type {
+		return false
+	}
+	if len(t.Fields) != len(u.Fields) {
+		return false
+	}
+	for i := range t.Fields {
+		tf, uf := t.Fields[i], u.Fields[i]
+		if tf.Kind != uf.Kind {
+			return false
+		}
+		if tf.Wildcard {
+			continue
+		}
+		if !valueEqual(tf, uf) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple for traces.
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Fields))
+	for i, f := range t.Fields {
+		parts[i] = f.String()
+	}
+	return fmt.Sprintf("%s(%s)", t.Type, strings.Join(parts, ", "))
+}

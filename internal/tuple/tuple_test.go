@@ -1,0 +1,219 @@
+package tuple
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	tp := New("reading",
+		Int("sensor", 7),
+		Float("value", 3.25),
+		String("unit", "degC"),
+		Bool("valid", true),
+		Bytes("raw", []byte{1, 2}),
+	)
+	if tp.Arity() != 5 {
+		t.Fatalf("arity = %d", tp.Arity())
+	}
+	if tp.Type != "reading" {
+		t.Fatalf("type = %q", tp.Type)
+	}
+	if tp.HasWildcards() {
+		t.Fatal("actual tuple reports wildcards")
+	}
+	if tp.Fields[0].Int != 7 || tp.Fields[1].Float != 3.25 ||
+		tp.Fields[2].Str != "degC" || !tp.Fields[3].Bool ||
+		string(tp.Fields[4].Bytes) != "\x01\x02" {
+		t.Fatalf("field values wrong: %v", tp)
+	}
+}
+
+func TestBytesFieldIsCopied(t *testing.T) {
+	raw := []byte{1, 2, 3}
+	f := Bytes("raw", raw)
+	raw[0] = 99
+	if f.Bytes[0] != 1 {
+		t.Fatal("Bytes field aliases caller slice")
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	data := New("job", String("op", "fft"), Int("n", 1024))
+	tmpl := New("job", String("op", "fft"), Int("n", 1024))
+	if !tmpl.Matches(data) {
+		t.Fatal("identical tuple does not match")
+	}
+}
+
+func TestWildcardMatch(t *testing.T) {
+	data := New("job", String("op", "fft"), Int("n", 1024))
+	cases := []struct {
+		tmpl Tuple
+		want bool
+	}{
+		{New("job", AnyString("op"), AnyInt("n")), true},
+		{New("job", String("op", "fft"), AnyInt("n")), true},
+		{New("job", String("op", "dct"), AnyInt("n")), false},
+		{New("", AnyString("op"), AnyInt("n")), true},       // any type
+		{New("task", AnyString("op"), AnyInt("n")), false},  // wrong type
+		{New("job", AnyString("op")), false},                // wrong arity
+		{New("job", AnyInt("op"), AnyInt("n")), false},      // wrong kind
+		{New("job", AnyString("op"), Int("n", 512)), false}, // wrong value
+	}
+	for i, c := range cases {
+		if got := c.tmpl.Matches(data); got != c.want {
+			t.Errorf("case %d: %v.Matches(%v) = %v, want %v", i, c.tmpl, data, got, c.want)
+		}
+	}
+}
+
+func TestTemplateNeverMatchesTemplate(t *testing.T) {
+	tmpl := New("job", AnyString("op"))
+	other := New("job", AnyString("op"))
+	if tmpl.Matches(other) {
+		t.Fatal("template matched a template")
+	}
+}
+
+func TestAllKindsMatchAndMismatch(t *testing.T) {
+	data := New("k",
+		Int("a", 1), Float("b", 2.5), String("c", "x"), Bool("d", true), Bytes("e", []byte{9}),
+	)
+	good := New("k",
+		AnyInt("a"), AnyFloat("b"), AnyString("c"), AnyBool("d"), AnyBytes("e"),
+	)
+	if !good.Matches(data) {
+		t.Fatal("all-wildcard template must match")
+	}
+	bads := []Tuple{
+		New("k", Int("a", 2), AnyFloat("b"), AnyString("c"), AnyBool("d"), AnyBytes("e")),
+		New("k", AnyInt("a"), Float("b", 2.6), AnyString("c"), AnyBool("d"), AnyBytes("e")),
+		New("k", AnyInt("a"), AnyFloat("b"), String("c", "y"), AnyBool("d"), AnyBytes("e")),
+		New("k", AnyInt("a"), AnyFloat("b"), AnyString("c"), Bool("d", false), AnyBytes("e")),
+		New("k", AnyInt("a"), AnyFloat("b"), AnyString("c"), AnyBool("d"), Bytes("e", []byte{8})),
+	}
+	for i, b := range bads {
+		if b.Matches(data) {
+			t.Errorf("bad template %d matched", i)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New("t", Int("x", 1), Bytes("b", []byte{1, 2}))
+	b := New("t", Int("x", 1), Bytes("b", []byte{1, 2}))
+	if !a.Equal(b) {
+		t.Fatal("equal tuples not Equal")
+	}
+	c := New("t", Int("x", 1), Bytes("b", []byte{1, 3}))
+	if a.Equal(c) {
+		t.Fatal("different bytes Equal")
+	}
+	d := New("u", Int("x", 1), Bytes("b", []byte{1, 2}))
+	if a.Equal(d) {
+		t.Fatal("different type Equal")
+	}
+	w1 := New("t", AnyInt("x"))
+	w2 := New("t", AnyInt("x"))
+	if !w1.Equal(w2) {
+		t.Fatal("identical templates not Equal")
+	}
+	if w1.Equal(New("t", Int("x", 1))) {
+		t.Fatal("wildcard Equal actual")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := New("t", Bytes("b", []byte{1, 2, 3}), Int("i", 5))
+	c := orig.Clone()
+	c.Fields[0].Bytes[0] = 99
+	c.Fields[1].Int = 42
+	if orig.Fields[0].Bytes[0] != 1 || orig.Fields[1].Int != 5 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !orig.Equal(New("t", Bytes("b", []byte{1, 2, 3}), Int("i", 5))) {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tp := New("s", Int("i", 1), AnyString("w"), Bytes("b", []byte{1, 2, 3}))
+	got := tp.String()
+	want := `s(i=1, ?w:string, b=[3 bytes])`
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if KindFloat.String() != "float" || Kind(9).String() != "kind(9)" {
+		t.Fatal("kind names wrong")
+	}
+	if Bool("f", false).String() != "f=false" {
+		t.Fatal("bool field string wrong")
+	}
+	if Float("g", 1.5).String() != "g=1.5" {
+		t.Fatal("float field string wrong")
+	}
+	if String("h", "x").String() != `h="x"` {
+		t.Fatal("string field string wrong")
+	}
+}
+
+// genTuple builds a pseudo-random actual tuple from a seed.
+func genTuple(r *rand.Rand) Tuple {
+	n := r.Intn(5) + 1
+	fields := make([]Field, n)
+	for i := range fields {
+		switch r.Intn(5) {
+		case 0:
+			fields[i] = Int("f", r.Int63n(100))
+		case 1:
+			fields[i] = Float("f", float64(r.Intn(100))/4)
+		case 2:
+			fields[i] = String("f", string(rune('a'+r.Intn(26))))
+		case 3:
+			fields[i] = Bool("f", r.Intn(2) == 0)
+		default:
+			b := make([]byte, r.Intn(4))
+			r.Read(b)
+			fields[i] = Bytes("f", b)
+		}
+	}
+	return New("q", fields...)
+}
+
+func TestQuickSelfMatchAndWildcardWeakening(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 300; i++ {
+		data := genTuple(r)
+		// A tuple used as a template matches itself.
+		if !data.Matches(data) {
+			t.Fatalf("tuple does not match itself: %v", data)
+		}
+		// Weakening any one field to a wildcard must preserve the match.
+		tmpl := data.Clone()
+		idx := r.Intn(tmpl.Arity())
+		tmpl.Fields[idx].Wildcard = true
+		if !tmpl.Matches(data) {
+			t.Fatalf("wildcard weakening broke match: %v vs %v", tmpl, data)
+		}
+		// Erasing the type name must preserve the match too.
+		tmpl.Type = ""
+		if !tmpl.Matches(data) {
+			t.Fatalf("type erasure broke match: %v vs %v", tmpl, data)
+		}
+	}
+}
+
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tp := genTuple(r)
+		c := tp.Clone()
+		return tp.Equal(c) && c.Equal(tp) && reflect.DeepEqual(tp.Type, c.Type)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,430 @@
+// Package wrapper implements the paper's board-to-space-server stack
+// (Figure 4): a client library that speaks XML entries over any
+// transport, a gateway standing in for the "Java/socket wrapper" on
+// the server host, and an RMI skeleton exposing the SpaceServer —
+// so a request travels
+//
+//	Client --(XML over socket/bus)--> Gateway --(RMI)--> SpaceServer
+//
+// exactly as in the paper, with each marshalling hop paying its real
+// byte cost on its link.
+package wrapper
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tpspace/internal/rmi"
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/transport"
+	"tpspace/internal/tuple"
+	"tpspace/internal/xmlcodec"
+)
+
+// SpaceObject is the RMI name the space server is exported under.
+const SpaceObject = "SpaceServer"
+
+// RegisterSpace exports a tuplespace on an RMI server, implementing
+// every operation of the XML protocol. The server's connection is
+// used to push notify events.
+func RegisterSpace(srv *rmi.Server, conn transport.Conn, sp *space.Space) {
+	srv.Register(SpaceObject, func(method string, body []byte, respond func([]byte, error)) {
+		req, err := xmlcodec.UnmarshalRequest(body)
+		if err != nil {
+			respond(nil, err)
+			return
+		}
+		reply := func(resp xmlcodec.Response) {
+			b, err := xmlcodec.MarshalResponse(resp)
+			respond(b, err)
+		}
+		switch method {
+		case xmlcodec.OpPing:
+			reply(xmlcodec.NewResponse(req.ID, true, nil, ""))
+		case xmlcodec.OpCount:
+			tmpl, err := req.Tuple()
+			if err != nil {
+				respond(nil, err)
+				return
+			}
+			resp := xmlcodec.NewResponse(req.ID, true, nil, "")
+			resp.Count = int64(sp.Count(tmpl))
+			reply(resp)
+		case xmlcodec.OpWrite:
+			t, err := req.Tuple()
+			if err != nil {
+				respond(nil, err)
+				return
+			}
+			if _, err := sp.Write(t, req.Lease()); err != nil {
+				reply(xmlcodec.NewResponse(req.ID, false, nil, err.Error()))
+				return
+			}
+			reply(xmlcodec.NewResponse(req.ID, true, nil, ""))
+		case xmlcodec.OpReadIfExists, xmlcodec.OpTakeIfExists:
+			tmpl, err := req.Tuple()
+			if err != nil {
+				respond(nil, err)
+				return
+			}
+			var got tuple.Tuple
+			var ok bool
+			if method == xmlcodec.OpReadIfExists {
+				got, ok = sp.ReadIfExists(tmpl)
+			} else {
+				got, ok = sp.TakeIfExists(tmpl)
+			}
+			if ok {
+				reply(xmlcodec.NewResponse(req.ID, true, &got, ""))
+			} else {
+				reply(xmlcodec.NewResponse(req.ID, false, nil, ""))
+			}
+		case xmlcodec.OpRead, xmlcodec.OpTake:
+			tmpl, err := req.Tuple()
+			if err != nil {
+				respond(nil, err)
+				return
+			}
+			op := sp.Read
+			if method == xmlcodec.OpTake {
+				op = sp.Take
+			}
+			id := req.ID
+			op(tmpl, req.Timeout(), func(got tuple.Tuple, ok bool) {
+				if ok {
+					reply(xmlcodec.NewResponse(id, true, &got, ""))
+				} else {
+					reply(xmlcodec.NewResponse(id, false, nil, ""))
+				}
+			})
+		case xmlcodec.OpNotify:
+			tmpl, err := req.Tuple()
+			if err != nil {
+				respond(nil, err)
+				return
+			}
+			subID := req.ID
+			sp.Notify(tmpl, func(t tuple.Tuple) {
+				resp := xmlcodec.NewResponse(subID, true, &t, "")
+				resp.Event = true
+				if b, err := xmlcodec.MarshalResponse(resp); err == nil {
+					_ = rmi.Push(conn, SpaceObject, "event", b)
+				}
+			})
+			reply(xmlcodec.NewResponse(req.ID, true, nil, ""))
+		default:
+			respond(nil, fmt.Errorf("wrapper: unknown operation %q", method))
+		}
+	})
+}
+
+// Gateway is the Java/socket wrapper of Figure 4: it owns the
+// client-facing transport, forwards XML requests to the space server
+// through RMI, and relays responses and notify events back.
+type Gateway struct {
+	client transport.Conn
+	rmi    *rmi.Client
+	// OnError observes protocol failures.
+	OnError func(error)
+}
+
+// NewGateway bridges the client-facing connection to an RMI client
+// bound to the space server. Notify events pushed by the server are
+// forwarded to the client connection.
+func NewGateway(client transport.Conn, rc *rmi.Client) *Gateway {
+	g := &Gateway{client: client, rmi: rc}
+	rc.OnEvent = func(object, method string, body []byte) {
+		if object == SpaceObject && method == "event" {
+			if err := g.client.Send(body); err != nil && g.OnError != nil {
+				g.OnError(err)
+			}
+		}
+	}
+	client.SetOnReceive(g.onRequest)
+	return g
+}
+
+func (g *Gateway) onRequest(b []byte) {
+	req, err := xmlcodec.UnmarshalRequest(b)
+	if err != nil {
+		if g.OnError != nil {
+			g.OnError(err)
+		}
+		return
+	}
+	g.rmi.Call(SpaceObject, req.Op, b, func(respBody []byte, err error) {
+		if err != nil {
+			resp := xmlcodec.NewResponse(req.ID, false, nil, err.Error())
+			respBody, err = xmlcodec.MarshalResponse(resp)
+			if err != nil {
+				if g.OnError != nil {
+					g.OnError(err)
+				}
+				return
+			}
+		}
+		if err := g.client.Send(respBody); err != nil && g.OnError != nil {
+			g.OnError(err)
+		}
+	})
+}
+
+// ErrClosed is returned by client operations after Close.
+var ErrClosed = errors.New("wrapper: client closed")
+
+// Client is the application-side library (the paper's C++ client): it
+// issues tuplespace operations as XML messages over any transport and
+// correlates the responses.
+type Client struct {
+	mu      sync.Mutex
+	conn    transport.Conn
+	nextID  uint64
+	pending map[uint64]func(xmlcodec.Response)
+	subs    map[uint64]func(tuple.Tuple)
+	closed  bool
+}
+
+// NewClient binds a client to a transport connection.
+func NewClient(conn transport.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]func(xmlcodec.Response)),
+		subs:    make(map[uint64]func(tuple.Tuple)),
+	}
+	conn.SetOnReceive(c.onMessage)
+	return c
+}
+
+func (c *Client) onMessage(b []byte) {
+	resp, err := xmlcodec.UnmarshalResponse(b)
+	if err != nil {
+		return
+	}
+	if resp.Event {
+		c.mu.Lock()
+		fn := c.subs[resp.ID]
+		c.mu.Unlock()
+		if fn != nil {
+			if t, err := resp.Tuple(); err == nil {
+				fn(t)
+			}
+		}
+		return
+	}
+	c.mu.Lock()
+	cb := c.pending[resp.ID]
+	delete(c.pending, resp.ID)
+	c.mu.Unlock()
+	if cb != nil {
+		cb(resp)
+	}
+}
+
+// send issues a request and registers its completion callback.
+func (c *Client) send(req xmlcodec.Request, cb func(xmlcodec.Response)) {
+	b, err := xmlcodec.MarshalRequest(req)
+	if err != nil {
+		cb(xmlcodec.NewResponse(req.ID, false, nil, err.Error()))
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cb(xmlcodec.NewResponse(req.ID, false, nil, ErrClosed.Error()))
+		return
+	}
+	c.pending[req.ID] = cb
+	c.mu.Unlock()
+	if err := c.conn.Send(b); err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		cb(xmlcodec.NewResponse(req.ID, false, nil, err.Error()))
+	}
+}
+
+func (c *Client) id() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	return c.nextID
+}
+
+// Write stores a tuple with the given lease; cb receives success and
+// an error message.
+func (c *Client) Write(t tuple.Tuple, lease sim.Duration, cb func(ok bool, errMsg string)) {
+	req := xmlcodec.NewRequest(c.id(), xmlcodec.OpWrite, &t)
+	req.LeaseMs = int64(lease / sim.Millisecond)
+	c.send(req, func(r xmlcodec.Response) { cb(r.OK, r.Err) })
+}
+
+// Take removes a matching entry, blocking server-side up to timeout.
+func (c *Client) Take(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
+	c.matchOp(xmlcodec.OpTake, tmpl, timeout, cb)
+}
+
+// Read copies a matching entry, blocking server-side up to timeout.
+func (c *Client) Read(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
+	c.matchOp(xmlcodec.OpRead, tmpl, timeout, cb)
+}
+
+// TakeIfExists removes a matching entry without blocking.
+func (c *Client) TakeIfExists(tmpl tuple.Tuple, cb func(tuple.Tuple, bool)) {
+	c.matchOp(xmlcodec.OpTakeIfExists, tmpl, 0, cb)
+}
+
+// ReadIfExists copies a matching entry without blocking.
+func (c *Client) ReadIfExists(tmpl tuple.Tuple, cb func(tuple.Tuple, bool)) {
+	c.matchOp(xmlcodec.OpReadIfExists, tmpl, 0, cb)
+}
+
+func (c *Client) matchOp(op string, tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
+	req := xmlcodec.NewRequest(c.id(), op, &tmpl)
+	req.TimeoutMs = xmlcodec.TimeoutMsOf(timeout)
+	c.send(req, func(r xmlcodec.Response) {
+		if !r.OK {
+			cb(tuple.Tuple{}, false)
+			return
+		}
+		t, err := r.Tuple()
+		if err != nil {
+			cb(tuple.Tuple{}, false)
+			return
+		}
+		cb(t, true)
+	})
+}
+
+// Notify subscribes fn to every future write matching the template;
+// cb reports whether the subscription was established.
+func (c *Client) Notify(tmpl tuple.Tuple, fn func(tuple.Tuple), cb func(ok bool)) {
+	id := c.id()
+	c.mu.Lock()
+	c.subs[id] = fn
+	c.mu.Unlock()
+	req := xmlcodec.NewRequest(id, xmlcodec.OpNotify, &tmpl)
+	c.send(req, func(r xmlcodec.Response) {
+		if !r.OK {
+			c.mu.Lock()
+			delete(c.subs, id)
+			c.mu.Unlock()
+		}
+		cb(r.OK)
+	})
+}
+
+// Count reports how many stored entries match the template.
+func (c *Client) Count(tmpl tuple.Tuple, cb func(n int64, ok bool)) {
+	req := xmlcodec.NewRequest(c.id(), xmlcodec.OpCount, &tmpl)
+	c.send(req, func(r xmlcodec.Response) { cb(r.Count, r.OK) })
+}
+
+// CountWait blocks until the count completes.
+func (c *Client) CountWait(tmpl tuple.Tuple) (int64, bool) {
+	type res struct {
+		n  int64
+		ok bool
+	}
+	ch := make(chan res, 1)
+	c.Count(tmpl, func(n int64, ok bool) { ch <- res{n, ok} })
+	r := <-ch
+	return r.n, r.ok
+}
+
+// Ping measures a protocol round trip; cb reports success.
+func (c *Client) Ping(cb func(ok bool)) {
+	req := xmlcodec.NewRequest(c.id(), xmlcodec.OpPing, nil)
+	c.send(req, func(r xmlcodec.Response) { cb(r.OK) })
+}
+
+// Close tears the client down; in-flight callbacks fire with failure.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	pend := c.pending
+	c.pending = make(map[uint64]func(xmlcodec.Response))
+	c.mu.Unlock()
+	for id, cb := range pend {
+		cb(xmlcodec.NewResponse(id, false, nil, ErrClosed.Error()))
+	}
+	return c.conn.Close()
+}
+
+//
+// Blocking conveniences for wall-clock callers.
+//
+
+// WriteWait blocks until the write completes.
+func (c *Client) WriteWait(t tuple.Tuple, lease sim.Duration) error {
+	ch := make(chan string, 1)
+	c.Write(t, lease, func(ok bool, errMsg string) {
+		if ok {
+			ch <- ""
+		} else {
+			ch <- errMsg
+		}
+	})
+	if msg := <-ch; msg != "" {
+		return errors.New(msg)
+	}
+	return nil
+}
+
+// TakeWait blocks until a take completes or times out.
+func (c *Client) TakeWait(tmpl tuple.Tuple, timeout sim.Duration) (tuple.Tuple, bool) {
+	type res struct {
+		t  tuple.Tuple
+		ok bool
+	}
+	ch := make(chan res, 1)
+	c.Take(tmpl, timeout, func(t tuple.Tuple, ok bool) { ch <- res{t, ok} })
+	r := <-ch
+	return r.t, r.ok
+}
+
+// ReadWait blocks until a read completes or times out.
+func (c *Client) ReadWait(tmpl tuple.Tuple, timeout sim.Duration) (tuple.Tuple, bool) {
+	type res struct {
+		t  tuple.Tuple
+		ok bool
+	}
+	ch := make(chan res, 1)
+	c.Read(tmpl, timeout, func(t tuple.Tuple, ok bool) { ch <- res{t, ok} })
+	r := <-ch
+	return r.t, r.ok
+}
+
+// ServerStack bundles a space, its RMI plumbing and a gateway: the
+// whole server host of Figure 4 in one call.
+type ServerStack struct {
+	Space   *space.Space
+	Gateway *Gateway
+}
+
+// NewServerStack builds the server side over the given client-facing
+// connection: an in-process RMI hop (loopback pair) connects the
+// gateway to the space skeleton, mirroring "RMI is still used inside
+// the server ... to interface the server with the Java/socket
+// wrapper".
+func NewServerStack(clientConn transport.Conn, sp *space.Space) *ServerStack {
+	a, b := transport.NewLoopback()
+	srv := rmi.NewServer(a)
+	RegisterSpace(srv, a, sp)
+	rc := rmi.NewClient(b)
+	gw := NewGateway(clientConn, rc)
+	return &ServerStack{Space: sp, Gateway: gw}
+}
+
+// NewSimServerStack is NewServerStack with the internal RMI hop
+// carried over a simulated pipe with the given latency, so the
+// intra-host cost appears on the simulation timeline.
+func NewSimServerStack(k *sim.Kernel, clientConn transport.Conn, sp *space.Space, rmiLatency sim.Duration) *ServerStack {
+	a, b := transport.NewSimPipe(k, rmiLatency)
+	srv := rmi.NewServer(a)
+	RegisterSpace(srv, a, sp)
+	rc := rmi.NewClient(b)
+	gw := NewGateway(clientConn, rc)
+	return &ServerStack{Space: sp, Gateway: gw}
+}

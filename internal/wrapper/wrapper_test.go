@@ -1,0 +1,353 @@
+package wrapper
+
+import (
+	"testing"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/tpwire"
+	"tpspace/internal/transport"
+	"tpspace/internal/tuple"
+	"tpspace/internal/xmlcodec"
+)
+
+// simStack builds client <-> gateway <-> space over simulated pipes.
+func simStack(k *sim.Kernel, linkLat, rmiLat sim.Duration) (*Client, *space.Space) {
+	sp := space.New(space.SimRuntime{K: k})
+	cliEnd, gwEnd := transport.NewSimPipe(k, linkLat)
+	NewSimServerStack(k, gwEnd, sp, rmiLat)
+	return NewClient(cliEnd), sp
+}
+
+func job(op string, n int64) tuple.Tuple {
+	return tuple.New("job", tuple.String("op", op), tuple.Int("n", n))
+}
+
+func anyJob() tuple.Tuple {
+	return tuple.New("job", tuple.AnyString("op"), tuple.AnyInt("n"))
+}
+
+func TestWrapperPath(t *testing.T) {
+	// Figure 4: write and take an entry through the full XML ->
+	// gateway -> RMI -> space chain.
+	k := sim.NewKernel(1)
+	cli, sp := simStack(k, sim.Millisecond, 100*sim.Microsecond)
+	var wrote bool
+	cli.Write(job("fft", 256), space.NoLease, func(ok bool, errMsg string) {
+		wrote = ok
+		if errMsg != "" {
+			t.Errorf("write error: %s", errMsg)
+		}
+	})
+	k.Run()
+	if !wrote {
+		t.Fatal("write not acknowledged")
+	}
+	if sp.Size() != 1 {
+		t.Fatalf("space size = %d", sp.Size())
+	}
+	var got tuple.Tuple
+	var ok bool
+	cli.Take(anyJob(), sim.Forever, func(tp tuple.Tuple, o bool) { got, ok = tp, o })
+	k.Run()
+	if !ok || got.Fields[1].Int != 256 {
+		t.Fatalf("take: %v %v", got, ok)
+	}
+	if sp.Size() != 0 {
+		t.Fatal("take left the entry behind")
+	}
+}
+
+func TestBlockingTakeAcrossWire(t *testing.T) {
+	k := sim.NewKernel(1)
+	cli, _ := simStack(k, sim.Millisecond, 0)
+	var doneAt sim.Time
+	var ok bool
+	cli.Take(anyJob(), sim.Forever, func(tp tuple.Tuple, o bool) { ok, doneAt = o, k.Now() })
+	k.Schedule(2*sim.Second, func() {
+		cli.Write(job("late", 1), space.NoLease, func(bool, string) {})
+	})
+	k.Run()
+	if !ok {
+		t.Fatal("blocked take failed")
+	}
+	if doneAt < sim.Time(2*sim.Second) {
+		t.Fatalf("take completed at %v before the write", doneAt)
+	}
+}
+
+func TestTakeTimeoutAcrossWire(t *testing.T) {
+	k := sim.NewKernel(1)
+	cli, _ := simStack(k, sim.Millisecond, 0)
+	var called, ok bool
+	cli.Take(anyJob(), 3*sim.Second, func(tp tuple.Tuple, o bool) { called, ok = true, o })
+	k.Run()
+	if !called || ok {
+		t.Fatalf("timeout path: called=%v ok=%v", called, ok)
+	}
+}
+
+func TestIfExistsOps(t *testing.T) {
+	k := sim.NewKernel(1)
+	cli, _ := simStack(k, sim.Millisecond, 0)
+	var missed bool
+	cli.TakeIfExists(anyJob(), func(_ tuple.Tuple, ok bool) { missed = !ok })
+	k.Run()
+	if !missed {
+		t.Fatal("TakeIfExists on empty space returned ok")
+	}
+	cli.Write(job("x", 1), space.NoLease, func(bool, string) {})
+	var read, taken bool
+	cli.ReadIfExists(anyJob(), func(_ tuple.Tuple, ok bool) { read = ok })
+	cli.TakeIfExists(anyJob(), func(_ tuple.Tuple, ok bool) { taken = ok })
+	k.Run()
+	if !read || !taken {
+		t.Fatalf("read=%v taken=%v", read, taken)
+	}
+}
+
+func TestLeasePropagatesThroughProtocol(t *testing.T) {
+	// The Table 4 mechanism end to end: an entry written with a lease
+	// expires server-side; a later take across the wire fails.
+	k := sim.NewKernel(1)
+	cli, sp := simStack(k, sim.Millisecond, 0)
+	cli.Write(job("x", 1), 160*sim.Second, func(bool, string) {})
+	k.RunUntil(sim.Time(sim.Second))
+	if sp.Size() != 1 {
+		t.Fatal("entry not stored")
+	}
+	k.RunUntil(sim.Time(161 * sim.Second))
+	if sp.Size() != 0 {
+		t.Fatal("lease did not expire")
+	}
+	var ok bool
+	var called bool
+	cli.TakeIfExists(anyJob(), func(_ tuple.Tuple, o bool) { called, ok = true, o })
+	k.Run()
+	if !called || ok {
+		t.Fatal("take found an expired entry")
+	}
+}
+
+func TestNotifyAcrossWire(t *testing.T) {
+	k := sim.NewKernel(1)
+	cli, _ := simStack(k, sim.Millisecond, 0)
+	var events []tuple.Tuple
+	var subOK bool
+	cli.Notify(anyJob(), func(tp tuple.Tuple) { events = append(events, tp) }, func(ok bool) { subOK = ok })
+	k.Run()
+	if !subOK {
+		t.Fatal("subscription failed")
+	}
+	cli.Write(job("a", 1), space.NoLease, func(bool, string) {})
+	cli.Write(tuple.New("other", tuple.Int("x", 2)), space.NoLease, func(bool, string) {})
+	cli.Write(job("b", 2), space.NoLease, func(bool, string) {})
+	k.Run()
+	if len(events) != 2 {
+		t.Fatalf("received %d events, want 2", len(events))
+	}
+	if events[0].Fields[0].Str != "a" || events[1].Fields[0].Str != "b" {
+		t.Fatalf("events: %v", events)
+	}
+}
+
+func TestPing(t *testing.T) {
+	k := sim.NewKernel(1)
+	cli, _ := simStack(k, sim.Millisecond, 0)
+	var ok bool
+	cli.Ping(func(o bool) { ok = o })
+	k.Run()
+	if !ok {
+		t.Fatal("ping failed")
+	}
+}
+
+func TestClientOverTpWIREBus(t *testing.T) {
+	// Figure 7's data path: the client is on Slave1, the space server
+	// behind Slave3, all traffic crossing the simulated 1-wire bus.
+	k := sim.NewKernel(1)
+	chain := tpwire.NewChain(k, tpwire.Config{BitRate: 100_000})
+	mb1 := tpwire.NewMailboxDevice(nil)
+	chain.AddSlave(1).SetDevice(mb1)
+	mb3 := tpwire.NewMailboxDevice(nil)
+	chain.AddSlave(3).SetDevice(mb3)
+	tpwire.NewPoller(chain, []uint8{1, 3}, 0).Start()
+
+	cliConn := transport.NewMailboxConn(mb1, 3)
+	srvConn := transport.NewMailboxConn(mb3, 1)
+	sp := space.New(space.SimRuntime{K: k})
+	NewSimServerStack(k, srvConn, sp, 0)
+	cli := NewClient(cliConn)
+
+	var wrote bool
+	cli.Write(job("fft", 99), 160*sim.Second, func(ok bool, _ string) { wrote = ok })
+	k.RunUntil(sim.Time(30 * sim.Second))
+	if !wrote {
+		t.Fatal("write over the bus not acknowledged")
+	}
+	var got tuple.Tuple
+	var ok bool
+	cli.Take(anyJob(), sim.Forever, func(tp tuple.Tuple, o bool) { got, ok = tp, o })
+	k.RunUntil(sim.Time(60 * sim.Second))
+	if !ok || got.Fields[1].Int != 99 {
+		t.Fatalf("take over the bus: %v %v", got, ok)
+	}
+	// The exchange must actually have used the bus.
+	if chain.Stats().TXFrames == 0 {
+		t.Fatal("no frames crossed the bus")
+	}
+}
+
+func TestWriteTemplateRejected(t *testing.T) {
+	k := sim.NewKernel(1)
+	cli, _ := simStack(k, sim.Millisecond, 0)
+	var ok bool
+	var msg string
+	cli.Write(anyJob(), space.NoLease, func(o bool, m string) { ok, msg = o, m })
+	k.Run()
+	if ok || msg == "" {
+		t.Fatalf("template write accepted: ok=%v msg=%q", ok, msg)
+	}
+}
+
+func TestRealStackLoopback(t *testing.T) {
+	// Wall-clock path: loopback transport, blocking client helpers.
+	sp := space.New(space.NewRealRuntime())
+	cliEnd, gwEnd := transport.NewLoopback()
+	NewServerStack(gwEnd, sp)
+	cli := NewClient(cliEnd)
+	if err := cli.WriteWait(job("rt", 5), space.NoLease); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cli.ReadWait(anyJob(), sim.Duration(2*sim.Second))
+	if !ok || got.Fields[1].Int != 5 {
+		t.Fatalf("ReadWait: %v %v", got, ok)
+	}
+	got, ok = cli.TakeWait(anyJob(), sim.Duration(2*sim.Second))
+	if !ok || got.Fields[1].Int != 5 {
+		t.Fatalf("TakeWait: %v %v", got, ok)
+	}
+	if sp.Size() != 0 {
+		t.Fatal("entry left behind")
+	}
+}
+
+func TestClientCloseFailsPending(t *testing.T) {
+	k := sim.NewKernel(1)
+	cli, _ := simStack(k, sim.Second, 0) // slow link: request stays in flight
+	var gotOK *bool
+	cli.Take(anyJob(), sim.Forever, func(_ tuple.Tuple, ok bool) { gotOK = &ok })
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if gotOK == nil || *gotOK {
+		t.Fatalf("pending take after close: %v", gotOK)
+	}
+	// Post-close operations fail immediately.
+	var afterOK bool = true
+	cli.Write(job("x", 1), space.NoLease, func(ok bool, msg string) {
+		afterOK = ok
+		if msg == "" {
+			t.Error("no error message after close")
+		}
+	})
+	if afterOK {
+		t.Fatal("write after close succeeded")
+	}
+	k.Run()
+}
+
+func TestGatewayErrorPathsSurface(t *testing.T) {
+	k := sim.NewKernel(1)
+	sp := space.New(space.SimRuntime{K: k})
+	cliEnd, gwEnd := transport.NewSimPipe(k, 0)
+	stack := NewSimServerStack(k, gwEnd, sp, 0)
+	var seen []error
+	stack.Gateway.OnError = func(err error) { seen = append(seen, err) }
+	// Garbage request: the gateway must surface the decode error.
+	cliEnd.Send([]byte("<not-xml"))
+	k.Run()
+	if len(seen) == 0 {
+		t.Fatal("malformed request not surfaced")
+	}
+}
+
+func TestServerRejectsMalformedEntryValues(t *testing.T) {
+	// A request whose entry has an unparseable value must produce a
+	// failed response, not a hang.
+	k := sim.NewKernel(1)
+	sp := space.New(space.SimRuntime{K: k})
+	cliEnd, gwEnd := transport.NewSimPipe(k, 0)
+	NewSimServerStack(k, gwEnd, sp, 0)
+	var resp []byte
+	cliEnd.SetOnReceive(func(p []byte) { resp = p })
+	raw := `<request id="7" op="write"><entry type="x"><field kind="int">zz</field></entry></request>`
+	cliEnd.Send([]byte(raw))
+	k.Run()
+	if resp == nil {
+		t.Fatal("no response to malformed entry")
+	}
+	r, err := xmlcodec.UnmarshalResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK || r.ID != 7 || r.Err == "" {
+		t.Fatalf("response %+v", r)
+	}
+	if sp.Size() != 0 {
+		t.Fatal("malformed entry stored")
+	}
+}
+
+func TestUnknownOperationRejected(t *testing.T) {
+	k := sim.NewKernel(1)
+	sp := space.New(space.SimRuntime{K: k})
+	cliEnd, gwEnd := transport.NewSimPipe(k, 0)
+	NewSimServerStack(k, gwEnd, sp, 0)
+	var resp []byte
+	cliEnd.SetOnReceive(func(p []byte) { resp = p })
+	raw := `<request id="9" op="obliterate"><entry type="x"></entry></request>`
+	cliEnd.Send([]byte(raw))
+	k.Run()
+	r, err := xmlcodec.UnmarshalResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK || r.Err == "" {
+		t.Fatalf("unknown op response %+v", r)
+	}
+}
+
+func TestNotifySubscriptionFailure(t *testing.T) {
+	// Closing the client before the subscription response arrives
+	// reports ok=false and unregisters the callback.
+	k := sim.NewKernel(1)
+	cli, _ := simStack(k, sim.Second, 0)
+	var subOK = true
+	cli.Notify(anyJob(), func(tuple.Tuple) {}, func(ok bool) { subOK = ok })
+	cli.Close()
+	if subOK {
+		t.Fatal("subscription reported ok after close")
+	}
+	k.Run()
+}
+
+func TestCountAcrossWire(t *testing.T) {
+	k := sim.NewKernel(1)
+	cli, _ := simStack(k, sim.Millisecond, 0)
+	for i := int64(0); i < 3; i++ {
+		cli.Write(job("fft", i), space.NoLease, func(bool, string) {})
+	}
+	cli.Write(tuple.New("other", tuple.Int("x", 1)), space.NoLease, func(bool, string) {})
+	var n int64 = -1
+	cli.Count(anyJob(), func(c int64, ok bool) {
+		if !ok {
+			t.Error("count failed")
+		}
+		n = c
+	})
+	k.Run()
+	if n != 3 {
+		t.Fatalf("count = %d, want 3", n)
+	}
+}

@@ -1,0 +1,48 @@
+package xmlcodec
+
+import (
+	"testing"
+
+	"tpspace/internal/tuple"
+)
+
+// FuzzDecodeTupleBinary checks the binary decoder never panics on
+// arbitrary bytes and that accepted inputs survive a re-encode cycle.
+func FuzzDecodeTupleBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeTupleBinary(tuple.New("t", tuple.Int("i", 5))))
+	f.Add(EncodeTupleBinary(tuple.New("job",
+		tuple.String("op", "fft"), tuple.Bytes("b", []byte{1, 2}), tuple.AnyFloat("x"))))
+	f.Add([]byte{0, 1, 'x', 3, 0xFF})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tp, err := DecodeTupleBinary(b)
+		if err != nil {
+			return
+		}
+		got, err := DecodeTupleBinary(EncodeTupleBinary(tp))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !got.Equal(tp) {
+			t.Fatalf("re-encode cycle diverged: %v vs %v", got, tp)
+		}
+	})
+}
+
+// FuzzUnmarshalRequest checks the XML request parser and tuple
+// extraction never panic on arbitrary input.
+func FuzzUnmarshalRequest(f *testing.F) {
+	tp := tuple.New("job", tuple.String("op", "fft"))
+	good, _ := MarshalRequest(NewRequest(1, OpWrite, &tp))
+	f.Add(good)
+	f.Add([]byte(`<request id="1" op="take"><entry><field kind="int">1</field></entry></request>`))
+	f.Add([]byte(`<not-xml`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		req, err := UnmarshalRequest(b)
+		if err != nil {
+			return
+		}
+		_, _ = req.Tuple() // must not panic
+	})
+}

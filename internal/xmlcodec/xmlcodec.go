@@ -1,0 +1,362 @@
+// Package xmlcodec implements the XML representation of tuplespace
+// entries and operations used on the board-to-server link: "using
+// sockets ... XML is used to represent data entries" (Section 4.2 of
+// the paper, after Moffat's XML-Tuples).
+//
+// The encoding is deliberately verbose — that inflation is part of
+// what loads the TpWIRE bus in the paper's experiments, so the codec
+// is also a workload generator. The A3 ablation bench compares it
+// with a compact binary encoding.
+package xmlcodec
+
+import (
+	"encoding/base64"
+	"encoding/xml"
+	"fmt"
+	"strconv"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tuple"
+)
+
+// xmlField is the wire form of one tuple field.
+type xmlField struct {
+	XMLName  xml.Name `xml:"field"`
+	Name     string   `xml:"name,attr,omitempty"`
+	Kind     string   `xml:"kind,attr"`
+	Wildcard bool     `xml:"wildcard,attr,omitempty"`
+	Value    string   `xml:",chardata"`
+}
+
+// xmlEntry is the wire form of a tuple.
+type xmlEntry struct {
+	XMLName xml.Name   `xml:"entry"`
+	Type    string     `xml:"type,attr,omitempty"`
+	Fields  []xmlField `xml:"field"`
+}
+
+// Op names carried in requests.
+const (
+	OpWrite        = "write"
+	OpRead         = "read"
+	OpTake         = "take"
+	OpReadIfExists = "readIfExists"
+	OpTakeIfExists = "takeIfExists"
+	OpNotify       = "notify"
+	OpPing         = "ping"
+	OpCount        = "count"
+)
+
+// Request is one client-to-server operation.
+type Request struct {
+	XMLName xml.Name `xml:"request"`
+	ID      uint64   `xml:"id,attr"`
+	Op      string   `xml:"op,attr"`
+	// LeaseMs is the entry lifetime for writes, in milliseconds
+	// (0 = forever).
+	LeaseMs int64 `xml:"lease,attr,omitempty"`
+	// TimeoutMs bounds blocking reads/takes, in milliseconds
+	// (-1 = forever, 0 = IfExists semantics).
+	TimeoutMs int64     `xml:"timeout,attr,omitempty"`
+	Entry     *xmlEntry `xml:"entry,omitempty"`
+}
+
+// Response is one server-to-client reply. Notification events reuse
+// the form with Event=true and the subscription's request ID.
+type Response struct {
+	XMLName xml.Name `xml:"response"`
+	ID      uint64   `xml:"id,attr"`
+	OK      bool     `xml:"ok,attr"`
+	Event   bool     `xml:"event,attr,omitempty"`
+	// Count carries the result of a count operation.
+	Count int64     `xml:"count,attr,omitempty"`
+	Err   string    `xml:"error,omitempty"`
+	Entry *xmlEntry `xml:"entry,omitempty"`
+}
+
+// Lease converts the request's lease attribute to a duration.
+func (r Request) Lease() sim.Duration { return sim.Duration(r.LeaseMs) * sim.Millisecond }
+
+// Timeout converts the request's timeout attribute to a duration.
+func (r Request) Timeout() sim.Duration {
+	if r.TimeoutMs < 0 {
+		return sim.Forever
+	}
+	return sim.Duration(r.TimeoutMs) * sim.Millisecond
+}
+
+// TimeoutMsOf converts a duration to the wire attribute.
+func TimeoutMsOf(d sim.Duration) int64 {
+	if d == sim.Forever {
+		return -1
+	}
+	return int64(d / sim.Millisecond)
+}
+
+// encodeTuple converts a tuple to its wire form.
+func encodeTuple(t tuple.Tuple) *xmlEntry {
+	e := &xmlEntry{Type: t.Type}
+	for _, f := range t.Fields {
+		xf := xmlField{Name: f.Name, Kind: f.Kind.String(), Wildcard: f.Wildcard}
+		if !f.Wildcard {
+			switch f.Kind {
+			case tuple.KindInt:
+				xf.Value = strconv.FormatInt(f.Int, 10)
+			case tuple.KindFloat:
+				xf.Value = strconv.FormatFloat(f.Float, 'g', -1, 64)
+			case tuple.KindString:
+				xf.Value = f.Str
+			case tuple.KindBool:
+				xf.Value = strconv.FormatBool(f.Bool)
+			case tuple.KindBytes:
+				xf.Value = base64.StdEncoding.EncodeToString(f.Bytes)
+			}
+		}
+		e.Fields = append(e.Fields, xf)
+	}
+	return e
+}
+
+// decodeTuple converts a wire entry back to a tuple.
+func decodeTuple(e *xmlEntry) (tuple.Tuple, error) {
+	if e == nil {
+		return tuple.Tuple{}, fmt.Errorf("xmlcodec: missing entry element")
+	}
+	t := tuple.Tuple{Type: e.Type}
+	for i, xf := range e.Fields {
+		var f tuple.Field
+		f.Name = xf.Name
+		f.Wildcard = xf.Wildcard
+		switch xf.Kind {
+		case "int":
+			f.Kind = tuple.KindInt
+			if !xf.Wildcard {
+				v, err := strconv.ParseInt(xf.Value, 10, 64)
+				if err != nil {
+					return tuple.Tuple{}, fmt.Errorf("xmlcodec: field %d: %v", i, err)
+				}
+				f.Int = v
+			}
+		case "float":
+			f.Kind = tuple.KindFloat
+			if !xf.Wildcard {
+				v, err := strconv.ParseFloat(xf.Value, 64)
+				if err != nil {
+					return tuple.Tuple{}, fmt.Errorf("xmlcodec: field %d: %v", i, err)
+				}
+				f.Float = v
+			}
+		case "string":
+			f.Kind = tuple.KindString
+			f.Str = xf.Value
+		case "bool":
+			f.Kind = tuple.KindBool
+			if !xf.Wildcard {
+				v, err := strconv.ParseBool(xf.Value)
+				if err != nil {
+					return tuple.Tuple{}, fmt.Errorf("xmlcodec: field %d: %v", i, err)
+				}
+				f.Bool = v
+			}
+		case "bytes":
+			f.Kind = tuple.KindBytes
+			if !xf.Wildcard {
+				v, err := base64.StdEncoding.DecodeString(xf.Value)
+				if err != nil {
+					return tuple.Tuple{}, fmt.Errorf("xmlcodec: field %d: %v", i, err)
+				}
+				f.Bytes = v
+			}
+		default:
+			return tuple.Tuple{}, fmt.Errorf("xmlcodec: field %d: unknown kind %q", i, xf.Kind)
+		}
+		t.Fields = append(t.Fields, f)
+	}
+	return t, nil
+}
+
+// NewRequest builds a request carrying a tuple (nil-able for OpPing).
+func NewRequest(id uint64, op string, t *tuple.Tuple) Request {
+	r := Request{ID: id, Op: op}
+	if t != nil {
+		r.Entry = encodeTuple(*t)
+	}
+	return r
+}
+
+// Tuple extracts the request's tuple.
+func (r Request) Tuple() (tuple.Tuple, error) { return decodeTuple(r.Entry) }
+
+// NewResponse builds a reply, optionally carrying a tuple.
+func NewResponse(id uint64, ok bool, t *tuple.Tuple, errMsg string) Response {
+	resp := Response{ID: id, OK: ok, Err: errMsg}
+	if t != nil {
+		resp.Entry = encodeTuple(*t)
+	}
+	return resp
+}
+
+// Tuple extracts the response's tuple.
+func (r Response) Tuple() (tuple.Tuple, error) { return decodeTuple(r.Entry) }
+
+// MarshalRequest serializes a request to its XML wire bytes.
+func MarshalRequest(r Request) ([]byte, error) { return xml.Marshal(r) }
+
+// UnmarshalRequest parses XML wire bytes into a request.
+func UnmarshalRequest(b []byte) (Request, error) {
+	var r Request
+	err := xml.Unmarshal(b, &r)
+	return r, err
+}
+
+// MarshalResponse serializes a response to its XML wire bytes.
+func MarshalResponse(r Response) ([]byte, error) { return xml.Marshal(r) }
+
+// UnmarshalResponse parses XML wire bytes into a response.
+func UnmarshalResponse(b []byte) (Response, error) {
+	var r Response
+	err := xml.Unmarshal(b, &r)
+	return r, err
+}
+
+// EncodeTupleBinary is the compact alternative encoding used by the
+// A3 ablation bench: a length-prefixed binary form roughly 3-4x
+// smaller than the XML form for typical entries.
+func EncodeTupleBinary(t tuple.Tuple) []byte {
+	var b []byte
+	putStr := func(s string) {
+		b = append(b, byte(len(s)>>8), byte(len(s)))
+		b = append(b, s...)
+	}
+	putStr(t.Type)
+	b = append(b, byte(len(t.Fields)))
+	for _, f := range t.Fields {
+		flags := byte(f.Kind)
+		if f.Wildcard {
+			flags |= 0x80
+		}
+		b = append(b, flags)
+		putStr(f.Name)
+		if f.Wildcard {
+			continue
+		}
+		switch f.Kind {
+		case tuple.KindInt:
+			for i := 7; i >= 0; i-- {
+				b = append(b, byte(uint64(f.Int)>>uint(8*i)))
+			}
+		case tuple.KindFloat:
+			putStr(strconv.FormatFloat(f.Float, 'g', -1, 64))
+		case tuple.KindString:
+			putStr(f.Str)
+		case tuple.KindBool:
+			if f.Bool {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		case tuple.KindBytes:
+			b = append(b, byte(len(f.Bytes)>>8), byte(len(f.Bytes)))
+			b = append(b, f.Bytes...)
+		}
+	}
+	return b
+}
+
+// DecodeTupleBinary is the inverse of EncodeTupleBinary.
+func DecodeTupleBinary(b []byte) (tuple.Tuple, error) {
+	pos := 0
+	fail := func() (tuple.Tuple, error) {
+		return tuple.Tuple{}, fmt.Errorf("xmlcodec: truncated binary tuple at %d", pos)
+	}
+	getStr := func() (string, bool) {
+		if pos+2 > len(b) {
+			return "", false
+		}
+		n := int(b[pos])<<8 | int(b[pos+1])
+		pos += 2
+		if pos+n > len(b) {
+			return "", false
+		}
+		s := string(b[pos : pos+n])
+		pos += n
+		return s, true
+	}
+	var t tuple.Tuple
+	typ, ok := getStr()
+	if !ok {
+		return fail()
+	}
+	t.Type = typ
+	if pos >= len(b) {
+		return fail()
+	}
+	nf := int(b[pos])
+	pos++
+	for i := 0; i < nf; i++ {
+		if pos >= len(b) {
+			return fail()
+		}
+		flags := b[pos]
+		pos++
+		var f tuple.Field
+		f.Kind = tuple.Kind(flags & 0x7F)
+		f.Wildcard = flags&0x80 != 0
+		name, ok := getStr()
+		if !ok {
+			return fail()
+		}
+		f.Name = name
+		if !f.Wildcard {
+			switch f.Kind {
+			case tuple.KindInt:
+				if pos+8 > len(b) {
+					return fail()
+				}
+				var v uint64
+				for j := 0; j < 8; j++ {
+					v = v<<8 | uint64(b[pos+j])
+				}
+				pos += 8
+				f.Int = int64(v)
+			case tuple.KindFloat:
+				s, ok := getStr()
+				if !ok {
+					return fail()
+				}
+				v, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					return tuple.Tuple{}, err
+				}
+				f.Float = v
+			case tuple.KindString:
+				s, ok := getStr()
+				if !ok {
+					return fail()
+				}
+				f.Str = s
+			case tuple.KindBool:
+				if pos >= len(b) {
+					return fail()
+				}
+				f.Bool = b[pos] == 1
+				pos++
+			case tuple.KindBytes:
+				if pos+2 > len(b) {
+					return fail()
+				}
+				n := int(b[pos])<<8 | int(b[pos+1])
+				pos += 2
+				if pos+n > len(b) {
+					return fail()
+				}
+				f.Bytes = append([]byte(nil), b[pos:pos+n]...)
+				pos += n
+			default:
+				return tuple.Tuple{}, fmt.Errorf("xmlcodec: bad kind %d", f.Kind)
+			}
+		}
+		t.Fields = append(t.Fields, f)
+	}
+	return t, nil
+}

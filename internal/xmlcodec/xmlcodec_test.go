@@ -1,0 +1,309 @@
+package xmlcodec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tuple"
+)
+
+func sampleTuple() tuple.Tuple {
+	return tuple.New("job",
+		tuple.String("op", "fft"),
+		tuple.Int("n", 1024),
+		tuple.Float("scale", 0.5),
+		tuple.Bool("urgent", true),
+		tuple.Bytes("data", []byte{0, 1, 2, 254, 255}),
+	)
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	tp := sampleTuple()
+	req := NewRequest(42, OpWrite, &tp)
+	req.LeaseMs = 160_000
+	b, err := MarshalRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 42 || got.Op != OpWrite || got.LeaseMs != 160_000 {
+		t.Fatalf("header: %+v", got)
+	}
+	gt, err := got.Tuple()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gt.Equal(tp) {
+		t.Fatalf("tuple round trip:\n%v\n%v", tp, gt)
+	}
+	if got.Lease() != 160*sim.Second {
+		t.Fatalf("lease = %v", got.Lease())
+	}
+}
+
+func TestTemplateRoundTrip(t *testing.T) {
+	tmpl := tuple.New("job",
+		tuple.AnyString("op"),
+		tuple.Int("n", 1024),
+		tuple.AnyBytes("data"),
+	)
+	req := NewRequest(7, OpTake, &tmpl)
+	req.TimeoutMs = TimeoutMsOf(sim.Forever)
+	b, err := MarshalRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := got.Tuple()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gt.Equal(tmpl) {
+		t.Fatalf("template round trip:\n%v\n%v", tmpl, gt)
+	}
+	if got.Timeout() != sim.Forever {
+		t.Fatalf("timeout = %v", got.Timeout())
+	}
+	if !gt.HasWildcards() {
+		t.Fatal("wildcards lost in transit")
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	tp := sampleTuple()
+	resp := NewResponse(9, true, &tp, "")
+	b, err := MarshalResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalResponse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.OK || got.ID != 9 {
+		t.Fatalf("header: %+v", got)
+	}
+	gt, err := got.Tuple()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gt.Equal(tp) {
+		t.Fatal("tuple mismatch")
+	}
+}
+
+func TestErrorResponse(t *testing.T) {
+	resp := NewResponse(3, false, nil, "no match")
+	b, _ := MarshalResponse(resp)
+	got, err := UnmarshalResponse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OK || got.Err != "no match" {
+		t.Fatalf("%+v", got)
+	}
+	if _, err := got.Tuple(); err == nil {
+		t.Fatal("Tuple() on empty response did not error")
+	}
+}
+
+func TestTimeoutEncoding(t *testing.T) {
+	if TimeoutMsOf(sim.Forever) != -1 {
+		t.Fatal("forever not -1")
+	}
+	if TimeoutMsOf(5*sim.Second) != 5000 {
+		t.Fatal("5s not 5000ms")
+	}
+	r := Request{TimeoutMs: 0}
+	if r.Timeout() != 0 {
+		t.Fatal("zero timeout changed")
+	}
+	r.TimeoutMs = -1
+	if r.Timeout() != sim.Forever {
+		t.Fatal("-1 not forever")
+	}
+}
+
+func TestXMLIsTextual(t *testing.T) {
+	tp := sampleTuple()
+	b, _ := MarshalRequest(NewRequest(1, OpWrite, &tp))
+	s := string(b)
+	for _, want := range []string{"<request", `op="write"`, "<entry", `kind="int"`, "1024"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("XML missing %q in %s", want, s)
+		}
+	}
+}
+
+func TestSpecialCharactersSurvive(t *testing.T) {
+	tp := tuple.New("msg",
+		tuple.String("body", `<&>"'`+"\n\ttail"),
+		tuple.Bytes("bin", []byte{0x00, 0x3C, 0x26}),
+	)
+	b, err := MarshalRequest(NewRequest(1, OpWrite, &tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := got.Tuple()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Fields[0].Str != tp.Fields[0].Str {
+		t.Fatalf("string mangled: %q", gt.Fields[0].Str)
+	}
+	if string(gt.Fields[1].Bytes) != string(tp.Fields[1].Bytes) {
+		t.Fatal("bytes mangled")
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	raw := `<request id="1" op="write"><entry type="x"><field kind="complex">1</field></entry></request>`
+	req, err := UnmarshalRequest([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := req.Tuple(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestBadValuesRejected(t *testing.T) {
+	for _, raw := range []string{
+		`<request id="1" op="write"><entry><field kind="int">abc</field></entry></request>`,
+		`<request id="1" op="write"><entry><field kind="float">xx</field></entry></request>`,
+		`<request id="1" op="write"><entry><field kind="bool">maybe</field></entry></request>`,
+		`<request id="1" op="write"><entry><field kind="bytes">!!!</field></entry></request>`,
+	} {
+		req, err := UnmarshalRequest([]byte(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := req.Tuple(); err == nil {
+			t.Fatalf("bad value accepted: %s", raw)
+		}
+	}
+}
+
+func genTuple(r *rand.Rand) tuple.Tuple {
+	n := r.Intn(6) + 1
+	fields := make([]tuple.Field, n)
+	for i := range fields {
+		wild := r.Intn(4) == 0
+		switch r.Intn(5) {
+		case 0:
+			if wild {
+				fields[i] = tuple.AnyInt("i")
+			} else {
+				fields[i] = tuple.Int("i", r.Int63()-r.Int63())
+			}
+		case 1:
+			if wild {
+				fields[i] = tuple.AnyFloat("f")
+			} else {
+				fields[i] = tuple.Float("f", r.NormFloat64())
+			}
+		case 2:
+			if wild {
+				fields[i] = tuple.AnyString("s")
+			} else {
+				fields[i] = tuple.String("s", randString(r))
+			}
+		case 3:
+			if wild {
+				fields[i] = tuple.AnyBool("b")
+			} else {
+				fields[i] = tuple.Bool("b", r.Intn(2) == 0)
+			}
+		default:
+			if wild {
+				fields[i] = tuple.AnyBytes("y")
+			} else {
+				b := make([]byte, r.Intn(20))
+				r.Read(b)
+				fields[i] = tuple.Bytes("y", b)
+			}
+		}
+	}
+	return tuple.New("t"+randString(r), fields...)
+}
+
+func randString(r *rand.Rand) string {
+	n := r.Intn(10)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteRune(rune('a' + r.Intn(26)))
+	}
+	return sb.String()
+}
+
+func TestQuickXMLRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tp := genTuple(r)
+		b, err := MarshalRequest(NewRequest(1, OpWrite, &tp))
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalRequest(b)
+		if err != nil {
+			return false
+		}
+		gt, err := got.Tuple()
+		if err != nil {
+			return false
+		}
+		return gt.Equal(tp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(16))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tp := genTuple(r)
+		got, err := DecodeTupleBinary(EncodeTupleBinary(tp))
+		if err != nil {
+			return false
+		}
+		return got.Equal(tp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(17))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinarySmallerThanXML(t *testing.T) {
+	tp := sampleTuple()
+	xb, _ := MarshalRequest(NewRequest(1, OpWrite, &tp))
+	bb := EncodeTupleBinary(tp)
+	if len(bb) >= len(xb) {
+		t.Fatalf("binary (%d) not smaller than XML (%d)", len(bb), len(xb))
+	}
+}
+
+func TestBinaryTruncationRejected(t *testing.T) {
+	b := EncodeTupleBinary(sampleTuple())
+	for cut := 1; cut < len(b); cut += 3 {
+		if _, err := DecodeTupleBinary(b[:cut]); err == nil {
+			// Some prefixes happen to be valid shorter tuples only if
+			// field count matches; type+count prefix makes that
+			// impossible here.
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
