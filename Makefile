@@ -1,0 +1,20 @@
+# Convenience targets; scripts/check.sh is the authoritative gate.
+
+.PHONY: check test bench build vet
+
+check:
+	sh scripts/check.sh
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Full benchmark pass: repo-root table/figure benches plus the
+# per-package kernel micro-benches.
+bench:
+	go test -run '^$$' -bench . -benchmem . ./internal/sim/

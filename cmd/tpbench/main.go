@@ -8,14 +8,18 @@
 //	tpbench -fig 6           # Figure 6 scenario summary
 //	tpbench -fig 7           # Figure 7 single case-study run
 //
-// The Table 4 sweep runs six co-simulations of several simulated
-// minutes each; expect a few seconds of wall time.
+// Independent co-simulations (Table 3 rows, Table 4 cells, sweep
+// samples, planner grid points) fan out across all CPUs by default;
+// -parallel 1 forces the sequential reference behaviour and any
+// worker count produces byte-identical output. -cpuprofile writes a
+// pprof profile of the run for hunting harness hot spots.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"tpspace/internal/core"
 	"tpspace/internal/frame"
@@ -32,10 +36,27 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep CBR load and print the completion-time curve (CSV)")
 	compare := flag.Bool("compare", false, "compare Ethernet/TCP and TpWIRE substrates (Section 4.3)")
 	plan := flag.Bool("plan", false, "search the design space for the cheapest bus meeting the Table 4 requirements")
+	parallel := flag.Int("parallel", 0, "worker goroutines for independent simulations (0 = all CPUs, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+	workers := *parallel
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *plan {
-		fmt.Print(core.PlanBus(core.DefaultRequirements()).Format())
+		fmt.Print(core.PlanBusParallel(core.DefaultRequirements(), workers).Format())
 		return
 	}
 
@@ -44,7 +65,7 @@ func main() {
 		return
 	}
 	if *sweep {
-		printSweep()
+		printSweep(workers)
 		return
 	}
 	if *compare {
@@ -56,17 +77,17 @@ func main() {
 	case all:
 		printFrames()
 		fmt.Println()
-		printTable3(*realtime, *speedup)
+		printTable3(*realtime, *speedup, workers)
 		fmt.Println()
-		printTable4()
+		printTable4(workers)
 		fmt.Println()
 		printCrossValidation()
 	case *table == "frames":
 		printFrames()
 	case *table == "3":
-		printTable3(*realtime, *speedup)
+		printTable3(*realtime, *speedup, workers)
 	case *table == "4":
-		printTable4()
+		printTable4(workers)
 	case *fig == 6:
 		printFig6()
 	case *fig == 7:
@@ -89,10 +110,11 @@ func printFrames() {
 	fmt.Printf("example: %v  wire image %016b\n", rx, rx.Pack())
 }
 
-func printTable3(realtime bool, speedup float64) {
+func printTable3(realtime bool, speedup float64, workers int) {
 	cfg := core.DefaultValidationConfig()
 	cfg.Realtime = realtime
 	cfg.Speedup = speedup
+	cfg.Workers = workers
 	res := core.RunValidation(cfg)
 	fmt.Print(core.FormatTable3(res))
 	if realtime {
@@ -102,8 +124,10 @@ func printTable3(realtime bool, speedup float64) {
 	}
 }
 
-func printTable4() {
-	t4 := core.RunTable4(core.DefaultTable4Config())
+func printTable4(workers int) {
+	cfg := core.DefaultTable4Config()
+	cfg.Workers = workers
+	t4 := core.RunTable4(cfg)
 	fmt.Print(t4.Format())
 }
 
@@ -120,24 +144,10 @@ func printFig6() {
 // printSweep extends Table 4 into a curve: exchange completion time
 // against background CBR load for both bus widths, CSV to stdout.
 // "Out of Time" cells print as empty values.
-func printSweep() {
-	rates := []float64{0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.85, 1.0}
-	fmt.Println("cbr_Bps,onewire_s,twowire_s")
-	for _, rate := range rates {
-		fmt.Printf("%g", rate)
-		for _, w := range []int{1, 2} {
-			cfg := core.DefaultImpactConfig()
-			cfg.CBRRate = rate
-			cfg.Wires = w
-			res := core.RunImpact(cfg)
-			if res.OutOfTime() {
-				fmt.Print(",")
-			} else {
-				fmt.Printf(",%.1f", res.Total.Seconds())
-			}
-		}
-		fmt.Println()
-	}
+func printSweep(workers int) {
+	cfg := core.DefaultSweepConfig()
+	cfg.Workers = workers
+	fmt.Print(core.RunSweep(cfg).CSV())
 }
 
 func printCrossValidation() {

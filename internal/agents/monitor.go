@@ -75,6 +75,9 @@ func (m *Monitor) rearm() {
 }
 
 func (m *Monitor) alarm() {
+	// The timer just fired; drop the handle so a later rearm/Stop does
+	// not cancel whatever scheduling recycles its storage.
+	m.timer = nil
 	m.Alarms++
 	if m.OnAlarm != nil {
 		m.OnAlarm(m.kernel.Now())

@@ -223,6 +223,10 @@ type Table4Config struct {
 	Base     ImpactConfig
 	CBRRates []float64
 	Wires    []int
+	// Workers bounds the worker pool the grid fans out on; 0 selects
+	// DefaultWorkers, 1 runs sequentially. The grid is identical at
+	// every worker count (each cell seeds its own kernel from Base).
+	Workers int
 }
 
 // DefaultTable4Config reproduces the published sweep: CBR 0, 0.3 and
@@ -243,21 +247,25 @@ type Table4 struct {
 	Lease    sim.Duration
 }
 
-// RunTable4 executes the sweep.
+// RunTable4 executes the sweep, running every cell's co-simulation
+// concurrently on the configured worker pool.
 func RunTable4(cfg Table4Config) Table4 {
 	t := Table4{CBRRates: cfg.CBRRates, Wires: cfg.Wires, Lease: cfg.Base.Lease}
 	if t.Lease == 0 {
 		t.Lease = DefaultImpactConfig().Lease
 	}
+	jobs := make([]func() ImpactResult, 0, len(cfg.CBRRates)*len(cfg.Wires))
 	for _, rate := range cfg.CBRRates {
-		var row []ImpactResult
 		for _, w := range cfg.Wires {
 			c := cfg.Base
 			c.CBRRate = rate
 			c.Wires = w
-			row = append(row, RunImpact(c))
+			jobs = append(jobs, func() ImpactResult { return RunImpact(c) })
 		}
-		t.Cells = append(t.Cells, row)
+	}
+	flat := RunAll(cfg.Workers, jobs)
+	for i := range cfg.CBRRates {
+		t.Cells = append(t.Cells, flat[i*len(cfg.Wires):(i+1)*len(cfg.Wires)])
 	}
 	return t
 }

@@ -91,32 +91,38 @@ func (m *NS2Model) RunTransactions(n int) sim.Duration {
 // packet-level NS2Model and the frame-accurate tpwire chain — and
 // returns both times. Agreement between them is the reproduction of
 // the paper's model-validation step with the simulator standing on
-// both sides.
+// both sides. The two models own independent kernels, so they run
+// concurrently on the experiment runner.
 func CrossValidate(cfg tpwire.Config, slavePos, n int) (packetLevel, frameAccurate sim.Duration) {
 	if err := cfg.Normalize(); err != nil {
 		panic(err)
 	}
-	// Packet-level model.
-	k1 := sim.NewKernel(1)
-	packetLevel = NewNS2Model(k1, cfg, slavePos).RunTransactions(n)
-
-	// Frame-accurate model: back-to-back pings to the slave at the
-	// requested position.
-	k2 := sim.NewKernel(1)
-	chain := tpwire.NewChain(k2, cfg)
-	for i := 0; i <= slavePos; i++ {
-		chain.AddSlave(uint8(i + 1))
-	}
-	target := uint8(slavePos + 1)
-	// Prime addressing outside the measured window.
-	chain.Master().Ping(target, func(uint8, bool, bool, error) {})
-	k2.RunUntil(k2.Now().Add(cfg.Bits(1024)))
-	start := k2.Now()
-	var doneAt sim.Time
-	for i := 0; i < n; i++ {
-		chain.Master().Ping(target, func(uint8, bool, bool, error) { doneAt = k2.Now() })
-	}
-	k2.RunUntil(start.Add(sim.Duration(n+16) * cfg.Bits(64)))
-	frameAccurate = doneAt.Sub(start)
-	return packetLevel, frameAccurate
+	times := RunAll(0, []func() sim.Duration{
+		func() sim.Duration {
+			// Packet-level model.
+			k1 := sim.NewKernel(1)
+			return NewNS2Model(k1, cfg, slavePos).RunTransactions(n)
+		},
+		func() sim.Duration {
+			// Frame-accurate model: back-to-back pings to the slave at
+			// the requested position.
+			k2 := sim.NewKernel(1)
+			chain := tpwire.NewChain(k2, cfg)
+			for i := 0; i <= slavePos; i++ {
+				chain.AddSlave(uint8(i + 1))
+			}
+			target := uint8(slavePos + 1)
+			// Prime addressing outside the measured window.
+			chain.Master().Ping(target, func(uint8, bool, bool, error) {})
+			k2.RunUntil(k2.Now().Add(cfg.Bits(1024)))
+			start := k2.Now()
+			var doneAt sim.Time
+			for i := 0; i < n; i++ {
+				chain.Master().Ping(target, func(uint8, bool, bool, error) { doneAt = k2.Now() })
+			}
+			k2.RunUntil(start.Add(sim.Duration(n+16) * cfg.Bits(64)))
+			return doneAt.Sub(start)
+		},
+	})
+	return times[0], times[1]
 }

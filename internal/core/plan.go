@@ -60,22 +60,42 @@ type Plan struct {
 	// Recommended is the cheapest feasible option (lowest wire count,
 	// then lowest bit rate), if any.
 	Recommended *PlanOption
-	// Explored lists every evaluated point, in evaluation order.
+	// Explored lists every (wires, rate) point of the design grid in
+	// cost order, cheapest first. The whole grid is always evaluated —
+	// the trace is complete even past the recommended point, so the
+	// caller can see how much headroom the next steps of the ladder
+	// would buy.
 	Explored []PlanOption
 }
 
 // candidateRates is the programmable-speed ladder of the TpWIRE
-// transceiver, up to the specified 1 Mbyte/s maximum.
+// transceiver, in bit/s. The standard UART-style steps stop at
+// 1 Mbit/s; the final 8,000,000 bit/s entry is the transceiver's
+// specified 1 Mbyte/s burst maximum (Section 4.3), kept on the
+// ladder as an explicit overdrive point so the planner can report
+// whether even the flat-out bus would meet the requirements.
 var candidateRates = []float64{1200, 2400, 4800, 9600, 19_200, 57_600,
 	115_200, 500_000, 1_000_000, 8_000_000}
+
+// planWires is the wire-count axis of the design grid.
+var planWires = []int{1, 2, 4}
 
 // PlanBus explores wire counts and the bit-rate ladder, re-running
 // the Figure 7 co-simulation at each point, and returns the cheapest
 // feasible configuration. Cost order: fewer wires always beats a
 // slower clock (extra wires are extra copper and transceivers on
 // every segment), and within a wire count slower clocks are cheaper
-// (relaxed drivers, longer cables).
-func PlanBus(req Requirements) Plan {
+// (relaxed drivers, longer cables). Every grid point is an
+// independent co-simulation, so they are evaluated concurrently with
+// DefaultWorkers; use PlanBusParallel to pick the worker count.
+func PlanBus(req Requirements) Plan { return PlanBusParallel(req, 0) }
+
+// PlanBusParallel is PlanBus with an explicit worker count
+// (workers <= 0 selects DefaultWorkers, workers == 1 is fully
+// sequential). The answer is identical for every worker count: the
+// grid is fixed, each point's simulation is seeded by its own config,
+// and the recommendation is the first feasible point in cost order.
+func PlanBusParallel(req Requirements, workers int) Plan {
 	def := DefaultRequirements()
 	if req.PayloadBytes == 0 {
 		req.PayloadBytes = def.PayloadBytes
@@ -89,15 +109,21 @@ func PlanBus(req Requirements) Plan {
 	plan := Plan{Requirements: req}
 	deadline := req.TakeDelay + req.Lease - req.Margin
 
-	for _, wires := range []int{1, 2, 4} {
+	jobs := make([]func() PlanOption, 0, len(planWires)*len(candidateRates))
+	for _, wires := range planWires {
 		for _, rate := range candidateRates {
-			opt := evaluate(req, rate, wires, deadline)
-			plan.Explored = append(plan.Explored, opt)
-			if opt.Feasible {
-				o := opt
-				plan.Recommended = &o
-				return plan
-			}
+			wires, rate := wires, rate
+			jobs = append(jobs, func() PlanOption {
+				return evaluate(req, rate, wires, deadline)
+			})
+		}
+	}
+	plan.Explored = RunAll(workers, jobs)
+	for i := range plan.Explored {
+		if plan.Explored[i].Feasible {
+			o := plan.Explored[i]
+			plan.Recommended = &o
+			break
 		}
 	}
 	return plan

@@ -7,7 +7,21 @@ import (
 	"tpspace/internal/sim"
 )
 
+// withTestGrid caps the planner's bit-rate ladder at 115.2 kbit/s for
+// the duration of a test. Simulation cost grows with bit rate (the
+// poller sweeps in bit-time), so the 0.5/1/8 Mbit/s points dominate
+// wall clock while adding nothing to the logic under test: the
+// calibrated requirements are already satisfied at 2400 bit/s.
+func withTestGrid(t *testing.T) {
+	t.Helper()
+	oldRates, oldWires := candidateRates, planWires
+	candidateRates = []float64{1200, 2400, 4800, 9600, 19_200, 57_600, 115_200}
+	planWires = []int{1, 2, 4}
+	t.Cleanup(func() { candidateRates, planWires = oldRates, oldWires })
+}
+
 func TestPlanBusFindsFeasiblePoint(t *testing.T) {
+	withTestGrid(t)
 	plan := PlanBus(DefaultRequirements())
 	if plan.Recommended == nil {
 		t.Fatalf("no feasible plan found; explored %d points", len(plan.Explored))
@@ -29,6 +43,7 @@ func TestPlanBusFindsFeasiblePoint(t *testing.T) {
 }
 
 func TestPlanPrefersFewerWires(t *testing.T) {
+	withTestGrid(t)
 	// A light requirement is satisfiable on one wire; the planner
 	// must not reach for more copper.
 	req := DefaultRequirements()
@@ -40,6 +55,7 @@ func TestPlanPrefersFewerWires(t *testing.T) {
 }
 
 func TestPlanRespectsMargin(t *testing.T) {
+	withTestGrid(t)
 	// Tightening the margin can only push the recommendation up the
 	// ladder (or keep it).
 	loose := DefaultRequirements()
@@ -59,11 +75,43 @@ func TestPlanRespectsMargin(t *testing.T) {
 }
 
 func TestPlanFormat(t *testing.T) {
+	withTestGrid(t)
 	plan := PlanBus(DefaultRequirements())
 	out := plan.Format()
 	for _, want := range []string{"Bus plan", "recommended:", "-wire @"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("format missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestPlanExploresFullGrid(t *testing.T) {
+	withTestGrid(t)
+	plan := PlanBus(DefaultRequirements())
+	if len(plan.Explored) != len(planWires)*len(candidateRates) {
+		t.Fatalf("explored %d points, want the full %d-point grid",
+			len(plan.Explored), len(planWires)*len(candidateRates))
+	}
+	// Every (wires, rate) pair appears exactly once, in cost order:
+	// wires-major, then ascending rate.
+	i := 0
+	for _, wires := range planWires {
+		for _, rate := range candidateRates {
+			o := plan.Explored[i]
+			if o.Wires != wires || o.BitRate != rate {
+				t.Fatalf("explored[%d] = (%d wires, %g bit/s), want (%d, %g)",
+					i, o.Wires, o.BitRate, wires, rate)
+			}
+			i++
+		}
+	}
+	// The trace must extend past the recommendation: the calibrated
+	// requirements are feasible well below the top of the ladder.
+	if plan.Recommended == nil {
+		t.Fatal("no recommendation")
+	}
+	last := plan.Explored[len(plan.Explored)-1]
+	if last.Wires == plan.Recommended.Wires && last.BitRate == plan.Recommended.BitRate {
+		t.Fatal("trace stops at the recommendation; grid not fully explored")
 	}
 }

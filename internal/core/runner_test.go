@@ -1,0 +1,177 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+func TestRunAllOrderAndCompleteness(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 64} {
+		n := 37
+		jobs := make([]func() int, n)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() int { return i * i }
+		}
+		got := RunAll(workers, jobs)
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d (order not preserved)",
+					workers, i, v, i*i)
+			}
+		}
+	}
+	if RunAll(4, []func() int(nil)) != nil {
+		t.Fatal("empty job list must return nil")
+	}
+}
+
+func TestSeedForPureAndDistinct(t *testing.T) {
+	if SeedFor(1, 0) != SeedFor(1, 0) {
+		t.Fatal("SeedFor not deterministic")
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := SeedFor(42, i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if SeedFor(1, 5) == SeedFor(2, 5) {
+		t.Fatal("base seed ignored")
+	}
+}
+
+// guardRequirements is a scaled-down Table 4 requirement set (the
+// quickImpact scaling: 10x bus, lease 16 s) so the determinism guards
+// stay fast enough for the race detector.
+func guardRequirements() Requirements {
+	return Requirements{
+		PayloadBytes: 24,
+		CBRRate:      1,
+		Lease:        16 * sim.Second,
+		TakeDelay:    8500 * sim.Millisecond,
+		Margin:       sim.Second,
+	}
+}
+
+// TestPlanParallelMatchesSequential is the determinism guard for the
+// planner: any worker count must reproduce the sequential exploration
+// byte for byte (DESIGN §6).
+func TestPlanParallelMatchesSequential(t *testing.T) {
+	withTestGrid(t)
+	req := guardRequirements()
+	seq := PlanBusParallel(req, 1)
+	for _, workers := range []int{2, 8} {
+		par := PlanBusParallel(req, workers)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: plan diverges from sequential:\nseq: %+v\npar: %+v",
+				workers, seq, par)
+		}
+		if seq.Format() != par.Format() {
+			t.Fatalf("workers=%d: formatted plan diverges", workers)
+		}
+	}
+}
+
+// TestTable4ParallelMatchesSequential guards the Table 4 grid.
+func TestTable4ParallelMatchesSequential(t *testing.T) {
+	base := quickImpact()
+	cfg := Table4Config{
+		Base:     base,
+		CBRRates: []float64{0, 3, 10},
+		Wires:    []int{1, 2},
+		Workers:  1,
+	}
+	seq := RunTable4(cfg)
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		par := RunTable4(cfg)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: Table 4 diverges from sequential", workers)
+		}
+		if seq.Format() != par.Format() {
+			t.Fatalf("workers=%d: formatted Table 4 diverges", workers)
+		}
+	}
+}
+
+// TestSweepParallelMatchesSequential guards the CBR sweep, including
+// its CSV rendering.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	cfg := SweepConfig{
+		Base:    quickImpact(),
+		Rates:   []float64{0, 3, 10},
+		Wires:   []int{1, 2},
+		Workers: 1,
+	}
+	seq := RunSweep(cfg)
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		par := RunSweep(cfg)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: sweep diverges from sequential", workers)
+		}
+		if seq.CSV() != par.CSV() {
+			t.Fatalf("workers=%d: sweep CSV diverges", workers)
+		}
+	}
+}
+
+// TestValidationParallelMatchesSequential guards Table 3.
+func TestValidationParallelMatchesSequential(t *testing.T) {
+	cfg := DefaultValidationConfig()
+	cfg.FrameCounts = []int{1000, 3000, 5000}
+	cfg.Workers = 1
+	seq := RunValidation(cfg)
+	cfg.Workers = 8
+	par := RunValidation(cfg)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("validation diverges from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if FormatTable3(seq) != FormatTable3(par) {
+		t.Fatal("formatted Table 3 diverges")
+	}
+}
+
+func TestSweepCSVShape(t *testing.T) {
+	cfg := SweepConfig{
+		Base:  quickImpact(),
+		Rates: []float64{0, 10},
+		Wires: []int{1, 2},
+	}
+	csv := RunSweep(cfg).CSV()
+	want := "cbr_Bps,onewire_s,twowire_s\n"
+	if len(csv) < len(want) || csv[:len(want)] != want {
+		t.Fatalf("CSV header wrong:\n%s", csv)
+	}
+	// The saturating row must render the 1-wire cell empty.
+	lines := splitLines(csv)
+	if len(lines) != 3 {
+		t.Fatalf("CSV rows = %d, want 3:\n%s", len(lines), csv)
+	}
+	if got := lines[2]; got[:4] != "10,," {
+		t.Fatalf("saturating row = %q, want leading \"10,,\"", got)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

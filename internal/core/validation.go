@@ -30,6 +30,11 @@ type ValidationConfig struct {
 	Speedup  float64
 	// Seed feeds the simulation kernel.
 	Seed int64
+	// Workers bounds the pool the frame-count rows fan out on; 0
+	// selects DefaultWorkers. Realtime runs are forced sequential —
+	// wall-clock pacing of concurrent rows would contend for the CPU
+	// and corrupt the drift statistics.
+	Workers int
 }
 
 // DefaultValidationConfig mirrors the experiment as run in
@@ -76,9 +81,16 @@ func RunValidation(cfg ValidationConfig) ValidationResult {
 		cfg.FrameCounts = DefaultValidationConfig().FrameCounts
 	}
 	var res ValidationResult
-	for _, n := range cfg.FrameCounts {
-		res.Rows = append(res.Rows, runValidationOnce(cfg, n))
+	workers := cfg.Workers
+	if cfg.Realtime {
+		workers = 1
 	}
+	jobs := make([]func() ValidationRow, len(cfg.FrameCounts))
+	for i, n := range cfg.FrameCounts {
+		n := n
+		jobs[i] = func() ValidationRow { return runValidationOnce(cfg, n) }
+	}
+	res.Rows = RunAll(workers, jobs)
 	// Throughput from the largest row: payload bytes per elapsed time.
 	last := res.Rows[len(res.Rows)-1]
 	if last.Simulated > 0 {

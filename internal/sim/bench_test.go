@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// The kernel micro-benches measure the event calendar itself, with a
+// realistic standing population of pending events so the heap has
+// real depth. BenchmarkKernelSchedule must report 0 allocs/op: in
+// steady state every scheduling reuses a recycled event from the
+// free list. The *HeapBaseline variants run the same workloads on a
+// replica of the seed implementation (container/heap over a binary
+// heap with interface boxing) so the speedup is measurable from one
+// binary.
+
+const benchPool = 256
+
+// benchDelay derives a deterministic, allocation-free pseudo-random
+// delay from the iteration counter (Weyl-style multiplicative hash).
+func benchDelay(i int) Duration {
+	return Duration(1 + uint32(i)*2654435761%4096)
+}
+
+func BenchmarkKernelSchedule(b *testing.B) {
+	k := NewKernel(1)
+	fn := func() {}
+	for i := 0; i < benchPool; i++ {
+		k.Schedule(benchDelay(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(benchDelay(i), fn)
+		k.Step()
+	}
+}
+
+func BenchmarkKernelChurn(b *testing.B) {
+	k := NewKernel(1)
+	fn := func() {}
+	for i := 0; i < benchPool; i++ {
+		k.Schedule(benchDelay(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Steady state: four in, two cancelled, two fired.
+		e1 := k.Schedule(benchDelay(4*i), fn)
+		e2 := k.Schedule(benchDelay(4*i+1), fn)
+		k.Schedule(benchDelay(4*i+2), fn)
+		k.Schedule(benchDelay(4*i+3), fn)
+		k.Cancel(e1)
+		k.Cancel(e2)
+		k.Step()
+		k.Step()
+	}
+}
+
+//
+// Baseline: the seed's container/heap calendar, reproduced verbatim
+// in miniature so the benches above have an in-binary reference.
+//
+
+type oldEvent struct {
+	at       Time
+	priority Priority
+	seq      uint64
+	index    int
+	fn       func()
+}
+
+type oldHeap []*oldEvent
+
+func (h oldHeap) Len() int { return len(h) }
+func (h oldHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h oldHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *oldHeap) Push(x any) {
+	e := x.(*oldEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *oldHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+type oldKernel struct {
+	now    Time
+	seq    uint64
+	events oldHeap
+}
+
+func (k *oldKernel) schedule(d Duration, fn func()) *oldEvent {
+	e := &oldEvent{at: k.now.Add(d), seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+func (k *oldKernel) cancel(e *oldEvent) {
+	if e.index >= 0 {
+		heap.Remove(&k.events, e.index)
+	}
+}
+
+func (k *oldKernel) step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*oldEvent)
+	k.now = e.at
+	e.fn()
+	return true
+}
+
+func BenchmarkKernelScheduleHeapBaseline(b *testing.B) {
+	k := &oldKernel{}
+	fn := func() {}
+	for i := 0; i < benchPool; i++ {
+		k.schedule(benchDelay(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.schedule(benchDelay(i), fn)
+		k.step()
+	}
+}
+
+func BenchmarkKernelChurnHeapBaseline(b *testing.B) {
+	k := &oldKernel{}
+	fn := func() {}
+	for i := 0; i < benchPool; i++ {
+		k.schedule(benchDelay(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e1 := k.schedule(benchDelay(4*i), fn)
+		e2 := k.schedule(benchDelay(4*i+1), fn)
+		k.schedule(benchDelay(4*i+2), fn)
+		k.schedule(benchDelay(4*i+3), fn)
+		k.cancel(e1)
+		k.cancel(e2)
+		k.step()
+		k.step()
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+// calendar is the kernel's event queue: a 4-ary min-heap specialized
+// to *Event, ordered by (time, priority, seq). Compared with the
+// generic container/heap it avoids the interface boxing of Push/Pop
+// and the virtual Less/Swap calls, and the wider fan-out halves the
+// tree depth, which matters because sift-down dominates a discrete
+// event simulation's pop-heavy workload.
+//
+// The minimum lives at index 0; children of node i are at
+// 4i+1 … 4i+4 and the parent of node i is at (i-1)/4. Every resident
+// event's index field tracks its slot so Cancel can remove from the
+// middle in O(log n).
+type calendar []*Event
+
+// before reports whether a must fire before b: earlier time first,
+// then lower priority, then scheduling order.
+func before(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+// push inserts e and records its slot in e.index.
+func (h *calendar) push(e *Event) {
+	*h = append(*h, e)
+	e.index = len(*h) - 1
+	h.up(e.index)
+}
+
+// popMin removes and returns the next event to fire. The caller must
+// ensure the calendar is non-empty. The removed event's index is -1.
+func (h *calendar) popMin() *Event {
+	old := *h
+	e := old[0]
+	n := len(old) - 1
+	last := old[n]
+	old[n] = nil
+	*h = old[:n]
+	e.index = -1
+	if n > 0 {
+		old[0] = last
+		last.index = 0
+		h.down(0)
+	}
+	return e
+}
+
+// remove deletes the event at slot i (for Cancel). The removed
+// event's index is -1.
+func (h *calendar) remove(i int) {
+	old := *h
+	e := old[i]
+	n := len(old) - 1
+	last := old[n]
+	old[n] = nil
+	*h = old[:n]
+	e.index = -1
+	if i < n {
+		old[i] = last
+		last.index = i
+		// The substitute may belong above or below its new slot.
+		h.down(i)
+		h.up(i)
+	}
+}
+
+// up restores the heap property from slot i towards the root.
+func (h calendar) up(i int) {
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := h[parent]
+		if !before(e, p) {
+			break
+		}
+		h[i] = p
+		p.index = i
+		i = parent
+	}
+	h[i] = e
+	e.index = i
+}
+
+// down restores the heap property from slot i towards the leaves.
+func (h calendar) down(i int) {
+	n := len(h)
+	e := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		// Find the smallest of the (up to four) children.
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if before(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !before(h[min], e) {
+			break
+		}
+		h[i] = h[min]
+		h[i].index = i
+		i = min
+	}
+	h[i] = e
+	e.index = i
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -21,6 +20,14 @@ const (
 
 // Event is a scheduled callback. Events are created by the Kernel's
 // Schedule methods and may be cancelled until they fire.
+//
+// Lifetime rule: once an event has fired or been cancelled the kernel
+// recycles its storage for a later scheduling, so a retained *Event
+// is only meaningful while the event is pending. Holders that clear
+// their reference when the event fires (in the event's own callback)
+// may keep using plain Cancel; holders whose reference can outlive
+// the firing must capture Seq at scheduling time and cancel through
+// Kernel.CancelSeq, which is a safe no-op on a stale handle.
 type Event struct {
 	at       Time
 	priority Priority
@@ -39,37 +46,11 @@ func (e *Event) Label() string { return e.label }
 // Pending reports whether the event is still in the calendar.
 func (e *Event) Pending() bool { return e.index >= 0 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].priority != h[j].priority {
-		return h[i].priority < h[j].priority
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+// Seq returns the scheduling's unique sequence number. Each call to a
+// Schedule method gets a fresh value, including reschedulings that
+// reuse this Event's storage, so (e, e.Seq()) captured together
+// identify one scheduling forever; see Kernel.CancelSeq.
+func (e *Event) Seq() uint64 { return e.seq }
 
 // Kernel is the discrete-event scheduler. It is not safe for
 // concurrent use from multiple goroutines except through Process,
@@ -77,7 +58,8 @@ func (h *eventHeap) Pop() any {
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  calendar
+	free    []*Event // recycled fired/cancelled events
 	stopped bool
 	fired   uint64
 	rng     *rand.Rand
@@ -143,21 +125,53 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 }
 
 func (k *Kernel) at(label string, t Time, p Priority, fn func()) *Event {
-	e := &Event{at: t, priority: p, seq: k.seq, fn: fn, label: label}
+	var e *Event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		e = new(Event)
+	}
+	e.at, e.priority, e.seq, e.fn, e.label = t, p, k.seq, fn, label
 	k.seq++
-	heap.Push(&k.events, e)
+	k.events.push(e)
 	return e
+}
+
+// recycle returns a fired or cancelled event to the free list,
+// dropping its callback and label so their referents can be
+// collected. e.seq is kept until the next reuse so a stale CancelSeq
+// still sees a mismatch-free comparison.
+func (k *Kernel) recycle(e *Event) {
+	e.fn = nil
+	e.label = ""
+	k.free = append(k.free, e)
 }
 
 // Cancel removes a pending event from the calendar. Cancelling an
 // already-fired or already-cancelled event is a no-op and reports
-// false.
+// false — but see the Event lifetime rule: once the kernel may have
+// reused the storage behind a stale handle, use CancelSeq instead.
 func (k *Kernel) Cancel(e *Event) bool {
 	if e == nil || e.index < 0 {
 		return false
 	}
-	heap.Remove(&k.events, e.index)
+	k.events.remove(e.index)
+	k.recycle(e)
 	return true
+}
+
+// CancelSeq cancels the scheduling identified by (e, seq) where seq
+// was captured via e.Seq() right after scheduling. Unlike Cancel it
+// is safe on handles that may have outlived their event: if the event
+// already fired, was already cancelled, or the storage now carries a
+// different scheduling, CancelSeq does nothing and reports false.
+func (k *Kernel) CancelSeq(e *Event, seq uint64) bool {
+	if e == nil || e.seq != seq {
+		return false
+	}
+	return k.Cancel(e)
 }
 
 // Step fires the single next event, advancing the clock to it. It
@@ -166,13 +180,18 @@ func (k *Kernel) Step() bool {
 	if len(k.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.events).(*Event)
+	e := k.events.popMin()
 	k.now = e.at
 	k.fired++
 	if k.trace != nil {
 		k.trace(k.now, e.label)
 	}
-	e.fn()
+	fn := e.fn
+	fn()
+	// Recycle only after the callback returns: the callback may hold
+	// this very handle (a timeout cancelling itself on the retry path)
+	// and must observe the fired no-op, not a reused live event.
+	k.recycle(e)
 	return true
 }
 

@@ -17,16 +17,24 @@ type Process struct {
 	yield  chan struct{} // process -> kernel
 	done   bool
 	dead   bool
+	// Scheduling labels are built once here so the Wait/Block hot path
+	// does not concatenate strings on every suspension.
+	wakeLabel    string
+	unblockLabel string
+	timeoutLabel string
 }
 
 // Spawn creates a process and schedules its first activation after
 // delay. The body runs to completion unless it calls Kill on itself.
 func (k *Kernel) Spawn(name string, delay Duration, body func(p *Process)) *Process {
 	p := &Process{
-		k:      k,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		k:            k,
+		name:         name,
+		resume:       make(chan struct{}),
+		yield:        make(chan struct{}),
+		wakeLabel:    "wake:" + name,
+		unblockLabel: "unblock:" + name,
+		timeoutLabel: "blocktimeout:" + name,
 	}
 	go func() {
 		<-p.resume
@@ -68,7 +76,7 @@ func (p *Process) Wait(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: process %s waits negative %v", p.name, d))
 	}
-	p.k.ScheduleName("wake:"+p.name, d, p.activate)
+	p.k.ScheduleName(p.wakeLabel, d, p.activate)
 	p.park()
 }
 
@@ -122,14 +130,14 @@ func (p *Process) Block(d Duration) (wake func(), wait func() bool) {
 		if timer != nil {
 			p.k.Cancel(timer)
 		}
-		p.k.ScheduleName("unblock:"+p.name, 0, p.activate)
+		p.k.ScheduleName(p.unblockLabel, 0, p.activate)
 	}
 	wait = func() bool {
 		if fired {
 			return true
 		}
 		if d != Forever {
-			timer = p.k.ScheduleName("blocktimeout:"+p.name, d, func() {
+			timer = p.k.ScheduleName(p.timeoutLabel, d, func() {
 				if fired {
 					return
 				}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCancelFreeListInterleavings drives arbitrary interleavings
+// of schedule, cancel and fire against the recycling calendar and
+// checks the kernel's core contracts: a cancelled scheduling never
+// fires, a scheduling fires at exactly its timestamp, and the global
+// fire order respects (time, priority, seq). Handles are deliberately
+// kept forever and cancelled through CancelSeq, so the test also
+// exercises stale handles whose Event storage the free list has
+// already reassigned.
+func TestQuickCancelFreeListInterleavings(t *testing.T) {
+	type record struct {
+		at        Time
+		priority  Priority
+		seq       uint64
+		cancelled bool
+		fired     bool
+		firedAt   Time
+	}
+	type handle struct {
+		e   *Event
+		seq uint64
+	}
+	prios := []Priority{PriorityWire, PriorityNormal, PriorityMonitor}
+
+	f := func(ops []uint16) bool {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		k := NewKernel(3)
+		recs := make(map[uint64]*record)
+		var handles []handle
+		var order []*record
+
+		for _, op := range ops {
+			arg := int(op >> 2)
+			switch op % 4 {
+			case 0, 1: // schedule
+				rec := &record{priority: prios[arg%3]}
+				d := Duration(arg) * Microsecond
+				rec.at = k.Now().Add(d)
+				e := k.SchedulePrio("quick", d, rec.priority, func() {
+					rec.fired = true
+					rec.firedAt = k.Now()
+					order = append(order, rec)
+				})
+				rec.seq = e.Seq()
+				recs[rec.seq] = rec
+				handles = append(handles, handle{e: e, seq: rec.seq})
+			case 2: // cancel an arbitrary handle, live or stale
+				if len(handles) > 0 {
+					h := handles[arg%len(handles)]
+					if k.CancelSeq(h.e, h.seq) {
+						recs[h.seq].cancelled = true
+					}
+				}
+			case 3: // fire the next event, if any
+				k.Step()
+			}
+		}
+		k.Run()
+
+		for _, rec := range recs {
+			if rec.cancelled && rec.fired {
+				t.Logf("seq %d both cancelled and fired", rec.seq)
+				return false
+			}
+			if !rec.cancelled && !rec.fired {
+				t.Logf("seq %d neither fired nor cancelled after drain", rec.seq)
+				return false
+			}
+			if rec.fired && rec.firedAt != rec.at {
+				t.Logf("seq %d fired at %v, scheduled for %v", rec.seq, rec.firedAt, rec.at)
+				return false
+			}
+		}
+		for i := 1; i < len(order); i++ {
+			a, b := order[i-1], order[i]
+			ok := a.at < b.at ||
+				(a.at == b.at && a.priority < b.priority) ||
+				(a.at == b.at && a.priority == b.priority && a.seq < b.seq)
+			if !ok {
+				t.Logf("fire order violated at %d: (%v,%d,%d) then (%v,%d,%d)",
+					i, a.at, a.priority, a.seq, b.at, b.priority, b.seq)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(17))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelSeqStaleHandle pins the exact hazard the free list
+// introduces: after an event fires, its storage is reused by the next
+// scheduling; a CancelSeq through the old handle must not cancel the
+// new occupant, while a live CancelSeq must work like Cancel.
+func TestCancelSeqStaleHandle(t *testing.T) {
+	k := NewKernel(1)
+	e1 := k.Schedule(Millisecond, func() {})
+	seq1 := e1.Seq()
+	k.Step() // e1 fires and is recycled
+
+	fired := false
+	e2 := k.Schedule(Millisecond, func() { fired = true })
+	if e2 != e1 {
+		t.Skip("free list did not reuse the event; layout changed")
+	}
+	if k.CancelSeq(e1, seq1) {
+		t.Fatal("stale CancelSeq cancelled the reused event")
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("reused event did not fire after stale CancelSeq")
+	}
+
+	e3 := k.Schedule(Millisecond, func() { t.Fatal("cancelled event fired") })
+	if !k.CancelSeq(e3, e3.Seq()) {
+		t.Fatal("live CancelSeq failed")
+	}
+	k.Run()
+}

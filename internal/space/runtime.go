@@ -38,8 +38,13 @@ func (r SimRuntime) Now() sim.Time { return r.K.Now() }
 
 // After implements Runtime.
 func (r SimRuntime) After(d sim.Duration, fn func()) func() {
+	// The cancel closure may be invoked long after the timer fired
+	// (the Runtime contract makes that a no-op), by which point the
+	// kernel may have recycled the event's storage for an unrelated
+	// scheduling — cancel through the seq-checked path.
 	ev := r.K.ScheduleName("space.timer", d, fn)
-	return func() { r.K.Cancel(ev) }
+	seq := ev.Seq()
+	return func() { r.K.CancelSeq(ev, seq) }
 }
 
 // RealRuntime drives a Space from the operating system clock; it is

@@ -114,7 +114,9 @@ func (c *Chain) AddSlaveAt(id uint8, meters float64) *Slave {
 	if meters > longSegmentThreshold {
 		extra += longDriverLatency
 	}
-	s := &Slave{chain: c, id: id, pos: len(c.slaves), dev: &RAMDevice{}, segment: extra}
+	s := &Slave{chain: c, id: id, pos: len(c.slaves), dev: &RAMDevice{}, segment: extra,
+		watchdogLabel: fmt.Sprintf("tpwire.watchdog[%d]", id),
+		execLabel:     fmt.Sprintf("tpwire.exec[%d]", id)}
 	c.slaves = append(c.slaves, s)
 	c.byID[id] = s
 	s.feedWatchdog()

@@ -2,7 +2,6 @@ package tpwire
 
 import (
 	"errors"
-	"fmt"
 
 	"tpspace/internal/frame"
 	"tpspace/internal/sim"
@@ -185,7 +184,7 @@ func (m *Master) arrive(t *txn, s *Slave) {
 	cfg := m.chain.cfg
 	// Execute after the slave's processing delay; reply after the
 	// turnaround, unless the selection is broadcast.
-	m.chain.kernel.ScheduleName(fmt.Sprintf("tpwire.exec[%d]", s.id),
+	m.chain.kernel.ScheduleName(s.execLabel,
 		cfg.Bits(cfg.ProcBits), func() {
 			rx := s.execute(t.f)
 			if m.chain.broadcastSelected() {

@@ -79,7 +79,12 @@ type Slave struct {
 	resetting bool
 
 	watchdog *sim.Event
-	stats    SlaveStats
+	// watchdogLabel and execLabel are built once at construction; the
+	// paths that schedule with them run for every valid TX frame and
+	// must not format strings.
+	watchdogLabel string
+	execLabel     string
+	stats         SlaveStats
 }
 
 // ID returns the slave's node ID.
@@ -120,7 +125,7 @@ func (s *Slave) feedWatchdog() {
 	if s.watchdog != nil {
 		k.Cancel(s.watchdog)
 	}
-	s.watchdog = k.ScheduleName(fmt.Sprintf("tpwire.watchdog[%d]", s.id),
+	s.watchdog = k.ScheduleName(s.watchdogLabel,
 		s.chain.cfg.Bits(ResetTimeoutBits), s.reset)
 }
 

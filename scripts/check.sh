@@ -1,0 +1,23 @@
+#!/bin/sh
+# check.sh — the repo's one-stop verification gate:
+#   vet, build, full tests under the race detector (which also covers
+#   the parallel experiment runner's guard tests), and the kernel
+#   micro-benches executed once each as a smoke test.
+# Usage: scripts/check.sh   (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> kernel bench smoke (-benchtime=1x)"
+go test -run '^$' -bench 'BenchmarkKernel' -benchtime=1x ./internal/sim/
+
+echo "OK"
