@@ -7,6 +7,7 @@
 //	tpbench -table frames    # Tables 1-2 (frame formats)
 //	tpbench -fig 6           # Figure 6 scenario summary
 //	tpbench -fig 7           # Figure 7 single case-study run
+//	tpbench -chaos           # Table 4 scenario under injected faults
 //
 // Independent co-simulations (Table 3 rows, Table 4 cells, sweep
 // samples, planner grid points) fan out across all CPUs by default;
@@ -36,6 +37,7 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep CBR load and print the completion-time curve (CSV)")
 	compare := flag.Bool("compare", false, "compare Ethernet/TCP and TpWIRE substrates (Section 4.3)")
 	plan := flag.Bool("plan", false, "search the design space for the cheapest bus meeting the Table 4 requirements")
+	chaos := flag.Bool("chaos", false, "replay the Table 4 scenario under injected faults and print the degradation table")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent simulations (0 = all CPUs, 1 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
@@ -57,6 +59,16 @@ func main() {
 
 	if *plan {
 		fmt.Print(core.PlanBusParallel(core.DefaultRequirements(), workers).Format())
+		return
+	}
+	if *chaos {
+		cfg := core.DefaultChaosGridConfig()
+		cfg.Workers = workers
+		grid := core.RunChaosGrid(cfg)
+		fmt.Print(grid.Format())
+		if len(grid.Violations()) > 0 {
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"tpspace/internal/fault"
+	"tpspace/internal/sim"
+)
+
+func quickChaos() ChaosConfig {
+	return ChaosConfig{Impact: quickImpact()}
+}
+
+func TestChaosFaultFreeCompletes(t *testing.T) {
+	res := RunChaos(quickChaos())
+	if !res.WriteOK || !res.TakeOK {
+		t.Fatalf("fault-free chaos run failed: %+v", res)
+	}
+	if res.Injected != 0 || res.Crashes != 0 {
+		t.Fatalf("fault-free run injected %d faults, %d crashes", res.Injected, res.Crashes)
+	}
+	if !res.OK() {
+		t.Fatalf("invariant violations on clean run: %v", res.Violations)
+	}
+	// Same shape as the impact baseline: write acked, take after the
+	// configured delay, completion inside the lease.
+	base := RunImpact(quickImpact())
+	if !base.TakeOK {
+		t.Fatal("baseline impact run failed")
+	}
+	if res.Total < base.Total {
+		t.Fatalf("chaos total %v under baseline %v", res.Total, base.Total)
+	}
+}
+
+func TestChaosCrashRecovery(t *testing.T) {
+	cfg := quickChaos()
+	// One crash scheduled between the write ack and the take: the
+	// journal replay at restart must hand the entry to the re-issued
+	// take.
+	cfg.Kinds = []fault.Kind{fault.ServerCrash}
+	cfg.FaultRate = 1.0 / 7 // first activation at t=7s, restart at 9s
+	cfg.FaultDur = 2 * sim.Second
+	cfg.Impact.Horizon = 40 * sim.Second
+	res := RunChaos(cfg)
+	if res.Crashes == 0 {
+		t.Fatalf("no crash was injected: %+v", res)
+	}
+	if res.Restored == 0 {
+		t.Fatal("restart never restored the journalled entry")
+	}
+	if !res.TakeOK {
+		t.Fatalf("take did not recover across the crash: %+v", res)
+	}
+	if !res.OK() {
+		t.Fatalf("invariant violations: %v", res.Violations)
+	}
+}
+
+func TestChaosInvariantsOnGrid(t *testing.T) {
+	grid := ChaosGridConfig{
+		Base:       quickChaos(),
+		FaultRates: []float64{0, 0.3},
+		Wires:      []int{1, 2},
+		Workers:    1,
+	}
+	g := RunChaosGrid(grid)
+	if v := g.Violations(); len(v) != 0 {
+		t.Fatalf("invariant violations on grid:\n%s\n%s", v, g.Format())
+	}
+	// The faulted row must actually have injected something.
+	for j := range grid.Wires {
+		if g.Cells[1][j].Injected == 0 {
+			t.Fatalf("fault rate %g wire %d injected nothing", grid.FaultRates[1], grid.Wires[j])
+		}
+	}
+	// The fault-free row matches a direct run, cell for cell.
+	for j, w := range grid.Wires {
+		c := grid.Base
+		c.Impact.Wires = w
+		direct := RunChaos(c)
+		if !reflect.DeepEqual(direct, g.Cells[0][j]) {
+			t.Fatalf("grid cell diverges from direct run:\n%+v\n%+v", g.Cells[0][j], direct)
+		}
+	}
+}
+
+// TestChaosParallelMatchesSequential is the determinism guard the
+// fault plane is designed around: the same seed and fault plan must
+// produce a byte-identical degradation table whether the grid runs
+// sequentially or on any worker-pool width, including under -race.
+func TestChaosParallelMatchesSequential(t *testing.T) {
+	cfg := ChaosGridConfig{
+		Base:       quickChaos(),
+		FaultRates: []float64{0, 0.3},
+		Wires:      []int{1, 2},
+	}
+	cfg.Base.FaultDur = 2 * sim.Second
+
+	cfg.Workers = 1
+	seq := RunChaosGrid(cfg)
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		par := RunChaosGrid(cfg)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("grid with %d workers diverges from sequential:\n%+v\n%+v", workers, seq, par)
+		}
+		if seq.Format() != par.Format() {
+			t.Fatalf("formatted table with %d workers diverges", workers)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package fault is the deterministic fault-injection plane: a Plan of
+// typed, scheduled fault events armed against the simulation's
+// injection points — frame corruption on the TpWIRE chain, slave
+// dropouts, packet loss / duplication / extra delay on netsim links,
+// transport disconnects, and space-server crashes.
+//
+// Every probabilistic draw comes from the kernel RNG and every
+// activation is a kernel event, so a chaos run is a pure function of
+// (seed, plan, scenario config): rerunning it — sequentially or under
+// any core.RunAll worker count — reproduces the same injections, the
+// same retries, and the same results, byte for byte. That is what
+// makes a chaos failure debuggable: the schedule IS the repro.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"tpspace/internal/netsim"
+	"tpspace/internal/sim"
+	"tpspace/internal/tpwire"
+	"tpspace/internal/transport"
+)
+
+// Kind enumerates the injectable fault types.
+type Kind int
+
+const (
+	// WireCorrupt corrupts TpWIRE frames (TX and RX) with probability
+	// Prob for Dur, exercising the master's CRC retry budget.
+	WireCorrupt Kind = iota
+	// SlaveDrop makes chain slave Node unresponsive for Dur; it rejoins
+	// through the standard reset machinery.
+	SlaveDrop
+	// LinkLoss drops packets on Links[Link] with probability Prob for Dur.
+	LinkLoss
+	// LinkDup duplicates packets on Links[Link] with probability Prob for Dur.
+	LinkDup
+	// LinkDelay adds Delay to every delivery on Links[Link] for Dur.
+	LinkDelay
+	// Disconnect cuts the FaultConn for Dur, then restores it.
+	Disconnect
+	// ServerCrash invokes Targets.Crash, then Targets.Restart after Dur.
+	ServerCrash
+)
+
+var kindNames = [...]string{
+	WireCorrupt: "wire-corrupt",
+	SlaveDrop:   "slave-drop",
+	LinkLoss:    "link-loss",
+	LinkDup:     "link-dup",
+	LinkDelay:   "link-delay",
+	Disconnect:  "disconnect",
+	ServerCrash: "server-crash",
+}
+
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("fault.Kind(%d)", int(k))
+}
+
+// Event is one scheduled fault: Kind decides which of the remaining
+// fields matter.
+type Event struct {
+	At    sim.Duration // activation time, relative to Arm
+	Dur   sim.Duration // how long the fault holds
+	Kind  Kind
+	Prob  float64      // corruption / loss / duplication probability
+	Node  uint8        // slave id (SlaveDrop)
+	Link  int          // index into Targets.Links (Link* kinds)
+	Delay sim.Duration // added latency (LinkDelay)
+}
+
+// Plan is a fault schedule. Events may overlap; within one injection
+// point the most recently activated event wins and its expiry restores
+// nominal behaviour (generation counters stop an earlier event's
+// expiry from cutting a later one short).
+type Plan []Event
+
+// Periodic expands tmpl into count copies activated at start,
+// start+period, ... — the deterministic "fault rate" knob the chaos
+// grid sweeps.
+func Periodic(tmpl Event, start, period sim.Duration, count int) Plan {
+	p := make(Plan, 0, count)
+	for i := 0; i < count; i++ {
+		ev := tmpl
+		ev.At = start + sim.Duration(i)*period
+		p = append(p, ev)
+	}
+	return p
+}
+
+// Targets are the injection points a plan is armed against. Only the
+// targets the plan's kinds touch need to be set.
+type Targets struct {
+	Chain   *tpwire.Chain
+	Links   []*netsim.Link
+	Conn    *transport.FaultConn
+	Crash   func() // ServerCrash activation
+	Restart func() // ServerCrash recovery, Dur after activation (optional)
+}
+
+// Validate checks every event against the targets it needs.
+func (p Plan) Validate(tg Targets) error {
+	for i, ev := range p {
+		switch ev.Kind {
+		case WireCorrupt:
+			if tg.Chain == nil {
+				return fmt.Errorf("fault: event %d: %s needs Targets.Chain", i, ev.Kind)
+			}
+		case SlaveDrop:
+			if tg.Chain == nil || tg.Chain.Slave(ev.Node) == nil {
+				return fmt.Errorf("fault: event %d: %s: no slave %d on chain", i, ev.Kind, ev.Node)
+			}
+		case LinkLoss, LinkDup, LinkDelay:
+			if ev.Link < 0 || ev.Link >= len(tg.Links) {
+				return fmt.Errorf("fault: event %d: %s: link %d out of range (%d links)", i, ev.Kind, ev.Link, len(tg.Links))
+			}
+		case Disconnect:
+			if tg.Conn == nil {
+				return fmt.Errorf("fault: event %d: %s needs Targets.Conn", i, ev.Kind)
+			}
+		case ServerCrash:
+			if tg.Crash == nil {
+				return fmt.Errorf("fault: event %d: %s needs Targets.Crash", i, ev.Kind)
+			}
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	return nil
+}
+
+// Injector is an armed plan. It records a trace of every activation
+// and expiry, in simulation-time order.
+type Injector struct {
+	k        *sim.Kernel
+	tg       Targets
+	wireProb float64
+	wireGen  uint64
+	linkGen  []uint64
+	connGen  uint64
+	trace    []string
+	injected int
+}
+
+// Arm validates the plan and schedules every event on the kernel.
+// Events sharing an activation time fire in plan order.
+func Arm(k *sim.Kernel, plan Plan, tg Targets) (*Injector, error) {
+	if err := plan.Validate(tg); err != nil {
+		return nil, err
+	}
+	inj := &Injector{k: k, tg: tg, linkGen: make([]uint64, len(tg.Links))}
+	if tg.Chain != nil {
+		for _, ev := range plan {
+			if ev.Kind == WireCorrupt {
+				tg.Chain.SetCorruptHook(func(bool) bool {
+					return inj.wireProb > 0 && k.Rand().Float64() < inj.wireProb
+				})
+				break
+			}
+		}
+	}
+	evs := append(Plan(nil), plan...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for _, ev := range evs {
+		ev := ev
+		k.ScheduleName("fault."+ev.Kind.String(), ev.At, func() { inj.start(ev) })
+	}
+	return inj, nil
+}
+
+// Trace returns the injection log so far.
+func (inj *Injector) Trace() []string { return append([]string(nil), inj.trace...) }
+
+// Injected counts activated events.
+func (inj *Injector) Injected() int { return inj.injected }
+
+func (inj *Injector) logf(format string, args ...any) {
+	at := int64(inj.k.Now()) / int64(sim.Microsecond)
+	inj.trace = append(inj.trace, fmt.Sprintf("t=%8dus %s", at, fmt.Sprintf(format, args...)))
+}
+
+func (inj *Injector) start(ev Event) {
+	inj.injected++
+	switch ev.Kind {
+	case WireCorrupt:
+		inj.logf("%s p=%.3f for %v", ev.Kind, ev.Prob, ev.Dur)
+		inj.wireProb = ev.Prob
+		inj.wireGen++
+		gen := inj.wireGen
+		inj.k.ScheduleName("fault.wire-corrupt.end", ev.Dur, func() {
+			if inj.wireGen == gen {
+				inj.wireProb = 0
+				inj.logf("%s cleared", ev.Kind)
+			}
+		})
+	case SlaveDrop:
+		inj.logf("%s node=%d for %v", ev.Kind, ev.Node, ev.Dur)
+		inj.tg.Chain.Slave(ev.Node).Drop(ev.Dur)
+	case LinkLoss, LinkDup, LinkDelay:
+		l := inj.tg.Links[ev.Link]
+		var f netsim.FaultProfile
+		switch ev.Kind {
+		case LinkLoss:
+			f.LossProb = ev.Prob
+			inj.logf("%s link=%d p=%.3f for %v", ev.Kind, ev.Link, ev.Prob, ev.Dur)
+		case LinkDup:
+			f.DupProb = ev.Prob
+			inj.logf("%s link=%d p=%.3f for %v", ev.Kind, ev.Link, ev.Prob, ev.Dur)
+		case LinkDelay:
+			f.ExtraDelay = ev.Delay
+			inj.logf("%s link=%d +%v for %v", ev.Kind, ev.Link, ev.Delay, ev.Dur)
+		}
+		l.SetFault(f)
+		inj.linkGen[ev.Link]++
+		gen := inj.linkGen[ev.Link]
+		link := ev.Link
+		inj.k.ScheduleName("fault.link.end", ev.Dur, func() {
+			if inj.linkGen[link] == gen {
+				l.SetFault(netsim.FaultProfile{})
+				inj.logf("link-fault link=%d cleared", link)
+			}
+		})
+	case Disconnect:
+		inj.logf("%s for %v", ev.Kind, ev.Dur)
+		inj.tg.Conn.Cut()
+		inj.connGen++
+		gen := inj.connGen
+		inj.k.ScheduleName("fault.disconnect.end", ev.Dur, func() {
+			if inj.connGen == gen {
+				inj.tg.Conn.Restore()
+				inj.logf("%s restored", Disconnect)
+			}
+		})
+	case ServerCrash:
+		inj.logf("%s restart after %v", ev.Kind, ev.Dur)
+		inj.tg.Crash()
+		if inj.tg.Restart != nil {
+			inj.k.ScheduleName("fault.server-crash.end", ev.Dur, func() {
+				inj.tg.Restart()
+				inj.logf("%s restarted", ServerCrash)
+			})
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+// faultPair builds a two-node network with one link and a counting
+// receiver agent.
+func faultPair(seed int64) (*sim.Kernel, *Network, *Node, *Node, *Link, *int) {
+	k := sim.NewKernel(seed)
+	net := New(k)
+	a := net.NewNode("a")
+	b := net.NewNode("b")
+	l := net.Connect(a, b, 1e6, sim.Millisecond, 0)
+	got := new(int)
+	b.Attach(AgentFunc(func(p *Packet) { *got++ }))
+	return k, net, a, b, l, got
+}
+
+func TestLinkLossDropsEverything(t *testing.T) {
+	k, net, a, b, l, got := faultPair(1)
+	l.SetFault(FaultProfile{LossProb: 1})
+	for i := 0; i < 10; i++ {
+		net.Send(&Packet{Src: a, Dst: b, Size: 100})
+	}
+	k.Run()
+	if *got != 0 {
+		t.Fatalf("delivered %d packets through a fully lossy link", *got)
+	}
+	st := l.Stats()
+	if st.Lost != 10 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v, want Lost=10 Delivered=0", st)
+	}
+	// The wire was still occupied: loss happens on the wire, not in
+	// the queue.
+	if st.Sent != 10 || st.BusyTime == 0 {
+		t.Fatalf("lossy link did not account transmissions: %+v", st)
+	}
+}
+
+func TestLinkDuplicationDeliversTwice(t *testing.T) {
+	k, net, a, b, l, got := faultPair(1)
+	l.SetFault(FaultProfile{DupProb: 1})
+	for i := 0; i < 5; i++ {
+		net.Send(&Packet{Src: a, Dst: b, Size: 100})
+	}
+	k.Run()
+	if *got != 10 {
+		t.Fatalf("delivered %d packets, want 10 (every packet duplicated)", *got)
+	}
+	st := l.Stats()
+	if st.Duplicated != 5 || st.Delivered != 10 {
+		t.Fatalf("stats = %+v, want Duplicated=5 Delivered=10", st)
+	}
+}
+
+func TestLinkExtraDelayShiftsDelivery(t *testing.T) {
+	k, net, a, b, l, _ := faultPair(1)
+	const extra = 7 * sim.Millisecond
+	l.SetFault(FaultProfile{ExtraDelay: extra})
+	var arrived sim.Time
+	b.Attach(AgentFunc(func(p *Packet) { arrived = k.Now() }))
+	net.Send(&Packet{Src: a, Dst: b, Size: 1000}) // 1 ms serialization at 1 MB/s
+	k.Run()
+	want := sim.Time(0).Add(sim.Millisecond + sim.Millisecond + extra)
+	if arrived != want {
+		t.Fatalf("arrival at %v, want %v", arrived, want)
+	}
+	// Clearing the profile restores the healthy latency.
+	l.SetFault(FaultProfile{})
+	net.Send(&Packet{Src: a, Dst: b, Size: 1000})
+	base := k.Now()
+	k.Run()
+	if got := arrived.Sub(base); got != 2*sim.Millisecond {
+		t.Fatalf("healthy latency after clearing fault = %v, want 2ms", got)
+	}
+}
+
+func TestLinkFaultsDeterministic(t *testing.T) {
+	run := func() LinkStats {
+		k, net, a, b, l, _ := faultPair(42)
+		l.SetFault(FaultProfile{LossProb: 0.3, DupProb: 0.3})
+		for i := 0; i < 200; i++ {
+			net.Send(&Packet{Src: a, Dst: b, Size: 64})
+		}
+		k.Run()
+		return l.Stats()
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Fatalf("same seed produced different fault stats:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Lost == 0 || s1.Duplicated == 0 {
+		t.Fatalf("probabilistic faults never fired: %+v", s1)
+	}
+}

@@ -66,11 +66,22 @@ func (n *Node) Attach(a Agent) { n.agent = a }
 
 // LinkStats counts link-level activity.
 type LinkStats struct {
-	Sent      uint64 // packets that entered the wire
-	Delivered uint64
-	Dropped   uint64 // queue overflow
-	Bytes     uint64
-	BusyTime  sim.Duration
+	Sent       uint64 // packets that entered the wire
+	Delivered  uint64
+	Dropped    uint64 // queue overflow
+	Lost       uint64 // injected link loss (fault plane)
+	Duplicated uint64 // injected duplication (fault plane)
+	Bytes      uint64
+	BusyTime   sim.Duration
+}
+
+// FaultProfile describes the injected impairments of a link. The zero
+// value is a healthy link. Probability draws come from the network's
+// kernel RNG, keeping runs deterministic.
+type FaultProfile struct {
+	LossProb   float64      // per-packet probability of loss on the wire
+	DupProb    float64      // per-packet probability of duplicate delivery
+	ExtraDelay sim.Duration // added propagation delay
 }
 
 // Link is a unidirectional point-to-point link with a finite
@@ -83,11 +94,19 @@ type Link struct {
 	queueCap  int
 	queue     []*Packet
 	busy      bool
+	fault     FaultProfile
 	stats     LinkStats
 }
 
 // Stats returns a snapshot of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
+
+// SetFault installs an impairment profile on the link; the zero
+// profile restores a healthy wire.
+func (l *Link) SetFault(f FaultProfile) { l.fault = f }
+
+// Fault returns the link's current impairment profile.
+func (l *Link) Fault() FaultProfile { return l.fault }
 
 // From returns the transmitting node.
 func (l *Link) From() *Node { return l.from }
@@ -214,12 +233,27 @@ func (l *Link) transmit() {
 	l.stats.BusyTime += txTime
 	l.net.trace(TraceDequeue, l, p)
 	k := l.net.kernel
-	// Delivery after serialization + propagation.
-	k.ScheduleName("netsim.deliver", txTime+l.delay, func() {
-		l.stats.Delivered++
-		l.net.trace(TraceReceive, l, p)
-		l.net.forward(l.to, p)
-	})
+	// Injected impairments: the packet still occupies the wire for its
+	// serialization time, but may be lost, duplicated or delayed.
+	copies := 1
+	if l.fault.LossProb > 0 && k.Rand().Float64() < l.fault.LossProb {
+		copies = 0
+		l.stats.Lost++
+		l.net.trace(TraceDrop, l, p)
+	} else if l.fault.DupProb > 0 && k.Rand().Float64() < l.fault.DupProb {
+		copies = 2
+		l.stats.Duplicated++
+	}
+	// Delivery after serialization + propagation (plus any injected
+	// extra delay); a duplicate arrives one serialization time later.
+	for i := 0; i < copies; i++ {
+		at := txTime + l.delay + l.fault.ExtraDelay + sim.Duration(i)*txTime
+		k.ScheduleName("netsim.deliver", at, func() {
+			l.stats.Delivered++
+			l.net.trace(TraceReceive, l, p)
+			l.net.forward(l.to, p)
+		})
+	}
 	// The wire frees up after serialization.
 	k.ScheduleName("netsim.txdone", txTime, l.transmit)
 }

@@ -1,0 +1,188 @@
+package rmi
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/transport"
+)
+
+// ErrDeadline reports an invocation whose per-call deadline expired
+// before a response arrived. The call is removed from the pending set;
+// a straggler response is dropped.
+var ErrDeadline = errors.New("rmi: deadline exceeded")
+
+// Timer schedules fn after d and returns a cancel function; cancel
+// after firing is a no-op. It abstracts simulated vs wall-clock time
+// for the client's deadline and backoff machinery.
+type Timer func(d sim.Duration, fn func()) (cancel func())
+
+// KernelTimer returns a Timer backed by kernel events. The cancel
+// closure may outlive the event's firing, by which point the kernel
+// may have recycled its storage — cancel through the seq-checked path.
+func KernelTimer(k *sim.Kernel) Timer {
+	return func(d sim.Duration, fn func()) func() {
+		ev := k.ScheduleName("rmi.timer", d, fn)
+		seq := ev.Seq()
+		return func() { k.CancelSeq(ev, seq) }
+	}
+}
+
+// RealTimer returns a Timer over the operating-system clock.
+func RealTimer() Timer {
+	return func(d sim.Duration, fn func()) func() {
+		t := time.AfterFunc(d.Std(), fn)
+		return func() { t.Stop() }
+	}
+}
+
+// SetTimer installs the timer used by CallDeadline and CallRetry.
+func (c *Client) SetTimer(t Timer) {
+	c.mu.Lock()
+	c.timer = t
+	c.mu.Unlock()
+}
+
+// CallDeadline is Call with a per-invocation deadline: if no response
+// arrives within deadline, cb receives ErrDeadline and a later
+// response is dropped. A non-positive deadline means no deadline.
+// Requires SetTimer when a deadline is given.
+func (c *Client) CallDeadline(object, method string, body []byte, deadline sim.Duration, cb func([]byte, error)) {
+	if deadline <= 0 {
+		c.Call(object, method, body, cb)
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cb(nil, ErrConnClosed)
+		return
+	}
+	if c.timer == nil {
+		c.mu.Unlock()
+		panic("rmi: CallDeadline requires SetTimer")
+	}
+	c.nextID++
+	id := c.nextID
+	pc := &pendingCall{cb: cb}
+	// Arm the deadline before sending so a synchronous failure path
+	// cannot race the timer state.
+	pc.cancel = c.timer(deadline, func() {
+		c.mu.Lock()
+		if c.pending[id] != pc {
+			c.mu.Unlock()
+			return // already completed
+		}
+		delete(c.pending, id)
+		c.mu.Unlock()
+		cb(nil, ErrDeadline)
+	})
+	c.pending[id] = pc
+	c.mu.Unlock()
+	if err := c.conn.Send(marshalRequest(id, kindRequest, object, method, body)); err != nil {
+		c.mu.Lock()
+		stillPending := c.pending[id] == pc
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if stillPending {
+			pc.cancel()
+			cb(nil, err)
+		}
+	}
+}
+
+// Backoff computes capped exponential retry delays. The zero value
+// backs off from 1 ms doubling without cap or jitter.
+type Backoff struct {
+	Base   sim.Duration // first retry delay (default 1 ms)
+	Cap    sim.Duration // maximum delay (0 = uncapped)
+	Factor float64      // growth per retry (default 2)
+	Jitter float64      // fraction of the delay randomized, 0..1
+}
+
+// Delay returns the delay before retry number attempt (1-based). The
+// jitter draw comes from rng; pass the kernel RNG in simulation so
+// runs stay deterministic, or nil to disable jitter.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) sim.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = sim.Millisecond
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 1; i < attempt; i++ {
+		d *= factor
+		if b.Cap > 0 && d >= float64(b.Cap) {
+			break
+		}
+	}
+	if b.Cap > 0 && d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	if b.Jitter > 0 && rng != nil {
+		j := b.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d *= 1 - j + j*rng.Float64()
+	}
+	if d < 1 {
+		d = 1
+	}
+	return sim.Duration(d)
+}
+
+// RetryPolicy drives CallRetry.
+type RetryPolicy struct {
+	Attempts int          // total attempts (default 1: no retry)
+	Deadline sim.Duration // per-attempt deadline (0 = none)
+	Backoff  Backoff
+	Rand     *rand.Rand // jitter source (nil = no jitter)
+	// Retriable reports whether an error is worth another attempt; nil
+	// retries deadline expiries and transient disconnects.
+	Retriable func(error) bool
+}
+
+func (p RetryPolicy) shouldRetry(err error) bool {
+	if p.Retriable != nil {
+		return p.Retriable(err)
+	}
+	return errors.Is(err, ErrDeadline) || errors.Is(err, transport.ErrDisconnected)
+}
+
+// CallRetry invokes object.method under the policy: each attempt runs
+// with the per-attempt deadline, retriable failures are retried after
+// a backoff delay, and cb receives the first success or the final
+// failure exactly once. Each attempt is a fresh request id, so the
+// server may execute the method more than once — idempotence is the
+// caller's concern (the wrapper layer deduplicates by request id).
+func (c *Client) CallRetry(object, method string, body []byte, pol RetryPolicy, cb func([]byte, error)) {
+	attempts := pol.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	attempt := 0
+	var try func()
+	try = func() {
+		attempt++
+		c.CallDeadline(object, method, body, pol.Deadline, func(b []byte, err error) {
+			if err == nil || attempt >= attempts || !pol.shouldRetry(err) {
+				cb(b, err)
+				return
+			}
+			c.mu.Lock()
+			timer := c.timer
+			c.mu.Unlock()
+			if timer == nil {
+				panic("rmi: CallRetry requires SetTimer")
+			}
+			timer(pol.Backoff.Delay(attempt, pol.Rand), try)
+		})
+	}
+	try()
+}

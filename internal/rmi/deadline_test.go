@@ -1,0 +1,177 @@
+package rmi
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/transport"
+)
+
+func TestCallDeadlineExpiresAndDropsStraggler(t *testing.T) {
+	k := sim.NewKernel(1)
+	srv, cli, _ := pair(k, sim.Millisecond)
+	cli.SetTimer(KernelTimer(k))
+	var park func([]byte, error)
+	srv.Register("o", func(_ string, _ []byte, respond func([]byte, error)) {
+		park = respond
+	})
+	calls := 0
+	var got error
+	var at sim.Time
+	cli.CallDeadline("o", "m", nil, 50*sim.Millisecond, func(_ []byte, err error) {
+		calls++
+		got = err
+		at = k.Now()
+	})
+	// The parked handler responds long after the deadline: a straggler
+	// that must be dropped, not double-complete the call.
+	k.Schedule(200*sim.Millisecond, func() { park([]byte("late"), nil) })
+	k.Run()
+	if calls != 1 {
+		t.Fatalf("callback ran %d times", calls)
+	}
+	if !errors.Is(got, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", got)
+	}
+	if at != sim.Time(50*sim.Millisecond) {
+		t.Fatalf("deadline fired at %v, want 50ms", at)
+	}
+}
+
+func TestCallDeadlineSuccessCancelsTimer(t *testing.T) {
+	k := sim.NewKernel(1)
+	srv, cli, _ := pair(k, sim.Millisecond)
+	cli.SetTimer(KernelTimer(k))
+	srv.Register("o", func(_ string, body []byte, respond func([]byte, error)) {
+		respond(body, nil)
+	})
+	calls := 0
+	var got []byte
+	cli.CallDeadline("o", "echo", []byte("hi"), sim.Second, func(b []byte, err error) {
+		calls++
+		if err != nil {
+			t.Errorf("unexpected error: %v", err)
+		}
+		got = b
+	})
+	k.Run()
+	if calls != 1 || string(got) != "hi" {
+		t.Fatalf("calls=%d got=%q", calls, got)
+	}
+}
+
+func TestCallDeadlineZeroMeansNoDeadline(t *testing.T) {
+	k := sim.NewKernel(1)
+	srv, cli, _ := pair(k, sim.Millisecond)
+	srv.Register("o", func(_ string, body []byte, respond func([]byte, error)) {
+		respond(body, nil)
+	})
+	ok := false
+	// No SetTimer: a zero deadline must not need one.
+	cli.CallDeadline("o", "m", nil, 0, func(_ []byte, err error) { ok = err == nil })
+	k.Run()
+	if !ok {
+		t.Fatal("zero-deadline call failed")
+	}
+}
+
+func TestCallRetryRecoversAfterReconnect(t *testing.T) {
+	k := sim.NewKernel(1)
+	a, b := transport.NewSimPipe(k, sim.Millisecond)
+	srv := NewServer(a)
+	served := 0
+	srv.Register("o", func(_ string, body []byte, respond func([]byte, error)) {
+		served++
+		respond(body, nil)
+	})
+	fc := transport.NewFaultConn(b)
+	cli := NewClient(fc)
+	cli.SetTimer(KernelTimer(k))
+
+	fc.Cut()
+	k.Schedule(5*sim.Millisecond, fc.Restore)
+
+	pol := RetryPolicy{
+		Attempts: 6,
+		Deadline: 20 * sim.Millisecond,
+		Backoff:  Backoff{Base: 2 * sim.Millisecond, Cap: 8 * sim.Millisecond},
+	}
+	var got []byte
+	var gotErr error
+	calls := 0
+	cli.CallRetry("o", "echo", []byte("x"), pol, func(b []byte, err error) {
+		calls++
+		got, gotErr = b, err
+	})
+	k.Run()
+	if calls != 1 {
+		t.Fatalf("callback ran %d times", calls)
+	}
+	if gotErr != nil || string(got) != "x" {
+		t.Fatalf("got %q, %v", got, gotErr)
+	}
+	if served != 1 {
+		t.Fatalf("server executed %d times, want 1", served)
+	}
+	if fc.FaultStats().DroppedSends == 0 {
+		t.Fatal("no attempt was actually rejected while cut")
+	}
+}
+
+func TestCallRetryExhaustsAttempts(t *testing.T) {
+	k := sim.NewKernel(1)
+	_, b := transport.NewSimPipe(k, sim.Millisecond)
+	fc := transport.NewFaultConn(b)
+	cli := NewClient(fc)
+	cli.SetTimer(KernelTimer(k))
+	fc.Cut() // never restored
+
+	var gotErr error
+	calls := 0
+	cli.CallRetry("o", "m", nil, RetryPolicy{Attempts: 3, Backoff: Backoff{Base: sim.Millisecond}},
+		func(_ []byte, err error) {
+			calls++
+			gotErr = err
+		})
+	k.Run()
+	if calls != 1 {
+		t.Fatalf("callback ran %d times", calls)
+	}
+	if !errors.Is(gotErr, transport.ErrDisconnected) {
+		t.Fatalf("err = %v, want ErrDisconnected", gotErr)
+	}
+	if got := fc.FaultStats().DroppedSends; got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+func TestBackoffCappedExponentialDeterministicJitter(t *testing.T) {
+	b := Backoff{Base: 2 * sim.Millisecond, Cap: 10 * sim.Millisecond}
+	wants := []sim.Duration{
+		2 * sim.Millisecond, 4 * sim.Millisecond, 8 * sim.Millisecond,
+		10 * sim.Millisecond, 10 * sim.Millisecond,
+	}
+	for i, want := range wants {
+		if got := b.Delay(i+1, nil); got != want {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, want)
+		}
+	}
+
+	// Jitter keeps the delay in [(1-j)d, d] and is deterministic for a
+	// given RNG sequence.
+	jb := Backoff{Base: 8 * sim.Millisecond, Jitter: 0.5}
+	r1 := rand.New(rand.NewSource(7))
+	r2 := rand.New(rand.NewSource(7))
+	for i := 1; i <= 20; i++ {
+		d1 := jb.Delay(1, r1)
+		d2 := jb.Delay(1, r2)
+		if d1 != d2 {
+			t.Fatalf("jitter not deterministic: %v vs %v", d1, d2)
+		}
+		if d1 < 4*sim.Millisecond || d1 > 8*sim.Millisecond {
+			t.Fatalf("jittered delay %v outside [4ms, 8ms]", d1)
+		}
+	}
+}

@@ -155,12 +155,20 @@ func (s *Server) fail(err error) {
 	}
 }
 
+// pendingCall tracks one outstanding invocation: its completion
+// callback and, when a deadline is armed, the timer cancel.
+type pendingCall struct {
+	cb     func([]byte, error)
+	cancel func()
+}
+
 // Client invokes remote objects over one transport connection.
 type Client struct {
 	mu      sync.Mutex
 	conn    transport.Conn
 	nextID  uint64
-	pending map[uint64]func([]byte, error)
+	pending map[uint64]*pendingCall
+	timer   Timer
 	closed  bool
 	// OnEvent receives unsolicited server pushes (oneway frames sent
 	// by the server towards the client), used for notify events.
@@ -169,7 +177,7 @@ type Client struct {
 
 // NewClient creates a client bound to conn.
 func NewClient(conn transport.Conn) *Client {
-	c := &Client{conn: conn, pending: make(map[uint64]func([]byte, error))}
+	c := &Client{conn: conn, pending: make(map[uint64]*pendingCall)}
 	conn.SetOnReceive(c.onMessage)
 	return c
 }
@@ -187,17 +195,20 @@ func (c *Client) onMessage(b []byte) {
 			return
 		}
 		c.mu.Lock()
-		cb := c.pending[id]
+		pc := c.pending[id]
 		delete(c.pending, id)
 		c.mu.Unlock()
-		if cb == nil {
-			return
+		if pc == nil {
+			return // straggler: the call already timed out or closed
+		}
+		if pc.cancel != nil {
+			pc.cancel()
 		}
 		if errMsg != "" {
-			cb(nil, errors.New(errMsg))
+			pc.cb(nil, errors.New(errMsg))
 			return
 		}
-		cb(body, nil)
+		pc.cb(body, nil)
 	case kindOneway:
 		object, rest, err := takeStr(b[9:])
 		if err != nil {
@@ -224,13 +235,17 @@ func (c *Client) Call(object, method string, body []byte, cb func([]byte, error)
 	}
 	c.nextID++
 	id := c.nextID
-	c.pending[id] = cb
+	pc := &pendingCall{cb: cb}
+	c.pending[id] = pc
 	c.mu.Unlock()
 	if err := c.conn.Send(marshalRequest(id, kindRequest, object, method, body)); err != nil {
 		c.mu.Lock()
+		stillPending := c.pending[id] == pc
 		delete(c.pending, id)
 		c.mu.Unlock()
-		cb(nil, err)
+		if stillPending {
+			cb(nil, err)
+		}
 	}
 }
 
@@ -276,10 +291,13 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
 	pend := c.pending
-	c.pending = make(map[uint64]func([]byte, error))
+	c.pending = make(map[uint64]*pendingCall)
 	c.mu.Unlock()
-	for _, cb := range pend {
-		cb(nil, ErrConnClosed)
+	for _, pc := range pend {
+		if pc.cancel != nil {
+			pc.cancel()
+		}
+		pc.cb(nil, ErrConnClosed)
 	}
 	return c.conn.Close()
 }

@@ -146,10 +146,17 @@ func (s *Space) SetJournal(j *Journal) {
 }
 
 // Replay rebuilds a space's store from a journal stream: surviving
-// writes are re-inserted in their original total order with their
-// original leases re-armed from now. It returns the number of live
-// entries restored. Replay must run before the space is otherwise
-// used.
+// writes are re-inserted in their original total order, under their
+// original entry ids, with their original leases re-armed from now.
+// It returns the number of live entries restored.
+//
+// Preserving ids makes replay idempotent across repeated crashes: a
+// take (or expiry) of a restored entry logs a removal under the id its
+// write record already carries, so a second replay of the same journal
+// does not resurrect it. Parked waiters are honoured — an operation
+// re-issued before the restart completes is satisfied by the restored
+// entry (and the consumption journalled); otherwise replay must run
+// before the space is used.
 func (s *Space) Replay(r io.Reader) (int, error) {
 	type pending struct {
 		t     tuple.Tuple
@@ -221,8 +228,15 @@ done:
 		if !ok {
 			continue // removed later in the journal
 		}
-		if _, err := s.Write(p.t, p.lease); err != nil {
-			return restored, err
+		s.mu.Lock()
+		if s.seq < id {
+			s.seq = id
+		}
+		s.stats.Restored++
+		_, fire := s.store(p.t, p.lease, id, false)
+		s.mu.Unlock()
+		for _, f := range fire {
+			f()
 		}
 		restored++
 	}

@@ -15,6 +15,15 @@ const NoLease sim.Duration = 0
 // written: only actual tuples may enter the space.
 var ErrTemplateWrite = errors.New("space: cannot write a template (wildcard fields)")
 
+// ErrTimeout reports a blocking operation that expired (or a
+// non-blocking one that found no match) before a tuple arrived.
+var ErrTimeout = errors.New("space: operation timed out")
+
+// ErrCrashed reports a parked operation failed by a server crash:
+// instead of hanging forever, waiters are woken with this typed error
+// so clients can re-issue after the restart.
+var ErrCrashed = errors.New("space: server crashed")
+
 // Stats counts space activity.
 type Stats struct {
 	Writes    uint64
@@ -25,6 +34,8 @@ type Stats struct {
 	Expired   uint64 // entries removed by lease expiry
 	Cancelled uint64 // entries removed by lease cancel
 	Notifies  uint64 // notify callbacks fired
+	Crashes   uint64 // injected crashes taken
+	Restored  uint64 // entries rebuilt by journal replay
 }
 
 // entry is a stored tuple with its bookkeeping. The sequence number
@@ -107,11 +118,13 @@ func (l *Lease) Renew(d sim.Duration) bool {
 	return true
 }
 
-// waiter is a parked blocking read or take.
+// waiter is a parked blocking read or take. cb receives the tuple and
+// a nil error on success, ErrTimeout on expiry, or ErrCrashed when the
+// space crashes under it.
 type waiter struct {
 	tmpl        tuple.Tuple
 	take        bool
-	cb          func(tuple.Tuple, bool)
+	cb          func(tuple.Tuple, error)
 	cancelTimer func()
 	done        bool
 }
@@ -360,8 +373,24 @@ func (s *Space) Write(t tuple.Tuple, lease sim.Duration) (*Lease, error) {
 
 	s.mu.Lock()
 	s.seq++
-	e := &entry{id: s.seq, t: stored, writtenAt: s.rt.Now()}
 	s.stats.Writes++
+	l, fire := s.store(stored, lease, s.seq, true)
+	s.mu.Unlock()
+
+	for _, f := range fire {
+		f()
+	}
+	return l, nil
+}
+
+// store runs the write machinery for an already-cloned tuple under the
+// lock: notify fan-out, waiter satisfaction, linking, journaling and
+// lease arming. journal=false is the replay path — the write already
+// sits in the journal under this id, so only a replay-time consumption
+// by a parked waiter is logged. The returned callbacks must run after
+// the lock is released.
+func (s *Space) store(stored tuple.Tuple, lease sim.Duration, id uint64, journal bool) (*Lease, []func()) {
+	e := &entry{id: id, t: stored, writtenAt: s.rt.Now()}
 
 	// Collect callbacks to run after unlocking.
 	var fire []func()
@@ -403,16 +432,23 @@ func (s *Space) Write(t tuple.Tuple, lease sim.Duration) (*Lease, error) {
 		}
 		w := w
 		cp := stored.Clone()
-		fire = append(fire, func() { w.cb(cp, true) })
+		fire = append(fire, func() { w.cb(cp, nil) })
 	}
 	s.waiters = kept
 
 	var l *Lease
 	if consumed {
+		if !journal {
+			// A restored entry went straight to a parked taker: persist
+			// the consumption so a later replay does not resurrect it.
+			s.logR(id)
+		}
 		l = &Lease{} // detached: entry is already gone
 	} else {
 		s.link(e)
-		s.logW(e.id, stored, lease)
+		if journal {
+			s.logW(e.id, stored, lease)
+		}
 		l = &Lease{sp: s, id: e.id}
 		if lease > 0 {
 			l.Expiry = s.rt.Now().Add(lease)
@@ -426,12 +462,55 @@ func (s *Space) Write(t tuple.Tuple, lease sim.Duration) (*Lease, error) {
 			})
 		}
 	}
+	return l, fire
+}
+
+// Crash simulates a server crash: the in-memory store, subscriptions
+// and parked operations vanish, with every waiter woken under
+// ErrCrashed so no client hangs. The attached journal is NOT touched —
+// it is the durable state a restart replays — and no removals are
+// logged for the wiped entries. The entry id sequence keeps counting
+// so ids stay unique across the crash.
+func (s *Space) Crash() {
+	s.mu.Lock()
+	s.stats.Crashes++
+	ws := s.waiters
+	s.waiters = nil
+	var fire []func()
+	for _, w := range ws {
+		if w.done {
+			continue
+		}
+		w.done = true
+		if w.cancelTimer != nil {
+			w.cancelTimer()
+		}
+		w := w
+		fire = append(fire, func() { w.cb(tuple.Tuple{}, ErrCrashed) })
+	}
+	for _, n := range s.notifies {
+		n.dead = true
+	}
+	s.notifies = nil
+	for e := s.head; e != nil; {
+		next := e.next
+		if e.cancelExp != nil {
+			e.cancelExp()
+			e.cancelExp = nil
+		}
+		e.prev, e.next, e.tPrev, e.tNext = nil, nil, nil, nil
+		e.linked = false
+		e = next
+	}
+	s.head, s.tail = nil, nil
+	s.byType = make(map[string]*bucket)
+	s.byID = make(map[uint64]*entry)
+	s.size = 0
 	s.mu.Unlock()
 
 	for _, f := range fire {
 		f()
 	}
-	return l, nil
 }
 
 // removeByID unlinks an entry; the caller holds the lock.
@@ -515,15 +594,32 @@ func (s *Space) TakeIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool) {
 // blocks indefinitely); on timeout cb receives ok=false. cb runs
 // without space locks held.
 func (s *Space) Read(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
-	s.blockingOp(tmpl, timeout, false, cb)
+	s.blockingOp(tmpl, timeout, false, adaptBoolCB(cb))
 }
 
 // Take is Read with removal semantics: the matched entry is consumed.
 func (s *Space) Take(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
+	s.blockingOp(tmpl, timeout, true, adaptBoolCB(cb))
+}
+
+// ReadErr is Read with a typed failure: cb receives nil on success,
+// ErrTimeout on expiry or immediate miss, or ErrCrashed if the space
+// crashes while the operation is parked.
+func (s *Space) ReadErr(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, error)) {
+	s.blockingOp(tmpl, timeout, false, cb)
+}
+
+// TakeErr is Take with a typed failure (see ReadErr).
+func (s *Space) TakeErr(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, error)) {
 	s.blockingOp(tmpl, timeout, true, cb)
 }
 
-func (s *Space) blockingOp(tmpl tuple.Tuple, timeout sim.Duration, take bool, cb func(tuple.Tuple, bool)) {
+// adaptBoolCB collapses the typed error to the legacy ok flag.
+func adaptBoolCB(cb func(tuple.Tuple, bool)) func(tuple.Tuple, error) {
+	return func(t tuple.Tuple, err error) { cb(t, err == nil) }
+}
+
+func (s *Space) blockingOp(tmpl tuple.Tuple, timeout sim.Duration, take bool, cb func(tuple.Tuple, error)) {
 	s.mu.Lock()
 	if e := s.findOldest(tmpl); e != nil {
 		var out tuple.Tuple
@@ -536,13 +632,13 @@ func (s *Space) blockingOp(tmpl tuple.Tuple, timeout sim.Duration, take bool, cb
 			out = e.t.Clone()
 		}
 		s.mu.Unlock()
-		cb(out, true)
+		cb(out, nil)
 		return
 	}
 	if timeout == 0 {
 		s.stats.Misses++
 		s.mu.Unlock()
-		cb(tuple.Tuple{}, false)
+		cb(tuple.Tuple{}, ErrTimeout)
 		return
 	}
 	w := &waiter{tmpl: tmpl, take: take, cb: cb}
@@ -564,7 +660,7 @@ func (s *Space) blockingOp(tmpl tuple.Tuple, timeout sim.Duration, take bool, cb
 				}
 			}
 			s.mu.Unlock()
-			cb(tuple.Tuple{}, false)
+			cb(tuple.Tuple{}, ErrTimeout)
 		})
 	}
 	s.mu.Unlock()

@@ -20,6 +20,10 @@ type Chain struct {
 	master *Master          //
 	stats  ChainStats       //
 	tracer func(ev TraceEvent)
+
+	// corruptHook, when set, decides frame corruption instead of the
+	// configured FrameErrorRate (fault injection plane).
+	corruptHook func(rx bool) bool
 }
 
 // ChainStats aggregates wire-level counters.
@@ -196,9 +200,20 @@ func (c *Chain) broadcastSelected() bool {
 	return n > 1
 }
 
-// corrupt draws from the kernel RNG to decide whether a frame is lost
-// to a CRC error under the configured error rate.
-func (c *Chain) corrupt() bool {
+// SetCorruptHook installs (or, with nil, removes) a fault-injection
+// hook consulted for every frame instead of the configured
+// FrameErrorRate. rx distinguishes RX replies from TX frames. Any
+// randomness inside the hook must come from the chain's kernel RNG so
+// chaos runs stay deterministic.
+func (c *Chain) SetCorruptHook(fn func(rx bool) bool) { c.corruptHook = fn }
+
+// corrupt decides whether a frame is lost to a CRC error: the
+// fault-injection hook if one is armed, otherwise a kernel-RNG draw
+// under the configured error rate.
+func (c *Chain) corrupt(rx bool) bool {
+	if c.corruptHook != nil {
+		return c.corruptHook(rx)
+	}
 	return c.cfg.FrameErrorRate > 0 && c.kernel.Rand().Float64() < c.cfg.FrameErrorRate
 }
 
@@ -219,7 +234,7 @@ func (c *Chain) sendRX(s *Slave, rx frame.RX, after sim.Duration, deliver func(f
 				break
 			}
 		}
-		if c.corrupt() {
+		if c.corrupt(true) {
 			c.stats.CorruptedRX++
 			c.trace("drop-rx", s.id, rx.String())
 			deliver(frame.RX{}, false)

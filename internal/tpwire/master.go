@@ -66,6 +66,13 @@ func newMaster(c *Chain) *Master {
 // Stats returns a snapshot of the master's counters.
 func (m *Master) Stats() MasterStats { return m.stats }
 
+// Idle reports whether the master has fully drained: no transaction in
+// flight, no frames queued, and no driver operation active. The chaos
+// harness uses it as the "bus returns to idle" invariant.
+func (m *Master) Idle() bool {
+	return m.cur == nil && len(m.queue) == 0 && !m.opActive && len(m.ops) == 0
+}
+
 // Chain returns the chain this master drives.
 func (m *Master) Chain() *Chain { return m.chain }
 
@@ -136,7 +143,7 @@ func (m *Master) launch(t *txn) {
 	c.stats.TXFrames++
 	c.stats.BusyTime += frameT + lead
 
-	txOK := !c.corrupt()
+	txOK := !c.corrupt(false)
 	if txOK {
 		c.trace("tx", BroadcastID, t.f.String())
 		for _, s := range c.slaves {

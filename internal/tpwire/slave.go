@@ -57,6 +57,7 @@ type SlaveStats struct {
 	Replies      uint64 // RX frames generated
 	Resets       uint64 // watchdog resets taken
 	CRCDiscarded uint64 // frames discarded due to CRC error
+	Drops        uint64 // forced dropouts (fault injection)
 }
 
 // Slave is one node of the daisy chain. Create slaves through
@@ -79,6 +80,10 @@ type Slave struct {
 	resetting bool
 
 	watchdog *sim.Event
+	// releaseGen guards reset-release events: entering a new reset (or
+	// forced drop) bumps the generation so a release scheduled by an
+	// earlier, overlapping reset cannot end the new one prematurely.
+	releaseGen uint64
 	// watchdogLabel and execLabel are built once at construction; the
 	// paths that schedule with them run for every valid TX frame and
 	// must not format strings.
@@ -136,16 +141,39 @@ func (s *Slave) feedWatchdog() {
 // resetting forever.
 func (s *Slave) reset() {
 	s.stats.Resets++
+	s.watchdog = nil
+	s.holdReset(fmt.Sprintf("tpwire.resetdone[%d]", s.id),
+		s.chain.cfg.Bits(ResetActiveBits))
+}
+
+// Drop forces the slave into its reset state for d, modelling a node
+// dropout (fault injection). The slave ignores all traffic while down
+// and rejoins through the normal reset-release path: deselected, with
+// its watchdog disarmed until the next valid TX frame re-feeds it.
+func (s *Slave) Drop(d sim.Duration) {
+	s.stats.Drops++
+	if s.watchdog != nil {
+		s.chain.kernel.Cancel(s.watchdog)
+		s.watchdog = nil
+	}
+	s.holdReset(fmt.Sprintf("tpwire.dropdone[%d]", s.id), d)
+}
+
+// holdReset enters the reset state and schedules its release after d.
+// The release is generation-guarded: a newer overlapping reset or drop
+// invalidates releases scheduled before it.
+func (s *Slave) holdReset(label string, d sim.Duration) {
 	s.resetting = true
 	s.selected = false
 	s.system = false
 	s.regPtr = 0
-	s.watchdog = nil
-	k := s.chain.kernel
-	k.ScheduleName(fmt.Sprintf("tpwire.resetdone[%d]", s.id),
-		s.chain.cfg.Bits(ResetActiveBits), func() {
+	s.releaseGen++
+	gen := s.releaseGen
+	s.chain.kernel.ScheduleName(label, d, func() {
+		if s.releaseGen == gen {
 			s.resetting = false
-		})
+		}
+	})
 }
 
 // observe is called for every valid TX frame travelling down the

@@ -1,0 +1,86 @@
+package transport
+
+import "errors"
+
+// ErrDisconnected is returned by Send while a FaultConn's link is cut.
+// Unlike ErrClosed it is transient: the connection may be restored.
+var ErrDisconnected = errors.New("transport: connection cut (fault injection)")
+
+// FaultStats counts fault-plane activity on a FaultConn.
+type FaultStats struct {
+	Cuts         uint64 // Cut transitions
+	DroppedSends uint64 // Sends rejected while down
+	DroppedRecvs uint64 // inbound messages discarded while down
+}
+
+// FaultConn wraps a Conn with a controllable disconnect: while cut,
+// Sends fail with ErrDisconnected and inbound traffic is discarded, as
+// if the cable were pulled. Restore re-attaches both directions and
+// invokes OnRestore, giving higher layers (the wrapper's
+// reconnect-and-resume) a hook to replay pending operations.
+type FaultConn struct {
+	inner  Conn
+	down   bool
+	onRecv func([]byte)
+	// OnRestore, if set, runs after each Restore.
+	OnRestore func()
+	stats     FaultStats
+}
+
+// NewFaultConn wraps inner. The wrapper must be used in place of inner
+// everywhere: it takes over inner's receive callback.
+func NewFaultConn(inner Conn) *FaultConn {
+	f := &FaultConn{inner: inner}
+	inner.SetOnReceive(func(p []byte) {
+		if f.down {
+			f.stats.DroppedRecvs++
+			return
+		}
+		if f.onRecv != nil {
+			f.onRecv(p)
+		}
+	})
+	return f
+}
+
+// Cut severs the link until Restore. Cutting an already-cut link is a
+// no-op.
+func (f *FaultConn) Cut() {
+	if f.down {
+		return
+	}
+	f.down = true
+	f.stats.Cuts++
+}
+
+// Restore re-attaches the link and fires OnRestore.
+func (f *FaultConn) Restore() {
+	if !f.down {
+		return
+	}
+	f.down = false
+	if f.OnRestore != nil {
+		f.OnRestore()
+	}
+}
+
+// Down reports whether the link is currently cut.
+func (f *FaultConn) Down() bool { return f.down }
+
+// FaultStats returns a snapshot of the fault counters.
+func (f *FaultConn) FaultStats() FaultStats { return f.stats }
+
+// Send implements Conn.
+func (f *FaultConn) Send(payload []byte) error {
+	if f.down {
+		f.stats.DroppedSends++
+		return ErrDisconnected
+	}
+	return f.inner.Send(payload)
+}
+
+// SetOnReceive implements Conn.
+func (f *FaultConn) SetOnReceive(fn func([]byte)) { f.onRecv = fn }
+
+// Close implements Conn.
+func (f *FaultConn) Close() error { return f.inner.Close() }

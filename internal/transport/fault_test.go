@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+func TestFaultConnCutAndRestore(t *testing.T) {
+	k := sim.NewKernel(1)
+	a, b := NewSimPipe(k, sim.Millisecond)
+	fa := NewFaultConn(a)
+
+	var got [][]byte
+	fa.SetOnReceive(func(p []byte) { got = append(got, p) })
+	var peerGot int
+	b.SetOnReceive(func(p []byte) { peerGot++ })
+
+	// Healthy: traffic flows both ways through the wrapper.
+	if err := fa.Send([]byte("out")); err != nil {
+		t.Fatalf("healthy send: %v", err)
+	}
+	if err := b.Send([]byte("in")); err != nil {
+		t.Fatalf("peer send: %v", err)
+	}
+	k.Run()
+	if peerGot != 1 || len(got) != 1 || string(got[0]) != "in" {
+		t.Fatalf("healthy traffic lost: peerGot=%d got=%q", peerGot, got)
+	}
+
+	// Cut: outbound fails with ErrDisconnected, inbound is discarded.
+	fa.Cut()
+	fa.Cut() // idempotent
+	if !fa.Down() {
+		t.Fatal("Down() false after Cut")
+	}
+	if err := fa.Send([]byte("x")); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("send while cut: err = %v, want ErrDisconnected", err)
+	}
+	b.Send([]byte("dropped"))
+	k.Run()
+	if len(got) != 1 {
+		t.Fatalf("inbound delivered while cut: %q", got)
+	}
+
+	// Restore fires the resume hook and traffic flows again.
+	restored := 0
+	fa.OnRestore = func() { restored++ }
+	fa.Restore()
+	fa.Restore() // idempotent
+	if restored != 1 {
+		t.Fatalf("OnRestore fired %d times, want 1", restored)
+	}
+	if err := fa.Send([]byte("back")); err != nil {
+		t.Fatalf("send after restore: %v", err)
+	}
+	b.Send([]byte("resumed"))
+	k.Run()
+	if peerGot != 2 || len(got) != 2 || string(got[1]) != "resumed" {
+		t.Fatalf("post-restore traffic lost: peerGot=%d got=%q", peerGot, got)
+	}
+
+	st := fa.FaultStats()
+	if st.Cuts != 1 || st.DroppedSends != 1 || st.DroppedRecvs != 1 {
+		t.Fatalf("fault stats = %+v", st)
+	}
+}
+
+func TestFaultConnCloseForwards(t *testing.T) {
+	k := sim.NewKernel(1)
+	a, _ := NewSimPipe(k, 0)
+	fa := NewFaultConn(a)
+	if err := fa.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: err = %v, want ErrClosed", err)
+	}
+}

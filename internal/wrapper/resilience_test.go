@@ -1,0 +1,281 @@
+package wrapper
+
+import (
+	"strings"
+	"testing"
+
+	"tpspace/internal/rmi"
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/transport"
+	"tpspace/internal/tuple"
+	"tpspace/internal/xmlcodec"
+)
+
+// faultStack is simStack with a FaultConn spliced into the client's
+// end of the link, so tests can cut and restore the wire.
+func faultStack(k *sim.Kernel) (*Client, *transport.FaultConn, *space.Space) {
+	sp := space.New(space.SimRuntime{K: k})
+	cliEnd, gwEnd := transport.NewSimPipe(k, sim.Millisecond)
+	NewSimServerStack(k, gwEnd, sp, 100*sim.Microsecond)
+	fc := transport.NewFaultConn(cliEnd)
+	return NewClient(fc), fc, sp
+}
+
+func resilience(k *sim.Kernel, attempts int, deadline sim.Duration) *Resilience {
+	return &Resilience{
+		Timer:    rmi.KernelTimer(k),
+		Attempts: attempts,
+		Deadline: deadline,
+		Backoff:  rmi.Backoff{Base: 2 * sim.Millisecond, Cap: 16 * sim.Millisecond},
+	}
+}
+
+func TestGatewayMalformedRequestKeepsSessionAlive(t *testing.T) {
+	// The satellite regression: truncated and garbage payloads must
+	// each produce an error response, and the session must keep
+	// serving well-formed requests afterwards.
+	k := sim.NewKernel(1)
+	sp := space.New(space.SimRuntime{K: k})
+	cliEnd, gwEnd := transport.NewSimPipe(k, sim.Millisecond)
+	NewSimServerStack(k, gwEnd, sp, 100*sim.Microsecond)
+
+	var errResponses []xmlcodec.Response
+	cliEnd.SetOnReceive(func(b []byte) {
+		if r, err := xmlcodec.UnmarshalResponse(b); err == nil {
+			errResponses = append(errResponses, r)
+		}
+	})
+
+	good, err := xmlcodec.MarshalRequest(xmlcodec.NewRequest(9, xmlcodec.OpPing, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{
+		[]byte("not xml at all"),
+		good[:len(good)/2], // truncated mid-element
+		[]byte("<entry><unclosed></entry>"),
+		{},
+		{0xff, 0x00, 0x12},
+	}
+	for _, p := range payloads {
+		if err := cliEnd.Send(append([]byte(nil), p...)); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+	}
+	if len(errResponses) != len(payloads) {
+		t.Fatalf("got %d responses for %d malformed payloads", len(errResponses), len(payloads))
+	}
+	for i, r := range errResponses {
+		if r.OK || r.ID != 0 || !strings.Contains(r.Err, "malformed") {
+			t.Fatalf("payload %d: response %+v, want ID 0 malformed error", i, r)
+		}
+	}
+
+	// The connection survived: a well-formed request still round-trips.
+	if err := cliEnd.Send(good); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	last := errResponses[len(errResponses)-1]
+	if !last.OK || last.ID != 9 {
+		t.Fatalf("ping after garbage: %+v", last)
+	}
+}
+
+func TestServerDedupCachesCompletedResponse(t *testing.T) {
+	k := sim.NewKernel(1)
+	sp := space.New(space.SimRuntime{K: k})
+	a, b := transport.NewSimPipe(k, sim.Millisecond)
+	srv := rmi.NewServer(a)
+	RegisterSpace(srv, a, sp)
+	rc := rmi.NewClient(b)
+
+	req := xmlcodec.NewRequest(7, xmlcodec.OpWrite, &tuple.Tuple{Type: "job"})
+	body, err := xmlcodec.MarshalRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oks := 0
+	call := func() {
+		rc.Call(SpaceObject, xmlcodec.OpWrite, body, func(rb []byte, err error) {
+			if err != nil {
+				t.Errorf("call error: %v", err)
+				return
+			}
+			if r, err := xmlcodec.UnmarshalResponse(rb); err == nil && r.OK && r.ID == 7 {
+				oks++
+			}
+		})
+	}
+	call()
+	k.Run()
+	call() // duplicate of a completed request
+	call()
+	k.Run()
+	if oks != 3 {
+		t.Fatalf("acks = %d, want 3", oks)
+	}
+	if got := sp.Stats().Writes; got != 1 {
+		t.Fatalf("write executed %d times, want 1 (dedup failed)", got)
+	}
+}
+
+func TestServerDedupParksDuplicateOnInflight(t *testing.T) {
+	// A duplicate of a still-blocked take must not start a second
+	// take; it shares the original's response when it completes.
+	k := sim.NewKernel(1)
+	sp := space.New(space.SimRuntime{K: k})
+	a, b := transport.NewSimPipe(k, sim.Millisecond)
+	srv := rmi.NewServer(a)
+	RegisterSpace(srv, a, sp)
+	rc := rmi.NewClient(b)
+
+	tmpl := anyJob()
+	req := xmlcodec.NewRequest(3, xmlcodec.OpTake, &tmpl)
+	req.TimeoutMs = xmlcodec.TimeoutMsOf(sim.Forever)
+	body, err := xmlcodec.MarshalRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	call := func() {
+		rc.Call(SpaceObject, xmlcodec.OpTake, body, func(rb []byte, err error) {
+			if err != nil {
+				t.Errorf("call error: %v", err)
+				return
+			}
+			if r, err := xmlcodec.UnmarshalResponse(rb); err == nil && r.OK {
+				got++
+			}
+		})
+	}
+	call()
+	k.Run() // original parks on the empty space
+	call()
+	k.Run() // duplicate parks on the original
+	sp.Write(job("x", 1), space.NoLease)
+	k.Run()
+	if got != 2 {
+		t.Fatalf("responses = %d, want original + parked duplicate", got)
+	}
+	if sp.Size() != 0 || sp.Stats().Takes != 1 {
+		t.Fatalf("take ran %d times, size %d", sp.Stats().Takes, sp.Size())
+	}
+}
+
+func TestClientRetriesThroughDisconnect(t *testing.T) {
+	// Cut the wire, issue a write and a take, restore mid-retry: both
+	// must complete, the write must execute exactly once.
+	k := sim.NewKernel(1)
+	cli, fc, sp := faultStack(k)
+	cli.SetResilience(resilience(k, 8, 10*sim.Millisecond))
+
+	fc.Cut()
+	k.Schedule(30*sim.Millisecond, fc.Restore)
+
+	var wroteOK bool
+	var wroteMsg string
+	cli.Write(job("fft", 1), space.NoLease, func(ok bool, msg string) { wroteOK, wroteMsg = ok, msg })
+	var took bool
+	cli.Take(anyJob(), sim.Forever, func(_ tuple.Tuple, ok bool) { took = ok })
+	k.Run()
+
+	if !wroteOK {
+		t.Fatalf("write failed across disconnect: %q", wroteMsg)
+	}
+	if !took {
+		t.Fatal("take failed across disconnect")
+	}
+	if got := sp.Stats().Writes; got != 1 {
+		t.Fatalf("write executed %d times, want 1", got)
+	}
+	if fc.FaultStats().DroppedSends == 0 {
+		t.Fatal("no send was actually dropped while cut")
+	}
+}
+
+func TestClientResendOnRestore(t *testing.T) {
+	// With no per-attempt deadline, a stranded request is replayed by
+	// the OnRestore hook rather than a timer.
+	k := sim.NewKernel(1)
+	cli, fc, sp := faultStack(k)
+	cli.SetResilience(&Resilience{Timer: rmi.KernelTimer(k), Attempts: 2})
+	fc.OnRestore = cli.Resend
+
+	var wroteOK bool
+	cli.Write(job("fft", 2), space.NoLease, func(ok bool, _ string) { wroteOK = ok })
+	k.Run()
+	if !wroteOK || sp.Stats().Writes != 1 {
+		t.Fatal("baseline write failed")
+	}
+
+	// While cut, the request is dropped at the transport; the client
+	// holds it pending until Restore replays it.
+	fc.Cut()
+	wroteOK = false
+	cli.Write(job("fft", 3), space.NoLease, func(ok bool, _ string) { wroteOK = ok })
+	k.Run()
+	if wroteOK {
+		t.Fatal("write completed while disconnected")
+	}
+	fc.Restore()
+	k.Run()
+	if !wroteOK {
+		t.Fatal("write not replayed on restore")
+	}
+	if got := sp.Stats().Writes; got != 2 {
+		t.Fatalf("writes = %d, want 2", got)
+	}
+}
+
+func TestClientRetryExhaustionSurfacesCause(t *testing.T) {
+	k := sim.NewKernel(1)
+	cli, fc, _ := faultStack(k)
+	cli.SetResilience(resilience(k, 3, 5*sim.Millisecond))
+	fc.Cut() // never restored
+
+	var msg string
+	done := false
+	cli.Write(job("x", 1), space.NoLease, func(ok bool, m string) { done, msg = true, m })
+	k.Run()
+	if !done {
+		t.Fatal("callback never fired")
+	}
+	if !strings.Contains(msg, "3 attempts") {
+		t.Fatalf("failure message %q does not carry the attempt count", msg)
+	}
+}
+
+func TestCrashErrorSurfacesThroughTakeStatus(t *testing.T) {
+	k := sim.NewKernel(1)
+	cli, _, sp := faultStack(k)
+
+	var gotMsg string
+	var gotOK bool
+	done := false
+	cli.TakeStatus(anyJob(), sim.Forever, func(_ tuple.Tuple, ok bool, msg string) {
+		done, gotOK, gotMsg = true, ok, msg
+	})
+	k.Run() // take parks server-side
+	sp.Crash()
+	k.Run()
+	if !done {
+		t.Fatal("take never completed after crash")
+	}
+	if gotOK || !strings.Contains(gotMsg, "crashed") {
+		t.Fatalf("take after crash: ok=%v msg=%q, want crash error", gotOK, gotMsg)
+	}
+
+	// A plain timeout miss keeps an empty message, so callers can tell
+	// the cases apart.
+	done = false
+	cli.TakeStatus(anyJob(), 5*sim.Millisecond, func(_ tuple.Tuple, ok bool, msg string) {
+		done, gotOK, gotMsg = true, ok, msg
+	})
+	k.Run()
+	if !done || gotOK || gotMsg != "" {
+		t.Fatalf("timed-out take: done=%v ok=%v msg=%q, want quiet miss", done, gotOK, gotMsg)
+	}
+}

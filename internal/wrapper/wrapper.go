@@ -29,12 +29,26 @@ const SpaceObject = "SpaceServer"
 // RegisterSpace exports a tuplespace on an RMI server, implementing
 // every operation of the XML protocol. The server's connection is
 // used to push notify events.
+//
+// Operations are executed at most once per request id: a client that
+// resends a request after a timeout or reconnect gets the original
+// outcome back (from a bounded cache of completed responses) rather
+// than a second execution, and a resend racing the in-flight original
+// is answered when the original completes. Ids are unique per client
+// connection, which is the granularity RegisterSpace is called at.
 func RegisterSpace(srv *rmi.Server, conn transport.Conn, sp *space.Space) {
+	d := newDedup(dedupCacheCap)
 	srv.Register(SpaceObject, func(method string, body []byte, respond func([]byte, error)) {
 		req, err := xmlcodec.UnmarshalRequest(body)
 		if err != nil {
 			respond(nil, err)
 			return
+		}
+		if req.ID != 0 {
+			respond = d.begin(req.ID, respond)
+			if respond == nil {
+				return // duplicate: answered from cache or parked on the original
+			}
 		}
 		reply := func(resp xmlcodec.Response) {
 			b, err := xmlcodec.MarshalResponse(resp)
@@ -87,16 +101,20 @@ func RegisterSpace(srv *rmi.Server, conn transport.Conn, sp *space.Space) {
 				respond(nil, err)
 				return
 			}
-			op := sp.Read
+			op := sp.ReadErr
 			if method == xmlcodec.OpTake {
-				op = sp.Take
+				op = sp.TakeErr
 			}
 			id := req.ID
-			op(tmpl, req.Timeout(), func(got tuple.Tuple, ok bool) {
-				if ok {
+			op(tmpl, req.Timeout(), func(got tuple.Tuple, err error) {
+				switch {
+				case err == nil:
 					reply(xmlcodec.NewResponse(id, true, &got, ""))
-				} else {
+				case errors.Is(err, space.ErrTimeout):
+					// A plain miss keeps the historical empty-error shape.
 					reply(xmlcodec.NewResponse(id, false, nil, ""))
+				default:
+					reply(xmlcodec.NewResponse(id, false, nil, err.Error()))
 				}
 			})
 		case xmlcodec.OpNotify:
@@ -149,8 +167,17 @@ func NewGateway(client transport.Conn, rc *rmi.Client) *Gateway {
 func (g *Gateway) onRequest(b []byte) {
 	req, err := xmlcodec.UnmarshalRequest(b)
 	if err != nil {
+		// A malformed request must not kill the session: report it to
+		// the sender as an error response (ID 0 — the request id, if
+		// any, was unparseable) and keep serving.
 		if g.OnError != nil {
 			g.OnError(err)
+		}
+		resp := xmlcodec.NewResponse(0, false, nil, "wrapper: malformed request: "+err.Error())
+		if rb, merr := xmlcodec.MarshalResponse(resp); merr == nil {
+			if serr := g.client.Send(rb); serr != nil && g.OnError != nil {
+				g.OnError(serr)
+			}
 		}
 		return
 	}
@@ -174,6 +201,16 @@ func (g *Gateway) onRequest(b []byte) {
 // ErrClosed is returned by client operations after Close.
 var ErrClosed = errors.New("wrapper: client closed")
 
+// pendingReq is an in-flight request: its completion callback plus
+// everything a resilient client needs to retransmit it verbatim.
+type pendingReq struct {
+	cb      func(xmlcodec.Response)
+	bytes   []byte       // marshalled request, resent unchanged (same id)
+	budget  sim.Duration // per-attempt response budget (0 = none)
+	attempt int
+	cancel  func() // armed deadline or backoff timer, if any
+}
+
 // Client is the application-side library (the paper's C++ client): it
 // issues tuplespace operations as XML messages over any transport and
 // correlates the responses.
@@ -181,8 +218,9 @@ type Client struct {
 	mu      sync.Mutex
 	conn    transport.Conn
 	nextID  uint64
-	pending map[uint64]func(xmlcodec.Response)
+	pending map[uint64]*pendingReq
 	subs    map[uint64]func(tuple.Tuple)
+	res     *Resilience
 	closed  bool
 }
 
@@ -190,7 +228,7 @@ type Client struct {
 func NewClient(conn transport.Conn) *Client {
 	c := &Client{
 		conn:    conn,
-		pending: make(map[uint64]func(xmlcodec.Response)),
+		pending: make(map[uint64]*pendingReq),
 		subs:    make(map[uint64]func(tuple.Tuple)),
 	}
 	conn.SetOnReceive(c.onMessage)
@@ -214,16 +252,21 @@ func (c *Client) onMessage(b []byte) {
 		return
 	}
 	c.mu.Lock()
-	cb := c.pending[resp.ID]
+	pr := c.pending[resp.ID]
 	delete(c.pending, resp.ID)
 	c.mu.Unlock()
-	if cb != nil {
-		cb(resp)
+	if pr != nil {
+		if pr.cancel != nil {
+			pr.cancel()
+		}
+		pr.cb(resp)
 	}
 }
 
-// send issues a request and registers its completion callback.
-func (c *Client) send(req xmlcodec.Request, cb func(xmlcodec.Response)) {
+// send issues a request and registers its completion callback. timeout
+// is the server-side blocking budget the request carries, granted on
+// top of the per-attempt deadline when resilience is enabled.
+func (c *Client) send(req xmlcodec.Request, timeout sim.Duration, cb func(xmlcodec.Response)) {
 	b, err := xmlcodec.MarshalRequest(req)
 	if err != nil {
 		cb(xmlcodec.NewResponse(req.ID, false, nil, err.Error()))
@@ -235,14 +278,13 @@ func (c *Client) send(req xmlcodec.Request, cb func(xmlcodec.Response)) {
 		cb(xmlcodec.NewResponse(req.ID, false, nil, ErrClosed.Error()))
 		return
 	}
-	c.pending[req.ID] = cb
-	c.mu.Unlock()
-	if err := c.conn.Send(b); err != nil {
-		c.mu.Lock()
-		delete(c.pending, req.ID)
-		c.mu.Unlock()
-		cb(xmlcodec.NewResponse(req.ID, false, nil, err.Error()))
+	pr := &pendingReq{cb: cb, bytes: b}
+	if c.res != nil && c.res.Deadline > 0 {
+		pr.budget = c.res.Deadline + timeout
 	}
+	c.pending[req.ID] = pr
+	c.mu.Unlock()
+	c.attempt(req.ID, pr)
 }
 
 func (c *Client) id() uint64 {
@@ -257,44 +299,60 @@ func (c *Client) id() uint64 {
 func (c *Client) Write(t tuple.Tuple, lease sim.Duration, cb func(ok bool, errMsg string)) {
 	req := xmlcodec.NewRequest(c.id(), xmlcodec.OpWrite, &t)
 	req.LeaseMs = int64(lease / sim.Millisecond)
-	c.send(req, func(r xmlcodec.Response) { cb(r.OK, r.Err) })
+	c.send(req, 0, func(r xmlcodec.Response) { cb(r.OK, r.Err) })
 }
 
 // Take removes a matching entry, blocking server-side up to timeout.
 func (c *Client) Take(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
-	c.matchOp(xmlcodec.OpTake, tmpl, timeout, cb)
+	c.matchOp(xmlcodec.OpTake, tmpl, timeout, dropStatus(cb))
 }
 
 // Read copies a matching entry, blocking server-side up to timeout.
 func (c *Client) Read(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
-	c.matchOp(xmlcodec.OpRead, tmpl, timeout, cb)
+	c.matchOp(xmlcodec.OpRead, tmpl, timeout, dropStatus(cb))
 }
 
 // TakeIfExists removes a matching entry without blocking.
 func (c *Client) TakeIfExists(tmpl tuple.Tuple, cb func(tuple.Tuple, bool)) {
-	c.matchOp(xmlcodec.OpTakeIfExists, tmpl, 0, cb)
+	c.matchOp(xmlcodec.OpTakeIfExists, tmpl, 0, dropStatus(cb))
 }
 
 // ReadIfExists copies a matching entry without blocking.
 func (c *Client) ReadIfExists(tmpl tuple.Tuple, cb func(tuple.Tuple, bool)) {
-	c.matchOp(xmlcodec.OpReadIfExists, tmpl, 0, cb)
+	c.matchOp(xmlcodec.OpReadIfExists, tmpl, 0, dropStatus(cb))
 }
 
-func (c *Client) matchOp(op string, tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
+func dropStatus(cb func(tuple.Tuple, bool)) func(tuple.Tuple, bool, string) {
+	return func(t tuple.Tuple, ok bool, _ string) { cb(t, ok) }
+}
+
+func (c *Client) matchOp(op string, tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool, string)) {
 	req := xmlcodec.NewRequest(c.id(), op, &tmpl)
 	req.TimeoutMs = xmlcodec.TimeoutMsOf(timeout)
-	c.send(req, func(r xmlcodec.Response) {
+	c.send(req, timeout, func(r xmlcodec.Response) {
 		if !r.OK {
-			cb(tuple.Tuple{}, false)
+			cb(tuple.Tuple{}, false, r.Err)
 			return
 		}
 		t, err := r.Tuple()
 		if err != nil {
-			cb(tuple.Tuple{}, false)
+			cb(tuple.Tuple{}, false, err.Error())
 			return
 		}
-		cb(t, true)
+		cb(t, true, "")
 	})
+}
+
+// TakeStatus is Take, with the server's error message exposed: a miss
+// or timeout reports ok=false with an empty message, while a failure
+// (server crash, protocol error, exhausted retries) carries its cause.
+func (c *Client) TakeStatus(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool, string)) {
+	c.matchOp(xmlcodec.OpTake, tmpl, timeout, cb)
+}
+
+// ReadStatus is Read with the server's error message exposed.
+func (c *Client) ReadStatus(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool, string)) {
+	c.matchOp(xmlcodec.OpRead, tmpl, timeout, cb)
 }
 
 // Notify subscribes fn to every future write matching the template;
@@ -305,7 +363,7 @@ func (c *Client) Notify(tmpl tuple.Tuple, fn func(tuple.Tuple), cb func(ok bool)
 	c.subs[id] = fn
 	c.mu.Unlock()
 	req := xmlcodec.NewRequest(id, xmlcodec.OpNotify, &tmpl)
-	c.send(req, func(r xmlcodec.Response) {
+	c.send(req, 0, func(r xmlcodec.Response) {
 		if !r.OK {
 			c.mu.Lock()
 			delete(c.subs, id)
@@ -318,7 +376,7 @@ func (c *Client) Notify(tmpl tuple.Tuple, fn func(tuple.Tuple), cb func(ok bool)
 // Count reports how many stored entries match the template.
 func (c *Client) Count(tmpl tuple.Tuple, cb func(n int64, ok bool)) {
 	req := xmlcodec.NewRequest(c.id(), xmlcodec.OpCount, &tmpl)
-	c.send(req, func(r xmlcodec.Response) { cb(r.Count, r.OK) })
+	c.send(req, 0, func(r xmlcodec.Response) { cb(r.Count, r.OK) })
 }
 
 // CountWait blocks until the count completes.
@@ -336,7 +394,7 @@ func (c *Client) CountWait(tmpl tuple.Tuple) (int64, bool) {
 // Ping measures a protocol round trip; cb reports success.
 func (c *Client) Ping(cb func(ok bool)) {
 	req := xmlcodec.NewRequest(c.id(), xmlcodec.OpPing, nil)
-	c.send(req, func(r xmlcodec.Response) { cb(r.OK) })
+	c.send(req, 0, func(r xmlcodec.Response) { cb(r.OK) })
 }
 
 // Close tears the client down; in-flight callbacks fire with failure.
@@ -344,10 +402,13 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
 	pend := c.pending
-	c.pending = make(map[uint64]func(xmlcodec.Response))
+	c.pending = make(map[uint64]*pendingReq)
 	c.mu.Unlock()
-	for id, cb := range pend {
-		cb(xmlcodec.NewResponse(id, false, nil, ErrClosed.Error()))
+	for id, pr := range pend {
+		if pr.cancel != nil {
+			pr.cancel()
+		}
+		pr.cb(xmlcodec.NewResponse(id, false, nil, ErrClosed.Error()))
 	}
 	return c.conn.Close()
 }

@@ -1,12 +1,22 @@
 #!/bin/sh
 # check.sh — the repo's one-stop verification gate:
-#   vet, build, full tests under the race detector (which also covers
-#   the parallel experiment runner's guard tests), and the kernel
+#   gofmt gate, vet, build, full tests under the race detector (which
+#   also covers the parallel experiment runner's and chaos harness's
+#   guard tests), a fuzz smoke over every fuzz target, and the kernel
 #   micro-benches executed once each as a smoke test.
 # Usage: scripts/check.sh   (or: make check)
+#   FUZZTIME=2s scripts/check.sh   # shorten/lengthen the fuzz smoke
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> gofmt -l"
+unformatted=$(gofmt -l cmd internal bench_test.go)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "==> go vet ./..."
 go vet ./...
@@ -16,6 +26,15 @@ go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> fuzz smoke (FUZZTIME=${FUZZTIME:=10s} per target)"
+# Go runs one -fuzz target per invocation.
+go test -run '^$' -fuzz '^FuzzUnpackTX$' -fuzztime "$FUZZTIME" ./internal/frame/
+go test -run '^$' -fuzz '^FuzzUnpackRX$' -fuzztime "$FUZZTIME" ./internal/frame/
+go test -run '^$' -fuzz '^FuzzDecodeTupleBinary$' -fuzztime "$FUZZTIME" ./internal/xmlcodec/
+go test -run '^$' -fuzz '^FuzzUnmarshalRequest$' -fuzztime "$FUZZTIME" ./internal/xmlcodec/
+go test -run '^$' -fuzz '^FuzzRSPDecode$' -fuzztime "$FUZZTIME" ./internal/cosim/
+go test -run '^$' -fuzz '^FuzzRSPStubHandle$' -fuzztime "$FUZZTIME" ./internal/cosim/
 
 echo "==> kernel bench smoke (-benchtime=1x)"
 go test -run '^$' -bench 'BenchmarkKernel' -benchtime=1x ./internal/sim/
