@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the authoritative gate.
 
-.PHONY: check test bench build vet
+.PHONY: check test bench bench-all build vet
 
 check:
 	sh scripts/check.sh
@@ -14,7 +14,12 @@ vet:
 test:
 	go test ./...
 
-# Full benchmark pass: repo-root table/figure benches plus the
-# per-package kernel micro-benches.
+# Machine-readable bench baseline: kernel calendar micro-benches and
+# one full planner grid pass, written to BENCH_kernel.json and
+# BENCH_plan.json. For the full human-readable table/figure bench
+# pass use `make bench-all`.
 bench:
+	sh scripts/bench.sh
+
+bench-all:
 	go test -run '^$$' -bench . -benchmem . ./internal/sim/

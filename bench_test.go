@@ -131,6 +131,32 @@ func BenchmarkFig7CaseStudy(b *testing.B) {
 	b.ReportMetric(float64(res.BusFrames), "frames")
 }
 
+// BenchmarkPlanGrid regenerates the full -plan design grid (30
+// co-simulated grid points, the burst fast path's headline workload)
+// and reports how many simulated seconds one grid pass models —
+// scripts/bench.sh records the pair (ns/op, sim-s) as the
+// machine-readable baseline in BENCH_plan.json.
+func BenchmarkPlanGrid(b *testing.B) {
+	var plan core.Plan
+	for i := 0; i < b.N; i++ {
+		plan = core.RunPlan(core.PlanConfig{Requirements: core.DefaultRequirements()})
+	}
+	req := plan.Requirements
+	// Each point simulates until its take completes or the planner's
+	// horizon (3x the take+lease budget) expires.
+	horizon := 3 * (req.TakeDelay + req.Lease).Seconds()
+	simS := 0.0
+	for _, o := range plan.Explored {
+		if o.Completion > 0 {
+			simS += o.Completion.Seconds()
+		} else {
+			simS += horizon
+		}
+	}
+	b.ReportMetric(simS, "sim-s")
+	b.ReportMetric(float64(len(plan.Explored)), "points")
+}
+
 //
 // Ablations (DESIGN.md A1-A4).
 //

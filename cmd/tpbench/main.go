@@ -39,9 +39,11 @@ func main() {
 	plan := flag.Bool("plan", false, "search the design space for the cheapest bus meeting the Table 4 requirements")
 	chaos := flag.Bool("chaos", false, "replay the Table 4 scenario under injected faults and print the degradation table")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent simulations (0 = all CPUs, 1 = sequential)")
+	nofastpath := flag.Bool("nofastpath", false, "disable burst-mode idle-sweep coalescing (A/B escape hatch; output is byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 	workers := *parallel
+	noFast := *nofastpath
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -58,12 +60,17 @@ func main() {
 	}
 
 	if *plan {
-		fmt.Print(core.PlanBusParallel(core.DefaultRequirements(), workers).Format())
+		fmt.Print(core.RunPlan(core.PlanConfig{
+			Requirements: core.DefaultRequirements(),
+			Workers:      workers,
+			NoFastPath:   noFast,
+		}).Format())
 		return
 	}
 	if *chaos {
 		cfg := core.DefaultChaosGridConfig()
 		cfg.Workers = workers
+		cfg.Base.Impact.NoFastPath = noFast
 		grid := core.RunChaosGrid(cfg)
 		fmt.Print(grid.Format())
 		if len(grid.Violations()) > 0 {
@@ -77,7 +84,7 @@ func main() {
 		return
 	}
 	if *sweep {
-		printSweep(workers)
+		printSweep(workers, noFast)
 		return
 	}
 	if *compare {
@@ -91,7 +98,7 @@ func main() {
 		fmt.Println()
 		printTable3(*realtime, *speedup, workers)
 		fmt.Println()
-		printTable4(workers)
+		printTable4(workers, noFast)
 		fmt.Println()
 		printCrossValidation()
 	case *table == "frames":
@@ -99,11 +106,11 @@ func main() {
 	case *table == "3":
 		printTable3(*realtime, *speedup, workers)
 	case *table == "4":
-		printTable4(workers)
+		printTable4(workers, noFast)
 	case *fig == 6:
 		printFig6()
 	case *fig == 7:
-		printFig7()
+		printFig7(noFast)
 	default:
 		fmt.Fprintf(os.Stderr, "tpbench: unknown selection (-table %q -fig %d)\n", *table, *fig)
 		os.Exit(2)
@@ -136,9 +143,10 @@ func printTable3(realtime bool, speedup float64, workers int) {
 	}
 }
 
-func printTable4(workers int) {
+func printTable4(workers int, noFast bool) {
 	cfg := core.DefaultTable4Config()
 	cfg.Workers = workers
+	cfg.Base.NoFastPath = noFast
 	t4 := core.RunTable4(cfg)
 	fmt.Print(t4.Format())
 }
@@ -156,9 +164,10 @@ func printFig6() {
 // printSweep extends Table 4 into a curve: exchange completion time
 // against background CBR load for both bus widths, CSV to stdout.
 // "Out of Time" cells print as empty values.
-func printSweep(workers int) {
+func printSweep(workers int, noFast bool) {
 	cfg := core.DefaultSweepConfig()
 	cfg.Workers = workers
+	cfg.Base.NoFastPath = noFast
 	fmt.Print(core.RunSweep(cfg).CSV())
 }
 
@@ -171,11 +180,12 @@ func printCrossValidation() {
 	}
 }
 
-func printFig7() {
+func printFig7(noFast bool) {
 	fmt.Println("Figure 7: TpWIRE case-study configuration")
 	fmt.Println("  Master -- Slave1 [C++ client] -- Slave2 [CBR] -- Slave3 [JavaSpace server] -- Slave4 [Receiver]")
 	cfg := core.DefaultImpactConfig()
 	cfg.CBRRate = 0.3
+	cfg.NoFastPath = noFast
 	res := core.RunImpact(cfg)
 	fmt.Printf("  CBR 0.3 B/s, 1-wire: write ack %.1fs, take issued %.1fs, completion %s\n",
 		res.WriteDone.Seconds(), res.TakeIssued.Seconds(), core.ImpactCell(res))

@@ -183,6 +183,7 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 	if ic.MaxPerSweep > 0 {
 		poller.MaxPerSweep = ic.MaxPerSweep
 	}
+	poller.FastPath = !ic.NoFastPath
 	poller.Start()
 
 	// Server stack on Slave3, with a crash-surviving journal.

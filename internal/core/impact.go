@@ -49,6 +49,11 @@ type ImpactConfig struct {
 	MaxPerSweep int
 	// Seed feeds the simulation kernel.
 	Seed int64
+	// NoFastPath disables the poller's burst-mode coalescing of idle
+	// sweeps (tpwire fast path). The fast path is on by default and
+	// byte-identical to the per-event run; the escape hatch exists for
+	// A/B verification (cmd/tpbench -nofastpath).
+	NoFastPath bool
 }
 
 // DefaultImpactConfig is the calibration recorded in EXPERIMENTS.md:
@@ -144,6 +149,7 @@ func RunImpact(cfg ImpactConfig) ImpactResult {
 	if cfg.MaxPerSweep > 0 {
 		poller.MaxPerSweep = cfg.MaxPerSweep
 	}
+	poller.FastPath = !cfg.NoFastPath
 	poller.Start()
 
 	// Server stack behind Slave3 (Figure 4/5: SC2 -> socket ->

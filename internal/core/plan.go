@@ -96,6 +96,24 @@ func PlanBus(req Requirements) Plan { return PlanBusParallel(req, 0) }
 // grid is fixed, each point's simulation is seeded by its own config,
 // and the recommendation is the first feasible point in cost order.
 func PlanBusParallel(req Requirements, workers int) Plan {
+	return RunPlan(PlanConfig{Requirements: req, Workers: workers})
+}
+
+// PlanConfig bundles the planner's harness knobs with the bus
+// requirements proper.
+type PlanConfig struct {
+	Requirements Requirements
+	// Workers bounds the worker pool (0 = DefaultWorkers, 1 =
+	// sequential); the plan is identical at every count.
+	Workers int
+	// NoFastPath forces every grid point onto the per-event path
+	// (cmd/tpbench -nofastpath); the plan is byte-identical either way.
+	NoFastPath bool
+}
+
+// RunPlan evaluates the full design grid under the given config.
+func RunPlan(cfg PlanConfig) Plan {
+	req := cfg.Requirements
 	def := DefaultRequirements()
 	if req.PayloadBytes == 0 {
 		req.PayloadBytes = def.PayloadBytes
@@ -114,11 +132,11 @@ func PlanBusParallel(req Requirements, workers int) Plan {
 		for _, rate := range candidateRates {
 			wires, rate := wires, rate
 			jobs = append(jobs, func() PlanOption {
-				return evaluate(req, rate, wires, deadline)
+				return evaluate(req, rate, wires, deadline, cfg.NoFastPath)
 			})
 		}
 	}
-	plan.Explored = RunAll(workers, jobs)
+	plan.Explored = RunAll(cfg.Workers, jobs)
 	for i := range plan.Explored {
 		if plan.Explored[i].Feasible {
 			o := plan.Explored[i]
@@ -129,7 +147,7 @@ func PlanBusParallel(req Requirements, workers int) Plan {
 	return plan
 }
 
-func evaluate(req Requirements, rate float64, wires int, deadline sim.Duration) PlanOption {
+func evaluate(req Requirements, rate float64, wires int, deadline sim.Duration, noFast bool) PlanOption {
 	cfg := DefaultImpactConfig()
 	cfg.Bus.BitRate = rate
 	cfg.Wires = wires
@@ -138,6 +156,7 @@ func evaluate(req Requirements, rate float64, wires int, deadline sim.Duration) 
 	cfg.Lease = req.Lease
 	cfg.TakeDelay = req.TakeDelay
 	cfg.Horizon = sim.Duration(float64(req.TakeDelay+req.Lease) * 3)
+	cfg.NoFastPath = noFast
 	res := RunImpact(cfg)
 	opt := PlanOption{BitRate: rate, Wires: wires}
 	if res.TakeOK {

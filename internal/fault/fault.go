@@ -159,6 +159,10 @@ func Arm(k *sim.Kernel, plan Plan, tg Targets) (*Injector, error) {
 				tg.Chain.SetCorruptHook(func(bool) bool {
 					return inj.wireProb > 0 && k.Rand().Float64() < inj.wireProb
 				})
+				// Outside an open corruption window the hook short-
+				// circuits before touching the RNG, so idle-sweep
+				// coalescing stays sound between fault windows.
+				tg.Chain.SetCorruptIdle(func() bool { return inj.wireProb == 0 })
 				break
 			}
 		}

@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+// batchRun drives one CBR scenario to the horizon, stops the source,
+// drains in-flight work, and returns everything observable: sink
+// latency statistics, first-hop link counters and the sent count.
+type batchOutcome struct {
+	sent uint64
+	sink SinkAgent
+	link LinkStats
+}
+
+func runCBRScenario(batch int, bw float64, queueCap int, rate float64, size int,
+	horizon sim.Duration, fault FaultProfile, trace *strings.Builder) batchOutcome {
+	k := sim.NewKernel(42)
+	n := New(k)
+	a := n.NewNode("a")
+	b := n.NewNode("b")
+	l := n.Connect(a, b, bw, 5*sim.Millisecond, queueCap)
+	l.SetFault(fault)
+	if trace != nil {
+		w := &NS2Writer{W: trace}
+		n.SetTracer(w.Hook())
+	}
+	sink := NewSink(k)
+	b.Attach(sink)
+	cbr := &CBRSource{Net: n, Src: a, Dst: b, Rate: rate, Size: size, Batch: batch}
+	cbr.Start()
+	k.RunUntil(sim.Time(horizon))
+	cbr.Stop()
+	k.Run() // drain queued and in-flight packets
+	out := batchOutcome{sent: cbr.Sent(), link: l.Stats()}
+	out.sink = *sink
+	out.sink.clock = nil
+	return out
+}
+
+// TestBatchedCBREquivalentUnderSaturation is the core guarantee: on a
+// saturated first hop (serialization time >= tick interval) a batched
+// source produces bit-identical traffic to the per-tick source — same
+// send count, same per-packet latencies, same link counters. The
+// horizon lands mid-way through a tick gap that is also a whole number
+// of burst windows, so neither path has a half-emitted window.
+func TestBatchedCBREquivalentUnderSaturation(t *testing.T) {
+	// 100 B at 1000 B/s -> tick every 100 ms; wire at 500 B/s -> 200 ms
+	// serialization >= interval: saturated. Horizon 8.05 s covers ticks
+	// 1..80 = ten full windows of 8 for both paths.
+	const horizon = 8050 * sim.Millisecond
+	slow := runCBRScenario(0, 500, 1000, 1000, 100, horizon, FaultProfile{}, nil)
+	fast := runCBRScenario(8, 500, 1000, 1000, 100, horizon, FaultProfile{}, nil)
+	if slow != fast {
+		t.Fatalf("batched CBR diverged under saturation:\nper-tick %+v\nbatched  %+v", slow, fast)
+	}
+	if fast.sent != 80 {
+		t.Fatalf("sent = %d, want 80", fast.sent)
+	}
+	if fast.sink.MaxLat <= fast.sink.TotalLat/sim.Duration(fast.sink.Packets) {
+		t.Fatal("saturation should build queueing delay (max > mean)")
+	}
+}
+
+// TestBatchFallsBackBelowSaturation: with the wire faster than the
+// tick rate the guard must refuse to burst (early enqueueing would
+// deliver packets ahead of their per-tick schedule), degrading to
+// per-tick emission — still identical output.
+func TestBatchFallsBackBelowSaturation(t *testing.T) {
+	// 100 B at 10 kB/s wire -> 10 ms serialization < 100 ms interval.
+	const horizon = 8050 * sim.Millisecond
+	slow := runCBRScenario(0, 10_000, 1000, 1000, 100, horizon, FaultProfile{}, nil)
+	fast := runCBRScenario(8, 10_000, 1000, 1000, 100, horizon, FaultProfile{}, nil)
+	if slow != fast {
+		t.Fatalf("fallback path diverged:\nper-tick %+v\nbatched  %+v", slow, fast)
+	}
+	// Below saturation every packet sees the same bare latency: the
+	// link drains between ticks.
+	if fast.sink.MaxLat != 15*sim.Millisecond {
+		t.Fatalf("max latency %v, want serialization+delay = 15ms", fast.sink.MaxLat)
+	}
+}
+
+// TestBatchRespectsQueueCapacity: when a full burst would not fit in
+// the drop-tail queue the source must fall back to per-tick emission
+// so drop behaviour stays identical.
+func TestBatchRespectsQueueCapacity(t *testing.T) {
+	// Queue of 4 on a saturated wire: the backlog hits the cap and
+	// packets drop. Bursting 8 at once would drop different packets.
+	const horizon = 8050 * sim.Millisecond
+	slow := runCBRScenario(0, 500, 4, 1000, 100, horizon, FaultProfile{}, nil)
+	fast := runCBRScenario(8, 500, 4, 1000, 100, horizon, FaultProfile{}, nil)
+	if slow != fast {
+		t.Fatalf("queue-cap guard diverged:\nper-tick %+v\nbatched  %+v", slow, fast)
+	}
+	if fast.link.Dropped == 0 {
+		t.Fatal("scenario should overflow the queue")
+	}
+}
+
+// TestBatchFallsBackInsideFaultWindow: an armed fault profile is an
+// interruption rule — the source stays per-tick, so the RNG draw
+// sequence (and therefore every loss and duplication) is identical.
+func TestBatchFallsBackInsideFaultWindow(t *testing.T) {
+	const horizon = 8050 * sim.Millisecond
+	f := FaultProfile{LossProb: 0.2, DupProb: 0.1}
+	slow := runCBRScenario(0, 500, 1000, 1000, 100, horizon, f, nil)
+	fast := runCBRScenario(8, 500, 1000, 1000, 100, horizon, f, nil)
+	if slow != fast {
+		t.Fatalf("fault-window guard diverged:\nper-tick %+v\nbatched  %+v", slow, fast)
+	}
+	if fast.link.Lost == 0 || fast.link.Duplicated == 0 {
+		t.Fatalf("fault plane inert: %+v", fast.link)
+	}
+}
+
+// TestBatchFallsBackWhenTracing: a tracer observes individual
+// enqueues, so a bursting source would change the trace; the guard
+// must keep the event stream byte-identical.
+func TestBatchFallsBackWhenTracing(t *testing.T) {
+	const horizon = 2050 * sim.Millisecond
+	var slowTrace, fastTrace strings.Builder
+	slow := runCBRScenario(0, 500, 1000, 1000, 100, horizon, FaultProfile{}, &slowTrace)
+	fast := runCBRScenario(8, 500, 1000, 1000, 100, horizon, FaultProfile{}, &fastTrace)
+	if slow != fast {
+		t.Fatalf("tracing guard diverged:\nper-tick %+v\nbatched  %+v", slow, fast)
+	}
+	if slowTrace.String() != fastTrace.String() {
+		t.Fatalf("trace diverged:\n--- per-tick ---\n%s--- batched ---\n%s",
+			slowTrace.String(), fastTrace.String())
+	}
+	if !strings.Contains(fastTrace.String(), "+ ") {
+		t.Fatal("empty trace")
+	}
+}
+
+// TestBatchReducesKernelEvents verifies the point of the exercise:
+// the batched source reaches the horizon in fewer kernel events.
+func TestBatchReducesKernelEvents(t *testing.T) {
+	count := func(batch int) uint64 {
+		k := sim.NewKernel(7)
+		n := New(k)
+		a := n.NewNode("a")
+		b := n.NewNode("b")
+		n.Connect(a, b, 500, 0, 10_000)
+		b.Attach(NewSink(k))
+		cbr := &CBRSource{Net: n, Src: a, Dst: b, Rate: 1000, Size: 100, Batch: batch}
+		cbr.Start()
+		k.RunUntil(sim.Time(10 * sim.Second))
+		cbr.Stop()
+		return k.Fired()
+	}
+	perTick, batched := count(0), count(16)
+	if batched >= perTick {
+		t.Fatalf("batching saved nothing: %d events vs %d", batched, perTick)
+	}
+}

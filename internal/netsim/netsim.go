@@ -179,11 +179,19 @@ func (n *Network) SetRoute(at *Node, dst *Node, via *Link) {
 // Send injects a packet at its source node; it is forwarded hop by
 // hop along static routes until it reaches the destination agent.
 func (n *Network) Send(p *Packet) {
+	n.SendAt(p, n.kernel.Now())
+}
+
+// SendAt is Send with an explicit send timestamp. Batched traffic
+// sources inject several packets from one kernel event and forward-
+// date each packet's SentAt to the tick it replaces, so sink latency
+// accounting is unchanged by the aggregation.
+func (n *Network) SendAt(p *Packet, sentAt sim.Time) {
 	if p.ID == 0 {
 		n.nextID++
 		p.ID = n.nextID
 	}
-	p.SentAt = n.kernel.Now()
+	p.SentAt = sentAt
 	n.forward(p.Src, p)
 }
 
@@ -224,10 +232,7 @@ func (l *Link) transmit() {
 	l.busy = true
 	p := l.queue[0]
 	l.queue = l.queue[1:]
-	txTime := sim.Duration(float64(p.Size) / l.bandwidth * float64(sim.Second))
-	if txTime < 1 {
-		txTime = 1
-	}
+	txTime := l.txTime(p.Size)
 	l.stats.Sent++
 	l.stats.Bytes += uint64(p.Size)
 	l.stats.BusyTime += txTime
@@ -256,4 +261,14 @@ func (l *Link) transmit() {
 	}
 	// The wire frees up after serialization.
 	k.ScheduleName("netsim.txdone", txTime, l.transmit)
+}
+
+// txTime is the serialization time of size bytes on this link (at
+// least one nanosecond, so zero-length packets still occupy the wire).
+func (l *Link) txTime(size int) sim.Duration {
+	t := sim.Duration(float64(size) / l.bandwidth * float64(sim.Second))
+	if t < 1 {
+		t = 1
+	}
+	return t
 }

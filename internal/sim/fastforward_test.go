@@ -1,0 +1,153 @@
+package sim
+
+import "testing"
+
+func TestFastForwardAdvancesClock(t *testing.T) {
+	k := NewKernel(1)
+	if !k.FastForward(Time(5 * Second)) {
+		t.Fatal("FastForward refused an empty-calendar advance")
+	}
+	if k.Now() != Time(5*Second) {
+		t.Fatalf("now = %v, want 5s", k.Now())
+	}
+}
+
+func TestFastForwardRefusesPast(t *testing.T) {
+	k := NewKernel(1)
+	k.FastForward(Time(Second))
+	if k.FastForward(Time(Millisecond)) {
+		t.Fatal("FastForward accepted a time in the past")
+	}
+	if k.Now() != Time(Second) {
+		t.Fatalf("now moved to %v", k.Now())
+	}
+}
+
+func TestFastForwardRefusesSkippingEvents(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.Schedule(Second, func() { fired = true })
+	if k.FastForward(Time(2 * Second)) {
+		t.Fatal("FastForward skipped a pending event")
+	}
+	// Advancing exactly to the event's timestamp is fine: the event has
+	// not been skipped, it is still pending at now.
+	if !k.FastForward(Time(Second)) {
+		t.Fatal("FastForward refused advancing to the next event")
+	}
+	if fired {
+		t.Fatal("FastForward fired an event")
+	}
+}
+
+func TestFastForwardRespectsHorizon(t *testing.T) {
+	k := NewKernel(1)
+	var inside, beyond bool
+	k.Schedule(Second, func() {
+		inside = k.FastForward(k.Now().Add(Second))
+		beyond = k.FastForward(Time(10 * Second))
+	})
+	k.RunUntil(Time(5 * Second))
+	if !inside {
+		t.Fatal("FastForward refused an in-horizon advance")
+	}
+	if beyond {
+		t.Fatal("FastForward advanced past RunUntil's horizon")
+	}
+	if k.Horizon() != foreverTime {
+		t.Fatalf("horizon not restored after RunUntil: %v", k.Horizon())
+	}
+}
+
+func TestCoalesceAllowedGates(t *testing.T) {
+	k := NewKernel(1)
+	if !k.CoalesceAllowed() {
+		t.Fatal("fresh kernel should allow coalescing")
+	}
+	k.SetTrace(func(Time, string) {})
+	if k.CoalesceAllowed() {
+		t.Fatal("traced kernel must not coalesce")
+	}
+	k.SetTrace(nil)
+	allowed := true
+	k.Schedule(Millisecond, func() {
+		allowed = k.CoalesceAllowed()
+		k.Stop()
+	})
+	k.RunRealtime(Time(Second), 1e6)
+	if allowed {
+		t.Fatal("real-time run must not coalesce")
+	}
+	if !k.CoalesceAllowed() {
+		t.Fatal("coalescing should be re-allowed after RunRealtime returns")
+	}
+}
+
+func TestScheduleBatchClosedFormEnd(t *testing.T) {
+	k := NewKernel(1)
+	var got int
+	var at Time
+	k.ScheduleBatch("batch", 7, 3*Millisecond, func(n int) { got, at = n, k.Now() })
+	k.Run()
+	if got != 7 {
+		t.Fatalf("fn(n) got n=%d, want 7", got)
+	}
+	if at != Time(21*Millisecond) {
+		t.Fatalf("batch ended at %v, want 21ms", at)
+	}
+	if k.Fired() != 1 {
+		t.Fatalf("batch cost %d events, want 1", k.Fired())
+	}
+}
+
+func TestCoalescerFlush(t *testing.T) {
+	k := NewKernel(1)
+	c := k.NewCoalescer("cbr.batch", 2*Millisecond)
+	if c.Flush(func(int) {}) != nil {
+		t.Fatal("empty flush should be a no-op")
+	}
+	c.Add(3)
+	c.Add(2)
+	if c.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", c.Pending())
+	}
+	if c.End() != Time(10*Millisecond) {
+		t.Fatalf("end = %v, want 10ms", c.End())
+	}
+	var got int
+	c.Flush(func(n int) { got = n })
+	if c.Pending() != 0 {
+		t.Fatalf("pending after flush = %d", c.Pending())
+	}
+	k.Run()
+	if got != 5 || k.Now() != Time(10*Millisecond) {
+		t.Fatalf("flush fired n=%d at %v, want 5 at 10ms", got, k.Now())
+	}
+}
+
+func TestBatchEquivalentToPerEventTimeline(t *testing.T) {
+	// A batch of n occupancies must complete at exactly the time n
+	// chained per-event occupancies complete.
+	const n, each = 64, 37 * Microsecond
+	slow := NewKernel(1)
+	var slowEnd Time
+	var step func(left int)
+	step = func(left int) {
+		if left == 0 {
+			slowEnd = slow.Now()
+			return
+		}
+		slow.Schedule(each, func() { step(left - 1) })
+	}
+	step(n)
+	slow.Run()
+
+	fast := NewKernel(1)
+	var fastEnd Time
+	fast.ScheduleBatch("batch", n, each, func(int) { fastEnd = fast.Now() })
+	fast.Run()
+
+	if slowEnd != fastEnd {
+		t.Fatalf("per-event end %v != batch end %v", slowEnd, fastEnd)
+	}
+}

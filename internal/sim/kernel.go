@@ -63,6 +63,14 @@ type Kernel struct {
 	stopped bool
 	fired   uint64
 	rng     *rand.Rand
+	// horizon is the bound of the Run* call currently executing:
+	// RunUntil's argument while inside RunUntil, Forever otherwise.
+	// Fast-path code uses it to keep coalesced windows inside the run.
+	horizon Time
+	// realtime is set while RunRealtime is pacing events against the
+	// wall clock; coalescing is disabled there because skipping events
+	// would also skip their pacing sleeps.
+	realtime bool
 	// trace, if set, receives every fired event. Used by tests and by
 	// cmd/tpsim's -trace flag.
 	trace func(t Time, label string)
@@ -71,7 +79,7 @@ type Kernel struct {
 // NewKernel returns a kernel with its clock at zero and a deterministic
 // random source seeded with seed.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	return &Kernel{rng: rand.New(rand.NewSource(seed)), horizon: foreverTime}
 }
 
 // Now returns the current simulated time. Kernel implements Clock.
@@ -206,6 +214,9 @@ func (k *Kernel) Run() {
 // advances the clock to the horizon. Events scheduled beyond the
 // horizon remain pending.
 func (k *Kernel) RunUntil(horizon Time) {
+	prev := k.horizon
+	k.horizon = horizon
+	defer func() { k.horizon = prev }()
 	k.stopped = false
 	for !k.stopped && len(k.events) > 0 && k.events[0].at <= horizon {
 		k.Step()

@@ -33,6 +33,9 @@ func (k *Kernel) RunRealtime(horizon Time, speedup float64) RealtimeStats {
 	var stats RealtimeStats
 	start := time.Now()
 	base := k.now
+	prevHorizon, prevRealtime := k.horizon, k.realtime
+	k.horizon, k.realtime = horizon, true
+	defer func() { k.horizon, k.realtime = prevHorizon, prevRealtime }()
 	k.stopped = false
 	for !k.stopped && len(k.events) > 0 && k.events[0].at <= horizon {
 		next := k.events[0].at

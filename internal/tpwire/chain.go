@@ -24,6 +24,11 @@ type Chain struct {
 	// corruptHook, when set, decides frame corruption instead of the
 	// configured FrameErrorRate (fault injection plane).
 	corruptHook func(rx bool) bool
+	// corruptIdle, when set alongside corruptHook, reports whether the
+	// hook is momentarily inert: guaranteed to return false without
+	// consuming kernel randomness. The burst fast path may only
+	// coalesce sweeps while this holds.
+	corruptIdle func() bool
 }
 
 // ChainStats aggregates wire-level counters.
@@ -206,6 +211,12 @@ func (c *Chain) broadcastSelected() bool {
 // randomness inside the hook must come from the chain's kernel RNG so
 // chaos runs stay deterministic.
 func (c *Chain) SetCorruptHook(fn func(rx bool) bool) { c.corruptHook = fn }
+
+// SetCorruptIdle installs a predicate telling the burst fast path when
+// the corrupt hook cannot corrupt anything and draws no randomness
+// (e.g. no fault window is currently open). Without it an armed hook
+// disables coalescing entirely.
+func (c *Chain) SetCorruptIdle(fn func() bool) { c.corruptIdle = fn }
 
 // corrupt decides whether a frame is lost to a CRC error: the
 // fault-injection hook if one is armed, otherwise a kernel-RNG draw

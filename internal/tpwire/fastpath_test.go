@@ -1,0 +1,187 @@
+package tpwire
+
+import (
+	"reflect"
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+// The fast path's contract is byte-identical observables: a run with
+// FastPath on must reach the same final state, statistics and delivery
+// timeline as the per-event run, differing only in how many kernel
+// events it spends. Each test here scripts one way a burst can be
+// interrupted — a foreign event landing mid-coalesced-window — and
+// asserts full equality between the two paths.
+
+// fpDelivery is one observed mailbox delivery with its exact
+// simulation timestamp.
+type fpDelivery struct {
+	At      sim.Time
+	Dest    uint8
+	Payload string
+}
+
+// fpObservables is everything a fast/slow pair must agree on.
+// Comparable via reflect.DeepEqual.
+type fpObservables struct {
+	Chain      ChainStats
+	Master     MasterStats
+	Poller     PollerStats
+	Slaves     []SlaveStats
+	Boxes      []MailboxStats
+	Deliveries []fpDelivery
+	Now        sim.Time
+}
+
+// fpScenario builds the standard 4-slave chain, runs script against
+// it, and collects the observables. fired receives k.Fired() so tests
+// can assert the fast run actually coalesced.
+func fpScenario(t *testing.T, fastPath bool, horizon sim.Duration,
+	script func(k *sim.Kernel, c *Chain, boxes map[uint8]*MailboxDevice)) (fpObservables, uint64) {
+	t.Helper()
+	k := sim.NewKernel(3)
+	c := NewChain(k, Config{BitRate: 1_000_000})
+	ids := []uint8{1, 2, 3, 4}
+	boxes := map[uint8]*MailboxDevice{}
+	var obs fpObservables
+	for _, id := range ids {
+		id := id
+		mb := NewMailboxDevice(func(m Message) {
+			obs.Deliveries = append(obs.Deliveries,
+				fpDelivery{At: k.Now(), Dest: id, Payload: string(m.Payload)})
+		})
+		c.AddSlave(id).SetDevice(mb)
+		boxes[id] = mb
+	}
+	p := NewPoller(c, ids, 0)
+	p.FastPath = fastPath
+	p.Start()
+	if script != nil {
+		script(k, c, boxes)
+	}
+	k.RunUntil(sim.Time(horizon))
+	p.Stop()
+
+	obs.Chain = c.Stats()
+	obs.Master = c.Master().Stats()
+	obs.Poller = p.Stats()
+	for _, s := range c.Slaves() {
+		obs.Slaves = append(obs.Slaves, s.Stats())
+	}
+	for _, id := range ids {
+		obs.Boxes = append(obs.Boxes, boxes[id].Stats())
+	}
+	obs.Now = k.Now()
+	return obs, k.Fired()
+}
+
+// fpCompare runs the scenario both ways and demands equality plus an
+// actual event saving on the fast side.
+func fpCompare(t *testing.T, horizon sim.Duration,
+	script func(k *sim.Kernel, c *Chain, boxes map[uint8]*MailboxDevice)) fpObservables {
+	t.Helper()
+	slow, slowFired := fpScenario(t, false, horizon, script)
+	fast, fastFired := fpScenario(t, true, horizon, script)
+	if !reflect.DeepEqual(slow, fast) {
+		t.Fatalf("fast path diverged from per-event path:\nslow %+v\nfast %+v", slow, fast)
+	}
+	if fastFired >= slowFired {
+		t.Fatalf("fast path saved nothing: %d events vs %d", fastFired, slowFired)
+	}
+	return fast
+}
+
+// TestFastPathPureIdleEquivalence: nothing ever happens; the fast path
+// must replicate thousands of idle sweeps exactly and spend almost no
+// events doing it.
+func TestFastPathPureIdleEquivalence(t *testing.T) {
+	obs := fpCompare(t, 5*sim.Second, nil)
+	if obs.Poller.Sweeps < 1000 {
+		t.Fatalf("expected thousands of idle sweeps, got %d", obs.Poller.Sweeps)
+	}
+	if len(obs.Deliveries) != 0 {
+		t.Fatalf("idle run delivered %v", obs.Deliveries)
+	}
+}
+
+// TestFastPathOpMidBurst: a mailbox operation (the bus-level shape of
+// the tuplespace take) lands at an arbitrary instant deep inside the
+// steady state. The burst must break exactly at that event: same
+// delivery timestamp, same frame counts.
+func TestFastPathOpMidBurst(t *testing.T) {
+	obs := fpCompare(t, 3*sim.Second,
+		func(k *sim.Kernel, c *Chain, boxes map[uint8]*MailboxDevice) {
+			k.Schedule(1234567891*sim.Nanosecond, func() {
+				boxes[1].Send(3, []byte("mid-burst"))
+			})
+		})
+	if len(obs.Deliveries) != 1 || obs.Deliveries[0].Payload != "mid-burst" {
+		t.Fatalf("deliveries = %v", obs.Deliveries)
+	}
+	if obs.Deliveries[0].At <= sim.Time(1234567891*sim.Nanosecond) {
+		t.Fatalf("delivery at %v precedes the send", obs.Deliveries[0].At)
+	}
+}
+
+// TestFastPathFaultWindowMidBurst: a corruption window opens and
+// closes mid-run, the way the fault injector drives the chain. Inside
+// the window the hook draws kernel randomness, so coalescing must
+// stop; outside it the inert predicate re-enables bursting. Retry and
+// reset statistics must match exactly.
+func TestFastPathFaultWindowMidBurst(t *testing.T) {
+	obs := fpCompare(t, 3*sim.Second,
+		func(k *sim.Kernel, c *Chain, boxes map[uint8]*MailboxDevice) {
+			wireProb := 0.0
+			c.SetCorruptHook(func(rx bool) bool {
+				if wireProb == 0 {
+					return false
+				}
+				return k.Rand().Float64() < wireProb
+			})
+			c.SetCorruptIdle(func() bool { return wireProb == 0 })
+			k.Schedule(1*sim.Second, func() { wireProb = 0.4 })
+			k.Schedule(1500*sim.Millisecond, func() { wireProb = 0 })
+		})
+	if obs.Chain.CorruptedTX+obs.Chain.CorruptedRX == 0 {
+		t.Fatal("fault window corrupted nothing; scenario too gentle to prove anything")
+	}
+	if obs.Master.Retries == 0 {
+		t.Fatal("no retries recorded inside the fault window")
+	}
+}
+
+// TestFastPathCBRPhaseChangeMidBurst: background CBR switches on and
+// off mid-run. Every packet tick is a foreign event bounding the skip,
+// and the on/off edges must land at exactly the same instants on both
+// paths.
+func TestFastPathCBRPhaseChangeMidBurst(t *testing.T) {
+	obs := fpCompare(t, 4*sim.Second,
+		func(k *sim.Kernel, c *Chain, boxes map[uint8]*MailboxDevice) {
+			cbr := NewCBR(k, boxes[2], 4, 50, 1)
+			k.Schedule(500*sim.Millisecond, cbr.Start)
+			k.Schedule(2500*sim.Millisecond, cbr.Stop)
+		})
+	n := 0
+	for _, d := range obs.Deliveries {
+		if d.Dest == 4 {
+			n++
+		}
+	}
+	// 2 s of CBR at 50 B/s in 1-byte packets: ~100 deliveries.
+	if n < 90 || n > 110 {
+		t.Fatalf("CBR deliveries = %d, want ~100", n)
+	}
+}
+
+// TestFastPathWatchdogTranslation: with a long quiet phase the slaves'
+// watchdogs are repeatedly fed, cancelled and re-armed across skips;
+// no slave may ever observe a spurious reset, on either path.
+func TestFastPathWatchdogTranslation(t *testing.T) {
+	obs := fpCompare(t, 10*sim.Second, nil)
+	for i, s := range obs.Slaves {
+		if s.Resets != 0 {
+			t.Fatalf("slave %d reset %d times during coalesced idle", i+1, s.Resets)
+		}
+	}
+}

@@ -267,6 +267,14 @@ type Poller struct {
 	// per-slave scan runs only when INT was seen. This cuts idle-bus
 	// traffic by a factor of the chain length.
 	IntDriven bool
+	// FastPath enables burst-mode coalescing of quiescent-periodic
+	// idle sweeps (see fastpath.go). Off by default for direct library
+	// users; the core runners turn it on. Output is byte-identical
+	// either way — the fast path only changes how many kernel events
+	// are spent modelling the same timeline.
+	FastPath bool
+
+	burst burstCalibration
 }
 
 // NewPoller creates (but does not start) a poller serving the given
@@ -307,11 +315,11 @@ func (p *Poller) run(proc *sim.Process) {
 			pending, intSeen, err := sess.Ping(sentinel)
 			if err != nil {
 				p.stats.Errors++
-				proc.Wait(p.period)
+				p.idleWait(proc)
 				continue
 			}
 			if !pending && !intSeen {
-				proc.Wait(p.period)
+				p.idleWait(proc)
 				continue
 			}
 		}
@@ -339,7 +347,7 @@ func (p *Poller) run(proc *sim.Process) {
 			}
 		}
 		if !moved {
-			proc.Wait(p.period)
+			p.idleWait(proc)
 		}
 	}
 }

@@ -1,0 +1,107 @@
+package tuple
+
+import "testing"
+
+// oldMatches replicates the pre-precheck implementation: a full
+// wildcard scan of the candidate before any cheap rejection. Kept in
+// the binary so the benchmarks below always compare the shipped
+// Matches against the same baseline.
+func oldMatches(t, u Tuple) bool {
+	if u.HasWildcards() {
+		return false
+	}
+	if t.Type != "" && t.Type != u.Type {
+		return false
+	}
+	if len(t.Fields) != len(u.Fields) {
+		return false
+	}
+	for i := range t.Fields {
+		tf, uf := t.Fields[i], u.Fields[i]
+		if tf.Kind != uf.Kind {
+			return false
+		}
+		if tf.Wildcard {
+			continue
+		}
+		if !valueEqualByValue(tf, uf) {
+			return false
+		}
+	}
+	return true
+}
+
+func valueEqualByValue(a, b Field) bool { return valueEqual(&a, &b) }
+
+// benchEntry is a representative stored tuple: the case study's entry
+// shape with a payload field.
+func benchEntry() Tuple {
+	return New("case-study",
+		Int("id", 1),
+		String("owner", "client-1"),
+		Bytes("vector", make([]byte, 24)),
+	)
+}
+
+func benchSink(b *testing.B, got, want bool) {
+	if got != want {
+		b.Fatalf("match = %v, want %v", got, want)
+	}
+}
+
+// The mismatching-template benchmarks model a space scan: most
+// entries lose early, and how early decides the scan cost.
+
+func BenchmarkMatchesMismatchType(b *testing.B) {
+	data := benchEntry()
+	tmpl := New("other-type", AnyInt("id"), AnyString("owner"), AnyBytes("vector"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, tmpl.Matches(data), false)
+	}
+}
+
+func BenchmarkMatchesMismatchTypeOld(b *testing.B) {
+	data := benchEntry()
+	tmpl := New("other-type", AnyInt("id"), AnyString("owner"), AnyBytes("vector"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, oldMatches(tmpl, data), false)
+	}
+}
+
+func BenchmarkMatchesMismatchKind(b *testing.B) {
+	data := benchEntry()
+	tmpl := New("case-study", AnyString("id"), AnyString("owner"), AnyBytes("vector"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, tmpl.Matches(data), false)
+	}
+}
+
+func BenchmarkMatchesMismatchKindOld(b *testing.B) {
+	data := benchEntry()
+	tmpl := New("case-study", AnyString("id"), AnyString("owner"), AnyBytes("vector"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, oldMatches(tmpl, data), false)
+	}
+}
+
+func BenchmarkMatchesHit(b *testing.B) {
+	data := benchEntry()
+	tmpl := New("case-study", Int("id", 1), AnyString("owner"), AnyBytes("vector"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, tmpl.Matches(data), true)
+	}
+}
+
+func BenchmarkMatchesHitOld(b *testing.B) {
+	data := benchEntry()
+	tmpl := New("case-study", Int("id", 1), AnyString("owner"), AnyBytes("vector"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink(b, oldMatches(tmpl, data), true)
+	}
+}

@@ -10,6 +10,7 @@
 package tuple
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 )
@@ -91,8 +92,9 @@ func AnyBool(name string) Field { return Field{Name: name, Kind: KindBool, Wildc
 func AnyBytes(name string) Field { return Field{Name: name, Kind: KindBytes, Wildcard: true} }
 
 // valueEqual reports whether two actual fields of the same kind carry
-// the same value.
-func valueEqual(a, b Field) bool {
+// the same value. Pointer receivers keep the hot matching loops from
+// copying the 80-byte Field struct per comparison.
+func valueEqual(a, b *Field) bool {
 	switch a.Kind {
 	case KindInt:
 		return a.Int == b.Int
@@ -103,15 +105,7 @@ func valueEqual(a, b Field) bool {
 	case KindBool:
 		return a.Bool == b.Bool
 	case KindBytes:
-		if len(a.Bytes) != len(b.Bytes) {
-			return false
-		}
-		for i := range a.Bytes {
-			if a.Bytes[i] != b.Bytes[i] {
-				return false
-			}
-		}
-		return true
+		return bytes.Equal(a.Bytes, b.Bytes)
 	}
 	return false
 }
@@ -181,7 +175,7 @@ func (t Tuple) Equal(u Tuple) bool {
 		return false
 	}
 	for i := range t.Fields {
-		a, b := t.Fields[i], u.Fields[i]
+		a, b := &t.Fields[i], &u.Fields[i]
 		if a.Kind != b.Kind || a.Wildcard != b.Wildcard {
 			return false
 		}
@@ -204,25 +198,30 @@ func (t Tuple) Equal(u Tuple) bool {
 //
 // The candidate must not itself contain wildcards (templates match
 // data, not other templates).
+//
+// The checks run cheapest-first: type name, arity, then a tight
+// kind-signature scan over both field lists, and only then the value
+// comparisons. Associative lookup scans every entry of a space with
+// the same template, and most entries lose on type, arity or kind —
+// those all reject without touching a single value.
 func (t Tuple) Matches(u Tuple) bool {
-	if u.HasWildcards() {
-		return false
-	}
 	if t.Type != "" && t.Type != u.Type {
 		return false
 	}
-	if len(t.Fields) != len(u.Fields) {
+	n := len(t.Fields)
+	if n != len(u.Fields) {
 		return false
 	}
-	for i := range t.Fields {
-		tf, uf := t.Fields[i], u.Fields[i]
-		if tf.Kind != uf.Kind {
+	// Kind-signature precheck; a wildcard candidate is never data, so
+	// it is rejected in the same pass.
+	for i := 0; i < n; i++ {
+		if t.Fields[i].Kind != u.Fields[i].Kind || u.Fields[i].Wildcard {
 			return false
 		}
-		if tf.Wildcard {
-			continue
-		}
-		if !valueEqual(tf, uf) {
+	}
+	for i := 0; i < n; i++ {
+		tf := &t.Fields[i]
+		if !tf.Wildcard && !valueEqual(tf, &u.Fields[i]) {
 			return false
 		}
 	}

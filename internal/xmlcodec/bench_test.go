@@ -1,0 +1,74 @@
+package xmlcodec
+
+import (
+	"testing"
+
+	"tpspace/internal/tuple"
+)
+
+// benchTuple is the case-study entry shape: the payload the Figure 7
+// client writes and takes back.
+func benchTuple() tuple.Tuple {
+	payload := make([]byte, 24)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	return tuple.New("case-study",
+		tuple.Int("id", 1),
+		tuple.Bytes("vector", payload),
+	)
+}
+
+func BenchmarkMarshalRequest(b *testing.B) {
+	t := benchTuple()
+	req := NewRequest(7, OpWrite, &t)
+	req.LeaseMs = 160_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MarshalRequest(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalRequest(b *testing.B) {
+	t := benchTuple()
+	req := NewRequest(7, OpWrite, &t)
+	req.LeaseMs = 160_000
+	wire, err := MarshalRequest(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalRequest(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalResponse(b *testing.B) {
+	t := benchTuple()
+	resp := NewResponse(7, true, &t, "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MarshalResponse(resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalResponse(b *testing.B) {
+	t := benchTuple()
+	resp := NewResponse(7, true, &t, "")
+	wire, err := MarshalResponse(resp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalResponse(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -10,10 +10,12 @@
 package xmlcodec
 
 import (
+	"bytes"
 	"encoding/base64"
 	"encoding/xml"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"tpspace/internal/sim"
 	"tpspace/internal/tuple"
@@ -199,8 +201,27 @@ func NewResponse(id uint64, ok bool, t *tuple.Tuple, errMsg string) Response {
 // Tuple extracts the response's tuple.
 func (r Response) Tuple() (tuple.Tuple, error) { return decodeTuple(r.Entry) }
 
+// marshalBufPool recycles encoder scratch buffers across Marshal
+// calls. Every bus exchange marshals at least one request and one
+// response, so at high simulated rates the codec is a steady source
+// of garbage; reusing grown buffers leaves only the exact-size output
+// copy per call.
+var marshalBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// marshal encodes v into a pooled buffer and returns a caller-owned
+// copy of the wire bytes.
+func marshal(v any) ([]byte, error) {
+	buf := marshalBufPool.Get().(*bytes.Buffer)
+	defer marshalBufPool.Put(buf)
+	buf.Reset()
+	if err := xml.NewEncoder(buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
 // MarshalRequest serializes a request to its XML wire bytes.
-func MarshalRequest(r Request) ([]byte, error) { return xml.Marshal(r) }
+func MarshalRequest(r Request) ([]byte, error) { return marshal(r) }
 
 // UnmarshalRequest parses XML wire bytes into a request.
 func UnmarshalRequest(b []byte) (Request, error) {
@@ -210,7 +231,7 @@ func UnmarshalRequest(b []byte) (Request, error) {
 }
 
 // MarshalResponse serializes a response to its XML wire bytes.
-func MarshalResponse(r Response) ([]byte, error) { return xml.Marshal(r) }
+func MarshalResponse(r Response) ([]byte, error) { return marshal(r) }
 
 // UnmarshalResponse parses XML wire bytes into a response.
 func UnmarshalResponse(b []byte) (Response, error) {

@@ -1,0 +1,51 @@
+#!/bin/sh
+# bench.sh — machine-readable bench baseline (make bench).
+#
+# Runs the kernel micro-benches and the full -plan grid benchmark and
+# writes the results as JSON:
+#
+#   BENCH_kernel.json  kernel calendar micro-benches (incl. the
+#                      in-binary container/heap baselines)
+#   BENCH_plan.json    one full planner grid pass: wall ns/op,
+#                      allocs/op and the simulated seconds modelled
+#
+# Every record carries {name, ns_per_op, allocs_per_op,
+# simulated_seconds}; benches without a simulated-time dimension
+# record 0. Downstream tooling (scripts/check.sh, CI trend lines)
+# parses these files instead of scraping bench text.
+# Usage: scripts/bench.sh   (or: make bench)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# bench_to_json parses `go test -bench` output on stdin into a JSON
+# array: one object per bench line, ranks found by their unit suffix.
+bench_to_json() {
+    awk '
+    BEGIN { print "["; n = 0 }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns = "0"; allocs = "0"; sims = "0"
+        for (i = 2; i < NF; i++) {
+            if ($(i + 1) == "ns/op") ns = $i
+            else if ($(i + 1) == "allocs/op") allocs = $i
+            else if ($(i + 1) == "sim-s") sims = $i
+        }
+        if (n++) printf ",\n"
+        printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"simulated_seconds\": %s}", \
+            name, ns, allocs, sims
+    }
+    END { if (n) printf "\n"; print "]" }
+    '
+}
+
+echo "==> kernel calendar benches -> BENCH_kernel.json"
+go test -run '^$' -bench '^BenchmarkKernel' -benchmem ./internal/sim/ \
+    | tee /dev/stderr | bench_to_json > BENCH_kernel.json
+
+echo "==> planner grid bench -> BENCH_plan.json"
+go test -run '^$' -bench '^BenchmarkPlanGrid$' -benchmem -benchtime=1x . \
+    | tee /dev/stderr | bench_to_json > BENCH_plan.json
+
+echo "OK: wrote BENCH_kernel.json BENCH_plan.json"

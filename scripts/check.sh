@@ -2,8 +2,10 @@
 # check.sh — the repo's one-stop verification gate:
 #   gofmt gate, vet, build, full tests under the race detector (which
 #   also covers the parallel experiment runner's and chaos harness's
-#   guard tests), a fuzz smoke over every fuzz target, and the kernel
-#   micro-benches executed once each as a smoke test.
+#   guard tests), a fuzz smoke over every fuzz target, a fast-path
+#   equivalence smoke (tpbench output must be byte-identical with and
+#   without -nofastpath), and a kernel bench regression smoke that
+#   fails if the calendar's schedule/churn paths allocate.
 # Usage: scripts/check.sh   (or: make check)
 #   FUZZTIME=2s scripts/check.sh   # shorten/lengthen the fuzz smoke
 set -eu
@@ -36,7 +38,33 @@ go test -run '^$' -fuzz '^FuzzUnmarshalRequest$' -fuzztime "$FUZZTIME" ./interna
 go test -run '^$' -fuzz '^FuzzRSPDecode$' -fuzztime "$FUZZTIME" ./internal/cosim/
 go test -run '^$' -fuzz '^FuzzRSPStubHandle$' -fuzztime "$FUZZTIME" ./internal/cosim/
 
-echo "==> kernel bench smoke (-benchtime=1x)"
-go test -run '^$' -bench 'BenchmarkKernel' -benchtime=1x ./internal/sim/
+echo "==> fast-path equivalence smoke (tpbench with vs without -nofastpath)"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/tpbench" ./cmd/tpbench
+for mode in "-table 4" "-sweep" "-fig 7"; do
+    # shellcheck disable=SC2086
+    "$tmp/tpbench" $mode > "$tmp/fast.txt"
+    # shellcheck disable=SC2086
+    "$tmp/tpbench" $mode -nofastpath > "$tmp/slow.txt"
+    if ! cmp -s "$tmp/fast.txt" "$tmp/slow.txt"; then
+        echo "fast path output diverges for: tpbench $mode" >&2
+        diff "$tmp/slow.txt" "$tmp/fast.txt" >&2 || true
+        exit 1
+    fi
+done
+
+echo "==> kernel bench regression smoke (schedule/churn must not allocate)"
+go test -run '^$' -bench '^BenchmarkKernel(Schedule|Churn)$' -benchmem \
+    -benchtime=10000x ./internal/sim/ | tee "$tmp/kernelbench.txt"
+if awk '/^BenchmarkKernel(Schedule|Churn)-/ {
+        for (i = 2; i < NF; i++)
+            if ($(i + 1) == "allocs/op" && $i + 0 > 0) { bad = 1; print $1, $i, "allocs/op" }
+    } END { exit bad }' "$tmp/kernelbench.txt"; then
+    :
+else
+    echo "kernel calendar regression: schedule/churn allocates" >&2
+    exit 1
+fi
 
 echo "OK"
