@@ -24,9 +24,10 @@ import (
 func main() {
 	addr := flag.String("addr", ":7010", "listen address")
 	journalPath := flag.String("journal", "", "journal file for the persistent message store (restored on start)")
+	shards := flag.Int("shards", 1, "independently locked space shards (concrete-template traffic scales across them; semantics are identical at any count)")
 	flag.Parse()
 
-	sp := space.New(space.NewRealRuntime())
+	sp := space.New(space.NewRealRuntime(), space.WithShards(*shards))
 	if *journalPath != "" {
 		n, err := sp.ReplayFile(*journalPath)
 		if err != nil {

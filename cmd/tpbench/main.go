@@ -8,6 +8,8 @@
 //	tpbench -fig 6           # Figure 6 scenario summary
 //	tpbench -fig 7           # Figure 7 single case-study run
 //	tpbench -chaos           # Table 4 scenario under injected faults
+//	tpbench -spacebench      # tuplespace serving-plane throughput
+//	                         # (-shards n compares sharded stores)
 //
 // Independent co-simulations (Table 3 rows, Table 4 cells, sweep
 // samples, planner grid points) fan out across all CPUs by default;
@@ -38,6 +40,8 @@ func main() {
 	compare := flag.Bool("compare", false, "compare Ethernet/TCP and TpWIRE substrates (Section 4.3)")
 	plan := flag.Bool("plan", false, "search the design space for the cheapest bus meeting the Table 4 requirements")
 	chaos := flag.Bool("chaos", false, "replay the Table 4 scenario under injected faults and print the degradation table")
+	spacebench := flag.Bool("spacebench", false, "drive the tuplespace serving plane through the mixed write/take/read/wake workload and print per-op latency")
+	shards := flag.Int("shards", 1, "space shards for -spacebench")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent simulations (0 = all CPUs, 1 = sequential)")
 	nofastpath := flag.Bool("nofastpath", false, "disable burst-mode idle-sweep coalescing (A/B escape hatch; output is byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -59,6 +63,12 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *spacebench {
+		cfg := core.DefaultSpaceBenchConfig()
+		cfg.Shards = *shards
+		fmt.Print(core.RunSpaceBench(cfg).Format())
+		return
+	}
 	if *plan {
 		fmt.Print(core.RunPlan(core.PlanConfig{
 			Requirements: core.DefaultRequirements(),

@@ -1,0 +1,141 @@
+// Space serving-plane throughput workload: the -spacebench mode of
+// cmd/tpbench. Where internal/space/bench_test.go micro-benchmarks
+// individual index paths against the in-binary linear baseline, this
+// runner drives a live Space on the real runtime through the mixed
+// workload of the ISSUE acceptance scenario — 10^5 preloaded entries,
+// 10^4 parked waiters, then sustained write / take-hit / take-miss /
+// read / waiter-wake phases — and reports per-op latency, so shard
+// counts can be compared end to end from the CLI.
+
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/tuple"
+)
+
+// SpaceBenchConfig sizes the -spacebench workload.
+type SpaceBenchConfig struct {
+	Entries int // preloaded live entries (default 100k)
+	Waiters int // parked non-matching takers (default 10k)
+	Ops     int // timed operations per phase (default 50k)
+	Shards  int // space shards (default 1)
+}
+
+// DefaultSpaceBenchConfig is the acceptance-scenario shape.
+func DefaultSpaceBenchConfig() SpaceBenchConfig {
+	return SpaceBenchConfig{Entries: 100_000, Waiters: 10_000, Ops: 50_000, Shards: 1}
+}
+
+// SpaceBenchPhase is one timed phase.
+type SpaceBenchPhase struct {
+	Name    string
+	Ops     int
+	Elapsed time.Duration
+}
+
+// NsPerOp reports the phase's mean latency in nanoseconds.
+func (p SpaceBenchPhase) NsPerOp() float64 {
+	if p.Ops == 0 {
+		return 0
+	}
+	return float64(p.Elapsed.Nanoseconds()) / float64(p.Ops)
+}
+
+// SpaceBenchResult is a full -spacebench run.
+type SpaceBenchResult struct {
+	Config SpaceBenchConfig
+	Phases []SpaceBenchPhase
+}
+
+func spaceBenchTuple(i int) tuple.Tuple {
+	return tuple.New("job", tuple.String("op", "x"), tuple.Int("n", int64(i)))
+}
+
+// RunSpaceBench executes the workload and returns per-phase timings.
+func RunSpaceBench(cfg SpaceBenchConfig) SpaceBenchResult {
+	def := DefaultSpaceBenchConfig()
+	if cfg.Entries <= 0 {
+		cfg.Entries = def.Entries
+	}
+	if cfg.Waiters <= 0 {
+		cfg.Waiters = def.Waiters
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = def.Ops
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = def.Shards
+	}
+	s := space.New(space.NewRealRuntime(), space.WithShards(cfg.Shards))
+	res := SpaceBenchResult{Config: cfg}
+	timed := func(name string, ops int, f func(i int)) {
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			f(i)
+		}
+		res.Phases = append(res.Phases, SpaceBenchPhase{Name: name, Ops: ops, Elapsed: time.Since(start)})
+	}
+
+	// Preload the live set and the parked plane (timed too: bulk load
+	// cost is itself a serving-path number).
+	timed("preload-write", cfg.Entries, func(i int) {
+		s.Write(spaceBenchTuple(i), space.NoLease)
+	})
+	sink := func(tuple.Tuple, bool) {}
+	timed("park-waiters", cfg.Waiters, func(i int) {
+		s.Take(tuple.New("job", tuple.String("op", "wait"), tuple.Int("n", int64(i))), sim.Forever, sink)
+	})
+
+	next := cfg.Entries
+	timed("write", cfg.Ops, func(i int) {
+		s.Write(spaceBenchTuple(next+i), space.NoLease)
+	})
+	next += cfg.Ops
+	timed("read-hit", cfg.Ops, func(i int) {
+		if _, ok := s.ReadIfExists(spaceBenchTuple(i % cfg.Entries)); !ok {
+			panic("spacebench: read miss on a present entry")
+		}
+	})
+	// Take youngest-first: the adversarial order for a linear store,
+	// O(1) for the value index.
+	timed("take-hit", cfg.Ops, func(i int) {
+		if _, ok := s.TakeIfExists(spaceBenchTuple(next - 1 - i)); !ok {
+			panic("spacebench: take miss on a present entry")
+		}
+	})
+	missTmpl := spaceBenchTuple(-1)
+	timed("take-miss", cfg.Ops, func(i int) {
+		if _, ok := s.TakeIfExists(missTmpl); ok {
+			panic("spacebench: take hit on an absent entry")
+		}
+	})
+	hit := tuple.New("job", tuple.String("op", "wake"), tuple.Int("n", 0))
+	wake := func(tuple.Tuple, bool) {}
+	timed("waiter-wake", cfg.Ops, func(i int) {
+		s.Take(hit, sim.Forever, wake)
+		s.Write(hit, space.NoLease)
+	})
+	return res
+}
+
+// Format renders the result as the -spacebench report.
+func (r SpaceBenchResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Space serving-plane workload: %d entries, %d parked waiters, %d shard(s)\n",
+		r.Config.Entries, r.Config.Waiters, r.Config.Shards)
+	fmt.Fprintf(&b, "%-14s %10s %12s %14s\n", "phase", "ops", "ns/op", "ops/sec")
+	for _, p := range r.Phases {
+		perSec := 0.0
+		if p.Elapsed > 0 {
+			perSec = float64(p.Ops) / p.Elapsed.Seconds()
+		}
+		fmt.Fprintf(&b, "%-14s %10d %12.1f %14.0f\n", p.Name, p.Ops, p.NsPerOp(), perSec)
+	}
+	return b.String()
+}

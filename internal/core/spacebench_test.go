@@ -1,0 +1,34 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpaceBenchSmoke(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		cfg := SpaceBenchConfig{Entries: 2000, Waiters: 200, Ops: 1000, Shards: shards}
+		res := RunSpaceBench(cfg)
+		if len(res.Phases) != 7 {
+			t.Fatalf("shards %d: %d phases", shards, len(res.Phases))
+		}
+		for _, p := range res.Phases {
+			if p.Ops == 0 || p.Elapsed < 0 {
+				t.Fatalf("shards %d: empty phase %+v", shards, p)
+			}
+		}
+		out := res.Format()
+		for _, want := range []string{"take-hit", "take-miss", "waiter-wake", "write"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("shards %d: report missing %q:\n%s", shards, want, out)
+			}
+		}
+	}
+}
+
+func TestSpaceBenchDefaultsFill(t *testing.T) {
+	res := RunSpaceBench(SpaceBenchConfig{Entries: 100, Waiters: 10, Ops: 50})
+	if res.Config.Shards != 1 {
+		t.Fatalf("zero shards not defaulted: %+v", res.Config)
+	}
+}

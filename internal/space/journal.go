@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 
 	"tpspace/internal/sim"
@@ -140,9 +141,9 @@ func (j *Journal) logRemove(id uint64) {
 // expiry and cancellation is recorded. Attach before the first write;
 // existing entries are not back-filled (replay first, then attach).
 func (s *Space) SetJournal(j *Journal) {
-	s.mu.Lock()
+	s.lockAll()
 	s.journal = j
-	s.mu.Unlock()
+	s.unlockAll()
 }
 
 // Replay rebuilds a space's store from a journal stream: surviving
@@ -163,7 +164,6 @@ func (s *Space) Replay(r io.Reader) (int, error) {
 		lease sim.Duration
 	}
 	live := map[uint64]pending{}
-	var order []uint64
 
 	br := bufio.NewReader(r)
 	for {
@@ -197,8 +197,9 @@ func (s *Space) Replay(r io.Reader) (int, error) {
 			if err != nil {
 				return 0, fmt.Errorf("%w: %v", ErrJournalCorrupt, err)
 			}
+			// An id may recur (a txn abort re-logs the restored
+			// entry); the latest record wins.
 			live[id] = pending{t: t, lease: lease}
-			order = append(order, id)
 		case journalRemove:
 			var rec [8]byte
 			if _, err := io.ReadFull(br, rec[:]); err != nil {
@@ -213,34 +214,38 @@ func (s *Space) Replay(r io.Reader) (int, error) {
 		}
 	}
 done:
-	// An id may recur (a txn abort re-logs the restored entry);
-	// restore each live entry once, at its latest journal position.
-	lastPos := make(map[uint64]int, len(order))
-	for i, id := range order {
-		lastPos[id] = i
+	// Restore the live set in ascending id order: the store's indexed
+	// views are append-at-tail id-ordered lists, so a sorted restore
+	// rebuilds every view with O(1) links per entry (a journal-order
+	// restore of shuffled ids would degrade each insert to a list
+	// walk). Ascending id order is also exactly the live total order —
+	// the paper's "timestamp determines a total order relation" — so
+	// FIFO takes observe the same sequence as before the crash.
+	ids := make([]uint64, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
 	}
-	restored := 0
-	for i, id := range order {
-		if lastPos[id] != i {
-			continue
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := live[id]
+		for {
+			cur := s.seq.Load()
+			if cur >= id || s.seq.CompareAndSwap(cur, id) {
+				break
+			}
 		}
-		p, ok := live[id]
-		if !ok {
-			continue // removed later in the journal
-		}
-		s.mu.Lock()
-		if s.seq < id {
-			s.seq = id
-		}
-		s.stats.Restored++
-		_, fire := s.store(p.t, p.lease, id, false)
-		s.mu.Unlock()
+		vh, _ := p.t.ValueSig()
+		e := &entry{id: id, t: p.t, vh: vh, kk: p.t.KindSig(), sk: p.t.ShapeSig()}
+		sh := s.shardFor(vh)
+		sh.mu.Lock()
+		sh.stats.Restored++
+		_, fire := sh.store(e, p.lease, false)
+		sh.mu.Unlock()
 		for _, f := range fire {
 			f()
 		}
-		restored++
 	}
-	return restored, nil
+	return len(ids), nil
 }
 
 // ReplayFile is Replay over a journal file; a missing file restores

@@ -2,7 +2,8 @@ package space
 
 import (
 	"errors"
-	"sync"
+	"sort"
+	"sync/atomic"
 
 	"tpspace/internal/sim"
 	"tpspace/internal/tuple"
@@ -38,32 +39,25 @@ type Stats struct {
 	Restored  uint64 // entries rebuilt by journal replay
 }
 
-// entry is a stored tuple with its bookkeeping. The sequence number
-// implements the total order the paper relies on ("the timestamp on
-// each tuple determines a total order relation"). Entries are nodes
-// of two intrusive doubly-linked lists — the global write order and
-// their type's bucket — so removal is O(1) and matching with a
-// concrete-type template touches only that type's entries.
-type entry struct {
-	id        uint64
-	t         tuple.Tuple
-	writtenAt sim.Time
-	cancelExp func()
-
-	prev, next   *entry // global order
-	tPrev, tNext *entry // type bucket order
-	linked       bool
-}
-
-// bucket is a per-type doubly-linked list head/tail.
-type bucket struct {
-	head, tail *entry
+// add accumulates per-shard counters into a snapshot.
+func (a *Stats) add(b Stats) {
+	a.Writes += b.Writes
+	a.Reads += b.Reads
+	a.Takes += b.Takes
+	a.Misses += b.Misses
+	a.Timeouts += b.Timeouts
+	a.Expired += b.Expired
+	a.Cancelled += b.Cancelled
+	a.Notifies += b.Notifies
+	a.Crashes += b.Crashes
+	a.Restored += b.Restored
 }
 
 // Lease controls the lifetime of a written entry, after JavaSpaces
 // leases.
 type Lease struct {
 	sp *Space
+	sh *shard
 	id uint64
 	// Expiry is the absolute time the entry lapses, or zero for a
 	// permanent entry.
@@ -76,12 +70,12 @@ func (l *Lease) Cancel() bool {
 	if l == nil || l.sp == nil {
 		return false
 	}
-	l.sp.mu.Lock()
-	e := l.sp.removeByID(l.id)
+	l.sh.mu.Lock()
+	e := l.sh.removeByID(l.id)
 	if e != nil {
-		l.sp.stats.Cancelled++
+		l.sh.stats.Cancelled++
 	}
-	l.sp.mu.Unlock()
+	l.sh.mu.Unlock()
 	return e != nil
 }
 
@@ -92,10 +86,10 @@ func (l *Lease) Renew(d sim.Duration) bool {
 	if l == nil || l.sp == nil {
 		return false
 	}
-	s := l.sp
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.byID[l.id]
+	s, sh := l.sp, l.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.byID[l.id]
 	if e == nil {
 		return false
 	}
@@ -108,58 +102,105 @@ func (l *Lease) Renew(d sim.Duration) bool {
 		l.Expiry = s.rt.Now().Add(d)
 		id := e.id
 		e.cancelExp = s.rt.After(d, func() {
-			s.mu.Lock()
-			if s.removeByID(id) != nil {
-				s.stats.Expired++
+			sh.mu.Lock()
+			if sh.removeByID(id) != nil {
+				sh.stats.Expired++
 			}
-			s.mu.Unlock()
+			sh.mu.Unlock()
 		})
 	}
 	return true
 }
 
-// waiter is a parked blocking read or take. cb receives the tuple and
-// a nil error on success, ErrTimeout on expiry, or ErrCrashed when the
-// space crashes under it.
-type waiter struct {
-	tmpl        tuple.Tuple
-	take        bool
-	cb          func(tuple.Tuple, error)
-	cancelTimer func()
-	done        bool
-}
-
-// notifyReg is a subscribe/notify registration.
-type notifyReg struct {
-	tmpl tuple.Tuple
-	fn   func(tuple.Tuple)
-	dead bool
-}
-
 // Space is the tuplespace. All methods are safe for concurrent use;
 // callbacks are always invoked without internal locks held.
+//
+// Internally the space is one or more independently locked shards
+// (see New and WithShards). Entries are hashed across shards by their
+// value signature, so a wildcard-free typed template — the common hot
+// path — touches exactly one shard and one index bucket. Templates
+// that could match entries in several shards (any wildcard, or an
+// empty type name) take the documented cross-shard path: they lock
+// every shard in index order, which preserves FIFO/total-order
+// semantics exactly and degrades to the single-lock behaviour when
+// the space is unsharded.
 type Space struct {
 	rt Runtime
 
-	mu   sync.Mutex
-	seq  uint64
-	size int
-	// head/tail anchor the global write order (total order).
-	head, tail *entry
-	// byType indexes entries by tuple type, so templates with a
-	// concrete type match against their bucket instead of the whole
-	// store. Buckets preserve write order.
-	byType map[string]*bucket
-	// byID resolves lease operations in O(1).
-	byID     map[uint64]*entry
-	waiters  []*waiter
-	notifies []*notifyReg
-	stats    Stats
-	journal  *Journal
+	seq    atomic.Uint64 // entry id authority (the total order)
+	subSeq atomic.Uint64 // waiter/notify registration order authority
+
+	shards []*shard
+
+	// journal is attach-before-use (see SetJournal): logW/logR read it
+	// under a shard lock, SetJournal writes it under all of them.
+	journal *Journal
+}
+
+// config collects New options.
+type config struct {
+	shards int
+}
+
+// Option configures a Space at construction.
+type Option func(*config)
+
+// WithShards splits the space into n independently locked shards.
+// Concrete-signature traffic (writes, and wildcard-free typed
+// templates) hashes across them; wildcard templates use the
+// cross-shard path. n <= 1 keeps the single-shard space, whose
+// observable behaviour every sharded configuration preserves: one
+// global id sequence, FIFO waiter fairness by registration order, and
+// byte-identical journal replay, crash and transaction semantics.
+func WithShards(n int) Option {
+	return func(c *config) {
+		if n > 1 {
+			c.shards = n
+		}
+	}
+}
+
+// New creates an empty space on the given runtime.
+func New(rt Runtime, opts ...Option) *Space {
+	cfg := config{shards: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Space{rt: rt, shards: make([]*shard, cfg.shards)}
+	for i := range s.shards {
+		s.shards[i] = newShard(s)
+	}
+	return s
+}
+
+// Shards reports the shard count (1 for an unsharded space).
+func (s *Space) Shards() int { return len(s.shards) }
+
+// shardFor routes a value signature to its home shard.
+func (s *Space) shardFor(vh uint64) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	return s.shards[vh%uint64(len(s.shards))]
+}
+
+// lockAll acquires every shard lock in index order (the repo-wide
+// lock order; cross-shard paths and registration both use it, so the
+// order is deadlock-free by construction).
+func (s *Space) lockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (s *Space) unlockAll() {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
 }
 
 // logW records a stored write in the attached journal, if any. The
-// caller holds the lock.
+// caller holds a shard lock.
 func (s *Space) logW(id uint64, t tuple.Tuple, lease sim.Duration) {
 	if s.journal != nil {
 		s.journal.logWrite(id, t, lease)
@@ -167,156 +208,11 @@ func (s *Space) logW(id uint64, t tuple.Tuple, lease sim.Duration) {
 }
 
 // logR records a removal in the attached journal, if any. The caller
-// holds the lock.
+// holds a shard lock.
 func (s *Space) logR(id uint64) {
 	if s.journal != nil {
 		s.journal.logRemove(id)
 	}
-}
-
-// New creates an empty space on the given runtime.
-func New(rt Runtime) *Space {
-	return &Space{
-		rt:     rt,
-		byType: make(map[string]*bucket),
-		byID:   make(map[uint64]*entry),
-	}
-}
-
-// link appends a stored entry to the tail of the order and its type
-// bucket; the caller holds the lock.
-func (s *Space) link(e *entry) {
-	e.prev = s.tail
-	e.next = nil
-	if s.tail != nil {
-		s.tail.next = e
-	} else {
-		s.head = e
-	}
-	s.tail = e
-
-	b := s.byType[e.t.Type]
-	if b == nil {
-		b = &bucket{}
-		s.byType[e.t.Type] = b
-	}
-	e.tPrev = b.tail
-	e.tNext = nil
-	if b.tail != nil {
-		b.tail.tNext = e
-	} else {
-		b.head = e
-	}
-	b.tail = e
-
-	s.byID[e.id] = e
-	e.linked = true
-	s.size++
-}
-
-// insertSorted links e into its id-ordered position (used by
-// transaction aborts restoring held entries); the caller holds the
-// lock.
-func (s *Space) insertSorted(e *entry) {
-	// Global order: walk back from the tail (restored entries are
-	// usually near it).
-	at := s.tail
-	for at != nil && at.id > e.id {
-		at = at.prev
-	}
-	// Insert after at.
-	if at == nil {
-		e.prev = nil
-		e.next = s.head
-		if s.head != nil {
-			s.head.prev = e
-		} else {
-			s.tail = e
-		}
-		s.head = e
-	} else {
-		e.prev = at
-		e.next = at.next
-		if at.next != nil {
-			at.next.prev = e
-		} else {
-			s.tail = e
-		}
-		at.next = e
-	}
-
-	b := s.byType[e.t.Type]
-	if b == nil {
-		b = &bucket{}
-		s.byType[e.t.Type] = b
-	}
-	tat := b.tail
-	for tat != nil && tat.id > e.id {
-		tat = tat.tPrev
-	}
-	if tat == nil {
-		e.tPrev = nil
-		e.tNext = b.head
-		if b.head != nil {
-			b.head.tPrev = e
-		} else {
-			b.tail = e
-		}
-		b.head = e
-	} else {
-		e.tPrev = tat
-		e.tNext = tat.tNext
-		if tat.tNext != nil {
-			tat.tNext.tPrev = e
-		} else {
-			b.tail = e
-		}
-		tat.tNext = e
-	}
-
-	s.byID[e.id] = e
-	e.linked = true
-	s.size++
-}
-
-// unlink splices an entry out of the order and the type index in
-// O(1), cancelling its expiry timer and journalling the removal; the
-// caller holds the lock. It reports whether the entry was present.
-func (s *Space) unlink(e *entry) bool {
-	if !e.linked {
-		return false
-	}
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else {
-		s.head = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		s.tail = e.prev
-	}
-	b := s.byType[e.t.Type]
-	if e.tPrev != nil {
-		e.tPrev.tNext = e.tNext
-	} else {
-		b.head = e.tNext
-	}
-	if e.tNext != nil {
-		e.tNext.tPrev = e.tPrev
-	} else {
-		b.tail = e.tPrev
-	}
-	e.prev, e.next, e.tPrev, e.tNext = nil, nil, nil, nil
-	e.linked = false
-	delete(s.byID, e.id)
-	s.size--
-	if e.cancelExp != nil {
-		e.cancelExp()
-		e.cancelExp = nil
-	}
-	s.logR(e.id)
-	return true
 }
 
 // Runtime returns the space's runtime.
@@ -324,39 +220,69 @@ func (s *Space) Runtime() Runtime { return s.rt }
 
 // Stats returns a snapshot of the counters.
 func (s *Space) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	var out Stats
+	s.lockAll()
+	for _, sh := range s.shards {
+		out.add(sh.stats)
+	}
+	s.unlockAll()
+	return out
 }
 
 // Size reports the number of stored entries.
 func (s *Space) Size() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.size
+	n := 0
+	s.lockAll()
+	for _, sh := range s.shards {
+		n += sh.size
+	}
+	s.unlockAll()
+	return n
 }
 
 // Count reports how many stored entries match the template.
 func (s *Space) Count(tmpl tuple.Tuple) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	if tmpl.Type != "" {
-		if b := s.byType[tmpl.Type]; b != nil {
-			for e := b.head; e != nil; e = e.tNext {
-				if tmpl.Matches(e.t) {
-					n++
-				}
-			}
-		}
+	class, key := classify(tmpl)
+	if class == subValue {
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		n := sh.countIn(class, key, tmpl)
+		sh.mu.Unlock()
 		return n
 	}
-	for e := s.head; e != nil; e = e.next {
-		if tmpl.Matches(e.t) {
-			n++
-		}
+	n := 0
+	s.lockAll()
+	for _, sh := range s.shards {
+		n += sh.countIn(class, key, tmpl)
 	}
+	s.unlockAll()
 	return n
+}
+
+// Scan returns copies of every matching entry in write order without
+// removing them. JavaSpaces lacks a bulk read but TSpaces (also cited
+// by the paper) provides one as "scan"; registries need it.
+func (s *Space) Scan(tmpl tuple.Tuple) []tuple.Tuple {
+	class, key := classify(tmpl)
+	var hits []scanHit
+	if class == subValue {
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		hits = sh.scanIn(class, key, tmpl, hits)
+		sh.mu.Unlock()
+	} else {
+		s.lockAll()
+		for _, sh := range s.shards {
+			hits = sh.scanIn(class, key, tmpl, hits)
+		}
+		s.unlockAll()
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].id < hits[j].id })
+	var out []tuple.Tuple
+	for _, h := range hits {
+		out = append(out, h.t)
+	}
+	return out
 }
 
 // Write stores a tuple with the given lease duration (NoLease for
@@ -370,12 +296,15 @@ func (s *Space) Write(t tuple.Tuple, lease sim.Duration) (*Lease, error) {
 		return nil, ErrTemplateWrite
 	}
 	stored := t.Clone()
+	vh, _ := stored.ValueSig()
+	e := &entry{t: stored, vh: vh, kk: stored.KindSig(), sk: stored.ShapeSig()}
 
-	s.mu.Lock()
-	s.seq++
-	s.stats.Writes++
-	l, fire := s.store(stored, lease, s.seq, true)
-	s.mu.Unlock()
+	sh := s.shardFor(vh)
+	sh.mu.Lock()
+	e.id = s.seq.Add(1)
+	sh.stats.Writes++
+	l, fire := sh.store(e, lease, true)
+	sh.mu.Unlock()
 
 	for _, f := range fire {
 		f()
@@ -383,82 +312,112 @@ func (s *Space) Write(t tuple.Tuple, lease sim.Duration) (*Lease, error) {
 	return l, nil
 }
 
-// store runs the write machinery for an already-cloned tuple under the
-// lock: notify fan-out, waiter satisfaction, linking, journaling and
-// lease arming. journal=false is the replay path — the write already
-// sits in the journal under this id, so only a replay-time consumption
-// by a parked waiter is logged. The returned callbacks must run after
+// store runs the write machinery for a prepared entry (id assigned,
+// signatures computed, tuple already cloned) under the shard lock:
+// notify fan-out, waiter satisfaction, linking, journaling and lease
+// arming. journal=false is the replay path — the write already sits
+// in the journal under this id, so only a replay-time consumption by
+// a parked waiter is logged. The returned callbacks must run after
 // the lock is released.
-func (s *Space) store(stored tuple.Tuple, lease sim.Duration, id uint64, journal bool) (*Lease, []func()) {
-	e := &entry{id: id, t: stored, writtenAt: s.rt.Now()}
+func (sh *shard) store(e *entry, lease sim.Duration, journal bool) (*Lease, []func()) {
+	s := sh.sp
+	e.writtenAt = s.rt.Now()
+	stored := e.t
 
-	// Collect callbacks to run after unlocking.
-	var fire []func()
+	// Probe only the subscription buckets this tuple's signatures can
+	// satisfy: exact-match, typed-wildcard, and untyped. Nothing else
+	// in the space can match it. Readers are claimed as they are
+	// found; takers are collected so the registration-order (FIFO)
+	// oldest wins across buckets.
+	var notifies, woken []*sub
+	var takers []*subNode
+	scan := func(l *subList) {
+		if l == nil {
+			return
+		}
+		for node := l.head; node != nil; {
+			next := node.bNext
+			sb := node.s
+			switch {
+			case sb.done.Load():
+				sh.dropSub(node) // lazily reap raced-out registrations
+			case !sb.tmpl.Matches(stored):
+			case sb.notify:
+				notifies = append(notifies, sb)
+			case sb.take:
+				takers = append(takers, node)
+			default: // reader
+				if sb.done.CompareAndSwap(false, true) {
+					sh.dropSub(node)
+					woken = append(woken, sb)
+					sh.stats.Reads++
+				}
+			}
+			node = next
+		}
+	}
+	scan(sh.subVal[e.vh])
+	scan(sh.subKind[e.kk])
+	scan(sh.subShape[e.sk])
 
-	// Notify subscribers.
-	for _, n := range s.notifies {
-		if !n.dead && n.tmpl.Matches(stored) {
-			n := n
-			cp := stored.Clone()
-			s.stats.Notifies++
-			fire = append(fire, func() { n.fn(cp) })
+	consumed := false
+	sort.Slice(takers, func(i, j int) bool { return takers[i].s.seq < takers[j].s.seq })
+	for _, node := range takers {
+		if node.s.done.CompareAndSwap(false, true) {
+			sh.dropSub(node)
+			woken = append(woken, node.s)
+			sh.stats.Takes++
+			consumed = true
+			break
 		}
 	}
 
-	// Satisfy pending readers (all of them) and the oldest taker.
-	consumed := false
-	kept := s.waiters[:0]
-	for _, w := range s.waiters {
-		if w.done {
-			continue
-		}
-		if !w.tmpl.Matches(stored) {
-			kept = append(kept, w)
-			continue
-		}
-		if w.take {
-			if consumed {
-				kept = append(kept, w)
-				continue
-			}
-			consumed = true
-			s.stats.Takes++
-		} else {
-			s.stats.Reads++
-		}
-		w.done = true
+	// Fire notifies first, then satisfied waiters, each in
+	// registration order — the legacy single-list fan-out order.
+	var fire []func()
+	sort.Slice(notifies, func(i, j int) bool { return notifies[i].seq < notifies[j].seq })
+	for _, n := range notifies {
+		n := n
+		cp := stored.Clone()
+		sh.stats.Notifies++
+		fire = append(fire, func() { n.fn(cp) })
+	}
+	sort.Slice(woken, func(i, j int) bool { return woken[i].seq < woken[j].seq })
+	for _, w := range woken {
 		if w.cancelTimer != nil {
 			w.cancelTimer()
 		}
 		w := w
 		cp := stored.Clone()
-		fire = append(fire, func() { w.cb(cp, nil) })
+		fire = append(fire, func() {
+			w.unlinkAll() // reap replicas parked on other shards
+			w.cb(cp, nil)
+		})
 	}
-	s.waiters = kept
 
 	var l *Lease
 	if consumed {
 		if !journal {
 			// A restored entry went straight to a parked taker: persist
 			// the consumption so a later replay does not resurrect it.
-			s.logR(id)
+			s.logR(e.id)
 		}
 		l = &Lease{} // detached: entry is already gone
 	} else {
-		s.link(e)
+		sh.link(e)
 		if journal {
 			s.logW(e.id, stored, lease)
 		}
-		l = &Lease{sp: s, id: e.id}
+		l = &Lease{sp: s, sh: sh, id: e.id}
 		if lease > 0 {
 			l.Expiry = s.rt.Now().Add(lease)
 			id := e.id
 			e.cancelExp = s.rt.After(lease, func() {
-				s.mu.Lock()
-				if s.removeByID(id) != nil {
-					s.stats.Expired++
+				sh.mu.Lock()
+				if sh.removeByID(id) != nil {
+					sh.stats.Expired++
 				}
-				s.mu.Unlock()
+				sh.mu.Unlock()
 			})
 		}
 	}
@@ -472,121 +431,191 @@ func (s *Space) store(stored tuple.Tuple, lease sim.Duration, id uint64, journal
 // logged for the wiped entries. The entry id sequence keeps counting
 // so ids stay unique across the crash.
 func (s *Space) Crash() {
-	s.mu.Lock()
-	s.stats.Crashes++
-	ws := s.waiters
-	s.waiters = nil
-	var fire []func()
-	for _, w := range ws {
-		if w.done {
-			continue
-		}
-		w.done = true
-		if w.cancelTimer != nil {
-			w.cancelTimer()
-		}
-		w := w
-		fire = append(fire, func() { w.cb(tuple.Tuple{}, ErrCrashed) })
-	}
-	for _, n := range s.notifies {
-		n.dead = true
-	}
-	s.notifies = nil
-	for e := s.head; e != nil; {
-		next := e.next
-		if e.cancelExp != nil {
-			e.cancelExp()
-			e.cancelExp = nil
-		}
-		e.prev, e.next, e.tPrev, e.tNext = nil, nil, nil, nil
-		e.linked = false
-		e = next
-	}
-	s.head, s.tail = nil, nil
-	s.byType = make(map[string]*bucket)
-	s.byID = make(map[uint64]*entry)
-	s.size = 0
-	s.mu.Unlock()
-
-	for _, f := range fire {
-		f()
-	}
-}
-
-// removeByID unlinks an entry; the caller holds the lock.
-func (s *Space) removeByID(id uint64) *entry {
-	e := s.byID[id]
-	if e == nil {
-		return nil
-	}
-	s.unlink(e)
-	return e
-}
-
-// findOldest returns the oldest matching entry, or nil; the caller
-// holds the lock. Templates with a concrete type search only their
-// index bucket.
-func (s *Space) findOldest(tmpl tuple.Tuple) *entry {
-	if tmpl.Type != "" {
-		b := s.byType[tmpl.Type]
-		if b == nil {
-			return nil
-		}
-		for e := b.head; e != nil; e = e.tNext {
-			if tmpl.Matches(e.t) {
-				return e
+	s.lockAll()
+	s.shards[0].stats.Crashes++
+	var woken []*sub
+	for _, sh := range s.shards {
+		for node := sh.allHead; node != nil; {
+			next := node.aNext
+			sb := node.s
+			node.linked = false
+			node.list = nil
+			if sb.notify {
+				sb.done.Store(true)
+			} else if sb.done.CompareAndSwap(false, true) {
+				if sb.cancelTimer != nil {
+					sb.cancelTimer()
+				}
+				woken = append(woken, sb)
 			}
+			node = next
 		}
-		return nil
-	}
-	for e := s.head; e != nil; e = e.next {
-		if tmpl.Matches(e.t) {
-			return e
-		}
-	}
-	return nil
-}
+		sh.allHead, sh.allTail = nil, nil
+		sh.subVal = make(map[uint64]*subList)
+		sh.subKind = make(map[uint64]*subList)
+		sh.subShape = make(map[uint64]*subList)
+		sh.slFree = nil
 
-// Scan returns copies of every matching entry in write order without
-// removing them. JavaSpaces lacks a bulk read but TSpaces (also cited
-// by the paper) provides one as "scan"; registries need it.
-func (s *Space) Scan(tmpl tuple.Tuple) []tuple.Tuple {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []tuple.Tuple
-	for e := s.head; e != nil; e = e.next {
-		if tmpl.Matches(e.t) {
-			out = append(out, e.t.Clone())
+		for e := sh.head; e != nil; {
+			next := e.next
+			if e.cancelExp != nil {
+				e.cancelExp()
+				e.cancelExp = nil
+			}
+			e.prev, e.next, e.kPrev, e.kNext, e.vPrev, e.vNext = nil, nil, nil, nil, nil, nil
+			e.linked = false
+			e = next
 		}
+		sh.head, sh.tail = nil, nil
+		sh.byID = make(map[uint64]*entry)
+		sh.kinds = make(map[uint64]*kindBucket)
+		sh.shapes = make(map[uint64]*kindBucket)
+		sh.values = make(map[uint64]*valueBucket)
+		sh.vFree = nil
+		sh.size = 0
 	}
-	return out
+	s.unlockAll()
+
+	sort.Slice(woken, func(i, j int) bool { return woken[i].seq < woken[j].seq })
+	for _, w := range woken {
+		w.cb(tuple.Tuple{}, ErrCrashed)
+	}
 }
 
 // ReadIfExists returns a copy of the oldest matching entry without
 // removing it, or ok=false if none is present.
 func (s *Space) ReadIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e := s.findOldest(tmpl); e != nil {
-		s.stats.Reads++
-		return e.t.Clone(), true
+	class, key := classify(tmpl)
+	if class == subValue {
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		if e := sh.oldest(class, key, tmpl); e != nil {
+			sh.stats.Reads++
+			out := e.t.Clone()
+			sh.mu.Unlock()
+			return out, true
+		}
+		sh.stats.Misses++
+		sh.mu.Unlock()
+		return tuple.Tuple{}, false
 	}
-	s.stats.Misses++
+	s.lockAll()
+	if e, _ := s.oldestAllLocked(class, key, tmpl); e != nil {
+		s.shardFor(e.vh).stats.Reads++
+		out := e.t.Clone()
+		s.unlockAll()
+		return out, true
+	}
+	s.shards[0].stats.Misses++
+	s.unlockAll()
 	return tuple.Tuple{}, false
 }
 
 // TakeIfExists removes and returns the oldest matching entry, or
 // ok=false if none is present.
 func (s *Space) TakeIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e := s.findOldest(tmpl); e != nil {
-		s.unlink(e)
-		s.stats.Takes++
+	class, key := classify(tmpl)
+	if class == subValue {
+		// The take-hit fast path: one lock, one bucket probe, O(1)
+		// unlink — and no allocation.
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		if e := sh.oldest(class, key, tmpl); e != nil {
+			sh.unlink(e)
+			sh.stats.Takes++
+			sh.mu.Unlock()
+			return e.t, true
+		}
+		sh.stats.Misses++
+		sh.mu.Unlock()
+		return tuple.Tuple{}, false
+	}
+	s.lockAll()
+	if e, esh := s.oldestAllLocked(class, key, tmpl); e != nil {
+		esh.unlink(e)
+		esh.stats.Takes++
+		s.unlockAll()
 		return e.t, true
 	}
-	s.stats.Misses++
+	s.shards[0].stats.Misses++
+	s.unlockAll()
 	return tuple.Tuple{}, false
+}
+
+// oldestAllLocked finds the globally oldest match across shards; the
+// caller holds every shard lock.
+func (s *Space) oldestAllLocked(class subClass, key uint64, tmpl tuple.Tuple) (*entry, *shard) {
+	var best *entry
+	var bsh *shard
+	for _, sh := range s.shards {
+		if c := sh.oldest(class, key, tmpl); c != nil && (best == nil || c.id < best.id) {
+			best, bsh = c, sh
+		}
+	}
+	return best, bsh
+}
+
+// takeEntry removes and returns the oldest matching entry without
+// miss accounting — the store side of a transactional take, whose
+// miss is only known after the transaction checks its own buffered
+// writes.
+func (s *Space) takeEntry(tmpl tuple.Tuple) *entry {
+	class, key := classify(tmpl)
+	if class == subValue {
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		e := sh.oldest(class, key, tmpl)
+		if e != nil {
+			sh.unlink(e)
+			sh.stats.Takes++
+		}
+		sh.mu.Unlock()
+		return e
+	}
+	s.lockAll()
+	e, esh := s.oldestAllLocked(class, key, tmpl)
+	if e != nil {
+		esh.unlink(e)
+		esh.stats.Takes++
+	}
+	s.unlockAll()
+	return e
+}
+
+// readEntry returns a copy of the oldest matching entry without miss
+// accounting (see takeEntry).
+func (s *Space) readEntry(tmpl tuple.Tuple) (tuple.Tuple, bool) {
+	class, key := classify(tmpl)
+	if class == subValue {
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		if e := sh.oldest(class, key, tmpl); e != nil {
+			sh.stats.Reads++
+			out := e.t.Clone()
+			sh.mu.Unlock()
+			return out, true
+		}
+		sh.mu.Unlock()
+		return tuple.Tuple{}, false
+	}
+	s.lockAll()
+	if e, esh := s.oldestAllLocked(class, key, tmpl); e != nil {
+		esh.stats.Reads++
+		out := e.t.Clone()
+		s.unlockAll()
+		return out, true
+	}
+	s.unlockAll()
+	return tuple.Tuple{}, false
+}
+
+// countMiss accounts an IfExists miss discovered outside a shard
+// critical section (transactions).
+func (s *Space) countMiss() {
+	sh := s.shards[0]
+	sh.mu.Lock()
+	sh.stats.Misses++
+	sh.mu.Unlock()
 }
 
 // Read delivers a copy of a matching entry to cb. If none is present
@@ -620,50 +649,101 @@ func adaptBoolCB(cb func(tuple.Tuple, bool)) func(tuple.Tuple, error) {
 }
 
 func (s *Space) blockingOp(tmpl tuple.Tuple, timeout sim.Duration, take bool, cb func(tuple.Tuple, error)) {
-	s.mu.Lock()
-	if e := s.findOldest(tmpl); e != nil {
+	class, key := classify(tmpl)
+	var home *shard // non-nil: single-shard op; nil: all shards locked
+	if class == subValue {
+		home = s.shardFor(key)
+		home.mu.Lock()
+	} else {
+		s.lockAll()
+	}
+	unlock := func() {
+		if home != nil {
+			home.mu.Unlock()
+		} else {
+			s.unlockAll()
+		}
+	}
+
+	var e *entry
+	esh := home
+	if home != nil {
+		e = home.oldest(class, key, tmpl)
+	} else {
+		e, esh = s.oldestAllLocked(class, key, tmpl)
+	}
+	if e != nil {
 		var out tuple.Tuple
 		if take {
-			s.unlink(e)
-			s.stats.Takes++
+			esh.unlink(e)
+			esh.stats.Takes++
 			out = e.t
 		} else {
-			s.stats.Reads++
+			esh.stats.Reads++
 			out = e.t.Clone()
 		}
-		s.mu.Unlock()
+		unlock()
 		cb(out, nil)
 		return
 	}
 	if timeout == 0 {
-		s.stats.Misses++
-		s.mu.Unlock()
+		if home != nil {
+			home.stats.Misses++
+		} else {
+			s.shards[0].stats.Misses++
+		}
+		unlock()
 		cb(tuple.Tuple{}, ErrTimeout)
 		return
 	}
-	w := &waiter{tmpl: tmpl, take: take, cb: cb}
-	s.waiters = append(s.waiters, w)
+
+	// Park. Exact templates register on their home shard only; any
+	// other template registers a node per shard, because a matching
+	// write can land on any of them. Registration and the bucket
+	// appends happen under the lock(s), so bucket order == seq order.
+	w := &sub{tmpl: tmpl, class: class, key: key, take: take, cb: cb}
+	w.seq = s.subSeq.Add(1)
+	if home != nil {
+		w.nodes = make([]subNode, 1)
+		home.addSub(w, &w.nodes[0])
+	} else {
+		w.nodes = make([]subNode, len(s.shards))
+		for i, sh := range s.shards {
+			sh.addSub(w, &w.nodes[i])
+		}
+	}
 	if timeout != sim.Forever {
+		statsSh := home
+		if statsSh == nil {
+			statsSh = s.shards[0]
+		}
 		w.cancelTimer = s.rt.After(timeout, func() {
-			s.mu.Lock()
-			if w.done {
-				s.mu.Unlock()
+			if !w.done.CompareAndSwap(false, true) {
 				return
 			}
-			w.done = true
-			s.stats.Timeouts++
-			// Drop the waiter from the queue.
-			for i, x := range s.waiters {
-				if x == w {
-					s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
-					break
-				}
-			}
-			s.mu.Unlock()
+			w.unlinkAll()
+			statsSh.mu.Lock()
+			statsSh.stats.Timeouts++
+			statsSh.mu.Unlock()
 			cb(tuple.Tuple{}, ErrTimeout)
 		})
 	}
-	s.mu.Unlock()
+	unlock()
+}
+
+// cancelSub withdraws a parked waiter before it fires: the O(1)
+// intrusive unlink on every shard it registered with. It reports
+// whether the waiter was still pending. (Internal: the public API
+// cancels via timeouts; benchmarks exercise this directly.)
+func (s *Space) cancelSub(w *sub) bool {
+	if !w.done.CompareAndSwap(false, true) {
+		return false
+	}
+	if w.cancelTimer != nil {
+		w.cancelTimer()
+	}
+	w.unlinkAll()
+	return true
 }
 
 // Notify registers fn to be called (without locks held) for every
@@ -671,20 +751,28 @@ func (s *Space) blockingOp(tmpl tuple.Tuple, timeout sim.Duration, take bool, cb
 // the subscribe/notify paradigm. The returned cancel function ends
 // the subscription.
 func (s *Space) Notify(tmpl tuple.Tuple, fn func(tuple.Tuple)) (cancel func()) {
-	n := &notifyReg{tmpl: tmpl, fn: fn}
-	s.mu.Lock()
-	s.notifies = append(s.notifies, n)
-	s.mu.Unlock()
-	return func() {
-		s.mu.Lock()
-		n.dead = true
-		for i, x := range s.notifies {
-			if x == n {
-				s.notifies = append(s.notifies[:i], s.notifies[i+1:]...)
-				break
-			}
+	class, key := classify(tmpl)
+	n := &sub{tmpl: tmpl, class: class, key: key, notify: true, fn: fn}
+	if class == subValue {
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		n.seq = s.subSeq.Add(1)
+		n.nodes = make([]subNode, 1)
+		sh.addSub(n, &n.nodes[0])
+		sh.mu.Unlock()
+	} else {
+		s.lockAll()
+		n.seq = s.subSeq.Add(1)
+		n.nodes = make([]subNode, len(s.shards))
+		for i, sh := range s.shards {
+			sh.addSub(n, &n.nodes[i])
 		}
-		s.mu.Unlock()
+		s.unlockAll()
+	}
+	return func() {
+		if n.done.CompareAndSwap(false, true) {
+			n.unlinkAll()
+		}
 	}
 }
 

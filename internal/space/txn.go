@@ -3,6 +3,7 @@ package space
 import (
 	"errors"
 	"sort"
+	"sync"
 
 	"tpspace/internal/sim"
 	"tpspace/internal/tuple"
@@ -18,8 +19,14 @@ var ErrTxnDone = errors.New("space: transaction already completed")
 // position) on Abort. A transaction may carry its own lease, after
 // which it aborts automatically — the standard defence against a
 // client crashing mid-transaction.
+//
+// The transaction carries its own lock, taken before any shard lock
+// (the space never locks a transaction), so transactional ops compose
+// with the sharded store without serializing unrelated traffic.
 type Txn struct {
-	sp   *Space
+	sp *Space
+
+	mu   sync.Mutex
 	done bool
 
 	// pending writes, applied at commit.
@@ -49,8 +56,8 @@ func (s *Space) NewTxn(lease sim.Duration) *Txn {
 
 // Write buffers a tuple to be stored when the transaction commits.
 func (tx *Txn) Write(t tuple.Tuple, lease sim.Duration) error {
-	tx.sp.mu.Lock()
-	defer tx.sp.mu.Unlock()
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
 	if tx.done {
 		return ErrTxnDone
 	}
@@ -67,14 +74,12 @@ func (tx *Txn) Write(t tuple.Tuple, lease sim.Duration) error {
 // under this same (uncommitted) transaction are also visible to it,
 // searched after the store.
 func (tx *Txn) TakeIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
-	tx.sp.mu.Lock()
-	defer tx.sp.mu.Unlock()
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
 	if tx.done {
 		return tuple.Tuple{}, false, ErrTxnDone
 	}
-	if e := tx.sp.findOldest(tmpl); e != nil {
-		tx.sp.unlink(e)
-		tx.sp.stats.Takes++
+	if e := tx.sp.takeEntry(tmpl); e != nil {
 		tx.held = append(tx.held, e)
 		return e.t.Clone(), true, nil
 	}
@@ -85,43 +90,42 @@ func (tx *Txn) TakeIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
 			return w.t, true, nil
 		}
 	}
-	tx.sp.stats.Misses++
+	tx.sp.countMiss()
 	return tuple.Tuple{}, false, nil
 }
 
 // ReadIfExists is TakeIfExists without removal.
 func (tx *Txn) ReadIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool, error) {
-	tx.sp.mu.Lock()
-	defer tx.sp.mu.Unlock()
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
 	if tx.done {
 		return tuple.Tuple{}, false, ErrTxnDone
 	}
-	if e := tx.sp.findOldest(tmpl); e != nil {
-		tx.sp.stats.Reads++
-		return e.t.Clone(), true, nil
+	if t, ok := tx.sp.readEntry(tmpl); ok {
+		return t, true, nil
 	}
 	for _, w := range tx.writes {
 		if tmpl.Matches(w.t) {
 			return w.t.Clone(), true, nil
 		}
 	}
-	tx.sp.stats.Misses++
+	tx.sp.countMiss()
 	return tuple.Tuple{}, false, nil
 }
 
 // Commit applies the buffered writes (waking matching waiters and
 // subscribers) and discards the held entries for good.
 func (tx *Txn) Commit() error {
-	tx.sp.mu.Lock()
+	tx.mu.Lock()
 	if tx.done {
-		tx.sp.mu.Unlock()
+		tx.mu.Unlock()
 		return ErrTxnDone
 	}
 	tx.finishLocked()
 	writes := tx.writes
 	tx.writes = nil
 	tx.held = nil
-	tx.sp.mu.Unlock()
+	tx.mu.Unlock()
 
 	for _, w := range writes {
 		if _, err := tx.sp.Write(w.t, w.lease); err != nil {
@@ -134,9 +138,9 @@ func (tx *Txn) Commit() error {
 // Abort drops the buffered writes and restores the held entries to
 // their original positions in the total order.
 func (tx *Txn) Abort() error {
-	tx.sp.mu.Lock()
+	tx.mu.Lock()
 	if tx.done {
-		tx.sp.mu.Unlock()
+		tx.mu.Unlock()
 		return ErrTxnDone
 	}
 	tx.finishLocked()
@@ -144,26 +148,27 @@ func (tx *Txn) Abort() error {
 	tx.writes = nil
 	held := tx.held
 	tx.held = nil
-	// Restore by sequence number so FIFO takes observe the original
-	// order. Expiry timers were cancelled at take; restored entries
-	// are permanent from here on (their remaining lifetime is not
-	// tracked across the hold, matching the coarse JavaSpaces
-	// semantics of lease-vs-transaction interaction).
 	// Restore in ascending id order so each insertSorted walk is
-	// short and the original total order is rebuilt exactly.
+	// short and the original total order is rebuilt exactly. Expiry
+	// timers were cancelled at take; restored entries are permanent
+	// from here on (their remaining lifetime is not tracked across
+	// the hold, matching the coarse JavaSpaces semantics of
+	// lease-vs-transaction interaction).
 	sort.Slice(held, func(i, j int) bool { return held[i].id < held[j].id })
 	for _, e := range held {
-		tx.sp.insertSorted(e)
+		sh := tx.sp.shardFor(e.vh)
+		sh.mu.Lock()
+		sh.insertSorted(e)
 		// Journalled as fresh permanent writes: after a replay the
 		// restored entries appear at their restoration point.
 		tx.sp.logW(e.id, e.t, 0)
+		sh.mu.Unlock()
 	}
-	tx.sp.mu.Unlock()
+	tx.mu.Unlock()
 	return nil
 }
 
-// finishLocked marks the transaction complete; the caller holds the
-// space lock.
+// finishLocked marks the transaction complete; the caller holds tx.mu.
 func (tx *Txn) finishLocked() {
 	tx.done = true
 	if tx.cancelLease != nil {

@@ -12,6 +12,7 @@ package tuple
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -226,6 +227,98 @@ func (t Tuple) Matches(u Tuple) bool {
 		}
 	}
 	return true
+}
+
+// Signature hashing (FNV-1a, 64 bit). The space's associative indexes
+// bucket entries and templates by structure: ShapeSig folds arity and
+// field kinds, KindSig additionally folds the type name, and ValueSig
+// extends KindSig with every field value. Matching is only possible
+// between a template and a tuple that agree on arity and per-field
+// kinds, so any template — wildcards included — pins a single shape
+// (and, when typed, a single kind) bucket. All three run without
+// allocating; variable-length values are length-prefixed so adjacent
+// fields cannot alias ("ab","c" vs "a","bc").
+const (
+	sigOffset64 = 14695981039346656037
+	sigPrime64  = 1099511628211
+)
+
+func sigByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * sigPrime64 }
+
+func sigUint64(h, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h = sigByte(h, byte(v>>i))
+	}
+	return h
+}
+
+func sigString(h uint64, s string) uint64 {
+	h = sigUint64(h, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h = sigByte(h, s[i])
+	}
+	return h
+}
+
+// ShapeSig hashes (arity, field kinds) — the coarsest index key: a
+// template matches only tuples with its exact shape, whatever its
+// type name or wildcard pattern.
+func (t Tuple) ShapeSig() uint64 {
+	h := uint64(sigOffset64)
+	h = sigUint64(h, uint64(len(t.Fields)))
+	for i := range t.Fields {
+		h = sigByte(h, byte(t.Fields[i].Kind))
+	}
+	return h
+}
+
+// KindSig hashes (type, arity, field kinds): the bucket key for typed
+// templates. Two tuples with equal KindSig pass Matches' cheapest-first
+// prechecks against the same templates (modulo hash collisions, which
+// the caller screens out with Matches itself).
+func (t Tuple) KindSig() uint64 {
+	h := uint64(sigOffset64)
+	h = sigString(h, t.Type)
+	h = sigUint64(h, uint64(len(t.Fields)))
+	for i := range t.Fields {
+		h = sigByte(h, byte(t.Fields[i].Kind))
+	}
+	return h
+}
+
+// ValueSig extends KindSig with every field value, giving the
+// exact-match index key: a wildcard-free typed template matches a
+// tuple if and only if their ValueSigs collide (true collisions are
+// re-checked with Matches). ok is false when t carries wildcards —
+// wildcard templates have no value signature.
+func (t Tuple) ValueSig() (sig uint64, ok bool) {
+	h := t.KindSig()
+	for i := range t.Fields {
+		f := &t.Fields[i]
+		if f.Wildcard {
+			return 0, false
+		}
+		switch f.Kind {
+		case KindInt:
+			h = sigUint64(h, uint64(f.Int))
+		case KindFloat:
+			h = sigUint64(h, math.Float64bits(f.Float))
+		case KindString:
+			h = sigString(h, f.Str)
+		case KindBool:
+			if f.Bool {
+				h = sigByte(h, 1)
+			} else {
+				h = sigByte(h, 0)
+			}
+		case KindBytes:
+			h = sigUint64(h, uint64(len(f.Bytes)))
+			for _, b := range f.Bytes {
+				h = sigByte(h, b)
+			}
+		}
+	}
+	return h, true
 }
 
 // String renders the tuple for traces.

@@ -36,6 +36,13 @@ const SpaceObject = "SpaceServer"
 // than a second execution, and a resend racing the in-flight original
 // is answered when the original completes. Ids are unique per client
 // connection, which is the granularity RegisterSpace is called at.
+//
+// The handler holds no lock of its own around space calls: each
+// operation routes through the space's template classifier, so on a
+// sharded space (space.WithShards) concrete-template traffic from
+// concurrent gateways locks only its home shard — requests do not
+// serialize on a single store mutex, and only wildcard templates take
+// the documented cross-shard path.
 func RegisterSpace(srv *rmi.Server, conn transport.Conn, sp *space.Space) {
 	d := newDedup(dedupCacheCap)
 	srv.Register(SpaceObject, func(method string, body []byte, respond func([]byte, error)) {

@@ -8,6 +8,11 @@
 #                      in-binary container/heap baselines)
 #   BENCH_plan.json    one full planner grid pass: wall ns/op,
 #                      allocs/op and the simulated seconds modelled
+#   BENCH_space.json   tuplespace serving-plane benches — write,
+#                      take-hit, take-miss, waiter-wake and waiter
+#                      cancellation at 10^5/10^6 entries and 10^4
+#                      parked waiters, incl. the in-binary linear
+#                      baselines
 #
 # Every record carries {name, ns_per_op, allocs_per_op,
 # simulated_seconds}; benches without a simulated-time dimension
@@ -48,4 +53,9 @@ echo "==> planner grid bench -> BENCH_plan.json"
 go test -run '^$' -bench '^BenchmarkPlanGrid$' -benchmem -benchtime=1x . \
     | tee /dev/stderr | bench_to_json > BENCH_plan.json
 
-echo "OK: wrote BENCH_kernel.json BENCH_plan.json"
+echo "==> space serving-plane benches -> BENCH_space.json"
+go test -run '^$' -bench '^Benchmark(Space|Linear)' -benchmem \
+    -benchtime=200ms ./internal/space/ \
+    | tee /dev/stderr | bench_to_json > BENCH_space.json
+
+echo "OK: wrote BENCH_kernel.json BENCH_plan.json BENCH_space.json"

@@ -67,4 +67,17 @@ else
     exit 1
 fi
 
+echo "==> space bench regression smoke (take paths must not allocate)"
+go test -run '^$' -bench '^BenchmarkSpaceTake(Hit|Miss)100k$' -benchmem \
+    -benchtime=2000x ./internal/space/ | tee "$tmp/spacebench.txt"
+if awk '/^BenchmarkSpaceTake(Hit|Miss)100k-/ {
+        for (i = 2; i < NF; i++)
+            if ($(i + 1) == "allocs/op" && $i + 0 > 0) { bad = 1; print $1, $i, "allocs/op" }
+    } END { exit bad }' "$tmp/spacebench.txt"; then
+    :
+else
+    echo "space serving-plane regression: take hot path allocates" >&2
+    exit 1
+fi
+
 echo "OK"
