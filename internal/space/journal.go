@@ -149,7 +149,11 @@ func (s *Space) SetJournal(j *Journal) {
 // Replay rebuilds a space's store from a journal stream: surviving
 // writes are re-inserted in their original total order, under their
 // original entry ids, with their original leases re-armed from now.
-// It returns the number of live entries restored.
+// It returns the number of live entries restored to the store; a
+// record handed straight to a parked waiter is delivered (and its
+// consumption journalled) but not counted, since it never enters the
+// live set. Stats.Restored, by contrast, counts every surviving
+// record replayed, consumed or stored.
 //
 // Preserving ids makes replay idempotent across repeated crashes: a
 // take (or expiry) of a restored entry logs a removal under the id its
@@ -226,6 +230,7 @@ done:
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	restored := 0
 	for _, id := range ids {
 		p := live[id]
 		for {
@@ -239,13 +244,16 @@ done:
 		sh := s.shardFor(vh)
 		sh.mu.Lock()
 		sh.stats.Restored++
-		_, fire := sh.store(e, p.lease, false)
+		l, fire := sh.store(e, p.lease, false)
+		if l.sp != nil { // attached lease: stored, not consumed
+			restored++
+		}
 		sh.mu.Unlock()
 		for _, f := range fire {
 			f()
 		}
 	}
-	return len(ids), nil
+	return restored, nil
 }
 
 // ReplayFile is Replay over a journal file; a missing file restores

@@ -239,3 +239,33 @@ func TestJournalErrRecordsFailure(t *testing.T) {
 type failingWriter struct{}
 
 func (failingWriter) Write([]byte) (int, error) { return 0, os.ErrClosed }
+
+func TestReplayCountExcludesConsumedEntries(t *testing.T) {
+	// Replay returns the live entries restored to the store; a record
+	// handed straight to a parked waiter is delivered but not counted.
+	var buf bytes.Buffer
+	_, s := simSpace()
+	j := NewJournal(&buf)
+	s.SetJournal(j)
+	s.Write(job("served", 1), NoLease)
+	s.Write(job("kept", 2), NoLease)
+	j.Flush()
+	s.Crash()
+
+	calls := 0
+	s.TakeErr(anyJob(), sim.Forever, func(tuple.Tuple, error) { calls++ })
+	n, err := s.Replay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("parked take fired %d times, want 1", calls)
+	}
+	if n != 1 || s.Size() != 1 {
+		t.Fatalf("restored = %d, size = %d; the consumed record must not count", n, s.Size())
+	}
+	// The stat, by contrast, counts every surviving record replayed.
+	if got := s.Stats().Restored; got != 2 {
+		t.Fatalf("Stats.Restored = %d, want 2", got)
+	}
+}

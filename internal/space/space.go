@@ -36,7 +36,7 @@ type Stats struct {
 	Cancelled uint64 // entries removed by lease cancel
 	Notifies  uint64 // notify callbacks fired
 	Crashes   uint64 // injected crashes taken
-	Restored  uint64 // entries rebuilt by journal replay
+	Restored  uint64 // surviving write records replayed (stored or handed to a parked waiter)
 }
 
 // add accumulates per-shard counters into a snapshot.
@@ -312,23 +312,17 @@ func (s *Space) Write(t tuple.Tuple, lease sim.Duration) (*Lease, error) {
 	return l, nil
 }
 
-// store runs the write machinery for a prepared entry (id assigned,
-// signatures computed, tuple already cloned) under the shard lock:
-// notify fan-out, waiter satisfaction, linking, journaling and lease
-// arming. journal=false is the replay path — the write already sits
-// in the journal under this id, so only a replay-time consumption by
-// a parked waiter is logged. The returned callbacks must run after
-// the lock is released.
-func (sh *shard) store(e *entry, lease sim.Duration, journal bool) (*Lease, []func()) {
-	s := sh.sp
-	e.writtenAt = s.rt.Now()
+// probeSubs scans the subscription buckets e's signatures can satisfy
+// — exact-match, typed-wildcard, and untyped; nothing else in the
+// space can match it. Matching readers are claimed as they are found,
+// the registration-order (FIFO) oldest matching taker consumes the
+// entry, and when withNotify is set notify registrations fire too
+// (store sets it; the txn abort restore path does not, because the
+// tuple was already announced when first written). It reports whether
+// a taker consumed the entry and returns the callbacks the caller
+// must run after releasing the shard lock.
+func (sh *shard) probeSubs(e *entry, withNotify bool) (consumed bool, fire []func()) {
 	stored := e.t
-
-	// Probe only the subscription buckets this tuple's signatures can
-	// satisfy: exact-match, typed-wildcard, and untyped. Nothing else
-	// in the space can match it. Readers are claimed as they are
-	// found; takers are collected so the registration-order (FIFO)
-	// oldest wins across buckets.
 	var notifies, woken []*sub
 	var takers []*subNode
 	scan := func(l *subList) {
@@ -343,7 +337,9 @@ func (sh *shard) store(e *entry, lease sim.Duration, journal bool) (*Lease, []fu
 				sh.dropSub(node) // lazily reap raced-out registrations
 			case !sb.tmpl.Matches(stored):
 			case sb.notify:
-				notifies = append(notifies, sb)
+				if withNotify {
+					notifies = append(notifies, sb)
+				}
 			case sb.take:
 				takers = append(takers, node)
 			default: // reader
@@ -360,7 +356,6 @@ func (sh *shard) store(e *entry, lease sim.Duration, journal bool) (*Lease, []fu
 	scan(sh.subKind[e.kk])
 	scan(sh.subShape[e.sk])
 
-	consumed := false
 	sort.Slice(takers, func(i, j int) bool { return takers[i].s.seq < takers[j].s.seq })
 	for _, node := range takers {
 		if node.s.done.CompareAndSwap(false, true) {
@@ -374,7 +369,6 @@ func (sh *shard) store(e *entry, lease sim.Duration, journal bool) (*Lease, []fu
 
 	// Fire notifies first, then satisfied waiters, each in
 	// registration order — the legacy single-list fan-out order.
-	var fire []func()
 	sort.Slice(notifies, func(i, j int) bool { return notifies[i].seq < notifies[j].seq })
 	for _, n := range notifies {
 		n := n
@@ -394,6 +388,22 @@ func (sh *shard) store(e *entry, lease sim.Duration, journal bool) (*Lease, []fu
 			w.cb(cp, nil)
 		})
 	}
+	return consumed, fire
+}
+
+// store runs the write machinery for a prepared entry (id assigned,
+// signatures computed, tuple already cloned) under the shard lock:
+// notify fan-out, waiter satisfaction, linking, journaling and lease
+// arming. journal=false is the replay path — the write already sits
+// in the journal under this id, so only a replay-time consumption by
+// a parked waiter is logged. The returned callbacks must run after
+// the lock is released. A detached lease (nil sp) signals the entry
+// went straight to a parked taker and was not stored.
+func (sh *shard) store(e *entry, lease sim.Duration, journal bool) (*Lease, []func()) {
+	s := sh.sp
+	e.writtenAt = s.rt.Now()
+	stored := e.t
+	consumed, fire := sh.probeSubs(e, true)
 
 	var l *Lease
 	if consumed {

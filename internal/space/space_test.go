@@ -1,6 +1,7 @@
 package space
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -462,3 +463,35 @@ func TestStressManyEntriesManyTypes(t *testing.T) {
 }
 
 func typeName(i int) string { return "type-" + string(rune('A'+i/26)) + string(rune('a'+i%26)) }
+
+func TestNegativeZeroFloatIndexedMatch(t *testing.T) {
+	// Matches compares floats with ==, under which -0.0 equals +0.0;
+	// the value signature (exact-match bucket and shard routing) must
+	// agree, or a +0.0 template misses a stored -0.0 tuple.
+	for _, shards := range []int{1, 4} {
+		k := sim.NewKernel(1)
+		s := New(SimRuntime{K: k}, WithShards(shards))
+		reading := func(v float64) tuple.Tuple {
+			return tuple.New("reading", tuple.Float("v", v))
+		}
+		negZero := math.Copysign(0, -1)
+		s.Write(reading(negZero), NoLease)
+		if _, ok := s.ReadIfExists(reading(0)); !ok {
+			t.Fatalf("shards=%d: +0.0 template misses stored -0.0", shards)
+		}
+		if _, ok := s.TakeIfExists(reading(0)); !ok {
+			t.Fatalf("shards=%d: take with +0.0 template misses stored -0.0", shards)
+		}
+		// And the waiter index: a take parked on +0.0 must wake on a
+		// -0.0 write.
+		woken := false
+		s.Take(reading(0), sim.Forever, func(_ tuple.Tuple, ok bool) { woken = ok })
+		s.Write(reading(negZero), NoLease)
+		if !woken {
+			t.Fatalf("shards=%d: parked +0.0 take not woken by -0.0 write", shards)
+		}
+		if s.Size() != 0 {
+			t.Fatalf("shards=%d: size = %d after consumed write", shards, s.Size())
+		}
+	}
+}

@@ -136,7 +136,10 @@ func (tx *Txn) Commit() error {
 }
 
 // Abort drops the buffered writes and restores the held entries to
-// their original positions in the total order.
+// their original positions in the total order. A restored entry
+// satisfies waiters that parked while it was held, exactly as a fresh
+// write would (notify subscriptions are not re-fired — the tuple was
+// already announced when first written).
 func (tx *Txn) Abort() error {
 	tx.mu.Lock()
 	if tx.done {
@@ -155,16 +158,28 @@ func (tx *Txn) Abort() error {
 	// the hold, matching the coarse JavaSpaces semantics of
 	// lease-vs-transaction interaction).
 	sort.Slice(held, func(i, j int) bool { return held[i].id < held[j].id })
+	var fire []func()
 	for _, e := range held {
 		sh := tx.sp.shardFor(e.vh)
 		sh.mu.Lock()
-		sh.insertSorted(e)
-		// Journalled as fresh permanent writes: after a replay the
-		// restored entries appear at their restoration point.
-		tx.sp.logW(e.id, e.t, 0)
+		consumed, f := sh.probeSubs(e, false)
+		if !consumed {
+			sh.insertSorted(e)
+			// Journalled as a fresh permanent write: after a replay the
+			// restored entry appears at its restoration point.
+			tx.sp.logW(e.id, e.t, 0)
+		}
+		// A parked taker consumed the restored entry: nothing is
+		// stored and nothing journalled — the removal logged when the
+		// transaction took it already keeps the entry gone on replay.
 		sh.mu.Unlock()
+		fire = append(fire, f...)
 	}
 	tx.mu.Unlock()
+	// Callbacks run without tx.mu or shard locks held.
+	for _, f := range fire {
+		f()
+	}
 	return nil
 }
 

@@ -223,3 +223,54 @@ func TestLeaseRenewToPermanent(t *testing.T) {
 		t.Fatalf("expiry = %v, want 0", l.Expiry)
 	}
 }
+
+func TestTxnAbortWakesParkedWaiter(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		_, s := simSharded(shards)
+		s.Write(job("a", 1), NoLease)
+		tx := s.NewTxn(0)
+		if _, ok, _ := tx.TakeIfExists(anyJob()); !ok {
+			t.Fatalf("shards=%d: txn take failed", shards)
+		}
+		// Parked after the transactional take: the abort's restore
+		// must satisfy it exactly as a fresh write would.
+		var got tuple.Tuple
+		var ok bool
+		s.Take(anyJob(), sim.Forever, func(tp tuple.Tuple, o bool) { got, ok = tp, o })
+		if ok {
+			t.Fatalf("shards=%d: waiter woke while the entry was held", shards)
+		}
+		tx.Abort()
+		if !ok || got.Fields[0].Str != "a" {
+			t.Fatalf("shards=%d: waiter not satisfied by abort restore: %v %v", shards, got, ok)
+		}
+		if s.Size() != 0 {
+			t.Fatalf("shards=%d: size = %d, consumed restore was also stored", shards, s.Size())
+		}
+	}
+}
+
+func TestTxnAbortRestoreFeedsReadersNotNotifies(t *testing.T) {
+	_, s := simSpace()
+	notified := 0
+	cancel := s.Notify(anyJob(), func(tuple.Tuple) { notified++ })
+	defer cancel()
+	s.Write(job("a", 1), NoLease) // announced once, here
+	tx := s.NewTxn(0)
+	tx.TakeIfExists(anyJob())
+	// A reader parked during the hold is served by the restore...
+	var ok bool
+	s.Read(anyJob(), sim.Forever, func(_ tuple.Tuple, o bool) { ok = o })
+	tx.Abort()
+	if !ok {
+		t.Fatal("parked reader not served by abort restore")
+	}
+	if s.Size() != 1 {
+		t.Fatalf("size = %d after abort (read must not consume)", s.Size())
+	}
+	// ...but the notify subscription is not re-fired: the tuple was
+	// already announced when first written.
+	if notified != 1 {
+		t.Fatalf("notify fired %d times, want 1", notified)
+	}
+}

@@ -302,7 +302,13 @@ func (t Tuple) ValueSig() (sig uint64, ok bool) {
 		case KindInt:
 			h = sigUint64(h, uint64(f.Int))
 		case KindFloat:
-			h = sigUint64(h, math.Float64bits(f.Float))
+			// Matches compares floats with ==, under which -0.0 equals
+			// +0.0 — canonicalize so both hash to the same signature.
+			bits := math.Float64bits(f.Float)
+			if f.Float == 0 {
+				bits = 0
+			}
+			h = sigUint64(h, bits)
 		case KindString:
 			h = sigString(h, f.Str)
 		case KindBool:

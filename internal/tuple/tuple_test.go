@@ -1,6 +1,7 @@
 package tuple
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -215,5 +216,28 @@ func TestQuickCloneEqual(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestValueSigNegativeZeroMatchesPositiveZero(t *testing.T) {
+	// Matches compares floats with ==, which treats -0.0 and +0.0 as
+	// equal — the signatures must agree or the exact-match index (and
+	// shard routing) diverges from Matches.
+	pos := New("reading", Float("v", 0.0))
+	neg := New("reading", Float("v", math.Copysign(0, -1)))
+	if !pos.Matches(neg) || !neg.Matches(pos) {
+		t.Fatal("±0.0 tuples do not match each other")
+	}
+	ps, pok := pos.ValueSig()
+	ns, nok := neg.ValueSig()
+	if !pok || !nok {
+		t.Fatal("wildcard-free tuples report no value signature")
+	}
+	if ps != ns {
+		t.Fatalf("ValueSig(+0.0) = %#x, ValueSig(-0.0) = %#x; Matches treats them as equal", ps, ns)
+	}
+	// Signatures must still separate genuinely different values.
+	if other, _ := New("reading", Float("v", 1.0)).ValueSig(); other == ps {
+		t.Fatal("distinct float values collide")
 	}
 }
