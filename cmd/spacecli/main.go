@@ -32,6 +32,7 @@ func main() {
 	addr := flag.String("addr", "localhost:7010", "spaceserver address")
 	lease := flag.Duration("lease", 0, "entry lease for writes (0 = forever)")
 	timeout := flag.Duration("timeout", 5*time.Second, "blocking-op timeout")
+	binary := flag.Bool("binary", false, "use the compact binary request codec (server replies in kind; XML stays the default)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 2 {
@@ -51,7 +52,11 @@ func main() {
 		os.Exit(1)
 	}
 	defer conn.Close()
-	cli := wrapper.NewClient(conn)
+	var cliOpts []wrapper.ClientOption
+	if *binary {
+		cliOpts = append(cliOpts, wrapper.WithBinaryCodec())
+	}
+	cli := wrapper.NewClient(conn, cliOpts...)
 
 	switch op {
 	case "write":

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"log"
 	"net"
+	"runtime"
 	"time"
 
 	"tpspace/internal/space"
@@ -25,6 +26,7 @@ func main() {
 	addr := flag.String("addr", ":7010", "listen address")
 	journalPath := flag.String("journal", "", "journal file for the persistent message store (restored on start)")
 	shards := flag.Int("shards", 1, "independently locked space shards (concrete-template traffic scales across them; semantics are identical at any count)")
+	workers := flag.Int("workers", runtime.NumCPU(), "gateway dispatch workers per connection (<=1 handles requests sequentially on the reader goroutine)")
 	flag.Parse()
 
 	sp := space.New(space.NewRealRuntime(), space.WithShards(*shards))
@@ -64,7 +66,7 @@ func main() {
 		conn.OnError = func(err error) {
 			log.Printf("spaceserver: %s: %v", nc.RemoteAddr(), err)
 		}
-		stack := wrapper.NewServerStack(conn, sp)
+		stack := wrapper.NewServerStack(conn, sp, wrapper.WithWorkers(*workers))
 		stack.Gateway.OnError = func(err error) {
 			log.Printf("spaceserver: %s: gateway: %v", nc.RemoteAddr(), err)
 		}

@@ -10,6 +10,11 @@
 //	tpbench -chaos           # Table 4 scenario under injected faults
 //	tpbench -spacebench      # tuplespace serving-plane throughput
 //	                         # (-shards n compares sharded stores)
+//	tpbench -netbench        # network serving-plane load generator:
+//	                         # closed-loop clients over loopback TCP and
+//	                         # the in-proc pipe vs the unbatched baseline
+//	                         # (-clients n -netops n -codec xml|binary,
+//	                         # -json for the BENCH_net.json records)
 //
 // Independent co-simulations (Table 3 rows, Table 4 cells, sweep
 // samples, planner grid points) fan out across all CPUs by default;
@@ -41,6 +46,11 @@ func main() {
 	plan := flag.Bool("plan", false, "search the design space for the cheapest bus meeting the Table 4 requirements")
 	chaos := flag.Bool("chaos", false, "replay the Table 4 scenario under injected faults and print the degradation table")
 	spacebench := flag.Bool("spacebench", false, "drive the tuplespace serving plane through the mixed write/take/read/wake workload and print per-op latency")
+	netbench := flag.Bool("netbench", false, "drive the network serving plane with closed-loop clients over loopback TCP and the in-proc pipe, against the unbatched baseline")
+	clients := flag.Int("clients", 0, "closed-loop client goroutines for -netbench (0 = default 64)")
+	netops := flag.Int("netops", 0, "total requests per -netbench run (0 = default 20000)")
+	codec := flag.String("codec", "", "restrict -netbench batched rows to one codec: xml or binary (default both)")
+	jsonOut := flag.Bool("json", false, "emit -netbench results as JSON records (BENCH_net.json schema)")
 	shards := flag.Int("shards", 1, "space shards for -spacebench")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent simulations (0 = all CPUs, 1 = sequential)")
 	nofastpath := flag.Bool("nofastpath", false, "disable burst-mode idle-sweep coalescing (A/B escape hatch; output is byte-identical either way)")
@@ -67,6 +77,31 @@ func main() {
 		cfg := core.DefaultSpaceBenchConfig()
 		cfg.Shards = *shards
 		fmt.Print(core.RunSpaceBench(cfg).Format())
+		return
+	}
+	if *netbench {
+		cfg := core.DefaultNetBenchConfig()
+		if *clients > 0 {
+			cfg.Clients = *clients
+		}
+		if *netops > 0 {
+			cfg.Ops = *netops
+		}
+		if *codec != "" && *codec != "xml" && *codec != "binary" {
+			fmt.Fprintf(os.Stderr, "tpbench: -codec must be xml or binary, got %q\n", *codec)
+			os.Exit(2)
+		}
+		suite := core.RunNetBenchSuite(cfg, *codec)
+		if *jsonOut {
+			js, err := suite.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(js)
+			return
+		}
+		fmt.Print(suite.Format())
 		return
 	}
 	if *plan {

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tpspace/internal/transport"
 )
@@ -132,12 +133,15 @@ func (s *Server) onMessage(b []byte) {
 		}
 		return
 	}
-	responded := false
+	// The respond-once guard is atomic: with concurrent gateway
+	// dispatch a handler's completion can fire from a different
+	// goroutine than the one that invoked it (e.g. a parked take
+	// woken by another connection's write).
+	var responded atomic.Bool
 	h(method, body, func(result []byte, err error) {
-		if responded {
+		if !responded.CompareAndSwap(false, true) {
 			return
 		}
-		responded = true
 		if kind == kindOneway {
 			return
 		}

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// UnbatchedTCPConn is an in-binary replica of the pre-pipelining
+// TCPConn: every Send performs two blocking writes (header, then
+// payload) while holding the connection mutex, and every received
+// frame is read into a freshly allocated buffer with no read
+// buffering. It exists solely as the netbench baseline — the "before"
+// in the serving-plane before/after comparison — and should not be
+// used for anything else.
+type UnbatchedTCPConn struct {
+	mu      sync.Mutex
+	nc      net.Conn
+	onRecv  func([]byte)
+	closed  bool
+	stats   Stats
+	started bool
+	// OnError, if set, observes reader-side failures other than a
+	// clean close.
+	OnError func(error)
+}
+
+// NewUnbatchedTCPConn wraps an established net.Conn with the legacy
+// two-writes-per-message framing.
+func NewUnbatchedTCPConn(nc net.Conn) *UnbatchedTCPConn {
+	return &UnbatchedTCPConn{nc: nc}
+}
+
+// Send implements Conn with the historical double write under the
+// lock.
+func (t *UnbatchedTCPConn) Send(payload []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := t.nc.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := t.nc.Write(payload); err != nil {
+		return err
+	}
+	t.stats.MsgsSent++
+	t.stats.BytesSent += uint64(len(payload))
+	return nil
+}
+
+// SetOnReceive implements Conn and starts the reader goroutine on
+// first use.
+func (t *UnbatchedTCPConn) SetOnReceive(fn func([]byte)) {
+	t.mu.Lock()
+	t.onRecv = fn
+	start := !t.started && fn != nil
+	t.started = t.started || start
+	t.mu.Unlock()
+	if start {
+		go t.readLoop()
+	}
+}
+
+func (t *UnbatchedTCPConn) readLoop() {
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(t.nc, hdr[:]); err != nil {
+			t.fail(err)
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxTCPMessage {
+			t.fail(fmt.Errorf("transport: oversized message (%d bytes)", n))
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(t.nc, buf); err != nil {
+			t.fail(err)
+			return
+		}
+		t.mu.Lock()
+		fn := t.onRecv
+		closed := t.closed
+		if !closed {
+			t.stats.MsgsReceived++
+			t.stats.BytesRecv += uint64(len(buf))
+		}
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if fn != nil {
+			fn(buf)
+		}
+	}
+}
+
+func (t *UnbatchedTCPConn) fail(err error) {
+	t.mu.Lock()
+	closed := t.closed
+	cb := t.OnError
+	t.mu.Unlock()
+	if !closed && cb != nil && err != io.EOF {
+		cb(err)
+	}
+}
+
+// Close implements Conn.
+func (t *UnbatchedTCPConn) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	return t.nc.Close()
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (t *UnbatchedTCPConn) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}

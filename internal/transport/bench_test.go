@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// frameStream is a net.Conn stub whose Read side replays a framed
+// message b.N times from memory, so the receive path is measured
+// without socket syscalls: what remains is framing, buffer management,
+// and callback dispatch — the code that must not allocate.
+type frameStream struct {
+	frame  []byte
+	total  int64
+	served int64
+}
+
+func (s *frameStream) Read(p []byte) (int, error) {
+	if s.served >= s.total {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(p) && s.served < s.total {
+		off := int(s.served % int64(len(s.frame)))
+		c := len(s.frame) - off
+		if c > len(p)-n {
+			c = len(p) - n
+		}
+		if rem := s.total - s.served; int64(c) > rem {
+			c = int(rem)
+		}
+		copy(p[n:n+c], s.frame[off:off+c])
+		n += c
+		s.served += int64(c)
+	}
+	return n, nil
+}
+
+func (s *frameStream) Write(p []byte) (int, error)      { return len(p), nil }
+func (s *frameStream) Close() error                     { return nil }
+func (s *frameStream) LocalAddr() net.Addr              { return nil }
+func (s *frameStream) RemoteAddr() net.Addr             { return nil }
+func (s *frameStream) SetDeadline(time.Time) error      { return nil }
+func (s *frameStream) SetReadDeadline(time.Time) error  { return nil }
+func (s *frameStream) SetWriteDeadline(time.Time) error { return nil }
+
+// BenchmarkTCPReceiveSteady measures the steady-state receive path.
+// scripts/check.sh gates on this reporting 0 allocs/op: frames at or
+// below the top pool class must be delivered without allocating.
+func BenchmarkTCPReceiveSteady(b *testing.B) {
+	payload := make([]byte, 128)
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	copy(frame[4:], payload)
+
+	stream := &frameStream{frame: frame, total: int64(b.N) * int64(len(frame))}
+	conn := NewTCPConn(stream, WithSyncWrites())
+	done := make(chan struct{})
+	var got int64
+	sink := 0
+	conn.SetOnReceive(func(p []byte) {
+		sink += int(p[0])
+		if got++; got == int64(b.N) {
+			close(done)
+		}
+	})
+	b.ReportAllocs()
+	<-done
+	b.StopTimer()
+	conn.Close()
+	if got != int64(b.N) {
+		b.Fatalf("received %d/%d frames", got, b.N)
+	}
+	_ = sink
+}
+
+// BenchmarkTCPSendBatched measures the batched send path into a
+// discard sink: pooled frame buffers keep it allocation-free once the
+// pools are warm.
+func BenchmarkTCPSendBatched(b *testing.B) {
+	conn := NewTCPConn(&frameStream{})
+	defer conn.Close()
+	payload := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -20,12 +20,27 @@ import (
 // ErrClosed is returned by Send on a closed connection.
 var ErrClosed = errors.New("transport: connection closed")
 
+// ErrBackpressure is returned by Send on a TCPConn configured with
+// WithNonBlockingSend when the outbound queue is full.
+var ErrBackpressure = errors.New("transport: outbound queue full")
+
+// ErrTooLarge is returned by Send for payloads above the 16 MiB
+// frame limit — the receiving end would reject the frame anyway.
+var ErrTooLarge = errors.New("transport: message exceeds frame limit")
+
 // Conn is one endpoint of a bidirectional message channel.
 type Conn interface {
-	// Send transmits one message to the peer.
+	// Send transmits one message to the peer. The payload is owned by
+	// the caller again as soon as Send returns (transports copy or
+	// finish with it before returning).
 	Send(payload []byte) error
 	// SetOnReceive installs the delivery callback. It must be set
 	// before traffic arrives; delivery order matches send order.
+	//
+	// Buffer ownership: the payload slice is only valid for the
+	// duration of the callback. Transports may recycle the buffer for
+	// the next frame the moment the callback returns (TCPConn does);
+	// a receiver that retains the payload must copy it.
 	SetOnReceive(fn func(payload []byte))
 	// Close tears the connection down; further Sends fail.
 	Close() error
@@ -37,6 +52,15 @@ type Stats struct {
 	MsgsReceived uint64
 	BytesSent    uint64
 	BytesRecv    uint64
+	// ReadErrors counts reader-side failures other than a clean
+	// close: oversized frames, corrupt streams, and peers vanishing
+	// mid-frame (io.ErrUnexpectedEOF). A clean EOF between frames is
+	// not an error.
+	ReadErrors uint64
+	// WriteBatches counts writer-goroutine flushes on a batched
+	// TCPConn; MsgsSent/WriteBatches is the mean frames-per-syscall
+	// coalescing factor.
+	WriteBatches uint64
 }
 
 //
@@ -200,7 +224,10 @@ func (l *LoopbackConn) Send(payload []byte) error {
 	if closed || fn == nil {
 		return nil
 	}
-	fn(append([]byte(nil), payload...))
+	// Delivered without a copy: the callback runs on the sender's
+	// goroutine before Send returns, and the receive contract already
+	// forbids retaining the slice past the callback.
+	fn(payload)
 	return nil
 }
 

@@ -244,7 +244,8 @@ func TestTCPConnManyMessages(t *testing.T) {
 	all := make(chan struct{})
 	cli.SetOnReceive(func(p []byte) {
 		mu.Lock()
-		got = append(got, p)
+		// The receive buffer is recycled after the callback: copy.
+		got = append(got, append([]byte(nil), p...))
 		if len(got) == 50 {
 			close(all)
 		}

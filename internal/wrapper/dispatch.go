@@ -1,0 +1,62 @@
+package wrapper
+
+import "sync"
+
+// dispatchQueueDepth bounds the per-connection request queue feeding
+// the worker pool. A full queue exerts backpressure on the
+// connection's reader goroutine rather than buffering without bound.
+const dispatchQueueDepth = 256
+
+// dispatcher is the gateway's bounded per-connection worker pool:
+// request frames are handled on worker goroutines instead of the
+// transport's reader goroutine, so one slow decode no longer
+// head-of-line-blocks every other request on the connection.
+// Responses carry the request id, so cross-request ordering is
+// already relaxed at the protocol level; the server-side dedup table
+// keeps at-most-once execution regardless of which worker a
+// retransmit lands on.
+type dispatcher struct {
+	q    chan []byte
+	quit chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+func newDispatcher(workers int, handle func([]byte)) *dispatcher {
+	d := &dispatcher{
+		q:    make(chan []byte, dispatchQueueDepth),
+		quit: make(chan struct{}),
+	}
+	d.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer d.wg.Done()
+			for {
+				select {
+				case b := <-d.q:
+					handle(b)
+				case <-d.quit:
+					return
+				}
+			}
+		}()
+	}
+	return d
+}
+
+// enqueue hands one request frame to the pool, blocking for
+// backpressure when the queue is full. The caller must pass a frame
+// it owns (the gateway copies transport-recycled buffers first).
+func (d *dispatcher) enqueue(b []byte) {
+	select {
+	case d.q <- b:
+	case <-d.quit:
+	}
+}
+
+// stop terminates the workers; queued requests may be dropped, so
+// stop only at connection teardown.
+func (d *dispatcher) stop() {
+	d.once.Do(func() { close(d.quit) })
+	d.wg.Wait()
+}

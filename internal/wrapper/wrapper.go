@@ -57,8 +57,10 @@ func RegisterSpace(srv *rmi.Server, conn transport.Conn, sp *space.Space) {
 				return // duplicate: answered from cache or parked on the original
 			}
 		}
+		// Every response travels in the codec its request arrived in:
+		// binary-protocol clients get binary replies, XML clients XML.
 		reply := func(resp xmlcodec.Response) {
-			b, err := xmlcodec.MarshalResponse(resp)
+			b, err := xmlcodec.MarshalResponseIn(req.Binary, resp)
 			respond(b, err)
 		}
 		switch method {
@@ -131,10 +133,11 @@ func RegisterSpace(srv *rmi.Server, conn transport.Conn, sp *space.Space) {
 				return
 			}
 			subID := req.ID
+			subBinary := req.Binary
 			sp.Notify(tmpl, func(t tuple.Tuple) {
 				resp := xmlcodec.NewResponse(subID, true, &t, "")
 				resp.Event = true
-				if b, err := xmlcodec.MarshalResponse(resp); err == nil {
+				if b, err := xmlcodec.MarshalResponseIn(subBinary, resp); err == nil {
 					_ = rmi.Push(conn, SpaceObject, "event", b)
 				}
 			})
@@ -148,18 +151,52 @@ func RegisterSpace(srv *rmi.Server, conn transport.Conn, sp *space.Space) {
 // Gateway is the Java/socket wrapper of Figure 4: it owns the
 // client-facing transport, forwards XML requests to the space server
 // through RMI, and relays responses and notify events back.
+//
+// By default requests are dispatched sequentially on the transport's
+// reader goroutine — the deterministic behaviour every simulated
+// transport relies on. WithWorkers hands decode and dispatch to a
+// bounded per-connection worker pool instead, so one slow request no
+// longer head-of-line-blocks the connection (real TCP serving wants
+// this; the paper-reproduction paths must not use it).
 type Gateway struct {
-	client transport.Conn
-	rmi    *rmi.Client
+	client   transport.Conn
+	rmi      *rmi.Client
+	dispatch *dispatcher
 	// OnError observes protocol failures.
 	OnError func(error)
+}
+
+// gwConfig carries the GatewayOption knobs.
+type gwConfig struct {
+	workers int
+}
+
+// GatewayOption configures a Gateway at construction.
+type GatewayOption func(*gwConfig)
+
+// WithWorkers dispatches requests on a pool of n worker goroutines
+// instead of the transport reader (n <= 1 keeps the default
+// sequential dispatch). Responses already correlate by request id, so
+// relaxed cross-request ordering is protocol-visible but harmless;
+// at-most-once execution is preserved by the server's request-id
+// dedup. Keep the simulated/deterministic transports sequential —
+// their outputs must stay byte-identical run to run.
+func WithWorkers(n int) GatewayOption {
+	return func(c *gwConfig) { c.workers = n }
 }
 
 // NewGateway bridges the client-facing connection to an RMI client
 // bound to the space server. Notify events pushed by the server are
 // forwarded to the client connection.
-func NewGateway(client transport.Conn, rc *rmi.Client) *Gateway {
+func NewGateway(client transport.Conn, rc *rmi.Client, opts ...GatewayOption) *Gateway {
+	var cfg gwConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	g := &Gateway{client: client, rmi: rc}
+	if cfg.workers > 1 {
+		g.dispatch = newDispatcher(cfg.workers, g.handle)
+	}
 	rc.OnEvent = func(object, method string, body []byte) {
 		if object == SpaceObject && method == "event" {
 			if err := g.client.Send(body); err != nil && g.OnError != nil {
@@ -172,6 +209,24 @@ func NewGateway(client transport.Conn, rc *rmi.Client) *Gateway {
 }
 
 func (g *Gateway) onRequest(b []byte) {
+	if g.dispatch != nil {
+		// The transport recycles its receive buffer once this callback
+		// returns; the frame crosses to a worker, so copy it.
+		g.dispatch.enqueue(append([]byte(nil), b...))
+		return
+	}
+	g.handle(b)
+}
+
+// handle routes one request frame. Binary-protocol frames carry id
+// and op at fixed offsets, so the gateway forwards them without
+// decoding the entry at all; XML frames are parsed as before (which
+// also keeps malformed-request handling byte-identical).
+func (g *Gateway) handle(b []byte) {
+	if id, op, ok := xmlcodec.PeekRequest(b); ok {
+		g.forward(id, op, true, b)
+		return
+	}
 	req, err := xmlcodec.UnmarshalRequest(b)
 	if err != nil {
 		// A malformed request must not kill the session: report it to
@@ -188,10 +243,17 @@ func (g *Gateway) onRequest(b []byte) {
 		}
 		return
 	}
-	g.rmi.Call(SpaceObject, req.Op, b, func(respBody []byte, err error) {
+	g.forward(req.ID, req.Op, req.Binary, b)
+}
+
+// forward relays the raw request to the space skeleton over RMI and
+// sends the response (or a local error response in the request's
+// codec) back to the client.
+func (g *Gateway) forward(id uint64, op string, binaryCodec bool, b []byte) {
+	g.rmi.Call(SpaceObject, op, b, func(respBody []byte, err error) {
 		if err != nil {
-			resp := xmlcodec.NewResponse(req.ID, false, nil, err.Error())
-			respBody, err = xmlcodec.MarshalResponse(resp)
+			resp := xmlcodec.NewResponse(id, false, nil, err.Error())
+			respBody, err = xmlcodec.MarshalResponseIn(binaryCodec, resp)
 			if err != nil {
 				if g.OnError != nil {
 					g.OnError(err)
@@ -203,6 +265,15 @@ func (g *Gateway) onRequest(b []byte) {
 			g.OnError(err)
 		}
 	})
+}
+
+// Close stops the dispatch workers, if any. The transports are owned
+// (and closed) by the caller.
+func (g *Gateway) Close() error {
+	if g.dispatch != nil {
+		g.dispatch.stop()
+	}
+	return nil
 }
 
 // ErrClosed is returned by client operations after Close.
@@ -228,15 +299,31 @@ type Client struct {
 	pending map[uint64]*pendingReq
 	subs    map[uint64]func(tuple.Tuple)
 	res     *Resilience
+	binary  bool
 	closed  bool
 }
 
+// ClientOption configures a Client at construction.
+type ClientOption func(*Client)
+
+// WithBinaryCodec makes the client marshal its requests in the
+// compact binary protocol instead of XML. The server sniffs the codec
+// per message and answers in kind, so no handshake is needed and
+// clients of both codecs share a server. XML remains the default —
+// the verbose encoding is part of the paper's measured workload.
+func WithBinaryCodec() ClientOption {
+	return func(c *Client) { c.binary = true }
+}
+
 // NewClient binds a client to a transport connection.
-func NewClient(conn transport.Conn) *Client {
+func NewClient(conn transport.Conn, opts ...ClientOption) *Client {
 	c := &Client{
 		conn:    conn,
 		pending: make(map[uint64]*pendingReq),
 		subs:    make(map[uint64]func(tuple.Tuple)),
+	}
+	for _, o := range opts {
+		o(c)
 	}
 	conn.SetOnReceive(c.onMessage)
 	return c
@@ -274,7 +361,7 @@ func (c *Client) onMessage(b []byte) {
 // is the server-side blocking budget the request carries, granted on
 // top of the per-attempt deadline when resilience is enabled.
 func (c *Client) send(req xmlcodec.Request, timeout sim.Duration, cb func(xmlcodec.Response)) {
-	b, err := xmlcodec.MarshalRequest(req)
+	b, err := xmlcodec.MarshalRequestIn(c.binary, req)
 	if err != nil {
 		cb(xmlcodec.NewResponse(req.ID, false, nil, err.Error()))
 		return
@@ -476,12 +563,12 @@ type ServerStack struct {
 // gateway to the space skeleton, mirroring "RMI is still used inside
 // the server ... to interface the server with the Java/socket
 // wrapper".
-func NewServerStack(clientConn transport.Conn, sp *space.Space) *ServerStack {
+func NewServerStack(clientConn transport.Conn, sp *space.Space, opts ...GatewayOption) *ServerStack {
 	a, b := transport.NewLoopback()
 	srv := rmi.NewServer(a)
 	RegisterSpace(srv, a, sp)
 	rc := rmi.NewClient(b)
-	gw := NewGateway(clientConn, rc)
+	gw := NewGateway(clientConn, rc, opts...)
 	return &ServerStack{Space: sp, Gateway: gw}
 }
 

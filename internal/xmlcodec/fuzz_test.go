@@ -29,8 +29,8 @@ func FuzzDecodeTupleBinary(f *testing.F) {
 	})
 }
 
-// FuzzUnmarshalRequest checks the XML request parser and tuple
-// extraction never panic on arbitrary input.
+// FuzzUnmarshalRequest checks the request parser — XML and sniffed
+// binary alike — and tuple extraction never panic on arbitrary input.
 func FuzzUnmarshalRequest(f *testing.F) {
 	tp := tuple.New("job", tuple.String("op", "fft"))
 	good, _ := MarshalRequest(NewRequest(1, OpWrite, &tp))
@@ -38,6 +38,12 @@ func FuzzUnmarshalRequest(f *testing.F) {
 	f.Add([]byte(`<request id="1" op="take"><entry><field kind="int">1</field></entry></request>`))
 	f.Add([]byte(`<not-xml`))
 	f.Add([]byte(``))
+	goodBin, _ := MarshalRequestBinary(NewRequest(2, OpTake, &tp))
+	f.Add(goodBin)
+	f.Add(goodBin[:len(goodBin)/2])             // truncated binary frame
+	f.Add([]byte{binReqMagic})                  // bare magic
+	f.Add([]byte{binReqMagic, 0xFF})            // bad opcode
+	f.Add(append([]byte{binReqMagic}, good...)) // magic then XML garbage
 	f.Fuzz(func(t *testing.T, b []byte) {
 		req, err := UnmarshalRequest(b)
 		if err != nil {

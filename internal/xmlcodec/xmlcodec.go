@@ -61,6 +61,9 @@ type Request struct {
 	// (-1 = forever, 0 = IfExists semantics).
 	TimeoutMs int64     `xml:"timeout,attr,omitempty"`
 	Entry     *xmlEntry `xml:"entry,omitempty"`
+	// Binary records which codec the request arrived in (set by
+	// UnmarshalRequest); servers reply in the same codec.
+	Binary bool `xml:"-"`
 }
 
 // Response is one server-to-client reply. Notification events reuse
@@ -74,6 +77,9 @@ type Response struct {
 	Count int64     `xml:"count,attr,omitempty"`
 	Err   string    `xml:"error,omitempty"`
 	Entry *xmlEntry `xml:"entry,omitempty"`
+	// Binary records which codec the response arrived in (set by
+	// UnmarshalResponse).
+	Binary bool `xml:"-"`
 }
 
 // Lease converts the request's lease attribute to a duration.
@@ -223,8 +229,13 @@ func marshal(v any) ([]byte, error) {
 // MarshalRequest serializes a request to its XML wire bytes.
 func MarshalRequest(r Request) ([]byte, error) { return marshal(r) }
 
-// UnmarshalRequest parses XML wire bytes into a request.
+// UnmarshalRequest parses wire bytes into a request, sniffing the
+// codec: frames led by the binary magic byte decode through the
+// compact protocol, everything else through XML.
 func UnmarshalRequest(b []byte) (Request, error) {
+	if len(b) > 0 && b[0] == binReqMagic {
+		return unmarshalRequestBinary(b)
+	}
 	var r Request
 	err := xml.Unmarshal(b, &r)
 	return r, err
@@ -233,8 +244,12 @@ func UnmarshalRequest(b []byte) (Request, error) {
 // MarshalResponse serializes a response to its XML wire bytes.
 func MarshalResponse(r Response) ([]byte, error) { return marshal(r) }
 
-// UnmarshalResponse parses XML wire bytes into a response.
+// UnmarshalResponse parses wire bytes into a response, sniffing the
+// codec the same way UnmarshalRequest does.
 func UnmarshalResponse(b []byte) (Response, error) {
+	if len(b) > 0 && b[0] == binRespMagic {
+		return unmarshalResponseBinary(b)
+	}
 	var r Response
 	err := xml.Unmarshal(b, &r)
 	return r, err

@@ -13,6 +13,13 @@
 #                      cancellation at 10^5/10^6 entries and 10^4
 #                      parked waiters, incl. the in-binary linear
 #                      baselines
+#   BENCH_net.json     network serving-plane load generator: 64
+#                      closed-loop clients over loopback TCP and the
+#                      in-proc pipe, batched/pooled plane vs the
+#                      in-binary unbatched baseline, XML and binary
+#                      codecs; records {name, clients, conns, ops,
+#                      ops_per_sec, p50_ns, p99_ns, allocs_per_op,
+#                      speedup_vs_baseline}
 #
 # Every record carries {name, ns_per_op, allocs_per_op,
 # simulated_seconds}; benches without a simulated-time dimension
@@ -58,4 +65,7 @@ go test -run '^$' -bench '^Benchmark(Space|Linear)' -benchmem \
     -benchtime=200ms ./internal/space/ \
     | tee /dev/stderr | bench_to_json > BENCH_space.json
 
-echo "OK: wrote BENCH_kernel.json BENCH_plan.json BENCH_space.json"
+echo "==> network serving-plane load generator -> BENCH_net.json"
+go run ./cmd/tpbench -netbench -json | tee /dev/stderr > BENCH_net.json
+
+echo "OK: wrote BENCH_kernel.json BENCH_plan.json BENCH_space.json BENCH_net.json"

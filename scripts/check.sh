@@ -4,8 +4,10 @@
 #   also covers the parallel experiment runner's and chaos harness's
 #   guard tests), a fuzz smoke over every fuzz target, a fast-path
 #   equivalence smoke (tpbench output must be byte-identical with and
-#   without -nofastpath), and a kernel bench regression smoke that
-#   fails if the calendar's schedule/churn paths allocate.
+#   without -nofastpath), kernel/space/transport bench regression
+#   smokes that fail if the calendar's schedule/churn paths, the
+#   space's take hot paths, or the steady-state TCP receive path
+#   allocate, and a tiny -netbench run of the network serving plane.
 # Usage: scripts/check.sh   (or: make check)
 #   FUZZTIME=2s scripts/check.sh   # shorten/lengthen the fuzz smoke
 set -eu
@@ -79,5 +81,23 @@ else
     echo "space serving-plane regression: take hot path allocates" >&2
     exit 1
 fi
+
+echo "==> transport bench regression smoke (steady-state TCP receive must not allocate)"
+go test -run '^$' -bench '^BenchmarkTCPReceiveSteady$' -benchmem \
+    -benchtime=20000x ./internal/transport/ | tee "$tmp/tcpbench.txt"
+if awk '/^BenchmarkTCPReceiveSteady-/ {
+        for (i = 2; i < NF; i++)
+            if ($(i + 1) == "allocs/op" && $i + 0 > 0) { bad = 1; print $1, $i, "allocs/op" }
+    } END { exit bad }' "$tmp/tcpbench.txt"; then
+    :
+else
+    echo "transport regression: steady-state TCP receive allocates" >&2
+    exit 1
+fi
+
+echo "==> network serving-plane smoke (tpbench -netbench, tiny run)"
+"$tmp/tpbench" -netbench -clients 4 -netops 80 > "$tmp/netbench.txt"
+grep -q "tcp/baseline/xml" "$tmp/netbench.txt"
+grep -q "tcp/batched/binary" "$tmp/netbench.txt"
 
 echo "OK"
