@@ -50,6 +50,7 @@ func main() {
 	clients := flag.Int("clients", 0, "closed-loop client goroutines for -netbench (0 = default 64)")
 	netops := flag.Int("netops", 0, "total requests per -netbench run (0 = default 20000)")
 	codec := flag.String("codec", "", "restrict -netbench batched rows to one codec: xml or binary (default both)")
+	batchops := flag.Int("batchops", 0, "ops per multi-op batch frame for the -netbench coalescing rows (0 = default 8)")
 	jsonOut := flag.Bool("json", false, "emit -netbench results as JSON records (BENCH_net.json schema)")
 	shards := flag.Int("shards", 1, "space shards for -spacebench")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent simulations (0 = all CPUs, 1 = sequential)")
@@ -86,6 +87,9 @@ func main() {
 		}
 		if *netops > 0 {
 			cfg.Ops = *netops
+		}
+		if *batchops > 1 {
+			cfg.BatchOps = *batchops
 		}
 		if *codec != "" && *codec != "xml" && *codec != "binary" {
 			fmt.Fprintf(os.Stderr, "tpbench: -codec must be xml or binary, got %q\n", *codec)

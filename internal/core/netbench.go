@@ -30,14 +30,16 @@ import (
 
 // NetBenchConfig shapes one netbench run.
 type NetBenchConfig struct {
-	Clients   int    // closed-loop client goroutines (default 64)
-	Conns     int    // connections the clients share (default 4)
-	Ops       int    // total timed requests across all clients (default 20000)
-	Codec     string // "xml" (default) or "binary"
-	Transport string // "tcp" (loopback TCP, default) or "pipe" (in-proc)
-	Workers   int    // gateway dispatch workers per connection (default 4; <=1 sequential)
-	Shards    int    // space shards (default 4)
-	Baseline  bool   // legacy unbatched TCP framing + sequential dispatch
+	Clients    int    // closed-loop client goroutines (default 64)
+	Conns      int    // connections the clients share (default 4)
+	Ops        int    // total timed requests across all clients (default 20000)
+	Codec      string // "xml" (default) or "binary"
+	Transport  string // "tcp" (loopback TCP, default) or "pipe" (in-proc)
+	Workers    int    // gateway dispatch workers per connection (default 4; <=1 sequential)
+	Shards     int    // space shards (default 4)
+	BatchOps   int    // client-side multi-op coalescing, binary codec only (<=1 off)
+	NoAffinity bool   // shared dispatch queue instead of per-shard worker queues
+	Baseline   bool   // legacy unbatched TCP framing + sequential dispatch
 }
 
 // DefaultNetBenchConfig is the acceptance-scenario shape: 64 closed-loop
@@ -80,16 +82,27 @@ func (c *NetBenchConfig) fill() {
 	if c.Baseline {
 		c.Workers = 1 // the pre-PR gateway dispatched inline
 		c.Codec = "xml"
+		c.BatchOps = 0
+		c.NoAffinity = false
 	}
 }
 
-// Name labels the run in reports: transport/plane/codec.
+// Name labels the run in reports: transport/plane/codec, with
+// suffixes for multi-op coalescing (/bK) and shared-queue dispatch
+// (/noaff).
 func (c NetBenchConfig) Name() string {
 	plane := "batched"
 	if c.Baseline {
 		plane = "baseline"
 	}
-	return c.Transport + "/" + plane + "/" + c.Codec
+	name := c.Transport + "/" + plane + "/" + c.Codec
+	if c.BatchOps > 1 {
+		name += fmt.Sprintf("/b%d", c.BatchOps)
+	}
+	if c.NoAffinity {
+		name += "/noaff"
+	}
+	return name
 }
 
 // NetBenchResult is one measured netbench run.
@@ -116,9 +129,15 @@ func RunNetBench(cfg NetBenchConfig) NetBenchResult {
 	if cfg.Workers > 1 {
 		gwOpts = append(gwOpts, wrapper.WithWorkers(cfg.Workers))
 	}
+	if cfg.NoAffinity {
+		gwOpts = append(gwOpts, wrapper.WithoutAffinity())
+	}
 	var cliOpts []wrapper.ClientOption
 	if cfg.Codec == "binary" {
 		cliOpts = append(cliOpts, wrapper.WithBinaryCodec())
+		if cfg.BatchOps > 1 {
+			cliOpts = append(cliOpts, wrapper.WithBatchOps(cfg.BatchOps))
+		}
 	}
 
 	clients := make([]*wrapper.Client, cfg.Conns)
@@ -180,6 +199,22 @@ func RunNetBench(cfg NetBenchConfig) NetBenchResult {
 	lat := make([]time.Duration, totalOps)
 	timeout := sim.DurationOf(netBenchTimeout)
 
+	// Warm the stack before the measured window opens: fills the
+	// buffer/request pools and dispatch queues, and absorbs scheduler
+	// noise from a previous run's teardown — suite rows otherwise
+	// inherit the prior row's dying goroutines as startup jitter.
+	for _, cli := range clients {
+		w := tuple.New("netwarm", tuple.Int("c", 0))
+		for i := 0; i < 8; i++ {
+			if err := cli.WriteWait(w, space.NoLease); err != nil {
+				panic("netbench: warmup write: " + err.Error())
+			}
+			if _, ok := cli.TakeWait(w, timeout); !ok {
+				panic("netbench: warmup take missed its write")
+			}
+		}
+	}
+
 	var memBefore, memAfter runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&memBefore)
@@ -191,18 +226,37 @@ func RunNetBench(cfg NetBenchConfig) NetBenchResult {
 			defer wg.Done()
 			cli := clients[c%cfg.Conns]
 			base := c * opsPer
+			// The loop itself is frugal — one reused tuple (the stack
+			// clones whatever it must retain), one reusable completion
+			// channel, hoisted callbacks — so allocs/op measures the
+			// serving stack, not the load generator.
+			tup := tuple.New("net",
+				tuple.Int("c", int64(c)), tuple.Int("seq", 0))
+			done := make(chan string, 1)
+			wcb := func(ok bool, errMsg string) {
+				if ok {
+					done <- ""
+				} else {
+					done <- "write: " + errMsg
+				}
+			}
+			tcb := func(_ tuple.Tuple, ok bool) {
+				if ok {
+					done <- ""
+				} else {
+					done <- "take missed its own write"
+				}
+			}
 			for j := 0; j < opsPer; j++ {
-				tup := tuple.New("net",
-					tuple.Int("c", int64(c)), tuple.Int("seq", int64(j/2)))
+				tup.Fields[1].Int = int64(j / 2)
 				t0 := time.Now()
 				if j%2 == 0 {
-					if err := cli.WriteWait(tup, space.NoLease); err != nil {
-						panic(fmt.Sprintf("netbench: write: %v", err))
-					}
+					cli.Write(tup, space.NoLease, wcb)
 				} else {
-					if _, ok := cli.TakeWait(tup, timeout); !ok {
-						panic("netbench: take missed its own write")
-					}
+					cli.Take(tup, timeout, tcb)
+				}
+				if msg := <-done; msg != "" {
+					panic("netbench: " + msg)
 				}
 				lat[base+j] = time.Since(t0)
 			}
@@ -249,21 +303,33 @@ type NetBenchSuite struct {
 func RunNetBenchSuite(cfg NetBenchConfig, codec string) NetBenchSuite {
 	cfg.fill()
 	var runs []NetBenchConfig
-	add := func(transportName string, baseline bool, c string) {
+	add := func(transportName string, baseline bool, c string, batchOps int, noAffinity bool) {
 		r := cfg
 		r.Transport = transportName
 		r.Baseline = baseline
 		r.Codec = c
+		r.BatchOps = batchOps
+		r.NoAffinity = noAffinity
 		runs = append(runs, r)
 	}
-	add("tcp", true, "xml")
+	add("tcp", true, "xml", 0, false)
 	if codec == "" || codec == "xml" {
-		add("tcp", false, "xml")
-		add("pipe", false, "xml")
+		add("tcp", false, "xml", 0, false)
+		add("pipe", false, "xml", 0, false)
 	}
 	if codec == "" || codec == "binary" {
-		add("tcp", false, "binary")
-		add("pipe", false, "binary")
+		add("tcp", false, "binary", 0, false)
+		add("pipe", false, "binary", 0, false)
+		// The tentpole A/B rows: multi-op coalescing (cfg.BatchOps, or 8
+		// by default), and shared-queue dispatch with affinity routing
+		// disabled.
+		bk := 8
+		if cfg.BatchOps > 1 {
+			bk = cfg.BatchOps
+		}
+		add("tcp", false, "binary", bk, false)
+		add("pipe", false, "binary", bk, false)
+		add("pipe", false, "binary", 0, true)
 	}
 	var s NetBenchSuite
 	for _, r := range runs {

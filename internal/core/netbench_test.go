@@ -14,6 +14,9 @@ func TestRunNetBenchSmoke(t *testing.T) {
 		{Clients: 4, Conns: 2, Ops: 40, Transport: "tcp", Codec: "binary"},
 		{Clients: 4, Conns: 2, Ops: 40, Transport: "pipe"},
 		{Clients: 4, Conns: 2, Ops: 40, Transport: "pipe", Codec: "binary"},
+		{Clients: 4, Conns: 2, Ops: 40, Transport: "pipe", Codec: "binary", BatchOps: 4},
+		{Clients: 4, Conns: 2, Ops: 40, Transport: "tcp", Codec: "binary", BatchOps: 4},
+		{Clients: 4, Conns: 2, Ops: 40, Transport: "pipe", Codec: "binary", NoAffinity: true},
 	}
 	for _, cfg := range cases {
 		res := RunNetBench(cfg)
@@ -32,11 +35,16 @@ func TestRunNetBenchSmoke(t *testing.T) {
 
 func TestNetBenchSuiteReport(t *testing.T) {
 	s := RunNetBenchSuite(NetBenchConfig{Clients: 4, Conns: 2, Ops: 40}, "binary")
-	if len(s.Results) != 3 { // baseline + tcp/binary + pipe/binary
+	// baseline + tcp/binary + pipe/binary + tcp/b8 + pipe/b8 + pipe/noaff
+	if len(s.Results) != 6 {
 		t.Fatalf("got %d results", len(s.Results))
 	}
 	text := s.Format()
-	for _, want := range []string{"tcp/baseline/xml", "tcp/batched/binary", "pipe/batched/binary", "speedup"} {
+	for _, want := range []string{
+		"tcp/baseline/xml", "tcp/batched/binary", "pipe/batched/binary",
+		"tcp/batched/binary/b8", "pipe/batched/binary/b8",
+		"pipe/batched/binary/noaff", "speedup",
+	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("report missing %q:\n%s", want, text)
 		}
@@ -49,5 +57,13 @@ func TestNetBenchSuiteReport(t *testing.T) {
 		if !strings.Contains(js, want) {
 			t.Fatalf("json missing %q:\n%s", want, js)
 		}
+	}
+}
+
+// BenchmarkNetPipeBinary profiles one full pipe/binary netbench run
+// (go test -bench NetPipeBinary -benchtime 1x -cpuprofile ...).
+func BenchmarkNetPipeBinary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RunNetBench(NetBenchConfig{Transport: "pipe", Codec: "binary", Ops: 200_000})
 	}
 }

@@ -39,9 +39,11 @@ const (
 	kindOneway   = 2
 )
 
-// marshalRequest frames an invocation.
+// marshalRequest frames an invocation in a pooled buffer; the frame
+// goes back to the pool right after Conn.Send copies it out (see
+// sendPooled).
 func marshalRequest(id uint64, kind byte, object, method string, body []byte) []byte {
-	b := make([]byte, 0, 16+len(object)+len(method)+len(body))
+	b := transport.GetBuf(13 + len(object) + len(method) + len(body))
 	var hdr [9]byte
 	binary.BigEndian.PutUint64(hdr[:8], id)
 	hdr[8] = kind
@@ -51,15 +53,25 @@ func marshalRequest(id uint64, kind byte, object, method string, body []byte) []
 	return append(b, body...)
 }
 
-// marshalResponse frames a completion.
+// marshalResponse frames a completion in a pooled buffer (see
+// marshalRequest).
 func marshalResponse(id uint64, errMsg string, body []byte) []byte {
-	b := make([]byte, 0, 16+len(errMsg)+len(body))
+	b := transport.GetBuf(11 + len(errMsg) + len(body))
 	var hdr [9]byte
 	binary.BigEndian.PutUint64(hdr[:8], id)
 	hdr[8] = kindResponse
 	b = append(b, hdr[:]...)
 	b = appendStr(b, errMsg)
 	return append(b, body...)
+}
+
+// sendPooled sends a pooled frame and recycles it. Safe because every
+// Conn implementation finishes with the payload before Send returns
+// (transport.Conn's Send contract).
+func sendPooled(conn transport.Conn, b []byte) error {
+	err := conn.Send(b)
+	transport.PutBuf(b)
+	return err
 }
 
 func appendStr(b []byte, s string) []byte {
@@ -69,15 +81,25 @@ func appendStr(b []byte, s string) []byte {
 }
 
 func takeStr(b []byte) (string, []byte, error) {
+	raw, rest, err := takeStrRaw(b)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(raw), rest, nil
+}
+
+// takeStrRaw is takeStr without the string copy: the returned bytes
+// alias b and are only valid while b is.
+func takeStrRaw(b []byte) ([]byte, []byte, error) {
 	if len(b) < 2 {
-		return "", nil, fmt.Errorf("rmi: truncated frame")
+		return nil, nil, fmt.Errorf("rmi: truncated frame")
 	}
 	n := int(binary.BigEndian.Uint16(b))
 	b = b[2:]
 	if len(b) < n {
-		return "", nil, fmt.Errorf("rmi: truncated frame")
+		return nil, nil, fmt.Errorf("rmi: truncated frame")
 	}
-	return string(b[:n]), b[n:], nil
+	return b[:n], b[n:], nil
 }
 
 // Server exports objects over one transport connection.
@@ -85,16 +107,43 @@ type Server struct {
 	mu      sync.Mutex
 	conn    transport.Conn
 	objects map[string]Handler
+	// names interns object/method strings so the steady-state request
+	// path stops allocating two strings per message — invocations use
+	// a tiny fixed vocabulary. Bounded (see internMax*), guarded by mu.
+	names map[string]string
 	// OnError observes malformed frames.
 	OnError func(error)
 }
 
+// Intern bounds for the object/method name table.
+const (
+	internMaxLen     = 64
+	internMaxEntries = 256
+)
+
 // NewServer creates a server bound to conn; register objects, then
 // traffic flows as it arrives.
 func NewServer(conn transport.Conn) *Server {
-	s := &Server{conn: conn, objects: make(map[string]Handler)}
+	s := &Server{
+		conn:    conn,
+		objects: make(map[string]Handler),
+		names:   make(map[string]string),
+	}
 	conn.SetOnReceive(s.onMessage)
 	return s
+}
+
+// intern returns a string with b's content, reusing a prior copy when
+// possible. Caller holds s.mu.
+func (s *Server) intern(b []byte) string {
+	if v, ok := s.names[string(b)]; ok {
+		return v
+	}
+	v := string(b)
+	if len(v) <= internMaxLen && len(s.names) < internMaxEntries {
+		s.names[v] = v
+	}
+	return v
 }
 
 // Register exports an object under a name.
@@ -114,22 +163,23 @@ func (s *Server) onMessage(b []byte) {
 	if kind != kindRequest && kind != kindOneway {
 		return // responses are not for the server side
 	}
-	object, rest, err := takeStr(b[9:])
+	objRaw, rest, err := takeStrRaw(b[9:])
 	if err != nil {
 		s.fail(err)
 		return
 	}
-	method, body, err := takeStr(rest)
+	methRaw, body, err := takeStrRaw(rest)
 	if err != nil {
 		s.fail(err)
 		return
 	}
 	s.mu.Lock()
-	h, ok := s.objects[object]
+	h, ok := s.objects[string(objRaw)]
+	method := s.intern(methRaw)
 	s.mu.Unlock()
 	if !ok {
 		if kind == kindRequest {
-			_ = s.conn.Send(marshalResponse(id, ErrNoObject.Error(), nil))
+			_ = sendPooled(s.conn, marshalResponse(id, ErrNoObject.Error(), nil))
 		}
 		return
 	}
@@ -149,7 +199,7 @@ func (s *Server) onMessage(b []byte) {
 		if err != nil {
 			msg = err.Error()
 		}
-		_ = s.conn.Send(marshalResponse(id, msg, result))
+		_ = sendPooled(s.conn, marshalResponse(id, msg, result))
 	})
 }
 
@@ -242,7 +292,7 @@ func (c *Client) Call(object, method string, body []byte, cb func([]byte, error)
 	pc := &pendingCall{cb: cb}
 	c.pending[id] = pc
 	c.mu.Unlock()
-	if err := c.conn.Send(marshalRequest(id, kindRequest, object, method, body)); err != nil {
+	if err := sendPooled(c.conn, marshalRequest(id, kindRequest, object, method, body)); err != nil {
 		c.mu.Lock()
 		stillPending := c.pending[id] == pc
 		delete(c.pending, id)
@@ -280,14 +330,14 @@ func (c *Client) Oneway(object, method string, body []byte) error {
 	c.nextID++
 	id := c.nextID
 	c.mu.Unlock()
-	return c.conn.Send(marshalRequest(id, kindOneway, object, method, body))
+	return sendPooled(c.conn, marshalRequest(id, kindOneway, object, method, body))
 }
 
 // Push lets a server send an unsolicited event towards the client
 // side of conn (notify delivery). It uses the oneway kind so the
 // client does not correlate it with a pending call.
 func Push(conn transport.Conn, object, method string, body []byte) error {
-	return conn.Send(marshalRequest(0, kindOneway, object, method, body))
+	return sendPooled(conn, marshalRequest(0, kindOneway, object, method, body))
 }
 
 // Close shuts the client down; pending calls fail.

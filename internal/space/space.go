@@ -184,6 +184,19 @@ func (s *Space) shardFor(vh uint64) *shard {
 	return s.shards[vh%uint64(len(s.shards))]
 }
 
+// ShardOf reports the index of the home shard for a value signature —
+// the same routing shardFor applies internally. Dispatch layers use
+// it to queue concrete-signature requests by home shard (computed
+// from wire bytes via tuple.Sig) so traffic for different shards
+// never serializes on one queue, while same-shard traffic keeps its
+// arrival order.
+func (s *Space) ShardOf(vh uint64) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return int(vh % uint64(len(s.shards)))
+}
+
 // lockAll acquires every shard lock in index order (the repo-wide
 // lock order; cross-shard paths and registration both use it, so the
 // order is deadlock-free by construction).
@@ -711,7 +724,10 @@ func (s *Space) blockingOp(tmpl tuple.Tuple, timeout sim.Duration, take bool, cb
 	// other template registers a node per shard, because a matching
 	// write can land on any of them. Registration and the bucket
 	// appends happen under the lock(s), so bucket order == seq order.
-	w := &sub{tmpl: tmpl, class: class, key: key, take: take, cb: cb}
+	// The template is cloned: a parked waiter outlives the call, and
+	// callers (the serving plane's pooled decoders in particular) are
+	// free to reuse their template storage the moment we return.
+	w := &sub{tmpl: tmpl.Clone(), class: class, key: key, take: take, cb: cb}
 	w.seq = s.subSeq.Add(1)
 	if home != nil {
 		w.nodes = make([]subNode, 1)
@@ -762,7 +778,10 @@ func (s *Space) cancelSub(w *sub) bool {
 // the subscription.
 func (s *Space) Notify(tmpl tuple.Tuple, fn func(tuple.Tuple)) (cancel func()) {
 	class, key := classify(tmpl)
-	n := &sub{tmpl: tmpl, class: class, key: key, notify: true, fn: fn}
+	// Cloned for the same reason blockingOp clones on park: the
+	// subscription outlives the call, the caller's template does not
+	// have to.
+	n := &sub{tmpl: tmpl.Clone(), class: class, key: key, notify: true, fn: fn}
 	if class == subValue {
 		sh := s.shardFor(key)
 		sh.mu.Lock()

@@ -1,0 +1,61 @@
+package transport
+
+import "sync"
+
+// Shared size-class byte pool for message assembly. The serving plane
+// builds every frame — rmi envelopes, binary responses, client
+// requests — in one of these buffers, hands it to Conn.Send (which
+// copies it into its own pooled wframe before returning), and puts it
+// back; steady-state traffic then allocates no message buffers at
+// all. The classes mirror the transport's frame classes so a pooled
+// buffer never forces the send path into its oversized fallback.
+//
+// Ownership is strictly linear: GetBuf transfers the buffer to the
+// caller, PutBuf transfers it back. A buffer must not be Put while
+// any reference to its bytes is still live (DESIGN §11).
+
+// bufClasses are the pooled capacities, smallest first.
+var bufClasses = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10}
+
+var bufPools [len(bufClasses)]sync.Pool
+
+// bufHdrs recycles the *[]byte headers that carry slices through the
+// pools, so PutBuf itself does not allocate.
+var bufHdrs = sync.Pool{New: func() any { return new([]byte) }}
+
+// GetBuf returns an empty buffer with capacity at least n. Requests
+// above the top class get a fresh allocation that PutBuf will simply
+// drop.
+func GetBuf(n int) []byte {
+	for i, c := range bufClasses {
+		if n <= c {
+			if v := bufPools[i].Get(); v != nil {
+				p := v.(*[]byte)
+				b := (*p)[:0]
+				*p = nil
+				bufHdrs.Put(p)
+				return b
+			}
+			return make([]byte, 0, c)
+		}
+	}
+	return make([]byte, 0, n)
+}
+
+// PutBuf recycles a buffer obtained from GetBuf (possibly grown by
+// appends — it is re-classed by its final capacity). Nil and
+// undersized buffers are dropped.
+func PutBuf(b []byte) {
+	c := cap(b)
+	for i := len(bufClasses) - 1; i >= 0; i-- {
+		if c >= bufClasses[i] {
+			if c > bufClasses[len(bufClasses)-1]*2 {
+				return // grown far past the top class: let it go
+			}
+			p := bufHdrs.Get().(*[]byte)
+			*p = b[:0]
+			bufPools[i].Put(p)
+			return
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package wrapper
+
+// The client side of the zero-copy binary path: requests are appended
+// straight into a pooled size-class buffer (no intermediate
+// xmlcodec.Request), responses are decoded into pooled scratch and
+// delivered through a neutral binResult — the entry tuple is cloned
+// only at the public-callback boundary, where the caller takes
+// ownership. WithBatchOps adds client-side coalescing: outstanding
+// request frames accumulate into one multi-op batch frame (one
+// length-prefix on the wire, one batched response back).
+
+import (
+	"sync"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/transport"
+	"tpspace/internal/tuple"
+	"tpspace/internal/xmlcodec"
+)
+
+// binResult is the neutral completion record of the binary client
+// path. entry, when non-nil, points into pooled decode scratch and is
+// valid only during the callback — clone to retain.
+type binResult struct {
+	ok    bool
+	count int64
+	err   string
+	entry *tuple.Tuple
+}
+
+// cliBinState is the client's pooled response-decode scratch (the
+// mirror of the gateway's binState). Pooled because transports may
+// deliver responses concurrently (loopback peers send from their own
+// goroutines).
+type cliBinState struct {
+	resp xmlcodec.BinResponse
+	in   *xmlcodec.Interner
+}
+
+var cliStatePool = sync.Pool{
+	New: func() any { return &cliBinState{in: xmlcodec.NewInterner()} },
+}
+
+// issueBin marshals and sends one binary-protocol operation with the
+// generic binResult callback (the cold ops: count, ping, notify).
+func (c *Client) issueBin(op string, leaseMs, timeoutMs int64, entry *tuple.Tuple, timeout sim.Duration, bcb func(binResult)) {
+	c.issueBinOp(c.id(), op, leaseMs, timeoutMs, entry, timeout, nil, nil, nil, bcb)
+}
+
+// issueBinID is issueBin with a caller-allocated id (Notify registers
+// its subscription under the id before the request departs).
+func (c *Client) issueBinID(id uint64, op string, leaseMs, timeoutMs int64, entry *tuple.Tuple, timeout sim.Duration, bcb func(binResult)) {
+	c.issueBinOp(id, op, leaseMs, timeoutMs, entry, timeout, nil, nil, nil, bcb)
+}
+
+// issueBinOp marshals and sends one binary-protocol operation. The
+// request frame lives in a pooled buffer released when the call
+// completes — except under resilience, where Resend may retransmit
+// the bytes at any time and the frame stays garbage-collected.
+//
+// Exactly one of wcb/qcb/mcb/bcb is non-nil; the specialized forms
+// exist so the hot ops store the caller's callback directly in the
+// (freelisted) pendingReq instead of allocating an adapter closure
+// per request.
+func (c *Client) issueBinOp(id uint64, op string, leaseMs, timeoutMs int64, entry *tuple.Tuple, timeout sim.Duration,
+	wcb func(bool, string), qcb func(tuple.Tuple, bool), mcb func(tuple.Tuple, bool, string), bcb func(binResult)) {
+	code, ok := xmlcodec.OpCodeOf(op)
+	if !ok {
+		failCBs(wcb, qcb, mcb, bcb, "wrapper: unknown operation "+op)
+		return
+	}
+	b := transport.GetBuf(96)
+	b = xmlcodec.AppendRequestBinary(b, id, code, leaseMs, timeoutMs, entry)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		transport.PutBuf(b)
+		failCBs(wcb, qcb, mcb, bcb, ErrClosed.Error())
+		return
+	}
+	pr := c.prFree
+	if pr != nil {
+		c.prFree = pr.next
+		pr.next = nil
+	} else {
+		pr = &pendingReq{}
+	}
+	pr.wcb, pr.qcb, pr.mcb, pr.bcb = wcb, qcb, mcb, bcb
+	pr.bytes = b
+	pr.pooled = c.res == nil
+	if c.res != nil && c.res.Deadline > 0 {
+		pr.budget = c.res.Deadline + timeout
+	}
+	c.pending[id] = pr
+	c.mu.Unlock()
+	c.attempt(id, pr)
+}
+
+// failCBs delivers a local failure to whichever callback form the
+// caller passed (mirrors pendingReq.fail before a pendingReq exists).
+func failCBs(wcb func(bool, string), qcb func(tuple.Tuple, bool), mcb func(tuple.Tuple, bool, string), bcb func(binResult), msg string) {
+	switch {
+	case wcb != nil:
+		wcb(false, msg)
+	case qcb != nil:
+		qcb(tuple.Tuple{}, false)
+	case mcb != nil:
+		mcb(tuple.Tuple{}, false, msg)
+	case bcb != nil:
+		bcb(binResult{err: msg})
+	}
+}
+
+// recyclePR returns a completed pendingReq to the client freelist.
+// Only prs created without resilience are recycled — retry timers and
+// Resend never reference those after completion.
+func (c *Client) recyclePR(pr *pendingReq) {
+	*pr = pendingReq{}
+	c.mu.Lock()
+	pr.next = c.prFree
+	c.prFree = pr
+	c.mu.Unlock()
+}
+
+// onBinaryResponse handles one binary response frame on the fast
+// path. It reports false when the frame belongs to a legacy pending
+// request (an XML-era cb), which the caller then routes through the
+// legacy decode; malformed frames are dropped (true), matching the
+// legacy path's behaviour.
+func (c *Client) onBinaryResponse(b []byte) bool {
+	st := cliStatePool.Get().(*cliBinState)
+	if err := xmlcodec.DecodeResponseBinaryInto(&st.resp, b, st.in); err != nil {
+		cliStatePool.Put(st)
+		return true
+	}
+	r := &st.resp
+	if r.Event {
+		c.mu.Lock()
+		fn := c.subs[r.ID]
+		c.mu.Unlock()
+		if fn != nil && r.HasEntry {
+			fn(r.Entry.Clone())
+		}
+		cliStatePool.Put(st)
+		return true
+	}
+	c.mu.Lock()
+	pr := c.pending[r.ID]
+	if pr != nil && pr.cb != nil {
+		c.mu.Unlock()
+		cliStatePool.Put(st)
+		return false
+	}
+	delete(c.pending, r.ID)
+	c.mu.Unlock()
+	if pr != nil {
+		if pr.cancel != nil {
+			pr.cancel()
+		}
+		reuse := pr.pooled
+		pr.release()
+		switch {
+		case pr.wcb != nil:
+			pr.wcb(r.OK, r.Err)
+		case pr.qcb != nil:
+			// r.Entry is pooled decode scratch; the caller owns its copy.
+			if r.OK && r.HasEntry {
+				pr.qcb(r.Entry.Clone(), true)
+			} else {
+				pr.qcb(tuple.Tuple{}, r.OK)
+			}
+		case pr.mcb != nil:
+			switch {
+			case !r.OK:
+				pr.mcb(tuple.Tuple{}, false, r.Err)
+			case r.HasEntry:
+				pr.mcb(r.Entry.Clone(), true, "")
+			default:
+				pr.mcb(tuple.Tuple{}, true, "")
+			}
+		case pr.bcb != nil:
+			res := binResult{ok: r.OK, count: r.Count, err: r.Err}
+			if r.HasEntry {
+				res.entry = &r.Entry
+			}
+			pr.bcb(res)
+		}
+		if reuse {
+			c.recyclePR(pr)
+		}
+	}
+	cliStatePool.Put(st)
+	return true
+}
+
+// transmit sends one request frame, through the batcher when
+// coalescing is enabled.
+func (c *Client) transmit(b []byte) error {
+	if c.bat != nil {
+		return c.bat.enqueue(b)
+	}
+	return c.conn.Send(b)
+}
+
+// batcher coalesces outstanding request frames into multi-op batch
+// frames. A frame is copied into the accumulating batch at enqueue
+// time (no ownership transfer); a full batch (k members) is sent
+// inline by the enqueuer, a partial one by the flusher goroutine,
+// which runs as soon as the scheduler gets to it — so under load
+// batches fill before the flusher wakes, and a lone request is only
+// delayed by one scheduling pass, never parked behind a timer.
+type batcher struct {
+	c      *Client
+	mu     sync.Mutex
+	k      int
+	buf    []byte // accumulating batch frame (header + members so far)
+	n      int
+	kick   chan struct{}
+	closed bool
+}
+
+func newBatcher(c *Client, k int) *batcher {
+	bt := &batcher{c: c, k: k, kick: make(chan struct{}, 1)}
+	go bt.flusher()
+	return bt
+}
+
+func (bt *batcher) enqueue(frame []byte) error {
+	bt.mu.Lock()
+	if bt.closed {
+		bt.mu.Unlock()
+		return ErrClosed
+	}
+	if bt.buf == nil {
+		bt.buf = xmlcodec.AppendBatchHeader(transport.GetBuf(64+len(frame)), false, 0)
+	}
+	bt.buf = xmlcodec.AppendBatchMember(bt.buf, frame)
+	bt.n++
+	var out []byte
+	if bt.n >= bt.k {
+		out = bt.take()
+	}
+	bt.mu.Unlock()
+	if out != nil {
+		return bt.send(out)
+	}
+	select {
+	case bt.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// take detaches the accumulated batch, patching the member count into
+// the reserved header. Caller holds bt.mu.
+func (bt *batcher) take() []byte {
+	out := bt.buf
+	if out == nil {
+		return nil
+	}
+	xmlcodec.PatchBatchCount(out, bt.n)
+	bt.buf, bt.n = nil, 0
+	return out
+}
+
+func (bt *batcher) send(out []byte) error {
+	err := bt.c.conn.Send(out)
+	transport.PutBuf(out)
+	return err
+}
+
+func (bt *batcher) flusher() {
+	for range bt.kick {
+		bt.mu.Lock()
+		out := bt.take()
+		bt.mu.Unlock()
+		if out != nil {
+			_ = bt.send(out)
+		}
+	}
+}
+
+// stop shuts the batcher down; whatever is queued is dropped (Close
+// fails the pending requests anyway).
+func (bt *batcher) stop() {
+	bt.mu.Lock()
+	if !bt.closed {
+		bt.closed = true
+		if bt.buf != nil {
+			transport.PutBuf(bt.buf)
+			bt.buf, bt.n = nil, 0
+		}
+		close(bt.kick)
+	}
+	bt.mu.Unlock()
+}

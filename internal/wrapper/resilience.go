@@ -8,7 +8,6 @@ import (
 
 	"tpspace/internal/rmi"
 	"tpspace/internal/sim"
-	"tpspace/internal/xmlcodec"
 )
 
 // This file makes the client side of the Figure 4 stack survive a
@@ -64,7 +63,7 @@ func (c *Client) attempt(id uint64, pr *pendingReq) {
 	res := c.res
 	c.mu.Unlock()
 
-	err := c.conn.Send(pr.bytes)
+	err := c.transmit(pr.bytes)
 	if res == nil {
 		// Plain client: a synchronous send failure fails the call.
 		if err != nil {
@@ -73,7 +72,8 @@ func (c *Client) attempt(id uint64, pr *pendingReq) {
 			delete(c.pending, id)
 			c.mu.Unlock()
 			if still {
-				pr.cb(xmlcodec.NewResponse(id, false, nil, err.Error()))
+				pr.release()
+				pr.fail(id, err.Error())
 			}
 		}
 		return
@@ -115,8 +115,8 @@ func (c *Client) retry(id uint64, pr *pendingReq, cause string) {
 	if pr.attempt >= res.attempts() {
 		delete(c.pending, id)
 		c.mu.Unlock()
-		pr.cb(xmlcodec.NewResponse(id, false, nil,
-			fmt.Sprintf("wrapper: %s after %d attempts", cause, pr.attempt)))
+		pr.release()
+		pr.fail(id, fmt.Sprintf("wrapper: %s after %d attempts", cause, pr.attempt))
 		return
 	}
 	pr.cancel = res.Timer(res.Backoff.Delay(pr.attempt, res.Rand), func() {

@@ -162,13 +162,20 @@ type Gateway struct {
 	client   transport.Conn
 	rmi      *rmi.Client
 	dispatch *dispatcher
+	// sp, when set (NewServerStack), serves binary frames directly on
+	// the space — the zero-copy path of backend.go. bd is its
+	// at-most-once table.
+	sp *space.Space
+	bd *binDedup
 	// OnError observes protocol failures.
 	OnError func(error)
 }
 
 // gwConfig carries the GatewayOption knobs.
 type gwConfig struct {
-	workers int
+	workers    int
+	noAffinity bool
+	sp         *space.Space
 }
 
 // GatewayOption configures a Gateway at construction.
@@ -176,13 +183,29 @@ type GatewayOption func(*gwConfig)
 
 // WithWorkers dispatches requests on a pool of n worker goroutines
 // instead of the transport reader (n <= 1 keeps the default
-// sequential dispatch). Responses already correlate by request id, so
-// relaxed cross-request ordering is protocol-visible but harmless;
-// at-most-once execution is preserved by the server's request-id
-// dedup. Keep the simulated/deterministic transports sequential —
-// their outputs must stay byte-identical run to run.
+// sequential dispatch). Workers own per-shard queues routed by the
+// request tuple's home-shard signature (see dispatcher); responses
+// already correlate by request id, so relaxed cross-shard ordering is
+// protocol-visible but harmless, and at-most-once execution is
+// preserved by the server's request-id dedup. Keep the
+// simulated/deterministic transports sequential — their outputs must
+// stay byte-identical run to run.
 func WithWorkers(n int) GatewayOption {
 	return func(c *gwConfig) { c.workers = n }
+}
+
+// WithoutAffinity replaces the per-shard worker queues with the
+// legacy single shared queue (any worker takes the next frame). Kept
+// for A/B benchmarks; affinity routing is otherwise strictly better
+// on sharded spaces.
+func WithoutAffinity() GatewayOption {
+	return func(c *gwConfig) { c.noAffinity = true }
+}
+
+// withSpace wires the gateway's direct space backend — set by
+// NewServerStack, where gateway and space share a process.
+func withSpace(sp *space.Space) GatewayOption {
+	return func(c *gwConfig) { c.sp = sp }
 }
 
 // NewGateway bridges the client-facing connection to an RMI client
@@ -193,9 +216,16 @@ func NewGateway(client transport.Conn, rc *rmi.Client, opts ...GatewayOption) *G
 	for _, o := range opts {
 		o(&cfg)
 	}
-	g := &Gateway{client: client, rmi: rc}
+	g := &Gateway{client: client, rmi: rc, sp: cfg.sp}
+	if g.sp != nil {
+		g.bd = newBinDedup(dedupCacheCap)
+	}
 	if cfg.workers > 1 {
-		g.dispatch = newDispatcher(cfg.workers, g.handle)
+		route := g.routeFrame
+		if cfg.noAffinity {
+			route = nil
+		}
+		g.dispatch = newDispatcher(cfg.workers, g.handle, route)
 	}
 	rc.OnEvent = func(object, method string, body []byte) {
 		if object == SpaceObject && method == "event" {
@@ -208,23 +238,79 @@ func NewGateway(client transport.Conn, rc *rmi.Client, opts ...GatewayOption) *G
 	return g
 }
 
+// routeFrame maps a request frame to its dispatch worker: the home
+// shard of the tuple's value signature, computed straight from the
+// wire bytes — so all traffic for one shard flows through one queue
+// in arrival order. Sig-less frames (wildcard templates, pings)
+// spread by request id; anything else (XML, batches) round-robins.
+func (g *Gateway) routeFrame(b []byte) int {
+	if vh, ok := xmlcodec.WireValueSig(b); ok {
+		if g.sp != nil {
+			return g.sp.ShardOf(vh)
+		}
+		return int(vh & 0x7FFFFFFF)
+	}
+	if id, _, ok := xmlcodec.PeekRequest(b); ok {
+		return int(id & 0x7FFFFFFF)
+	}
+	return g.dispatch.nextRR()
+}
+
 func (g *Gateway) onRequest(b []byte) {
 	if g.dispatch != nil {
 		// The transport recycles its receive buffer once this callback
-		// returns; the frame crosses to a worker, so copy it.
-		g.dispatch.enqueue(append([]byte(nil), b...))
+		// returns; the frame crosses to a worker, so copy it into a
+		// pooled buffer (the worker releases it after handling).
+		buf := transport.GetBuf(len(b))
+		buf = append(buf, b...)
+		if !g.dispatch.enqueue(buf) {
+			transport.PutBuf(buf) // gateway stopped: connection teardown
+		}
 		return
 	}
 	g.handle(b)
 }
 
-// handle routes one request frame. Binary-protocol frames carry id
-// and op at fixed offsets, so the gateway forwards them without
-// decoding the entry at all; XML frames are parsed as before (which
-// also keeps malformed-request handling byte-identical).
+// handle routes one request frame: batch frames fan out to their
+// members, single frames to handleOne.
 func (g *Gateway) handle(b []byte) {
+	if xmlcodec.IsBatchRequest(b) {
+		g.handleBatch(b)
+		return
+	}
+	g.handleOne(b, nil)
+}
+
+// handleOne serves one single-op request frame. done, when non-nil,
+// receives the owned response frame instead of it being sent — the
+// batch assembly path. Binary frames take the direct space backend
+// when the gateway has one; everything else rides RMI. Malformed
+// frames are answered in the codec their magic byte announced (ID 0
+// when no id could be parsed) and never kill the session.
+func (g *Gateway) handleOne(b []byte, done func([]byte)) {
+	if g.sp != nil && xmlcodec.IsBinaryRequest(b) {
+		g.serveBinary(b, done)
+		return
+	}
 	if id, op, ok := xmlcodec.PeekRequest(b); ok {
-		g.forward(id, op, true, b)
+		g.forward(id, op, true, b, done)
+		return
+	}
+	if xmlcodec.IsBinaryFrame(b) {
+		// A binary-magic frame that fails the header parse: answer with
+		// an ID-0 binary error (mirroring the XML malformed path) so a
+		// binary client can decode its own failure.
+		_, err := xmlcodec.UnmarshalRequest(b)
+		if err == nil {
+			err = errors.New("unexpected binary frame")
+		}
+		if g.OnError != nil {
+			g.OnError(err)
+		}
+		out := transport.GetBuf(256)
+		out = xmlcodec.AppendResponseBinary(out, 0, false, false, 0,
+			"wrapper: malformed request: "+err.Error(), nil)
+		g.deliverBin(out, done)
 		return
 	}
 	req, err := xmlcodec.UnmarshalRequest(b)
@@ -237,19 +323,22 @@ func (g *Gateway) handle(b []byte) {
 		}
 		resp := xmlcodec.NewResponse(0, false, nil, "wrapper: malformed request: "+err.Error())
 		if rb, merr := xmlcodec.MarshalResponse(resp); merr == nil {
-			if serr := g.client.Send(rb); serr != nil && g.OnError != nil {
+			if done != nil {
+				out := transport.GetBuf(len(rb))
+				done(append(out, rb...))
+			} else if serr := g.client.Send(rb); serr != nil && g.OnError != nil {
 				g.OnError(serr)
 			}
 		}
 		return
 	}
-	g.forward(req.ID, req.Op, req.Binary, b)
+	g.forward(req.ID, req.Op, req.Binary, b, done)
 }
 
 // forward relays the raw request to the space skeleton over RMI and
 // sends the response (or a local error response in the request's
-// codec) back to the client.
-func (g *Gateway) forward(id uint64, op string, binaryCodec bool, b []byte) {
+// codec) back to the client — or into its batch slot via done.
+func (g *Gateway) forward(id uint64, op string, binaryCodec bool, b []byte, done func([]byte)) {
 	g.rmi.Call(SpaceObject, op, b, func(respBody []byte, err error) {
 		if err != nil {
 			resp := xmlcodec.NewResponse(id, false, nil, err.Error())
@@ -260,6 +349,13 @@ func (g *Gateway) forward(id uint64, op string, binaryCodec bool, b []byte) {
 				}
 				return
 			}
+		}
+		if done != nil {
+			// The RMI body is only valid during this callback; the batch
+			// slot needs an owned copy.
+			out := transport.GetBuf(len(respBody))
+			done(append(out, respBody...))
+			return
 		}
 		if err := g.client.Send(respBody); err != nil && g.OnError != nil {
 			g.OnError(err)
@@ -281,26 +377,69 @@ var ErrClosed = errors.New("wrapper: client closed")
 
 // pendingReq is an in-flight request: its completion callback plus
 // everything a resilient client needs to retransmit it verbatim.
+// Exactly one callback is set: cb (XML-era path) or one of the binary
+// fast-path forms — wcb (write/ack ops), qcb (match, status dropped),
+// mcb (match with status), bcb (generic binResult, the cold ops). The
+// specialized forms hold the caller's callback directly so the hot
+// path allocates no adapter closure; completed non-resilient prs are
+// recycled through the Client freelist (next).
 type pendingReq struct {
 	cb      func(xmlcodec.Response)
+	wcb     func(ok bool, errMsg string)
+	qcb     func(tuple.Tuple, bool)
+	mcb     func(tuple.Tuple, bool, string)
+	bcb     func(binResult)
 	bytes   []byte       // marshalled request, resent unchanged (same id)
+	pooled  bool         // bytes is a transport pool buffer, released on completion
 	budget  sim.Duration // per-attempt response budget (0 = none)
 	attempt int
-	cancel  func() // armed deadline or backoff timer, if any
+	cancel  func()      // armed deadline or backoff timer, if any
+	next    *pendingReq // Client freelist link
+}
+
+// release returns a pooled request frame to the transport pool. Call
+// only on completion paths (the request is out of c.pending), so the
+// frame cannot be retransmitted afterwards.
+func (pr *pendingReq) release() {
+	if pr.pooled {
+		transport.PutBuf(pr.bytes)
+		pr.bytes = nil
+		pr.pooled = false
+	}
+}
+
+// fail completes the request with a local error through whichever
+// callback form it carries.
+func (pr *pendingReq) fail(id uint64, msg string) {
+	switch {
+	case pr.wcb != nil:
+		pr.wcb(false, msg)
+	case pr.qcb != nil:
+		pr.qcb(tuple.Tuple{}, false)
+	case pr.mcb != nil:
+		pr.mcb(tuple.Tuple{}, false, msg)
+	case pr.bcb != nil:
+		pr.bcb(binResult{err: msg})
+	default:
+		pr.cb(xmlcodec.NewResponse(id, false, nil, msg))
+	}
 }
 
 // Client is the application-side library (the paper's C++ client): it
 // issues tuplespace operations as XML messages over any transport and
 // correlates the responses.
 type Client struct {
-	mu      sync.Mutex
-	conn    transport.Conn
-	nextID  uint64
-	pending map[uint64]*pendingReq
-	subs    map[uint64]func(tuple.Tuple)
-	res     *Resilience
-	binary  bool
-	closed  bool
+	mu       sync.Mutex
+	conn     transport.Conn
+	nextID   uint64
+	pending  map[uint64]*pendingReq
+	prFree   *pendingReq // recycled pendingReqs (non-resilient clients only)
+	subs     map[uint64]func(tuple.Tuple)
+	res      *Resilience
+	binary   bool
+	batchOps int
+	bat      *batcher
+	closed   bool
 }
 
 // ClientOption configures a Client at construction.
@@ -315,6 +454,17 @@ func WithBinaryCodec() ClientOption {
 	return func(c *Client) { c.binary = true }
 }
 
+// WithBatchOps coalesces up to k outstanding requests into one
+// multi-op batch frame: one length prefix on the wire and one batched
+// response carrying every member's reply. Requires WithBinaryCodec
+// (batch frames are part of the binary protocol); k <= 1 disables
+// coalescing. The server answers a batch only after every member
+// completes, so do not mix long-blocking takes into a batched
+// workload unless head-of-line waiting is acceptable.
+func WithBatchOps(k int) ClientOption {
+	return func(c *Client) { c.batchOps = k }
+}
+
 // NewClient binds a client to a transport connection.
 func NewClient(conn transport.Conn, opts ...ClientOption) *Client {
 	c := &Client{
@@ -325,11 +475,31 @@ func NewClient(conn transport.Conn, opts ...ClientOption) *Client {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.binary && c.batchOps > 1 {
+		c.bat = newBatcher(c, c.batchOps)
+	}
 	conn.SetOnReceive(c.onMessage)
 	return c
 }
 
 func (c *Client) onMessage(b []byte) {
+	if xmlcodec.IsBatchResponse(b) {
+		it, err := xmlcodec.NewBatchIter(b)
+		if err != nil {
+			return
+		}
+		for it.Len() > 0 {
+			m, err := it.Next()
+			if err != nil {
+				return
+			}
+			c.onMessage(m)
+		}
+		return
+	}
+	if xmlcodec.IsBinaryResponse(b) && c.onBinaryResponse(b) {
+		return
+	}
 	resp, err := xmlcodec.UnmarshalResponse(b)
 	if err != nil {
 		return
@@ -353,6 +523,7 @@ func (c *Client) onMessage(b []byte) {
 		if pr.cancel != nil {
 			pr.cancel()
 		}
+		pr.release()
 		pr.cb(resp)
 	}
 }
@@ -391,6 +562,11 @@ func (c *Client) id() uint64 {
 // Write stores a tuple with the given lease; cb receives success and
 // an error message.
 func (c *Client) Write(t tuple.Tuple, lease sim.Duration, cb func(ok bool, errMsg string)) {
+	if c.binary {
+		c.issueBinOp(c.id(), xmlcodec.OpWrite, int64(lease/sim.Millisecond), 0, &t, 0,
+			cb, nil, nil, nil)
+		return
+	}
 	req := xmlcodec.NewRequest(c.id(), xmlcodec.OpWrite, &t)
 	req.LeaseMs = int64(lease / sim.Millisecond)
 	c.send(req, 0, func(r xmlcodec.Response) { cb(r.OK, r.Err) })
@@ -398,21 +574,39 @@ func (c *Client) Write(t tuple.Tuple, lease sim.Duration, cb func(ok bool, errMs
 
 // Take removes a matching entry, blocking server-side up to timeout.
 func (c *Client) Take(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
+	if c.binary {
+		c.issueBinOp(c.id(), xmlcodec.OpTake, 0, xmlcodec.TimeoutMsOf(timeout), &tmpl, timeout,
+			nil, cb, nil, nil)
+		return
+	}
 	c.matchOp(xmlcodec.OpTake, tmpl, timeout, dropStatus(cb))
 }
 
 // Read copies a matching entry, blocking server-side up to timeout.
 func (c *Client) Read(tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool)) {
+	if c.binary {
+		c.issueBinOp(c.id(), xmlcodec.OpRead, 0, xmlcodec.TimeoutMsOf(timeout), &tmpl, timeout,
+			nil, cb, nil, nil)
+		return
+	}
 	c.matchOp(xmlcodec.OpRead, tmpl, timeout, dropStatus(cb))
 }
 
 // TakeIfExists removes a matching entry without blocking.
 func (c *Client) TakeIfExists(tmpl tuple.Tuple, cb func(tuple.Tuple, bool)) {
+	if c.binary {
+		c.issueBinOp(c.id(), xmlcodec.OpTakeIfExists, 0, 0, &tmpl, 0, nil, cb, nil, nil)
+		return
+	}
 	c.matchOp(xmlcodec.OpTakeIfExists, tmpl, 0, dropStatus(cb))
 }
 
 // ReadIfExists copies a matching entry without blocking.
 func (c *Client) ReadIfExists(tmpl tuple.Tuple, cb func(tuple.Tuple, bool)) {
+	if c.binary {
+		c.issueBinOp(c.id(), xmlcodec.OpReadIfExists, 0, 0, &tmpl, 0, nil, cb, nil, nil)
+		return
+	}
 	c.matchOp(xmlcodec.OpReadIfExists, tmpl, 0, dropStatus(cb))
 }
 
@@ -421,6 +615,11 @@ func dropStatus(cb func(tuple.Tuple, bool)) func(tuple.Tuple, bool, string) {
 }
 
 func (c *Client) matchOp(op string, tmpl tuple.Tuple, timeout sim.Duration, cb func(tuple.Tuple, bool, string)) {
+	if c.binary {
+		c.issueBinOp(c.id(), op, 0, xmlcodec.TimeoutMsOf(timeout), &tmpl, timeout,
+			nil, nil, cb, nil)
+		return
+	}
 	req := xmlcodec.NewRequest(c.id(), op, &tmpl)
 	req.TimeoutMs = xmlcodec.TimeoutMsOf(timeout)
 	c.send(req, timeout, func(r xmlcodec.Response) {
@@ -456,19 +655,30 @@ func (c *Client) Notify(tmpl tuple.Tuple, fn func(tuple.Tuple), cb func(ok bool)
 	c.mu.Lock()
 	c.subs[id] = fn
 	c.mu.Unlock()
-	req := xmlcodec.NewRequest(id, xmlcodec.OpNotify, &tmpl)
-	c.send(req, 0, func(r xmlcodec.Response) {
-		if !r.OK {
+	drop := func(ok bool) {
+		if !ok {
 			c.mu.Lock()
 			delete(c.subs, id)
 			c.mu.Unlock()
 		}
-		cb(r.OK)
-	})
+		cb(ok)
+	}
+	if c.binary {
+		c.issueBinID(id, xmlcodec.OpNotify, 0, 0, &tmpl, 0,
+			func(r binResult) { drop(r.ok) })
+		return
+	}
+	req := xmlcodec.NewRequest(id, xmlcodec.OpNotify, &tmpl)
+	c.send(req, 0, func(r xmlcodec.Response) { drop(r.OK) })
 }
 
 // Count reports how many stored entries match the template.
 func (c *Client) Count(tmpl tuple.Tuple, cb func(n int64, ok bool)) {
+	if c.binary {
+		c.issueBin(xmlcodec.OpCount, 0, 0, &tmpl, 0,
+			func(r binResult) { cb(r.count, r.ok) })
+		return
+	}
 	req := xmlcodec.NewRequest(c.id(), xmlcodec.OpCount, &tmpl)
 	c.send(req, 0, func(r xmlcodec.Response) { cb(r.Count, r.OK) })
 }
@@ -487,6 +697,11 @@ func (c *Client) CountWait(tmpl tuple.Tuple) (int64, bool) {
 
 // Ping measures a protocol round trip; cb reports success.
 func (c *Client) Ping(cb func(ok bool)) {
+	if c.binary {
+		c.issueBin(xmlcodec.OpPing, 0, 0, nil, 0,
+			func(r binResult) { cb(r.ok) })
+		return
+	}
 	req := xmlcodec.NewRequest(c.id(), xmlcodec.OpPing, nil)
 	c.send(req, 0, func(r xmlcodec.Response) { cb(r.OK) })
 }
@@ -497,12 +712,17 @@ func (c *Client) Close() error {
 	c.closed = true
 	pend := c.pending
 	c.pending = make(map[uint64]*pendingReq)
+	bat := c.bat
 	c.mu.Unlock()
+	if bat != nil {
+		bat.stop()
+	}
 	for id, pr := range pend {
 		if pr.cancel != nil {
 			pr.cancel()
 		}
-		pr.cb(xmlcodec.NewResponse(id, false, nil, ErrClosed.Error()))
+		pr.release()
+		pr.fail(id, ErrClosed.Error())
 	}
 	return c.conn.Close()
 }
@@ -568,6 +788,9 @@ func NewServerStack(clientConn transport.Conn, sp *space.Space, opts ...GatewayO
 	srv := rmi.NewServer(a)
 	RegisterSpace(srv, a, sp)
 	rc := rmi.NewClient(b)
+	// The gateway and space share this process: hand the gateway a
+	// direct space handle so binary frames skip the RMI hop entirely.
+	opts = append(append([]GatewayOption(nil), opts...), withSpace(sp))
 	gw := NewGateway(clientConn, rc, opts...)
 	return &ServerStack{Space: sp, Gateway: gw}
 }

@@ -52,3 +52,54 @@ func FuzzUnmarshalRequest(f *testing.F) {
 		_, _ = req.Tuple() // must not panic
 	})
 }
+
+// FuzzBatchFrame checks the multi-op batch walker never panics and
+// that every member it yields decodes (or fails) like a standalone
+// frame — the gateway trusts member boundaries, so a malformed length
+// prefix must surface as an iterator error, never an out-of-range
+// slice.
+func FuzzBatchFrame(f *testing.F) {
+	tp := tuple.New("job", tuple.String("op", "fft"))
+	code, _ := OpCodeOf(OpWrite)
+	bin := AppendRequestBinary(nil, 7, code, 0, 0, &tp)
+	xml, _ := MarshalRequest(NewRequest(8, OpTake, &tp))
+
+	one := AppendBatchMember(AppendBatchHeader(nil, false, 1), bin)
+	f.Add(one)
+	f.Add(one[:len(one)-3]) // truncated inside the last member
+
+	// Mixed binary and XML members in one batch.
+	mixed := AppendBatchHeader(nil, false, 2)
+	mixed = AppendBatchMember(mixed, bin)
+	mixed = AppendBatchMember(mixed, xml)
+	f.Add(mixed)
+
+	// Member count claims more frames than are present.
+	lying := AppendBatchMember(AppendBatchHeader(nil, false, 5), bin)
+	f.Add(lying)
+
+	resp := AppendBatchMember(AppendBatchHeader(nil, true, 1),
+		AppendResponseBinary(nil, 7, true, false, 0, "", nil))
+	f.Add(resp)
+
+	f.Add([]byte{binBatchReqMagic})                        // bare magic
+	f.Add([]byte{binBatchReqMagic, 0, 1, 0xFF, 0xFF, 0})   // absurd member length
+	f.Add(append([]byte{binBatchReqMagic, 0, 1}, bin...))  // member without length prefix
+	f.Add(append([]byte{binBatchRespMagic, 0, 2}, one...)) // nested batch bytes
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		it, err := NewBatchIter(b)
+		if err != nil {
+			return
+		}
+		for it.Len() > 0 {
+			m, err := it.Next()
+			if err != nil {
+				return
+			}
+			if req, err := UnmarshalRequest(m); err == nil {
+				_, _ = req.Tuple() // must not panic
+			}
+		}
+	})
+}

@@ -17,7 +17,10 @@
 #                      closed-loop clients over loopback TCP and the
 #                      in-proc pipe, batched/pooled plane vs the
 #                      in-binary unbatched baseline, XML and binary
-#                      codecs; records {name, clients, conns, ops,
+#                      codecs, plus the binary variants — multi-op
+#                      coalescing (/b8, 8 ops per batch frame) and
+#                      shard-affinity dispatch disabled (/noaff);
+#                      records {name, clients, conns, ops,
 #                      ops_per_sec, p50_ns, p99_ns, allocs_per_op,
 #                      speedup_vs_baseline}
 #

@@ -4,10 +4,12 @@
 #   also covers the parallel experiment runner's and chaos harness's
 #   guard tests), a fuzz smoke over every fuzz target, a fast-path
 #   equivalence smoke (tpbench output must be byte-identical with and
-#   without -nofastpath), kernel/space/transport bench regression
-#   smokes that fail if the calendar's schedule/churn paths, the
-#   space's take hot paths, or the steady-state TCP receive path
-#   allocate, and a tiny -netbench run of the network serving plane.
+#   without -nofastpath), kernel/space/transport/wrapper bench
+#   regression smokes that fail if the calendar's schedule/churn
+#   paths, the space's take hot paths, the steady-state TCP receive
+#   path, or the gateway's binary decode->space->respond path
+#   allocate, and a tiny -netbench run of the network serving plane
+#   including the multi-op batch rows (-batchops 8).
 # Usage: scripts/check.sh   (or: make check)
 #   FUZZTIME=2s scripts/check.sh   # shorten/lengthen the fuzz smoke
 set -eu
@@ -37,6 +39,7 @@ go test -run '^$' -fuzz '^FuzzUnpackTX$' -fuzztime "$FUZZTIME" ./internal/frame/
 go test -run '^$' -fuzz '^FuzzUnpackRX$' -fuzztime "$FUZZTIME" ./internal/frame/
 go test -run '^$' -fuzz '^FuzzDecodeTupleBinary$' -fuzztime "$FUZZTIME" ./internal/xmlcodec/
 go test -run '^$' -fuzz '^FuzzUnmarshalRequest$' -fuzztime "$FUZZTIME" ./internal/xmlcodec/
+go test -run '^$' -fuzz '^FuzzBatchFrame$' -fuzztime "$FUZZTIME" ./internal/xmlcodec/
 go test -run '^$' -fuzz '^FuzzRSPDecode$' -fuzztime "$FUZZTIME" ./internal/cosim/
 go test -run '^$' -fuzz '^FuzzRSPStubHandle$' -fuzztime "$FUZZTIME" ./internal/cosim/
 
@@ -95,9 +98,24 @@ else
     exit 1
 fi
 
-echo "==> network serving-plane smoke (tpbench -netbench, tiny run)"
-"$tmp/tpbench" -netbench -clients 4 -netops 80 > "$tmp/netbench.txt"
+echo "==> wrapper bench regression smoke (binary decode->space->respond must not allocate)"
+go test -run '^$' -bench '^BenchmarkBinServeTakeHit$' -benchmem \
+    -benchtime=20000x ./internal/wrapper/ | tee "$tmp/wrapbench.txt"
+if awk '/^BenchmarkBinServeTakeHit-/ {
+        for (i = 2; i < NF; i++)
+            if ($(i + 1) == "allocs/op" && $i + 0 > 0) { bad = 1; print $1, $i, "allocs/op" }
+    } END { exit bad }' "$tmp/wrapbench.txt"; then
+    :
+else
+    echo "wrapper regression: binary serve path allocates" >&2
+    exit 1
+fi
+
+echo "==> network serving-plane smoke (tpbench -netbench, tiny run, batchops 8)"
+"$tmp/tpbench" -netbench -clients 4 -netops 80 -batchops 8 > "$tmp/netbench.txt"
 grep -q "tcp/baseline/xml" "$tmp/netbench.txt"
 grep -q "tcp/batched/binary" "$tmp/netbench.txt"
+grep -q "pipe/batched/binary/b8" "$tmp/netbench.txt"
+grep -q "pipe/batched/binary/noaff" "$tmp/netbench.txt"
 
 echo "OK"
