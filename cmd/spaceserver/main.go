@@ -8,6 +8,11 @@
 // Clients frame each XML request with a 4-byte big-endian length
 // prefix (see internal/transport.TCPConn); cmd/spacecli and the
 // examples show the client side.
+//
+// -selftest runs the replicated-cluster chaos cell in-process (a
+// 3-node simulated cluster with a forced primary crash, audited for
+// lost writes and double takes) and exits — a deployment preflight
+// for the cluster plane.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"runtime"
 	"time"
 
+	"tpspace/internal/core"
 	"tpspace/internal/space"
 	"tpspace/internal/transport"
 	"tpspace/internal/wrapper"
@@ -27,7 +33,18 @@ func main() {
 	journalPath := flag.String("journal", "", "journal file for the persistent message store (restored on start)")
 	shards := flag.Int("shards", 1, "independently locked space shards (concrete-template traffic scales across them; semantics are identical at any count)")
 	workers := flag.Int("workers", runtime.NumCPU(), "gateway dispatch workers per connection (<=1 handles requests sequentially on the reader goroutine)")
+	selftest := flag.Bool("selftest", false, "run the replicated-cluster chaos self-test (3 simulated nodes, forced primary crash) and exit")
 	flag.Parse()
+
+	if *selftest {
+		r := core.RunClusterChaos(core.DefaultClusterChaosConfig())
+		if !r.OK() {
+			log.Fatalf("spaceserver: cluster self-test violations: %v", r.Violations)
+		}
+		log.Printf("spaceserver: cluster self-test clean: %d writes acked, %d takes delivered, %d kill(s), crash detected in %v, recovered in %v",
+			r.WritesAcked, r.Delivered, r.Kills, r.DetectDelay, r.RecoverDelay)
+		return
+	}
 
 	sp := space.New(space.NewRealRuntime(), space.WithShards(*shards))
 	if *journalPath != "" {

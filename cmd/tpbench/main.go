@@ -8,6 +8,11 @@
 //	tpbench -fig 6           # Figure 6 scenario summary
 //	tpbench -fig 7           # Figure 7 single case-study run
 //	tpbench -chaos           # Table 4 scenario under injected faults
+//	tpbench -cluster -chaos  # replicated multi-node cluster under the
+//	                         # chaos harness: fault-rate x cluster-size
+//	                         # degradation grid with a forced primary
+//	                         # crash per cell (-json for the
+//	                         # BENCH_cluster.json records)
 //	tpbench -spacebench      # tuplespace serving-plane throughput
 //	                         # (-shards n compares sharded stores)
 //	tpbench -netbench        # network serving-plane load generator:
@@ -45,6 +50,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare Ethernet/TCP and TpWIRE substrates (Section 4.3)")
 	plan := flag.Bool("plan", false, "search the design space for the cheapest bus meeting the Table 4 requirements")
 	chaos := flag.Bool("chaos", false, "replay the Table 4 scenario under injected faults and print the degradation table")
+	clusterFlag := flag.Bool("cluster", false, "run the replicated multi-node cluster under the chaos harness (fault-rate x cluster-size grid, forced primary crash; combine with -json for BENCH_cluster.json)")
 	spacebench := flag.Bool("spacebench", false, "drive the tuplespace serving plane through the mixed write/take/read/wake workload and print per-op latency")
 	netbench := flag.Bool("netbench", false, "drive the network serving plane with closed-loop clients over loopback TCP and the in-proc pipe, against the unbatched baseline")
 	clients := flag.Int("clients", 0, "closed-loop client goroutines for -netbench (0 = default 64)")
@@ -114,6 +120,25 @@ func main() {
 			Workers:      workers,
 			NoFastPath:   noFast,
 		}).Format())
+		return
+	}
+	if *clusterFlag {
+		cfg := core.DefaultClusterChaosGridConfig()
+		cfg.Workers = workers
+		grid := core.RunClusterChaosGrid(cfg)
+		if *jsonOut {
+			js, err := grid.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(js)
+		} else {
+			fmt.Print(grid.Format())
+		}
+		if len(grid.Violations()) > 0 {
+			os.Exit(1)
+		}
 		return
 	}
 	if *chaos {

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"tpspace/internal/sim"
+	"tpspace/internal/tuple"
+)
+
+// Client-side codec. The wrapper package builds cluster clients on
+// top of plain transport Conns; these helpers are the only coupling
+// it needs to the wire format.
+
+// EncodeWrite builds a client write frame. reqKey must be unique per
+// logical request (clientID<<32 | seq) and is reused verbatim on
+// retries; retry marks attempts after the first, which makes the
+// receiving node resolve ownership with its peers before assuming the
+// original write was lost.
+func EncodeWrite(reqKey uint64, lease sim.Duration, t tuple.Tuple, retry bool) []byte {
+	m := &msg{Kind: cWrite, ReqKey: reqKey, Lease: uint64(lease), T: t}
+	if retry {
+		m.Status = 1
+	}
+	return m.encode()
+}
+
+// EncodeTake builds a client take frame. timeout 0 means
+// take-if-exists; sim.Forever blocks indefinitely.
+func EncodeTake(reqKey uint64, timeout sim.Duration, tmpl tuple.Tuple) []byte {
+	return (&msg{Kind: cTake, ReqKey: reqKey, Timeout: uint64(timeout), T: tmpl}).encode()
+}
+
+// EncodeRead builds a client read frame.
+func EncodeRead(reqKey uint64, timeout sim.Duration, tmpl tuple.Tuple) []byte {
+	return (&msg{Kind: cRead, ReqKey: reqKey, Timeout: uint64(timeout), T: tmpl}).encode()
+}
+
+// Reply is a decoded node->client response.
+type Reply struct {
+	ReqKey uint64
+	// OK: the operation succeeded (T holds the tuple for take/read).
+	OK bool
+	// Miss: take/read timed out or found nothing.
+	Miss bool
+	// NotServing: the node cannot serve (joining/parked/killed); the
+	// client should fail over to another node with the same reqKey.
+	NotServing bool
+	HasT       bool
+	T          tuple.Tuple
+}
+
+// DecodeReply parses a node->client response; ok is false for any
+// other (or corrupt) frame.
+func DecodeReply(b []byte) (Reply, bool) {
+	m, err := decode(b)
+	if err != nil || m.Kind != cReply {
+		return Reply{}, false
+	}
+	r := Reply{ReqKey: m.ReqKey, HasT: m.HasT, T: m.T}
+	switch m.Status {
+	case stOK:
+		r.OK = true
+	case stMiss:
+		r.Miss = true
+	case stNotServing:
+		r.NotServing = true
+	default:
+		return Reply{}, false
+	}
+	return r, true
+}

@@ -1,0 +1,342 @@
+package cluster_test
+
+import (
+	"sort"
+	"testing"
+
+	"tpspace/internal/cluster"
+	"tpspace/internal/netsim"
+	"tpspace/internal/rmi"
+	"tpspace/internal/sim"
+	"tpspace/internal/tuple"
+	"tpspace/internal/wrapper"
+)
+
+func newCluster(seed int64, nodes int) (*sim.Kernel, *cluster.Sim, *wrapper.ClusterClient) {
+	k := sim.NewKernel(seed)
+	cs := cluster.NewSim(k, cluster.SimConfig{Nodes: nodes})
+	cl := wrapper.NewClusterClient(k, cluster.ClientID(0), cs.ClientConns(0), cs.Cfg.Membership)
+	return k, cs, cl
+}
+
+func jobTuple(n int64) tuple.Tuple { return tuple.New("job", tuple.Int("n", n)) }
+func jobTemplate() tuple.Tuple     { return tuple.New("job", tuple.AnyInt("n")) }
+func jobN(t tuple.Tuple) int64     { return t.Fields[0].Int }
+func writeJobs(k *sim.Kernel, cl *wrapper.ClusterClient, count int, acked *int) {
+	k.Schedule(0, func() {
+		for i := 0; i < count; i++ {
+			cl.Write(jobTuple(int64(i)), 0, func(r wrapper.ClusterResult) {
+				if r.OK {
+					*acked++
+				}
+			})
+		}
+	})
+}
+
+// values returns the sorted job payloads a node currently holds.
+func values(cs *cluster.Sim, node int) []int64 {
+	var out []int64
+	for _, t := range cs.Nodes[node].Space().Scan(jobTemplate()) {
+		out = append(out, jobN(t))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestClusterReplicatesAndTakesExactlyOnce(t *testing.T) {
+	k, cs, cl := newCluster(1, 3)
+	acked := 0
+	writeJobs(k, cl, 5, &acked)
+	k.RunFor(2 * sim.Second)
+	if acked != 5 {
+		t.Fatalf("acked %d of 5 writes", acked)
+	}
+	// Write-one/read-all: every node materializes every tuple.
+	want := []int64{0, 1, 2, 3, 4}
+	for i := range cs.Nodes {
+		if got := values(cs, i); !int64sEqual(got, want) {
+			t.Fatalf("node %d holds %v, want %v", i, got, want)
+		}
+	}
+
+	// A read must not consume.
+	var read *wrapper.ClusterResult
+	k.Schedule(0, func() {
+		cl.Read(jobTemplate(), 0, func(r wrapper.ClusterResult) { read = &r })
+	})
+	k.RunFor(2 * sim.Second)
+	if read == nil || !read.OK {
+		t.Fatalf("read result %+v", read)
+	}
+	if got := values(cs, 0); !int64sEqual(got, want) {
+		t.Fatalf("read consumed: node 0 holds %v", got)
+	}
+
+	// Five takes drain the space exactly once each, regardless of
+	// which node coordinates which take.
+	var got []int64
+	misses := 0
+	k.Schedule(0, func() {
+		for i := 0; i < 6; i++ {
+			cl.Take(jobTemplate(), 0, func(r wrapper.ClusterResult) {
+				switch {
+				case r.OK:
+					got = append(got, jobN(r.T))
+				case r.Miss:
+					misses++
+				}
+			})
+		}
+	})
+	k.RunFor(5 * sim.Second)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !int64sEqual(got, want) {
+		t.Fatalf("takes delivered %v, want %v", got, want)
+	}
+	if misses != 1 {
+		t.Fatalf("6th take: misses = %d, want 1", misses)
+	}
+	for i := range cs.Nodes {
+		if n := cs.Nodes[i].Space().Size(); n != 0 {
+			t.Fatalf("node %d still holds %d entries", i, n)
+		}
+	}
+}
+
+func TestClusterLeaseExpiryPropagates(t *testing.T) {
+	k, cs, cl := newCluster(2, 3)
+	k.Schedule(0, func() {
+		cl.Write(jobTuple(7), 100*sim.Millisecond, func(wrapper.ClusterResult) {})
+	})
+	k.RunFor(2 * sim.Second)
+	for i := range cs.Nodes {
+		if n := cs.Nodes[i].Space().Size(); n != 0 {
+			t.Fatalf("node %d kept expired entry (%d left)", i, n)
+		}
+		if len(cs.Nodes[i].ConsumedKeys()) != 1 {
+			t.Fatalf("node %d has no tombstone for the expired entry", i)
+		}
+	}
+}
+
+func TestClusterFailoverAfterPrimaryCrash(t *testing.T) {
+	k, cs, cl := newCluster(3, 3)
+	acked := 0
+	writeJobs(k, cl, 6, &acked)
+	k.RunFor(2 * sim.Second)
+	if acked != 6 {
+		t.Fatalf("acked %d of 6 writes", acked)
+	}
+
+	// Node 0 owns the writes the round-robin sent it. Kill it hard.
+	cs.Crash(0)
+	k.RunFor(2 * sim.Second)
+	if st := cs.Mgr.StateOf(0); st != cluster.StateKilled {
+		t.Fatalf("crashed node state = %v, want killed", st)
+	}
+	if len(cs.Mgr.Kills) != 1 || cs.Mgr.Kills[0].Node != 0 {
+		t.Fatalf("kill log %v", cs.Mgr.Kills)
+	}
+
+	// No acked write lost: survivors still hold all six.
+	want := []int64{0, 1, 2, 3, 4, 5}
+	for _, i := range []int{1, 2} {
+		if got := values(cs, i); !int64sEqual(got, want) {
+			t.Fatalf("after failover node %d holds %v, want %v", i, got, want)
+		}
+	}
+
+	// Ownership was promoted: all six remain takeable, exactly once.
+	var got []int64
+	k.Schedule(0, func() {
+		for i := 0; i < 6; i++ {
+			cl.Take(jobTemplate(), 0, func(r wrapper.ClusterResult) {
+				if r.OK {
+					got = append(got, jobN(r.T))
+				}
+			})
+		}
+	})
+	k.RunFor(10 * sim.Second)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !int64sEqual(got, want) {
+		t.Fatalf("post-failover takes delivered %v, want %v", got, want)
+	}
+}
+
+// TestClusterRejoinReconcilesJournal is the regression for the rejoin
+// path: a crashed node replays its journal on restart, which
+// resurrects every tuple it held at crash time — including ones the
+// cluster consumed during its absence. The snapshot reconcile must
+// re-remove those through the store (journaling the removal), so even
+// a second crash+replay cannot bring them back.
+func TestClusterRejoinReconcilesJournal(t *testing.T) {
+	k, cs, cl := newCluster(4, 3)
+	acked := 0
+	writeJobs(k, cl, 6, &acked)
+	k.RunFor(2 * sim.Second)
+	if acked != 6 {
+		t.Fatalf("acked %d of 6 writes", acked)
+	}
+
+	cs.Crash(2)
+	k.RunFor(2 * sim.Second) // failure detector kills node 2
+
+	// Consume jobs 0..2 while node 2 is gone.
+	taken := 0
+	k.Schedule(0, func() {
+		for i := 0; i < 3; i++ {
+			cl.Take(tuple.New("job", tuple.Int("n", int64(i))), 0, func(r wrapper.ClusterResult) {
+				if r.OK {
+					taken++
+				}
+			})
+		}
+	})
+	k.RunFor(5 * sim.Second)
+	if taken != 3 {
+		t.Fatalf("took %d of 3 during the absence", taken)
+	}
+
+	cs.Rejoin(2)
+	k.RunFor(2 * sim.Second)
+	if st := cs.Nodes[2].State(); st != cluster.StateLive {
+		t.Fatalf("rejoined node state = %v, want live", st)
+	}
+	want := []int64{3, 4, 5}
+	if got := values(cs, 2); !int64sEqual(got, want) {
+		t.Fatalf("rejoined node holds %v, want %v — consumed tuples resurrected", got, want)
+	}
+
+	// The reconcile removals must be in the journal: crash and rejoin
+	// again, and the consumed tuples must stay gone.
+	cs.Crash(2)
+	k.RunFor(2 * sim.Second)
+	cs.Rejoin(2)
+	k.RunFor(2 * sim.Second)
+	if got := values(cs, 2); !int64sEqual(got, want) {
+		t.Fatalf("second replay resurrected: node 2 holds %v, want %v", got, want)
+	}
+}
+
+func TestClusterParkDrainsWithoutLoss(t *testing.T) {
+	k, cs, cl := newCluster(5, 3)
+	acked := 0
+	writeJobs(k, cl, 4, &acked)
+	k.RunFor(2 * sim.Second)
+	if acked != 4 {
+		t.Fatalf("acked %d of 4 writes", acked)
+	}
+
+	// Park node 1: it must refuse client traffic but keep
+	// replicating.
+	cs.Park(1)
+	k.RunFor(500 * sim.Millisecond)
+	if st := cs.Nodes[1].State(); st != cluster.StateParked {
+		t.Fatalf("node 1 state = %v, want parked", st)
+	}
+	before := cs.Nodes[1].Stats.WritesServed
+	k.Schedule(0, func() {
+		for i := 4; i < 6; i++ {
+			cl.Write(jobTuple(int64(i)), 0, func(r wrapper.ClusterResult) {
+				if r.OK {
+					acked++
+				}
+			})
+		}
+	})
+	k.RunFor(3 * sim.Second)
+	if acked != 6 {
+		t.Fatalf("acked %d of 6 writes with a parked node", acked)
+	}
+	if cs.Nodes[1].Stats.WritesServed != before {
+		t.Fatal("parked node served a client write")
+	}
+	want := []int64{0, 1, 2, 3, 4, 5}
+	if got := values(cs, 1); !int64sEqual(got, want) {
+		t.Fatalf("parked node replicates %v, want %v", got, want)
+	}
+
+	// Remove it: the planned-drain second half. Nothing is lost.
+	cs.Remove(1)
+	k.RunFor(1 * sim.Second)
+	for _, i := range []int{0, 2} {
+		if got := values(cs, i); !int64sEqual(got, want) {
+			t.Fatalf("after drain node %d holds %v, want %v", i, got, want)
+		}
+	}
+	var got []int64
+	k.Schedule(0, func() {
+		for i := 0; i < 6; i++ {
+			cl.Take(jobTemplate(), 0, func(r wrapper.ClusterResult) {
+				if r.OK {
+					got = append(got, jobN(r.T))
+				}
+			})
+		}
+	})
+	k.RunFor(10 * sim.Second)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !int64sEqual(got, want) {
+		t.Fatalf("post-drain takes delivered %v, want %v", got, want)
+	}
+}
+
+// TestClusterSlowNodeNotKilled is the failure-detector calibration
+// regression (the rmi.MembershipConfig knobs): a node whose links
+// carry extra delay below the suspicion threshold must stay live; one
+// delayed past the threshold must be killed.
+func TestClusterSlowNodeNotKilled(t *testing.T) {
+	cfg := rmi.MembershipConfig{}.Normalize() // 50ms beats, kill after 200ms silence
+
+	k := sim.NewKernel(6)
+	cs := cluster.NewSim(k, cluster.SimConfig{Nodes: 3, Membership: cfg})
+	k.RunFor(500 * sim.Millisecond) // settle
+	cs.SetNodeFault(1, netsim.FaultProfile{ExtraDelay: cfg.SuspectAfter() / 2})
+	k.RunFor(2 * sim.Second)
+	if st := cs.Mgr.StateOf(1); st != cluster.StateLive {
+		t.Fatalf("slow-but-alive node killed (state %v): delay %v is below the %v threshold",
+			st, cfg.SuspectAfter()/2, cfg.SuspectAfter())
+	}
+	if len(cs.Mgr.Kills) != 0 {
+		t.Fatalf("kills logged for a live node: %v", cs.Mgr.Kills)
+	}
+
+	// Above the threshold the detector must fire.
+	k2 := sim.NewKernel(6)
+	cs2 := cluster.NewSim(k2, cluster.SimConfig{Nodes: 3, Membership: cfg})
+	k2.RunFor(500 * sim.Millisecond)
+	cs2.SetNodeFault(1, netsim.FaultProfile{ExtraDelay: 2 * cfg.SuspectAfter()})
+	k2.RunFor(2 * sim.Second)
+	if st := cs2.Mgr.StateOf(1); st != cluster.StateKilled {
+		t.Fatalf("node delayed past the threshold not killed (state %v)", st)
+	}
+}
+
+// TestClusterQuiescence: after Stop, the kernel drains completely —
+// no periodic event re-arms itself.
+func TestClusterQuiescence(t *testing.T) {
+	k, cs, cl := newCluster(7, 3)
+	acked := 0
+	writeJobs(k, cl, 3, &acked)
+	k.RunFor(1 * sim.Second)
+	cl.Stop()
+	cs.Stop()
+	k.Run() // must terminate
+	if k.Pending() != 0 {
+		t.Fatalf("%d events still pending after Stop+drain", k.Pending())
+	}
+}

@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"sort"
+
+	"tpspace/internal/rmi"
+	"tpspace/internal/sim"
+	"tpspace/internal/transport"
+)
+
+// KillRecord marks one failure-detector kill, for failover-latency
+// metrics.
+type KillRecord struct {
+	Node int
+	At   sim.Time
+}
+
+// Manager is the membership coordinator and failure detector. It
+// tracks heartbeats, kills nodes silent past the suspicion threshold,
+// runs the join protocol (join -> snapshot -> joined), and broadcasts
+// numbered views. It is assumed reliable: it lives on its own netsim
+// node and the chaos harness never faults it — the protocol under
+// test is the data plane, not leader election.
+type Manager struct {
+	K   *sim.Kernel
+	cfg rmi.MembershipConfig
+
+	conns    map[int]transport.Conn
+	states   map[int]State
+	lastBeat map[int]sim.Time
+	viewNum  uint64
+	stopped  bool
+
+	// Kills records every failure-detector kill in order.
+	Kills []KillRecord
+	// OnKill, if set, observes each kill as it happens.
+	OnKill func(id int, at sim.Time)
+}
+
+// NewManager builds an idle manager; Attach each node, Bootstrap, then
+// Start.
+func NewManager(k *sim.Kernel, cfg rmi.MembershipConfig) *Manager {
+	return &Manager{
+		K:        k,
+		cfg:      cfg.Normalize(),
+		conns:    make(map[int]transport.Conn),
+		states:   make(map[int]State),
+		lastBeat: make(map[int]sim.Time),
+	}
+}
+
+// Attach wires the connection to node id.
+func (g *Manager) Attach(id int, c transport.Conn) {
+	g.conns[id] = c
+	g.states[id] = StateUnjoined
+	c.SetOnReceive(g.onMessage)
+}
+
+// Bootstrap marks the given nodes live in view 1 without running the
+// join protocol; the nodes must Bootstrap with the same list.
+func (g *Manager) Bootstrap(ids []int) {
+	now := g.K.Now()
+	for _, id := range ids {
+		g.states[id] = StateLive
+		g.lastBeat[id] = now
+	}
+	g.viewNum = 1
+}
+
+// Start begins the periodic failure-detector sweep.
+func (g *Manager) Start() { g.checkLoop() }
+
+// Stop quiesces the manager.
+func (g *Manager) Stop() { g.stopped = true }
+
+// ViewNum returns the current view number.
+func (g *Manager) ViewNum() uint64 { return g.viewNum }
+
+// StateOf returns the manager's view of node id.
+func (g *Manager) StateOf(id int) State { return g.states[id] }
+
+func (g *Manager) checkLoop() {
+	if g.stopped {
+		return
+	}
+	now := g.K.Now()
+	threshold := g.cfg.SuspectAfter()
+	changed := false
+	for _, id := range sortedIntKeys(g.states) {
+		switch g.states[id] {
+		case StateLive, StateJoining, StateParked:
+		default:
+			continue
+		}
+		if sim.Duration(now-g.lastBeat[id]) <= threshold {
+			continue
+		}
+		g.states[id] = StateKilled
+		changed = true
+		g.Kills = append(g.Kills, KillRecord{Node: id, At: now})
+		if g.OnKill != nil {
+			g.OnKill(id, now)
+		}
+		g.send(id, &msg{Kind: mKilled, From: id})
+	}
+	if changed {
+		g.bumpView()
+	}
+	g.K.ScheduleName("cluster.mgrCheck", g.cfg.HeartbeatEvery, func() { g.checkLoop() })
+}
+
+func (g *Manager) onMessage(b []byte) {
+	if g.stopped {
+		return
+	}
+	m, err := decode(b)
+	if err != nil {
+		return
+	}
+	switch m.Kind {
+	case mBeat:
+		switch g.states[m.From] {
+		case StateLive, StateJoining, StateParked:
+			g.lastBeat[m.From] = g.K.Now()
+		default:
+			// A zombie: it was killed (e.g. while partitioned) and
+			// does not know. Tell it.
+			g.send(m.From, &msg{Kind: mKilled, From: m.From})
+		}
+	case mJoinReq:
+		g.handleJoinReq(m.From)
+	case mJoined:
+		if g.states[m.From] == StateJoining {
+			g.states[m.From] = StateLive
+			g.lastBeat[m.From] = g.K.Now()
+			g.bumpView()
+		}
+	}
+}
+
+func (g *Manager) handleJoinReq(id int) {
+	if g.states[id] == StateJoining {
+		// Retry: the snapshot may have been lost; re-ask the donor.
+		if donor, ok := g.pickDonor(id); ok {
+			g.send(donor, &msg{Kind: mSnapReq, To: id})
+		}
+		return
+	}
+	switch g.states[id] {
+	case StateLive, StateParked:
+		return // stale duplicate
+	}
+	g.lastBeat[id] = g.K.Now()
+	donor, ok := g.pickDonor(id)
+	if !ok {
+		// Nothing to reconcile against: admit directly.
+		g.states[id] = StateLive
+		g.bumpView()
+		return
+	}
+	g.states[id] = StateJoining
+	g.bumpView()
+	g.send(donor, &msg{Kind: mSnapReq, To: id})
+}
+
+// pickDonor chooses the snapshot source for a joiner: the lowest live
+// node, falling back to the lowest parked one.
+func (g *Manager) pickDonor(joiner int) (int, bool) {
+	for _, want := range []State{StateLive, StateParked} {
+		for _, id := range sortedIntKeys(g.states) {
+			if id != joiner && g.states[id] == want {
+				return id, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Park moves a live node to replica-only duty: it keeps replicating
+// and owning entries but refuses client traffic — the first half of a
+// planned drain.
+func (g *Manager) Park(id int) {
+	if g.states[id] != StateLive {
+		return
+	}
+	g.states[id] = StateParked
+	g.bumpView()
+}
+
+// Unpark returns a parked node to service.
+func (g *Manager) Unpark(id int) {
+	if g.states[id] != StateParked {
+		return
+	}
+	g.states[id] = StateLive
+	g.bumpView()
+}
+
+// Remove takes a node out of the cluster deliberately (the second
+// half of a drain). Full replication means no data is lost: survivors
+// promote and re-broadcast its entries on the view change.
+func (g *Manager) Remove(id int) {
+	switch g.states[id] {
+	case StateLive, StateParked, StateJoining:
+	default:
+		return
+	}
+	g.states[id] = StateKilled
+	g.send(id, &msg{Kind: mKilled, From: id})
+	g.bumpView()
+}
+
+func (g *Manager) bumpView() {
+	g.viewNum++
+	vm := &msg{Kind: mView, View: g.viewNum}
+	for _, id := range sortedIntKeys(g.states) {
+		switch g.states[id] {
+		case StateLive:
+			vm.Live = append(vm.Live, id)
+		case StateJoining:
+			vm.Joining = append(vm.Joining, id)
+		case StateParked:
+			vm.Parked = append(vm.Parked, id)
+		}
+	}
+	sort.Ints(vm.Live)
+	sort.Ints(vm.Joining)
+	sort.Ints(vm.Parked)
+	for _, id := range sortedIntKeys(g.conns) {
+		g.send(id, vm)
+	}
+}
+
+func (g *Manager) send(id int, m *msg) {
+	if c := g.conns[id]; c != nil {
+		c.Send(m.encode())
+	}
+}

@@ -1,0 +1,416 @@
+// Package cluster is the replicated multi-node tuplespace plane: N
+// space instances joined by a manager/membership protocol (join ->
+// replicate -> joined, park/drain for planned removal, heartbeat
+// failure detection -> kill + re-replication) with write-one/read-all
+// tuple replication, per-entry primary ownership, and deterministic
+// replica promotion on failover.
+//
+// Everything runs inside the sim kernel over transport Conns (netsim
+// endpoints in practice), single-threaded in event context: no locks,
+// every map iteration sorted, every delay a kernel event. A cluster
+// run is a pure function of (seed, config, workload) — the property
+// the chaos harness (core.RunClusterChaos) relies on.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tpspace/internal/tuple"
+	"tpspace/internal/xmlcodec"
+)
+
+// Message kinds. Peer/control traffic first, client traffic from 20.
+const (
+	mBeat    = 1  // node -> manager: heartbeat {From, View}
+	mJoinReq = 2  // node -> manager: (re)join request {From}
+	mView    = 3  // manager -> nodes: view broadcast {View, Live, Joining, Parked}
+	mSnapReq = 4  // manager -> donor: stream a snapshot to {To}
+	mSnap    = 5  // donor -> joiner: {View, Records, Tombs, Dedups}
+	mJoined  = 6  // node -> manager: reconcile finished {From}
+	mKilled  = 7  // manager -> node: you were declared dead {From=node id}
+	mRepl    = 8  // owner -> replicas: {From, Key, ReqKey, Expiry, T}
+	mReplAck = 9  // replica -> owner: {From, Key}
+	mTomb    = 10 // owner -> replicas: {From, Key, ReqKey, T?}
+	mTombAck = 11 // replica -> owner: {From, Key}
+	mClaim   = 12 // coordinator -> owner: {From, Key, ReqKey}
+	mGrant   = 13 // owner -> coordinator: {Key, ReqKey, Status, T?}
+	mKeyQry  = 14 // retried-write coordinator -> peers: {From, Key}
+	mKeyInfo = 15 // peer -> coordinator: {From, Key, Status known/unknown, To=owner, Expiry}
+
+	cWrite = 20 // client -> node: {ReqKey, Lease, Status=retry flag, T}
+	cTake  = 21 // client -> node: {ReqKey, Timeout, T=template}
+	cRead  = 22 // client -> node: {ReqKey, Timeout, T=template}
+	cReply = 23 // node -> client: {ReqKey, Status, T?}
+)
+
+// Status codes carried by mGrant and cReply.
+const (
+	stOK         = 0 // granted / op succeeded
+	stMiss       = 1 // take/read miss (timeout or immediate)
+	stGone       = 2 // claim: entry already consumed
+	stNotServing = 3 // node not in a client-serving state; fail over
+	stRetry      = 4 // claim: mis-routed (stale ownership); re-probe later
+)
+
+// snapRecord is one live entry in a snapshot transfer.
+type snapRecord struct {
+	Key    uint64
+	ReqKey uint64
+	Owner  int
+	Expiry uint64 // absolute sim time, 0 = permanent
+	T      tuple.Tuple
+}
+
+// tombRecord is one consumed-entry tombstone in a snapshot transfer.
+type tombRecord struct {
+	Key    uint64
+	ReqKey uint64 // taking request, 0 for lease expiry
+	Owner  int
+}
+
+// dedupRecord replicates one client-request outcome.
+type dedupRecord struct {
+	ReqKey uint64
+	Op     byte // cWrite or cTake
+	Status byte
+	HasT   bool
+	T      tuple.Tuple
+}
+
+// msg is the decoded wire message; Kind selects the meaningful fields.
+type msg struct {
+	Kind    byte
+	From    int
+	To      int
+	View    uint64
+	Key     uint64
+	ReqKey  uint64
+	Expiry  uint64
+	Lease   uint64
+	Timeout uint64
+	Status  byte
+	HasT    bool
+	T       tuple.Tuple
+	Live    []int
+	Joining []int
+	Parked  []int
+	Records []snapRecord
+	Tombs   []tombRecord
+	Dedups  []dedupRecord
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendInts(b []byte, xs []int) []byte {
+	b = appendUvarint(b, uint64(len(xs)))
+	for _, x := range xs {
+		b = appendUvarint(b, uint64(x))
+	}
+	return b
+}
+
+func appendTuple(b []byte, t *tuple.Tuple) []byte {
+	enc := xmlcodec.EncodeTupleBinary(*t)
+	b = appendUvarint(b, uint64(len(enc)))
+	return append(b, enc...)
+}
+
+// encode serializes m. The layout mirrors decode exactly; both switch
+// on Kind so unused fields cost nothing on the wire.
+func (m *msg) encode() []byte {
+	b := []byte{m.Kind}
+	switch m.Kind {
+	case mBeat:
+		b = appendUvarint(b, uint64(m.From))
+		b = appendUvarint(b, m.View)
+	case mJoinReq, mJoined:
+		b = appendUvarint(b, uint64(m.From))
+	case mView:
+		b = appendUvarint(b, m.View)
+		b = appendInts(b, m.Live)
+		b = appendInts(b, m.Joining)
+		b = appendInts(b, m.Parked)
+	case mSnapReq:
+		b = appendUvarint(b, uint64(m.To))
+	case mSnap:
+		b = appendUvarint(b, m.View)
+		b = appendUvarint(b, uint64(len(m.Records)))
+		for i := range m.Records {
+			r := &m.Records[i]
+			b = appendUvarint(b, r.Key)
+			b = appendUvarint(b, r.ReqKey)
+			b = appendUvarint(b, uint64(r.Owner))
+			b = appendUvarint(b, r.Expiry)
+			b = appendTuple(b, &r.T)
+		}
+		b = appendUvarint(b, uint64(len(m.Tombs)))
+		for i := range m.Tombs {
+			t := &m.Tombs[i]
+			b = appendUvarint(b, t.Key)
+			b = appendUvarint(b, t.ReqKey)
+			b = appendUvarint(b, uint64(t.Owner))
+		}
+		b = appendUvarint(b, uint64(len(m.Dedups)))
+		for i := range m.Dedups {
+			d := &m.Dedups[i]
+			b = appendUvarint(b, d.ReqKey)
+			b = append(b, d.Op, d.Status, boolByte(d.HasT))
+			if d.HasT {
+				b = appendTuple(b, &d.T)
+			}
+		}
+	case mKilled:
+		b = appendUvarint(b, uint64(m.From))
+	case mRepl:
+		b = appendUvarint(b, uint64(m.From))
+		b = appendUvarint(b, uint64(m.To)) // owner of the key
+		b = appendUvarint(b, m.Key)
+		b = appendUvarint(b, m.ReqKey)
+		b = appendUvarint(b, m.Expiry)
+		b = appendTuple(b, &m.T)
+	case mReplAck, mTombAck:
+		b = appendUvarint(b, uint64(m.From))
+		b = appendUvarint(b, m.Key)
+	case mTomb:
+		b = appendUvarint(b, uint64(m.From))
+		b = appendUvarint(b, m.Key)
+		b = appendUvarint(b, m.ReqKey)
+		b = append(b, boolByte(m.HasT))
+		if m.HasT {
+			b = appendTuple(b, &m.T)
+		}
+	case mClaim:
+		b = appendUvarint(b, uint64(m.From))
+		b = appendUvarint(b, m.Key)
+		b = appendUvarint(b, m.ReqKey)
+	case mGrant:
+		b = appendUvarint(b, m.Key)
+		b = appendUvarint(b, m.ReqKey)
+		b = append(b, m.Status, boolByte(m.HasT))
+		if m.HasT {
+			b = appendTuple(b, &m.T)
+		}
+	case mKeyQry:
+		b = appendUvarint(b, uint64(m.From))
+		b = appendUvarint(b, m.Key)
+	case mKeyInfo:
+		b = appendUvarint(b, uint64(m.From))
+		b = appendUvarint(b, m.Key)
+		b = append(b, m.Status)
+		b = appendUvarint(b, uint64(m.To))
+		b = appendUvarint(b, m.Expiry)
+	case cWrite:
+		b = appendUvarint(b, m.ReqKey)
+		b = appendUvarint(b, m.Lease)
+		b = append(b, m.Status) // non-zero marks a client retry
+		b = appendTuple(b, &m.T)
+	case cTake, cRead:
+		b = appendUvarint(b, m.ReqKey)
+		b = appendUvarint(b, m.Timeout)
+		b = appendTuple(b, &m.T)
+	case cReply:
+		b = appendUvarint(b, m.ReqKey)
+		b = append(b, m.Status, boolByte(m.HasT))
+		if m.HasT {
+			b = appendTuple(b, &m.T)
+		}
+	default:
+		panic(fmt.Sprintf("cluster: encoding unknown message kind %d", m.Kind))
+	}
+	return b
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// reader walks an encoded message with sticky error state.
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("cluster: truncated message at byte %d", r.pos)
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) byteVal() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) ints() []int {
+	n := int(r.uvarint())
+	if r.err != nil || n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, int(r.uvarint()))
+	}
+	return out
+}
+
+func (r *reader) tuple() tuple.Tuple {
+	n := int(r.uvarint())
+	if r.err != nil || n < 0 || r.pos+n > len(r.b) {
+		r.fail()
+		return tuple.Tuple{}
+	}
+	t, err := xmlcodec.DecodeTupleBinary(r.b[r.pos : r.pos+n])
+	if err != nil {
+		r.err = err
+		return tuple.Tuple{}
+	}
+	r.pos += n
+	return t
+}
+
+// decode parses one wire message.
+func decode(b []byte) (*msg, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("cluster: empty message")
+	}
+	m := &msg{Kind: b[0]}
+	r := &reader{b: b, pos: 1}
+	switch m.Kind {
+	case mBeat:
+		m.From = int(r.uvarint())
+		m.View = r.uvarint()
+	case mJoinReq, mJoined:
+		m.From = int(r.uvarint())
+	case mView:
+		m.View = r.uvarint()
+		m.Live = r.ints()
+		m.Joining = r.ints()
+		m.Parked = r.ints()
+	case mSnapReq:
+		m.To = int(r.uvarint())
+	case mSnap:
+		m.View = r.uvarint()
+		n := int(r.uvarint())
+		for i := 0; i < n && r.err == nil; i++ {
+			var rec snapRecord
+			rec.Key = r.uvarint()
+			rec.ReqKey = r.uvarint()
+			rec.Owner = int(r.uvarint())
+			rec.Expiry = r.uvarint()
+			rec.T = r.tuple()
+			m.Records = append(m.Records, rec)
+		}
+		n = int(r.uvarint())
+		for i := 0; i < n && r.err == nil; i++ {
+			var t tombRecord
+			t.Key = r.uvarint()
+			t.ReqKey = r.uvarint()
+			t.Owner = int(r.uvarint())
+			m.Tombs = append(m.Tombs, t)
+		}
+		n = int(r.uvarint())
+		for i := 0; i < n && r.err == nil; i++ {
+			var d dedupRecord
+			d.ReqKey = r.uvarint()
+			d.Op = r.byteVal()
+			d.Status = r.byteVal()
+			d.HasT = r.byteVal() == 1
+			if d.HasT {
+				d.T = r.tuple()
+			}
+			m.Dedups = append(m.Dedups, d)
+		}
+	case mKilled:
+		m.From = int(r.uvarint())
+	case mRepl:
+		m.From = int(r.uvarint())
+		m.To = int(r.uvarint())
+		m.Key = r.uvarint()
+		m.ReqKey = r.uvarint()
+		m.Expiry = r.uvarint()
+		m.T = r.tuple()
+	case mReplAck, mTombAck:
+		m.From = int(r.uvarint())
+		m.Key = r.uvarint()
+	case mTomb:
+		m.From = int(r.uvarint())
+		m.Key = r.uvarint()
+		m.ReqKey = r.uvarint()
+		m.HasT = r.byteVal() == 1
+		if m.HasT {
+			m.T = r.tuple()
+		}
+	case mClaim:
+		m.From = int(r.uvarint())
+		m.Key = r.uvarint()
+		m.ReqKey = r.uvarint()
+	case mGrant:
+		m.Key = r.uvarint()
+		m.ReqKey = r.uvarint()
+		m.Status = r.byteVal()
+		m.HasT = r.byteVal() == 1
+		if m.HasT {
+			m.T = r.tuple()
+		}
+	case mKeyQry:
+		m.From = int(r.uvarint())
+		m.Key = r.uvarint()
+	case mKeyInfo:
+		m.From = int(r.uvarint())
+		m.Key = r.uvarint()
+		m.Status = r.byteVal()
+		m.To = int(r.uvarint())
+		m.Expiry = r.uvarint()
+	case cWrite:
+		m.ReqKey = r.uvarint()
+		m.Lease = r.uvarint()
+		m.Status = r.byteVal()
+		m.T = r.tuple()
+	case cTake, cRead:
+		m.ReqKey = r.uvarint()
+		m.Timeout = r.uvarint()
+		m.T = r.tuple()
+	case cReply:
+		m.ReqKey = r.uvarint()
+		m.Status = r.byteVal()
+		m.HasT = r.byteVal() == 1
+		if m.HasT {
+			m.T = r.tuple()
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown message kind %d", m.Kind)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}

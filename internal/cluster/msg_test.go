@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"tpspace/internal/tuple"
+)
+
+func TestMsgCodecRoundTrip(t *testing.T) {
+	tt := tuple.New("job", tuple.Int("n", 42), tuple.String("s", "x"))
+	cases := []*msg{
+		{Kind: mBeat, From: 3, View: 9},
+		{Kind: mJoinReq, From: 2},
+		{Kind: mView, View: 4, Live: []int{0, 2}, Joining: []int{1}, Parked: []int{3}},
+		{Kind: mSnapReq, To: 1},
+		{Kind: mSnap, View: 7,
+			Records: []snapRecord{{Key: 5, ReqKey: 5, Owner: 1, Expiry: 100, T: tt}},
+			Tombs:   []tombRecord{{Key: 9, ReqKey: 11, Owner: 0}},
+			Dedups:  []dedupRecord{{ReqKey: 11, Op: cTake, Status: stOK, HasT: true, T: tt}, {ReqKey: 5, Op: cWrite, Status: stOK}}},
+		{Kind: mJoined, From: 1},
+		{Kind: mKilled, From: 2},
+		{Kind: mRepl, From: 0, To: 2, Key: 5, ReqKey: 5, Expiry: 77, T: tt},
+		{Kind: mReplAck, From: 1, Key: 5},
+		{Kind: mTomb, From: 0, Key: 5, ReqKey: 8, HasT: true, T: tt},
+		{Kind: mTomb, From: 0, Key: 5},
+		{Kind: mTombAck, From: 2, Key: 5},
+		{Kind: mClaim, From: 1, Key: 5, ReqKey: 8},
+		{Kind: mGrant, Key: 5, ReqKey: 8, Status: stOK, HasT: true, T: tt},
+		{Kind: mGrant, Key: 5, ReqKey: 8, Status: stGone},
+		{Kind: mKeyQry, From: 1, Key: 5},
+		{Kind: mKeyInfo, From: 1, Key: 5, Status: 1, To: 2, Expiry: 31},
+		{Kind: cWrite, ReqKey: 1 << 32, Lease: 1000, Status: 1, T: tt},
+		{Kind: cTake, ReqKey: 1<<32 | 2, Timeout: 500, T: tt},
+		{Kind: cRead, ReqKey: 1<<32 | 3, T: tt},
+		{Kind: cReply, ReqKey: 1<<32 | 2, Status: stOK, HasT: true, T: tt},
+		{Kind: cReply, ReqKey: 1<<32 | 4, Status: stMiss},
+	}
+	for _, m := range cases {
+		got, err := decode(m.encode())
+		if err != nil {
+			t.Fatalf("kind %d: decode: %v", m.Kind, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("kind %d round trip:\n in: %+v\nout: %+v", m.Kind, m, got)
+		}
+	}
+	if _, err := decode(nil); err == nil {
+		t.Fatal("decode(nil) succeeded")
+	}
+	if _, err := decode([]byte{99}); err == nil {
+		t.Fatal("decode of unknown kind succeeded")
+	}
+	if _, err := decode([]byte{mRepl, 1}); err == nil {
+		t.Fatal("decode of truncated mRepl succeeded")
+	}
+}

@@ -1,0 +1,1389 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+
+	"tpspace/internal/rmi"
+	"tpspace/internal/sim"
+	"tpspace/internal/space"
+	"tpspace/internal/transport"
+	"tpspace/internal/tuple"
+	"tpspace/internal/xmlcodec"
+)
+
+// State is a node's membership state, following the ivy-style server
+// state machine: a node joins (snapshot + reconcile), serves while
+// live, can be parked (replica-only, no client traffic) for a planned
+// drain, and is killed by the failure detector or an operator.
+type State int
+
+const (
+	StateUnjoined State = iota
+	StateJoining
+	StateLive
+	StateParked
+	StateKilled
+)
+
+func (s State) String() string {
+	switch s {
+	case StateUnjoined:
+		return "unjoined"
+	case StateJoining:
+		return "joining"
+	case StateLive:
+		return "live"
+	case StateParked:
+		return "parked"
+	case StateKilled:
+		return "killed"
+	}
+	return "?"
+}
+
+// keyInfo is a node's record of one replicated entry. The cluster key
+// is the writing request's key, which makes duplicate writes
+// idempotent everywhere. localID is the entry's id in this node's
+// space instance; expiry is the absolute lease deadline (0 =
+// permanent) enforced by a kernel timer on the owner only.
+type keyInfo struct {
+	owner   int
+	localID uint64
+	reqKey  uint64
+	expiry  sim.Time
+}
+
+// pendAck tracks an outstanding broadcast (replication or tombstone)
+// until every targeted peer acknowledged. Peers that die are dropped
+// from the need set on the view change; fire callbacks run once the
+// set empties.
+type pendAck struct {
+	need map[int]bool
+	fire []func()
+}
+
+// queryWait is an outstanding key query: a retried write landed on a
+// node with no record of the key, which must ask its peers before
+// assuming ownership (the original coordinator may have replicated to
+// some of them before dying).
+type queryWait struct {
+	need  map[int]bool
+	infos map[int]*msg
+	m     *msg
+}
+
+// takeWait is an in-progress coordinated take.
+type takeWait struct {
+	reqKey     uint64
+	tmpl       tuple.Tuple
+	deadline   sim.Time
+	noBlock    bool
+	forever    bool
+	skip       map[uint64]bool // local entry ids proven consumed for this take
+	claimKey   uint64          // cluster key of the outstanding claim, 0 if none
+	claimOwner int
+	claimTimer *timerRef
+	parked     bool
+}
+
+type timerRef struct {
+	ev  *sim.Event
+	seq uint64
+}
+
+// NodeStats counts a node's cluster-plane traffic.
+type NodeStats struct {
+	WritesServed  uint64
+	TakesServed   uint64
+	ReadsServed   uint64
+	Deduped       uint64
+	NotServing    uint64
+	ReplIn        uint64
+	ReplOut       uint64
+	TombIn        uint64
+	TombOut       uint64
+	ClaimsSent    uint64
+	GrantsServed  uint64
+	GoneReplies   uint64
+	Promotions    uint64
+	Rebroadcasts  uint64
+	Queries       uint64
+	TombConflicts uint64
+	DecodeErrors  uint64
+}
+
+// Node is one cluster member: a space instance plus the replication
+// and membership engine around it. Every handler runs in kernel event
+// context — single-threaded, no locks, all map walks sorted — so a
+// cluster run is a pure function of (seed, config, workload).
+type Node struct {
+	ID  int
+	K   *sim.Kernel
+	cfg rmi.MembershipConfig
+
+	sp      *space.Space
+	journal *space.Journal
+	jbuf    *bytes.Buffer
+	shards  int
+
+	state   State
+	crashed bool
+	stopped bool
+	// epoch invalidates every outstanding timer/callback on crash,
+	// kill, or stop: closures capture the epoch at creation and no-op
+	// on mismatch.
+	epoch uint64
+
+	viewNum uint64
+	live    []int
+	joining []int
+	parked  []int
+	members []int
+
+	mgr     transport.Conn
+	peers   map[int]transport.Conn
+	clients map[uint64]transport.Conn
+
+	keys        map[uint64]*keyInfo
+	byLocal     map[uint64]uint64
+	tombs       map[uint64]tombRecord
+	dedup       map[uint64]*dedupRecord
+	pendRepl    map[uint64]*pendAck
+	pendTomb    map[uint64]*pendAck
+	pendQry     map[uint64]*queryWait
+	takes       map[uint64]*takeWait
+	leaseTimers map[uint64]*timerRef
+	resendArmed bool
+
+	Stats NodeStats
+	// OnView, if set, observes every view change this node applies.
+	OnView func(view uint64)
+}
+
+// NewNode builds a node with its own journaled space. Wiring
+// (AttachManager/AttachPeer/AttachClient), Bootstrap, and
+// StartHeartbeats complete the setup.
+func NewNode(k *sim.Kernel, id int, cfg rmi.MembershipConfig, shards int) *Node {
+	n := &Node{
+		ID:          id,
+		K:           k,
+		cfg:         cfg.Normalize(),
+		jbuf:        &bytes.Buffer{},
+		shards:      shards,
+		peers:       make(map[int]transport.Conn),
+		clients:     make(map[uint64]transport.Conn),
+		keys:        make(map[uint64]*keyInfo),
+		byLocal:     make(map[uint64]uint64),
+		tombs:       make(map[uint64]tombRecord),
+		dedup:       make(map[uint64]*dedupRecord),
+		pendRepl:    make(map[uint64]*pendAck),
+		pendTomb:    make(map[uint64]*pendAck),
+		pendQry:     make(map[uint64]*queryWait),
+		takes:       make(map[uint64]*takeWait),
+		leaseTimers: make(map[uint64]*timerRef),
+	}
+	n.journal = space.NewJournal(n.jbuf)
+	n.sp = space.New(space.SimRuntime{K: k}, space.WithShards(shards))
+	n.sp.SetJournal(n.journal)
+	return n
+}
+
+// Space exposes the underlying store for invariant checks.
+func (n *Node) Space() *space.Space { return n.sp }
+
+// State returns the node's membership state.
+func (n *Node) State() State { return n.state }
+
+// ViewNum returns the last view this node applied.
+func (n *Node) ViewNum() uint64 { return n.viewNum }
+
+// Crashed reports whether the node is currently down.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// ConsumedKeys returns the sorted cluster keys this node has
+// tombstoned.
+func (n *Node) ConsumedKeys() []uint64 { return sortedKeys(n.tombs) }
+
+// LiveKeys returns the sorted cluster keys this node holds live.
+func (n *Node) LiveKeys() []uint64 { return sortedKeys(n.keys) }
+
+// JournalBytes flushes and returns a copy of the node's journal, for
+// replay cross-checks.
+func (n *Node) JournalBytes() []byte {
+	n.journal.Flush()
+	return append([]byte(nil), n.jbuf.Bytes()...)
+}
+
+// AttachManager wires the connection to the failure detector.
+func (n *Node) AttachManager(c transport.Conn) {
+	n.mgr = c
+	c.SetOnReceive(n.onMessage)
+}
+
+// AttachPeer wires the connection to another cluster node.
+func (n *Node) AttachPeer(id int, c transport.Conn) {
+	n.peers[id] = c
+	c.SetOnReceive(n.onMessage)
+}
+
+// AttachClient wires a client connection; id is the client's id (the
+// high half of its request keys).
+func (n *Node) AttachClient(id uint64, c transport.Conn) {
+	n.clients[id] = c
+	c.SetOnReceive(n.onMessage)
+}
+
+// Bootstrap places the node directly in the given initial view,
+// bypassing the join protocol; the manager must be bootstrapped with
+// the same member list.
+func (n *Node) Bootstrap(view uint64, live []int) {
+	n.viewNum = view
+	n.live = append([]int(nil), live...)
+	sort.Ints(n.live)
+	n.members = append([]int(nil), n.live...)
+	n.state = StateLive
+}
+
+// StartHeartbeats begins the periodic heartbeat to the manager.
+func (n *Node) StartHeartbeats() { n.beatLoop() }
+
+func (n *Node) beatLoop() {
+	if n.stopped || n.crashed {
+		return
+	}
+	switch n.state {
+	case StateLive, StateParked, StateJoining:
+	default:
+		return
+	}
+	n.sendMgr(&msg{Kind: mBeat, From: n.ID, View: n.viewNum})
+	n.K.ScheduleName("cluster.beat", n.cfg.HeartbeatEvery, n.guard(n.beatLoop))
+}
+
+// Stop quiesces the node: all periodic activity ends, outstanding
+// timers become no-ops, inbound traffic is dropped.
+func (n *Node) Stop() {
+	n.stopped = true
+	n.epoch++
+}
+
+// Crash models a hard failure: the store is wiped (the journal
+// survives, as a write-through log would), every timer dies, and the
+// node goes silent until Rejoin.
+func (n *Node) Crash() {
+	if n.crashed {
+		return
+	}
+	n.crashed = true
+	n.epoch++
+	n.resendArmed = false
+	n.journal.Flush()
+	n.sp.Crash()
+}
+
+// Rejoin restarts a crashed or killed node: the store is rebuilt from
+// the journal (as a restarted process would), cluster state is reset,
+// and the node re-enters via the join protocol — the manager will
+// arrange a snapshot against which the journal-replayed stock is
+// reconciled, so tuples consumed during the absence stay consumed.
+func (n *Node) Rejoin() {
+	if !n.crashed && n.state != StateKilled {
+		return
+	}
+	n.epoch++
+	n.resendArmed = false
+	n.journal.Flush()
+	if !n.crashed {
+		// A killed-but-still-running node restarts from its journal
+		// like a crashed one: wipe the live store first, or replay
+		// would double every surviving entry.
+		n.sp.Crash()
+	}
+	n.crashed = false
+	n.sp.Replay(bytes.NewReader(n.jbuf.Bytes()))
+	n.keys = make(map[uint64]*keyInfo)
+	n.byLocal = make(map[uint64]uint64)
+	n.tombs = make(map[uint64]tombRecord)
+	n.dedup = make(map[uint64]*dedupRecord)
+	n.pendRepl = make(map[uint64]*pendAck)
+	n.pendTomb = make(map[uint64]*pendAck)
+	n.pendQry = make(map[uint64]*queryWait)
+	n.takes = make(map[uint64]*takeWait)
+	n.leaseTimers = make(map[uint64]*timerRef)
+	n.state = StateJoining
+	n.sendMgr(&msg{Kind: mJoinReq, From: n.ID})
+	n.beatLoop()
+}
+
+// --- plumbing ---
+
+func (n *Node) guard(fn func()) func() {
+	ep := n.epoch
+	return func() {
+		if n.epoch == ep && !n.crashed && !n.stopped {
+			fn()
+		}
+	}
+}
+
+func (n *Node) after(label string, d sim.Duration, fn func()) *timerRef {
+	e := n.K.ScheduleName(label, d, fn)
+	return &timerRef{ev: e, seq: e.Seq()}
+}
+
+func (n *Node) cancelTimer(t *timerRef) {
+	if t != nil {
+		n.K.CancelSeq(t.ev, t.seq)
+	}
+}
+
+func (n *Node) sendPeer(id int, m *msg) {
+	if id == n.ID {
+		return
+	}
+	if c := n.peers[id]; c != nil {
+		c.Send(m.encode())
+	}
+}
+
+func (n *Node) sendMgr(m *msg) {
+	if n.mgr != nil {
+		n.mgr.Send(m.encode())
+	}
+}
+
+func (n *Node) replyClient(reqKey uint64, st byte, t *tuple.Tuple) {
+	c := n.clients[reqKey>>32]
+	if c == nil {
+		return
+	}
+	rm := &msg{Kind: cReply, ReqKey: reqKey, Status: st}
+	if t != nil {
+		rm.HasT = true
+		rm.T = *t
+	}
+	c.Send(rm.encode())
+}
+
+// replTargets is every peer that must hold a copy: live, joining
+// (catching up), and parked (replica-only) members, minus self.
+func (n *Node) replTargets() []int {
+	out := make([]int, 0, len(n.members))
+	for _, id := range n.members {
+		if id != n.ID {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// queryTargets is every peer with authoritative state: live and
+// parked members (joining nodes are still reconciling).
+func (n *Node) queryTargets() []int {
+	out := make([]int, 0, len(n.live)+len(n.parked))
+	for _, id := range n.live {
+		if id != n.ID {
+			out = append(out, id)
+		}
+	}
+	for _, id := range n.parked {
+		if id != n.ID {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// successor deterministically picks the node that inherits d's
+// entries: the smallest owner-capable id above d, wrapping to the
+// smallest overall.
+func (n *Node) successor(d int) int {
+	cand := make([]int, 0, len(n.live)+len(n.parked))
+	cand = append(cand, n.live...)
+	cand = append(cand, n.parked...)
+	sort.Ints(cand)
+	if len(cand) == 0 {
+		return n.ID
+	}
+	for _, id := range cand {
+		if id > d {
+			return id
+		}
+	}
+	return cand[0]
+}
+
+func (n *Node) claimSlack() sim.Duration      { return 4 * n.cfg.HeartbeatEvery }
+func (n *Node) claimRetryEvery() sim.Duration { return 2 * n.cfg.HeartbeatEvery }
+
+func intSet(ids []int) map[int]bool {
+	m := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// --- dispatch ---
+
+func (n *Node) onMessage(b []byte) {
+	if n.crashed || n.stopped {
+		return
+	}
+	m, err := decode(b)
+	if err != nil {
+		n.Stats.DecodeErrors++
+		return
+	}
+	if n.state == StateKilled || n.state == StateUnjoined {
+		// Out of the cluster: the only things worth hearing are the
+		// view (to track the cluster for a later rejoin) and the
+		// manager's verdicts.
+		switch m.Kind {
+		case mView:
+			n.handleView(m)
+		case mKilled:
+		}
+		return
+	}
+	switch m.Kind {
+	case mView:
+		n.handleView(m)
+	case mKilled:
+		n.becomeKilled()
+	case mSnapReq:
+		n.handleSnapReq(m)
+	case mSnap:
+		n.handleSnap(m)
+	case mRepl:
+		n.handleRepl(m)
+	case mReplAck:
+		n.ackArrived(n.pendRepl, m.Key, m.From)
+	case mTomb:
+		n.handleTomb(m)
+	case mTombAck:
+		n.ackArrived(n.pendTomb, m.Key, m.From)
+	case mClaim:
+		n.handleClaim(m)
+	case mGrant:
+		n.handleGrant(m)
+	case mKeyQry:
+		n.handleKeyQry(m)
+	case mKeyInfo:
+		n.handleKeyInfo(m)
+	case cWrite:
+		n.handleWrite(m)
+	case cTake:
+		n.handleTake(m)
+	case cRead:
+		n.handleRead(m)
+	}
+}
+
+// --- client operations ---
+
+func (n *Node) handleWrite(m *msg) {
+	if n.state != StateLive {
+		n.Stats.NotServing++
+		n.replyClient(m.ReqKey, stNotServing, nil)
+		return
+	}
+	key := m.ReqKey
+	if d, ok := n.dedup[key]; ok && d.Op == cWrite {
+		n.Stats.Deduped++
+		if pa, ok := n.pendRepl[key]; ok {
+			// The write committed here but some replicas never acked:
+			// repair, and ack the client once they have.
+			n.resendRepl(key)
+			pa.fire = append(pa.fire, func() { n.replyClient(key, stOK, nil) })
+		} else {
+			n.replyClient(key, stOK, nil)
+		}
+		return
+	}
+	if qw, ok := n.pendQry[key]; ok {
+		n.resendQry(key, qw)
+		return
+	}
+	n.Stats.WritesServed++
+	if m.Status != 0 {
+		// A retried write we have no record of: the original
+		// coordinator may have replicated it to others before dying.
+		// Ask before assuming ownership, so two nodes never both
+		// claim the same key.
+		if targets := n.queryTargets(); len(targets) > 0 {
+			n.startQuery(m, targets)
+			return
+		}
+	}
+	n.freshWrite(m)
+}
+
+func (n *Node) freshWrite(m *msg) {
+	key := m.ReqKey
+	var expiry sim.Time
+	if m.Lease > 0 {
+		expiry = n.K.Now().Add(sim.Duration(m.Lease))
+	}
+	l, err := n.sp.Write(m.T, space.NoLease)
+	if err != nil {
+		return
+	}
+	n.keys[key] = &keyInfo{owner: n.ID, localID: l.ID(), reqKey: key, expiry: expiry}
+	n.byLocal[l.ID()] = key
+	n.setDedup(key, &dedupRecord{ReqKey: key, Op: cWrite, Status: stOK}, false)
+	if expiry != 0 {
+		n.armLease(key)
+	}
+	targets := n.replTargets()
+	reply := func() { n.replyClient(key, stOK, nil) }
+	if len(targets) == 0 {
+		reply()
+		return
+	}
+	n.pendRepl[key] = &pendAck{need: intSet(targets), fire: []func(){reply}}
+	rm := &msg{Kind: mRepl, From: n.ID, To: n.ID, Key: key, ReqKey: key, Expiry: uint64(expiry), T: m.T}
+	for _, p := range targets {
+		n.Stats.ReplOut++
+		n.sendPeer(p, rm)
+	}
+	n.armResend()
+}
+
+func (n *Node) handleTake(m *msg) {
+	if n.state != StateLive {
+		n.Stats.NotServing++
+		n.replyClient(m.ReqKey, stNotServing, nil)
+		return
+	}
+	if d, ok := n.dedup[m.ReqKey]; ok && d.Op == cTake {
+		n.Stats.Deduped++
+		n.replyDedup(m.ReqKey, d)
+		return
+	}
+	if n.takes[m.ReqKey] != nil {
+		return // retry of a take already in progress here
+	}
+	n.Stats.TakesServed++
+	tw := &takeWait{reqKey: m.ReqKey, tmpl: m.T, skip: make(map[uint64]bool)}
+	switch {
+	case m.Timeout == 0:
+		tw.noBlock = true
+		tw.deadline = n.K.Now()
+	case sim.Duration(m.Timeout) == sim.Forever:
+		tw.forever = true
+	default:
+		tw.deadline = n.K.Now().Add(sim.Duration(m.Timeout))
+	}
+	n.takes[m.ReqKey] = tw
+	n.tryTake(tw)
+}
+
+func (n *Node) replyDedup(reqKey uint64, d *dedupRecord) {
+	var tp *tuple.Tuple
+	if d.HasT {
+		t := d.T
+		tp = &t
+	}
+	n.replyClient(reqKey, d.Status, tp)
+}
+
+// tryTake advances a coordinated take: probe the local (fully
+// replicated) store, self-grant entries this node owns, claim
+// remote-owned ones, park when nothing matches.
+func (n *Node) tryTake(tw *takeWait) {
+	if n.takes[tw.reqKey] != tw || n.crashed {
+		return
+	}
+	now := n.K.Now()
+	for {
+		id, _, ok := n.sp.OldestMatchExcept(tw.tmpl, tw.skip)
+		if !ok {
+			break
+		}
+		key, mapped := n.byLocal[id]
+		if !mapped {
+			// The entry is mid-write: a space subscription fired
+			// inside sp.Write, before the cluster mapping was
+			// recorded. Retry just after; never skip it permanently.
+			n.K.ScheduleName("cluster.remap", sim.Duration(1), n.guard(func() { n.tryTake(tw) }))
+			return
+		}
+		ki := n.keys[key]
+		if ki.owner == n.ID {
+			reqKey := tw.reqKey
+			if n.executeTake(key, reqKey, func(t tuple.Tuple) {
+				if n.takes[reqKey] == tw {
+					n.finishTake(tw, stOK, &t)
+				}
+			}) {
+				return
+			}
+			continue // desync healed; re-probe
+		}
+		// Remote owner. Don't start a claim we can't see through
+		// before the deadline: a claim, once delivered, will consume
+		// the entry whether or not we are still waiting.
+		if !tw.forever && !tw.noBlock && now.Add(n.claimSlack()) > tw.deadline {
+			n.finishTake(tw, stMiss, nil)
+			return
+		}
+		tw.claimKey = key
+		tw.claimOwner = ki.owner
+		n.Stats.ClaimsSent++
+		n.sendPeer(ki.owner, &msg{Kind: mClaim, From: n.ID, Key: key, ReqKey: tw.reqKey})
+		claimed := key
+		tw.claimTimer = n.after("cluster.claimRetry", n.claimRetryEvery(), n.guard(func() {
+			if n.takes[tw.reqKey] == tw && tw.claimKey == claimed {
+				tw.claimKey = 0
+				n.tryTake(tw)
+			}
+		}))
+		return
+	}
+	// No local match.
+	if tw.noBlock || (!tw.forever && now >= tw.deadline) {
+		n.finishTake(tw, stMiss, nil)
+		return
+	}
+	if tw.parked {
+		return
+	}
+	tw.parked = true
+	remaining := sim.Forever
+	if !tw.forever {
+		remaining = sim.Duration(tw.deadline - now)
+	}
+	ep := n.epoch
+	n.sp.ReadErr(tw.tmpl, remaining, func(t tuple.Tuple, err error) {
+		if n.epoch != ep || n.stopped {
+			return
+		}
+		tw.parked = false
+		if n.takes[tw.reqKey] != tw {
+			return
+		}
+		switch {
+		case err == nil:
+			// Woken by an arriving tuple; the writer is still inside
+			// sp.Write, so its cluster mapping lands after this
+			// callback. Probe on the next tick.
+			n.K.ScheduleName("cluster.wake", sim.Duration(1), n.guard(func() { n.tryTake(tw) }))
+		case errors.Is(err, space.ErrTimeout):
+			n.finishTake(tw, stMiss, nil)
+		}
+	})
+}
+
+func (n *Node) finishTake(tw *takeWait, st byte, t *tuple.Tuple) {
+	if n.takes[tw.reqKey] != tw {
+		return
+	}
+	delete(n.takes, tw.reqKey)
+	n.cancelTimer(tw.claimTimer)
+	tw.claimTimer = nil
+	n.replyClient(tw.reqKey, st, t)
+}
+
+// executeTake consumes the locally-owned entry key on behalf of take
+// request reqKey and broadcasts the tombstone; done runs once every
+// live replica acknowledged — the commit point, after which any
+// surviving node can answer a retry of reqKey from its dedup record.
+func (n *Node) executeTake(key, reqKey uint64, done func(tuple.Tuple)) bool {
+	ki := n.keys[key]
+	t, ok := n.sp.TakeByID(ki.localID)
+	if !ok {
+		n.dropKey(key)
+		return false
+	}
+	n.cancelLease(key)
+	n.dropKey(key)
+	n.tombs[key] = tombRecord{Key: key, ReqKey: reqKey, Owner: n.ID}
+	n.setDedup(reqKey, &dedupRecord{ReqKey: reqKey, Op: cTake, Status: stOK, HasT: true, T: t}, false)
+	targets := n.replTargets()
+	if len(targets) == 0 {
+		done(t)
+		return true
+	}
+	n.pendTomb[key] = &pendAck{need: intSet(targets), fire: []func(){func() { done(t) }}}
+	tm := &msg{Kind: mTomb, From: n.ID, Key: key, ReqKey: reqKey, HasT: true, T: t}
+	for _, p := range targets {
+		n.Stats.TombOut++
+		n.sendPeer(p, tm)
+	}
+	n.armResend()
+	return true
+}
+
+func (n *Node) dropKey(key uint64) {
+	if ki, ok := n.keys[key]; ok {
+		delete(n.byLocal, ki.localID)
+		delete(n.keys, key)
+	}
+}
+
+func (n *Node) handleRead(m *msg) {
+	if n.state != StateLive {
+		n.Stats.NotServing++
+		n.replyClient(m.ReqKey, stNotServing, nil)
+		return
+	}
+	n.Stats.ReadsServed++
+	reqKey := m.ReqKey
+	if m.Timeout == 0 {
+		if t, ok := n.sp.ReadIfExists(m.T); ok {
+			n.replyClient(reqKey, stOK, &t)
+		} else {
+			n.replyClient(reqKey, stMiss, nil)
+		}
+		return
+	}
+	ep := n.epoch
+	n.sp.ReadErr(m.T, sim.Duration(m.Timeout), func(t tuple.Tuple, err error) {
+		if n.epoch != ep || n.stopped {
+			return
+		}
+		switch {
+		case err == nil:
+			n.replyClient(reqKey, stOK, &t)
+		case errors.Is(err, space.ErrTimeout):
+			n.replyClient(reqKey, stMiss, nil)
+		}
+	})
+}
+
+// setDedup records a request outcome. When complete is set and a take
+// for the same request is open here, the outcome answers it — this is
+// how a take that failed over from a dead coordinator is resolved by
+// the tombstone the old coordinator's owner broadcast.
+func (n *Node) setDedup(reqKey uint64, rec *dedupRecord, complete bool) {
+	n.dedup[reqKey] = rec
+	if !complete || rec.Op != cTake {
+		return
+	}
+	if tw := n.takes[reqKey]; tw != nil {
+		var tp *tuple.Tuple
+		if rec.HasT {
+			t := rec.T
+			tp = &t
+		}
+		n.finishTake(tw, rec.Status, tp)
+	}
+}
+
+// --- peer protocol ---
+
+func (n *Node) handleRepl(m *msg) {
+	n.Stats.ReplIn++
+	if _, ok := n.tombs[m.Key]; ok {
+		n.sendPeer(m.From, &msg{Kind: mReplAck, From: n.ID, Key: m.Key})
+		return
+	}
+	if ki, ok := n.keys[m.Key]; ok {
+		ki.owner = m.To
+		ki.expiry = sim.Time(m.Expiry)
+		if m.To == n.ID && ki.expiry != 0 {
+			n.armLease(m.Key)
+		}
+	} else {
+		l, err := n.sp.Write(m.T, space.NoLease)
+		if err != nil {
+			return
+		}
+		n.keys[m.Key] = &keyInfo{owner: m.To, localID: l.ID(), reqKey: m.ReqKey, expiry: sim.Time(m.Expiry)}
+		n.byLocal[l.ID()] = m.Key
+		if m.To == n.ID && m.Expiry != 0 {
+			n.armLease(m.Key)
+		}
+	}
+	if m.ReqKey != 0 {
+		if _, ok := n.dedup[m.ReqKey]; !ok {
+			n.setDedup(m.ReqKey, &dedupRecord{ReqKey: m.ReqKey, Op: cWrite, Status: stOK}, true)
+		}
+	}
+	n.sendPeer(m.From, &msg{Kind: mReplAck, From: n.ID, Key: m.Key})
+}
+
+func (n *Node) handleTomb(m *msg) {
+	n.Stats.TombIn++
+	if old, ok := n.tombs[m.Key]; ok {
+		// Duplicate is normal; two different consuming requests for
+		// one key is a protocol violation — keep the lower request
+		// deterministically and count it.
+		if m.ReqKey != 0 && old.ReqKey != 0 && old.ReqKey != m.ReqKey {
+			n.Stats.TombConflicts++
+			if m.ReqKey < old.ReqKey {
+				n.tombs[m.Key] = tombRecord{Key: m.Key, ReqKey: m.ReqKey, Owner: m.From}
+			}
+		}
+	} else {
+		if ki, ok := n.keys[m.Key]; ok {
+			n.sp.TakeByID(ki.localID)
+			n.cancelLease(m.Key)
+			n.dropKey(m.Key)
+		}
+		n.tombs[m.Key] = tombRecord{Key: m.Key, ReqKey: m.ReqKey, Owner: m.From}
+	}
+	if m.ReqKey != 0 && m.HasT {
+		if _, ok := n.dedup[m.ReqKey]; !ok {
+			n.setDedup(m.ReqKey, &dedupRecord{ReqKey: m.ReqKey, Op: cTake, Status: stOK, HasT: true, T: m.T}, true)
+		}
+	}
+	n.sendPeer(m.From, &msg{Kind: mTombAck, From: n.ID, Key: m.Key})
+}
+
+func (n *Node) ackArrived(pend map[uint64]*pendAck, key uint64, from int) {
+	pa := pend[key]
+	if pa == nil || !pa.need[from] {
+		return
+	}
+	delete(pa.need, from)
+	if len(pa.need) > 0 {
+		return
+	}
+	delete(pend, key)
+	for _, f := range pa.fire {
+		f()
+	}
+}
+
+func (n *Node) handleClaim(m *msg) {
+	if n.state == StateJoining {
+		return // no grant authority until reconciled
+	}
+	if d, ok := n.dedup[m.ReqKey]; ok && d.Op == cTake {
+		// Already executed for this request. If the tombstone is
+		// still propagating, finish that first: a grant promises that
+		// every live node can answer a retry.
+		from, key, rk := m.From, m.Key, m.ReqKey
+		if pa, ok := n.pendTomb[key]; ok {
+			n.resendTomb(key)
+			pa.fire = append(pa.fire, func() { n.sendGrantFromDedup(from, key, rk) })
+		} else {
+			n.sendGrantFromDedup(from, key, rk)
+		}
+		return
+	}
+	ki, ok := n.keys[m.Key]
+	if !ok {
+		n.Stats.GoneReplies++
+		n.sendPeer(m.From, &msg{Kind: mGrant, Key: m.Key, ReqKey: m.ReqKey, Status: stGone})
+		return
+	}
+	if ki.owner != n.ID {
+		// Mis-routed under a stale ownership view; the coordinator
+		// should re-probe after the views settle.
+		n.sendPeer(m.From, &msg{Kind: mGrant, Key: m.Key, ReqKey: m.ReqKey, Status: stRetry})
+		return
+	}
+	from, key, rk := m.From, m.Key, m.ReqKey
+	n.Stats.GrantsServed++
+	if !n.executeTake(key, rk, func(t tuple.Tuple) {
+		n.sendPeer(from, &msg{Kind: mGrant, Key: key, ReqKey: rk, Status: stOK, HasT: true, T: t})
+	}) {
+		n.sendPeer(from, &msg{Kind: mGrant, Key: key, ReqKey: rk, Status: stGone})
+	}
+}
+
+func (n *Node) sendGrantFromDedup(to int, key, reqKey uint64) {
+	d, ok := n.dedup[reqKey]
+	if !ok {
+		return
+	}
+	gm := &msg{Kind: mGrant, Key: key, ReqKey: reqKey, Status: d.Status, HasT: d.HasT, T: d.T}
+	n.sendPeer(to, gm)
+}
+
+func (n *Node) handleGrant(m *msg) {
+	tw := n.takes[m.ReqKey]
+	if tw == nil || tw.claimKey != m.Key {
+		return
+	}
+	n.cancelTimer(tw.claimTimer)
+	tw.claimTimer = nil
+	tw.claimKey = 0
+	switch m.Status {
+	case stOK:
+		t := m.T
+		if _, ok := n.dedup[m.ReqKey]; !ok {
+			n.setDedup(m.ReqKey, &dedupRecord{ReqKey: m.ReqKey, Op: cTake, Status: stOK, HasT: true, T: t}, false)
+		}
+		n.finishTake(tw, stOK, &t)
+	case stGone:
+		if ki, ok := n.keys[m.Key]; ok {
+			tw.skip[ki.localID] = true
+		}
+		n.tryTake(tw)
+	case stRetry:
+		n.after("cluster.claimBackoff", n.cfg.HeartbeatEvery/2, n.guard(func() {
+			if n.takes[tw.reqKey] == tw && tw.claimKey == 0 {
+				n.tryTake(tw)
+			}
+		}))
+	}
+}
+
+// --- key query (retried-write ownership resolution) ---
+
+func (n *Node) startQuery(m *msg, targets []int) {
+	key := m.ReqKey
+	qw := &queryWait{need: intSet(targets), infos: make(map[int]*msg), m: m}
+	n.pendQry[key] = qw
+	n.Stats.Queries++
+	qm := &msg{Kind: mKeyQry, From: n.ID, Key: key}
+	for _, p := range targets {
+		n.sendPeer(p, qm)
+	}
+	n.armResend()
+}
+
+func (n *Node) handleKeyQry(m *msg) {
+	if n.state == StateJoining {
+		return // incomplete state; the querier will re-ask
+	}
+	reply := &msg{Kind: mKeyInfo, From: n.ID, Key: m.Key}
+	if ki, ok := n.keys[m.Key]; ok {
+		reply.Status = 1
+		reply.To = ki.owner
+		reply.Expiry = uint64(ki.expiry)
+	} else if _, ok := n.tombs[m.Key]; ok {
+		reply.Status = 2
+	}
+	n.sendPeer(m.From, reply)
+}
+
+func (n *Node) handleKeyInfo(m *msg) {
+	qw := n.pendQry[m.Key]
+	if qw == nil || !qw.need[m.From] {
+		return
+	}
+	delete(qw.need, m.From)
+	qw.infos[m.From] = m
+	if len(qw.need) > 0 {
+		return
+	}
+	delete(n.pendQry, m.Key)
+	n.resolveQuery(m.Key, qw)
+}
+
+func (n *Node) resolveQuery(key uint64, qw *queryWait) {
+	if _, ok := n.tombs[key]; ok {
+		// Written and already consumed: the write plainly happened.
+		n.setDedup(key, &dedupRecord{ReqKey: key, Op: cWrite, Status: stOK}, false)
+		n.replyClient(key, stOK, nil)
+		return
+	}
+	for _, id := range sortedIntKeys(qw.infos) {
+		if qw.infos[id].Status == 2 {
+			n.setDedup(key, &dedupRecord{ReqKey: key, Op: cWrite, Status: stOK}, false)
+			n.replyClient(key, stOK, nil)
+			return
+		}
+	}
+	for _, id := range sortedIntKeys(qw.infos) {
+		info := qw.infos[id]
+		if info.Status != 1 {
+			continue
+		}
+		// A peer holds it: the original write landed. Adopt a replica
+		// under the owner it reports rather than claiming ownership.
+		if _, ok := n.keys[key]; !ok {
+			l, err := n.sp.Write(qw.m.T, space.NoLease)
+			if err != nil {
+				return
+			}
+			n.keys[key] = &keyInfo{owner: info.To, localID: l.ID(), reqKey: key, expiry: sim.Time(info.Expiry)}
+			n.byLocal[l.ID()] = key
+		}
+		n.setDedup(key, &dedupRecord{ReqKey: key, Op: cWrite, Status: stOK}, false)
+		n.replyClient(key, stOK, nil)
+		return
+	}
+	// Nobody has ever seen it: a genuinely lost first attempt.
+	n.freshWrite(qw.m)
+}
+
+// --- leases ---
+
+func (n *Node) armLease(key uint64) {
+	n.cancelLease(key)
+	ki := n.keys[key]
+	d := sim.Duration(ki.expiry - n.K.Now())
+	if d < 0 {
+		d = 0
+	}
+	n.leaseTimers[key] = n.after("cluster.lease", d, n.guard(func() {
+		delete(n.leaseTimers, key)
+		n.expireKey(key)
+	}))
+}
+
+func (n *Node) cancelLease(key uint64) {
+	if t, ok := n.leaseTimers[key]; ok {
+		n.cancelTimer(t)
+		delete(n.leaseTimers, key)
+	}
+}
+
+// expireKey retires a leased entry cluster-wide. Only the owner runs
+// lease timers; on promotion the successor re-arms from the
+// replicated absolute expiry.
+func (n *Node) expireKey(key uint64) {
+	ki, ok := n.keys[key]
+	if !ok || ki.owner != n.ID {
+		return
+	}
+	n.sp.TakeByID(ki.localID)
+	n.dropKey(key)
+	n.tombs[key] = tombRecord{Key: key, Owner: n.ID}
+	targets := n.replTargets()
+	if len(targets) == 0 {
+		return
+	}
+	n.pendTomb[key] = &pendAck{need: intSet(targets)}
+	tm := &msg{Kind: mTomb, From: n.ID, Key: key}
+	for _, p := range targets {
+		n.Stats.TombOut++
+		n.sendPeer(p, tm)
+	}
+	n.armResend()
+}
+
+// --- membership ---
+
+func (n *Node) handleView(m *msg) {
+	if m.View <= n.viewNum {
+		return
+	}
+	oldMembers := n.members
+	n.viewNum = m.View
+	n.live = m.Live
+	n.joining = m.Joining
+	n.parked = m.Parked
+	n.members = make([]int, 0, len(m.Live)+len(m.Joining)+len(m.Parked))
+	n.members = append(n.members, m.Live...)
+	n.members = append(n.members, m.Joining...)
+	n.members = append(n.members, m.Parked...)
+	sort.Ints(n.members)
+
+	switch {
+	case containsInt(n.live, n.ID):
+		n.state = StateLive
+	case containsInt(n.joining, n.ID):
+		n.state = StateJoining
+	case containsInt(n.parked, n.ID):
+		n.state = StateParked
+	default:
+		if n.state != StateUnjoined && n.state != StateKilled {
+			n.becomeKilled()
+		}
+		if n.OnView != nil {
+			n.OnView(m.View)
+		}
+		return
+	}
+
+	for _, d := range oldMembers {
+		if !containsInt(n.members, d) {
+			n.mournPeer(d)
+		}
+	}
+
+	// Claims routed to a now-dead owner will never resolve; re-probe.
+	for _, rk := range sortedKeys(n.takes) {
+		tw := n.takes[rk]
+		if tw.claimKey != 0 && !containsInt(n.members, tw.claimOwner) {
+			n.cancelTimer(tw.claimTimer)
+			tw.claimTimer = nil
+			tw.claimKey = 0
+			n.tryTake(tw)
+		}
+	}
+	if n.OnView != nil {
+		n.OnView(m.View)
+	}
+}
+
+// mournPeer absorbs the death of d: pending acks stop waiting for it,
+// its entries get a deterministic successor, and — the anti-entropy
+// that makes failover lossless — every survivor re-broadcasts the
+// entries and tombstones d owned, so replicas d never reached catch
+// up.
+func (n *Node) mournPeer(d int) {
+	for _, key := range sortedKeys(n.pendRepl) {
+		n.ackArrived(n.pendRepl, key, d)
+	}
+	for _, key := range sortedKeys(n.pendTomb) {
+		n.ackArrived(n.pendTomb, key, d)
+	}
+	for _, key := range sortedKeys(n.pendQry) {
+		qw := n.pendQry[key]
+		if qw.need[d] {
+			delete(qw.need, d)
+			if len(qw.need) == 0 {
+				delete(n.pendQry, key)
+				n.resolveQuery(key, qw)
+			}
+		}
+	}
+
+	succ := n.successor(d)
+	targets := n.replTargets()
+	for _, key := range sortedKeys(n.keys) {
+		ki := n.keys[key]
+		if ki.owner != d {
+			continue
+		}
+		ki.owner = succ
+		n.Stats.Promotions++
+		if succ == n.ID && ki.expiry != 0 {
+			n.armLease(key)
+		}
+		if t, ok := n.sp.ReadByID(ki.localID); ok {
+			n.Stats.Rebroadcasts++
+			rm := &msg{Kind: mRepl, From: n.ID, To: succ, Key: key, ReqKey: ki.reqKey, Expiry: uint64(ki.expiry), T: t}
+			for _, p := range targets {
+				n.sendPeer(p, rm)
+			}
+		}
+	}
+	for _, key := range sortedKeys(n.tombs) {
+		tb := n.tombs[key]
+		if tb.Owner != d {
+			continue
+		}
+		tb.Owner = succ
+		n.tombs[key] = tb
+		tm := &msg{Kind: mTomb, From: n.ID, Key: key, ReqKey: tb.ReqKey}
+		if d, ok := n.dedup[tb.ReqKey]; ok && d.HasT {
+			tm.HasT = true
+			tm.T = d.T
+		}
+		for _, p := range targets {
+			n.sendPeer(p, tm)
+		}
+	}
+}
+
+func (n *Node) becomeKilled() {
+	if n.state == StateKilled {
+		return
+	}
+	n.state = StateKilled
+	n.epoch++
+	n.resendArmed = false
+}
+
+// --- join / snapshot ---
+
+func (n *Node) handleSnapReq(m *msg) {
+	if n.state != StateLive && n.state != StateParked {
+		return
+	}
+	sn := &msg{Kind: mSnap, View: n.viewNum}
+	for _, key := range sortedKeys(n.keys) {
+		ki := n.keys[key]
+		t, ok := n.sp.ReadByID(ki.localID)
+		if !ok {
+			continue
+		}
+		sn.Records = append(sn.Records, snapRecord{Key: key, ReqKey: ki.reqKey, Owner: ki.owner, Expiry: uint64(ki.expiry), T: t})
+	}
+	for _, key := range sortedKeys(n.tombs) {
+		sn.Tombs = append(sn.Tombs, n.tombs[key])
+	}
+	for _, rk := range sortedKeys(n.dedup) {
+		sn.Dedups = append(sn.Dedups, *n.dedup[rk])
+	}
+	n.sendPeer(m.To, sn)
+}
+
+// handleSnap reconciles a rejoining node against the donor's
+// snapshot. The journal replay restored this node's pre-crash stock;
+// entries the donor still vouches for are re-adopted (matched by
+// encoded bytes, FIFO), and the rest — consumed while we were gone —
+// are removed through the store so the removal is journaled and a
+// second crash cannot resurrect them.
+func (n *Node) handleSnap(m *msg) {
+	if n.state != StateJoining {
+		return
+	}
+	type localEnt struct {
+		id uint64
+		t  tuple.Tuple
+	}
+	var unmapped []localEnt
+	for _, it := range n.sp.DumpEntries() {
+		if _, ok := n.byLocal[it.ID]; !ok {
+			unmapped = append(unmapped, localEnt{id: it.ID, t: it.T})
+		}
+	}
+	avail := make(map[string][]int)
+	for i, e := range unmapped {
+		b := string(xmlcodec.EncodeTupleBinary(e.t))
+		avail[b] = append(avail[b], i)
+	}
+	used := make([]bool, len(unmapped))
+
+	for _, rec := range m.Records {
+		if _, ok := n.keys[rec.Key]; ok {
+			continue // live replication raced ahead of the snapshot
+		}
+		if _, ok := n.tombs[rec.Key]; ok {
+			continue
+		}
+		var localID uint64
+		b := string(xmlcodec.EncodeTupleBinary(rec.T))
+		if idxs := avail[b]; len(idxs) > 0 {
+			i := idxs[0]
+			avail[b] = idxs[1:]
+			used[i] = true
+			localID = unmapped[i].id
+		} else {
+			l, err := n.sp.Write(rec.T, space.NoLease)
+			if err != nil {
+				return
+			}
+			localID = l.ID()
+		}
+		n.keys[rec.Key] = &keyInfo{owner: rec.Owner, localID: localID, reqKey: rec.ReqKey, expiry: sim.Time(rec.Expiry)}
+		n.byLocal[localID] = rec.Key
+	}
+	for i, e := range unmapped {
+		if !used[i] {
+			n.sp.TakeByID(e.id)
+		}
+	}
+	for _, tb := range m.Tombs {
+		if _, ok := n.tombs[tb.Key]; ok {
+			continue
+		}
+		if ki, ok := n.keys[tb.Key]; ok {
+			n.sp.TakeByID(ki.localID)
+			n.dropKey(tb.Key)
+		}
+		n.tombs[tb.Key] = tb
+	}
+	for i := range m.Dedups {
+		d := m.Dedups[i]
+		if _, ok := n.dedup[d.ReqKey]; !ok {
+			n.setDedup(d.ReqKey, &d, true)
+		}
+	}
+	n.sendMgr(&msg{Kind: mJoined, From: n.ID})
+}
+
+// --- repair re-sends ---
+
+// armResend schedules the repair pass that re-sends outstanding
+// replication, tombstone, and query broadcasts to peers that have not
+// acknowledged — the mechanism that heals dropped messages without
+// waiting for a client retry.
+func (n *Node) armResend() {
+	if n.resendArmed || n.stopped {
+		return
+	}
+	n.resendArmed = true
+	n.after("cluster.resend", 2*n.cfg.HeartbeatEvery, n.guard(func() {
+		n.resendArmed = false
+		busy := false
+		for _, key := range sortedKeys(n.pendRepl) {
+			n.resendRepl(key)
+			busy = true
+		}
+		for _, key := range sortedKeys(n.pendTomb) {
+			n.resendTomb(key)
+			busy = true
+		}
+		for _, key := range sortedKeys(n.pendQry) {
+			n.resendQry(key, n.pendQry[key])
+			busy = true
+		}
+		if busy {
+			n.armResend()
+		}
+	}))
+}
+
+func (n *Node) resendRepl(key uint64) {
+	pa := n.pendRepl[key]
+	if pa == nil {
+		return
+	}
+	ki, ok := n.keys[key]
+	if !ok {
+		// Consumed while replication was pending: the write is as
+		// committed as it gets.
+		delete(n.pendRepl, key)
+		for _, f := range pa.fire {
+			f()
+		}
+		return
+	}
+	t, ok := n.sp.ReadByID(ki.localID)
+	if !ok {
+		return
+	}
+	rm := &msg{Kind: mRepl, From: n.ID, To: ki.owner, Key: key, ReqKey: ki.reqKey, Expiry: uint64(ki.expiry), T: t}
+	for _, p := range sortedIntKeys(pa.need) {
+		n.Stats.ReplOut++
+		n.sendPeer(p, rm)
+	}
+}
+
+func (n *Node) resendTomb(key uint64) {
+	pa := n.pendTomb[key]
+	if pa == nil {
+		return
+	}
+	tb, ok := n.tombs[key]
+	if !ok {
+		return
+	}
+	tm := &msg{Kind: mTomb, From: n.ID, Key: key, ReqKey: tb.ReqKey}
+	if d, ok := n.dedup[tb.ReqKey]; ok && d.HasT {
+		tm.HasT = true
+		tm.T = d.T
+	}
+	for _, p := range sortedIntKeys(pa.need) {
+		n.Stats.TombOut++
+		n.sendPeer(p, tm)
+	}
+}
+
+func (n *Node) resendQry(key uint64, qw *queryWait) {
+	qm := &msg{Kind: mKeyQry, From: n.ID, Key: key}
+	for _, p := range sortedIntKeys(qw.need) {
+		n.sendPeer(p, qm)
+	}
+}

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"fmt"
+
+	"tpspace/internal/netsim"
+	"tpspace/internal/rmi"
+	"tpspace/internal/sim"
+	"tpspace/internal/transport"
+)
+
+// SimConfig sizes a simulated cluster.
+type SimConfig struct {
+	Nodes   int // cluster nodes (default 3)
+	Clients int // client endpoints (default 1)
+	Shards  int // shards per node's space (default 4)
+
+	Membership rmi.MembershipConfig
+
+	// Network parameters for every link (defaults: 1 GB/s, 200us,
+	// queue of 256 packets).
+	Bandwidth float64
+	Delay     sim.Duration
+	QueueCap  int
+}
+
+func (c SimConfig) normalize() SimConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	c.Membership = c.Membership.Normalize()
+	if c.Bandwidth <= 0 {
+		c.Bandwidth = 1e9
+	}
+	if c.Delay <= 0 {
+		c.Delay = 200 * sim.Microsecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	return c
+}
+
+// Sim assembles a full cluster inside one kernel: a manager on its
+// own netsim node, N server nodes in a full mesh, and C client
+// endpoints linked to every server. Every connection on a server's
+// side is wrapped in a FaultConn, so the fault plane can crash,
+// isolate (symmetrically or one-way), and heal individual nodes
+// deterministically.
+type Sim struct {
+	K   *sim.Kernel
+	Net *netsim.Network
+	Mgr *Manager
+	Cfg SimConfig
+
+	Nodes []*Node
+
+	nodeFaults  [][]*transport.FaultConn
+	nodeLinks   [][]*netsim.Link
+	clientConns []map[int]transport.Conn
+}
+
+// NewSim builds, boots, and starts the cluster: all nodes live in
+// view 1, heartbeats and the failure detector running.
+func NewSim(k *sim.Kernel, cfg SimConfig) *Sim {
+	cfg = cfg.normalize()
+	s := &Sim{K: k, Net: netsim.New(k), Cfg: cfg}
+
+	mgrNet := s.Net.NewNode("mgr")
+	serverNet := make([]*netsim.Node, cfg.Nodes)
+	for i := range serverNet {
+		serverNet[i] = s.Net.NewNode(fmt.Sprintf("n%d", i))
+	}
+	clientNet := make([]*netsim.Node, cfg.Clients)
+	for c := range clientNet {
+		clientNet[c] = s.Net.NewNode(fmt.Sprintf("c%d", c))
+	}
+
+	s.nodeLinks = make([][]*netsim.Link, cfg.Nodes)
+	// connect builds a duplex link and records both directions
+	// against the adjacent server node(s), so per-node wire faults
+	// (delay, loss, duplication) can be injected later.
+	connect := func(a, b *netsim.Node, servers ...int) {
+		ab, ba := s.Net.ConnectDuplex(a, b, cfg.Bandwidth, cfg.Delay, cfg.QueueCap)
+		for _, i := range servers {
+			s.nodeLinks[i] = append(s.nodeLinks[i], ab, ba)
+		}
+	}
+	for i, sn := range serverNet {
+		connect(mgrNet, sn, i)
+		for j := i + 1; j < len(serverNet); j++ {
+			connect(sn, serverNet[j], i, j)
+		}
+		for _, cn := range clientNet {
+			connect(cn, sn, i)
+		}
+	}
+
+	mgrEp := transport.NewNetsimEndpoint(s.Net, mgrNet)
+	serverEp := make([]*transport.NetsimEndpoint, cfg.Nodes)
+	for i := range serverEp {
+		serverEp[i] = transport.NewNetsimEndpoint(s.Net, serverNet[i])
+	}
+	clientEp := make([]*transport.NetsimEndpoint, cfg.Clients)
+	for c := range clientEp {
+		clientEp[c] = transport.NewNetsimEndpoint(s.Net, clientNet[c])
+	}
+
+	s.Mgr = NewManager(k, cfg.Membership)
+	s.Nodes = make([]*Node, cfg.Nodes)
+	s.nodeFaults = make([][]*transport.FaultConn, cfg.Nodes)
+	ids := make([]int, cfg.Nodes)
+	for i := range s.Nodes {
+		ids[i] = i
+		s.Nodes[i] = NewNode(k, i, cfg.Membership, cfg.Shards)
+	}
+
+	// wrap registers a server-side connection with the node's fault
+	// set so Partition/Isolate can sever it.
+	wrap := func(i int, inner transport.Conn) *transport.FaultConn {
+		fc := transport.NewFaultConn(inner)
+		s.nodeFaults[i] = append(s.nodeFaults[i], fc)
+		return fc
+	}
+
+	for i, n := range s.Nodes {
+		n.AttachManager(wrap(i, serverEp[i].Dial(mgrNet)))
+		s.Mgr.Attach(i, mgrEp.Dial(serverNet[i]))
+		for j := range s.Nodes {
+			if j != i {
+				n.AttachPeer(j, wrap(i, serverEp[i].Dial(serverNet[j])))
+			}
+		}
+		for c := range clientEp {
+			n.AttachClient(clientID(c), wrap(i, serverEp[i].Dial(clientNet[c])))
+		}
+	}
+	s.clientConns = make([]map[int]transport.Conn, cfg.Clients)
+	for c := range clientEp {
+		s.clientConns[c] = make(map[int]transport.Conn, cfg.Nodes)
+		for i := range s.Nodes {
+			s.clientConns[c][i] = clientEp[c].Dial(serverNet[i])
+		}
+	}
+
+	s.Mgr.Bootstrap(ids)
+	for _, n := range s.Nodes {
+		n.Bootstrap(1, ids)
+	}
+	s.Mgr.Start()
+	for _, n := range s.Nodes {
+		n.StartHeartbeats()
+	}
+	return s
+}
+
+// clientID maps client index c to the id space used in request keys;
+// ids start at 1 so no request key is ever 0 (the wire sentinel for
+// "no request").
+func clientID(c int) uint64 { return uint64(c + 1) }
+
+// ClientID exposes the request-key client id for client index c.
+func ClientID(c int) uint64 { return clientID(c) }
+
+// ClientConns returns client c's connections, keyed by node id. They
+// are the client side of the wire and are never faulted directly;
+// node-side cuts produce the observable failures.
+func (s *Sim) ClientConns(c int) map[int]transport.Conn { return s.clientConns[c] }
+
+// Crash hard-stops node i (store wiped, journal survives).
+func (s *Sim) Crash(i int) { s.Nodes[i].Crash() }
+
+// Rejoin restarts a crashed or killed node through the join protocol.
+func (s *Sim) Rejoin(i int) { s.Nodes[i].Rejoin() }
+
+// Isolate cuts every connection of node i in both directions: the
+// classic symmetric partition. The node keeps running blind.
+func (s *Sim) Isolate(i int) {
+	for _, fc := range s.nodeFaults[i] {
+		fc.Cut()
+	}
+}
+
+// IsolateSend cuts only node i's outbound direction: it hears the
+// cluster but nothing it says gets out (asymmetric partition). Its
+// heartbeats die, so the failure detector will kill it.
+func (s *Sim) IsolateSend(i int) {
+	for _, fc := range s.nodeFaults[i] {
+		fc.CutSend()
+	}
+}
+
+// Heal restores every connection of node i and clears its wire
+// faults.
+func (s *Sim) Heal(i int) {
+	for _, fc := range s.nodeFaults[i] {
+		fc.Restore()
+	}
+	s.SetNodeFault(i, netsim.FaultProfile{})
+}
+
+// SetNodeFault applies a wire fault profile (loss, duplication,
+// extra delay) to every link adjacent to node i.
+func (s *Sim) SetNodeFault(i int, f netsim.FaultProfile) {
+	for _, l := range s.nodeLinks[i] {
+		l.SetFault(f)
+	}
+}
+
+// Park, Unpark, and Remove drive planned membership changes.
+func (s *Sim) Park(i int)   { s.Mgr.Park(i) }
+func (s *Sim) Unpark(i int) { s.Mgr.Unpark(i) }
+func (s *Sim) Remove(i int) { s.Mgr.Remove(i) }
+
+// LiveNodes returns the ids the manager currently considers live.
+func (s *Sim) LiveNodes() []int {
+	var out []int
+	for _, id := range sortedIntKeys(s.Mgr.states) {
+		if s.Mgr.states[id] == StateLive {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Stop quiesces the whole cluster (manager first, so the silence that
+// follows node shutdown is not mistaken for death).
+func (s *Sim) Stop() {
+	s.Mgr.Stop()
+	for _, n := range s.Nodes {
+		n.Stop()
+	}
+}

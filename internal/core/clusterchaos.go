@@ -1,0 +1,629 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"tpspace/internal/cluster"
+	"tpspace/internal/fault"
+	"tpspace/internal/netsim"
+	"tpspace/internal/rmi"
+	"tpspace/internal/sim"
+	"tpspace/internal/tuple"
+	"tpspace/internal/wrapper"
+)
+
+// ClusterChaosConfig replays a write/take/read workload against a
+// replicated multi-node tuplespace cluster (internal/cluster over
+// netsim, inside one sim kernel) while the fault plane crashes,
+// partitions, and degrades nodes on a deterministic schedule. Like
+// the single-node chaos scenario, every cell is a pure function of
+// its config: the same seed reproduces the same kills, the same
+// failovers, and the same result, byte for byte, at any worker count.
+type ClusterChaosConfig struct {
+	Seed    int64
+	Nodes   int // cluster size (default 3)
+	Clients int // concurrent cluster clients (default 2)
+	Shards  int // space shards per node (default 4)
+	// Ops is the number of tuples written; every other one is taken
+	// back mid-run, the rest must survive to the final audit
+	// (default 40).
+	Ops int
+	// WriteEvery spaces the writes out (default HeartbeatEvery/2 — ops
+	// overlap heartbeats, kills, and joins).
+	WriteEvery sim.Duration
+	// TakeTimeout is the blocking budget of each mid-run take
+	// (default 3x the suspicion threshold, so takes ride out a
+	// coordinator death).
+	TakeTimeout sim.Duration
+	// FaultRate is fault activations per simulated second across the
+	// op phase; zero runs fault-free.
+	FaultRate float64
+	// FaultDur is how long each fault window holds (default 2x the
+	// suspicion threshold: long enough for the detector to kill).
+	FaultDur sim.Duration
+	// Kinds cycles the injected node-fault kinds (default: crash,
+	// degrade, symmetric partition, send-only partition).
+	Kinds []fault.Kind
+	// LossProb / ExtraDelay shape NodeDegrade windows (defaults 0.05,
+	// HeartbeatEvery/4).
+	LossProb   float64
+	ExtraDelay sim.Duration
+	// ForceCrash deterministically crashes node 0 — a primary for
+	// roughly 1/Nodes of the entries — a third of the way through the
+	// op phase and rejoins it at two thirds, independent of FaultRate.
+	ForceCrash bool
+
+	Membership rmi.MembershipConfig
+}
+
+// DefaultClusterChaosConfig is a 3-node cluster with a forced primary
+// crash and a moderate fault schedule on top.
+func DefaultClusterChaosConfig() ClusterChaosConfig {
+	return ClusterChaosConfig{Seed: 1, ForceCrash: true, FaultRate: 2}
+}
+
+func (c *ClusterChaosConfig) normalize() {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Clients <= 0 {
+		c.Clients = 2
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 40
+	}
+	c.Membership = c.Membership.Normalize()
+	if c.WriteEvery == 0 {
+		c.WriteEvery = c.Membership.HeartbeatEvery / 2
+	}
+	if c.TakeTimeout == 0 {
+		c.TakeTimeout = 3 * c.Membership.SuspectAfter()
+	}
+	if c.FaultDur == 0 {
+		c.FaultDur = 2 * c.Membership.SuspectAfter()
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = []fault.Kind{fault.NodeCrash, fault.NodeDegrade, fault.NodeIsolate, fault.NodeIsolateSend}
+	}
+	if c.LossProb == 0 {
+		c.LossProb = 0.05
+	}
+	if c.ExtraDelay == 0 {
+		c.ExtraDelay = c.Membership.HeartbeatEvery / 4
+	}
+}
+
+// opsEnd is when the last workload op has been issued.
+func (c ClusterChaosConfig) opsEnd() sim.Duration {
+	return sim.Duration(c.Ops+1)*c.WriteEvery + c.Membership.SuspectAfter()
+}
+
+// plan expands the fault rate into a node-fault schedule across the
+// op phase, cycling kinds and target nodes.
+func (c ClusterChaosConfig) plan() fault.Plan {
+	if c.FaultRate <= 0 {
+		return nil
+	}
+	period := sim.Duration(float64(sim.Second) / c.FaultRate)
+	n := int(float64(c.opsEnd()) / float64(period))
+	p := make(fault.Plan, 0, n)
+	for i := 0; i < n; i++ {
+		ev := fault.Event{
+			At:   sim.Duration(i+1) * period,
+			Dur:  c.FaultDur,
+			Kind: c.Kinds[i%len(c.Kinds)],
+			Node: uint8(i % c.Nodes),
+		}
+		if ev.Kind == fault.NodeDegrade {
+			ev.Prob = c.LossProb
+			ev.Delay = c.ExtraDelay
+		}
+		p = append(p, ev)
+	}
+	return p
+}
+
+// ClusterChaosResult is one cell of the cluster degradation grid plus
+// the audit evidence.
+type ClusterChaosResult struct {
+	// Client-visible outcomes.
+	WritesAcked  int
+	WritesGaveUp int
+	Delivered    int // takes that returned a tuple
+	TakeMisses   int
+	TakesGaveUp  int
+	Failovers    uint64
+	// Cluster-side evidence.
+	Injected int
+	Kills    int
+	// UnreportedConsumed counts entries the cluster consumed for a
+	// take whose client had already given up — the accepted
+	// asymmetric-partition limitation, surfaced as a metric: the
+	// replicated dedup record is there, the client just stopped
+	// asking. Not an invariant violation.
+	UnreportedConsumed int
+	// DetectDelay / RecoverDelay measure the forced primary crash:
+	// crash to failure-detector kill, and crash to the first client
+	// ack after the kill (zero when ForceCrash is off or the crash
+	// was preempted by the fault plan).
+	DetectDelay  sim.Duration
+	RecoverDelay sim.Duration
+	// Elapsed is simulated time until the cluster drained to
+	// quiescence; AckedPerSec is client acks per simulated second.
+	Elapsed     sim.Duration
+	AckedPerSec float64
+	// Violations lists failed invariants; empty means the run held
+	// every guarantee.
+	Violations []string
+}
+
+// OK reports whether every invariant held.
+func (r ClusterChaosResult) OK() bool { return len(r.Violations) == 0 }
+
+// RunClusterChaos executes one cluster chaos cell and audits the
+// cluster's guarantees after healing and draining:
+//
+//  1. No acked write is lost: every acknowledged entry is either
+//     present on every live node or tombstoned on every live node —
+//     never half-replicated, never silently gone.
+//  2. At-most-once take: no entry is delivered to two take requests,
+//     a delivered entry is tombstoned everywhere, and nothing is
+//     consumed without a take having been issued for it.
+//  3. Reads see every surviving tuple: a final read of each
+//     unconsumed acked entry must find it.
+//  4. The cluster drains to quiescence: after the clients and nodes
+//     stop, the kernel runs out of events.
+func RunClusterChaos(cfg ClusterChaosConfig) ClusterChaosResult {
+	cfg.normalize()
+	hb := cfg.Membership.HeartbeatEvery
+	suspect := cfg.Membership.SuspectAfter()
+
+	k := sim.NewKernel(cfg.Seed)
+	cs := cluster.NewSim(k, cluster.SimConfig{
+		Nodes:      cfg.Nodes,
+		Clients:    cfg.Clients,
+		Shards:     cfg.Shards,
+		Membership: cfg.Membership,
+	})
+	clients := make([]*wrapper.ClusterClient, cfg.Clients)
+	for c := range clients {
+		clients[c] = wrapper.NewClusterClient(k, cluster.ClientID(c), cs.ClientConns(c), cfg.Membership)
+	}
+
+	var res ClusterChaosResult
+	viol := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+
+	type entry struct {
+		reqKey    uint64
+		acked     bool
+		taken     bool // a take was issued for this uid
+		delivered int
+	}
+	ents := make([]entry, cfg.Ops)
+	entryFor := func(uid int) tuple.Tuple {
+		return tuple.New("job", tuple.Int("uid", int64(uid)))
+	}
+
+	// Forced-crash recovery probes.
+	var crashAt, killAt, recoverAt sim.Time
+	cs.Mgr.OnKill = func(id int, at sim.Time) {
+		if cfg.ForceCrash && id == 0 && crashAt != 0 && killAt == 0 {
+			killAt = at
+		}
+	}
+	outstanding := 0
+	verifyReady, verifyStarted, stopped := false, false, false
+	var maybeVerify func()
+	opDone := func(r wrapper.ClusterResult) {
+		outstanding--
+		if r.OK && killAt != 0 && recoverAt == 0 {
+			recoverAt = k.Now()
+		}
+		maybeVerify()
+	}
+
+	// Workload: Ops writes spread across the op phase; every even uid
+	// is taken back shortly after its write. Entries carry no lease,
+	// so the only legal way for one to disappear is a take.
+	for i := 0; i < cfg.Ops; i++ {
+		i := i
+		at := sim.Duration(i+1) * cfg.WriteEvery
+		k.ScheduleName("core.clusterchaos.write", at, func() {
+			outstanding++
+			c := clients[i%len(clients)]
+			ents[i].reqKey = c.Write(entryFor(i), 0, func(r wrapper.ClusterResult) {
+				if r.OK {
+					ents[i].acked = true
+					res.WritesAcked++
+				} else {
+					res.WritesGaveUp++
+				}
+				opDone(r)
+			})
+		})
+		if i%2 != 0 {
+			continue
+		}
+		k.ScheduleName("core.clusterchaos.take", at+suspect, func() {
+			outstanding++
+			ents[i].taken = true
+			clients[(i+1)%len(clients)].Take(entryFor(i), cfg.TakeTimeout, func(r wrapper.ClusterResult) {
+				switch {
+				case r.OK:
+					ents[i].delivered++
+					res.Delivered++
+				case r.Miss:
+					res.TakeMisses++
+				default:
+					res.TakesGaveUp++
+				}
+				opDone(r)
+			})
+		})
+	}
+
+	// Fault plan: node-level faults across the op phase, guarded so
+	// the cluster never loses its last live node.
+	liveEnough := func() bool { return len(cs.LiveNodes()) > 1 }
+	hooks := make([]fault.NodeHooks, cfg.Nodes)
+	for i := range hooks {
+		i := i
+		hooks[i] = fault.NodeHooks{
+			Crash: func() {
+				if !cs.Nodes[i].Crashed() && cs.Nodes[i].State() == cluster.StateLive && liveEnough() {
+					cs.Crash(i)
+				}
+			},
+			Rejoin: func() {
+				if cs.Nodes[i].Crashed() || cs.Nodes[i].State() == cluster.StateKilled {
+					cs.Rejoin(i)
+				}
+			},
+			Isolate: func() {
+				if liveEnough() {
+					cs.Isolate(i)
+				}
+			},
+			IsolateSend: func() {
+				if liveEnough() {
+					cs.IsolateSend(i)
+				}
+			},
+			Heal:    func() { cs.Heal(i) },
+			Degrade: func(f netsim.FaultProfile) { cs.SetNodeFault(i, f) },
+		}
+	}
+	inj, err := fault.Arm(k, cfg.plan(), fault.Targets{Nodes: hooks})
+	if err != nil {
+		return ClusterChaosResult{Violations: []string{fmt.Sprintf("arming fault plan: %v", err)}}
+	}
+
+	opsEnd := cfg.opsEnd()
+	if cfg.ForceCrash {
+		k.ScheduleName("core.clusterchaos.forcecrash", opsEnd/3, func() {
+			if !cs.Nodes[0].Crashed() && cs.Nodes[0].State() == cluster.StateLive && liveEnough() {
+				crashAt = k.Now()
+				cs.Crash(0)
+			}
+		})
+		k.ScheduleName("core.clusterchaos.forcerejoin", 2*opsEnd/3, func() {
+			if cs.Nodes[0].Crashed() || cs.Nodes[0].State() == cluster.StateKilled {
+				cs.Rejoin(0)
+			}
+		})
+	}
+
+	// Heal phase: every fault window has expired; restore every link
+	// and bring every dead node back through the join protocol, then
+	// let membership and anti-entropy settle before the audit.
+	tHeal := opsEnd + cfg.FaultDur + suspect + 2*hb
+	k.ScheduleName("core.clusterchaos.heal", tHeal, func() {
+		for i := range cs.Nodes {
+			cs.Heal(i)
+			if cs.Nodes[i].Crashed() || cs.Nodes[i].State() == cluster.StateKilled {
+				cs.Rejoin(i)
+			}
+		}
+	})
+
+	stopAll := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		res.Elapsed = sim.Duration(k.Now())
+		for _, c := range clients {
+			c.Stop()
+		}
+		cs.Stop()
+	}
+
+	// Audit: node-side replication state first, then client-side reads
+	// of every entry the cluster says survived.
+	verify := func() {
+		verifyStarted = true
+		var live []int
+		for i, n := range cs.Nodes {
+			if n.State() == cluster.StateLive && !n.Crashed() {
+				live = append(live, i)
+			}
+		}
+		if len(live) == 0 {
+			viol("no live nodes after heal")
+			stopAll()
+			return
+		}
+		have := make([]map[uint64]bool, len(live))
+		tomb := make([]map[uint64]bool, len(live))
+		for li, ni := range live {
+			have[li] = make(map[uint64]bool)
+			for _, key := range cs.Nodes[ni].LiveKeys() {
+				have[li][key] = true
+			}
+			tomb[li] = make(map[uint64]bool)
+			for _, key := range cs.Nodes[ni].ConsumedKeys() {
+				tomb[li][key] = true
+			}
+		}
+		var survivors []int
+		for uid := range ents {
+			e := &ents[uid]
+			if e.delivered > 1 {
+				viol("uid %d delivered %d times (at-most-once take broken)", uid, e.delivered)
+			}
+			if !e.acked {
+				continue // no guarantee was given for this entry
+			}
+			pres, gone := 0, 0
+			for li := range live {
+				if have[li][e.reqKey] {
+					pres++
+				}
+				if tomb[li][e.reqKey] {
+					gone++
+				}
+			}
+			switch {
+			case pres == len(live) && gone == 0:
+				if e.delivered > 0 {
+					viol("uid %d delivered yet still present on every live node", uid)
+				}
+				survivors = append(survivors, uid)
+			case gone == len(live) && pres == 0:
+				if !e.taken {
+					viol("uid %d consumed but no take was ever issued for it", uid)
+				} else if e.delivered == 0 {
+					res.UnreportedConsumed++
+				}
+			default:
+				viol("uid %d inconsistent: present on %d/%d live nodes, tombed on %d/%d",
+					uid, pres, len(live), gone, len(live))
+			}
+		}
+		readsLeft := len(survivors)
+		if readsLeft == 0 {
+			stopAll()
+			return
+		}
+		for idx, uid := range survivors {
+			uid := uid
+			clients[idx%len(clients)].Read(entryFor(uid), 0, func(r wrapper.ClusterResult) {
+				if !r.OK {
+					viol("final read of surviving uid %d found nothing", uid)
+				}
+				readsLeft--
+				if readsLeft == 0 {
+					stopAll()
+				}
+			})
+		}
+	}
+	maybeVerify = func() {
+		if verifyReady && !verifyStarted && outstanding == 0 {
+			verify()
+		}
+	}
+	k.ScheduleName("core.clusterchaos.verify", tHeal+8*suspect, func() {
+		verifyReady = true
+		maybeVerify()
+	})
+
+	// A generous hard horizon: every client op gives up long before
+	// this, so hitting it means the run failed to drain.
+	horizon := sim.Time(opsEnd + 30*sim.Second)
+	k.RunUntil(horizon)
+	if !stopped {
+		viol("cluster failed to drain by horizon (outstanding=%d, verify started=%v)", outstanding, verifyStarted)
+		stopAll()
+	}
+	k.Run()
+	if n := k.Pending(); n != 0 {
+		viol("kernel not quiescent after drain: %d events pending", n)
+	}
+
+	res.Injected = inj.Injected()
+	res.Kills = len(cs.Mgr.Kills)
+	for _, c := range clients {
+		res.Failovers += c.Stats.Failovers
+		res.AckedPerSec += float64(c.Stats.Acked)
+	}
+	if res.Elapsed > 0 {
+		res.AckedPerSec /= res.Elapsed.Seconds()
+	}
+	if crashAt != 0 && killAt != 0 {
+		res.DetectDelay = sim.Duration(killAt - crashAt)
+		if cfg.ForceCrash && recoverAt > killAt {
+			res.RecoverDelay = sim.Duration(recoverAt - crashAt)
+		}
+	} else if crashAt != 0 {
+		viol("forced primary crash was never detected by the failure detector")
+	}
+	return res
+}
+
+// ClusterChaosGridConfig sweeps the cluster chaos cell over fault
+// rates and cluster sizes.
+type ClusterChaosGridConfig struct {
+	Base       ClusterChaosConfig
+	FaultRates []float64
+	Nodes      []int
+	// Workers bounds the worker pool; 0 selects DefaultWorkers, 1 runs
+	// sequentially. The grid is identical at every worker count.
+	Workers int
+}
+
+// DefaultClusterChaosGridConfig sweeps a fault-free baseline up to an
+// aggressive fault rate on 3- and 5-node clusters, forced primary
+// crash in every cell.
+func DefaultClusterChaosGridConfig() ClusterChaosGridConfig {
+	return ClusterChaosGridConfig{
+		Base:       DefaultClusterChaosConfig(),
+		FaultRates: []float64{0, 1, 2, 4},
+		Nodes:      []int{3, 5},
+	}
+}
+
+// ClusterChaosGrid is the cluster degradation table.
+type ClusterChaosGrid struct {
+	FaultRates []float64
+	Nodes      []int
+	Cells      [][]ClusterChaosResult // [rate][nodes]
+	HB         sim.Duration
+	Suspect    sim.Duration
+}
+
+// RunClusterChaosGrid executes the sweep on the worker pool; cell
+// order and content are independent of the worker count. Each cell's
+// kernel seed derives from (base seed, cell index), so the grid is one
+// deterministic artifact.
+func RunClusterChaosGrid(cfg ClusterChaosGridConfig) ClusterChaosGrid {
+	base := cfg.Base
+	base.normalize()
+	g := ClusterChaosGrid{
+		FaultRates: cfg.FaultRates,
+		Nodes:      cfg.Nodes,
+		HB:         base.Membership.HeartbeatEvery,
+		Suspect:    base.Membership.SuspectAfter(),
+	}
+	jobs := make([]func() ClusterChaosResult, 0, len(cfg.FaultRates)*len(cfg.Nodes))
+	for i, rate := range cfg.FaultRates {
+		for j, n := range cfg.Nodes {
+			c := cfg.Base
+			c.FaultRate = rate
+			c.Nodes = n
+			c.Seed = SeedFor(cfg.Base.Seed, i*len(cfg.Nodes)+j)
+			jobs = append(jobs, func() ClusterChaosResult { return RunClusterChaos(c) })
+		}
+	}
+	flat := RunAll(cfg.Workers, jobs)
+	for i := range cfg.FaultRates {
+		g.Cells = append(g.Cells, flat[i*len(cfg.Nodes):(i+1)*len(cfg.Nodes)])
+	}
+	return g
+}
+
+// Violations flattens every cell's invariant failures.
+func (g ClusterChaosGrid) Violations() []string {
+	var all []string
+	for i, row := range g.Cells {
+		for j, cell := range row {
+			for _, v := range cell.Violations {
+				all = append(all, fmt.Sprintf("fault %g/s %d-node: %s", g.FaultRates[i], g.Nodes[j], v))
+			}
+		}
+	}
+	return all
+}
+
+// ClusterChaosCell renders one degradation-table cell: acked writes,
+// delivered takes, kills, injected faults, and the forced-crash
+// recovery time.
+func ClusterChaosCell(r ClusterChaosResult) string {
+	rec := "-"
+	if r.RecoverDelay > 0 {
+		rec = fmt.Sprintf("%.0fms", float64(r.RecoverDelay)/float64(sim.Millisecond))
+	}
+	cell := fmt.Sprintf("%dw %dt %dk %df rec %s", r.WritesAcked, r.Delivered, r.Kills, r.Injected, rec)
+	if !r.OK() {
+		cell += " VIOLATION"
+	}
+	return cell
+}
+
+// Format renders the cluster degradation table, one row per fault
+// rate, one column per cluster size.
+func (g ClusterChaosGrid) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster chaos degradation (forced primary crash, heartbeat %.0fms, suspect %.0fms)\n",
+		float64(g.HB)/float64(sim.Millisecond), float64(g.Suspect)/float64(sim.Millisecond))
+	fmt.Fprintf(&b, "%-14s", "Fault rate")
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, " %-30s", fmt.Sprintf("%d nodes", n))
+	}
+	fmt.Fprintln(&b)
+	for i, rate := range g.FaultRates {
+		fmt.Fprintf(&b, "%-14s", fmt.Sprintf("%g /s", rate))
+		for j := range g.Nodes {
+			fmt.Fprintf(&b, " %-30s", ClusterChaosCell(g.Cells[i][j]))
+		}
+		fmt.Fprintln(&b)
+	}
+	if v := g.Violations(); len(v) > 0 {
+		fmt.Fprintln(&b, "INVARIANT VIOLATIONS:")
+		for _, s := range v {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+	} else {
+		fmt.Fprintln(&b, "invariants: no acked write lost; at-most-once take; reads see every survivor; drained to quiescence")
+	}
+	return b.String()
+}
+
+// clusterBenchRecord is the BENCH_cluster.json schema.
+type clusterBenchRecord struct {
+	Name        string  `json:"name"`
+	Nodes       int     `json:"nodes"`
+	FaultRate   float64 `json:"fault_rate"`
+	WritesAcked int     `json:"writes_acked"`
+	Delivered   int     `json:"takes_delivered"`
+	Kills       int     `json:"kills"`
+	AckedPerSec float64 `json:"acked_per_sec"`
+	DetectMs    float64 `json:"detect_ms"`
+	RecoverMs   float64 `json:"recover_ms"`
+	Violations  int     `json:"violations"`
+}
+
+// JSON renders the grid as the BENCH_cluster.json records: throughput
+// and failover-recovery time against cluster size, per fault rate.
+func (g ClusterChaosGrid) JSON() (string, error) {
+	var recs []clusterBenchRecord
+	for i, rate := range g.FaultRates {
+		for j, n := range g.Nodes {
+			c := g.Cells[i][j]
+			recs = append(recs, clusterBenchRecord{
+				Name:        fmt.Sprintf("cluster/n%d/f%g", n, rate),
+				Nodes:       n,
+				FaultRate:   rate,
+				WritesAcked: c.WritesAcked,
+				Delivered:   c.Delivered,
+				Kills:       c.Kills,
+				AckedPerSec: c.AckedPerSec,
+				DetectMs:    float64(c.DetectDelay) / float64(sim.Millisecond),
+				RecoverMs:   float64(c.RecoverDelay) / float64(sim.Millisecond),
+				Violations:  len(c.Violations),
+			})
+		}
+	}
+	out, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

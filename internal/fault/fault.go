@@ -42,16 +42,33 @@ const (
 	Disconnect
 	// ServerCrash invokes Targets.Crash, then Targets.Restart after Dur.
 	ServerCrash
+	// NodeCrash hard-crashes cluster node Node (live store wiped, its
+	// journal survives), then rejoins it through the join protocol
+	// after Dur (if the hooks provide Rejoin).
+	NodeCrash
+	// NodeIsolate cuts every connection of cluster node Node in both
+	// directions for Dur — the classic symmetric partition — then heals.
+	NodeIsolate
+	// NodeIsolateSend cuts only node Node's outbound direction for Dur
+	// (it hears the cluster but nothing it says gets out), then heals.
+	NodeIsolateSend
+	// NodeDegrade applies a lossy/slow wire profile (LossProb=Prob,
+	// ExtraDelay=Delay) to every link adjacent to node Node for Dur.
+	NodeDegrade
 )
 
 var kindNames = [...]string{
-	WireCorrupt: "wire-corrupt",
-	SlaveDrop:   "slave-drop",
-	LinkLoss:    "link-loss",
-	LinkDup:     "link-dup",
-	LinkDelay:   "link-delay",
-	Disconnect:  "disconnect",
-	ServerCrash: "server-crash",
+	WireCorrupt:     "wire-corrupt",
+	SlaveDrop:       "slave-drop",
+	LinkLoss:        "link-loss",
+	LinkDup:         "link-dup",
+	LinkDelay:       "link-delay",
+	Disconnect:      "disconnect",
+	ServerCrash:     "server-crash",
+	NodeCrash:       "node-crash",
+	NodeIsolate:     "node-isolate",
+	NodeIsolateSend: "node-isolate-send",
+	NodeDegrade:     "node-degrade",
 }
 
 func (k Kind) String() string {
@@ -68,9 +85,9 @@ type Event struct {
 	Dur   sim.Duration // how long the fault holds
 	Kind  Kind
 	Prob  float64      // corruption / loss / duplication probability
-	Node  uint8        // slave id (SlaveDrop)
+	Node  uint8        // slave id (SlaveDrop) or cluster node index (Node* kinds)
 	Link  int          // index into Targets.Links (Link* kinds)
-	Delay sim.Duration // added latency (LinkDelay)
+	Delay sim.Duration // added latency (LinkDelay, NodeDegrade)
 }
 
 // Plan is a fault schedule. Events may overlap; within one injection
@@ -92,6 +109,20 @@ func Periodic(tmpl Event, start, period sim.Duration, count int) Plan {
 	return p
 }
 
+// NodeHooks are one cluster node's injection points for the Node*
+// kinds — in practice cluster.Sim's Crash/Rejoin/Isolate/IsolateSend/
+// Heal/SetNodeFault methods bound to one node index. Hooks may guard
+// themselves (e.g. refuse to crash the last live node); the injector
+// calls them unconditionally.
+type NodeHooks struct {
+	Crash       func()                    // NodeCrash activation
+	Rejoin      func()                    // NodeCrash recovery, Dur later (optional)
+	Isolate     func()                    // NodeIsolate activation
+	IsolateSend func()                    // NodeIsolateSend activation
+	Heal        func()                    // network-fault recovery: restore conns, clear wire faults
+	Degrade     func(netsim.FaultProfile) // NodeDegrade activation
+}
+
 // Targets are the injection points a plan is armed against. Only the
 // targets the plan's kinds touch need to be set.
 type Targets struct {
@@ -100,6 +131,7 @@ type Targets struct {
 	Conn    *transport.FaultConn
 	Crash   func() // ServerCrash activation
 	Restart func() // ServerCrash recovery, Dur after activation (optional)
+	Nodes   []NodeHooks
 }
 
 // Validate checks every event against the targets it needs.
@@ -126,6 +158,21 @@ func (p Plan) Validate(tg Targets) error {
 			if tg.Crash == nil {
 				return fmt.Errorf("fault: event %d: %s needs Targets.Crash", i, ev.Kind)
 			}
+		case NodeCrash, NodeIsolate, NodeIsolateSend, NodeDegrade:
+			if int(ev.Node) >= len(tg.Nodes) {
+				return fmt.Errorf("fault: event %d: %s: node %d out of range (%d nodes)", i, ev.Kind, ev.Node, len(tg.Nodes))
+			}
+			h := tg.Nodes[ev.Node]
+			switch {
+			case ev.Kind == NodeCrash && h.Crash == nil:
+				return fmt.Errorf("fault: event %d: %s: node %d has no Crash hook", i, ev.Kind, ev.Node)
+			case ev.Kind == NodeIsolate && (h.Isolate == nil || h.Heal == nil):
+				return fmt.Errorf("fault: event %d: %s: node %d needs Isolate and Heal hooks", i, ev.Kind, ev.Node)
+			case ev.Kind == NodeIsolateSend && (h.IsolateSend == nil || h.Heal == nil):
+				return fmt.Errorf("fault: event %d: %s: node %d needs IsolateSend and Heal hooks", i, ev.Kind, ev.Node)
+			case ev.Kind == NodeDegrade && (h.Degrade == nil || h.Heal == nil):
+				return fmt.Errorf("fault: event %d: %s: node %d needs Degrade and Heal hooks", i, ev.Kind, ev.Node)
+			}
 		default:
 			return fmt.Errorf("fault: event %d: unknown kind %d", i, int(ev.Kind))
 		}
@@ -142,8 +189,12 @@ type Injector struct {
 	wireGen  uint64
 	linkGen  []uint64
 	connGen  uint64
-	trace    []string
-	injected int
+	// Per cluster node: crash/rejoin pairing and network-fault
+	// restoration are independent axes, each latest-event-wins.
+	nodeCrashGen []uint64
+	nodeNetGen   []uint64
+	trace        []string
+	injected     int
 }
 
 // Arm validates the plan and schedules every event on the kernel.
@@ -152,7 +203,12 @@ func Arm(k *sim.Kernel, plan Plan, tg Targets) (*Injector, error) {
 	if err := plan.Validate(tg); err != nil {
 		return nil, err
 	}
-	inj := &Injector{k: k, tg: tg, linkGen: make([]uint64, len(tg.Links))}
+	inj := &Injector{
+		k: k, tg: tg,
+		linkGen:      make([]uint64, len(tg.Links)),
+		nodeCrashGen: make([]uint64, len(tg.Nodes)),
+		nodeNetGen:   make([]uint64, len(tg.Nodes)),
+	}
 	if tg.Chain != nil {
 		for _, ev := range plan {
 			if ev.Kind == WireCorrupt {
@@ -248,5 +304,42 @@ func (inj *Injector) start(ev Event) {
 				inj.logf("%s restarted", ServerCrash)
 			})
 		}
+	case NodeCrash:
+		node := int(ev.Node)
+		h := inj.tg.Nodes[node]
+		inj.logf("%s node=%d rejoin after %v", ev.Kind, node, ev.Dur)
+		h.Crash()
+		if h.Rejoin != nil {
+			inj.nodeCrashGen[node]++
+			gen := inj.nodeCrashGen[node]
+			inj.k.ScheduleName("fault.node-crash.end", ev.Dur, func() {
+				if inj.nodeCrashGen[node] == gen {
+					h.Rejoin()
+					inj.logf("%s node=%d rejoined", NodeCrash, node)
+				}
+			})
+		}
+	case NodeIsolate, NodeIsolateSend, NodeDegrade:
+		node := int(ev.Node)
+		h := inj.tg.Nodes[node]
+		switch ev.Kind {
+		case NodeIsolate:
+			inj.logf("%s node=%d for %v", ev.Kind, node, ev.Dur)
+			h.Isolate()
+		case NodeIsolateSend:
+			inj.logf("%s node=%d for %v", ev.Kind, node, ev.Dur)
+			h.IsolateSend()
+		case NodeDegrade:
+			inj.logf("%s node=%d loss=%.3f +%v for %v", ev.Kind, node, ev.Prob, ev.Delay, ev.Dur)
+			h.Degrade(netsim.FaultProfile{LossProb: ev.Prob, ExtraDelay: ev.Delay})
+		}
+		inj.nodeNetGen[node]++
+		gen := inj.nodeNetGen[node]
+		inj.k.ScheduleName("fault.node-net.end", ev.Dur, func() {
+			if inj.nodeNetGen[node] == gen {
+				h.Heal()
+				inj.logf("node-fault node=%d healed", node)
+			}
+		})
 	}
 }

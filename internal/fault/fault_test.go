@@ -193,3 +193,70 @@ func TestInjectionDeterminism(t *testing.T) {
 		t.Fatal("probabilistic corruption never triggered a retry — scenario too tame to prove anything")
 	}
 }
+
+func TestNodeFaultHooks(t *testing.T) {
+	k := sim.NewKernel(1)
+	var log []string
+	note := func(s string) func() {
+		return func() { log = append(log, s) }
+	}
+	tg := Targets{Nodes: []NodeHooks{
+		{
+			Crash:       note("crash0"),
+			Rejoin:      note("rejoin0"),
+			Isolate:     note("isolate0"),
+			IsolateSend: note("isolate-send0"),
+			Heal:        note("heal0"),
+			Degrade: func(f netsim.FaultProfile) {
+				log = append(log, "degrade0")
+				if f.LossProb != 0.25 || f.ExtraDelay != 3*sim.Millisecond {
+					t.Errorf("degrade profile = %+v", f)
+				}
+			},
+		},
+	}}
+	plan := Plan{
+		// Crash at 1ms, rejoin 10ms later.
+		{At: sim.Millisecond, Dur: 10 * sim.Millisecond, Kind: NodeCrash},
+		// Isolate at 2ms; before its heal would fire at 6ms, a degrade
+		// at 4ms takes over the node's network axis (latest wins), so
+		// the single heal lands at 4+8=12ms.
+		{At: 2 * sim.Millisecond, Dur: 4 * sim.Millisecond, Kind: NodeIsolate},
+		{At: 4 * sim.Millisecond, Dur: 8 * sim.Millisecond, Kind: NodeDegrade,
+			Prob: 0.25, Delay: 3 * sim.Millisecond},
+	}
+	inj, err := Arm(k, plan, tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	want := []string{"crash0", "isolate0", "degrade0", "rejoin0", "heal0"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("hook sequence = %v, want %v", log, want)
+	}
+	if inj.Injected() != 3 {
+		t.Fatalf("Injected = %d, want 3", inj.Injected())
+	}
+}
+
+func TestNodeFaultValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	cases := []struct {
+		name string
+		plan Plan
+		tg   Targets
+	}{
+		{"node out of range", Plan{{Kind: NodeCrash, Node: 1}}, Targets{Nodes: make([]NodeHooks, 1)}},
+		{"crash needs hook", Plan{{Kind: NodeCrash}}, Targets{Nodes: make([]NodeHooks, 1)}},
+		{"isolate needs heal", Plan{{Kind: NodeIsolate}},
+			Targets{Nodes: []NodeHooks{{Isolate: func() {}}}}},
+		{"isolate-send needs hooks", Plan{{Kind: NodeIsolateSend}}, Targets{Nodes: make([]NodeHooks, 1)}},
+		{"degrade needs hooks", Plan{{Kind: NodeDegrade}},
+			Targets{Nodes: []NodeHooks{{Degrade: func(netsim.FaultProfile) {}}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Arm(k, tc.plan, tc.tg); err == nil {
+			t.Errorf("%s: Arm accepted an invalid plan", tc.name)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package rmi
+
+import (
+	"math/rand"
+
+	"tpspace/internal/sim"
+)
+
+// Membership-traffic presets. Cluster control traffic (heartbeats,
+// join/park/kill coordination) has different timing needs from data
+// RPCs: heartbeats must keep flowing under load, and the failure
+// detector must tolerate a slow-but-alive peer — a link under injected
+// delay — without declaring it dead. The knobs below centralize that
+// policy so the cluster layer and its tests share one definition of
+// "how slow is dead".
+
+// DefaultHeartbeatEvery is the default interval between heartbeats.
+const DefaultHeartbeatEvery = 50 * sim.Millisecond
+
+// DefaultSuspectMissed is the default number of consecutive missed
+// heartbeat intervals after which a peer is declared dead. The
+// suspicion threshold is therefore SuspectMissed * HeartbeatEvery of
+// silence: a link delay below that leaves the peer alive.
+const DefaultSuspectMissed = 4
+
+// MembershipConfig carries the heartbeat/failure-detector timing knobs.
+// The zero value normalizes to the defaults above.
+type MembershipConfig struct {
+	// HeartbeatEvery is the interval between heartbeats a live node
+	// sends to the failure detector.
+	HeartbeatEvery sim.Duration
+	// SuspectMissed is how many consecutive heartbeat intervals may
+	// elapse without traffic before the node is declared dead.
+	SuspectMissed int
+}
+
+// Normalize fills zero fields with the defaults.
+func (c MembershipConfig) Normalize() MembershipConfig {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if c.SuspectMissed <= 0 {
+		c.SuspectMissed = DefaultSuspectMissed
+	}
+	return c
+}
+
+// SuspectAfter is the silence threshold: a peer unheard from for this
+// long is killed.
+func (c MembershipConfig) SuspectAfter() sim.Duration {
+	c = c.Normalize()
+	return sim.Duration(c.SuspectMissed) * c.HeartbeatEvery
+}
+
+// MembershipPolicy is the RetryPolicy preset for membership RPCs
+// (join, replicate, claim coordination). Attempts and deadlines are
+// sized against the heartbeat interval so a control call gives up —
+// and lets the failure detector take over — just past the point the
+// detector would declare the peer dead anyway: per-attempt deadline of
+// one heartbeat interval, retried up to SuspectMissed+1 times with a
+// short linear-ish backoff. Pass the kernel RNG (or nil) for jitter
+// determinism.
+func (c MembershipConfig) MembershipPolicy(rng *rand.Rand) RetryPolicy {
+	c = c.Normalize()
+	return RetryPolicy{
+		Attempts: c.SuspectMissed + 1,
+		Deadline: c.HeartbeatEvery,
+		Backoff: Backoff{
+			Base:   c.HeartbeatEvery / 4,
+			Cap:    c.HeartbeatEvery,
+			Factor: 1.5,
+		},
+		Rand: rng,
+	}
+}

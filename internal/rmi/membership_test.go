@@ -1,0 +1,48 @@
+package rmi
+
+import (
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+func TestMembershipConfigNormalize(t *testing.T) {
+	c := MembershipConfig{}.Normalize()
+	if c.HeartbeatEvery != DefaultHeartbeatEvery || c.SuspectMissed != DefaultSuspectMissed {
+		t.Fatalf("zero config normalized to %+v", c)
+	}
+	if got, want := c.SuspectAfter(), 4*DefaultHeartbeatEvery; got != want {
+		t.Fatalf("SuspectAfter = %v, want %v", got, want)
+	}
+
+	c = MembershipConfig{HeartbeatEvery: 10 * sim.Millisecond, SuspectMissed: 2}
+	if got, want := c.SuspectAfter(), 20*sim.Millisecond; got != want {
+		t.Fatalf("SuspectAfter = %v, want %v", got, want)
+	}
+}
+
+// The preset must give up only past the suspicion threshold: total
+// worst-case time spent (attempt deadlines + backoff delays) has to
+// cover SuspectAfter, so a control RPC does not fail while the peer is
+// still officially alive — but it must also be bounded, not retry
+// forever.
+func TestMembershipPolicyCoversSuspicionWindow(t *testing.T) {
+	c := MembershipConfig{}.Normalize()
+	pol := c.MembershipPolicy(nil)
+	if pol.Attempts != c.SuspectMissed+1 {
+		t.Fatalf("Attempts = %d, want %d", pol.Attempts, c.SuspectMissed+1)
+	}
+	total := sim.Duration(0)
+	for a := 1; a <= pol.Attempts; a++ {
+		total += pol.Deadline
+		if a < pol.Attempts {
+			total += pol.Backoff.Delay(a, nil)
+		}
+	}
+	if total < c.SuspectAfter() {
+		t.Fatalf("policy gives up after %v, before the %v suspicion threshold", total, c.SuspectAfter())
+	}
+	if total > 3*c.SuspectAfter() {
+		t.Fatalf("policy keeps retrying for %v, unbounded vs %v threshold", total, c.SuspectAfter())
+	}
+}

@@ -1,0 +1,149 @@
+package space
+
+import (
+	"sort"
+
+	"tpspace/internal/tuple"
+)
+
+// Cluster-plane support: the replication layer (internal/cluster)
+// coordinates takes across nodes by entry identity, so it needs the
+// probe/remove primitives below in addition to the template-based
+// public API. They are deliberately thin: all matching and unlinking
+// reuses the indexed paths, so journaling (logR on unlink), lease
+// cancellation and statistics behave exactly as for local operations.
+
+// IDTuple pairs an entry id with a copy of its tuple.
+type IDTuple struct {
+	ID uint64
+	T  tuple.Tuple
+}
+
+// OldestMatch returns the id and a copy of the oldest entry matching
+// the template without removing it, or ok=false. Unlike ReadIfExists
+// it exposes the entry id, letting a coordinator name the exact entry
+// in a cross-node claim.
+func (s *Space) OldestMatch(tmpl tuple.Tuple) (uint64, tuple.Tuple, bool) {
+	return s.OldestMatchExcept(tmpl, nil)
+}
+
+// OldestMatchExcept is OldestMatch skipping entries whose id is in
+// skip — the coordinator's re-probe path after a claim came back
+// "gone" (the named entry was consumed elsewhere first).
+func (s *Space) OldestMatchExcept(tmpl tuple.Tuple, skip map[uint64]bool) (uint64, tuple.Tuple, bool) {
+	class, key := classify(tmpl)
+	if class == subValue {
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		e := sh.oldestExcept(class, key, tmpl, skip)
+		if e == nil {
+			sh.mu.Unlock()
+			return 0, tuple.Tuple{}, false
+		}
+		id, out := e.id, e.t.Clone()
+		sh.mu.Unlock()
+		return id, out, true
+	}
+	s.lockAll()
+	var best *entry
+	for _, sh := range s.shards {
+		if c := sh.oldestExcept(class, key, tmpl, skip); c != nil && (best == nil || c.id < best.id) {
+			best = c
+		}
+	}
+	if best == nil {
+		s.unlockAll()
+		return 0, tuple.Tuple{}, false
+	}
+	id, out := best.id, best.t.Clone()
+	s.unlockAll()
+	return id, out, true
+}
+
+// oldestExcept is oldest with a skip set; the caller holds the shard
+// lock. Kept separate from oldest so the take fast path stays
+// untouched.
+func (sh *shard) oldestExcept(class subClass, key uint64, tmpl tuple.Tuple, skip map[uint64]bool) *entry {
+	if len(skip) == 0 {
+		return sh.oldest(class, key, tmpl)
+	}
+	switch class {
+	case subValue:
+		if b := sh.values[key]; b != nil {
+			for e := b.head; e != nil; e = e.vNext {
+				if !skip[e.id] && tmpl.Matches(e.t) {
+					return e
+				}
+			}
+		}
+	case subKind:
+		if b := sh.kinds[key]; b != nil {
+			for e := b.head; e != nil; e = e.kNext {
+				if !skip[e.id] && tmpl.Matches(e.t) {
+					return e
+				}
+			}
+		}
+	case subShape:
+		var best *entry
+		for b := sh.shapes[key]; b != nil; b = b.nextShape {
+			for e := b.head; e != nil; e = e.kNext {
+				if !skip[e.id] && tmpl.Matches(e.t) {
+					if best == nil || e.id < best.id {
+						best = e
+					}
+					break
+				}
+			}
+		}
+		return best
+	}
+	return nil
+}
+
+// TakeByID removes the entry with the given id and returns its tuple.
+// The removal is journaled (via unlink) and counted as a take, and any
+// pending lease expiry timer is cancelled, so a later Replay will not
+// resurrect the entry.
+func (s *Space) TakeByID(id uint64) (tuple.Tuple, bool) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if e := sh.removeByID(id); e != nil {
+			sh.stats.Takes++
+			sh.mu.Unlock()
+			return e.t, true
+		}
+		sh.mu.Unlock()
+	}
+	return tuple.Tuple{}, false
+}
+
+// ReadByID returns a copy of the entry with the given id without
+// removing it.
+func (s *Space) ReadByID(id uint64) (tuple.Tuple, bool) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if e := sh.byID[id]; e != nil {
+			out := e.t.Clone()
+			sh.mu.Unlock()
+			return out, true
+		}
+		sh.mu.Unlock()
+	}
+	return tuple.Tuple{}, false
+}
+
+// DumpEntries returns every stored entry as (id, tuple copy) in id
+// (write) order — the donor side of a cluster snapshot transfer.
+func (s *Space) DumpEntries() []IDTuple {
+	var out []IDTuple
+	s.lockAll()
+	for _, sh := range s.shards {
+		for e := sh.head; e != nil; e = e.next {
+			out = append(out, IDTuple{ID: e.id, T: e.t.Clone()})
+		}
+	}
+	s.unlockAll()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,134 @@
+package space
+
+import (
+	"bytes"
+	"testing"
+
+	"tpspace/internal/sim"
+	"tpspace/internal/tuple"
+)
+
+func TestOldestMatchAndExcept(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		s := New(NewRealRuntime(), WithShards(shards))
+		var ids []uint64
+		for i := 0; i < 3; i++ {
+			l, err := s.Write(tuple.New("job", tuple.Int("n", int64(i))), NoLease)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, l.id)
+		}
+
+		tmpl := tuple.New("job", tuple.AnyInt("n"))
+		id, tt, ok := s.OldestMatch(tmpl)
+		if !ok || id != ids[0] {
+			t.Fatalf("shards=%d OldestMatch id=%d ok=%v, want %d", shards, id, ok, ids[0])
+		}
+		if tt.Fields[0].Int != 0 {
+			t.Fatalf("shards=%d OldestMatch tuple=%v", shards, tt)
+		}
+		// Probe must not remove.
+		if s.Size() != 3 {
+			t.Fatalf("shards=%d OldestMatch consumed: size=%d", shards, s.Size())
+		}
+
+		// Skip set: excluding the two oldest exposes the third.
+		skip := map[uint64]bool{ids[0]: true, ids[1]: true}
+		id, _, ok = s.OldestMatchExcept(tmpl, skip)
+		if !ok || id != ids[2] {
+			t.Fatalf("shards=%d OldestMatchExcept id=%d ok=%v, want %d", shards, id, ok, ids[2])
+		}
+		skip[ids[2]] = true
+		if _, _, ok = s.OldestMatchExcept(tmpl, skip); ok {
+			t.Fatalf("shards=%d OldestMatchExcept matched with all ids skipped", shards)
+		}
+
+		// No match at all.
+		if _, _, ok = s.OldestMatch(tuple.New("none")); ok {
+			t.Fatalf("shards=%d OldestMatch matched missing template", shards)
+		}
+	}
+}
+
+func TestTakeByIDJournalsRemoval(t *testing.T) {
+	k := sim.NewKernel(7)
+	s := New(SimRuntime{K: k}, WithShards(4))
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	s.SetJournal(j)
+
+	l1, _ := s.Write(tuple.New("a", tuple.Int("n", 1)), NoLease)
+	l2, _ := s.Write(tuple.New("a", tuple.Int("n", 2)), 10*sim.Second)
+
+	got, ok := s.TakeByID(l1.id)
+	if !ok {
+		t.Fatal("TakeByID missed a present entry")
+	}
+	if got.Fields[0].Int != 1 {
+		t.Fatalf("TakeByID returned %v", got)
+	}
+	if _, ok := s.TakeByID(l1.id); ok {
+		t.Fatal("TakeByID took the same id twice")
+	}
+	// Taking a leased entry must cancel its expiry timer.
+	if _, ok := s.TakeByID(l2.id); !ok {
+		t.Fatal("TakeByID missed leased entry")
+	}
+	if n := k.Pending(); n != 0 {
+		t.Fatalf("expiry timer still pending after TakeByID: %d events", n)
+	}
+
+	if st := s.Stats(); st.Takes != 2 {
+		t.Fatalf("Takes = %d, want 2", st.Takes)
+	}
+
+	// The journal must reflect both removals: a replay restores nothing.
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(SimRuntime{K: k}, WithShards(4))
+	if _, err := s2.Replay(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Size() != 0 {
+		t.Fatalf("replay resurrected %d entries consumed via TakeByID", s2.Size())
+	}
+}
+
+func TestReadByIDAndDumpEntries(t *testing.T) {
+	s := New(NewRealRuntime(), WithShards(4))
+	var ids []uint64
+	for i := 0; i < 5; i++ {
+		l, _ := s.Write(tuple.New("e", tuple.Int("n", int64(i))), NoLease)
+		ids = append(ids, l.id)
+	}
+	s.TakeByID(ids[2])
+
+	if _, ok := s.ReadByID(ids[2]); ok {
+		t.Fatal("ReadByID found a taken entry")
+	}
+	tt, ok := s.ReadByID(ids[3])
+	if !ok {
+		t.Fatal("ReadByID missed a present entry")
+	}
+	if tt.Fields[0].Int != 3 {
+		t.Fatalf("ReadByID returned %v", tt)
+	}
+
+	dump := s.DumpEntries()
+	if len(dump) != 4 {
+		t.Fatalf("DumpEntries returned %d records, want 4", len(dump))
+	}
+	for i := 1; i < len(dump); i++ {
+		if dump[i-1].ID >= dump[i].ID {
+			t.Fatalf("DumpEntries not id-ordered: %v", dump)
+		}
+	}
+	// Dump returns copies: mutating them must not corrupt the space.
+	want := dump[0].T.Clone()
+	dump[0].T.Fields[0].Int = 99
+	if got, _ := s.ReadByID(dump[0].ID); !got.Equal(want) {
+		t.Fatalf("DumpEntries aliasing: %v != %v", got, want)
+	}
+}

@@ -64,6 +64,15 @@ type Lease struct {
 	Expiry sim.Time
 }
 
+// ID returns the entry id the lease controls (0 for a detached lease,
+// whose entry went straight to a parked taker).
+func (l *Lease) ID() uint64 {
+	if l == nil || l.sp == nil {
+		return 0
+	}
+	return l.id
+}
+
 // Cancel removes the entry immediately. It reports whether the entry
 // was still present.
 func (l *Lease) Cancel() bool {

@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"fmt"
+
+	"tpspace/internal/netsim"
+)
+
+// NetsimEndpoint multiplexes one netsim node across any number of
+// per-peer connections. netsim.Node carries a single agent, so a node
+// that talks to several peers (every member of a cluster mesh) cannot
+// hold one NetsimConn per peer: each constructor would steal the
+// node's agent from the previous one. The endpoint attaches exactly
+// one agent and dispatches inbound packets to the per-peer Conn by the
+// packet's source node.
+type NetsimEndpoint struct {
+	net   *netsim.Network
+	local *netsim.Node
+	conns map[int]*EndpointConn // keyed by peer node id
+	// Overhead is added to every packet's size on the wire
+	// (Ethernet + IP + TCP headers; default 58 bytes).
+	Overhead int
+}
+
+// NewNetsimEndpoint attaches the dispatching agent to local. All
+// connections to peers must then be created through Dial.
+func NewNetsimEndpoint(net *netsim.Network, local *netsim.Node) *NetsimEndpoint {
+	e := &NetsimEndpoint{net: net, local: local, conns: make(map[int]*EndpointConn), Overhead: 58}
+	local.Attach(netsim.AgentFunc(func(p *netsim.Packet) {
+		if p.Payload == nil || p.Src == nil {
+			return
+		}
+		c := e.conns[p.Src.ID()]
+		if c == nil || c.closed || c.onRecv == nil {
+			return
+		}
+		c.stats.MsgsReceived++
+		c.stats.BytesRecv += uint64(len(p.Payload))
+		c.onRecv(p.Payload)
+	}))
+	return e
+}
+
+// Node returns the endpoint's local node.
+func (e *NetsimEndpoint) Node() *netsim.Node { return e.local }
+
+// Dial returns the connection from this endpoint to peer, creating it
+// on first use. Routes/links between the nodes must already exist in
+// the network. Dialing the same peer twice returns the same Conn.
+func (e *NetsimEndpoint) Dial(peer *netsim.Node) *EndpointConn {
+	if peer == e.local {
+		panic(fmt.Sprintf("transport: endpoint %s dialing itself", e.local.Name()))
+	}
+	if c, ok := e.conns[peer.ID()]; ok {
+		return c
+	}
+	c := &EndpointConn{ep: e, peer: peer}
+	e.conns[peer.ID()] = c
+	return c
+}
+
+// EndpointConn is the per-peer Conn of a NetsimEndpoint. Each Send
+// becomes one packet routed from the endpoint's node to the peer.
+type EndpointConn struct {
+	ep     *NetsimEndpoint
+	peer   *netsim.Node
+	onRecv func([]byte)
+	closed bool
+	stats  Stats
+}
+
+// Send implements Conn.
+func (c *EndpointConn) Send(payload []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.stats.MsgsSent++
+	c.stats.BytesSent += uint64(len(payload))
+	c.ep.net.Send(&netsim.Packet{
+		Src:     c.ep.local,
+		Dst:     c.peer,
+		Size:    len(payload) + c.ep.Overhead,
+		Payload: append([]byte(nil), payload...),
+	})
+	return nil
+}
+
+// SetOnReceive implements Conn.
+func (c *EndpointConn) SetOnReceive(fn func([]byte)) { c.onRecv = fn }
+
+// Close implements Conn. The endpoint keeps the (dead) entry so a
+// later Dial of the same peer returns a fresh connection.
+func (c *EndpointConn) Close() error {
+	c.closed = true
+	delete(c.ep.conns, c.peer.ID())
+	return nil
+}
+
+// Stats returns a snapshot of the connection's counters.
+func (c *EndpointConn) Stats() Stats { return c.stats }

@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"testing"
+
+	"tpspace/internal/netsim"
+	"tpspace/internal/sim"
+)
+
+// meshNet builds a fully connected duplex mesh of n nodes.
+func meshNet(k *sim.Kernel, n int) (*netsim.Network, []*netsim.Node) {
+	net := netsim.New(k)
+	nodes := make([]*netsim.Node, n)
+	for i := range nodes {
+		nodes[i] = net.NewNode("n" + string(rune('0'+i)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			net.ConnectDuplex(nodes[i], nodes[j], 1e9, sim.Millisecond, 0)
+		}
+	}
+	return net, nodes
+}
+
+func TestNetsimEndpointDispatchesBySource(t *testing.T) {
+	k := sim.NewKernel(1)
+	netw, nodes := meshNet(k, 3)
+	eps := make([]*NetsimEndpoint, 3)
+	for i := range eps {
+		eps[i] = NewNetsimEndpoint(netw, nodes[i])
+	}
+
+	// Node 0 holds one conn per peer; each peer sends to node 0 and the
+	// endpoint must route by packet source.
+	var from1, from2 []string
+	eps[0].Dial(nodes[1]).SetOnReceive(func(p []byte) { from1 = append(from1, string(p)) })
+	eps[0].Dial(nodes[2]).SetOnReceive(func(p []byte) { from2 = append(from2, string(p)) })
+
+	var at0 []string
+	eps[1].Dial(nodes[0]).SetOnReceive(func(p []byte) { at0 = append(at0, string(p)) })
+	eps[2].Dial(nodes[0]).SetOnReceive(func(p []byte) {})
+
+	if err := eps[1].Dial(nodes[0]).Send([]byte("hello-from-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[2].Dial(nodes[0]).Send([]byte("hello-from-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Dial(nodes[1]).Send([]byte("reply-to-1")); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+
+	if len(from1) != 1 || from1[0] != "hello-from-1" {
+		t.Fatalf("conn to node1 received %q", from1)
+	}
+	if len(from2) != 1 || from2[0] != "hello-from-2" {
+		t.Fatalf("conn to node2 received %q", from2)
+	}
+	if len(at0) != 1 || at0[0] != "reply-to-1" {
+		t.Fatalf("node1's conn to node0 received %q", at0)
+	}
+}
+
+func TestNetsimEndpointDialIdempotentAndClose(t *testing.T) {
+	k := sim.NewKernel(1)
+	netw, nodes := meshNet(k, 2)
+	e0 := NewNetsimEndpoint(netw, nodes[0])
+	e1 := NewNetsimEndpoint(netw, nodes[1])
+
+	c := e0.Dial(nodes[1])
+	if e0.Dial(nodes[1]) != c {
+		t.Fatal("Dial of the same peer returned a different conn")
+	}
+
+	got := 0
+	e1.Dial(nodes[0]).SetOnReceive(func([]byte) { got++ })
+	if err := c.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if got != 1 {
+		t.Fatalf("delivered %d, want 1", got)
+	}
+
+	// Close invalidates the conn; a later Dial gets a fresh one.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send([]byte("y")); err != ErrClosed {
+		t.Fatalf("send after close: err = %v, want ErrClosed", err)
+	}
+	c2 := e0.Dial(nodes[1])
+	if c2 == c {
+		t.Fatal("Dial after Close returned the closed conn")
+	}
+	if err := c2.Send([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if got != 2 {
+		t.Fatalf("fresh conn after close did not deliver: got=%d", got)
+	}
+
+	st := c2.Stats()
+	if st.MsgsSent != 1 || st.BytesSent != 1 {
+		t.Fatalf("fresh conn stats = %+v", st)
+	}
+}
+
+func TestNetsimEndpointSelfDialPanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	netw, nodes := meshNet(k, 2)
+	e0 := NewNetsimEndpoint(netw, nodes[0])
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-dial did not panic")
+		}
+	}()
+	e0.Dial(nodes[0])
+}

@@ -8,21 +8,26 @@ var ErrDisconnected = errors.New("transport: connection cut (fault injection)")
 
 // FaultStats counts fault-plane activity on a FaultConn.
 type FaultStats struct {
-	Cuts         uint64 // Cut transitions
+	Cuts         uint64 // Cut transitions (either direction)
 	DroppedSends uint64 // Sends rejected while down
 	DroppedRecvs uint64 // inbound messages discarded while down
 }
 
 // FaultConn wraps a Conn with a controllable disconnect: while cut,
 // Sends fail with ErrDisconnected and inbound traffic is discarded, as
-// if the cable were pulled. Restore re-attaches both directions and
-// invokes OnRestore, giving higher layers (the wrapper's
-// reconnect-and-resume) a hook to replay pending operations.
+// if the cable were pulled. The two directions can also be cut
+// independently (CutSend/CutRecv), modelling asymmetric partitions
+// where A->B is severed while B->A still delivers. Restore re-attaches
+// both directions and invokes OnRestore, giving higher layers (the
+// wrapper's reconnect-and-resume, the cluster's re-replication) a hook
+// to replay pending operations.
 type FaultConn struct {
-	inner  Conn
-	down   bool
-	onRecv func([]byte)
-	// OnRestore, if set, runs after each Restore.
+	inner    Conn
+	downSend bool
+	downRecv bool
+	onRecv   func([]byte)
+	// OnRestore, if set, runs after each Restore that brought at least
+	// one direction back up.
 	OnRestore func()
 	stats     FaultStats
 }
@@ -32,7 +37,7 @@ type FaultConn struct {
 func NewFaultConn(inner Conn) *FaultConn {
 	f := &FaultConn{inner: inner}
 	inner.SetOnReceive(func(p []byte) {
-		if f.down {
+		if f.downRecv {
 			f.stats.DroppedRecvs++
 			return
 		}
@@ -43,36 +48,65 @@ func NewFaultConn(inner Conn) *FaultConn {
 	return f
 }
 
-// Cut severs the link until Restore. Cutting an already-cut link is a
-// no-op.
+// Cut severs both directions until Restore. Cutting an already-cut
+// link is a no-op.
 func (f *FaultConn) Cut() {
-	if f.down {
+	if f.downSend && f.downRecv {
 		return
 	}
-	f.down = true
+	f.downSend = true
+	f.downRecv = true
 	f.stats.Cuts++
 }
 
-// Restore re-attaches the link and fires OnRestore.
-func (f *FaultConn) Restore() {
-	if !f.down {
+// CutSend severs only the outgoing direction: Sends fail with
+// ErrDisconnected while inbound traffic keeps delivering. Combined
+// with the peer side this models an asymmetric partition.
+func (f *FaultConn) CutSend() {
+	if f.downSend {
 		return
 	}
-	f.down = false
+	f.downSend = true
+	f.stats.Cuts++
+}
+
+// CutRecv severs only the incoming direction: inbound traffic is
+// discarded while Sends still go out.
+func (f *FaultConn) CutRecv() {
+	if f.downRecv {
+		return
+	}
+	f.downRecv = true
+	f.stats.Cuts++
+}
+
+// Restore re-attaches both directions and fires OnRestore.
+func (f *FaultConn) Restore() {
+	if !f.downSend && !f.downRecv {
+		return
+	}
+	f.downSend = false
+	f.downRecv = false
 	if f.OnRestore != nil {
 		f.OnRestore()
 	}
 }
 
-// Down reports whether the link is currently cut.
-func (f *FaultConn) Down() bool { return f.down }
+// Down reports whether any direction is currently cut.
+func (f *FaultConn) Down() bool { return f.downSend || f.downRecv }
+
+// SendDown reports whether the outgoing direction is cut.
+func (f *FaultConn) SendDown() bool { return f.downSend }
+
+// RecvDown reports whether the incoming direction is cut.
+func (f *FaultConn) RecvDown() bool { return f.downRecv }
 
 // FaultStats returns a snapshot of the fault counters.
 func (f *FaultConn) FaultStats() FaultStats { return f.stats }
 
 // Send implements Conn.
 func (f *FaultConn) Send(payload []byte) error {
-	if f.down {
+	if f.downSend {
 		f.stats.DroppedSends++
 		return ErrDisconnected
 	}

@@ -78,3 +78,98 @@ func TestFaultConnCloseForwards(t *testing.T) {
 		t.Fatalf("send after close: err = %v, want ErrClosed", err)
 	}
 }
+
+// Satellite: an asymmetric partition — A->B cut while B->A delivers.
+func TestFaultConnAsymmetricPartition(t *testing.T) {
+	k := sim.NewKernel(1)
+	a, b := NewSimPipe(k, sim.Millisecond)
+	fa := NewFaultConn(a)
+
+	var got [][]byte
+	fa.SetOnReceive(func(p []byte) { got = append(got, p) })
+	peerGot := 0
+	b.SetOnReceive(func(p []byte) { peerGot++ })
+
+	fa.CutSend()
+	fa.CutSend() // idempotent
+	if !fa.Down() || !fa.SendDown() || fa.RecvDown() {
+		t.Fatalf("direction flags wrong after CutSend: down=%v send=%v recv=%v",
+			fa.Down(), fa.SendDown(), fa.RecvDown())
+	}
+	// Outbound fails distinguishably...
+	if err := fa.Send([]byte("x")); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("send on cut direction: err = %v, want ErrDisconnected", err)
+	}
+	// ...while the reverse direction still delivers.
+	b.Send([]byte("still-delivers"))
+	k.Run()
+	if len(got) != 1 || string(got[0]) != "still-delivers" {
+		t.Fatalf("reverse direction blocked by CutSend: got=%q", got)
+	}
+
+	// Flip the asymmetry: recv cut, send restored.
+	restored := 0
+	fa.OnRestore = func() { restored++ }
+	fa.Restore()
+	if restored != 1 {
+		t.Fatalf("OnRestore fired %d times after directional cut, want 1", restored)
+	}
+	fa.CutRecv()
+	fa.CutRecv() // idempotent
+	if !fa.Down() || fa.SendDown() || !fa.RecvDown() {
+		t.Fatalf("direction flags wrong after CutRecv: down=%v send=%v recv=%v",
+			fa.Down(), fa.SendDown(), fa.RecvDown())
+	}
+	if err := fa.Send([]byte("goes-out")); err != nil {
+		t.Fatalf("send on healthy direction: %v", err)
+	}
+	b.Send([]byte("discarded"))
+	k.Run()
+	if peerGot != 1 {
+		t.Fatalf("outbound blocked by CutRecv: peerGot=%d", peerGot)
+	}
+	if len(got) != 1 {
+		t.Fatalf("inbound delivered while recv cut: %q", got)
+	}
+
+	st := fa.FaultStats()
+	if st.Cuts != 2 || st.DroppedSends != 1 || st.DroppedRecvs != 1 {
+		t.Fatalf("fault stats = %+v", st)
+	}
+}
+
+// Satellite: a Cut landing in the middle of an in-flight stream. The
+// messages already on the wire when the cut happens are discarded at
+// the receiver, and the sender's next attempt surfaces the
+// distinguishable ErrDisconnected instead of silently queueing.
+func TestFaultConnCutMidStream(t *testing.T) {
+	k := sim.NewKernel(1)
+	a, b := NewSimPipe(k, sim.Millisecond)
+	fa := NewFaultConn(a)
+
+	var got []string
+	fa.SetOnReceive(func(p []byte) { got = append(got, string(p)) })
+
+	// A replication stream of 4 messages, one per millisecond; the link
+	// is cut at t=2.5ms, while messages 3 and 4 are still in flight.
+	for i, m := range []string{"r1", "r2", "r3", "r4"} {
+		msg := []byte(m)
+		k.Schedule(sim.Duration(i)*sim.Millisecond, func() { b.Send(msg) })
+	}
+	var sendErr error
+	k.Schedule(2*sim.Millisecond+sim.Millisecond/2, func() {
+		fa.Cut()
+		sendErr = fa.Send([]byte("ack"))
+	})
+	k.Run()
+
+	if len(got) != 2 || got[0] != "r1" || got[1] != "r2" {
+		t.Fatalf("delivered = %q, want exactly the pre-cut prefix [r1 r2]", got)
+	}
+	if !errors.Is(sendErr, ErrDisconnected) {
+		t.Fatalf("send during cut stream: err = %v, want ErrDisconnected", sendErr)
+	}
+	if st := fa.FaultStats(); st.DroppedRecvs != 2 {
+		t.Fatalf("DroppedRecvs = %d, want 2 (r3, r4)", st.DroppedRecvs)
+	}
+}

@@ -1,0 +1,303 @@
+package wrapper
+
+import (
+	"sort"
+
+	"tpspace/internal/cluster"
+	"tpspace/internal/rmi"
+	"tpspace/internal/sim"
+	"tpspace/internal/transport"
+	"tpspace/internal/tuple"
+)
+
+// ClusterClient routes tuple operations to a cluster of replicated
+// space nodes with transparent failover. Every logical operation
+// carries one request key for its whole life: retries and failovers
+// resend the same key, and the cluster's dedup plane (PR-2's
+// request-id scheme, replicated via tombstones) turns at-least-once
+// delivery into exactly-once execution.
+//
+// The client is asynchronous and kernel-driven, like the cluster
+// itself: callbacks fire in event context.
+type ClusterClient struct {
+	k     *sim.Kernel
+	id    uint64
+	conns map[int]transport.Conn
+	order []int
+	next  int
+	seq   uint32
+
+	cfg     rmi.MembershipConfig
+	pending map[uint64]*clusterOp
+	stopped bool
+
+	// MaxAttempts bounds per-operation delivery attempts (default
+	// 2*nodes + 2); past it the operation reports GaveUp.
+	MaxAttempts int
+
+	Stats ClusterClientStats
+}
+
+// ClusterClientStats counts client-visible outcomes.
+type ClusterClientStats struct {
+	Writes    uint64
+	Takes     uint64
+	Reads     uint64
+	Acked     uint64
+	Misses    uint64
+	Failovers uint64
+	GaveUp    uint64
+}
+
+// ClusterResult is the outcome of one cluster operation.
+type ClusterResult struct {
+	OK     bool // executed; T valid for take/read
+	Miss   bool // take/read found nothing within the timeout
+	GaveUp bool // attempts exhausted without a definitive answer
+	HasT   bool
+	T      tuple.Tuple
+}
+
+type clusterOp struct {
+	reqKey   uint64
+	kind     byte // 'w', 't', 'r'
+	t        tuple.Tuple
+	lease    sim.Duration
+	timeout  sim.Duration
+	forever  bool
+	noBlock  bool
+	deadline sim.Time // app-level deadline for timed take/read
+	attempts int
+	lastNode int
+	final    bool // last-chance dedup probe after the deadline passed
+	timerEv  *sim.Event
+	timerSeq uint64
+	cb       func(ClusterResult)
+}
+
+// NewClusterClient builds a client over per-node connections (as
+// returned by cluster.Sim.ClientConns). clientID must be the id the
+// nodes were given for this client (cluster.ClientID of the client
+// index) and unique across clients.
+func NewClusterClient(k *sim.Kernel, clientID uint64, conns map[int]transport.Conn, cfg rmi.MembershipConfig) *ClusterClient {
+	c := &ClusterClient{
+		k:       k,
+		id:      clientID,
+		conns:   conns,
+		cfg:     cfg.Normalize(),
+		pending: make(map[uint64]*clusterOp),
+	}
+	for id := range conns {
+		c.order = append(c.order, id)
+	}
+	sort.Ints(c.order)
+	c.MaxAttempts = 2*len(c.order) + 2
+	for _, id := range c.order {
+		conns[id].SetOnReceive(c.onReply)
+	}
+	return c
+}
+
+// Stop abandons all in-flight operations without callbacks.
+func (c *ClusterClient) Stop() {
+	c.stopped = true
+	for _, rk := range c.pendingKeys() {
+		op := c.pending[rk]
+		c.cancelTimer(op)
+		delete(c.pending, rk)
+	}
+}
+
+// Pending returns how many operations are still in flight.
+func (c *ClusterClient) Pending() int { return len(c.pending) }
+
+// Write replicates t into the cluster; cb fires once a node acked the
+// write as replicated. It returns the operation's request key — the
+// identity under which the entry lives cluster-side, which harnesses
+// use to audit replication state after the run.
+func (c *ClusterClient) Write(t tuple.Tuple, lease sim.Duration, cb func(ClusterResult)) uint64 {
+	c.Stats.Writes++
+	op := &clusterOp{reqKey: c.nextKey(), kind: 'w', t: t, lease: lease, cb: cb}
+	c.launch(op)
+	return op.reqKey
+}
+
+// Take removes one matching tuple from anywhere in the cluster,
+// exactly once. timeout 0 probes without blocking; sim.Forever blocks
+// until a match. Returns the operation's request key.
+func (c *ClusterClient) Take(tmpl tuple.Tuple, timeout sim.Duration, cb func(ClusterResult)) uint64 {
+	c.Stats.Takes++
+	op := &clusterOp{reqKey: c.nextKey(), kind: 't', t: tmpl, timeout: timeout, cb: cb}
+	c.initDeadline(op, timeout)
+	c.launch(op)
+	return op.reqKey
+}
+
+// Read copies one matching tuple from the cluster. Returns the
+// operation's request key.
+func (c *ClusterClient) Read(tmpl tuple.Tuple, timeout sim.Duration, cb func(ClusterResult)) uint64 {
+	c.Stats.Reads++
+	op := &clusterOp{reqKey: c.nextKey(), kind: 'r', t: tmpl, timeout: timeout, cb: cb}
+	c.initDeadline(op, timeout)
+	c.launch(op)
+	return op.reqKey
+}
+
+func (c *ClusterClient) initDeadline(op *clusterOp, timeout sim.Duration) {
+	switch {
+	case timeout == 0:
+		op.noBlock = true
+	case timeout == sim.Forever:
+		op.forever = true
+	default:
+		op.deadline = c.k.Now().Add(timeout)
+	}
+}
+
+func (c *ClusterClient) nextKey() uint64 {
+	c.seq++
+	return c.id<<32 | uint64(c.seq)
+}
+
+func (c *ClusterClient) pendingKeys() []uint64 {
+	out := make([]uint64, 0, len(c.pending))
+	for k := range c.pending {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (c *ClusterClient) launch(op *clusterOp) {
+	c.pending[op.reqKey] = op
+	op.lastNode = c.next
+	c.next = (c.next + 1) % len(c.order)
+	c.attempt(op)
+}
+
+// attempt sends the operation to the current node and arms the
+// failover timer. The per-attempt deadline gives the cluster room to
+// resolve a claim and the failure detector room to declare a dead
+// coordinator before the client moves on — failing over faster than
+// the suspicion threshold would only multiply coordinators.
+func (c *ClusterClient) attempt(op *clusterOp) {
+	if c.stopped || c.pending[op.reqKey] != op {
+		return
+	}
+	op.attempts++
+	if c.MaxAttempts > 0 && op.attempts > c.MaxAttempts {
+		c.finish(op, ClusterResult{GaveUp: true})
+		return
+	}
+	node := c.order[op.lastNode]
+	slack := c.cfg.SuspectAfter() + 4*c.cfg.HeartbeatEvery
+	var frame []byte
+	wait := slack
+	switch op.kind {
+	case 'w':
+		frame = cluster.EncodeWrite(op.reqKey, op.lease, op.t, op.attempts > 1)
+	case 't', 'r':
+		remaining := c.remaining(op)
+		if op.kind == 't' {
+			frame = cluster.EncodeTake(op.reqKey, remaining, op.t)
+		} else {
+			frame = cluster.EncodeRead(op.reqKey, remaining, op.t)
+		}
+		if !op.forever && remaining != 0 {
+			wait = remaining + slack
+		}
+	}
+	c.conns[node].Send(frame)
+	ev := c.k.ScheduleName("cluster.clientRetry", wait, func() {
+		if c.stopped || c.pending[op.reqKey] != op {
+			return
+		}
+		c.failover(op)
+	})
+	op.timerEv, op.timerSeq = ev, ev.Seq()
+}
+
+// remaining computes the timeout to send on this attempt. Once a
+// timed operation's own deadline has passed, one final non-blocking
+// attempt still goes out: if an earlier coordinator consumed a tuple
+// for this request, the replicated dedup record answers it — the
+// retry is what converts "consumed but unreported" into a delivery.
+func (c *ClusterClient) remaining(op *clusterOp) sim.Duration {
+	switch {
+	case op.noBlock:
+		return 0
+	case op.forever:
+		return sim.Forever
+	}
+	d := sim.Duration(op.deadline - c.k.Now())
+	if d <= 0 {
+		op.final = true
+		return 0
+	}
+	return d
+}
+
+func (c *ClusterClient) failover(op *clusterOp) {
+	if op.final {
+		// The last-chance probe went unanswered too; concede.
+		c.finish(op, ClusterResult{GaveUp: true})
+		return
+	}
+	c.Stats.Failovers++
+	op.lastNode = (op.lastNode + 1) % len(c.order)
+	c.attempt(op)
+}
+
+func (c *ClusterClient) onReply(b []byte) {
+	if c.stopped {
+		return
+	}
+	r, ok := cluster.DecodeReply(b)
+	if !ok {
+		return
+	}
+	op := c.pending[r.ReqKey]
+	if op == nil {
+		return // stale duplicate from an earlier attempt
+	}
+	switch {
+	case r.OK:
+		c.Stats.Acked++
+		c.finish(op, ClusterResult{OK: true, HasT: r.HasT, T: r.T})
+	case r.Miss:
+		if op.kind != 'w' && !op.noBlock && !op.forever && c.k.Now() < op.deadline {
+			// A node replied miss before the operation's own
+			// deadline (e.g. it refused to start a claim it could
+			// not finish in time). Budget remains: try elsewhere.
+			c.cancelTimer(op)
+			c.failover(op)
+			return
+		}
+		c.Stats.Misses++
+		c.finish(op, ClusterResult{Miss: true})
+	case r.NotServing:
+		c.cancelTimer(op)
+		c.failover(op)
+	}
+}
+
+func (c *ClusterClient) finish(op *clusterOp, res ClusterResult) {
+	if c.pending[op.reqKey] != op {
+		return
+	}
+	delete(c.pending, op.reqKey)
+	c.cancelTimer(op)
+	if res.GaveUp {
+		c.Stats.GaveUp++
+	}
+	if op.cb != nil {
+		op.cb(res)
+	}
+}
+
+func (c *ClusterClient) cancelTimer(op *clusterOp) {
+	if op.timerEv != nil {
+		c.k.CancelSeq(op.timerEv, op.timerSeq)
+		op.timerEv = nil
+	}
+}

@@ -23,6 +23,14 @@
 #                      records {name, clients, conns, ops,
 #                      ops_per_sec, p50_ns, p99_ns, allocs_per_op,
 #                      speedup_vs_baseline}
+#   BENCH_cluster.json replicated-cluster chaos grid: acked
+#                      throughput and failover-recovery time against
+#                      cluster size per fault rate, every cell with a
+#                      forced primary crash; records {name, nodes,
+#                      fault_rate, writes_acked, takes_delivered,
+#                      kills, acked_per_sec, detect_ms, recover_ms,
+#                      violations} — all in simulated time, so the
+#                      records are deterministic
 #
 # Every record carries {name, ns_per_op, allocs_per_op,
 # simulated_seconds}; benches without a simulated-time dimension
@@ -71,4 +79,7 @@ go test -run '^$' -bench '^Benchmark(Space|Linear)' -benchmem \
 echo "==> network serving-plane load generator -> BENCH_net.json"
 go run ./cmd/tpbench -netbench -json | tee /dev/stderr > BENCH_net.json
 
-echo "OK: wrote BENCH_kernel.json BENCH_plan.json BENCH_space.json BENCH_net.json"
+echo "==> replicated-cluster chaos grid -> BENCH_cluster.json"
+go run ./cmd/tpbench -cluster -json | tee /dev/stderr > BENCH_cluster.json
+
+echo "OK: wrote BENCH_kernel.json BENCH_plan.json BENCH_space.json BENCH_net.json BENCH_cluster.json"

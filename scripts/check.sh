@@ -8,8 +8,11 @@
 #   regression smokes that fail if the calendar's schedule/churn
 #   paths, the space's take hot paths, the steady-state TCP receive
 #   path, or the gateway's binary decode->space->respond path
-#   allocate, and a tiny -netbench run of the network serving plane
-#   including the multi-op batch rows (-batchops 8).
+#   allocate, a tiny -netbench run of the network serving plane
+#   including the multi-op batch rows (-batchops 8), and a
+#   cluster-chaos smoke: the replicated 3-node cluster tests under
+#   -race plus a full tpbench -cluster -chaos grid asserting the
+#   invariants (no acked write lost, at-most-once take).
 # Usage: scripts/check.sh   (or: make check)
 #   FUZZTIME=2s scripts/check.sh   # shorten/lengthen the fuzz smoke
 set -eu
@@ -117,5 +120,15 @@ grep -q "tcp/baseline/xml" "$tmp/netbench.txt"
 grep -q "tcp/batched/binary" "$tmp/netbench.txt"
 grep -q "pipe/batched/binary/b8" "$tmp/netbench.txt"
 grep -q "pipe/batched/binary/noaff" "$tmp/netbench.txt"
+
+echo "==> cluster-chaos smoke (3 nodes, forced primary crash, invariants, -race)"
+go test -race -run '^TestClusterChaos' ./internal/core/
+"$tmp/tpbench" -cluster -chaos > "$tmp/cluster.txt"
+grep -q "invariants: no acked write lost" "$tmp/cluster.txt"
+if grep -q "VIOLATION" "$tmp/cluster.txt"; then
+    echo "cluster chaos invariant violations:" >&2
+    cat "$tmp/cluster.txt" >&2
+    exit 1
+fi
 
 echo "OK"
