@@ -20,6 +20,13 @@
 //	                         # the in-proc pipe vs the unbatched baseline
 //	                         # (-clients n -netops n -codec xml|binary,
 //	                         # -json for the BENCH_net.json records)
+//	tpbench -leasebench      # lease-engine churn: timing-wheel batched
+//	                         # expiry vs the per-entry-timer baseline
+//	                         # (-leases n; -json for BENCH_lease.json)
+//	tpbench -notifybench     # durable notify sessions under write
+//	                         # fan-out with a mid-run reconnect
+//	                         # (-sessions n; combinable with -leasebench,
+//	                         # -json folds both into BENCH_lease.json)
 //
 // Independent co-simulations (Table 3 rows, Table 4 cells, sweep
 // samples, planner grid points) fan out across all CPUs by default;
@@ -53,6 +60,10 @@ func main() {
 	clusterFlag := flag.Bool("cluster", false, "run the replicated multi-node cluster under the chaos harness (fault-rate x cluster-size grid, forced primary crash; combine with -json for BENCH_cluster.json)")
 	spacebench := flag.Bool("spacebench", false, "drive the tuplespace serving plane through the mixed write/take/read/wake workload and print per-op latency")
 	netbench := flag.Bool("netbench", false, "drive the network serving plane with closed-loop clients over loopback TCP and the in-proc pipe, against the unbatched baseline")
+	leasebench := flag.Bool("leasebench", false, "churn leases through the timing-wheel engine against the per-entry-timer baseline (-leases n, -json for BENCH_lease.json)")
+	notifybench := flag.Bool("notifybench", false, "drive durable notify sessions under write fan-out with a mid-run reconnect (-sessions n; -json folds into BENCH_lease.json)")
+	leases := flag.Int("leases", 0, "total leases churned by -leasebench (0 = default 10M)")
+	sessions := flag.Int("sessions", 0, "live sessions for -notifybench (0 = default 100k)")
 	clients := flag.Int("clients", 0, "closed-loop client goroutines for -netbench (0 = default 64)")
 	netops := flag.Int("netops", 0, "total requests per -netbench run (0 = default 20000)")
 	codec := flag.String("codec", "", "restrict -netbench batched rows to one codec: xml or binary (default both)")
@@ -84,6 +95,39 @@ func main() {
 		cfg := core.DefaultSpaceBenchConfig()
 		cfg.Shards = *shards
 		fmt.Print(core.RunSpaceBench(cfg).Format())
+		return
+	}
+	if *leasebench || *notifybench {
+		var leaseRes *core.LeaseBenchResult
+		var notifyRes *core.NotifyBenchResult
+		if *leasebench {
+			cfg := core.LeaseBenchConfig{Leases: *leases}
+			r := core.RunLeaseBench(cfg)
+			leaseRes = &r
+		}
+		if *notifybench {
+			cfg := core.NotifyBenchConfig{Sessions: *sessions}
+			r := core.RunNotifyBench(cfg)
+			notifyRes = &r
+		}
+		if *jsonOut {
+			js, err := core.LeaseBenchJSON(leaseRes, notifyRes)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(js)
+		} else {
+			if leaseRes != nil {
+				fmt.Print(leaseRes.Format())
+			}
+			if notifyRes != nil {
+				fmt.Print(notifyRes.Format())
+			}
+		}
+		if notifyRes != nil && notifyRes.Failed() {
+			os.Exit(1)
+		}
 		return
 	}
 	if *netbench {

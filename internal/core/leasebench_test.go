@@ -1,0 +1,76 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestLeaseBenchSmall(t *testing.T) {
+	// Tiny churn: exercises arm, renew (both engines), the drain's
+	// cancel+sweep paths and the books check (runLeaseChurn panics if
+	// expired+cancelled != live).
+	res := RunLeaseBench(LeaseBenchConfig{Leases: 3000, BaselineLeases: 500, Shards: 2})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want wheel + per-timer", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Live != 3000 {
+			t.Fatalf("%s: live = %d, want 3000", row.Engine, row.Live)
+		}
+		if row.Expired+row.Cancelled != 3000 {
+			t.Fatalf("%s: books: expired %d + cancelled %d != 3000",
+				row.Engine, row.Expired, row.Cancelled)
+		}
+		if row.LeasesPerSec <= 0 {
+			t.Fatalf("%s: leases/sec = %v", row.Engine, row.LeasesPerSec)
+		}
+	}
+	if res.Rows[0].Engine != "wheel" || res.Rows[1].Engine != "per-timer" {
+		t.Fatalf("engines = %q, %q", res.Rows[0].Engine, res.Rows[1].Engine)
+	}
+	if res.Speedup <= 0 {
+		t.Fatalf("speedup = %v", res.Speedup)
+	}
+}
+
+func TestNotifyBenchSmall(t *testing.T) {
+	res := RunNotifyBench(NotifyBenchConfig{Sessions: 60, Conns: 2, Writes: 40, GroupSize: 10})
+	if res.Failed() {
+		t.Fatalf("exactly-once violated: %+v", res)
+	}
+	if res.Delivered != res.Expected || res.Expected == 0 {
+		t.Fatalf("delivered %d/%d", res.Delivered, res.Expected)
+	}
+	if res.VictimGot != res.VictimWant {
+		t.Fatalf("victim %d/%d across reconnect", res.VictimGot, res.VictimWant)
+	}
+}
+
+func TestLeaseBenchJSON(t *testing.T) {
+	lease := &LeaseBenchResult{
+		Rows: []LeaseBenchRow{
+			{Engine: "wheel", Live: 10, Renews: 10, LeasesPerSec: 100},
+			{Engine: "per-timer", Live: 10, Renews: 5, LeasesPerSec: 10},
+		},
+		Speedup: 10,
+	}
+	notify := &NotifyBenchResult{Delivered: 7, EventsPerSec: 3}
+	notify.Config.Sessions = 4
+	out, err := LeaseBenchJSON(lease, notify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal([]byte(out), &recs); err != nil {
+		t.Fatalf("BENCH_lease.json is not valid JSON: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	if recs[0]["name"] != "leasebench/wheel" || recs[0]["speedup_vs_baseline"] != 10.0 {
+		t.Fatalf("wheel record = %v", recs[0])
+	}
+	if recs[2]["name"] != "notifybench" || recs[2]["sessions"] != 4.0 {
+		t.Fatalf("notify record = %v", recs[2])
+	}
+}

@@ -1,0 +1,455 @@
+package sim
+
+import "math/bits"
+
+// wheel.go implements a hierarchical timing wheel: the lease engine's
+// replacement for one kernel event (or one runtime timer) per leased
+// entry. The design transplants the calendar's free-list philosophy
+// (PR 1) to deadlines: timers are intrusive — the WheelTimer node is
+// embedded in its owner, so arming, cancelling and expiring allocate
+// nothing — and a whole slot of timers is unlinked in one splice, so
+// expiry cost is paid per batch, not per entry.
+//
+// Geometry: wheelLevels levels of wheelSlots slots each, with a tick
+// of 2^wheelTickBits nanoseconds (~1.05 ms). Level 0 resolves single
+// ticks (a ~269 ms window); each higher level covers wheelSlots times
+// the span of the one below, so four levels reach 2^52 ns ≈ 52 days.
+// Deadlines beyond the top level wait on an overflow list that is
+// re-examined whenever the top level cascades — in practice "never"
+// for realistic leases, which the paper sizes in seconds.
+//
+// Precision contract: the wheel quantizes NOTHING. AdvanceTo(now)
+// expires exactly the timers with deadline <= now, and NextWake
+// returns either an exact earliest deadline (when it is within the
+// level-0 window) or a conservative cascade boundary strictly before
+// any expiry can be missed. A driver that sleeps to NextWake and then
+// calls AdvanceTo therefore fires every timer at its exact deadline —
+// which is what keeps a simulation driving leases through the wheel
+// byte-identical to one driving a timer per lease.
+type Wheel struct {
+	cur       int64 // current tick: every timer with tickOf(deadline) < cur has been delivered
+	armed     int   // timers resident anywhere in the wheel
+	levels    [wheelLevels][wheelSlots]timerList
+	lvlN      [wheelLevels]int        // timers resident per level
+	occ0      [wheelSlots / 64]uint64 // level-0 slot occupancy bitmap
+	due       timerList               // timers added with an already-passed tick
+	overflow  timerList               // deadlines beyond the top-level horizon
+	overflowN int
+}
+
+const (
+	wheelTickBits = 20 // 2^20 ns ≈ 1.05 ms per tick
+	wheelTick     = Duration(1) << wheelTickBits
+	wheelLevels   = 4
+	wheelSlotBits = 8
+	wheelSlots    = 1 << wheelSlotBits
+	wheelMask     = wheelSlots - 1
+)
+
+// wheelHorizon is the number of ticks the in-wheel levels can hold.
+const wheelHorizon = int64(1) << (wheelLevels * wheelSlotBits)
+
+// WheelTimer is one deadline, embedded intrusively in its owner (a
+// space entry, for the lease engine). Owner carries the back-pointer
+// the expiry sweep needs; it is set once at construction and never
+// touched by the wheel. The zero value is an unarmed timer.
+type WheelTimer struct {
+	deadline   Time
+	next, prev *WheelTimer
+	list       *timerList // nil while unarmed
+	lvl        int8       // resident level; -1 due, -2 overflow
+	slot       int16      // resident slot (levels only)
+	Owner      any
+}
+
+// Deadline reports the timer's absolute expiry time (meaningful while
+// armed, or on a just-expired timer handed out by AdvanceTo).
+func (t *WheelTimer) Deadline() Time { return t.deadline }
+
+// Armed reports whether the timer is currently in a wheel.
+func (t *WheelTimer) Armed() bool { return t.list != nil }
+
+// Next walks an expired chain returned by AdvanceTo. It is only
+// meaningful on timers of such a chain (an armed timer's link fields
+// belong to its slot list).
+func (t *WheelTimer) Next() *WheelTimer { return t.next }
+
+// timerList is an intrusive doubly-linked list of timers; push is
+// front-insertion, so per-slot order is reverse arming order (expiry
+// batches do not promise an order — the lease sweep treats every
+// member of a batch as one instant).
+type timerList struct {
+	head *WheelTimer
+}
+
+func (l *timerList) push(t *WheelTimer) {
+	t.prev = nil
+	t.next = l.head
+	if l.head != nil {
+		l.head.prev = t
+	}
+	l.head = t
+	t.list = l
+}
+
+func (l *timerList) remove(t *WheelTimer) {
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		l.head = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	}
+	t.next, t.prev, t.list = nil, nil, nil
+}
+
+// NewWheel returns a wheel whose "no expiries before" watermark is
+// start (timers armed earlier than start are delivered on the first
+// advance).
+func NewWheel(start Time) *Wheel {
+	return &Wheel{cur: tickOf(start)}
+}
+
+func tickOf(t Time) int64 { return int64(t) >> wheelTickBits }
+
+// Len reports the number of armed timers.
+func (w *Wheel) Len() int { return w.armed }
+
+// Add arms t to fire at deadline. t must not already be armed (Cancel
+// first, or use Reset). O(1), allocation-free.
+func (w *Wheel) Add(t *WheelTimer, deadline Time) {
+	t.deadline = deadline
+	w.place(t)
+	w.armed++
+}
+
+// place links t into the list its deadline selects relative to w.cur.
+func (w *Wheel) place(t *WheelTimer) {
+	tick := tickOf(t.deadline)
+	dt := tick - w.cur
+	switch {
+	case dt < 0:
+		t.lvl = -1
+		w.due.push(t)
+	case dt >= wheelHorizon:
+		t.lvl = -2
+		w.overflow.push(t)
+		w.overflowN++
+	default:
+		lvl := 0
+		for dt >= wheelSlots {
+			dt >>= wheelSlotBits
+			lvl++
+		}
+		slot := int((tick >> (lvl * wheelSlotBits)) & wheelMask)
+		t.lvl, t.slot = int8(lvl), int16(slot)
+		l := &w.levels[lvl][slot]
+		l.push(t)
+		w.lvlN[lvl]++
+		if lvl == 0 {
+			w.occ0[slot>>6] |= 1 << (slot & 63)
+		}
+	}
+}
+
+// Cancel disarms t. It reports whether the timer was armed. O(1),
+// allocation-free; cancelling an unarmed (fired or never-armed) timer
+// is a no-op.
+func (w *Wheel) Cancel(t *WheelTimer) bool {
+	l := t.list
+	if l == nil {
+		return false
+	}
+	l.remove(t)
+	w.armed--
+	switch t.lvl {
+	case -1:
+	case -2:
+		w.overflowN--
+	default:
+		w.lvlN[t.lvl]--
+		if t.lvl == 0 && l.head == nil {
+			w.occ0[t.slot>>6] &^= 1 << (t.slot & 63)
+		}
+	}
+	return true
+}
+
+// Reset re-arms t to a new deadline (arming it if it was not). When
+// the new deadline maps to the slot the timer already occupies, the
+// move is a single deadline store with no list surgery — the common
+// case for long-lease renewal storms, since a slot at the level a
+// minutes-to-hours deadline lives in spans minutes to hours itself.
+// Slot residency only encodes the tick range (level 0: one tick;
+// higher levels re-place by exact deadline on cascade), so updating
+// the deadline in place preserves the precision contract.
+func (w *Wheel) Reset(t *WheelTimer, deadline Time) {
+	if t.list != nil && t.lvl >= 0 {
+		tick := tickOf(deadline)
+		dt := tick - w.cur
+		if dt >= 0 && dt < wheelHorizon {
+			lvl := 0
+			for dt >= wheelSlots {
+				dt >>= wheelSlotBits
+				lvl++
+			}
+			if int8(lvl) == t.lvl && int16((tick>>(lvl*wheelSlotBits))&wheelMask) == t.slot {
+				t.deadline = deadline
+				return
+			}
+		}
+	}
+	w.Cancel(t)
+	w.Add(t, deadline)
+}
+
+// AdvanceTo moves the wheel's clock to now and returns the chain of
+// expired timers — exactly those with deadline <= now — linked via
+// next (prev is cleared; walk with Next… the caller owns the chain).
+// The chain's timers are unarmed. Cost is proportional to slots
+// crossed while any timer is resident; empty stretches are skipped in
+// O(1) per cascade window.
+func (w *Wheel) AdvanceTo(now Time) *WheelTimer {
+	var exp expiredChain
+	exp.takeAll(&w.due)
+	w.armed -= exp.lastTaken
+	target := tickOf(now)
+	for {
+		if w.cur >= target {
+			break
+		}
+		if w.armed == 0 {
+			w.cur = target
+			break
+		}
+		if w.lvlN[0] == 0 {
+			// Nothing can expire before the next cascade boundary: jump
+			// there (or to the target, whichever is first).
+			boundary := ((w.cur >> wheelSlotBits) + 1) << wheelSlotBits
+			if boundary > target {
+				w.cur = target
+				break
+			}
+			w.cur = boundary
+			w.cascade()
+			continue
+		}
+		// Level 0 has residents: jump to the next occupied slot within
+		// this cascade window (all its timers share one tick, fully due
+		// while that tick < target).
+		idx := w.nextOcc0(int(w.cur & wheelMask))
+		boundary := ((w.cur >> wheelSlotBits) + 1) << wheelSlotBits
+		if idx < 0 {
+			// Occupied slots exist only in the wrapped (next-window) part.
+			if boundary > target {
+				w.cur = target
+				break
+			}
+			w.cur = boundary
+			w.cascade()
+			continue
+		}
+		tick := (w.cur &^ int64(wheelMask)) + int64(idx)
+		if tick >= target {
+			w.cur = target
+			break
+		}
+		if tick >= boundary {
+			w.cur = boundary
+			w.cascade()
+			continue
+		}
+		w.cur = tick
+		slot := &w.levels[0][idx]
+		exp.takeAll(slot)
+		w.lvlN[0] -= exp.lastTaken
+		w.armed -= exp.lastTaken
+		w.occ0[idx>>6] &^= 1 << (idx & 63)
+		w.cur = tick + 1
+		if w.cur&wheelMask == 0 {
+			w.cascade()
+		}
+	}
+	// The target tick itself may hold timers whose sub-tick deadlines
+	// straddle now: deliver only the due part.
+	if w.lvlN[0] > 0 {
+		idx := int(target & wheelMask)
+		if w.occ0[idx>>6]&(1<<(idx&63)) != 0 {
+			slot := &w.levels[0][idx]
+			for t := slot.head; t != nil; {
+				nxt := t.next
+				if t.deadline <= now {
+					slot.remove(t)
+					w.lvlN[0]--
+					w.armed--
+					exp.push(t)
+				}
+				t = nxt
+			}
+			if slot.head == nil {
+				w.occ0[idx>>6] &^= 1 << (idx & 63)
+			}
+		}
+	}
+	return exp.head
+}
+
+// nextOcc0 returns the first occupied level-0 slot index at or after
+// from within the current cascade window, or -1.
+func (w *Wheel) nextOcc0(from int) int {
+	limit := (int(w.cur&wheelMask) | wheelMask) // last index of this window
+	for idx := from; idx <= limit; {
+		word := w.occ0[idx>>6] >> (idx & 63)
+		if word != 0 {
+			idx += bits.TrailingZeros64(word)
+			if idx > limit {
+				return -1
+			}
+			return idx
+		}
+		idx = (idx | 63) + 1
+	}
+	return -1
+}
+
+// cascade redistributes, for every level whose window w.cur just
+// crossed, the slot of timers that has become current, moving each
+// timer to its exact lower-level home. Called with w.cur at a
+// multiple of wheelSlots.
+func (w *Wheel) cascade() {
+	for lvl := 1; lvl < wheelLevels; lvl++ {
+		shift := lvl * wheelSlotBits
+		if w.cur&((int64(1)<<shift)-1) != 0 {
+			return
+		}
+		if w.lvlN[lvl] > 0 {
+			slot := int((w.cur >> shift) & wheelMask)
+			l := &w.levels[lvl][slot]
+			for t := l.head; t != nil; {
+				nxt := t.next
+				l.remove(t)
+				w.lvlN[lvl]--
+				w.armed--
+				w.place(t)
+				w.armed++
+				t = nxt
+			}
+		}
+	}
+	// Top-level wrap: the overflow list may now have entries within
+	// the horizon.
+	if w.cur&((int64(1)<<(wheelLevels*wheelSlotBits))-1) == 0 && w.overflowN > 0 {
+		for t := w.overflow.head; t != nil; {
+			nxt := t.next
+			if tickOf(t.deadline)-w.cur < wheelHorizon {
+				w.overflow.remove(t)
+				w.overflowN--
+				w.armed--
+				w.place(t)
+				w.armed++
+			}
+			t = nxt
+		}
+	}
+}
+
+// NextWake reports when the driver should next call AdvanceTo: the
+// exact earliest deadline when it lies in the level-0 window (or has
+// already passed), otherwise a conservative earlier time — a cascade
+// boundary — at which the wheel must be advanced so finer levels can
+// take over. ok is false when no timer is armed.
+func (w *Wheel) NextWake() (at Time, ok bool) {
+	if w.armed == 0 {
+		return 0, false
+	}
+	if w.due.head != nil {
+		return w.due.head.deadline, true // already past; fire ASAP
+	}
+	if w.lvlN[0] > 0 {
+		// Exact: scan the first occupied slot (all residents share a
+		// tick; their sub-tick minimum is the true earliest deadline in
+		// the window — higher levels are strictly later).
+		idx := w.nextOcc0(int(w.cur & wheelMask))
+		if idx < 0 {
+			idx = w.nextOcc0(0) // wrapped part of the window
+		}
+		if idx >= 0 {
+			best := Time(0)
+			for t := w.levels[0][idx].head; t != nil; t = t.next {
+				if best == 0 || t.deadline < best {
+					best = t.deadline
+				}
+			}
+			return best, true
+		}
+	}
+	// Only higher levels (or overflow) are occupied: wake at the next
+	// cascade boundary of the lowest occupied level. Waking early is
+	// harmless — AdvanceTo cascades and the re-armed NextWake refines.
+	for lvl := 1; lvl < wheelLevels; lvl++ {
+		if w.lvlN[lvl] > 0 {
+			shift := lvl * wheelSlotBits
+			boundary := ((w.cur >> shift) + 1) << shift
+			return Time(boundary << wheelTickBits), true
+		}
+	}
+	boundary := ((w.cur >> (wheelLevels * wheelSlotBits)) + 1) << (wheelLevels * wheelSlotBits)
+	return Time(boundary << wheelTickBits), true
+}
+
+// DrainAll unlinks every armed timer and returns the wheel to its
+// empty state (the crash path: entries vanish wholesale, and their
+// embedded timers must not be left pointing into live slots).
+func (w *Wheel) DrainAll() {
+	clear := func(l *timerList) {
+		for t := l.head; t != nil; {
+			nxt := t.next
+			t.next, t.prev, t.list = nil, nil, nil
+			t = nxt
+		}
+		l.head = nil
+	}
+	clear(&w.due)
+	clear(&w.overflow)
+	for lvl := range w.levels {
+		for s := range w.levels[lvl] {
+			clear(&w.levels[lvl][s])
+		}
+		w.lvlN[lvl] = 0
+	}
+	for i := range w.occ0 {
+		w.occ0[i] = 0
+	}
+	w.armed, w.overflowN = 0, 0
+}
+
+// expiredChain accumulates expired timers during one advance.
+type expiredChain struct {
+	head      *WheelTimer
+	lastTaken int // timers moved by the most recent takeAll
+}
+
+func (c *expiredChain) push(t *WheelTimer) {
+	t.prev = nil
+	t.next = c.head
+	c.head = t
+}
+
+// takeAll splices every timer of l onto the chain, unarming them.
+// Wheel-side accounting (armed, per-level counts, bitmaps) is the
+// caller's responsibility, via lastTaken.
+func (c *expiredChain) takeAll(l *timerList) {
+	n := 0
+	for t := l.head; t != nil; {
+		nxt := t.next
+		t.list = nil
+		t.next = c.head
+		t.prev = nil
+		c.head = t
+		n++
+		t = nxt
+	}
+	l.head = nil
+	c.lastTaken = n
+}

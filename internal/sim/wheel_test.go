@@ -1,0 +1,451 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// wheelOracle is the naive reference: a flat set of (timer, deadline)
+// pairs, expired by linear scan. The wheel must agree with it exactly
+// — same survivors, same expiry sets — under any interleaving.
+type wheelOracle struct {
+	armed map[*WheelTimer]Time
+}
+
+func newWheelOracle() *wheelOracle {
+	return &wheelOracle{armed: make(map[*WheelTimer]Time)}
+}
+
+func (o *wheelOracle) add(t *WheelTimer, d Time) { o.armed[t] = d }
+func (o *wheelOracle) cancel(t *WheelTimer) bool {
+	_, ok := o.armed[t]
+	delete(o.armed, t)
+	return ok
+}
+func (o *wheelOracle) advance(now Time) map[*WheelTimer]Time {
+	exp := make(map[*WheelTimer]Time)
+	for t, d := range o.armed {
+		if d <= now {
+			exp[t] = d
+			delete(o.armed, t)
+		}
+	}
+	return exp
+}
+
+func collectChain(head *WheelTimer) []*WheelTimer {
+	var out []*WheelTimer
+	for t := head; t != nil; t = t.next {
+		out = append(out, t)
+	}
+	return out
+}
+
+func TestWheelBasicOrder(t *testing.T) {
+	w := NewWheel(0)
+	timers := make([]WheelTimer, 5)
+	deadlines := []Time{
+		Time(Millisecond),
+		Time(3 * Millisecond),
+		Time(500 * Microsecond), // sub-tick
+		Time(Second),
+		Time(90 * Second), // level >= 1
+	}
+	for i := range timers {
+		timers[i].Owner = i
+		w.Add(&timers[i], deadlines[i])
+	}
+	if w.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", w.Len())
+	}
+
+	// Advance just past the sub-tick deadline: only timer 2 fires.
+	got := collectChain(w.AdvanceTo(Time(600 * Microsecond)))
+	if len(got) != 1 || got[0] != &timers[2] {
+		t.Fatalf("first advance expired %d timers, want exactly timer 2", len(got))
+	}
+	// Exactly at a deadline: inclusive.
+	got = collectChain(w.AdvanceTo(Time(Millisecond)))
+	if len(got) != 1 || got[0] != &timers[0] {
+		t.Fatalf("advance to 1ms expired wrong set (n=%d)", len(got))
+	}
+	// Far jump over the rest.
+	got = collectChain(w.AdvanceTo(Time(2 * Minute)))
+	if len(got) != 3 {
+		t.Fatalf("final advance expired %d, want 3", len(got))
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", w.Len())
+	}
+}
+
+func TestWheelCancel(t *testing.T) {
+	w := NewWheel(0)
+	var a, b WheelTimer
+	w.Add(&a, Time(10*Millisecond))
+	w.Add(&b, Time(10*Millisecond))
+	if !w.Cancel(&a) {
+		t.Fatal("Cancel(armed) = false")
+	}
+	if w.Cancel(&a) {
+		t.Fatal("Cancel(unarmed) = true")
+	}
+	got := collectChain(w.AdvanceTo(Time(Second)))
+	if len(got) != 1 || got[0] != &b {
+		t.Fatalf("cancelled timer fired (chain len %d)", len(got))
+	}
+}
+
+func TestWheelPastDueAdd(t *testing.T) {
+	w := NewWheel(Time(10 * Second))
+	var a WheelTimer
+	w.Add(&a, Time(Second)) // far in the past
+	if at, ok := w.NextWake(); !ok || at > Time(10*Second) {
+		t.Fatalf("NextWake for past-due timer = (%v, %v), want a past time", at, ok)
+	}
+	got := collectChain(w.AdvanceTo(Time(10 * Second)))
+	if len(got) != 1 || got[0] != &a {
+		t.Fatal("past-due timer not expired on first advance")
+	}
+}
+
+func TestWheelOverflowReentry(t *testing.T) {
+	w := NewWheel(0)
+	var far WheelTimer
+	// Beyond the 4-level horizon (~52 days).
+	deadline := Time(int64(wheelHorizon+5) << wheelTickBits)
+	w.Add(&far, deadline)
+	if w.overflowN != 1 {
+		t.Fatalf("overflowN = %d, want 1", w.overflowN)
+	}
+	// Advancing to the deadline must pull it out of overflow and fire it.
+	got := collectChain(w.AdvanceTo(deadline))
+	if len(got) != 1 || got[0] != &far {
+		t.Fatal("overflow timer not expired")
+	}
+	if w.Len() != 0 || w.overflowN != 0 {
+		t.Fatalf("wheel not empty after overflow expiry: armed=%d overflow=%d", w.Len(), w.overflowN)
+	}
+}
+
+func TestWheelNextWakeExactInWindow(t *testing.T) {
+	w := NewWheel(0)
+	var a, b WheelTimer
+	w.Add(&a, Time(7*Millisecond+123))
+	w.Add(&b, Time(200*Millisecond))
+	at, ok := w.NextWake()
+	if !ok || at != Time(7*Millisecond+123) {
+		t.Fatalf("NextWake = (%v, %v), want exact 7ms+123ns", at, ok)
+	}
+	w.Cancel(&a)
+	at, ok = w.NextWake()
+	if !ok || at != Time(200*Millisecond) {
+		t.Fatalf("NextWake after cancel = (%v, %v), want 200ms", at, ok)
+	}
+}
+
+// TestWheelNextWakeNeverLate drives a wheel purely via NextWake →
+// AdvanceTo(NextWake) and checks every timer fires exactly at its
+// deadline (the property the sim runtime's determinism rests on).
+func TestWheelNextWakeNeverLate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := NewWheel(0)
+	const n = 2000
+	timers := make([]WheelTimer, n)
+	want := make([]Time, n)
+	for i := range timers {
+		// Spread across ~6 orders of magnitude: sub-tick to ~2.8h.
+		d := Time(1 + rng.Int63n(int64(10*Second)*1000))
+		timers[i].Owner = i
+		want[i] = d
+		w.Add(&timers[i], d)
+	}
+	fired := make(map[int]Time)
+	for {
+		at, ok := w.NextWake()
+		if !ok {
+			break
+		}
+		for _, ti := range collectChain(w.AdvanceTo(at)) {
+			fired[ti.Owner.(int)] = at
+		}
+	}
+	if len(fired) != n {
+		t.Fatalf("fired %d timers, want %d", len(fired), n)
+	}
+	for i, d := range want {
+		if fired[i] != d {
+			t.Fatalf("timer %d fired at %v, want exactly %v", i, fired[i], d)
+		}
+	}
+}
+
+// TestWheelVsOracle randomly interleaves add/cancel/advance against
+// the linear-scan oracle and demands identical expiry sets and
+// survivors at every step.
+func TestWheelVsOracle(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWheel(0)
+		o := newWheelOracle()
+		pool := make([]WheelTimer, 4096)
+		var free []*WheelTimer
+		for i := range pool {
+			free = append(free, &pool[i])
+		}
+		now := Time(0)
+		for step := 0; step < 6000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5 && len(free) > 0: // add
+				ti := free[len(free)-1]
+				free = free[:len(free)-1]
+				var d Time
+				switch rng.Intn(4) {
+				case 0: // near, sub-window
+					d = now + Time(rng.Int63n(int64(100*Millisecond)))
+				case 1: // mid
+					d = now + Time(rng.Int63n(int64(10*Minute)))
+				case 2: // far / overflow-ish
+					d = now + Time(rng.Int63n(int64(wheelHorizon)<<wheelTickBits))*2
+				case 3: // past or exactly-now
+					d = now - Time(rng.Int63n(int64(Second)))
+				}
+				if d < 0 {
+					d = 0
+				}
+				w.Add(ti, d)
+				o.add(ti, d)
+			case op < 6: // reset a random armed timer
+				var victim *WheelTimer
+				for ti := range o.armed {
+					victim = ti
+					break
+				}
+				if victim == nil {
+					continue
+				}
+				var d Time
+				switch rng.Intn(3) {
+				case 0: // tiny delta: often stays in the same slot (fast path)
+					d = victim.deadline + Time(rng.Int63n(int64(wheelTick)))
+				case 1: // near-now
+					d = now + Time(rng.Int63n(int64(Second)))
+				default: // anywhere, including past and overflow
+					d = now + Time(rng.Int63n(int64(wheelHorizon)<<wheelTickBits)) - Time(Minute)
+				}
+				if d < 0 {
+					d = 0
+				}
+				w.Reset(victim, d)
+				o.add(victim, d)
+			case op < 7: // cancel a random armed timer
+				var victim *WheelTimer
+				for ti := range o.armed {
+					victim = ti
+					break
+				}
+				if victim == nil {
+					continue
+				}
+				gw := w.Cancel(victim)
+				go_ := o.cancel(victim)
+				if gw != go_ {
+					t.Fatalf("seed %d step %d: Cancel=%v oracle=%v", seed, step, gw, go_)
+				}
+				free = append(free, victim)
+			default: // advance
+				var dt Time
+				switch rng.Intn(3) {
+				case 0:
+					dt = Time(rng.Int63n(int64(5 * Millisecond)))
+				case 1:
+					dt = Time(rng.Int63n(int64(30 * Second)))
+				default:
+					dt = Time(rng.Int63n(int64(30 * Minute)))
+				}
+				now += dt
+				wantExp := o.advance(now)
+				gotChain := collectChain(w.AdvanceTo(now))
+				if len(gotChain) != len(wantExp) {
+					t.Fatalf("seed %d step %d now=%v: wheel expired %d, oracle %d",
+						seed, step, now, len(gotChain), len(wantExp))
+				}
+				for _, ti := range gotChain {
+					if _, ok := wantExp[ti]; !ok {
+						t.Fatalf("seed %d step %d: wheel expired a timer the oracle kept (deadline %v, now %v)",
+							seed, step, ti.deadline, now)
+					}
+					if ti.Armed() {
+						t.Fatalf("expired timer still marked armed")
+					}
+					free = append(free, ti)
+				}
+			}
+			if w.Len() != len(o.armed) {
+				t.Fatalf("seed %d step %d: Len=%d oracle=%d", seed, step, w.Len(), len(o.armed))
+			}
+		}
+	}
+}
+
+func TestWheelDrainAll(t *testing.T) {
+	w := NewWheel(0)
+	timers := make([]WheelTimer, 100)
+	for i := range timers {
+		w.Add(&timers[i], Time(int64(i+1)*int64(137*Millisecond)))
+	}
+	w.DrainAll()
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after DrainAll", w.Len())
+	}
+	for i := range timers {
+		if timers[i].Armed() {
+			t.Fatalf("timer %d still armed after DrainAll", i)
+		}
+	}
+	if got := collectChain(w.AdvanceTo(Time(Hour))); got != nil {
+		t.Fatalf("drained wheel expired %d timers", len(got))
+	}
+	// The wheel is reusable after a drain.
+	var a WheelTimer
+	w.Add(&a, Time(Hour+Second))
+	if got := collectChain(w.AdvanceTo(Time(2 * Hour))); len(got) != 1 {
+		t.Fatal("re-armed timer after DrainAll did not fire")
+	}
+}
+
+func TestWheelReset(t *testing.T) {
+	w := NewWheel(0)
+	var a WheelTimer
+	w.Add(&a, Time(Second))
+	w.Reset(&a, Time(Minute))
+	if got := collectChain(w.AdvanceTo(Time(2 * Second))); got != nil {
+		t.Fatal("timer fired at old deadline after Reset")
+	}
+	if got := collectChain(w.AdvanceTo(Time(Minute))); len(got) != 1 {
+		t.Fatal("timer did not fire at reset deadline")
+	}
+}
+
+// TestWheelDeadlineSpread verifies cascade correctness at every level
+// boundary: deadlines sorted ascending must come out in ascending
+// batches regardless of which level they start at.
+func TestWheelDeadlineSpread(t *testing.T) {
+	w := NewWheel(0)
+	var deadlines []Time
+	for shift := 0; shift < 50; shift += 3 {
+		deadlines = append(deadlines, Time(int64(1)<<shift), Time(int64(1)<<shift)+1)
+	}
+	sort.Slice(deadlines, func(i, j int) bool { return deadlines[i] < deadlines[j] })
+	timers := make([]WheelTimer, len(deadlines))
+	for i := range timers {
+		timers[i].Owner = i
+		w.Add(&timers[i], deadlines[i])
+	}
+	var lastAt Time = -1
+	fired := 0
+	for {
+		at, ok := w.NextWake()
+		if !ok {
+			break
+		}
+		if at <= lastAt {
+			t.Fatalf("NextWake went backwards: %v after %v", at, lastAt)
+		}
+		for _, ti := range collectChain(w.AdvanceTo(at)) {
+			if ti.Deadline() != at {
+				t.Fatalf("timer owner=%v fired at %v, deadline %v", ti.Owner, at, ti.Deadline())
+			}
+			fired++
+		}
+		lastAt = at
+	}
+	if fired != len(timers) {
+		t.Fatalf("fired %d of %d timers", fired, len(timers))
+	}
+}
+
+// Benchmarks — the 0-alloc contract for insert/cancel/expire is gated
+// by scripts/check.sh.
+
+func BenchmarkWheelInsert(b *testing.B) {
+	w := NewWheel(0)
+	timers := make([]WheelTimer, b.N)
+	rng := rand.New(rand.NewSource(1))
+	ds := make([]Time, 4096)
+	for i := range ds {
+		ds[i] = Time(rng.Int63n(int64(10 * Minute)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Add(&timers[i], ds[i&4095])
+	}
+}
+
+func BenchmarkWheelCancel(b *testing.B) {
+	w := NewWheel(0)
+	timers := make([]WheelTimer, b.N)
+	rng := rand.New(rand.NewSource(1))
+	for i := range timers {
+		w.Add(&timers[i], Time(rng.Int63n(int64(10*Minute))))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Cancel(&timers[i])
+	}
+}
+
+// BenchmarkWheelExpire measures batched expiry: arm b.N timers across
+// a 10-minute span, then advance through all of them; ns/op is the
+// full per-timer cost of delivery including cascades.
+func BenchmarkWheelExpire(b *testing.B) {
+	w := NewWheel(0)
+	timers := make([]WheelTimer, b.N)
+	rng := rand.New(rand.NewSource(1))
+	for i := range timers {
+		w.Add(&timers[i], Time(rng.Int63n(int64(10*Minute))))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := Time(0)
+	n := 0
+	for w.Len() > 0 {
+		at, ok := w.NextWake()
+		if !ok {
+			break
+		}
+		if at > now {
+			now = at
+		}
+		for t := w.AdvanceTo(now); t != nil; t = t.next {
+			n++
+		}
+	}
+	if n != b.N {
+		b.Fatalf("expired %d of %d", n, b.N)
+	}
+}
+
+// BenchmarkWheelChurn is the steady-state shape the lease engine sees:
+// a resident population with adds and cancels at matched rates.
+func BenchmarkWheelChurn(b *testing.B) {
+	const resident = 1 << 16
+	w := NewWheel(0)
+	timers := make([]WheelTimer, resident)
+	rng := rand.New(rand.NewSource(1))
+	now := Time(0)
+	for i := range timers {
+		w.Add(&timers[i], now+Time(rng.Int63n(int64(Minute))))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ti := &timers[i&(resident-1)]
+		w.Cancel(ti)
+		now += 100
+		w.Add(ti, now+Time(int64(Second)+int64(i%977)*int64(Millisecond)))
+	}
+}

@@ -36,6 +36,11 @@ type entry struct {
 	id        uint64
 	t         tuple.Tuple
 	writtenAt sim.Time
+
+	// exp is the entry's lease deadline, embedded so arming and
+	// cancelling never allocate (wheel mode); cancelExp is the legacy
+	// per-entry runtime timer (WithLegacyLeaseTimers only).
+	exp       sim.WheelTimer
 	cancelExp func()
 
 	vh, kk, sk uint64 // value / kind / shape signatures of t
@@ -153,11 +158,19 @@ type shard struct {
 	slFree           *subList
 	allHead, allTail *subNode
 
+	// Lease engine (see lease.go): the shard's deadline wheel, its one
+	// re-armable sweep timer, the absolute time the timer is armed for
+	// (0 = unarmed), and the reused batch-journal scratch.
+	wheel   *sim.Wheel
+	sweep   Timer
+	sweepAt sim.Time
+	expIDs  []uint64
+
 	stats Stats
 }
 
 func newShard(sp *Space) *shard {
-	return &shard{
+	sh := &shard{
 		sp:       sp,
 		byID:     make(map[uint64]*entry),
 		kinds:    make(map[uint64]*kindBucket),
@@ -167,6 +180,11 @@ func newShard(sp *Space) *shard {
 		subKind:  make(map[uint64]*subList),
 		subShape: make(map[uint64]*subList),
 	}
+	if !sp.legacyTimers {
+		sh.wheel = sim.NewWheel(sp.rt.Now())
+		sh.sweep = sp.rt.AfterBulk(sh.runSweep)
+	}
+	return sh
 }
 
 func (sh *shard) newValueBucket() *valueBucket {
@@ -323,6 +341,17 @@ func (sh *shard) insertSorted(e *entry) {
 // its expiry timer and journalling the removal; the caller holds the
 // shard lock. It reports whether the entry was present.
 func (sh *shard) unlink(e *entry) bool {
+	if !sh.unlinkNoLog(e) {
+		return false
+	}
+	sh.sp.logR(e.id)
+	return true
+}
+
+// unlinkNoLog is unlink without the journal write: the expiry sweep
+// uses it to batch a whole slot's removal records into one journal
+// pass. Every other caller wants unlink.
+func (sh *shard) unlinkNoLog(e *entry) bool {
 	if !e.linked {
 		return false
 	}
@@ -370,11 +399,7 @@ func (sh *shard) unlink(e *entry) bool {
 	e.linked = false
 	delete(sh.byID, e.id)
 	sh.size--
-	if e.cancelExp != nil {
-		e.cancelExp()
-		e.cancelExp = nil
-	}
-	sh.sp.logR(e.id)
+	sh.disarmLease(e)
 	return true
 }
 

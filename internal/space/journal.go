@@ -123,6 +123,27 @@ func (j *Journal) logWrite(id uint64, t tuple.Tuple, lease sim.Duration) {
 	}
 }
 
+// logRemoveBatch appends one removal record per id under a single
+// lock acquisition — the expiry sweep's amortization of journal cost.
+// The stream bytes are identical to len(ids) logRemove calls, so
+// Replay needs no awareness of batching.
+func (j *Journal) logRemoveBatch(ids []uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	var rec [9]byte
+	rec[0] = journalRemove
+	for _, id := range ids {
+		binary.BigEndian.PutUint64(rec[1:], id)
+		if _, err := j.w.Write(rec[:]); err != nil {
+			j.err = err
+			return
+		}
+	}
+}
+
 func (j *Journal) logRemove(id uint64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()

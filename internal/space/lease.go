@@ -1,0 +1,151 @@
+package space
+
+import "tpspace/internal/sim"
+
+// lease.go is the lease engine: one hierarchical timing wheel and one
+// re-armable runtime timer per shard replace the historical
+// timer-per-entry scheme (one kernel event or time.AfterFunc per
+// leased entry, untenable at the 10^7 outstanding leases the ROADMAP
+// targets). Arming and cancelling a lease are intrusive wheel
+// operations on storage embedded in the entry — 0 allocations — and
+// expiry is a batched sweep: one shard lock acquisition unlinks every
+// entry that has lapsed and journals the removals in one pass.
+//
+// Determinism: the wheel never rounds a deadline (see sim.Wheel). The
+// sweep timer is always armed at or before the earliest armed
+// deadline, and each sweep expires exactly the entries with
+// expiry <= Now() before re-arming at the wheel's next wake. Under a
+// SimRuntime, sweeps are therefore kernel events that fire at exactly
+// the instants the per-entry timers used to fire, which keeps
+// simulation outputs (and the paper CLI) byte-identical to the legacy
+// scheme; spurious wakes (a cancelled earliest lease, a cascade
+// boundary) advance the wheel and re-arm without observable effect.
+//
+// The legacy scheme is retained behind WithLegacyLeaseTimers as the
+// in-binary baseline for `tpbench -leasebench` and as the oracle for
+// the lease property test.
+
+// WithLegacyLeaseTimers arms one runtime timer per leased entry (the
+// pre-wheel scheme) instead of the per-shard timing wheel. It exists
+// as the measured baseline and the test oracle; production callers
+// should never need it.
+func WithLegacyLeaseTimers() Option {
+	return func(c *config) { c.legacyTimers = true }
+}
+
+// armLease schedules expiry of a linked entry at the given absolute
+// time; the caller holds the shard lock. In wheel mode this is an
+// O(1) intrusive insert plus, when the new deadline precedes the
+// scheduled sweep, one timer reset.
+func (sh *shard) armLease(e *entry, expiry sim.Time, d sim.Duration) {
+	s := sh.sp
+	if s.legacyTimers {
+		id := e.id
+		e.cancelExp = s.rt.After(d, func() {
+			sh.mu.Lock()
+			if sh.removeByID(id) != nil {
+				sh.stats.Expired++
+			}
+			sh.mu.Unlock()
+		})
+		return
+	}
+	e.exp.Owner = e
+	sh.wheel.Add(&e.exp, expiry)
+	if sh.sweepAt == 0 || expiry < sh.sweepAt {
+		sh.scheduleSweep(expiry)
+	}
+}
+
+// disarmLease cancels a pending expiry; the caller holds the shard
+// lock. The sweep timer is left alone unless the wheel emptied — a
+// sweep firing with nothing due is harmless (it re-arms from the
+// wheel), but a timer armed under an empty wheel would tick forever.
+func (sh *shard) disarmLease(e *entry) {
+	if sh.sp.legacyTimers {
+		if e.cancelExp != nil {
+			e.cancelExp()
+			e.cancelExp = nil
+		}
+		return
+	}
+	if sh.wheel.Cancel(&e.exp) && sh.wheel.Len() == 0 && sh.sweepAt != 0 {
+		sh.sweep.Stop()
+		sh.sweepAt = 0
+	}
+}
+
+// renewLease replaces a linked entry's pending expiry in place; the
+// caller holds the shard lock. In wheel mode this rides Wheel.Reset's
+// same-slot fast path — a renewal that stays within the timer's
+// current slot is one deadline store — instead of a full
+// disarm+re-arm round trip.
+func (sh *shard) renewLease(e *entry, expiry sim.Time, d sim.Duration) {
+	if sh.sp.legacyTimers {
+		sh.disarmLease(e)
+		sh.armLease(e, expiry, d)
+		return
+	}
+	e.exp.Owner = e
+	sh.wheel.Reset(&e.exp, expiry)
+	if sh.sweepAt == 0 || expiry < sh.sweepAt {
+		sh.scheduleSweep(expiry)
+	}
+}
+
+// scheduleSweep (re-)arms the shard sweep timer to fire at the given
+// absolute time; the caller holds the shard lock.
+func (sh *shard) scheduleSweep(at sim.Time) {
+	sh.sweepAt = at
+	d := sim.Duration(at - sh.sp.rt.Now())
+	if d < 0 {
+		d = 0
+	}
+	sh.sweep.Reset(d)
+}
+
+// runSweep is the shard sweep timer's callback: expire, under one
+// lock acquisition, every lease that has lapsed. Expired entries are
+// unlinked without per-entry journal writes; the removals are logged
+// in one batch afterwards (one journal lock, one buffered run of
+// records — same bytes as the per-entry path, so replay is
+// unaffected).
+func (sh *shard) runSweep() {
+	s := sh.sp
+	sh.mu.Lock()
+	now := s.rt.Now()
+	ids := sh.expIDs[:0]
+	for t := sh.wheel.AdvanceTo(now); t != nil; {
+		next := t.Next()
+		e := t.Owner.(*entry)
+		if e.linked {
+			sh.unlinkNoLog(e)
+			sh.stats.Expired++
+			ids = append(ids, e.id)
+		}
+		t = next
+	}
+	sh.expIDs = ids[:0] // retain capacity across sweeps
+	if len(ids) > 0 && s.journal != nil {
+		s.journal.logRemoveBatch(ids)
+	}
+	sh.sweepAt = 0
+	if wake, ok := sh.wheel.NextWake(); ok {
+		sh.scheduleSweep(wake)
+	}
+	sh.mu.Unlock()
+}
+
+// drainLeases discards every armed lease wholesale (the crash path);
+// the caller holds the shard lock. Legacy timers are cancelled by the
+// caller's entry walk.
+func (sh *shard) drainLeases() {
+	if sh.sp.legacyTimers {
+		return
+	}
+	sh.wheel.DrainAll()
+	if sh.sweepAt != 0 {
+		sh.sweep.Stop()
+		sh.sweepAt = 0
+	}
+}

@@ -11,7 +11,6 @@
 package space
 
 import (
-	"sync"
 	"time"
 
 	"tpspace/internal/sim"
@@ -25,6 +24,25 @@ type Runtime interface {
 	// After arranges for fn to run after d and returns a cancel
 	// function. Cancel after firing is a no-op.
 	After(d sim.Duration, fn func()) (cancel func())
+	// AfterBulk returns a single re-armable timer that runs fn each
+	// time it fires. It is the bulk-expiry primitive: one such timer
+	// per shard drives a timing wheel holding millions of deadlines,
+	// where After would cost one runtime timer per deadline. The
+	// returned Timer is initially unarmed.
+	AfterBulk(fn func()) Timer
+}
+
+// Timer is a re-armable one-shot timer handle from Runtime.AfterBulk.
+// Reset and Stop may be called repeatedly and in any order; a Reset
+// supersedes any pending firing. On a real runtime fn may already be
+// executing concurrently with Reset/Stop — callers must tolerate one
+// stale firing (the lease sweep does: it re-reads its wheel under the
+// shard lock and finds nothing due).
+type Timer interface {
+	// Reset arms (or re-arms) the timer to fire once after d.
+	Reset(d sim.Duration)
+	// Stop disarms the timer if it is armed.
+	Stop()
 }
 
 // SimRuntime drives a Space from a simulation kernel. Not safe for
@@ -47,24 +65,54 @@ func (r SimRuntime) After(d sim.Duration, fn func()) func() {
 	return func() { r.K.CancelSeq(ev, seq) }
 }
 
+// AfterBulk implements Runtime.
+func (r SimRuntime) AfterBulk(fn func()) Timer {
+	return &simTimer{k: r.K, fn: fn}
+}
+
+// simTimer is one re-armable kernel event; like SimRuntime itself it
+// must only be touched from inside the kernel's event loop, so no
+// locking is needed.
+type simTimer struct {
+	k   *sim.Kernel
+	fn  func()
+	ev  *sim.Event
+	seq uint64
+}
+
+func (t *simTimer) Reset(d sim.Duration) {
+	if t.ev != nil {
+		t.k.CancelSeq(t.ev, t.seq)
+	}
+	t.ev = t.k.ScheduleName("space.sweep", d, t.fn)
+	t.seq = t.ev.Seq()
+}
+
+func (t *simTimer) Stop() {
+	if t.ev != nil {
+		t.k.CancelSeq(t.ev, t.seq)
+		t.ev = nil
+	}
+}
+
 // RealRuntime drives a Space from the operating system clock; it is
 // what cmd/spaceserver uses.
 type RealRuntime struct {
-	clock *sim.WallClock
-	mu    sync.Mutex
+	origin time.Time
 }
 
 // NewRealRuntime returns a wall-clock runtime with its origin at the
 // call.
 func NewRealRuntime() *RealRuntime {
-	return &RealRuntime{clock: sim.NewWallClock()}
+	return &RealRuntime{origin: time.Now()}
 }
 
-// Now implements Runtime.
+// Now implements Runtime. It is lock-free: the origin is immutable
+// after construction, so concurrent readers share it without
+// coordination and the cost is one monotonic clock read — this is on
+// the path of every write and every expiry sweep of a real server.
 func (r *RealRuntime) Now() sim.Time {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.clock.Now()
+	return sim.Time(time.Since(r.origin))
 }
 
 // After implements Runtime.
@@ -72,3 +120,17 @@ func (r *RealRuntime) After(d sim.Duration, fn func()) func() {
 	t := time.AfterFunc(d.Std(), fn)
 	return func() { t.Stop() }
 }
+
+// AfterBulk implements Runtime.
+func (r *RealRuntime) AfterBulk(fn func()) Timer {
+	t := time.AfterFunc(time.Duration(1<<62), fn)
+	t.Stop()
+	return realTimer{t}
+}
+
+// realTimer adapts time.Timer; Reset on an AfterFunc timer re-arms
+// its function, which is exactly the Timer contract.
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Reset(d sim.Duration) { rt.t.Reset(d.Std()) }
+func (rt realTimer) Stop()                { rt.t.Stop() }

@@ -1,0 +1,59 @@
+package space
+
+import (
+	"sync"
+	"testing"
+
+	"tpspace/internal/sim"
+)
+
+// mutexClock is the pre-wheel RealRuntime.Now: a mutex around a
+// lazily initialized WallClock. Kept in-binary as the baseline for
+// the lock-free rewrite — every write and every expiry sweep of a
+// real server reads the clock, so this is a per-op tax.
+type mutexClock struct {
+	clock *sim.WallClock
+	mu    sync.Mutex
+}
+
+func (r *mutexClock) Now() sim.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clock.Now()
+}
+
+func BenchmarkRealRuntimeNow(b *testing.B) {
+	rt := NewRealRuntime()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = rt.Now()
+	}
+}
+
+func BenchmarkRealRuntimeNowParallel(b *testing.B) {
+	rt := NewRealRuntime()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = rt.Now()
+		}
+	})
+}
+
+func BenchmarkRealRuntimeNowBaselineMutex(b *testing.B) {
+	rt := &mutexClock{clock: sim.NewWallClock()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = rt.Now()
+	}
+}
+
+func BenchmarkRealRuntimeNowBaselineMutexParallel(b *testing.B) {
+	rt := &mutexClock{clock: sim.NewWallClock()}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = rt.Now()
+		}
+	})
+}

@@ -59,9 +59,30 @@ type Lease struct {
 	sp *Space
 	sh *shard
 	id uint64
+	// e caches the entry so Cancel and Renew skip the byID lookup on
+	// the hot path — at 10^7 live leases that map probe dominates the
+	// whole operation. The cache is validated under the shard lock
+	// (linked + id match; ids are never reused, so a recycled or
+	// expired entry can't impersonate) and falls back to the map when
+	// stale, which keeps renew-after-restore working: replay builds
+	// fresh entry objects under the original ids.
+	e *entry
 	// Expiry is the absolute time the entry lapses, or zero for a
 	// permanent entry.
 	Expiry sim.Time
+}
+
+// resolve returns the live entry this lease controls, or nil; the
+// caller holds the shard lock.
+func (l *Lease) resolve() *entry {
+	e := l.e
+	if e != nil && e.linked && e.id == l.id {
+		return e
+	}
+	if e = l.sh.byID[l.id]; e != nil {
+		l.e = e
+	}
+	return e
 }
 
 // ID returns the entry id the lease controls (0 for a detached lease,
@@ -80,8 +101,9 @@ func (l *Lease) Cancel() bool {
 		return false
 	}
 	l.sh.mu.Lock()
-	e := l.sh.removeByID(l.id)
+	e := l.resolve()
 	if e != nil {
+		l.sh.unlink(e)
 		l.sh.stats.Cancelled++
 	}
 	l.sh.mu.Unlock()
@@ -98,25 +120,16 @@ func (l *Lease) Renew(d sim.Duration) bool {
 	s, sh := l.sp, l.sh
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e := sh.byID[l.id]
+	e := l.resolve()
 	if e == nil {
 		return false
-	}
-	if e.cancelExp != nil {
-		e.cancelExp()
-		e.cancelExp = nil
 	}
 	l.Expiry = 0
 	if d > 0 {
 		l.Expiry = s.rt.Now().Add(d)
-		id := e.id
-		e.cancelExp = s.rt.After(d, func() {
-			sh.mu.Lock()
-			if sh.removeByID(id) != nil {
-				sh.stats.Expired++
-			}
-			sh.mu.Unlock()
-		})
+		sh.renewLease(e, l.Expiry, d)
+	} else {
+		sh.disarmLease(e)
 	}
 	return true
 }
@@ -144,11 +157,16 @@ type Space struct {
 	// journal is attach-before-use (see SetJournal): logW/logR read it
 	// under a shard lock, SetJournal writes it under all of them.
 	journal *Journal
+
+	// legacyTimers selects the per-entry lease timer scheme instead of
+	// the per-shard timing wheel (see lease.go).
+	legacyTimers bool
 }
 
 // config collects New options.
 type config struct {
-	shards int
+	shards       int
+	legacyTimers bool
 }
 
 // Option configures a Space at construction.
@@ -175,7 +193,7 @@ func New(rt Runtime, opts ...Option) *Space {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &Space{rt: rt, shards: make([]*shard, cfg.shards)}
+	s := &Space{rt: rt, shards: make([]*shard, cfg.shards), legacyTimers: cfg.legacyTimers}
 	for i := range s.shards {
 		s.shards[i] = newShard(s)
 	}
@@ -440,17 +458,10 @@ func (sh *shard) store(e *entry, lease sim.Duration, journal bool) (*Lease, []fu
 		if journal {
 			s.logW(e.id, stored, lease)
 		}
-		l = &Lease{sp: s, sh: sh, id: e.id}
+		l = &Lease{sp: s, sh: sh, id: e.id, e: e}
 		if lease > 0 {
 			l.Expiry = s.rt.Now().Add(lease)
-			id := e.id
-			e.cancelExp = s.rt.After(lease, func() {
-				sh.mu.Lock()
-				if sh.removeByID(id) != nil {
-					sh.stats.Expired++
-				}
-				sh.mu.Unlock()
-			})
+			sh.armLease(e, l.Expiry, lease)
 		}
 	}
 	return l, fire
@@ -488,6 +499,7 @@ func (s *Space) Crash() {
 		sh.subShape = make(map[uint64]*subList)
 		sh.slFree = nil
 
+		sh.drainLeases()
 		for e := sh.head; e != nil; {
 			next := e.next
 			if e.cancelExp != nil {

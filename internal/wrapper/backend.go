@@ -330,6 +330,39 @@ func (g *Gateway) serveBinary(b []byte, done func([]byte)) {
 		out = xmlcodec.AppendResponseBinary(out, id, true, false, 0, "", nil)
 		g.finishBin(id, out, done)
 
+	case xmlcodec.OpNotifySession:
+		// Durable subscription: the hub assigns a session id (returned
+		// in Count) and delivers matching writes as sequence-stamped
+		// event batches that survive reconnects.
+		sess := g.hub.Open(g.sp, req.Entry, g.client)
+		out := transport.GetBuf(64)
+		out = xmlcodec.AppendResponseBinary(out, id, true, false, int64(sess), "", nil)
+		g.finishBin(id, out, done)
+
+	case xmlcodec.OpNotifyResume:
+		// Session id rides the lease-ms header slot, the client's last
+		// applied sequence the timeout-ms slot.
+		sess := uint64(req.LeaseMs)
+		ok := g.hub.Resume(sess, g.client, uint64(req.TimeoutMs))
+		msg := ""
+		if !ok {
+			msg = "wrapper: unknown notify session"
+		}
+		out := transport.GetBuf(64)
+		out = xmlcodec.AppendResponseBinary(out, id, ok, false, int64(sess), msg, nil)
+		g.finishBin(id, out, done)
+
+	case xmlcodec.OpNotifyEnd:
+		sess := uint64(req.LeaseMs)
+		ok := g.hub.End(sess)
+		msg := ""
+		if !ok {
+			msg = "wrapper: unknown notify session"
+		}
+		out := transport.GetBuf(64)
+		out = xmlcodec.AppendResponseBinary(out, id, ok, false, 0, msg, nil)
+		g.finishBin(id, out, done)
+
 	default:
 		// Unreachable while the decoder validates opcodes; kept so an id
 		// registered with the dedup table is always completed.

@@ -1,0 +1,325 @@
+package wrapper
+
+// Durable notify sessions: the server half of the reconnect-safe
+// subscription protocol. A plain OpNotify subscription dies with its
+// connection — events raised while the client is away are simply
+// gone, and the client cannot even tell. A notify *session* survives
+// the connection: the hub assigns it an id and a monotonic event
+// sequence, keeps the last `window` events in a replay ring, and lets
+// a reconnecting client re-attach with OpNotifyResume carrying the
+// last sequence it applied. Everything newer is replayed; anything
+// the ring has already evicted surfaces client-side as a counted gap
+// rather than silent loss.
+//
+// Delivery is batched: a write does not send a frame. It appends the
+// encoded tuple to the session ring and marks the session dirty; a
+// small pool of flush workers drains every pending event of a dirty
+// session into ONE event-batch frame (0xB5) per flush, built in a
+// pooled buffer. Under bursty write load the per-event cost collapses
+// to an append, and the wire sees few large frames instead of many
+// tiny ones. Backpressure is the PR-5 bounded send queue: a flush
+// worker blocks in Conn.Send when a consumer falls behind, while
+// events keep accumulating in that session's ring — beyond the
+// window the oldest are dropped and the consumer observes a gap,
+// which is the documented slow-consumer contract.
+//
+// One hub is shared by every gateway of a server process, because a
+// resumed session arrives on a *different* connection (and so a
+// different gateway) than the one that opened it.
+
+import (
+	"sync"
+
+	"tpspace/internal/space"
+	"tpspace/internal/transport"
+	"tpspace/internal/tuple"
+	"tpspace/internal/xmlcodec"
+)
+
+// Notify-hub defaults.
+const (
+	// defaultNotifyWindow is the per-session replay ring capacity.
+	defaultNotifyWindow = 1024
+	// defaultNotifyFlushers is the flush worker pool size. Workers
+	// block in Conn.Send for slow consumers, so a few of them keep
+	// one stalled session from head-of-line-blocking the rest.
+	defaultNotifyFlushers = 4
+	// sessRingMin is the initial ring allocation; rings grow by
+	// doubling up to the window, so an idle session costs a few
+	// hundred bytes, not window-sized storage.
+	sessRingMin = 8
+)
+
+// NotifyHub owns the durable notify sessions of a server process.
+type NotifyHub struct {
+	mu       sync.Mutex
+	sessions map[uint64]*notifySession
+	queue    []*notifySession // dirty sessions awaiting a flush worker
+	cond     *sync.Cond       // signals queue appends to workers
+	nextID   uint64
+	window   int
+	flushers int
+	started  bool // worker pool running (lazy: first Open starts it)
+	closed   bool
+}
+
+// NotifyHubOption configures a hub at construction.
+type NotifyHubOption func(*NotifyHub)
+
+// WithReplayWindow sets how many events a session retains for resume
+// replay. A consumer that falls more than n events behind (or stays
+// disconnected across more than n events) sees a gap.
+func WithReplayWindow(n int) NotifyHubOption {
+	return func(h *NotifyHub) {
+		if n > 0 {
+			h.window = n
+		}
+	}
+}
+
+// WithFlushWorkers sets the flush worker pool size.
+func WithFlushWorkers(n int) NotifyHubOption {
+	return func(h *NotifyHub) {
+		if n > 0 {
+			h.flushers = n
+		}
+	}
+}
+
+// NewNotifyHub builds a hub. The flush worker pool starts lazily on
+// the first Open, so an unused hub costs one allocation.
+func NewNotifyHub(opts ...NotifyHubOption) *NotifyHub {
+	h := &NotifyHub{
+		sessions: make(map[uint64]*notifySession),
+		window:   defaultNotifyWindow,
+		flushers: defaultNotifyFlushers,
+	}
+	h.cond = sync.NewCond(&h.mu)
+	for _, o := range opts {
+		o(h)
+	}
+	return h
+}
+
+// sessEvent is one retained event: its sequence and the tuple in the
+// compact binary encoding, ready to splice into a batch frame.
+type sessEvent struct {
+	seq  uint64
+	data []byte
+}
+
+// notifySession is one durable subscription. The ring holds events
+// with contiguous sequences; ring[head] is the oldest retained.
+type notifySession struct {
+	id     uint64
+	hub    *NotifyHub
+	cancel func() // space subscription teardown
+
+	mu      sync.Mutex
+	conn    transport.Conn // current attachment, nil while detached
+	ring    []sessEvent
+	head, n int
+	seq     uint64 // last assigned sequence
+	sentSeq uint64 // last sequence handed to conn.Send
+	queued  bool   // on the hub's dirty queue
+	ended   bool
+}
+
+// Open creates a session subscribed to tmpl on sp, attached to conn,
+// and returns its id.
+func (h *NotifyHub) Open(sp *space.Space, tmpl tuple.Tuple, conn transport.Conn) uint64 {
+	h.mu.Lock()
+	h.nextID++
+	s := &notifySession{id: h.nextID, hub: h, conn: conn}
+	h.sessions[s.id] = s
+	if !h.started {
+		h.started = true
+		for i := 0; i < h.flushers; i++ {
+			go h.flushWorker()
+		}
+	}
+	h.mu.Unlock()
+	s.cancel = sp.Notify(tmpl, s.publish)
+	return s.id
+}
+
+// Resume re-attaches a session to a (usually new) connection. lastSeq
+// is the last sequence the client applied; retained events beyond it
+// are replayed. Reports whether the session exists.
+func (h *NotifyHub) Resume(id uint64, conn transport.Conn, lastSeq uint64) bool {
+	h.mu.Lock()
+	s := h.sessions[id]
+	h.mu.Unlock()
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	s.conn = conn
+	s.sentSeq = lastSeq
+	s.mu.Unlock()
+	s.kick()
+	return true
+}
+
+// End tears a session down: the space subscription is cancelled and
+// the replay window dropped. Reports whether the session existed.
+func (h *NotifyHub) End(id uint64) bool {
+	h.mu.Lock()
+	s := h.sessions[id]
+	delete(h.sessions, id)
+	h.mu.Unlock()
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	s.ended = true
+	s.conn = nil
+	s.ring, s.head, s.n = nil, 0, 0
+	s.mu.Unlock()
+	if s.cancel != nil {
+		s.cancel()
+	}
+	return true
+}
+
+// Sessions reports how many sessions are live.
+func (h *NotifyHub) Sessions() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.sessions)
+}
+
+// Close stops the flush workers. Sessions are not ended — Close is
+// process teardown, not protocol.
+func (h *NotifyHub) Close() {
+	h.mu.Lock()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// publish is the space notify callback: append the event to the ring
+// and mark the session dirty. No I/O happens here — the space fires
+// callbacks on its writer's goroutine, which must not block on a slow
+// consumer.
+func (s *notifySession) publish(t tuple.Tuple) {
+	data := xmlcodec.EncodeTupleBinary(t)
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.seq++
+	window := s.hub.window
+	if s.n == len(s.ring) && len(s.ring) < window {
+		// Grow by doubling toward the window so idle sessions stay
+		// small; re-pack so head is 0.
+		nc := len(s.ring) * 2
+		if nc < sessRingMin {
+			nc = sessRingMin
+		}
+		if nc > window {
+			nc = window
+		}
+		nr := make([]sessEvent, nc)
+		for i := 0; i < s.n; i++ {
+			nr[i] = s.ring[(s.head+i)%len(s.ring)]
+		}
+		s.ring, s.head = nr, 0
+	}
+	if s.n == len(s.ring) {
+		// Window full: evict the oldest. A detached or slow consumer
+		// beyond this point observes a gap on its next batch.
+		s.head = (s.head + 1) % len(s.ring)
+		s.n--
+	}
+	s.ring[(s.head+s.n)%len(s.ring)] = sessEvent{seq: s.seq, data: data}
+	s.n++
+	s.mu.Unlock()
+	s.kick()
+}
+
+// kick puts the session on the hub's dirty queue if it is attached
+// and not already queued.
+func (s *notifySession) kick() {
+	s.mu.Lock()
+	if s.queued || s.ended || s.conn == nil || s.sentSeq >= s.seq {
+		s.mu.Unlock()
+		return
+	}
+	s.queued = true
+	s.mu.Unlock()
+	h := s.hub
+	h.mu.Lock()
+	h.queue = append(h.queue, s)
+	h.cond.Signal()
+	h.mu.Unlock()
+}
+
+// flushWorker drains dirty sessions. Cross-session order does not
+// matter (each session's order is its sequence), so the queue pops
+// LIFO for O(1).
+func (h *NotifyHub) flushWorker() {
+	for {
+		h.mu.Lock()
+		for len(h.queue) == 0 && !h.closed {
+			h.cond.Wait()
+		}
+		if h.closed {
+			h.mu.Unlock()
+			return
+		}
+		s := h.queue[len(h.queue)-1]
+		h.queue[len(h.queue)-1] = nil
+		h.queue = h.queue[:len(h.queue)-1]
+		h.mu.Unlock()
+		s.flush()
+	}
+}
+
+// flush drains every unsent retained event into one event-batch
+// frame per pass and sends it. The frame is built under the session
+// lock (appends from the ring), but Conn.Send — the part that blocks
+// on a slow consumer — runs outside it, so publishes never stall.
+func (s *notifySession) flush() {
+	for {
+		s.mu.Lock()
+		conn := s.conn
+		if conn == nil || s.ended || s.n == 0 || s.sentSeq >= s.seq {
+			s.queued = false
+			s.mu.Unlock()
+			return
+		}
+		first := s.ring[s.head].seq
+		from := s.sentSeq + 1
+		if from < first {
+			from = first // evicted span: the client will count the gap
+		}
+		count := int(s.seq - from + 1)
+		if count > xmlcodec.MaxEventBatch {
+			count = xmlcodec.MaxEventBatch
+		}
+		frame := transport.GetBuf(64)
+		frame = xmlcodec.AppendEventBatchHeader(frame, s.id, from, count)
+		base := s.head + int(from-first)
+		for i := 0; i < count; i++ {
+			frame = xmlcodec.AppendEventBatchMember(frame, s.ring[(base+i)%len(s.ring)].data)
+		}
+		s.sentSeq = from + uint64(count) - 1
+		s.mu.Unlock()
+
+		err := conn.Send(frame) // blocking: the bounded-queue backpressure point
+		transport.PutBuf(frame)
+		if err != nil {
+			// Connection gone: detach and wait for a resume, which
+			// resets sentSeq from the client's authoritative cursor.
+			s.mu.Lock()
+			if s.conn == conn {
+				s.conn = nil
+			}
+			s.queued = false
+			s.mu.Unlock()
+			return
+		}
+	}
+}

@@ -167,6 +167,10 @@ type Gateway struct {
 	// at-most-once table.
 	sp *space.Space
 	bd *binDedup
+	// hub serves durable notify sessions (notify.go); shared across
+	// the gateways of a server process so sessions survive reconnects
+	// onto new connections.
+	hub *NotifyHub
 	// OnError observes protocol failures.
 	OnError func(error)
 }
@@ -176,6 +180,7 @@ type gwConfig struct {
 	workers    int
 	noAffinity bool
 	sp         *space.Space
+	hub        *NotifyHub
 }
 
 // GatewayOption configures a Gateway at construction.
@@ -208,6 +213,15 @@ func withSpace(sp *space.Space) GatewayOption {
 	return func(c *gwConfig) { c.sp = sp }
 }
 
+// WithNotifyHub shares a notify-session hub across gateways. A
+// server accepting many connections must pass the same hub to every
+// per-connection stack — a session opened on one connection is
+// resumed from another, and resume only finds sessions in its own
+// hub. Stacks built without this option get a private hub.
+func WithNotifyHub(h *NotifyHub) GatewayOption {
+	return func(c *gwConfig) { c.hub = h }
+}
+
 // NewGateway bridges the client-facing connection to an RMI client
 // bound to the space server. Notify events pushed by the server are
 // forwarded to the client connection.
@@ -216,9 +230,12 @@ func NewGateway(client transport.Conn, rc *rmi.Client, opts ...GatewayOption) *G
 	for _, o := range opts {
 		o(&cfg)
 	}
-	g := &Gateway{client: client, rmi: rc, sp: cfg.sp}
+	g := &Gateway{client: client, rmi: rc, sp: cfg.sp, hub: cfg.hub}
 	if g.sp != nil {
 		g.bd = newBinDedup(dedupCacheCap)
+		if g.hub == nil {
+			g.hub = NewNotifyHub()
+		}
 	}
 	if cfg.workers > 1 {
 		route := g.routeFrame
@@ -363,6 +380,10 @@ func (g *Gateway) forward(id uint64, op string, binaryCodec bool, b []byte, done
 	})
 }
 
+// NotifyHub exposes the gateway's notify-session hub — a stack built
+// without WithNotifyHub can hand its private hub to sibling stacks.
+func (g *Gateway) NotifyHub() *NotifyHub { return g.hub }
+
 // Close stops the dispatch workers, if any. The transports are owned
 // (and closed) by the caller.
 func (g *Gateway) Close() error {
@@ -429,17 +450,22 @@ func (pr *pendingReq) fail(id uint64, msg string) {
 // issues tuplespace operations as XML messages over any transport and
 // correlates the responses.
 type Client struct {
-	mu       sync.Mutex
-	conn     transport.Conn
-	nextID   uint64
-	pending  map[uint64]*pendingReq
-	prFree   *pendingReq // recycled pendingReqs (non-resilient clients only)
-	subs     map[uint64]func(tuple.Tuple)
-	res      *Resilience
-	binary   bool
-	batchOps int
-	bat      *batcher
-	closed   bool
+	mu      sync.Mutex
+	conn    transport.Conn
+	nextID  uint64
+	pending map[uint64]*pendingReq
+	prFree  *pendingReq // recycled pendingReqs (non-resilient clients only)
+	subs    map[uint64]func(tuple.Tuple)
+	// Durable notify sessions (client_notify.go): live sessions by
+	// server-assigned id, plus frames that beat their own open reply
+	// to the socket (the server's flusher races finishBin).
+	nsess      map[uint64]*clientNotifySession
+	nsessEarly map[uint64][][]byte
+	res        *Resilience
+	binary     bool
+	batchOps   int
+	bat        *batcher
+	closed     bool
 }
 
 // ClientOption configures a Client at construction.
@@ -483,6 +509,10 @@ func NewClient(conn transport.Conn, opts ...ClientOption) *Client {
 }
 
 func (c *Client) onMessage(b []byte) {
+	if xmlcodec.IsEventBatch(b) {
+		c.onEventBatch(b)
+		return
+	}
 	if xmlcodec.IsBatchResponse(b) {
 		it, err := xmlcodec.NewBatchIter(b)
 		if err != nil {

@@ -522,7 +522,7 @@ func IsBinaryFrame(b []byte) bool {
 		return false
 	}
 	switch b[0] {
-	case binReqMagic, binRespMagic, binBatchReqMagic, binBatchRespMagic:
+	case binReqMagic, binRespMagic, binBatchReqMagic, binBatchRespMagic, binEventMagic:
 		return true
 	}
 	return false

@@ -47,10 +47,14 @@ var opCodes = map[string]byte{
 	OpNotify:       6,
 	OpPing:         7,
 	OpCount:        8,
+
+	OpNotifySession: 9,
+	OpNotifyResume:  10,
+	OpNotifyEnd:     11,
 }
 
-var opNames = func() [9]string {
-	var n [9]string
+var opNames = func() [12]string {
+	var n [12]string
 	for name, c := range opCodes {
 		n[c] = name
 	}

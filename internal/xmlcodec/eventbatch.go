@@ -1,0 +1,104 @@
+package xmlcodec
+
+// Event-batch frames carry durable notify-session deliveries from
+// server to client. One frame holds every event a session flush
+// drained — the notify hub's amortization of per-event send cost —
+// tagged with the session id and the sequence number of the first
+// member, so a client can detect replay-window overruns (a gap) and
+// deduplicate replays after a resume.
+//
+// Layout: magic 0xB5, session id (u64), first sequence (u64), member
+// count (u16), then count members each length-prefixed (u32) in the
+// compact binary tuple encoding. Sequences are contiguous within a
+// frame: member i carries sequence firstSeq+i.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// binEventMagic continues the 0xB1..0xB4 binary frame space.
+const binEventMagic = 0xB5
+
+// eventBatchHdrLen is the fixed prefix: magic, session, first
+// sequence, member count.
+const eventBatchHdrLen = 1 + 8 + 8 + 2
+
+// MaxEventBatch bounds the member count of one event-batch frame.
+const MaxEventBatch = 0xFFFF
+
+// IsEventBatch reports whether the frame is a notify-session event
+// batch.
+func IsEventBatch(b []byte) bool {
+	return len(b) > 0 && b[0] == binEventMagic
+}
+
+// AppendEventBatchHeader starts an event-batch frame in dst. count
+// must match the members subsequently appended with
+// AppendEventBatchMember.
+func AppendEventBatchHeader(dst []byte, session, firstSeq uint64, count int) []byte {
+	dst = append(dst, binEventMagic)
+	dst = binary.BigEndian.AppendUint64(dst, session)
+	dst = binary.BigEndian.AppendUint64(dst, firstSeq)
+	return append(dst, byte(count>>8), byte(count))
+}
+
+// AppendEventBatchMember appends one event (a tuple already in the
+// compact binary encoding) to an event batch under construction.
+func AppendEventBatchMember(dst []byte, tupleBin []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(tupleBin)))
+	return append(dst, tupleBin...)
+}
+
+// EventBatchIter walks the members of an event-batch frame without
+// allocating.
+type EventBatchIter struct {
+	// Session is the notify session the events belong to.
+	Session uint64
+	// FirstSeq is the sequence number of the first member; member i
+	// carries FirstSeq+i.
+	FirstSeq uint64
+
+	b   []byte
+	n   int
+	pos int
+}
+
+// NewEventBatchIter validates the event-batch header and returns an
+// iterator over its members.
+func NewEventBatchIter(b []byte) (EventBatchIter, error) {
+	if len(b) < eventBatchHdrLen || b[0] != binEventMagic {
+		return EventBatchIter{}, fmt.Errorf("xmlcodec: truncated event batch (%d bytes)", len(b))
+	}
+	return EventBatchIter{
+		Session:  binary.BigEndian.Uint64(b[1:9]),
+		FirstSeq: binary.BigEndian.Uint64(b[9:17]),
+		b:        b,
+		n:        int(b[17])<<8 | int(b[18]),
+		pos:      eventBatchHdrLen,
+	}, nil
+}
+
+// Len reports the number of members not yet returned by Next.
+func (it *EventBatchIter) Len() int { return it.n }
+
+// Next returns the next event's tuple bytes. A frame whose length
+// prefixes overrun it returns err — callers drop the remainder as
+// malformed.
+func (it *EventBatchIter) Next() ([]byte, error) {
+	if it.n == 0 {
+		return nil, fmt.Errorf("xmlcodec: event batch iterator exhausted")
+	}
+	if it.pos+4 > len(it.b) {
+		return nil, fmt.Errorf("xmlcodec: truncated event member header at %d", it.pos)
+	}
+	n := int(binary.BigEndian.Uint32(it.b[it.pos:]))
+	it.pos += 4
+	if n > len(it.b)-it.pos {
+		return nil, fmt.Errorf("xmlcodec: truncated event member at %d", it.pos)
+	}
+	m := it.b[it.pos : it.pos+n]
+	it.pos += n
+	it.n--
+	return m, nil
+}

@@ -1,0 +1,92 @@
+package xmlcodec
+
+import (
+	"testing"
+
+	"tpspace/internal/tuple"
+)
+
+func TestEventBatchRoundTrip(t *testing.T) {
+	tups := []tuple.Tuple{
+		tuple.New("ev", tuple.Int("n", 1)),
+		tuple.New("ev", tuple.Int("n", 2), tuple.String("s", "x")),
+		tuple.New("ev", tuple.Int("n", 3)),
+	}
+	frame := AppendEventBatchHeader(nil, 42, 100, len(tups))
+	for _, tp := range tups {
+		frame = AppendEventBatchMember(frame, EncodeTupleBinary(tp))
+	}
+	if !IsEventBatch(frame) {
+		t.Fatal("IsEventBatch = false")
+	}
+	if IsBatchResponse(frame) || IsBinaryResponse(frame) {
+		t.Fatal("event batch misclassified")
+	}
+	if !IsBinaryFrame(frame) {
+		t.Fatal("event batch not a binary frame")
+	}
+	it, err := NewEventBatchIter(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Session != 42 || it.FirstSeq != 100 || it.Len() != 3 {
+		t.Fatalf("header: session=%d firstSeq=%d len=%d", it.Session, it.FirstSeq, it.Len())
+	}
+	for i := 0; it.Len() > 0; i++ {
+		m, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeTupleBinary(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Fields[0].Int != int64(i+1) {
+			t.Fatalf("member %d decoded to n=%d", i, got.Fields[0].Int)
+		}
+	}
+	if _, err := it.Next(); err == nil {
+		t.Fatal("exhausted iterator returned a member")
+	}
+}
+
+func TestEventBatchTruncated(t *testing.T) {
+	frame := AppendEventBatchHeader(nil, 1, 1, 2)
+	frame = AppendEventBatchMember(frame, EncodeTupleBinary(tuple.New("ev", tuple.Int("n", 1))))
+	// Second member promised but absent: the iterator must error, not
+	// read past the frame.
+	it, err := NewEventBatchIter(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(); err == nil {
+		t.Fatal("truncated member not detected")
+	}
+	if _, err := NewEventBatchIter(frame[:10]); err == nil {
+		t.Fatal("truncated header not detected")
+	}
+}
+
+func TestNotifySessionOpcodesRoundTrip(t *testing.T) {
+	for _, op := range []string{OpNotifySession, OpNotifyResume, OpNotifyEnd} {
+		r := Request{ID: 7, Op: op, LeaseMs: 9, TimeoutMs: 3}
+		b, err := MarshalRequestBinary(r)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		id, gotOp, ok := PeekRequest(b)
+		if !ok || id != 7 || gotOp != op {
+			t.Fatalf("%s: peek = %d %q %v", op, id, gotOp, ok)
+		}
+		got, err := UnmarshalRequest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Op != op || got.LeaseMs != 9 || got.TimeoutMs != 3 {
+			t.Fatalf("%s: round trip = %+v", op, got)
+		}
+	}
+}

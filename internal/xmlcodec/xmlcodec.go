@@ -47,6 +47,16 @@ const (
 	OpNotify       = "notify"
 	OpPing         = "ping"
 	OpCount        = "count"
+
+	// Durable notify sessions (binary protocol only): open a
+	// server-side session with a replay window, re-attach to it after
+	// a reconnect, and tear it down. Resume/end carry the session id
+	// in the lease-ms header slot and (for resume) the last event
+	// sequence seen in the timeout-ms slot, so the fixed request
+	// header needs no new fields.
+	OpNotifySession = "notifySession"
+	OpNotifyResume  = "notifyResume"
+	OpNotifyEnd     = "notifyEnd"
 )
 
 // Request is one client-to-server operation.

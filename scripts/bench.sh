@@ -4,15 +4,17 @@
 # Runs the kernel micro-benches and the full -plan grid benchmark and
 # writes the results as JSON:
 #
-#   BENCH_kernel.json  kernel calendar micro-benches (incl. the
-#                      in-binary container/heap baselines)
+#   BENCH_kernel.json  kernel calendar and timing-wheel micro-benches
+#                      (incl. the in-binary container/heap baselines)
 #   BENCH_plan.json    one full planner grid pass: wall ns/op,
 #                      allocs/op and the simulated seconds modelled
 #   BENCH_space.json   tuplespace serving-plane benches — write,
 #                      take-hit, take-miss, waiter-wake and waiter
 #                      cancellation at 10^5/10^6 entries and 10^4
 #                      parked waiters, incl. the in-binary linear
-#                      baselines
+#                      baselines, the lease-churn benches (wheel vs
+#                      legacy per-timer) and the lock-free
+#                      RealRuntime.Now reads vs the mutex baseline
 #   BENCH_net.json     network serving-plane load generator: 64
 #                      closed-loop clients over loopback TCP and the
 #                      in-proc pipe, batched/pooled plane vs the
@@ -31,6 +33,14 @@
 #                      kills, acked_per_sec, detect_ms, recover_ms,
 #                      violations} — all in simulated time, so the
 #                      records are deterministic
+#   BENCH_lease.json   lease-engine churn at 10^7 live leases (wheel
+#                      vs the in-binary per-timer baseline, with
+#                      speedup_vs_baseline and allocs_per_op) plus the
+#                      100k-session durable-notify run with a mid-run
+#                      reconnect; records {name, live_leases, renews,
+#                      leases_per_sec, allocs_per_op,
+#                      speedup_vs_baseline} and {name, sessions,
+#                      events, events_per_sec, lost_events, gaps}
 #
 # Every record carries {name, ns_per_op, allocs_per_op,
 # simulated_seconds}; benches without a simulated-time dimension
@@ -63,8 +73,8 @@ bench_to_json() {
     '
 }
 
-echo "==> kernel calendar benches -> BENCH_kernel.json"
-go test -run '^$' -bench '^BenchmarkKernel' -benchmem ./internal/sim/ \
+echo "==> kernel calendar + timing-wheel benches -> BENCH_kernel.json"
+go test -run '^$' -bench '^Benchmark(Kernel|Wheel)' -benchmem ./internal/sim/ \
     | tee /dev/stderr | bench_to_json > BENCH_kernel.json
 
 echo "==> planner grid bench -> BENCH_plan.json"
@@ -72,7 +82,7 @@ go test -run '^$' -bench '^BenchmarkPlanGrid$' -benchmem -benchtime=1x . \
     | tee /dev/stderr | bench_to_json > BENCH_plan.json
 
 echo "==> space serving-plane benches -> BENCH_space.json"
-go test -run '^$' -bench '^Benchmark(Space|Linear)' -benchmem \
+go test -run '^$' -bench '^Benchmark(Space|Linear|RealRuntime)' -benchmem \
     -benchtime=200ms ./internal/space/ \
     | tee /dev/stderr | bench_to_json > BENCH_space.json
 
@@ -82,4 +92,7 @@ go run ./cmd/tpbench -netbench -json | tee /dev/stderr > BENCH_net.json
 echo "==> replicated-cluster chaos grid -> BENCH_cluster.json"
 go run ./cmd/tpbench -cluster -json | tee /dev/stderr > BENCH_cluster.json
 
-echo "OK: wrote BENCH_kernel.json BENCH_plan.json BENCH_space.json BENCH_net.json BENCH_cluster.json"
+echo "==> lease-engine churn + durable-notify fleet -> BENCH_lease.json"
+go run ./cmd/tpbench -leasebench -notifybench -json | tee /dev/stderr > BENCH_lease.json
+
+echo "OK: wrote BENCH_kernel.json BENCH_plan.json BENCH_space.json BENCH_net.json BENCH_cluster.json BENCH_lease.json"

@@ -12,7 +12,13 @@
 #   including the multi-op batch rows (-batchops 8), and a
 #   cluster-chaos smoke: the replicated 3-node cluster tests under
 #   -race plus a full tpbench -cluster -chaos grid asserting the
-#   invariants (no acked write lost, at-most-once take).
+#   invariants (no acked write lost, at-most-once take), a
+#   timing-wheel 0-alloc gate (insert/cancel/expire), a lease-churn
+#   smoke (-leasebench, wheel row must not allocate), a durable-notify
+#   resume smoke (-notifybench, exactly-once across a mid-run
+#   reconnect), and a byte-identity diff of every paper CLI output
+#   (-table 4, -sweep, -fig 7, -chaos, -plan) against the committed
+#   goldens in internal/core/testdata/golden_cli/.
 # Usage: scripts/check.sh   (or: make check)
 #   FUZZTIME=2s scripts/check.sh   # shorten/lengthen the fuzz smoke
 set -eu
@@ -75,6 +81,19 @@ else
     exit 1
 fi
 
+echo "==> wheel bench regression smoke (insert/cancel/expire must not allocate)"
+go test -run '^$' -bench '^BenchmarkWheel(Insert|Cancel|Expire)$' -benchmem \
+    -benchtime=10000x ./internal/sim/ | tee "$tmp/wheelbench.txt"
+if awk '/^BenchmarkWheel(Insert|Cancel|Expire)-/ {
+        for (i = 2; i < NF; i++)
+            if ($(i + 1) == "allocs/op" && $i + 0 > 0) { bad = 1; print $1, $i, "allocs/op" }
+    } END { exit bad }' "$tmp/wheelbench.txt"; then
+    :
+else
+    echo "timing-wheel regression: insert/cancel/expire allocates" >&2
+    exit 1
+fi
+
 echo "==> space bench regression smoke (take paths must not allocate)"
 go test -run '^$' -bench '^BenchmarkSpaceTake(Hit|Miss)100k$' -benchmem \
     -benchtime=2000x ./internal/space/ | tee "$tmp/spacebench.txt"
@@ -130,5 +149,40 @@ if grep -q "VIOLATION" "$tmp/cluster.txt"; then
     cat "$tmp/cluster.txt" >&2
     exit 1
 fi
+
+echo "==> lease-engine churn smoke (tpbench -leasebench, tiny run, books must balance)"
+# The run panics if the expiry books don't balance; the wheel row must
+# stay allocation-free. The 10x speedup target is only meaningful at
+# the full 10^7 scale (scripts/bench.sh) — not asserted here.
+"$tmp/tpbench" -leasebench -leases 20000 > "$tmp/leasebench.txt"
+grep -q "wheel speedup over per-timer baseline" "$tmp/leasebench.txt"
+if awk '$1 == "wheel" && $5 + 0 > 0 { exit 1 }' "$tmp/leasebench.txt"; then
+    :
+else
+    echo "lease engine regression: wheel renew path allocates" >&2
+    cat "$tmp/leasebench.txt" >&2
+    exit 1
+fi
+
+echo "==> durable-notify resume smoke (tpbench -notifybench, tiny fleet, exactly-once)"
+# tpbench exits 1 itself if any event is lost or gapped across the
+# mid-run reconnect.
+"$tmp/tpbench" -notifybench -sessions 400 > "$tmp/notifybench.txt"
+grep -q "OK: exactly-once delivery across reconnect" "$tmp/notifybench.txt"
+
+echo "==> golden paper outputs (byte-identical to the committed goldens)"
+golden=internal/core/testdata/golden_cli
+for spec in "table4.txt:-table 4" "sweep.csv:-sweep" "fig7.txt:-fig 7" \
+            "chaos.txt:-chaos" "plan.txt:-plan"; do
+    file=${spec%%:*}
+    flags=${spec#*:}
+    # shellcheck disable=SC2086
+    "$tmp/tpbench" $flags > "$tmp/golden_out.txt"
+    if ! cmp -s "$golden/$file" "$tmp/golden_out.txt"; then
+        echo "paper CLI output diverged from golden: tpbench $flags vs $golden/$file" >&2
+        diff "$golden/$file" "$tmp/golden_out.txt" >&2 || true
+        exit 1
+    fi
+done
 
 echo "OK"
