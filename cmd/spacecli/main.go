@@ -10,6 +10,10 @@
 // Field syntax: name=value (string), name:int=V, name:float=V,
 // name:bool=V, name:bytes=hex. A value of "?" makes the field a
 // wildcard (templates only).
+//
+// To profile the server this client is driving, start spaceserver
+// with -mutexprofile / -blockprofile (dumped on SIGINT/SIGTERM), or
+// use tpbench's flags of the same names for an offline closed loop.
 package main
 
 import (

@@ -13,13 +13,22 @@
 // 3-node simulated cluster with a forced primary crash, audited for
 // lost writes and double takes) and exits — a deployment preflight
 // for the cluster plane.
+//
+// -mutexprofile and -blockprofile enable the runtime's contention and
+// blocking profilers and dump the profile on SIGINT/SIGTERM — the
+// live-daemon counterpart of tpbench's flags of the same names, for
+// hunting completion-plane lock contention under real client load.
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"runtime"
+	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"tpspace/internal/core"
@@ -28,13 +37,43 @@ import (
 	"tpspace/internal/wrapper"
 )
 
+// profileOnExit enables one runtime profiler now and dumps its
+// profile to path when the daemon is interrupted.
+func profileOnExit(name, path string, enable func()) {
+	enable()
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		if f, err := os.Create(path); err != nil {
+			log.Printf("spaceserver: %s profile: %v", name, err)
+		} else {
+			if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+				log.Printf("spaceserver: %s profile: %v", name, err)
+			}
+			f.Close()
+			log.Printf("spaceserver: wrote %s profile to %s", name, path)
+		}
+		os.Exit(0)
+	}()
+}
+
 func main() {
 	addr := flag.String("addr", ":7010", "listen address")
 	journalPath := flag.String("journal", "", "journal file for the persistent message store (restored on start)")
 	shards := flag.Int("shards", 1, "independently locked space shards (concrete-template traffic scales across them; semantics are identical at any count)")
 	workers := flag.Int("workers", runtime.NumCPU(), "gateway dispatch workers per connection (<=1 handles requests sequentially on the reader goroutine)")
 	selftest := flag.Bool("selftest", false, "run the replicated-cluster chaos self-test (3 simulated nodes, forced primary crash) and exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile here on SIGINT/SIGTERM (see also tpbench -mutexprofile / -blockprofile for offline runs)")
+	blockprofile := flag.String("blockprofile", "", "write a blocking profile here on SIGINT/SIGTERM (park/channel waits on the serving plane)")
 	flag.Parse()
+
+	if *mutexprofile != "" {
+		profileOnExit("mutex", *mutexprofile, func() { runtime.SetMutexProfileFraction(1) })
+	}
+	if *blockprofile != "" {
+		profileOnExit("block", *blockprofile, func() { runtime.SetBlockProfileRate(1) })
+	}
 
 	if *selftest {
 		r := core.RunClusterChaos(core.DefaultClusterChaosConfig())

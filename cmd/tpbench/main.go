@@ -20,6 +20,11 @@
 //	                         # the in-proc pipe vs the unbatched baseline
 //	                         # (-clients n -netops n -codec xml|binary,
 //	                         # -json for the BENCH_net.json records)
+//	tpbench -netbench -scaling
+//	                         # multi-core scaling sweep: the
+//	                         # pipe/batched/binary closed loop under
+//	                         # GOMAXPROCS 1,2,4,8 (points above NumCPU
+//	                         # skipped; -json for BENCH_scaling.json)
 //	tpbench -leasebench      # lease-engine churn: timing-wheel batched
 //	                         # expiry vs the per-entry-timer baseline
 //	                         # (-leases n; -json for BENCH_lease.json)
@@ -32,13 +37,17 @@
 // samples, planner grid points) fan out across all CPUs by default;
 // -parallel 1 forces the sequential reference behaviour and any
 // worker count produces byte-identical output. -cpuprofile writes a
-// pprof profile of the run for hunting harness hot spots.
+// pprof profile of the run for hunting harness hot spots;
+// -mutexprofile and -blockprofile capture lock contention and
+// park/channel waits on the serving plane (the completion-path
+// profiles the scaling sweep is tuned against).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 
 	"tpspace/internal/core"
@@ -46,6 +55,20 @@ import (
 	"tpspace/internal/sim"
 	"tpspace/internal/tpwire"
 )
+
+// writeProfile dumps one named runtime profile on exit (deferred, so
+// it captures the whole run).
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+	}
+}
 
 func main() {
 	table := flag.String("table", "", "regenerate one table: 3, 4 or frames")
@@ -60,6 +83,7 @@ func main() {
 	clusterFlag := flag.Bool("cluster", false, "run the replicated multi-node cluster under the chaos harness (fault-rate x cluster-size grid, forced primary crash; combine with -json for BENCH_cluster.json)")
 	spacebench := flag.Bool("spacebench", false, "drive the tuplespace serving plane through the mixed write/take/read/wake workload and print per-op latency")
 	netbench := flag.Bool("netbench", false, "drive the network serving plane with closed-loop clients over loopback TCP and the in-proc pipe, against the unbatched baseline")
+	scaling := flag.Bool("scaling", false, "with -netbench: sweep the pipe/batched/binary closed loop over GOMAXPROCS 1,2,4,8 (points above NumCPU are skipped; -json for BENCH_scaling.json)")
 	leasebench := flag.Bool("leasebench", false, "churn leases through the timing-wheel engine against the per-entry-timer baseline (-leases n, -json for BENCH_lease.json)")
 	notifybench := flag.Bool("notifybench", false, "drive durable notify sessions under write fan-out with a mid-run reconnect (-sessions n; -json folds into BENCH_lease.json)")
 	leases := flag.Int("leases", 0, "total leases churned by -leasebench (0 = default 10M)")
@@ -73,6 +97,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent simulations (0 = all CPUs, 1 = sequential)")
 	nofastpath := flag.Bool("nofastpath", false, "disable burst-mode idle-sweep coalescing (A/B escape hatch; output is byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file (hunting serving-plane lock contention)")
+	blockprofile := flag.String("blockprofile", "", "write a blocking profile to this file (channel/park waits on the completion path)")
 	flag.Parse()
 	workers := *parallel
 	noFast := *nofastpath
@@ -89,6 +115,14 @@ func main() {
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexprofile)
+	}
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockprofile)
 	}
 
 	if *spacebench {
@@ -128,6 +162,27 @@ func main() {
 		if notifyRes != nil && notifyRes.Failed() {
 			os.Exit(1)
 		}
+		return
+	}
+	if *netbench && *scaling {
+		cfg := core.DefaultScalingConfig()
+		if *clients > 0 {
+			cfg.Base.Clients = *clients
+		}
+		if *netops > 0 {
+			cfg.Base.Ops = *netops
+		}
+		res := core.RunScalingBench(cfg)
+		if *jsonOut {
+			js, err := res.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(js)
+			return
+		}
+		fmt.Print(res.Format())
 		return
 	}
 	if *netbench {

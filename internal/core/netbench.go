@@ -226,37 +226,23 @@ func RunNetBench(cfg NetBenchConfig) NetBenchResult {
 			defer wg.Done()
 			cli := clients[c%cfg.Conns]
 			base := c * opsPer
-			// The loop itself is frugal — one reused tuple (the stack
-			// clones whatever it must retain), one reusable completion
-			// channel, hoisted callbacks — so allocs/op measures the
-			// serving stack, not the load generator.
+			// The loop itself is frugal — one reused request tuple, one
+			// reused result tuple (TakeWaitInto recycles its storage),
+			// and the blocking conveniences, whose pooled completion
+			// cells park and wake without allocating — so allocs/op
+			// measures the serving stack, not the load generator.
 			tup := tuple.New("net",
 				tuple.Int("c", int64(c)), tuple.Int("seq", 0))
-			done := make(chan string, 1)
-			wcb := func(ok bool, errMsg string) {
-				if ok {
-					done <- ""
-				} else {
-					done <- "write: " + errMsg
-				}
-			}
-			tcb := func(_ tuple.Tuple, ok bool) {
-				if ok {
-					done <- ""
-				} else {
-					done <- "take missed its own write"
-				}
-			}
+			var got tuple.Tuple
 			for j := 0; j < opsPer; j++ {
 				tup.Fields[1].Int = int64(j / 2)
 				t0 := time.Now()
 				if j%2 == 0 {
-					cli.Write(tup, space.NoLease, wcb)
-				} else {
-					cli.Take(tup, timeout, tcb)
-				}
-				if msg := <-done; msg != "" {
-					panic("netbench: " + msg)
+					if err := cli.WriteWait(tup, space.NoLease); err != nil {
+						panic("netbench: write: " + err.Error())
+					}
+				} else if !cli.TakeWaitInto(&got, tup, timeout) {
+					panic("netbench: take missed its own write")
 				}
 				lat[base+j] = time.Since(t0)
 			}
@@ -385,6 +371,7 @@ type netBenchRecord struct {
 	Clients           int     `json:"clients"`
 	Conns             int     `json:"conns"`
 	Ops               int     `json:"ops"`
+	GoMaxProcs        int     `json:"gomaxprocs"`
 	OpsPerSec         float64 `json:"ops_per_sec"`
 	P50Ns             int64   `json:"p50_ns"`
 	P99Ns             int64   `json:"p99_ns"`
@@ -402,6 +389,7 @@ func (s NetBenchSuite) JSON() (string, error) {
 			Clients:     r.Config.Clients,
 			Conns:       r.Config.Conns,
 			Ops:         r.Ops,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
 			OpsPerSec:   r.OpsPerSec,
 			P50Ns:       r.P50.Nanoseconds(),
 			P99Ns:       r.P99.Nanoseconds(),

@@ -150,6 +150,7 @@ type shard struct {
 	shapes     map[uint64]*kindBucket // shape sig → chain of kind buckets
 	values     map[uint64]*valueBucket
 	vFree      *valueBucket
+	eFree      *entry // recycled entries (see getEntry/freeEntry)
 	size       int
 
 	subVal           map[uint64]*subList
@@ -194,6 +195,40 @@ func (sh *shard) newValueBucket() *valueBucket {
 		return b
 	}
 	return &valueBucket{}
+}
+
+// getEntry pops a recycled entry from the shard freelist (or
+// allocates); the caller holds the shard lock. A recycled entry keeps
+// its tuple's field storage, so the usual next step —
+// tuple.CloneInto(&e.t, src) — reuses it and the steady-state write
+// path allocates nothing.
+func (sh *shard) getEntry() *entry {
+	if e := sh.eFree; e != nil {
+		sh.eFree = e.next
+		e.next = nil
+		return e
+	}
+	return &entry{}
+}
+
+// freeEntry pushes an unlinked entry onto the shard freelist; the
+// caller holds the shard lock. Only entries whose whole lifecycle the
+// shard controlled are recycled — a consumed write, a probe-take hit
+// (tuple already cloned out), an expiry sweep victim — NEVER entries
+// held by a transaction or returned by reference: callers that handed
+// e.t's storage to the outside world must clear e.t first. Lease
+// handles caching a recycled entry stay safe: resolve() re-validates
+// (linked && id match) under this same shard lock, and ids are never
+// reused.
+func (sh *shard) freeEntry(e *entry) {
+	if e.linked || e.exp.Armed() || e.cancelExp != nil {
+		return // defensive: never recycle an entry still indexed or timed
+	}
+	e.id = 0
+	e.writtenAt = 0
+	e.vh, e.kk, e.sk = 0, 0, 0
+	e.next = sh.eFree
+	sh.eFree = e
 }
 
 // link appends a stored entry to the tail of the shard order, its

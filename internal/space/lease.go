@@ -122,6 +122,7 @@ func (sh *shard) runSweep() {
 			sh.unlinkNoLog(e)
 			sh.stats.Expired++
 			ids = append(ids, e.id)
+			sh.freeEntry(e) // fully detached; nothing references it now
 		}
 		t = next
 	}

@@ -352,6 +352,33 @@ func (s *Space) Write(t tuple.Tuple, lease sim.Duration) (*Lease, error) {
 	return l, nil
 }
 
+// Put is Write for callers that discard the lease — the serving
+// plane's write path. It runs the identical store machinery (waiter
+// satisfaction, notify fan-out, journaling, lease arming, the same
+// stats and journal bytes), but clones the tuple into a freelisted
+// entry under the shard lock instead of allocating entry + clone +
+// Lease per call: in the steady state a Put allocates nothing.
+func (s *Space) Put(t tuple.Tuple, lease sim.Duration) error {
+	if t.HasWildcards() {
+		return ErrTemplateWrite
+	}
+	vh, _ := t.ValueSig()
+	sh := s.shardFor(vh)
+	sh.mu.Lock()
+	e := sh.getEntry()
+	tuple.CloneInto(&e.t, t)
+	e.vh, e.kk, e.sk = vh, t.KindSig(), t.ShapeSig()
+	e.id = s.seq.Add(1)
+	sh.stats.Writes++
+	_, _, fire := sh.storeCore(e, lease, true)
+	sh.mu.Unlock()
+
+	for _, f := range fire {
+		f()
+	}
+	return nil
+}
+
 // probeSubs scans the subscription buckets e's signatures can satisfy
 // — exact-match, typed-wildcard, and untyped; nothing else in the
 // space can match it. Matching readers are claimed as they are found,
@@ -396,7 +423,13 @@ func (sh *shard) probeSubs(e *entry, withNotify bool) (consumed bool, fire []fun
 	scan(sh.subKind[e.kk])
 	scan(sh.subShape[e.sk])
 
-	sort.Slice(takers, func(i, j int) bool { return takers[i].s.seq < takers[j].s.seq })
+	// The sorts below guard on length: sort.Slice builds a reflection
+	// swapper before it looks at the data, a measurable per-write cost
+	// on the serving plane where all three slices are almost always
+	// empty or single.
+	if len(takers) > 1 {
+		sort.Slice(takers, func(i, j int) bool { return takers[i].s.seq < takers[j].s.seq })
+	}
 	for _, node := range takers {
 		if node.s.done.CompareAndSwap(false, true) {
 			sh.dropSub(node)
@@ -409,14 +442,18 @@ func (sh *shard) probeSubs(e *entry, withNotify bool) (consumed bool, fire []fun
 
 	// Fire notifies first, then satisfied waiters, each in
 	// registration order — the legacy single-list fan-out order.
-	sort.Slice(notifies, func(i, j int) bool { return notifies[i].seq < notifies[j].seq })
+	if len(notifies) > 1 {
+		sort.Slice(notifies, func(i, j int) bool { return notifies[i].seq < notifies[j].seq })
+	}
 	for _, n := range notifies {
 		n := n
 		cp := stored.Clone()
 		sh.stats.Notifies++
 		fire = append(fire, func() { n.fn(cp) })
 	}
-	sort.Slice(woken, func(i, j int) bool { return woken[i].seq < woken[j].seq })
+	if len(woken) > 1 {
+		sort.Slice(woken, func(i, j int) bool { return woken[i].seq < woken[j].seq })
+	}
 	for _, w := range woken {
 		if w.cancelTimer != nil {
 			w.cancelTimer()
@@ -440,31 +477,41 @@ func (sh *shard) probeSubs(e *entry, withNotify bool) (consumed bool, fire []fun
 // the lock is released. A detached lease (nil sp) signals the entry
 // went straight to a parked taker and was not stored.
 func (sh *shard) store(e *entry, lease sim.Duration, journal bool) (*Lease, []func()) {
+	consumed, expiry, fire := sh.storeCore(e, lease, journal)
+	if consumed {
+		return &Lease{}, fire // detached: entry is already gone
+	}
+	return &Lease{sp: sh.sp, sh: sh, id: e.id, e: e, Expiry: expiry}, fire
+}
+
+// storeCore is store without the Lease materialization — the shared
+// machinery of Write (which wraps the result in a Lease) and Put
+// (which discards it and so never allocates one). A consumed entry is
+// recycled onto the shard freelist here: probeSubs cloned the tuple
+// for every recipient, so nothing references it afterwards.
+func (sh *shard) storeCore(e *entry, lease sim.Duration, journal bool) (consumed bool, expiry sim.Time, fire []func()) {
 	s := sh.sp
 	e.writtenAt = s.rt.Now()
-	stored := e.t
-	consumed, fire := sh.probeSubs(e, true)
+	consumed, fire = sh.probeSubs(e, true)
 
-	var l *Lease
 	if consumed {
 		if !journal {
 			// A restored entry went straight to a parked taker: persist
 			// the consumption so a later replay does not resurrect it.
 			s.logR(e.id)
 		}
-		l = &Lease{} // detached: entry is already gone
-	} else {
-		sh.link(e)
-		if journal {
-			s.logW(e.id, stored, lease)
-		}
-		l = &Lease{sp: s, sh: sh, id: e.id, e: e}
-		if lease > 0 {
-			l.Expiry = s.rt.Now().Add(lease)
-			sh.armLease(e, l.Expiry, lease)
-		}
+		sh.freeEntry(e)
+		return true, 0, fire
 	}
-	return l, fire
+	sh.link(e)
+	if journal {
+		s.logW(e.id, e.t, lease)
+	}
+	if lease > 0 {
+		expiry = s.rt.Now().Add(lease)
+		sh.armLease(e, expiry, lease)
+	}
+	return false, expiry, fire
 }
 
 // Crash simulates a server crash: the in-memory store, subscriptions
@@ -516,6 +563,7 @@ func (s *Space) Crash() {
 		sh.shapes = make(map[uint64]*kindBucket)
 		sh.values = make(map[uint64]*valueBucket)
 		sh.vFree = nil
+		sh.eFree = nil // wiped entries are lost, not recycled
 		sh.size = 0
 	}
 	s.unlockAll()
@@ -567,8 +615,11 @@ func (s *Space) TakeIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool) {
 		if e := sh.oldest(class, key, tmpl); e != nil {
 			sh.unlink(e)
 			sh.stats.Takes++
+			out := e.t
+			e.t = tuple.Tuple{} // out owns the storage now
+			sh.freeEntry(e)
 			sh.mu.Unlock()
-			return e.t, true
+			return out, true
 		}
 		sh.stats.Misses++
 		sh.mu.Unlock()
@@ -578,12 +629,83 @@ func (s *Space) TakeIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool) {
 	if e, esh := s.oldestAllLocked(class, key, tmpl); e != nil {
 		esh.unlink(e)
 		esh.stats.Takes++
+		out := e.t
+		e.t = tuple.Tuple{}
+		esh.freeEntry(e)
 		s.unlockAll()
-		return e.t, true
+		return out, true
 	}
 	s.shards[0].stats.Misses++
 	s.unlockAll()
 	return tuple.Tuple{}, false
+}
+
+// ProbeTake removes the oldest matching entry and clones it into
+// *dst via tuple.CloneInto, reusing dst's field storage — a caller
+// recycling its result tuple takes without allocating. It reports
+// whether a match was found; on a miss *dst is left untouched.
+//
+// Stats mirror the blocking take's immediate-hit path exactly: a hit
+// counts Takes, a miss counts nothing (a blocking take with a nonzero
+// timeout parks on a miss rather than counting one). That is what
+// lets a serving plane probe first and fall back to TakeErr only on
+// miss without perturbing the stats the goldens pin. For an
+// IfExists-shaped op (zero timeout, miss counted) use TakeIfExists.
+func (s *Space) ProbeTake(dst *tuple.Tuple, tmpl tuple.Tuple) bool {
+	class, key := classify(tmpl)
+	if class == subValue {
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		if e := sh.oldest(class, key, tmpl); e != nil {
+			sh.unlink(e)
+			sh.stats.Takes++
+			tuple.CloneInto(dst, e.t)
+			sh.freeEntry(e)
+			sh.mu.Unlock()
+			return true
+		}
+		sh.mu.Unlock()
+		return false
+	}
+	s.lockAll()
+	if e, esh := s.oldestAllLocked(class, key, tmpl); e != nil {
+		esh.unlink(e)
+		esh.stats.Takes++
+		tuple.CloneInto(dst, e.t)
+		esh.freeEntry(e)
+		s.unlockAll()
+		return true
+	}
+	s.unlockAll()
+	return false
+}
+
+// ProbeRead is ProbeTake without removal: the oldest match is cloned
+// into *dst (entry left in place, Reads counted on a hit, nothing on
+// a miss).
+func (s *Space) ProbeRead(dst *tuple.Tuple, tmpl tuple.Tuple) bool {
+	class, key := classify(tmpl)
+	if class == subValue {
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		if e := sh.oldest(class, key, tmpl); e != nil {
+			sh.stats.Reads++
+			tuple.CloneInto(dst, e.t)
+			sh.mu.Unlock()
+			return true
+		}
+		sh.mu.Unlock()
+		return false
+	}
+	s.lockAll()
+	if e, esh := s.oldestAllLocked(class, key, tmpl); e != nil {
+		esh.stats.Reads++
+		tuple.CloneInto(dst, e.t)
+		s.unlockAll()
+		return true
+	}
+	s.unlockAll()
+	return false
 }
 
 // oldestAllLocked finds the globally oldest match across shards; the
@@ -722,6 +844,8 @@ func (s *Space) blockingOp(tmpl tuple.Tuple, timeout sim.Duration, take bool, cb
 			esh.unlink(e)
 			esh.stats.Takes++
 			out = e.t
+			e.t = tuple.Tuple{} // out owns the storage now
+			esh.freeEntry(e)
 		} else {
 			esh.stats.Reads++
 			out = e.t.Clone()

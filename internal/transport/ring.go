@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// sendRing is the bounded outbound frame queue of a batched TCPConn:
+// a power-of-two ring with lock-free multi-producer enqueue and a
+// single consumer (the writer goroutine). It replaces the former
+// buffered channel so concurrent senders on different cores publish
+// frames with one CAS + one store instead of contending on the
+// channel's internal lock.
+//
+// The ring is a Vyukov bounded MPMC queue used MPSC. Each cell
+// carries a sequence number: cells[i].seq starts at i; a producer
+// claims slot pos when seq == pos (CAS on enq), writes the frame, and
+// publishes with seq = pos+1; the consumer at pos accepts when
+// seq == pos+1 and retires the cell with seq = pos+len(cells) for the
+// ring's next lap. Go's atomics are sequentially consistent, which is
+// stronger than the acquire/release the algorithm needs.
+//
+// Sleeping and waking are flag-based (Dekker-style), not channel
+// rendezvous per frame:
+//
+//   - consumer: W(sleeping=true) then R(cell.seq) re-check, then park
+//   - producer: W(cell.seq) publish, then R(sleeping), wake if set
+//
+// Under the sequentially consistent total order either the consumer's
+// re-check sees the published frame or the producer's flag read sees
+// sleeping=true and posts the (buffered, never-blocking) wake token —
+// a wakeup cannot be lost, only duplicated, and the consumer
+// tolerates spurious wakes by re-polling.
+//
+// A full ring is the slow path: blocking producers park on a plain
+// condvar (fullMu/fullCond) and the consumer broadcasts after freeing
+// slots, gated by the hasWaiters flag with the same publish-then-
+// re-check discipline (producer: W(hasWaiters) then R(seq) via
+// tryPush inside the wait loop; consumer: W(seq) via pop then
+// R(hasWaiters)). Contended-full throughput is bounded by the socket
+// anyway, so a lock there costs nothing measurable.
+type sendRing struct {
+	cells []ringCell
+	mask  uint64
+
+	enq atomic.Uint64
+	_   [7]uint64 // keep the producers' CAS line off the consumer's
+	deq atomic.Uint64
+
+	// Consumer parking (empty ring).
+	sleeping atomic.Bool
+	wakeCh   chan struct{} // cap 1; tokens are idempotent
+
+	// Producer parking (full ring) — slow path only.
+	fullMu     sync.Mutex
+	fullCond   *sync.Cond
+	waiters    int
+	hasWaiters atomic.Bool
+}
+
+type ringCell struct {
+	seq atomic.Uint64
+	f   *wframe
+}
+
+// newSendRing builds a ring with capacity rounded up to the next
+// power of two. The minimum is 2: with a single cell the "free for
+// the next lap" sequence (pos+cap) collides with the "occupied"
+// sequence (pos+1) and the full/empty states become indistinguishable.
+func newSendRing(depth int) *sendRing {
+	n := 2
+	for n < depth {
+		n <<= 1
+	}
+	r := &sendRing{
+		cells:  make([]ringCell, n),
+		mask:   uint64(n - 1),
+		wakeCh: make(chan struct{}, 1),
+	}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	r.fullCond = sync.NewCond(&r.fullMu)
+	return r
+}
+
+// cap returns the ring's slot count.
+func (r *sendRing) cap() int { return len(r.cells) }
+
+// tryPush enqueues f without blocking; it reports false when the ring
+// is full. Safe for concurrent producers.
+func (r *sendRing) tryPush(f *wframe) bool {
+	pos := r.enq.Load()
+	for {
+		cell := &r.cells[pos&r.mask]
+		seq := cell.seq.Load()
+		switch d := int64(seq - pos); {
+		case d == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				cell.f = f
+				cell.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case d < 0:
+			// The cell still holds a frame from the previous lap: full.
+			return false
+		default:
+			// Another producer claimed pos; chase the tail.
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// pop dequeues the next frame. Single consumer only. It reports false
+// when the ring is empty (including momentarily, while a producer is
+// mid-publish — the wake protocol covers that window).
+func (r *sendRing) pop() (*wframe, bool) {
+	pos := r.deq.Load()
+	cell := &r.cells[pos&r.mask]
+	if cell.seq.Load() != pos+1 {
+		return nil, false
+	}
+	f := cell.f
+	cell.f = nil
+	cell.seq.Store(pos + r.mask + 1)
+	r.deq.Store(pos + 1)
+	if r.hasWaiters.Load() {
+		r.fullMu.Lock()
+		r.fullCond.Broadcast()
+		r.fullMu.Unlock()
+	}
+	return f, true
+}
+
+// wake posts the consumer's wake token if the consumer declared
+// itself sleeping. Called by producers after a successful push; the
+// buffered channel makes the send non-blocking and idempotent.
+func (r *sendRing) wake() {
+	if r.sleeping.Load() {
+		select {
+		case r.wakeCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// push enqueues f, blocking while the ring is full. It returns
+// ErrClosed (without releasing f) once closed reports true.
+func (r *sendRing) push(f *wframe, closed *atomic.Bool) error {
+	if r.tryPush(f) {
+		r.wake()
+		return nil
+	}
+	r.fullMu.Lock()
+	r.waiters++
+	r.hasWaiters.Store(true)
+	for {
+		if closed.Load() {
+			r.releaseWaiterLocked()
+			return ErrClosed
+		}
+		// Re-check after publishing hasWaiters: a pop between our
+		// failed tryPush and the flag store must not strand us.
+		if r.tryPush(f) {
+			r.releaseWaiterLocked()
+			r.wake()
+			return nil
+		}
+		r.fullCond.Wait()
+	}
+}
+
+func (r *sendRing) releaseWaiterLocked() {
+	r.waiters--
+	if r.waiters == 0 {
+		r.hasWaiters.Store(false)
+	}
+	r.fullMu.Unlock()
+}
+
+// wakeAll releases every parked producer (they re-check the closed
+// flag) — called when the connection closes or fails.
+func (r *sendRing) wakeAll() {
+	r.fullMu.Lock()
+	r.fullCond.Broadcast()
+	r.fullMu.Unlock()
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,16 +16,23 @@ import (
 // the paper's Java/socket wrapper (Figure 4).
 //
 // The send side is pipelined: Send copies the payload into a pooled
-// frame buffer and enqueues it on a bounded outbound queue; a
-// dedicated writer goroutine drains the queue and hands k frames at a
-// time to the kernel through net.Buffers (one writev for the whole
-// batch), so under load k small frames cost one syscall instead of
-// 2k. When the queue is full Send blocks by default — backpressure
-// instead of unbounded buffering — preserving per-sender ordering;
-// WithNonBlockingSend turns the wait into ErrBackpressure for callers
-// that would rather shed load. WithSyncWrites removes the writer
-// goroutine entirely and writes each frame inline as a single
+// frame buffer and enqueues it on a bounded lock-free MPSC ring
+// (sendRing); a dedicated writer goroutine drains the ring and hands
+// k frames at a time to the kernel through net.Buffers (one writev
+// for the whole batch), so under load k small frames cost one syscall
+// instead of 2k. Enqueue is one CAS + one store — concurrent senders
+// on different cores never take a lock on the hot path. When the ring
+// is full Send blocks by default — backpressure instead of unbounded
+// buffering; WithNonBlockingSend turns the wait into ErrBackpressure
+// for callers that would rather shed load. WithSyncWrites removes the
+// writer goroutine entirely and writes each frame inline as a single
 // combined write (still one syscall per frame, never two).
+//
+// Note the ring is MPSC, not a FIFO across producers: frames from a
+// single goroutine stay in order (each Send completes its publish
+// before returning), which is the ordering the Conn contract
+// promises; frames racing from different goroutines have no defined
+// order, exactly as before.
 //
 // The receive side reads through a bufio.Reader (one syscall ingests
 // many frames) into per-class buffers recycled across frames, so the
@@ -32,11 +40,10 @@ import (
 // to 64 KiB. The payload passed to the receive callback is only
 // valid until the callback returns (see Conn.SetOnReceive).
 type TCPConn struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // guards onRecv, started, OnError
 	nc     net.Conn
 	onRecv func([]byte)
-	closed bool
-	stats  Stats
+	closed atomic.Bool
 	// started guards the reader goroutine launch.
 	started bool
 	// OnError, if set, observes reader- and writer-side failures
@@ -45,8 +52,17 @@ type TCPConn struct {
 
 	cfg tcpConfig
 
+	// Counters are atomics so Send/receive never serialize on a
+	// stats lock.
+	msgsSent     atomic.Uint64
+	msgsReceived atomic.Uint64
+	bytesSent    atomic.Uint64
+	bytesRecv    atomic.Uint64
+	readErrors   atomic.Uint64
+	writeBatches atomic.Uint64
+
 	// Batched-writer state (nil/unused under WithSyncWrites).
-	sendCh     chan *wframe
+	ring       *sendRing
 	quit       chan struct{}
 	quitOnce   sync.Once
 	writerDone chan struct{}
@@ -83,8 +99,9 @@ type tcpConfig struct {
 type TCPOption func(*tcpConfig)
 
 // WithSendQueue sets the outbound queue depth in frames (default
-// 256). A deeper queue absorbs bigger bursts before backpressure; a
-// depth of 1 effectively serializes senders on the writer.
+// 256; rounded up by the ring to the next power of two, minimum 2).
+// A deeper queue absorbs bigger bursts before backpressure; a shallow
+// one keeps senders close behind the writer.
 func WithSendQueue(depth int) TCPOption {
 	return func(c *tcpConfig) {
 		if depth > 0 {
@@ -119,7 +136,7 @@ func NewTCPConn(nc net.Conn, opts ...TCPOption) *TCPConn {
 	}
 	t := &TCPConn{nc: nc, cfg: cfg}
 	if !cfg.syncWrites {
-		t.sendCh = make(chan *wframe, cfg.queueDepth)
+		t.ring = newSendRing(cfg.queueDepth)
 		t.quit = make(chan struct{})
 		t.writerDone = make(chan struct{})
 		go t.writeLoop()
@@ -197,10 +214,13 @@ func (t *TCPConn) Send(payload []byte) error {
 	if len(payload) > maxTCPMessage {
 		return ErrTooLarge
 	}
+	if t.closed.Load() {
+		return ErrClosed
+	}
 	f := newFrame(payload)
 	if t.cfg.syncWrites {
 		t.mu.Lock()
-		if t.closed {
+		if t.closed.Load() {
 			t.mu.Unlock()
 			f.release()
 			return ErrClosed
@@ -208,70 +228,66 @@ func (t *TCPConn) Send(payload []byte) error {
 		// One combined write: a failure between header and payload can
 		// no longer desynchronize the peer's framing.
 		_, err := t.nc.Write(f.data[:f.n])
-		if err == nil {
-			t.stats.MsgsSent++
-			t.stats.BytesSent += uint64(len(payload))
-		}
 		t.mu.Unlock()
 		f.release()
+		if err == nil {
+			t.msgsSent.Add(1)
+			t.bytesSent.Add(uint64(len(payload)))
+		}
 		return err
 	}
 
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		f.release()
-		return ErrClosed
-	}
-	t.mu.Unlock()
 	if t.cfg.nonBlocking {
-		select {
-		case t.sendCh <- f:
-		default:
+		if !t.ring.tryPush(f) {
 			f.release()
 			return ErrBackpressure
 		}
-	} else {
-		select {
-		case t.sendCh <- f:
-		case <-t.quit:
-			f.release()
-			return ErrClosed
-		}
+		t.ring.wake()
+	} else if err := t.ring.push(f, &t.closed); err != nil {
+		f.release()
+		return err
 	}
-	t.mu.Lock()
-	t.stats.MsgsSent++
-	t.stats.BytesSent += uint64(len(payload))
-	t.mu.Unlock()
+	t.msgsSent.Add(1)
+	t.bytesSent.Add(uint64(len(payload)))
 	return nil
 }
 
-// writeLoop drains the outbound queue, coalescing queued frames into
-// vectored writes. On quit it flushes whatever is already queued,
-// then closes the socket.
+// writeLoop drains the outbound ring, coalescing queued frames into
+// vectored writes. Between frames it parks on the ring's wake token
+// (publish-then-re-check, so a wakeup cannot be lost). On quit it
+// flushes whatever is already queued, then closes the socket.
 func (t *TCPConn) writeLoop() {
 	defer close(t.writerDone)
 	for {
-		select {
-		case f := <-t.sendCh:
-			if !t.writeBatch(f) {
-				t.discardQueued()
-				return
-			}
-		case <-t.quit:
-			// Graceful close: flush queued frames, then tear down.
-			for {
+		f, ok := t.ring.pop()
+		if !ok {
+			t.ring.sleeping.Store(true)
+			if f, ok = t.ring.pop(); !ok {
 				select {
-				case f := <-t.sendCh:
-					if !t.writeBatch(f) {
-						t.discardQueued()
-						return
+				case <-t.ring.wakeCh:
+					t.ring.sleeping.Store(false)
+					continue
+				case <-t.quit:
+					t.ring.sleeping.Store(false)
+					// Graceful close: flush queued frames, then tear down.
+					for {
+						f, ok := t.ring.pop()
+						if !ok {
+							_ = t.nc.Close()
+							return
+						}
+						if !t.writeBatch(f) {
+							t.discardQueued()
+							return
+						}
 					}
-				default:
-					_ = t.nc.Close()
-					return
 				}
 			}
+			t.ring.sleeping.Store(false)
+		}
+		if !t.writeBatch(f) {
+			t.discardQueued()
+			return
 		}
 	}
 }
@@ -283,13 +299,12 @@ func (t *TCPConn) writeBatch(first *wframe) bool {
 	frames := append(t.fscratch[:0], first)
 	total := first.n
 	for len(frames) < maxBatchFrames && total < maxBatchBytes {
-		select {
-		case f := <-t.sendCh:
-			frames = append(frames, f)
-			total += f.n
-		default:
-			total = maxBatchBytes // no more queued: stop collecting
+		f, ok := t.ring.pop()
+		if !ok {
+			break
 		}
+		frames = append(frames, f)
+		total += f.n
 	}
 	bufs := t.wbufs[:0]
 	for _, f := range frames {
@@ -302,21 +317,19 @@ func (t *TCPConn) writeBatch(first *wframe) bool {
 	}
 	t.fscratch = frames[:0]
 	if err != nil {
+		wasClosed := t.closed.Swap(true)
+		t.ring.wakeAll()
 		t.mu.Lock()
-		closed := t.closed
-		t.closed = true
 		cb := t.OnError
 		t.mu.Unlock()
 		t.quitOnce.Do(func() { close(t.quit) })
 		_ = t.nc.Close()
-		if !closed && cb != nil {
+		if !wasClosed && cb != nil {
 			cb(fmt.Errorf("transport: write: %w", err))
 		}
 		return false
 	}
-	t.mu.Lock()
-	t.stats.WriteBatches++
-	t.mu.Unlock()
+	t.writeBatches.Add(1)
 	return true
 }
 
@@ -324,12 +337,11 @@ func (t *TCPConn) writeBatch(first *wframe) bool {
 // blocked senders drain without touching the dead socket.
 func (t *TCPConn) discardQueued() {
 	for {
-		select {
-		case f := <-t.sendCh:
-			f.release()
-		default:
+		f, ok := t.ring.pop()
+		if !ok {
 			return
 		}
+		f.release()
 	}
 }
 
@@ -379,17 +391,14 @@ func (t *TCPConn) readLoop() {
 			t.fail(err)
 			return
 		}
-		t.mu.Lock()
-		fn := t.onRecv
-		closed := t.closed
-		if !closed {
-			t.stats.MsgsReceived++
-			t.stats.BytesRecv += uint64(len(buf))
-		}
-		t.mu.Unlock()
-		if closed {
+		if t.closed.Load() {
 			return
 		}
+		t.mu.Lock()
+		fn := t.onRecv
+		t.mu.Unlock()
+		t.msgsReceived.Add(1)
+		t.bytesRecv.Add(uint64(len(buf)))
 		if fn != nil {
 			fn(buf)
 		}
@@ -416,11 +425,11 @@ func grabRecvBuf(slabs *[len(recvClasses)][]byte, n int) []byte {
 // which io.ReadFull surfaces as io.ErrUnexpectedEOF — counts in
 // Stats.ReadErrors and reaches OnError with its context intact.
 func (t *TCPConn) fail(err error) {
-	t.mu.Lock()
-	closed := t.closed
+	closed := t.closed.Load()
 	if !closed && err != io.EOF {
-		t.stats.ReadErrors++
+		t.readErrors.Add(1)
 	}
+	t.mu.Lock()
 	cb := t.OnError
 	t.mu.Unlock()
 	if !closed && cb != nil && err != io.EOF {
@@ -435,16 +444,13 @@ func (t *TCPConn) fail(err error) {
 // flushed (bounded by a write deadline) before the socket closes;
 // Sends racing Close may be dropped.
 func (t *TCPConn) Close() error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	if t.closed.Swap(true) {
 		return nil
 	}
-	t.closed = true
-	t.mu.Unlock()
 	if t.cfg.syncWrites {
 		return t.nc.Close()
 	}
+	t.ring.wakeAll()
 	// Bound the flush: a peer that stopped reading must not wedge
 	// Close behind a full socket buffer.
 	_ = t.nc.SetWriteDeadline(time.Now().Add(closeFlushBudget))
@@ -455,7 +461,12 @@ func (t *TCPConn) Close() error {
 
 // Stats returns a snapshot of the endpoint's counters.
 func (t *TCPConn) Stats() Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	return Stats{
+		MsgsSent:     t.msgsSent.Load(),
+		MsgsReceived: t.msgsReceived.Load(),
+		BytesSent:    t.bytesSent.Load(),
+		BytesRecv:    t.bytesRecv.Load(),
+		ReadErrors:   t.readErrors.Load(),
+		WriteBatches: t.writeBatches.Load(),
+	}
 }

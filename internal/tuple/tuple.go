@@ -169,6 +169,32 @@ func (t Tuple) Clone() Tuple {
 	return c
 }
 
+// CloneInto deep-copies src into *dst, reusing dst's field slice and
+// byte-field buffers when their capacity allows — the steady-state
+// allocation-free form of Clone for callers that recycle a
+// destination across operations. dst must not alias src.
+func CloneInto(dst *Tuple, src Tuple) {
+	dst.Type = src.Type
+	if cap(dst.Fields) >= len(src.Fields) {
+		dst.Fields = dst.Fields[:len(src.Fields)]
+	} else {
+		dst.Fields = make([]Field, len(src.Fields))
+	}
+	for i := range src.Fields {
+		f := src.Fields[i]
+		if f.Kind == KindBytes && f.Bytes != nil {
+			if old := dst.Fields[i].Bytes; cap(old) >= len(f.Bytes) {
+				old = old[:len(f.Bytes)]
+				copy(old, f.Bytes)
+				f.Bytes = old
+			} else {
+				f.Bytes = append([]byte(nil), f.Bytes...)
+			}
+		}
+		dst.Fields[i] = f
+	}
+}
+
 // Equal reports structural equality of two tuples (type, arity,
 // kinds, wildcard flags and values).
 func (t Tuple) Equal(u Tuple) bool {

@@ -37,6 +37,10 @@ import (
 type binState struct {
 	req xmlcodec.BinRequest
 	in  *xmlcodec.Interner
+	// got is the probe-first match scratch: space.ProbeTake /
+	// ProbeRead clone the hit into it (reusing its field storage), and
+	// the response is serialized out of it before the state is pooled.
+	got tuple.Tuple
 }
 
 var binStatePool = sync.Pool{
@@ -46,16 +50,30 @@ var binStatePool = sync.Pool{
 // binDedup is the direct path's at-most-once table — the semantics of
 // dedup (resilience.go) with pooled-buffer ownership and no per-op
 // closure: completed responses are cached verbatim (the cache owns
-// the pooled frame, releasing it on FIFO eviction), duplicates of
-// in-flight requests park a delivery hook on the original.
+// the pooled frame, releasing it on eviction), duplicates of in-flight
+// requests park a delivery hook on the original.
+//
+// The completed-response cache is a direct-mapped array indexed by
+// id&(cap-1) rather than a map+FIFO queue: a completion is one slot
+// store (evicting the previous occupant to the buffer pool), a
+// duplicate check one slot compare — no map hashing, no eviction
+// queue, no per-completion append. Request ids are per-connection
+// sequential, so a slot holds an id for exactly cap completions before
+// collision evicts it — the same retention the FIFO queue of capacity
+// cap provided.
 type binDedup struct {
 	mu       sync.Mutex
-	cap      int
-	done     map[uint64][]byte
-	order    []uint64 // FIFO eviction queue, head..len valid
-	head     int
+	mask     uint64
+	slots    []bdSlot
 	inflight map[uint64]*bdWait
 	free     *bdWait // bdWait freelist, so the steady state allocates nothing
+}
+
+// bdSlot caches one completed response frame; resp==nil marks an
+// empty slot (id 0 never enters the table — id-0 requests skip dedup).
+type bdSlot struct {
+	id   uint64
+	resp []byte
 }
 
 // bdWait tracks one in-flight id; parked duplicate deliverers are
@@ -66,9 +84,13 @@ type bdWait struct {
 }
 
 func newBinDedup(cap int) *binDedup {
+	n := 1
+	for n < cap {
+		n <<= 1
+	}
 	return &binDedup{
-		cap:      cap,
-		done:     make(map[uint64][]byte),
+		mask:     uint64(n - 1),
+		slots:    make([]bdSlot, n),
 		inflight: make(map[uint64]*bdWait),
 	}
 }
@@ -87,9 +109,9 @@ const (
 // original's response answers it).
 func (d *binDedup) begin(id uint64, deliver func([]byte)) (verdict int, resp []byte) {
 	d.mu.Lock()
-	if b, ok := d.done[id]; ok {
-		cp := transport.GetBuf(len(b))
-		cp = append(cp, b...)
+	if s := &d.slots[id&d.mask]; s.id == id && s.resp != nil {
+		cp := transport.GetBuf(len(s.resp))
+		cp = append(cp, s.resp...)
 		d.mu.Unlock()
 		return bdDup, cp
 	}
@@ -113,9 +135,9 @@ func (d *binDedup) begin(id uint64, deliver func([]byte)) (verdict int, resp []b
 }
 
 // complete finishes id with its response frame, taking ownership of
-// resp (a transport.GetBuf buffer): the cache keeps it until FIFO
-// eviction releases it back to the pool. Parked duplicates receive
-// owned copies.
+// resp (a transport.GetBuf buffer): the cache keeps it in id's slot
+// until a colliding completion evicts it back to the pool. Parked
+// duplicates receive owned copies.
 func (d *binDedup) complete(id uint64, resp []byte) {
 	d.mu.Lock()
 	w := d.inflight[id]
@@ -127,20 +149,11 @@ func (d *binDedup) complete(id uint64, resp []byte) {
 			dups = append(dups, append(cp, resp...))
 		}
 	}
-	d.done[id] = resp
-	d.order = append(d.order, id)
-	for len(d.order)-d.head > d.cap {
-		old := d.order[d.head]
-		d.head++
-		if b, ok := d.done[old]; ok {
-			delete(d.done, old)
-			transport.PutBuf(b)
-		}
+	s := &d.slots[id&d.mask]
+	if s.resp != nil {
+		transport.PutBuf(s.resp)
 	}
-	if d.head > d.cap { // compact the eviction queue in amortized O(1)
-		d.order = append(d.order[:0], d.order[d.head:]...)
-		d.head = 0
-	}
+	s.id, s.resp = id, resp
 	var waiters []func([]byte)
 	if w != nil {
 		waiters = w.waiters
@@ -261,8 +274,11 @@ func (g *Gateway) serveBinary(b []byte, done func([]byte)) {
 		g.finishBin(id, out, done)
 
 	case xmlcodec.OpWrite:
+		// Put, not Write: the lease handle would be discarded, and Put
+		// clones into a freelisted entry — the steady-state write path
+		// allocates nothing space-side.
 		var out []byte
-		if _, err := g.sp.Write(req.Entry, sim.Duration(req.LeaseMs)*sim.Millisecond); err != nil {
+		if err := g.sp.Put(req.Entry, sim.Duration(req.LeaseMs)*sim.Millisecond); err != nil {
 			out = transport.GetBuf(256)
 			out = xmlcodec.AppendResponseBinary(out, id, false, false, 0, err.Error(), nil)
 		} else {
@@ -296,8 +312,22 @@ func (g *Gateway) serveBinary(b []byte, done func([]byte)) {
 			g.finishBin(id, appendMatchResp(id, got, ok), done)
 			break
 		}
+		// Probe first: a hit — the overwhelming steady-state case for a
+		// closed loop — completes with no callback closure, no blockingOp
+		// setup and no tuple clone beyond CloneInto into pooled scratch.
+		// Stats are identical to blockingOp's immediate-hit path (a
+		// probe miss counts nothing; the blocking form parks).
+		take := req.Op == xmlcodec.OpTake
+		if take && g.sp.ProbeTake(&st.got, req.Entry) {
+			g.finishBin(id, appendMatchResp(id, st.got, true), done)
+			break
+		}
+		if !take && g.sp.ProbeRead(&st.got, req.Entry) {
+			g.finishBin(id, appendMatchResp(id, st.got, true), done)
+			break
+		}
 		op := g.sp.ReadErr
-		if req.Op == xmlcodec.OpTake {
+		if take {
 			op = g.sp.TakeErr
 		}
 		// The callback may fire after this frame and scratch are long
@@ -396,6 +426,23 @@ type batchCollector struct {
 	remaining atomic.Int32
 }
 
+// batchColPool recycles collectors (and their slot arrays) across
+// batches: a collector returns to the pool after its flush, which is
+// strictly after the last member completion touched it.
+var batchColPool = sync.Pool{New: func() any { return &batchCollector{} }}
+
+func getBatchCollector(g *Gateway, n int) *batchCollector {
+	c := batchColPool.Get().(*batchCollector)
+	c.g = g
+	if cap(c.slots) >= n {
+		c.slots = c.slots[:n]
+	} else {
+		c.slots = make([][]byte, n)
+	}
+	c.remaining.Store(int32(n))
+	return c
+}
+
 // slot returns the fill callback for member i.
 func (c *batchCollector) slot(i int) func([]byte) {
 	return func(resp []byte) {
@@ -422,6 +469,8 @@ func (c *batchCollector) flush() {
 		c.g.OnError(err)
 	}
 	transport.PutBuf(out)
+	c.g = nil
+	batchColPool.Put(c)
 }
 
 // handleBatch serves a multi-op batch request frame: each member is a
@@ -441,8 +490,7 @@ func (g *Gateway) handleBatch(b []byte) {
 		return
 	}
 	n := it.Len()
-	col := &batchCollector{g: g, slots: make([][]byte, n)}
-	col.remaining.Store(int32(n))
+	col := getBatchCollector(g, n)
 	for i := 0; i < n; i++ {
 		member, err := it.Next()
 		if err != nil {

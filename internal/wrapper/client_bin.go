@@ -71,29 +71,48 @@ func (c *Client) issueBinOp(id uint64, op string, leaseMs, timeoutMs int64, entr
 	}
 	b := transport.GetBuf(96)
 	b = xmlcodec.AppendRequestBinary(b, id, code, leaseMs, timeoutMs, entry)
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		transport.PutBuf(b)
+	pr := c.pend.getPR(id)
+	pr.wcb, pr.qcb, pr.mcb, pr.bcb = wcb, qcb, mcb, bcb
+	if !c.fileAndSend(id, pr, b, timeout) {
 		failCBs(wcb, qcb, mcb, bcb, ErrClosed.Error())
+	}
+}
+
+// issueBinCell is issueBinOp completing into a pooled completion cell
+// (the blocking conveniences). Local failures fill and signal the
+// cell synchronously.
+func (c *Client) issueBinCell(id uint64, op string, leaseMs, timeoutMs int64, entry *tuple.Tuple, timeout sim.Duration, cell *completionCell) {
+	code, ok := xmlcodec.OpCodeOf(op)
+	if !ok {
+		cell.fail("wrapper: unknown operation " + op)
 		return
 	}
-	pr := c.prFree
-	if pr != nil {
-		c.prFree = pr.next
-		pr.next = nil
-	} else {
-		pr = &pendingReq{}
+	b := transport.GetBuf(96)
+	b = xmlcodec.AppendRequestBinary(b, id, code, leaseMs, timeoutMs, entry)
+	pr := c.pend.getPR(id)
+	pr.cell = cell
+	if !c.fileAndSend(id, pr, b, timeout) {
+		cell.fail(ErrClosed.Error())
 	}
-	pr.wcb, pr.qcb, pr.mcb, pr.bcb = wcb, qcb, mcb, bcb
+}
+
+// fileAndSend finishes issuing a binary op whose completion form is
+// already set on pr: it registers the request in the pending table
+// and fires the first transmission. It reports false when the client
+// is closed (b is released; the caller fails its callback form).
+func (c *Client) fileAndSend(id uint64, pr *pendingReq, b []byte, timeout sim.Duration) bool {
+	res := c.res.Load()
 	pr.bytes = b
-	pr.pooled = c.res == nil
-	if c.res != nil && c.res.Deadline > 0 {
-		pr.budget = c.res.Deadline + timeout
+	pr.pooled = res == nil
+	if res != nil && res.Deadline > 0 {
+		pr.budget = res.Deadline + timeout
 	}
-	c.pending[id] = pr
-	c.mu.Unlock()
+	if !c.pend.register(id, pr) {
+		transport.PutBuf(b)
+		return false
+	}
 	c.attempt(id, pr)
+	return true
 }
 
 // failCBs delivers a local failure to whichever callback form the
@@ -111,15 +130,11 @@ func failCBs(wcb func(bool, string), qcb func(tuple.Tuple, bool), mcb func(tuple
 	}
 }
 
-// recyclePR returns a completed pendingReq to the client freelist.
-// Only prs created without resilience are recycled — retry timers and
-// Resend never reference those after completion.
-func (c *Client) recyclePR(pr *pendingReq) {
-	*pr = pendingReq{}
-	c.mu.Lock()
-	pr.next = c.prFree
-	c.prFree = pr
-	c.mu.Unlock()
+// recyclePR returns a completed pendingReq to its id's stripe
+// freelist. Only prs created without resilience are recycled — retry
+// timers and Resend never reference those after completion.
+func (c *Client) recyclePR(id uint64, pr *pendingReq) {
+	c.pend.putPR(id, pr)
 }
 
 // onBinaryResponse handles one binary response frame on the fast
@@ -144,15 +159,11 @@ func (c *Client) onBinaryResponse(b []byte) bool {
 		cliStatePool.Put(st)
 		return true
 	}
-	c.mu.Lock()
-	pr := c.pending[r.ID]
-	if pr != nil && pr.cb != nil {
-		c.mu.Unlock()
+	pr, legacy := c.pend.takeUnlessLegacy(r.ID)
+	if legacy {
 		cliStatePool.Put(st)
 		return false
 	}
-	delete(c.pending, r.ID)
-	c.mu.Unlock()
 	if pr != nil {
 		if pr.cancel != nil {
 			pr.cancel()
@@ -160,6 +171,8 @@ func (c *Client) onBinaryResponse(b []byte) bool {
 		reuse := pr.pooled
 		pr.release()
 		switch {
+		case pr.cell != nil:
+			pr.cell.completeBin(r)
 		case pr.wcb != nil:
 			pr.wcb(r.OK, r.Err)
 		case pr.qcb != nil:
@@ -186,7 +199,7 @@ func (c *Client) onBinaryResponse(b []byte) bool {
 			pr.bcb(res)
 		}
 		if reuse {
-			c.recyclePR(pr)
+			c.recyclePR(r.ID, pr)
 		}
 	}
 	cliStatePool.Put(st)

@@ -46,52 +46,43 @@ func (c *Client) SetResilience(r *Resilience) {
 	if r != nil && r.Timer == nil {
 		panic("wrapper: Resilience requires a Timer")
 	}
-	c.mu.Lock()
-	c.res = r
-	c.mu.Unlock()
+	c.res.Store(r)
 }
 
 // attempt transmits (or retransmits) a pending request. It is a no-op
-// if the request has already completed.
+// if the request has already completed. All of its registered-as-pr
+// checks serialize on the request's pending-table stripe — the same
+// exactly-once discipline the old client-wide lock provided.
 func (c *Client) attempt(id uint64, pr *pendingReq) {
-	c.mu.Lock()
-	if c.pending[id] != pr {
-		c.mu.Unlock()
+	if !c.pend.bumpAttempt(id, pr) {
 		return
 	}
-	pr.attempt++
-	res := c.res
-	c.mu.Unlock()
+	res := c.res.Load()
 
 	err := c.transmit(pr.bytes)
 	if res == nil {
 		// Plain client: a synchronous send failure fails the call.
-		if err != nil {
-			c.mu.Lock()
-			still := c.pending[id] == pr
-			delete(c.pending, id)
-			c.mu.Unlock()
-			if still {
-				pr.release()
-				pr.fail(id, err.Error())
-			}
+		if err != nil && c.pend.removeIf(id, pr) {
+			pr.release()
+			pr.fail(id, err.Error())
 		}
 		return
 	}
 
-	c.mu.Lock()
-	if c.pending[id] != pr {
-		c.mu.Unlock()
+	s := c.pend.stripe(id)
+	s.mu.Lock()
+	if s.m[id] != pr {
+		s.mu.Unlock()
 		return // response raced the send path
 	}
 	if err != nil {
 		if pr.budget == 0 {
 			// No deadline configured: park until an explicit Resend
 			// (e.g. from a transport-restore hook) replays it.
-			c.mu.Unlock()
+			s.mu.Unlock()
 			return
 		}
-		c.mu.Unlock()
+		s.mu.Unlock()
 		c.retry(id, pr, err.Error())
 		return
 	}
@@ -100,21 +91,22 @@ func (c *Client) attempt(id uint64, pr *pendingReq) {
 			c.retry(id, pr, "deadline exceeded")
 		})
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // retry schedules the next attempt after backoff, or fails the call
 // once the attempt budget is spent.
 func (c *Client) retry(id uint64, pr *pendingReq, cause string) {
-	c.mu.Lock()
-	if c.pending[id] != pr {
-		c.mu.Unlock()
+	res := c.res.Load()
+	s := c.pend.stripe(id)
+	s.mu.Lock()
+	if s.m[id] != pr {
+		s.mu.Unlock()
 		return
 	}
-	res := c.res
 	if pr.attempt >= res.attempts() {
-		delete(c.pending, id)
-		c.mu.Unlock()
+		delete(s.m, id)
+		s.mu.Unlock()
 		pr.release()
 		pr.fail(id, fmt.Sprintf("wrapper: %s after %d attempts", cause, pr.attempt))
 		return
@@ -122,7 +114,7 @@ func (c *Client) retry(id uint64, pr *pendingReq, cause string) {
 	pr.cancel = res.Timer(res.Backoff.Delay(pr.attempt, res.Rand), func() {
 		c.attempt(id, pr)
 	})
-	c.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Resend retransmits every in-flight request immediately, in request-id
@@ -131,18 +123,9 @@ func (c *Client) retry(id uint64, pr *pendingReq, cause string) {
 // by a disconnect are replayed as soon as the link returns rather than
 // waiting out their deadlines.
 func (c *Client) Resend() {
-	type idReq struct {
-		id uint64
-		pr *pendingReq
-	}
-	c.mu.Lock()
-	reqs := make([]idReq, 0, len(c.pending))
-	for id, pr := range c.pending {
-		reqs = append(reqs, idReq{id, pr})
-	}
-	c.mu.Unlock()
-	// Id order, not map order: retransmission order must be a pure
-	// function of the run, per the determinism rules.
+	reqs := c.pend.snapshot(nil)
+	// Id order, not stripe-map order: retransmission order must be a
+	// pure function of the run, per the determinism rules.
 	sort.Slice(reqs, func(i, j int) bool { return reqs[i].id < reqs[j].id })
 	for _, r := range reqs {
 		_ = c.conn.Send(r.pr.bytes)

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tpspace/internal/rmi"
 	"tpspace/internal/sim"
@@ -81,7 +82,7 @@ func RegisterSpace(srv *rmi.Server, conn transport.Conn, sp *space.Space) {
 				respond(nil, err)
 				return
 			}
-			if _, err := sp.Write(t, req.Lease()); err != nil {
+			if err := sp.Put(t, req.Lease()); err != nil {
 				reply(xmlcodec.NewResponse(req.ID, false, nil, err.Error()))
 				return
 			}
@@ -398,14 +399,17 @@ var ErrClosed = errors.New("wrapper: client closed")
 
 // pendingReq is an in-flight request: its completion callback plus
 // everything a resilient client needs to retransmit it verbatim.
-// Exactly one callback is set: cb (XML-era path) or one of the binary
-// fast-path forms — wcb (write/ack ops), qcb (match, status dropped),
-// mcb (match with status), bcb (generic binResult, the cold ops). The
-// specialized forms hold the caller's callback directly so the hot
-// path allocates no adapter closure; completed non-resilient prs are
-// recycled through the Client freelist (next).
+// Exactly one completion form is set: cb (XML-era path), a completion
+// cell (the blocking conveniences), or one of the binary fast-path
+// callbacks — wcb (write/ack ops), qcb (match, status dropped), mcb
+// (match with status), bcb (generic binResult, the cold ops). The
+// specialized forms hold the caller's callback (or cell) directly so
+// the hot path allocates no adapter closure; completed non-resilient
+// prs are recycled through the pending table's stripe freelists
+// (next).
 type pendingReq struct {
 	cb      func(xmlcodec.Response)
+	cell    *completionCell
 	wcb     func(ok bool, errMsg string)
 	qcb     func(tuple.Tuple, bool)
 	mcb     func(tuple.Tuple, bool, string)
@@ -415,7 +419,7 @@ type pendingReq struct {
 	budget  sim.Duration // per-attempt response budget (0 = none)
 	attempt int
 	cancel  func()      // armed deadline or backoff timer, if any
-	next    *pendingReq // Client freelist link
+	next    *pendingReq // stripe freelist link
 }
 
 // release returns a pooled request frame to the transport pool. Call
@@ -433,6 +437,8 @@ func (pr *pendingReq) release() {
 // callback form it carries.
 func (pr *pendingReq) fail(id uint64, msg string) {
 	switch {
+	case pr.cell != nil:
+		pr.cell.fail(msg)
 	case pr.wcb != nil:
 		pr.wcb(false, msg)
 	case pr.qcb != nil:
@@ -449,19 +455,25 @@ func (pr *pendingReq) fail(id uint64, msg string) {
 // Client is the application-side library (the paper's C++ client): it
 // issues tuplespace operations as XML messages over any transport and
 // correlates the responses.
+//
+// The per-op state is lock-free or striped: request ids come from an
+// atomic counter, in-flight requests live in the striped pending
+// table (see pendingTable), and the resilience policy is an atomic
+// pointer — so concurrent issuing/completing goroutines never
+// serialize on a client-wide lock. c.mu only guards the cold state:
+// subscriptions, notify sessions, and the closed flag.
 type Client struct {
-	mu      sync.Mutex
-	conn    transport.Conn
-	nextID  uint64
-	pending map[uint64]*pendingReq
-	prFree  *pendingReq // recycled pendingReqs (non-resilient clients only)
-	subs    map[uint64]func(tuple.Tuple)
+	mu     sync.Mutex
+	conn   transport.Conn
+	nextID atomic.Uint64
+	pend   pendingTable
+	subs   map[uint64]func(tuple.Tuple)
 	// Durable notify sessions (client_notify.go): live sessions by
 	// server-assigned id, plus frames that beat their own open reply
 	// to the socket (the server's flusher races finishBin).
 	nsess      map[uint64]*clientNotifySession
 	nsessEarly map[uint64][][]byte
-	res        *Resilience
+	res        atomic.Pointer[Resilience]
 	binary     bool
 	batchOps   int
 	bat        *batcher
@@ -494,10 +506,10 @@ func WithBatchOps(k int) ClientOption {
 // NewClient binds a client to a transport connection.
 func NewClient(conn transport.Conn, opts ...ClientOption) *Client {
 	c := &Client{
-		conn:    conn,
-		pending: make(map[uint64]*pendingReq),
-		subs:    make(map[uint64]func(tuple.Tuple)),
+		conn: conn,
+		subs: make(map[uint64]func(tuple.Tuple)),
 	}
+	c.pend.init()
 	for _, o := range opts {
 		o(c)
 	}
@@ -545,15 +557,16 @@ func (c *Client) onMessage(b []byte) {
 		}
 		return
 	}
-	c.mu.Lock()
-	pr := c.pending[resp.ID]
-	delete(c.pending, resp.ID)
-	c.mu.Unlock()
+	pr := c.pend.take(resp.ID)
 	if pr != nil {
 		if pr.cancel != nil {
 			pr.cancel()
 		}
 		pr.release()
+		if pr.cell != nil {
+			pr.cell.completeXML(&resp)
+			return
+		}
 		pr.cb(resp)
 	}
 }
@@ -567,27 +580,37 @@ func (c *Client) send(req xmlcodec.Request, timeout sim.Duration, cb func(xmlcod
 		cb(xmlcodec.NewResponse(req.ID, false, nil, err.Error()))
 		return
 	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	pr := &pendingReq{cb: cb, bytes: b}
+	if res := c.res.Load(); res != nil && res.Deadline > 0 {
+		pr.budget = res.Deadline + timeout
+	}
+	if !c.pend.register(req.ID, pr) {
 		cb(xmlcodec.NewResponse(req.ID, false, nil, ErrClosed.Error()))
 		return
 	}
-	pr := &pendingReq{cb: cb, bytes: b}
-	if c.res != nil && c.res.Deadline > 0 {
-		pr.budget = c.res.Deadline + timeout
-	}
-	c.pending[req.ID] = pr
-	c.mu.Unlock()
 	c.attempt(req.ID, pr)
 }
 
-func (c *Client) id() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.nextID++
-	return c.nextID
+// sendCell is send for the blocking conveniences: the request
+// completes into cell instead of a callback closure.
+func (c *Client) sendCell(req xmlcodec.Request, timeout sim.Duration, cell *completionCell) {
+	b, err := xmlcodec.MarshalRequestIn(c.binary, req)
+	if err != nil {
+		cell.fail(err.Error())
+		return
+	}
+	pr := &pendingReq{cell: cell, bytes: b}
+	if res := c.res.Load(); res != nil && res.Deadline > 0 {
+		pr.budget = res.Deadline + timeout
+	}
+	if !c.pend.register(req.ID, pr) {
+		cell.fail(ErrClosed.Error())
+		return
+	}
+	c.attempt(req.ID, pr)
 }
+
+func (c *Client) id() uint64 { return c.nextID.Add(1) }
 
 // Write stores a tuple with the given lease; cb receives success and
 // an error message.
@@ -715,14 +738,16 @@ func (c *Client) Count(tmpl tuple.Tuple, cb func(n int64, ok bool)) {
 
 // CountWait blocks until the count completes.
 func (c *Client) CountWait(tmpl tuple.Tuple) (int64, bool) {
-	type res struct {
-		n  int64
-		ok bool
+	cl := getCell(cellCount, nil)
+	if c.binary {
+		c.issueBinCell(c.id(), xmlcodec.OpCount, 0, 0, &tmpl, 0, cl)
+	} else {
+		c.sendCell(xmlcodec.NewRequest(c.id(), xmlcodec.OpCount, &tmpl), 0, cl)
 	}
-	ch := make(chan res, 1)
-	c.Count(tmpl, func(n int64, ok bool) { ch <- res{n, ok} })
-	r := <-ch
-	return r.n, r.ok
+	cl.wait()
+	n, ok := cl.n, cl.ok
+	putCell(cl)
+	return n, ok
 }
 
 // Ping measures a protocol round trip; cb reports success.
@@ -740,65 +765,88 @@ func (c *Client) Ping(cb func(ok bool)) {
 func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
-	pend := c.pending
-	c.pending = make(map[uint64]*pendingReq)
 	bat := c.bat
 	c.mu.Unlock()
 	if bat != nil {
 		bat.stop()
 	}
-	for id, pr := range pend {
-		if pr.cancel != nil {
-			pr.cancel()
+	for _, r := range c.pend.close() {
+		if r.pr.cancel != nil {
+			r.pr.cancel()
 		}
-		pr.release()
-		pr.fail(id, ErrClosed.Error())
+		r.pr.release()
+		r.pr.fail(r.id, ErrClosed.Error())
 	}
 	return c.conn.Close()
 }
 
 //
-// Blocking conveniences for wall-clock callers.
+// Blocking conveniences for wall-clock callers. Each parks on a
+// pooled completion cell (cell.go) instead of a per-call channel, so
+// the sync op path issues, waits, and completes without allocating.
 //
 
 // WriteWait blocks until the write completes.
 func (c *Client) WriteWait(t tuple.Tuple, lease sim.Duration) error {
-	ch := make(chan string, 1)
-	c.Write(t, lease, func(ok bool, errMsg string) {
-		if ok {
-			ch <- ""
-		} else {
-			ch <- errMsg
-		}
-	})
-	if msg := <-ch; msg != "" {
-		return errors.New(msg)
+	cl := getCell(cellWrite, nil)
+	if c.binary {
+		c.issueBinCell(c.id(), xmlcodec.OpWrite, int64(lease/sim.Millisecond), 0, &t, 0, cl)
+	} else {
+		req := xmlcodec.NewRequest(c.id(), xmlcodec.OpWrite, &t)
+		req.LeaseMs = int64(lease / sim.Millisecond)
+		c.sendCell(req, 0, cl)
 	}
-	return nil
+	cl.wait()
+	var err error
+	if !cl.ok && cl.msg != "" {
+		err = errors.New(cl.msg)
+	}
+	putCell(cl)
+	return err
+}
+
+// matchWait issues a blocking match op (take/read) completing into
+// *into via the cell path.
+func (c *Client) matchWait(op string, into *tuple.Tuple, tmpl tuple.Tuple, timeout sim.Duration) bool {
+	cl := getCell(cellMatch, into)
+	if c.binary {
+		c.issueBinCell(c.id(), op, 0, xmlcodec.TimeoutMsOf(timeout), &tmpl, timeout, cl)
+	} else {
+		req := xmlcodec.NewRequest(c.id(), op, &tmpl)
+		req.TimeoutMs = xmlcodec.TimeoutMsOf(timeout)
+		c.sendCell(req, timeout, cl)
+	}
+	cl.wait()
+	ok := cl.ok
+	putCell(cl)
+	return ok
 }
 
 // TakeWait blocks until a take completes or times out.
 func (c *Client) TakeWait(tmpl tuple.Tuple, timeout sim.Duration) (tuple.Tuple, bool) {
-	type res struct {
-		t  tuple.Tuple
-		ok bool
-	}
-	ch := make(chan res, 1)
-	c.Take(tmpl, timeout, func(t tuple.Tuple, ok bool) { ch <- res{t, ok} })
-	r := <-ch
-	return r.t, r.ok
+	var t tuple.Tuple
+	ok := c.TakeWaitInto(&t, tmpl, timeout)
+	return t, ok
+}
+
+// TakeWaitInto is TakeWait completing into *into, whose field storage
+// is reused when capacity allows — a caller recycling one destination
+// tuple across a take loop receives entries without allocating. On a
+// miss (false) the destination is left untouched.
+func (c *Client) TakeWaitInto(into *tuple.Tuple, tmpl tuple.Tuple, timeout sim.Duration) bool {
+	return c.matchWait(xmlcodec.OpTake, into, tmpl, timeout)
 }
 
 // ReadWait blocks until a read completes or times out.
 func (c *Client) ReadWait(tmpl tuple.Tuple, timeout sim.Duration) (tuple.Tuple, bool) {
-	type res struct {
-		t  tuple.Tuple
-		ok bool
-	}
-	ch := make(chan res, 1)
-	c.Read(tmpl, timeout, func(t tuple.Tuple, ok bool) { ch <- res{t, ok} })
-	r := <-ch
-	return r.t, r.ok
+	var t tuple.Tuple
+	ok := c.ReadWaitInto(&t, tmpl, timeout)
+	return t, ok
+}
+
+// ReadWaitInto is ReadWait completing into *into; see TakeWaitInto.
+func (c *Client) ReadWaitInto(into *tuple.Tuple, tmpl tuple.Tuple, timeout sim.Duration) bool {
+	return c.matchWait(xmlcodec.OpRead, into, tmpl, timeout)
 }
 
 // ServerStack bundles a space, its RMI plumbing and a gateway: the

@@ -25,6 +25,13 @@
 #                      records {name, clients, conns, ops,
 #                      ops_per_sec, p50_ns, p99_ns, allocs_per_op,
 #                      speedup_vs_baseline}
+#   BENCH_scaling.json multi-core scaling sweep: the pipe/batched/
+#                      binary closed loop re-run under GOMAXPROCS 1,
+#                      2, 4, 8 (filtered to what the machine has; P=1
+#                      always present as the cross-machine reference);
+#                      records {name, gomaxprocs, num_cpu, ops,
+#                      ops_per_sec, p50_ns, p99_ns, allocs_per_op,
+#                      speedup_vs_p1}
 #   BENCH_cluster.json replicated-cluster chaos grid: acked
 #                      throughput and failover-recovery time against
 #                      cluster size per fault rate, every cell with a
@@ -89,10 +96,13 @@ go test -run '^$' -bench '^Benchmark(Space|Linear|RealRuntime)' -benchmem \
 echo "==> network serving-plane load generator -> BENCH_net.json"
 go run ./cmd/tpbench -netbench -json | tee /dev/stderr > BENCH_net.json
 
+echo "==> multi-core scaling sweep -> BENCH_scaling.json"
+go run ./cmd/tpbench -netbench -scaling -json | tee /dev/stderr > BENCH_scaling.json
+
 echo "==> replicated-cluster chaos grid -> BENCH_cluster.json"
 go run ./cmd/tpbench -cluster -json | tee /dev/stderr > BENCH_cluster.json
 
 echo "==> lease-engine churn + durable-notify fleet -> BENCH_lease.json"
 go run ./cmd/tpbench -leasebench -notifybench -json | tee /dev/stderr > BENCH_lease.json
 
-echo "OK: wrote BENCH_kernel.json BENCH_plan.json BENCH_space.json BENCH_net.json BENCH_cluster.json BENCH_lease.json"
+echo "OK: wrote BENCH_kernel.json BENCH_plan.json BENCH_space.json BENCH_net.json BENCH_scaling.json BENCH_cluster.json BENCH_lease.json"

@@ -8,8 +8,11 @@
 #   regression smokes that fail if the calendar's schedule/churn
 #   paths, the space's take hot paths, the steady-state TCP receive
 #   path, or the gateway's binary decode->space->respond path
-#   allocate, a tiny -netbench run of the network serving plane
-#   including the multi-op batch rows (-batchops 8), and a
+#   allocate, a sync-client-op alloc gate (the pooled completion-cell
+#   path must stay <=1 alloc/op end to end), a tiny -netbench run of
+#   the network serving plane including the multi-op batch rows
+#   (-batchops 8), a -scaling smoke (the GOMAXPROCS sweep must emit
+#   its P=1 reference row), and a
 #   cluster-chaos smoke: the replicated 3-node cluster tests under
 #   -race plus a full tpbench -cluster -chaos grid asserting the
 #   invariants (no acked write lost, at-most-once take), a
@@ -133,12 +136,31 @@ else
     exit 1
 fi
 
+echo "==> sync client op gate (pooled completion cells, <=1 alloc/op end to end)"
+go test -run '^$' -bench '^BenchmarkSyncClientOpCells$' -benchmem \
+    -benchtime=20000x ./internal/wrapper/ | tee "$tmp/syncbench.txt"
+if awk '/^BenchmarkSyncClientOpCells-/ {
+        for (i = 2; i < NF; i++)
+            if ($(i + 1) == "allocs/op" && $i + 0 > 1) { bad = 1; print $1, $i, "allocs/op" }
+    } END { exit bad }' "$tmp/syncbench.txt"; then
+    :
+else
+    echo "completion-plane regression: sync client op exceeds 1 alloc/op" >&2
+    exit 1
+fi
+
 echo "==> network serving-plane smoke (tpbench -netbench, tiny run, batchops 8)"
 "$tmp/tpbench" -netbench -clients 4 -netops 80 -batchops 8 > "$tmp/netbench.txt"
 grep -q "tcp/baseline/xml" "$tmp/netbench.txt"
 grep -q "tcp/batched/binary" "$tmp/netbench.txt"
 grep -q "pipe/batched/binary/b8" "$tmp/netbench.txt"
 grep -q "pipe/batched/binary/noaff" "$tmp/netbench.txt"
+
+echo "==> multi-core scaling smoke (tpbench -netbench -scaling, tiny run)"
+"$tmp/tpbench" -netbench -scaling -clients 4 -netops 80 > "$tmp/scaling.txt"
+grep -q "Multi-core scaling" "$tmp/scaling.txt"
+# The P=1 reference row must always be present, whatever NumCPU is.
+awk '$1 == "1" { found = 1 } END { exit !found }' "$tmp/scaling.txt"
 
 echo "==> cluster-chaos smoke (3 nodes, forced primary crash, invariants, -race)"
 go test -race -run '^TestClusterChaos' ./internal/core/
