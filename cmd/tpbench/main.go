@@ -32,6 +32,13 @@
 //	                         # fan-out with a mid-run reconnect
 //	                         # (-sessions n; combinable with -leasebench,
 //	                         # -json folds both into BENCH_lease.json)
+//	tpbench -workload masterworker|pipeline|stream|farm|all
+//	                         # classic tuplespace serving workloads: a
+//	                         # deterministic sim row plus kind-routed vs
+//	                         # all-shard-baseline rows on the serving
+//	                         # plane (-plane sim|local|pipe|tcp,
+//	                         # -clients n -wtasks n -shards n -seed n;
+//	                         # -json for BENCH_workloads.json)
 //
 // Independent co-simulations (Table 3 rows, Table 4 cells, sweep
 // samples, planner grid points) fan out across all CPUs by default;
@@ -92,8 +99,12 @@ func main() {
 	netops := flag.Int("netops", 0, "total requests per -netbench run (0 = default 20000)")
 	codec := flag.String("codec", "", "restrict -netbench batched rows to one codec: xml or binary (default both)")
 	batchops := flag.Int("batchops", 0, "ops per multi-op batch frame for the -netbench coalescing rows (0 = default 8)")
+	workload := flag.String("workload", "", "run a classic serving workload: masterworker, pipeline, stream, farm, or all (sim row plus kind-routed vs all-shard baseline on -plane; -json for BENCH_workloads.json)")
+	plane := flag.String("plane", "", "serving plane for -workload: sim, local (direct space, default), pipe, or tcp")
+	wtasks := flag.Int("wtasks", 0, "work units per -workload run (0 = pattern default)")
+	seed := flag.Int64("seed", 0, "payload/determinism seed for -workload (0 = default 1)")
 	jsonOut := flag.Bool("json", false, "emit -netbench results as JSON records (BENCH_net.json schema)")
-	shards := flag.Int("shards", 1, "space shards for -spacebench")
+	shards := flag.Int("shards", 0, "space shards for -spacebench (default 1) and -workload (default 8)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for independent simulations (0 = all CPUs, 1 = sequential)")
 	nofastpath := flag.Bool("nofastpath", false, "disable burst-mode idle-sweep coalescing (A/B escape hatch; output is byte-identical either way)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -125,6 +136,37 @@ func main() {
 		defer writeProfile("block", *blockprofile)
 	}
 
+	if *workload != "" {
+		valid := *workload == "all"
+		for _, p := range core.WorkloadPatterns {
+			if *workload == p {
+				valid = true
+			}
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "tpbench: -workload must be one of masterworker, pipeline, stream, farm, all; got %q\n", *workload)
+			os.Exit(2)
+		}
+		cfg := core.WorkloadConfig{
+			Plane:   *plane,
+			Clients: *clients,
+			Tasks:   *wtasks,
+			Shards:  *shards,
+			Seed:    *seed,
+		}
+		suite := core.RunWorkloadSuite(cfg, *workload)
+		if *jsonOut {
+			js, err := suite.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(js)
+			return
+		}
+		fmt.Print(suite.Format())
+		return
+	}
 	if *spacebench {
 		cfg := core.DefaultSpaceBenchConfig()
 		cfg.Shards = *shards

@@ -3,74 +3,40 @@
 // Low-performance producer nodes (no FPU) put vectors into the space
 // and ask for their Fast Fourier Transform; high-performance consumer
 // nodes take the requests, compute, and put the results back. The
-// example runs the same batch against 1, 2 and 4 consumers,
-// demonstrating that "the overall system performance are clearly
-// proportional to the number of consumers" — and that consumers can
-// be discovered dynamically through the registry.
+// example is a thin main over the farm pattern of core.RunWorkload —
+// the same simulated batch the -workload mode of cmd/tpbench serves —
+// run against 1, 2 and 4 consumers, demonstrating that "the overall
+// system performance are clearly proportional to the number of
+// consumers".
 //
 //	go run ./examples/fftfarm
 package main
 
 import (
 	"fmt"
-	"math"
+	"time"
 
-	"tpspace/internal/agents"
-	"tpspace/internal/registry"
-	"tpspace/internal/sim"
-	"tpspace/internal/space"
+	"tpspace/internal/core"
 )
 
-const (
-	jobs      = 24
-	vectorLen = 64
-	thinkTime = 200 * sim.Millisecond // per-transform FPU time
-)
-
-func runFarm(consumers int) (batch sim.Duration, perJob sim.Duration) {
-	k := sim.NewKernel(1)
-	sp := space.New(space.SimRuntime{K: k})
-	api := agents.LocalSpace{S: sp}
-	reg := registry.New(sp)
-
-	for i := 0; i < consumers; i++ {
-		name := fmt.Sprintf("fpu-%d", i)
-		agents.NewFFTConsumer(k, api, name, thinkTime).Start()
-		reg.Register(registry.Service{Name: "fft", Provider: name, Address: name}, space.NoLease)
-	}
-
-	producer := agents.NewFFTProducer(k, api, "weak-node")
-	// The producer checks the discovery subsystem before offloading.
-	if _, ok := reg.Lookup("fft"); !ok {
-		panic("no fft service registered")
-	}
-
-	samples := make([]float64, vectorLen)
-	for i := range samples {
-		samples[i] = math.Sin(2 * math.Pi * 3 * float64(i) / vectorLen)
-	}
-	var lastDone sim.Time
-	for j := 0; j < jobs; j++ {
-		producer.Submit(samples, func([]complex128) { lastDone = k.Now() })
-	}
-	k.RunUntil(sim.Time(sim.Hour))
-	if producer.Completed != jobs {
-		panic("batch incomplete")
-	}
-	return sim.Duration(lastDone), producer.MeanLatency()
-}
+const jobs = 24
 
 func main() {
-	fmt.Printf("offloading %d FFTs of %d samples (%v of FPU time each)\n\n",
-		jobs, vectorLen, thinkTime)
+	fmt.Printf("offloading %d FFTs of 64 samples (200ms of FPU time each)\n\n", jobs)
 	fmt.Printf("%-10s %-14s %-14s %s\n", "consumers", "batch time", "mean latency", "speedup")
-	var base sim.Duration
+	var base time.Duration
 	for _, n := range []int{1, 2, 4} {
-		batch, lat := runFarm(n)
-		if n == 1 {
-			base = batch
+		r := core.RunWorkload(core.WorkloadConfig{
+			Pattern: "farm", Plane: "sim", Clients: n, Tasks: jobs,
+		})
+		if r.Units != jobs {
+			panic("batch incomplete")
 		}
-		fmt.Printf("%-10d %-14v %-14v %.2fx\n", n, batch, lat, float64(base)/float64(batch))
+		if n == 1 {
+			base = r.Elapsed
+		}
+		fmt.Printf("%-10d %-14v %-14v %.2fx\n", n, r.Elapsed, r.MeanLat,
+			float64(base)/float64(r.Elapsed))
 	}
 	fmt.Println("\nthe farm scales with consumers, as the paper's producer/consumer argument predicts")
 }

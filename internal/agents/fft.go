@@ -126,6 +126,45 @@ func resTemplate(id int64) tuple.Tuple {
 	return tuple.New(fftResType, tuple.Int("id", id), tuple.AnyBytes("data"))
 }
 
+// The exported protocol helpers below let worker loops outside this
+// package (the real-plane compute farm of core.RunWorkload) speak the
+// same FFT offload protocol the simulated agents use, so the sim and
+// serving planes exercise identical tuple traffic.
+
+// NewFFTRequest builds the request tuple offloading samples under id.
+func NewFFTRequest(id int64, samples []float64) tuple.Tuple {
+	return reqTuple(id, samples)
+}
+
+// AnyFFTRequest is the consumer-side template matching any pending
+// request — a typed wildcard template, kind-homed under default shard
+// routing.
+func AnyFFTRequest() tuple.Tuple { return anyReq() }
+
+// FFTResultTemplate matches the result of the request with id.
+func FFTResultTemplate(id int64) tuple.Tuple { return resTemplate(id) }
+
+// ComputeFFTResult performs the consumer's work on a request tuple:
+// decode, transform, and build the result tuple to write back.
+func ComputeFFTResult(req tuple.Tuple) tuple.Tuple {
+	id := req.Fields[0].Int
+	samples := decodeSamples(req.Fields[1].Bytes)
+	x := make([]complex128, len(samples))
+	for i, s := range samples {
+		x[i] = complex(s, 0)
+	}
+	FFT(x)
+	return tuple.New(fftResType,
+		tuple.Int("id", id),
+		tuple.Bytes("data", encodeComplex(x)),
+	)
+}
+
+// DecodeFFTResult unpacks a result tuple's transform vector.
+func DecodeFFTResult(res tuple.Tuple) []complex128 {
+	return decodeComplex(res.Fields[1].Bytes)
+}
+
 // FFTConsumer is a high-performance node taking requests from the
 // space, transforming them, and writing results back.
 type FFTConsumer struct {

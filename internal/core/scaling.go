@@ -55,10 +55,14 @@ func (c *ScalingConfig) fill() {
 	c.Base.fill()
 }
 
-// ScalingPoint is one measured GOMAXPROCS setting.
+// ScalingPoint is one measured GOMAXPROCS setting: the netbench
+// shape plus one masterworker workload run (kind routing, local
+// plane), so the sweep shows how the serving patterns — not just the
+// raw completion path — move as cores are added.
 type ScalingPoint struct {
 	GoMaxProcs  int
 	Result      NetBenchResult
+	Workload    WorkloadResult
 	SpeedupVsP1 float64
 }
 
@@ -80,7 +84,10 @@ func RunScalingBench(cfg ScalingConfig) ScalingResult {
 	for _, p := range cfg.Procs {
 		runtime.GOMAXPROCS(p)
 		r := RunNetBench(cfg.Base)
-		pt := ScalingPoint{GoMaxProcs: p, Result: r}
+		w := RunWorkload(WorkloadConfig{
+			Pattern: "masterworker", Plane: "local", Shards: cfg.Base.Shards,
+		})
+		pt := ScalingPoint{GoMaxProcs: p, Result: r, Workload: w}
 		if p == 1 {
 			p1 = r.OpsPerSec
 		}
@@ -97,13 +104,13 @@ func (s ScalingResult) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Multi-core scaling: %s, machine has %d CPU(s)\n",
 		"pipe/batched/binary closed loop", s.NumCPU)
-	fmt.Fprintf(&b, "%-12s %12s %10s %10s %12s %12s\n",
-		"gomaxprocs", "ops/sec", "p50", "p99", "allocs/op", "vs P=1")
+	fmt.Fprintf(&b, "%-12s %12s %10s %10s %12s %14s %12s\n",
+		"gomaxprocs", "ops/sec", "p50", "p99", "allocs/op", "mw-tasks/sec", "vs P=1")
 	for _, pt := range s.Points {
-		fmt.Fprintf(&b, "%-12d %12.0f %10s %10s %12.1f %11.2fx\n",
+		fmt.Fprintf(&b, "%-12d %12.0f %10s %10s %12.1f %14.0f %11.2fx\n",
 			pt.GoMaxProcs, pt.Result.OpsPerSec,
 			pt.Result.P50.Round(time.Microsecond), pt.Result.P99.Round(time.Microsecond),
-			pt.Result.AllocsPerOp, pt.SpeedupVsP1)
+			pt.Result.AllocsPerOp, pt.Workload.PerSec, pt.SpeedupVsP1)
 	}
 	return b.String()
 }
@@ -120,7 +127,10 @@ type scalingRecord struct {
 	P50Ns       int64   `json:"p50_ns"`
 	P99Ns       int64   `json:"p99_ns"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
-	SpeedupVsP1 float64 `json:"speedup_vs_p1"`
+	// MasterworkerPerSec is the units/sec of one kind-routed
+	// masterworker workload run (local plane) at this GOMAXPROCS.
+	MasterworkerPerSec float64 `json:"masterworker_units_per_sec"`
+	SpeedupVsP1        float64 `json:"speedup_vs_p1"`
 }
 
 // JSON renders the sweep as the BENCH_scaling.json records.
@@ -128,15 +138,16 @@ func (s ScalingResult) JSON() (string, error) {
 	recs := make([]scalingRecord, 0, len(s.Points))
 	for _, pt := range s.Points {
 		recs = append(recs, scalingRecord{
-			Name:        fmt.Sprintf("scaling/%s/p%d", pt.Result.Config.Name(), pt.GoMaxProcs),
-			GoMaxProcs:  pt.GoMaxProcs,
-			NumCPU:      s.NumCPU,
-			Ops:         pt.Result.Ops,
-			OpsPerSec:   pt.Result.OpsPerSec,
-			P50Ns:       pt.Result.P50.Nanoseconds(),
-			P99Ns:       pt.Result.P99.Nanoseconds(),
-			AllocsPerOp: pt.Result.AllocsPerOp,
-			SpeedupVsP1: pt.SpeedupVsP1,
+			Name:               fmt.Sprintf("scaling/%s/p%d", pt.Result.Config.Name(), pt.GoMaxProcs),
+			GoMaxProcs:         pt.GoMaxProcs,
+			NumCPU:             s.NumCPU,
+			Ops:                pt.Result.Ops,
+			OpsPerSec:          pt.Result.OpsPerSec,
+			P50Ns:              pt.Result.P50.Nanoseconds(),
+			P99Ns:              pt.Result.P99.Nanoseconds(),
+			AllocsPerOp:        pt.Result.AllocsPerOp,
+			MasterworkerPerSec: pt.Workload.PerSec,
+			SpeedupVsP1:        pt.SpeedupVsP1,
 		})
 	}
 	out, err := json.MarshalIndent(recs, "", "  ")

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallWorkload keeps test runs quick: a few workers, a few dozen
+// units, modest sharding.
+func smallWorkload(pattern, plane string) WorkloadConfig {
+	cfg := WorkloadConfig{
+		Pattern: pattern, Plane: plane,
+		Clients: 3, Tasks: 40, Stages: 2, Shards: 4, Seed: 7,
+	}
+	if pattern == "farm" {
+		cfg.Tasks = 6
+	}
+	return cfg
+}
+
+// TestWorkloadSimDeterminism: a sim-plane workload's JSON is a pure
+// function of (config, seed) — running the suite through RunAll at any
+// parallelism must produce byte-identical output.
+func TestWorkloadSimDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		jobs := make([]func() WorkloadResult, len(WorkloadPatterns))
+		for i, p := range WorkloadPatterns {
+			cfg := smallWorkload(p, "sim")
+			jobs[i] = func() WorkloadResult { return RunWorkload(cfg) }
+		}
+		s := WorkloadSuite{Results: RunAll(workers, jobs)}
+		out, err := s.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := render(1)
+	for _, w := range []int{2, 8} {
+		if got := render(w); got != want {
+			t.Fatalf("sim workload JSON diverged at %d runner workers:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+	// And across repeat runs in-process.
+	if again := render(1); again != want {
+		t.Fatal("sim workload JSON diverged across repeat runs")
+	}
+}
+
+// TestWorkloadSimCompletes checks each sim pattern finishes its batch
+// and reports sensible units.
+func TestWorkloadSimCompletes(t *testing.T) {
+	for _, p := range WorkloadPatterns {
+		cfg := smallWorkload(p, "sim")
+		r := RunWorkload(cfg)
+		if r.Units != r.Config.Tasks {
+			t.Fatalf("%s: units %d want %d", p, r.Units, r.Config.Tasks)
+		}
+		if r.Elapsed <= 0 {
+			t.Fatalf("%s: non-positive sim elapsed %v", p, r.Elapsed)
+		}
+		if p == "stream" && r.Deliveries != r.Config.Tasks*r.Config.Clients {
+			t.Fatalf("stream: deliveries %d want %d", r.Deliveries, r.Config.Tasks*r.Config.Clients)
+		}
+		if p == "farm" && r.MeanLat <= 0 {
+			t.Fatal("farm: no mean latency")
+		}
+	}
+}
+
+// TestWorkloadLocalPlane drives each pattern over the direct space
+// with real goroutines, in both routing modes.
+func TestWorkloadLocalPlane(t *testing.T) {
+	for _, p := range WorkloadPatterns {
+		for _, baseline := range []bool{false, true} {
+			cfg := smallWorkload(p, "local")
+			cfg.Baseline = baseline
+			r := RunWorkload(cfg)
+			if r.Units != r.Config.Tasks {
+				t.Fatalf("%s baseline=%v: units %d want %d", p, baseline, r.Units, r.Config.Tasks)
+			}
+		}
+	}
+}
+
+// TestWorkloadPipePlane drives each pattern through the full binary
+// serving stack over the in-process pipe transport.
+func TestWorkloadPipePlane(t *testing.T) {
+	for _, p := range WorkloadPatterns {
+		cfg := smallWorkload(p, "pipe")
+		r := RunWorkload(cfg)
+		if r.Units != r.Config.Tasks {
+			t.Fatalf("%s: units %d want %d", p, r.Units, r.Config.Tasks)
+		}
+		if p == "stream" && r.Deliveries != r.Config.Tasks*r.Config.Clients {
+			t.Fatalf("stream: deliveries %d want %d", r.Deliveries, r.Config.Tasks*r.Config.Clients)
+		}
+	}
+}
+
+// TestWorkloadTCPPlane is one loopback-TCP run end to end.
+func TestWorkloadTCPPlane(t *testing.T) {
+	cfg := smallWorkload("masterworker", "tcp")
+	r := RunWorkload(cfg)
+	if r.Units != r.Config.Tasks {
+		t.Fatalf("units %d want %d", r.Units, r.Config.Tasks)
+	}
+}
+
+// TestWorkloadSuiteSpeedup checks the suite pairs kind-routed rows
+// with their all-shard baselines and fills the speedup column.
+func TestWorkloadSuiteSpeedup(t *testing.T) {
+	cfg := smallWorkload("masterworker", "local")
+	s := RunWorkloadSuite(cfg, "masterworker")
+	if len(s.Results) != 4 {
+		t.Fatalf("suite rows %d want 4 (sim pair + local pair)", len(s.Results))
+	}
+	est := s.Results[0]
+	if est.Config.Baseline || est.Config.Plane != "sim" {
+		t.Fatalf("row 0 is %+v, want the kind-routed sim row", est.Config)
+	}
+	if base := s.baselineFor(est); base <= 0 {
+		t.Fatal("no baseline estimate paired with the sim row")
+	}
+	kind := s.Results[2]
+	if kind.Config.Baseline || kind.Config.Plane != "local" {
+		t.Fatalf("row 2 is %+v, want the kind-routed local row", kind.Config)
+	}
+	if base := s.baselineFor(kind); base <= 0 {
+		t.Fatal("no baseline throughput paired with the kind-routed row")
+	}
+	if out := s.Format(); !strings.Contains(out, "speedup") {
+		t.Fatalf("report missing speedup column:\n%s", out)
+	}
+	if _, err := s.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

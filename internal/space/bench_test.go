@@ -249,6 +249,33 @@ func BenchmarkSpaceTakeHit100k(b *testing.B) {
 	}
 }
 
+// BenchmarkSpaceTakeKindHit100k is the kind-routed wildcard take: a
+// typed template with a wildcard field on an 8-way sharded space. With
+// kind routing the template homes to one shard (one lock, one kind
+// bucket probe); the legacy value-routed store would lock all eight
+// shards per take. Must run allocation-free (gated in
+// scripts/check.sh).
+func BenchmarkSpaceTakeKindHit100k(b *testing.B) {
+	s := New(NewRealRuntime(), WithShards(8))
+	fillSpace(s, benchEntries)
+	tmpl := anyJob()
+	left := benchEntries
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if left == 0 {
+			b.StopTimer()
+			fillSpace(s, benchEntries)
+			left = benchEntries
+			b.StartTimer()
+		}
+		left--
+		if _, ok := s.TakeIfExists(tmpl); !ok {
+			b.Fatal("miss on a present entry")
+		}
+	}
+}
+
 func BenchmarkLinearTakeHit100k(b *testing.B) {
 	s := newLinSpace()
 	fillLin(s, benchEntries)

@@ -31,9 +31,9 @@ func (s *Space) OldestMatch(tmpl tuple.Tuple) (uint64, tuple.Tuple, bool) {
 // skip — the coordinator's re-probe path after a claim came back
 // "gone" (the named entry was consumed elsewhere first).
 func (s *Space) OldestMatchExcept(tmpl tuple.Tuple, skip map[uint64]bool) (uint64, tuple.Tuple, bool) {
-	class, key := classify(tmpl)
-	if class == subValue {
-		sh := s.shardFor(key)
+	class, key, home := s.classifyRoute(tmpl)
+	if home != nil {
+		sh := home
 		sh.mu.Lock()
 		e := sh.oldestExcept(class, key, tmpl, skip)
 		if e == nil {

@@ -111,8 +111,9 @@ type sub struct {
 	cancelTimer func()
 
 	// nodes holds this sub's per-shard list membership: one node on
-	// its home shard for class subValue, one per shard otherwise
-	// (matching writes can land on any shard).
+	// its home shard when the template routes (see
+	// Space.classifyRoute), one per shard otherwise (matching writes
+	// can then land on any shard).
 	nodes []subNode
 }
 

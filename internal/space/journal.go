@@ -262,7 +262,9 @@ done:
 		}
 		vh, _ := p.t.ValueSig()
 		e := &entry{id: id, t: p.t, vh: vh, kk: p.t.KindSig(), sk: p.t.ShapeSig()}
-		sh := s.shardFor(vh)
+		// Same routing rule as Write: a restored entry must land on the
+		// shard the templates that can match it route to.
+		sh := s.shardFor(s.routeOf(p.t, vh, e.kk))
 		sh.mu.Lock()
 		sh.stats.Restored++
 		l, fire := sh.store(e, p.lease, false)

@@ -47,7 +47,10 @@ func TestShardedTakersServedFIFO(t *testing.T) {
 		})
 	}
 	for i := 0; i < 6; i++ {
-		s.Write(job("x", int64(i)), NoLease) // distinct values: distinct shards
+		// Under default kind routing these share a home shard; under
+		// WithValueRouting they would spread. Either way registration
+		// order decides the winner.
+		s.Write(job("x", int64(i)), NoLease)
 	}
 	for i, got := range order {
 		if got != i {
@@ -88,6 +91,57 @@ func TestShardedConcreteWaiterHomed(t *testing.T) {
 	s.Write(job("fft", 7), NoLease)
 	if got != 1 {
 		t.Fatalf("homed waiter not woken: %d", got)
+	}
+}
+
+// TestShardedWildcardWaiterKindHomed checks the tentpole routing
+// property: under default kind routing a typed template with wildcard
+// fields parks on exactly one shard (its kind home) and is woken by a
+// matching write, which must land on the same shard. Under legacy
+// value routing the same template parks on every shard.
+func TestShardedWildcardWaiterKindHomed(t *testing.T) {
+	parkedNodes := func(s *Space) int {
+		parked := 0
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			for n := sh.allHead; n != nil; n = n.aNext {
+				parked++
+			}
+			sh.mu.Unlock()
+		}
+		return parked
+	}
+
+	k := sim.NewKernel(1)
+	s := New(SimRuntime{K: k}, WithShards(4))
+	got := 0
+	s.Take(anyJob(), sim.Forever, func(tp tuple.Tuple, ok bool) {
+		if ok {
+			got++
+		}
+	})
+	if p := parkedNodes(s); p != 1 {
+		t.Fatalf("kind-routed wildcard waiter parked on %d shards, want 1", p)
+	}
+	s.Write(job("fft", 7), NoLease)
+	if got != 1 {
+		t.Fatalf("kind-homed waiter not woken: %d", got)
+	}
+
+	k2 := sim.NewKernel(1)
+	legacy := New(SimRuntime{K: k2}, WithShards(4), WithValueRouting())
+	legacy.Take(anyJob(), sim.Forever, func(tuple.Tuple, bool) {})
+	if p := parkedNodes(legacy); p != 4 {
+		t.Fatalf("value-routed wildcard waiter parked on %d shards, want 4", p)
+	}
+
+	// An untyped template stays on the all-shard path in both modes.
+	k3 := sim.NewKernel(1)
+	s3 := New(SimRuntime{K: k3}, WithShards(4))
+	s3.Take(tuple.New("", tuple.AnyString("op"), tuple.AnyInt("n")), sim.Forever,
+		func(tuple.Tuple, bool) {})
+	if p := parkedNodes(s3); p != 4 {
+		t.Fatalf("untyped waiter parked on %d shards, want 4", p)
 	}
 }
 
@@ -359,17 +413,44 @@ func (r *propRef) rearm(now sim.Time) {
 // property test: for random interleavings of write (leased and
 // permanent), take, read, count, lease cancel, time advance (expiry)
 // and crash+replay, with wildcard and concrete templates, the indexed
-// store at shards ∈ {1, 4} must agree with the naive linear reference
-// at every step.
+// store at shards ∈ {1, 4} — under every routing mode (default kind
+// routing, a one-field value prefix, and legacy full-value routing) —
+// must agree with the naive linear reference at every step. A pair of
+// notify subscriptions (typed wildcard and untyped) rides along: the
+// event counts must equal the reference's count of matching writes,
+// whichever shard each write homed to.
 func TestShardedPropertyEquivalence(t *testing.T) {
+	type routing struct {
+		name string
+		opts []Option
+	}
+	combos := []struct {
+		shards int
+		mode   routing
+	}{
+		{1, routing{name: "kind"}},
+		{4, routing{name: "kind"}},
+		{4, routing{name: "prefix1", opts: []Option{WithRoutePrefix(1)}}},
+		{4, routing{name: "value", opts: []Option{WithValueRouting()}}},
+	}
 	prop := func(seed int64) bool {
-		for _, shards := range []int{1, 4} {
+		for _, combo := range combos {
+			shards := combo.shards
 			rng := rand.New(rand.NewSource(seed))
-			k, s := simSharded(shards)
+			k := sim.NewKernel(1)
+			s := New(SimRuntime{K: k}, append([]Option{WithShards(shards)}, combo.mode.opts...)...)
 			var jb writerBuffer
 			s.SetJournal(NewJournal(&jb))
 			ref := &propRef{}
 			leases := map[uint64]*Lease{}
+
+			// Notify equivalence: events fire on write (not replay or
+			// abort), so the reference count is just matching writes.
+			typedTmpl := tuple.New("a", tuple.AnyInt("x"), tuple.AnyString("s"))
+			anyTmpl := tuple.New("", tuple.AnyInt("x"), tuple.AnyString("s"))
+			var gotTyped, gotAny, wantTyped, wantAny int
+			cancelTyped := s.Notify(typedTmpl, func(tuple.Tuple) { gotTyped++ })
+			cancelAny := s.Notify(anyTmpl, func(tuple.Tuple) { gotAny++ })
 
 			for step := 0; step < 250; step++ {
 				switch rng.Intn(10) {
@@ -386,6 +467,12 @@ func TestShardedPropertyEquivalence(t *testing.T) {
 					}
 					id := ref.write(tp, d, k.Now())
 					leases[id] = l
+					if typedTmpl.Matches(tp) {
+						wantTyped++
+					}
+					if anyTmpl.Matches(tp) {
+						wantAny++
+					}
 				case 4, 5: // take
 					tmpl := randomTemplate(rng)
 					got, ok := s.TakeIfExists(tmpl)
@@ -437,6 +524,10 @@ func TestShardedPropertyEquivalence(t *testing.T) {
 						return false
 					}
 					ref.rearm(k.Now())
+					// Crash drops notify registrations (and replay fires no
+					// events); re-register, as a restarted client would.
+					cancelTyped = s.Notify(typedTmpl, func(tuple.Tuple) { gotTyped++ })
+					cancelAny = s.Notify(anyTmpl, func(tuple.Tuple) { gotAny++ })
 				}
 				// Invariants checked every step.
 				if s.Size() != len(ref.entries) {
@@ -444,6 +535,13 @@ func TestShardedPropertyEquivalence(t *testing.T) {
 						seed, step, shards, s.Size(), len(ref.entries))
 					return false
 				}
+			}
+			cancelTyped()
+			cancelAny()
+			if gotTyped != wantTyped || gotAny != wantAny {
+				t.Errorf("seed %d shards %d mode %s: notify counts typed %d/%d any %d/%d",
+					seed, shards, combo.mode.name, gotTyped, wantTyped, gotAny, wantAny)
+				return false
 			}
 			// Final drain comparison across a wildcard-of-everything
 			// template set: every remaining entry comes out in id order.

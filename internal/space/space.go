@@ -139,13 +139,18 @@ func (l *Lease) Renew(d sim.Duration) bool {
 //
 // Internally the space is one or more independently locked shards
 // (see New and WithShards). Entries are hashed across shards by their
-// value signature, so a wildcard-free typed template — the common hot
-// path — touches exactly one shard and one index bucket. Templates
-// that could match entries in several shards (any wildcard, or an
-// empty type name) take the documented cross-shard path: they lock
-// every shard in index order, which preserves FIFO/total-order
-// semantics exactly and degrades to the single-lock behaviour when
-// the space is unsharded.
+// routing signature — by default tuple.RouteSig(0), i.e. the kind
+// signature (type, arity, field kinds) — so every tuple a typed
+// template could match lives on one home shard, and the template
+// (wildcards included) touches exactly one shard and one index
+// bucket. Only untyped templates (empty type name), which can match
+// entries of any kind-home, take the documented cross-shard path:
+// they lock every shard in index order, which preserves
+// FIFO/total-order semantics exactly and degrades to the single-lock
+// behaviour when the space is unsharded. WithRoutePrefix and
+// WithValueRouting shift the routing depth toward the PR-4 value
+// hashing, trading wildcard-template locality for value spread (see
+// DESIGN.md §15).
 type Space struct {
 	rt Runtime
 
@@ -153,6 +158,11 @@ type Space struct {
 	subSeq atomic.Uint64 // waiter/notify registration order authority
 
 	shards []*shard
+
+	// routePrefix is the shard-routing depth: entries and templates
+	// route by tuple.RouteSig(routePrefix). 0 = kind routing (default),
+	// maxRoutePrefix = full value routing (the legacy scheme).
+	routePrefix int
 
 	// journal is attach-before-use (see SetJournal): logW/logR read it
 	// under a shard lock, SetJournal writes it under all of them.
@@ -166,6 +176,7 @@ type Space struct {
 // config collects New options.
 type config struct {
 	shards       int
+	routePrefix  int
 	legacyTimers bool
 }
 
@@ -173,8 +184,8 @@ type config struct {
 type Option func(*config)
 
 // WithShards splits the space into n independently locked shards.
-// Concrete-signature traffic (writes, and wildcard-free typed
-// templates) hashes across them; wildcard templates use the
+// Traffic hashes across them by routing signature (kind routing by
+// default; see WithRoutePrefix); only untyped templates use the
 // cross-shard path. n <= 1 keeps the single-shard space, whose
 // observable behaviour every sharded configuration preserves: one
 // global id sequence, FIFO waiter fairness by registration order, and
@@ -187,13 +198,40 @@ func WithShards(n int) Option {
 	}
 }
 
+// maxRoutePrefix is the routing depth that folds every field of any
+// realistic tuple — the "route by full value signature" setting.
+const maxRoutePrefix = 1 << 30
+
+// WithRoutePrefix routes entries and templates by
+// tuple.RouteSig(k): the kind signature extended with the first k
+// concrete field values. k = 0 (the default) is pure kind routing —
+// every typed template, wildcards or not, resolves to one home shard.
+// Larger k spreads value-diverse traffic of a single kind across
+// shards (multicore parallelism) at the cost of sending templates
+// with a wildcard among their first k fields down the all-shard
+// path.
+func WithRoutePrefix(k int) Option {
+	return func(c *config) {
+		if k > 0 {
+			c.routePrefix = k
+		}
+	}
+}
+
+// WithValueRouting restores the legacy PR-4 routing: entries hash
+// across shards by their full value signature, and every
+// wildcard-bearing template locks all shards. Kept in-binary as the
+// bench baseline and property-test oracle for kind routing.
+func WithValueRouting() Option { return WithRoutePrefix(maxRoutePrefix) }
+
 // New creates an empty space on the given runtime.
 func New(rt Runtime, opts ...Option) *Space {
 	cfg := config{shards: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &Space{rt: rt, shards: make([]*shard, cfg.shards), legacyTimers: cfg.legacyTimers}
+	s := &Space{rt: rt, shards: make([]*shard, cfg.shards),
+		routePrefix: cfg.routePrefix, legacyTimers: cfg.legacyTimers}
 	for i := range s.shards {
 		s.shards[i] = newShard(s)
 	}
@@ -203,25 +241,73 @@ func New(rt Runtime, opts ...Option) *Space {
 // Shards reports the shard count (1 for an unsharded space).
 func (s *Space) Shards() int { return len(s.shards) }
 
-// shardFor routes a value signature to its home shard.
-func (s *Space) shardFor(vh uint64) *shard {
+// RoutePrefix reports the routing depth entries and templates hash
+// by (see WithRoutePrefix). Dispatch layers feed it to
+// tuple.Tuple.RouteSig / xmlcodec.WireRouteSig so wire-side routing
+// agrees with the store's.
+func (s *Space) RoutePrefix() int { return s.routePrefix }
+
+// shardFor routes a routing signature to its home shard.
+func (s *Space) shardFor(rh uint64) *shard {
 	if len(s.shards) == 1 {
 		return s.shards[0]
 	}
-	return s.shards[vh%uint64(len(s.shards))]
+	return s.shards[rh%uint64(len(s.shards))]
 }
 
-// ShardOf reports the index of the home shard for a value signature —
-// the same routing shardFor applies internally. Dispatch layers use
-// it to queue concrete-signature requests by home shard (computed
-// from wire bytes via tuple.Sig) so traffic for different shards
-// never serializes on one queue, while same-shard traffic keeps its
+// ShardOf reports the index of the home shard for a routing
+// signature — the same routing shardFor applies internally. Dispatch
+// layers use it to queue requests by home shard (computed from wire
+// bytes via tuple.Sig) so traffic for different shards never
+// serializes on one queue, while same-shard traffic keeps its
 // arrival order.
-func (s *Space) ShardOf(vh uint64) int {
+func (s *Space) ShardOf(rh uint64) int {
 	if len(s.shards) == 1 {
 		return 0
 	}
-	return int(vh % uint64(len(s.shards)))
+	return int(rh % uint64(len(s.shards)))
+}
+
+// routeOf returns the routing hash of a data tuple whose value and
+// kind signatures are already computed — the write/replay/restore
+// side of the routing contract: an entry lives on the shard every
+// template that can match it routes to.
+func (s *Space) routeOf(t tuple.Tuple, vh, kk uint64) uint64 {
+	switch {
+	case s.routePrefix == 0:
+		return kk
+	case s.routePrefix >= len(t.Fields):
+		return vh
+	default:
+		rh, _ := t.RouteSig(s.routePrefix) // data tuples always route
+		return rh
+	}
+}
+
+// classifyRoute resolves a template to its index class, bucket key
+// and home shard. home == nil is the all-shard path: the template's
+// candidates may live on any shard, so the caller must lock all of
+// them (and park subscriptions shard-replicated). With the default
+// kind routing only untyped templates lose their home; under deeper
+// route prefixes, so do templates with a wildcard inside the prefix
+// window.
+func (s *Space) classifyRoute(tmpl tuple.Tuple) (class subClass, key uint64, home *shard) {
+	class, key = classify(tmpl)
+	if len(s.shards) == 1 {
+		return class, key, s.shards[0]
+	}
+	switch {
+	case class == subShape:
+		return class, key, nil // untyped: any kind-home can hold a match
+	case class == subKind && s.routePrefix == 0:
+		return class, key, s.shards[key%uint64(len(s.shards))] // key is the kind sig
+	case class == subValue && s.routePrefix >= len(tmpl.Fields):
+		return class, key, s.shards[key%uint64(len(s.shards))] // key is the value sig
+	}
+	if rh, ok := tmpl.RouteSig(s.routePrefix); ok {
+		return class, key, s.shards[rh%uint64(len(s.shards))]
+	}
+	return class, key, nil
 }
 
 // lockAll acquires every shard lock in index order (the repo-wide
@@ -282,12 +368,11 @@ func (s *Space) Size() int {
 
 // Count reports how many stored entries match the template.
 func (s *Space) Count(tmpl tuple.Tuple) int {
-	class, key := classify(tmpl)
-	if class == subValue {
-		sh := s.shardFor(key)
-		sh.mu.Lock()
-		n := sh.countIn(class, key, tmpl)
-		sh.mu.Unlock()
+	class, key, home := s.classifyRoute(tmpl)
+	if home != nil {
+		home.mu.Lock()
+		n := home.countIn(class, key, tmpl)
+		home.mu.Unlock()
 		return n
 	}
 	n := 0
@@ -303,13 +388,12 @@ func (s *Space) Count(tmpl tuple.Tuple) int {
 // removing them. JavaSpaces lacks a bulk read but TSpaces (also cited
 // by the paper) provides one as "scan"; registries need it.
 func (s *Space) Scan(tmpl tuple.Tuple) []tuple.Tuple {
-	class, key := classify(tmpl)
+	class, key, home := s.classifyRoute(tmpl)
 	var hits []scanHit
-	if class == subValue {
-		sh := s.shardFor(key)
-		sh.mu.Lock()
-		hits = sh.scanIn(class, key, tmpl, hits)
-		sh.mu.Unlock()
+	if home != nil {
+		home.mu.Lock()
+		hits = home.scanIn(class, key, tmpl, hits)
+		home.mu.Unlock()
 	} else {
 		s.lockAll()
 		for _, sh := range s.shards {
@@ -339,7 +423,7 @@ func (s *Space) Write(t tuple.Tuple, lease sim.Duration) (*Lease, error) {
 	vh, _ := stored.ValueSig()
 	e := &entry{t: stored, vh: vh, kk: stored.KindSig(), sk: stored.ShapeSig()}
 
-	sh := s.shardFor(vh)
+	sh := s.shardFor(s.routeOf(stored, vh, e.kk))
 	sh.mu.Lock()
 	e.id = s.seq.Add(1)
 	sh.stats.Writes++
@@ -363,11 +447,12 @@ func (s *Space) Put(t tuple.Tuple, lease sim.Duration) error {
 		return ErrTemplateWrite
 	}
 	vh, _ := t.ValueSig()
-	sh := s.shardFor(vh)
+	kk := t.KindSig()
+	sh := s.shardFor(s.routeOf(t, vh, kk))
 	sh.mu.Lock()
 	e := sh.getEntry()
 	tuple.CloneInto(&e.t, t)
-	e.vh, e.kk, e.sk = vh, t.KindSig(), t.ShapeSig()
+	e.vh, e.kk, e.sk = vh, kk, t.ShapeSig()
 	e.id = s.seq.Add(1)
 	sh.stats.Writes++
 	_, _, fire := sh.storeCore(e, lease, true)
@@ -577,23 +662,22 @@ func (s *Space) Crash() {
 // ReadIfExists returns a copy of the oldest matching entry without
 // removing it, or ok=false if none is present.
 func (s *Space) ReadIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool) {
-	class, key := classify(tmpl)
-	if class == subValue {
-		sh := s.shardFor(key)
-		sh.mu.Lock()
-		if e := sh.oldest(class, key, tmpl); e != nil {
-			sh.stats.Reads++
+	class, key, home := s.classifyRoute(tmpl)
+	if home != nil {
+		home.mu.Lock()
+		if e := home.oldest(class, key, tmpl); e != nil {
+			home.stats.Reads++
 			out := e.t.Clone()
-			sh.mu.Unlock()
+			home.mu.Unlock()
 			return out, true
 		}
-		sh.stats.Misses++
-		sh.mu.Unlock()
+		home.stats.Misses++
+		home.mu.Unlock()
 		return tuple.Tuple{}, false
 	}
 	s.lockAll()
-	if e, _ := s.oldestAllLocked(class, key, tmpl); e != nil {
-		s.shardFor(e.vh).stats.Reads++
+	if e, esh := s.oldestAllLocked(class, key, tmpl); e != nil {
+		esh.stats.Reads++
 		out := e.t.Clone()
 		s.unlockAll()
 		return out, true
@@ -606,11 +690,13 @@ func (s *Space) ReadIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool) {
 // TakeIfExists removes and returns the oldest matching entry, or
 // ok=false if none is present.
 func (s *Space) TakeIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool) {
-	class, key := classify(tmpl)
-	if class == subValue {
-		// The take-hit fast path: one lock, one bucket probe, O(1)
-		// unlink — and no allocation.
-		sh := s.shardFor(key)
+	class, key, home := s.classifyRoute(tmpl)
+	if home != nil {
+		// The take-hit fast path — one lock, one bucket probe, O(1)
+		// unlink, no allocation — now serves every homed template:
+		// under kind routing that includes wildcard-bearing typed
+		// templates, the bread and butter of master/worker loops.
+		sh := home
 		sh.mu.Lock()
 		if e := sh.oldest(class, key, tmpl); e != nil {
 			sh.unlink(e)
@@ -652,9 +738,9 @@ func (s *Space) TakeIfExists(tmpl tuple.Tuple) (tuple.Tuple, bool) {
 // miss without perturbing the stats the goldens pin. For an
 // IfExists-shaped op (zero timeout, miss counted) use TakeIfExists.
 func (s *Space) ProbeTake(dst *tuple.Tuple, tmpl tuple.Tuple) bool {
-	class, key := classify(tmpl)
-	if class == subValue {
-		sh := s.shardFor(key)
+	class, key, home := s.classifyRoute(tmpl)
+	if home != nil {
+		sh := home
 		sh.mu.Lock()
 		if e := sh.oldest(class, key, tmpl); e != nil {
 			sh.unlink(e)
@@ -684,9 +770,9 @@ func (s *Space) ProbeTake(dst *tuple.Tuple, tmpl tuple.Tuple) bool {
 // into *dst (entry left in place, Reads counted on a hit, nothing on
 // a miss).
 func (s *Space) ProbeRead(dst *tuple.Tuple, tmpl tuple.Tuple) bool {
-	class, key := classify(tmpl)
-	if class == subValue {
-		sh := s.shardFor(key)
+	class, key, home := s.classifyRoute(tmpl)
+	if home != nil {
+		sh := home
 		sh.mu.Lock()
 		if e := sh.oldest(class, key, tmpl); e != nil {
 			sh.stats.Reads++
@@ -726,9 +812,9 @@ func (s *Space) oldestAllLocked(class subClass, key uint64, tmpl tuple.Tuple) (*
 // miss is only known after the transaction checks its own buffered
 // writes.
 func (s *Space) takeEntry(tmpl tuple.Tuple) *entry {
-	class, key := classify(tmpl)
-	if class == subValue {
-		sh := s.shardFor(key)
+	class, key, home := s.classifyRoute(tmpl)
+	if home != nil {
+		sh := home
 		sh.mu.Lock()
 		e := sh.oldest(class, key, tmpl)
 		if e != nil {
@@ -751,9 +837,9 @@ func (s *Space) takeEntry(tmpl tuple.Tuple) *entry {
 // readEntry returns a copy of the oldest matching entry without miss
 // accounting (see takeEntry).
 func (s *Space) readEntry(tmpl tuple.Tuple) (tuple.Tuple, bool) {
-	class, key := classify(tmpl)
-	if class == subValue {
-		sh := s.shardFor(key)
+	class, key, home := s.classifyRoute(tmpl)
+	if home != nil {
+		sh := home
 		sh.mu.Lock()
 		if e := sh.oldest(class, key, tmpl); e != nil {
 			sh.stats.Reads++
@@ -815,10 +901,9 @@ func adaptBoolCB(cb func(tuple.Tuple, bool)) func(tuple.Tuple, error) {
 }
 
 func (s *Space) blockingOp(tmpl tuple.Tuple, timeout sim.Duration, take bool, cb func(tuple.Tuple, error)) {
-	class, key := classify(tmpl)
-	var home *shard // non-nil: single-shard op; nil: all shards locked
-	if class == subValue {
-		home = s.shardFor(key)
+	// home non-nil: single-shard op; nil: all shards locked.
+	class, key, home := s.classifyRoute(tmpl)
+	if home != nil {
 		home.mu.Lock()
 	} else {
 		s.lockAll()
@@ -865,10 +950,11 @@ func (s *Space) blockingOp(tmpl tuple.Tuple, timeout sim.Duration, take bool, cb
 		return
 	}
 
-	// Park. Exact templates register on their home shard only; any
-	// other template registers a node per shard, because a matching
-	// write can land on any of them. Registration and the bucket
-	// appends happen under the lock(s), so bucket order == seq order.
+	// Park. Homed templates register on their home shard only — under
+	// kind routing every matching write lands there too; an unroutable
+	// template registers a node per shard, because a matching write
+	// can land on any of them. Registration and the bucket appends
+	// happen under the lock(s), so bucket order == seq order.
 	// The template is cloned: a parked waiter outlives the call, and
 	// callers (the serving plane's pooled decoders in particular) are
 	// free to reuse their template storage the moment we return.
@@ -922,13 +1008,13 @@ func (s *Space) cancelSub(w *sub) bool {
 // the subscribe/notify paradigm. The returned cancel function ends
 // the subscription.
 func (s *Space) Notify(tmpl tuple.Tuple, fn func(tuple.Tuple)) (cancel func()) {
-	class, key := classify(tmpl)
+	class, key, home := s.classifyRoute(tmpl)
 	// Cloned for the same reason blockingOp clones on park: the
 	// subscription outlives the call, the caller's template does not
 	// have to.
 	n := &sub{tmpl: tmpl.Clone(), class: class, key: key, notify: true, fn: fn}
-	if class == subValue {
-		sh := s.shardFor(key)
+	if home != nil {
+		sh := home
 		sh.mu.Lock()
 		n.seq = s.subSeq.Add(1)
 		n.nodes = make([]subNode, 1)

@@ -160,7 +160,9 @@ func (tx *Txn) Abort() error {
 	sort.Slice(held, func(i, j int) bool { return held[i].id < held[j].id })
 	var fire []func()
 	for _, e := range held {
-		sh := tx.sp.shardFor(e.vh)
+		// Same routing rule as Write: the restored entry must return to
+		// the shard templates that can match it route to.
+		sh := tx.sp.shardFor(tx.sp.routeOf(e.t, e.vh, e.kk))
 		sh.mu.Lock()
 		consumed, f := sh.probeSubs(e, false)
 		if !consumed {

@@ -362,43 +362,73 @@ func (t Tuple) KindSig() uint64 {
 	return h
 }
 
+// sigField folds one actual field's value, the per-field unit of
+// ValueSig and RouteSig. Adjacent variable-length values are
+// length-prefixed, and floats canonicalize -0.0 (Matches compares
+// floats with ==, under which -0.0 equals +0.0 — both must share a
+// signature).
+func sigField(h uint64, f *Field) uint64 {
+	switch f.Kind {
+	case KindInt:
+		h = sigUint64(h, uint64(f.Int))
+	case KindFloat:
+		bits := math.Float64bits(f.Float)
+		if f.Float == 0 {
+			bits = 0
+		}
+		h = sigUint64(h, bits)
+	case KindString:
+		h = sigString(h, f.Str)
+	case KindBool:
+		if f.Bool {
+			h = sigByte(h, 1)
+		} else {
+			h = sigByte(h, 0)
+		}
+	case KindBytes:
+		h = sigUint64(h, uint64(len(f.Bytes)))
+		for _, b := range f.Bytes {
+			h = sigByte(h, b)
+		}
+	}
+	return h
+}
+
 // ValueSig extends KindSig with every field value, giving the
 // exact-match index key: a wildcard-free typed template matches a
 // tuple if and only if their ValueSigs collide (true collisions are
 // re-checked with Matches). ok is false when t carries wildcards —
 // wildcard templates have no value signature.
 func (t Tuple) ValueSig() (sig uint64, ok bool) {
+	return t.RouteSig(len(t.Fields))
+}
+
+// RouteSig hashes the tuple's shard-routing signature at the given
+// prefix depth: KindSig extended with the first min(prefix, arity)
+// field values, folded exactly as ValueSig folds them. Two useful
+// extremes anchor the scale:
+//
+//   - RouteSig(0) is KindSig — every tuple of one (type, shape) shares
+//     a route, so a typed template routes to the single shard holding
+//     everything it could match, wildcards or not;
+//   - RouteSig(arity) is ValueSig byte for byte — the PR-4 value
+//     hashing, under which only wildcard-free templates route.
+//
+// ok is false when a wildcard falls inside the prefix window: such a
+// template matches tuples carrying any value there, which hash to
+// different routes. A data tuple (no wildcards) always routes.
+func (t Tuple) RouteSig(prefix int) (sig uint64, ok bool) {
 	h := t.KindSig()
-	for i := range t.Fields {
+	n := prefix
+	if n > len(t.Fields) {
+		n = len(t.Fields)
+	}
+	for i := 0; i < n; i++ {
 		f := &t.Fields[i]
 		if f.Wildcard {
 			return 0, false
 		}
-		switch f.Kind {
-		case KindInt:
-			h = sigUint64(h, uint64(f.Int))
-		case KindFloat:
-			// Matches compares floats with ==, under which -0.0 equals
-			// +0.0 — canonicalize so both hash to the same signature.
-			bits := math.Float64bits(f.Float)
-			if f.Float == 0 {
-				bits = 0
-			}
-			h = sigUint64(h, bits)
-		case KindString:
-			h = sigString(h, f.Str)
-		case KindBool:
-			if f.Bool {
-				h = sigByte(h, 1)
-			} else {
-				h = sigByte(h, 0)
-			}
-		case KindBytes:
-			h = sigUint64(h, uint64(len(f.Bytes)))
-			for _, b := range f.Bytes {
-				h = sigByte(h, b)
-			}
-		}
+		h = sigField(h, f)
 	}
 	return h, true
 }

@@ -241,3 +241,38 @@ func TestValueSigNegativeZeroMatchesPositiveZero(t *testing.T) {
 		t.Fatal("distinct float values collide")
 	}
 }
+
+func TestRouteSigPrefixLadder(t *testing.T) {
+	// RouteSig(0) is KindSig; RouteSig(arity) is ValueSig; a wildcard
+	// inside the prefix window (and only there) makes the signature
+	// undefined. These identities are what lets the sharded store use
+	// one routing rule for entries and wildcard templates alike.
+	data := New("job", Int("id", 7), String("op", "fft"), Bytes("raw", []byte{1, 2}))
+	if s, ok := data.RouteSig(0); !ok || s != data.KindSig() {
+		t.Fatalf("RouteSig(0) = (%#x,%v), want KindSig %#x", s, ok, data.KindSig())
+	}
+	vh, _ := data.ValueSig()
+	for _, p := range []int{len(data.Fields), len(data.Fields) + 1, 1 << 30} {
+		if s, ok := data.RouteSig(p); !ok || s != vh {
+			t.Fatalf("RouteSig(%d) = (%#x,%v), want ValueSig %#x", p, s, ok, vh)
+		}
+	}
+	// Deeper prefixes must fold strictly more state than shallower ones.
+	s1, _ := data.RouteSig(1)
+	s2, _ := data.RouteSig(2)
+	if s1 == data.KindSig() || s2 == s1 || s2 == vh {
+		t.Fatalf("prefix ladder collided: kind=%#x p1=%#x p2=%#x value=%#x",
+			data.KindSig(), s1, s2, vh)
+	}
+
+	tmpl := New("job", Int("id", 7), AnyString("op"), AnyBytes("raw"))
+	if s, ok := tmpl.RouteSig(1); !ok || s != s1 {
+		t.Fatalf("template RouteSig(1) = (%#x,%v), want %#x (co-located with data)", s, ok, s1)
+	}
+	if _, ok := tmpl.RouteSig(2); ok {
+		t.Fatal("RouteSig defined across a wildcard inside the window")
+	}
+	if s, ok := tmpl.RouteSig(0); !ok || s != data.KindSig() {
+		t.Fatalf("template RouteSig(0) = (%#x,%v), want shared kind home %#x", s, ok, data.KindSig())
+	}
+}

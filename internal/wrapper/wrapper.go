@@ -167,6 +167,10 @@ type Gateway struct {
 	// the space — the zero-copy path of backend.go. bd is its
 	// at-most-once table.
 	sp *space.Space
+	// rp caches sp.RoutePrefix() so routeFrame computes the same
+	// routing signature from wire bytes that the space computes from
+	// decoded tuples, without touching the space per frame.
+	rp int
 	bd *binDedup
 	// hub serves durable notify sessions (notify.go); shared across
 	// the gateways of a server process so sessions survive reconnects
@@ -233,6 +237,7 @@ func NewGateway(client transport.Conn, rc *rmi.Client, opts ...GatewayOption) *G
 	}
 	g := &Gateway{client: client, rmi: rc, sp: cfg.sp, hub: cfg.hub}
 	if g.sp != nil {
+		g.rp = g.sp.RoutePrefix()
 		g.bd = newBinDedup(dedupCacheCap)
 		if g.hub == nil {
 			g.hub = NewNotifyHub()
@@ -257,15 +262,20 @@ func NewGateway(client transport.Conn, rc *rmi.Client, opts ...GatewayOption) *G
 }
 
 // routeFrame maps a request frame to its dispatch worker: the home
-// shard of the tuple's value signature, computed straight from the
-// wire bytes — so all traffic for one shard flows through one queue
-// in arrival order. Sig-less frames (wildcard templates, pings)
-// spread by request id; anything else (XML, batches) round-robins.
+// shard of the tuple's routing signature, computed straight from the
+// wire bytes under the space's route prefix — so all traffic for one
+// shard flows through one queue in arrival order. Under the default
+// kind routing this homes wildcard templates too (their kind
+// signature is concrete even when field values are not). Sig-less
+// frames (untyped templates, wildcards inside the routing window,
+// pings) spread by request id; anything else (XML, batches)
+// round-robins.
 func (g *Gateway) routeFrame(b []byte) int {
-	if vh, ok := xmlcodec.WireValueSig(b); ok {
-		if g.sp != nil {
-			return g.sp.ShardOf(vh)
+	if g.sp != nil {
+		if rh, ok := xmlcodec.WireRouteSig(b, g.rp); ok {
+			return g.sp.ShardOf(rh)
 		}
+	} else if vh, ok := xmlcodec.WireValueSig(b); ok {
 		return int(vh & 0x7FFFFFFF)
 	}
 	if id, _, ok := xmlcodec.PeekRequest(b); ok {

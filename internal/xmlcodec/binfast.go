@@ -363,13 +363,23 @@ func DecodeResponseBinaryInto(r *BinResponse, b []byte, in *Interner) error {
 }
 
 // WireValueSig computes tuple.ValueSig straight from a binary request
-// frame's wire bytes, without decoding the entry: the dispatch fast
-// path routes a frame to its home-shard queue before any worker
-// touches it. ok is false when the frame carries no entry, the entry
-// has wildcard fields (templates without a value signature), or the
-// frame is malformed — callers fall back to id routing and let the
-// worker's full decode report the error.
+// frame's wire bytes, without decoding the entry. ok is false when the
+// frame carries no entry, the entry has wildcard fields (templates
+// without a value signature), or the frame is malformed.
 func WireValueSig(frame []byte) (sig uint64, ok bool) {
+	return WireRouteSig(frame, int(^uint(0)>>1))
+}
+
+// WireRouteSig computes tuple.RouteSig(prefix) straight from a binary
+// request frame's wire bytes, without decoding the entry: the dispatch
+// fast path routes a frame to its home-shard queue before any worker
+// touches it. Wildcard fields are allowed at indexes at or past the
+// prefix window (they fold into the kind signature but carry no value
+// bytes to hash); a wildcard inside the window, a frame without an
+// entry, or a malformed frame yields ok=false — callers fall back to
+// the all-shard path or id routing and let the worker's full decode
+// report any error.
+func WireRouteSig(frame []byte, prefix int) (sig uint64, ok bool) {
 	if len(frame) < binReqHdrLen || frame[0] != binReqMagic || frame[26] != 1 {
 		return 0, false
 	}
@@ -398,10 +408,15 @@ func WireValueSig(frame []byte) (sig uint64, ok bool) {
 	nf := int(b[pos])
 	pos++
 	// One walk collects kinds and value spans; the hash then folds
-	// them in ValueSig order (type, arity, kinds, then values).
+	// them in RouteSig order (type, arity, kinds, then the values of
+	// the first min(prefix, arity) fields).
 	const maxFields = 64
 	if nf > maxFields {
 		return 0, false
+	}
+	n := prefix
+	if n > nf {
+		n = nf
 	}
 	var kinds [maxFields]byte
 	var vstart, vend [maxFields]int
@@ -411,13 +426,16 @@ func WireValueSig(frame []byte) (sig uint64, ok bool) {
 		}
 		flags := b[pos]
 		pos++
-		if flags&0x80 != 0 {
-			return 0, false // wildcard: no value signature
-		}
 		kind := tuple.Kind(flags & 0x7F)
 		kinds[i] = byte(kind)
 		if _, _, k := span(); !k { // field name
 			return 0, false
+		}
+		if flags&0x80 != 0 {
+			if i < n {
+				return 0, false // wildcard inside the routing window
+			}
+			continue // wildcards carry no value bytes
 		}
 		switch kind {
 		case tuple.KindInt:
@@ -446,7 +464,7 @@ func WireValueSig(frame []byte) (sig uint64, ok bool) {
 	for i := 0; i < nf; i++ {
 		h = h.Byte(kinds[i])
 	}
-	for i := 0; i < nf; i++ {
+	for i := 0; i < n; i++ {
 		v := b[vstart[i]:vend[i]]
 		switch tuple.Kind(kinds[i]) {
 		case tuple.KindInt:

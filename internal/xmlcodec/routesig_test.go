@@ -1,0 +1,69 @@
+package xmlcodec
+
+import (
+	"testing"
+
+	"tpspace/internal/tuple"
+)
+
+// routeSigTuples covers the routing-relevant shapes: fully concrete,
+// wildcard tail, wildcard head, untyped, every kind, empty arity.
+func routeSigTuples() []tuple.Tuple {
+	return []tuple.Tuple{
+		tuple.New("job", tuple.Int("id", 7), tuple.String("op", "fft"),
+			tuple.Float("x", -0.0), tuple.Bool("ok", true), tuple.Bytes("raw", []byte{1, 2, 3})),
+		tuple.New("job", tuple.Int("id", 7), tuple.AnyString("op"), tuple.AnyBytes("raw")),
+		tuple.New("job", tuple.AnyInt("id"), tuple.String("op", "fft")),
+		tuple.New("", tuple.Int("id", 7)),
+		tuple.New("empty"),
+		tuple.New("task", tuple.Int("stage", 3), tuple.Int("seq", 41), tuple.AnyBytes("payload")),
+	}
+}
+
+// TestWireRouteSigMatchesTuple checks the wire-bytes signature walk
+// against the decoded-tuple fold for every prefix depth, including the
+// wildcard-inside-the-window refusals.
+func TestWireRouteSigMatchesTuple(t *testing.T) {
+	for _, tp := range routeSigTuples() {
+		tpc := tp
+		req := NewRequest(1, OpWrite, &tpc)
+		frame, err := MarshalRequestBinary(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for prefix := 0; prefix <= len(tp.Fields)+2; prefix++ {
+			wantSig, wantOK := tp.RouteSig(prefix)
+			gotSig, gotOK := WireRouteSig(frame, prefix)
+			if gotOK != wantOK || (wantOK && gotSig != wantSig) {
+				t.Fatalf("%v prefix %d: wire (%#x,%v) vs tuple (%#x,%v)",
+					tp, prefix, gotSig, gotOK, wantSig, wantOK)
+			}
+		}
+		// Full-depth wire signature must equal ValueSig when defined.
+		if vh, ok := tp.ValueSig(); ok {
+			if got, gok := WireValueSig(frame); !gok || got != vh {
+				t.Fatalf("%v: WireValueSig (%#x,%v) vs ValueSig %#x", tp, got, gok, vh)
+			}
+		} else if _, gok := WireValueSig(frame); gok {
+			t.Fatalf("%v: WireValueSig ok for wildcard tuple", tp)
+		}
+	}
+}
+
+// TestWireRouteSigNoEntry checks that entry-less and non-binary frames
+// are refused rather than hashed.
+func TestWireRouteSigNoEntry(t *testing.T) {
+	frame, err := MarshalRequestBinary(Request{ID: 3, Op: OpPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := WireRouteSig(frame, 0); ok {
+		t.Fatal("route sig computed for entry-less frame")
+	}
+	if _, ok := WireRouteSig([]byte("<request/>"), 0); ok {
+		t.Fatal("route sig computed for XML frame")
+	}
+	if _, ok := WireRouteSig(frame[:4], 0); ok {
+		t.Fatal("route sig computed for truncated frame")
+	}
+}

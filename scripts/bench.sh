@@ -40,6 +40,16 @@
 #                      kills, acked_per_sec, detect_ms, recover_ms,
 #                      violations} — all in simulated time, so the
 #                      records are deterministic
+#   BENCH_workloads.json
+#                      classic serving workloads (masterworker,
+#                      pipeline, stream, farm) at 8 shards: for each
+#                      pattern a deterministic sim-plane occupancy
+#                      estimate and a measured local-plane run, each
+#                      paired with its in-binary all-shard value-routed
+#                      baseline; records {name, pattern, plane,
+#                      baseline, clients, tasks, shards, units,
+#                      elapsed_ns, units_per_sec, mean_latency_ns,
+#                      deliveries, speedup_vs_baseline}
 #   BENCH_lease.json   lease-engine churn at 10^7 live leases (wheel
 #                      vs the in-binary per-timer baseline, with
 #                      speedup_vs_baseline and allocs_per_op) plus the
@@ -102,7 +112,10 @@ go run ./cmd/tpbench -netbench -scaling -json | tee /dev/stderr > BENCH_scaling.
 echo "==> replicated-cluster chaos grid -> BENCH_cluster.json"
 go run ./cmd/tpbench -cluster -json | tee /dev/stderr > BENCH_cluster.json
 
+echo "==> classic serving workloads -> BENCH_workloads.json"
+go run ./cmd/tpbench -workload all -shards 8 -json | tee /dev/stderr > BENCH_workloads.json
+
 echo "==> lease-engine churn + durable-notify fleet -> BENCH_lease.json"
 go run ./cmd/tpbench -leasebench -notifybench -json | tee /dev/stderr > BENCH_lease.json
 
-echo "OK: wrote BENCH_kernel.json BENCH_plan.json BENCH_space.json BENCH_net.json BENCH_scaling.json BENCH_cluster.json BENCH_lease.json"
+echo "OK: wrote BENCH_kernel.json BENCH_plan.json BENCH_space.json BENCH_net.json BENCH_scaling.json BENCH_cluster.json BENCH_workloads.json BENCH_lease.json"

@@ -12,7 +12,11 @@
 #   path must stay <=1 alloc/op end to end), a tiny -netbench run of
 #   the network serving plane including the multi-op batch rows
 #   (-batchops 8), a -scaling smoke (the GOMAXPROCS sweep must emit
-#   its P=1 reference row), and a
+#   its P=1 reference row), a classic-workload smoke (every pattern of
+#   tpbench -workload must emit its sim estimate pair and its
+#   kind-routed vs all-shard baseline pair over the pipe plane; the
+#   space gate above also pins the kind-routed wildcard take at 0
+#   allocs/op), and a
 #   cluster-chaos smoke: the replicated 3-node cluster tests under
 #   -race plus a full tpbench -cluster -chaos grid asserting the
 #   invariants (no acked write lost, at-most-once take), a
@@ -98,9 +102,9 @@ else
 fi
 
 echo "==> space bench regression smoke (take paths must not allocate)"
-go test -run '^$' -bench '^BenchmarkSpaceTake(Hit|Miss)100k$' -benchmem \
+go test -run '^$' -bench '^BenchmarkSpaceTake(Hit|Miss|KindHit)100k$' -benchmem \
     -benchtime=2000x ./internal/space/ | tee "$tmp/spacebench.txt"
-if awk '/^BenchmarkSpaceTake(Hit|Miss)100k-/ {
+if awk '/^BenchmarkSpaceTake(Hit|Miss|KindHit)100k-/ {
         for (i = 2; i < NF; i++)
             if ($(i + 1) == "allocs/op" && $i + 0 > 0) { bad = 1; print $1, $i, "allocs/op" }
     } END { exit bad }' "$tmp/spacebench.txt"; then
@@ -161,6 +165,17 @@ echo "==> multi-core scaling smoke (tpbench -netbench -scaling, tiny run)"
 grep -q "Multi-core scaling" "$tmp/scaling.txt"
 # The P=1 reference row must always be present, whatever NumCPU is.
 awk '$1 == "1" { found = 1 } END { exit !found }' "$tmp/scaling.txt"
+
+echo "==> classic workload smoke (every pattern, sim estimate + pipe plane)"
+# Each suite run emits the deterministic sim estimate pair plus the
+# kind-routed vs all-shard baseline pair on the requested plane.
+"$tmp/tpbench" -workload all -plane pipe -clients 3 -wtasks 24 > "$tmp/workloads.txt"
+for p in masterworker pipeline stream farm; do
+    grep -q "^$p/sim " "$tmp/workloads.txt"
+    grep -q "^$p/sim/baseline " "$tmp/workloads.txt"
+    grep -q "^$p/pipe " "$tmp/workloads.txt"
+    grep -q "^$p/pipe/baseline " "$tmp/workloads.txt"
+done
 
 echo "==> cluster-chaos smoke (3 nodes, forced primary crash, invariants, -race)"
 go test -race -run '^TestClusterChaos' ./internal/core/
